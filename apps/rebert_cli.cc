@@ -1,0 +1,302 @@
+// rebert_cli — command-line driver for the whole toolkit.
+//
+//   rebert_cli gen      --bench b05 [--scale 1.0] --out c.bench
+//                       [--words c.words] [--verilog]
+//   rebert_cli stats    --in c.bench
+//   rebert_cli convert  --in c.bench --out c.v
+//   rebert_cli corrupt  --in c.bench --r-index 0.4 [--seed 7] --out d.bench
+//   rebert_cli optimize --in c.bench --out e.bench
+//   rebert_cli train    --out model.bin [--benchmarks b03,b08,...]
+//                       [--scale 0.25] [--epochs 3] [--max-samples 250]
+//   rebert_cli recover  --in c.bench [--model model.bin] [--words truth]
+//                       [--structural] [--report]
+//   rebert_cli analyze  --in c.bench --bits q0,q1,q2
+//   rebert_cli dot      --in c.bench --out c.dot [--words truth]
+//
+// File formats are detected by extension: .v / .verilog parse as structural
+// Verilog, everything else as ISCAS-89 .bench.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "circuitgen/suite.h"
+#include "metrics/clustering.h"
+#include "nl/corruption.h"
+#include "nl/decompose.h"
+#include "nl/export_dot.h"
+#include "nl/opt.h"
+#include "nl/parser.h"
+#include "nl/verilog.h"
+#include "rebert/pipeline.h"
+#include "rebert/report.h"
+#include "rebert/word_typing.h"
+#include "structural/matching.h"
+#include "util/flags.h"
+#include "util/string_utils.h"
+
+using namespace rebert;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rebert_cli <gen|stats|convert|corrupt|optimize|train|"
+               "recover|analyze> [flags]\n"
+               "see the header of apps/rebert_cli.cc for the full flag "
+               "reference\n");
+  return 2;
+}
+
+bool is_verilog_path(const std::string& path) {
+  return util::ends_with(path, ".v") || util::ends_with(path, ".verilog");
+}
+
+nl::Netlist read_netlist(const std::string& path) {
+  return is_verilog_path(path) ? nl::parse_verilog_file(path)
+                               : nl::parse_bench_file(path);
+}
+
+void write_netlist(const nl::Netlist& netlist, const std::string& path) {
+  if (is_verilog_path(path))
+    nl::write_verilog_file(netlist, path);
+  else
+    nl::write_bench_file(netlist, path);
+}
+
+std::string require_flag(const util::FlagParser& flags,
+                         const std::string& name) {
+  const std::string value = flags.get(name, "");
+  if (value.empty()) {
+    std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+core::ExperimentOptions experiment_options(const util::FlagParser& flags) {
+  core::ExperimentOptions options;
+  options.pipeline.tokenizer.backtrace_depth = flags.get_int("depth", 6);
+  options.pipeline.tokenizer.tree_code_dim = 16;
+  options.pipeline.tokenizer.max_seq_len = 256;
+  options.dataset.max_samples_per_circuit =
+      flags.get_int("max-samples", 250);
+  options.training.epochs = flags.get_int("epochs", 3);
+  options.training.verbose = flags.get_bool("verbose", false);
+  return options;
+}
+
+int cmd_gen(const util::FlagParser& flags) {
+  const std::string bench = require_flag(flags, "bench");
+  const std::string out = require_flag(flags, "out");
+  const double scale = flags.get_double("scale", 1.0);
+  gen::GeneratedCircuit circuit = gen::generate_benchmark(bench, scale);
+  write_netlist(circuit.netlist, out);
+  std::printf("wrote %s (%d gates, %zu FFs, %d words)\n", out.c_str(),
+              circuit.netlist.stats().num_comb_gates,
+              circuit.netlist.dffs().size(), circuit.words.num_words());
+  const std::string words_path = flags.get("words", "");
+  if (!words_path.empty()) {
+    circuit.words.save(words_path);
+    std::printf("wrote ground truth to %s\n", words_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const util::FlagParser& flags) {
+  const nl::Netlist netlist = read_netlist(require_flag(flags, "in"));
+  const nl::NetlistStats stats = netlist.stats();
+  std::printf("netlist   : %s\n", netlist.name().c_str());
+  std::printf("inputs    : %d\n", stats.num_inputs);
+  std::printf("outputs   : %d\n", stats.num_outputs);
+  std::printf("flip-flops: %d\n", stats.num_dffs);
+  std::printf("gates     : %d (max fanin %d)\n", stats.num_comb_gates,
+              stats.max_fanin);
+  const auto depths = netlist.logic_depths();
+  int max_depth = 0;
+  for (int d : depths) max_depth = std::max(max_depth, d);
+  std::printf("depth     : %d levels\n", max_depth);
+  return 0;
+}
+
+int cmd_convert(const util::FlagParser& flags) {
+  const nl::Netlist netlist = read_netlist(require_flag(flags, "in"));
+  const std::string out = require_flag(flags, "out");
+  write_netlist(netlist, out);
+  std::printf("converted to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_corrupt(const util::FlagParser& flags) {
+  const nl::Netlist netlist = read_netlist(require_flag(flags, "in"));
+  nl::CorruptionOptions options;
+  options.r_index = flags.get_double("r-index", 0.5);
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  nl::CorruptionReport report;
+  const nl::Netlist corrupted =
+      nl::corrupt_netlist(netlist, options, &report);
+  write_netlist(corrupted, require_flag(flags, "out"));
+  std::printf("replaced %d/%d eligible gates (+%d helpers)\n",
+              report.replaced_gates, report.eligible_gates,
+              report.added_gates);
+  return 0;
+}
+
+int cmd_optimize(const util::FlagParser& flags) {
+  const nl::Netlist netlist = read_netlist(require_flag(flags, "in"));
+  nl::OptReport report;
+  const nl::Netlist optimized = nl::optimize_netlist(netlist, {}, &report);
+  write_netlist(optimized, require_flag(flags, "out"));
+  std::printf(
+      "gates %d -> %d (folded %d, buffers %d, merged %d, dead %d)\n",
+      report.gates_before, report.gates_after, report.folded_gates,
+      report.collapsed_buffers, report.merged_gates, report.dead_gates);
+  return 0;
+}
+
+int cmd_train(const util::FlagParser& flags) {
+  const std::string out = require_flag(flags, "out");
+  const double scale = flags.get_double("scale", 0.25);
+  const std::string list =
+      flags.get("benchmarks", "b03,b04,b05,b07,b08,b11,b12,b13");
+  core::ExperimentOptions options = experiment_options(flags);
+
+  std::vector<core::CircuitData> circuits;
+  for (const std::string& piece : util::split(list, ',')) {
+    const std::string name = util::trim(piece);
+    if (name.empty()) continue;
+    gen::GeneratedCircuit generated = gen::generate_benchmark(name, scale);
+    circuits.push_back(core::CircuitData{name, std::move(generated.netlist),
+                                         std::move(generated.words)});
+  }
+  std::vector<const core::CircuitData*> train_set;
+  for (const auto& circuit : circuits) train_set.push_back(&circuit);
+  std::printf("training on %zu circuits (scale %.2f)...\n", circuits.size(),
+              scale);
+  const auto model = core::train_rebert(train_set, options);
+  model->save(out);
+  std::printf("saved model (%lld parameters) to %s\n",
+              static_cast<long long>(model->num_parameters()), out.c_str());
+  return 0;
+}
+
+int cmd_recover(const util::FlagParser& flags) {
+  nl::Netlist netlist = read_netlist(require_flag(flags, "in"));
+  if (!nl::is_2input(netlist)) netlist = nl::decompose_to_2input(netlist);
+  const std::vector<nl::Bit> bits = nl::extract_bits(netlist);
+  if (bits.empty()) {
+    std::fprintf(stderr, "netlist has no flip-flops\n");
+    return 1;
+  }
+
+  std::vector<int> labels;
+  if (flags.get_bool("structural", false)) {
+    const structural::StructuralResult result =
+        structural::recover_words_structural(netlist);
+    labels = result.labels;
+    std::printf("structural matching: %d words in %.3fs\n",
+                result.num_words, result.total_seconds);
+  } else {
+    core::ExperimentOptions options = experiment_options(flags);
+    bert::BertPairClassifier model(core::make_model_config(options));
+    const std::string model_path = flags.get("model", "");
+    if (!model_path.empty()) {
+      model.load(model_path);
+    } else {
+      std::fprintf(stderr,
+                   "warning: no --model given; using untrained weights "
+                   "(results will be poor). train one with "
+                   "'rebert_cli train --out model.bin'.\n");
+    }
+    const core::RecoveryArtifacts artifacts =
+        core::recover_words_detailed(netlist, model, options.pipeline);
+    labels = artifacts.result.labels;
+    std::printf("ReBERT: %d words in %.3fs (%.0f%% filtered, %.0f%% cache "
+                "hits)\n",
+                artifacts.result.num_words,
+                artifacts.result.total_seconds,
+                artifacts.result.filtered_fraction * 100.0,
+                artifacts.result.cache_hit_rate * 100.0);
+    if (flags.get_bool("report", false) || flags.get_bool("json", false)) {
+      const core::WordReport report = core::make_word_report(
+          artifacts.bits, artifacts.scores, artifacts.result.labels);
+      if (flags.get_bool("json", false))
+        std::printf("%s\n", report.to_json().c_str());
+      else
+        std::printf("%s", report.to_string().c_str());
+    }
+  }
+
+  const nl::WordMap predicted = nl::WordMap::from_labels(bits, labels);
+  if (!flags.get_bool("report", false)) {
+    for (const auto& [word, members] : predicted.words()) {
+      if (members.size() < 2) continue;
+      std::printf("  %s:", word.c_str());
+      for (const std::string& bit : members) std::printf(" %s", bit.c_str());
+      std::printf("\n");
+    }
+  }
+
+  const std::string truth_path = flags.get("words", "");
+  if (!truth_path.empty()) {
+    const nl::WordMap truth = nl::WordMap::load(truth_path);
+    const double ari = metrics::adjusted_rand_index(truth.labels_for(bits),
+                                                    labels);
+    std::printf("ARI vs %s: %.3f\n", truth_path.c_str(), ari);
+  }
+  return 0;
+}
+
+int cmd_analyze(const util::FlagParser& flags) {
+  const nl::Netlist netlist = read_netlist(require_flag(flags, "in"));
+  const std::string bits = require_flag(flags, "bits");
+  std::vector<std::string> names;
+  for (const std::string& piece : util::split(bits, ','))
+    if (!util::trim(piece).empty()) names.push_back(util::trim(piece));
+  const core::WordAnalysis analysis = core::analyze_word(netlist, names);
+  std::printf("kind       : %s\n", core::word_kind_name(analysis.kind));
+  std::printf("confidence : %.3f\n", analysis.confidence);
+  std::printf("activity   : %.3f\n", analysis.activity);
+  std::printf("bit order  : %s\n",
+              util::join(analysis.ordered_bits, " ").c_str());
+  return 0;
+}
+
+int cmd_dot(const util::FlagParser& flags) {
+  const nl::Netlist netlist = read_netlist(require_flag(flags, "in"));
+  nl::WordMap words;
+  const std::string words_path = flags.get("words", "");
+  if (!words_path.empty()) words = nl::WordMap::load(words_path);
+  const std::string out_path = require_flag(flags, "out");
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  nl::write_dot(netlist, words, out);
+  std::printf("wrote %s (render with: dot -Tsvg %s -o graph.svg)\n",
+              out_path.c_str(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return usage();
+  const std::string& command = flags.positional()[0];
+  try {
+    if (command == "gen") return cmd_gen(flags);
+    if (command == "stats") return cmd_stats(flags);
+    if (command == "convert") return cmd_convert(flags);
+    if (command == "corrupt") return cmd_corrupt(flags);
+    if (command == "optimize") return cmd_optimize(flags);
+    if (command == "train") return cmd_train(flags);
+    if (command == "recover") return cmd_recover(flags);
+    if (command == "analyze") return cmd_analyze(flags);
+    if (command == "dot") return cmd_dot(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

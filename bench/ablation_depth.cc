@@ -1,0 +1,69 @@
+// Ablation — backtrace depth k (§II-A uses k = 6).
+//
+// Trains one model per depth (tokenization changes with k, so the model
+// must match) and evaluates on a held-out benchmark. Also reports the
+// average token-sequence length, which grows exponentially with k.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace rebert;
+  benchharness::BenchSetup setup = benchharness::load_bench_setup();
+  if (util::env_string("REBERT_BENCHMARKS", "").empty())
+    setup.benchmark_names = {"b03", "b04", "b08", "b11", "b13"};
+  const std::vector<core::CircuitData> circuits =
+      benchharness::generate_suite(setup);
+  const core::CircuitData& test_circuit = circuits.back();
+  std::vector<const core::CircuitData*> train_set;
+  for (std::size_t i = 0; i + 1 < circuits.size(); ++i)
+    train_set.push_back(&circuits[i]);
+
+  std::printf(
+      "=== Ablation: backtrace depth k (eval on %s, scale %.2f) ===\n",
+      test_circuit.name.c_str(), setup.scale);
+  util::TextTable table(
+      {"depth k", "avg tokens/bit", "avg ARI", "train+eval (s)"});
+  util::CsvWriter csv("ablation_depth.csv",
+                      {"depth", "r_index", "ari", "avg_tokens"});
+
+  for (int depth : {2, 4, 6, 8}) {
+    core::ExperimentOptions options = setup.options;
+    options.pipeline.tokenizer.backtrace_depth = depth;
+    options.dataset.tokenizer = options.pipeline.tokenizer;
+
+    // Average tokens per bit on the clean test circuit.
+    const core::Tokenizer tokenizer(options.pipeline.tokenizer);
+    const auto sequences = tokenizer.tokenize_bits(test_circuit.netlist);
+    double token_total = 0.0;
+    for (const auto& seq : sequences) token_total += seq.token_ids.size();
+    const double avg_tokens =
+        token_total / static_cast<double>(sequences.size());
+
+    util::WallTimer timer;
+    std::fprintf(stderr, "training depth %d...\n", depth);
+    const auto model = core::train_rebert(train_set, options);
+    double ari_total = 0.0;
+    for (double r : benchharness::r_index_sweep()) {
+      const core::EvaluationResult result =
+          core::evaluate_rebert(test_circuit, r, *model, options);
+      ari_total += result.ari;
+      csv.add_row({std::to_string(depth), util::format_double(r, 1),
+                   util::format_double(result.ari, 3),
+                   util::format_double(avg_tokens, 1)});
+    }
+    const double n =
+        static_cast<double>(benchharness::r_index_sweep().size());
+    table.add_row({std::to_string(depth),
+                   util::format_double(avg_tokens, 1),
+                   util::format_double(ari_total / n, 3),
+                   util::format_double(timer.seconds(), 1)});
+  }
+  table.print();
+  std::printf("CSV: ablation_depth.csv\n");
+  return 0;
+}

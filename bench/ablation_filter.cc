@@ -1,0 +1,70 @@
+// Ablation — Jaccard filter threshold (§II-C uses 0.7).
+//
+// One model, one held-out benchmark, sweep of filter thresholds including
+// "off". Reports ARI and the fraction of pairs that reached the model —
+// the compute/quality trade-off the filter buys.
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+int main() {
+  using namespace rebert;
+  benchharness::BenchSetup setup = benchharness::load_bench_setup();
+  if (util::env_string("REBERT_BENCHMARKS", "").empty())
+    setup.benchmark_names = {"b03", "b04", "b05", "b08", "b11", "b13"};
+  const std::vector<core::CircuitData> circuits =
+      benchharness::generate_suite(setup);
+  const core::CircuitData& test_circuit = circuits.back();
+  std::vector<const core::CircuitData*> train_set;
+  for (std::size_t i = 0; i + 1 < circuits.size(); ++i)
+    train_set.push_back(&circuits[i]);
+
+  std::fprintf(stderr, "training model...\n");
+  const auto model = core::train_rebert(train_set, setup.options);
+
+  std::printf(
+      "=== Ablation: Jaccard filter threshold (eval on %s, scale %.2f) "
+      "===\n",
+      test_circuit.name.c_str(), setup.scale);
+  util::TextTable table({"threshold", "avg ARI", "avg scored pairs (%)"});
+  util::CsvWriter csv("ablation_filter.csv",
+                      {"threshold", "r_index", "ari", "scored_fraction"});
+
+  struct Setting {
+    const char* label;
+    bool enabled;
+    double threshold;
+  };
+  const Setting settings[] = {
+      {"off", false, 0.0}, {"0.5", true, 0.5}, {"0.6", true, 0.6},
+      {"0.7 (paper)", true, 0.7}, {"0.8", true, 0.8}, {"0.9", true, 0.9},
+  };
+
+  for (const Setting& setting : settings) {
+    core::ExperimentOptions options = setup.options;
+    options.pipeline.filter.enabled = setting.enabled;
+    options.pipeline.filter.threshold = setting.threshold;
+    double ari_total = 0.0, scored_total = 0.0;
+    for (double r : benchharness::r_index_sweep()) {
+      const core::EvaluationResult result =
+          core::evaluate_rebert(test_circuit, r, *model, options);
+      ari_total += result.ari;
+      scored_total += 1.0 - result.recovery.filtered_fraction;
+      csv.add_row({setting.label, util::format_double(r, 1),
+                   util::format_double(result.ari, 3),
+                   util::format_double(
+                       1.0 - result.recovery.filtered_fraction, 3)});
+    }
+    const double n =
+        static_cast<double>(benchharness::r_index_sweep().size());
+    table.add_row({setting.label, util::format_double(ari_total / n, 3),
+                   util::format_double(scored_total / n * 100.0, 1)});
+  }
+  table.print();
+  std::printf("CSV: ablation_filter.csv\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark) of the kernels the pipeline spends
+// its time in: tokenization, Jaccard filtering, attention forward, GEMM,
+// ARI, corruption, structural matching.
+#include <benchmark/benchmark.h>
+
+#include "bert/attention.h"
+#include "bert/model.h"
+#include "circuitgen/suite.h"
+#include "metrics/clustering.h"
+#include "nl/corruption.h"
+#include "rebert/filter.h"
+#include "rebert/tokenizer.h"
+#include "structural/matching.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace rebert;
+
+const gen::GeneratedCircuit& circuit_b05() {
+  static const gen::GeneratedCircuit circuit =
+      gen::generate_benchmark("b05");
+  return circuit;
+}
+
+void BM_TokenizeBit(benchmark::State& state) {
+  const auto& circuit = circuit_b05();
+  const core::Tokenizer tokenizer(
+      {.backtrace_depth = static_cast<int>(state.range(0)),
+       .tree_code_dim = 16,
+       .max_seq_len = 512});
+  const auto bits = nl::extract_bits(circuit.netlist);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tokenizer.tokenize_net(circuit.netlist, bits[i % bits.size()].d_net));
+    ++i;
+  }
+}
+BENCHMARK(BM_TokenizeBit)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_JaccardFilter(benchmark::State& state) {
+  const auto& circuit = circuit_b05();
+  const core::Tokenizer tokenizer(
+      {.backtrace_depth = 6, .tree_code_dim = 16, .max_seq_len = 512});
+  const auto sequences = tokenizer.tokenize_bits(circuit.netlist);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = sequences[i % sequences.size()];
+    const auto& b = sequences[(i + 7) % sequences.size()];
+    benchmark::DoNotOptimize(
+        core::jaccard_similarity(a.token_ids, b.token_ids));
+    ++i;
+  }
+}
+BENCHMARK(BM_JaccardFilter);
+
+void BM_AttentionForward(benchmark::State& state) {
+  bert::BertConfig config;
+  config.hidden = 64;
+  config.num_heads = 4;
+  config.max_seq_len = 512;
+  config.tree_code_dim = 16;
+  util::Rng rng(1);
+  bert::MultiHeadSelfAttention attention("bench", config, rng);
+  const tensor::Tensor x =
+      tensor::Tensor::randn({static_cast<int>(state.range(0)), 64}, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(attention.forward(x, nullptr));
+}
+BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Matmul(benchmark::State& state) {
+  util::Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(n) *
+                          n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PairPrediction(benchmark::State& state) {
+  const auto& circuit = circuit_b05();
+  const core::Tokenizer tokenizer(
+      {.backtrace_depth = 6, .tree_code_dim = 16, .max_seq_len = 256});
+  const auto sequences = tokenizer.tokenize_bits(circuit.netlist);
+  bert::BertConfig config = bert::eval_config(32, 256);
+  config.tree_code_dim = 16;
+  bert::BertPairClassifier model(config);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto pair = tokenizer.encode_pair(
+        sequences[i % sequences.size()],
+        sequences[(i + 3) % sequences.size()]);
+    benchmark::DoNotOptimize(model.predict_same_word_probability(pair));
+    ++i;
+  }
+}
+BENCHMARK(BM_PairPrediction);
+
+void BM_AdjustedRandIndex(benchmark::State& state) {
+  util::Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> truth(static_cast<std::size_t>(n)),
+      predicted(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    truth[static_cast<std::size_t>(i)] = i / 8;
+    predicted[static_cast<std::size_t>(i)] = rng.uniform_int(0, n / 8);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(metrics::adjusted_rand_index(truth, predicted));
+}
+BENCHMARK(BM_AdjustedRandIndex)->Arg(100)->Arg(1000);
+
+void BM_CorruptNetlist(benchmark::State& state) {
+  const auto& circuit = circuit_b05();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nl::corrupt_netlist(
+        circuit.netlist, {.r_index = 0.5, .seed = seed++}));
+  }
+}
+BENCHMARK(BM_CorruptNetlist);
+
+void BM_StructuralRecovery(benchmark::State& state) {
+  const auto& circuit = circuit_b05();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        structural::recover_words_structural(circuit.netlist));
+}
+BENCHMARK(BM_StructuralRecovery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table I — benchmark circuit statistics.
+//
+// Regenerates the paper's benchmark-information table for the synthetic
+// ITC'99-analogue suite: #gates (2-input combinational), #FFs, #Words.
+// FF/word counts match Table I at full scale by construction; gate counts
+// emerge from the block mix (see DESIGN.md).
+//
+// Honors REBERT_SCALE / REBERT_BENCHMARKS / REBERT_FULL; default prints the
+// full-scale suite because generation alone is cheap.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int ffs;     // Table I
+  int words;   // Table I where legible; -1 = unreadable in the scan
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"b03", 30, 7},   {"b04", 66, -1},  {"b05", 34, -1},  {"b07", 49, -1},
+    {"b08", 21, -1},  {"b11", 31, 5},   {"b12", 121, -1}, {"b13", 53, -1},
+    {"b14", 449, -1}, {"b15", 245, -1}, {"b17", 1415, 98}, {"b18", 3320, -1},
+};
+
+int paper_ffs(const std::string& name) {
+  for (const PaperRow& row : kPaperRows)
+    if (name == row.name) return row.ffs;
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rebert;
+  benchharness::BenchSetup setup = benchharness::load_bench_setup();
+  // Stats are cheap; default to the full-scale 12-circuit suite unless the
+  // user restricted it explicitly.
+  if (!util::env_bool("REBERT_FULL", false) &&
+      util::env_string("REBERT_BENCHMARKS", "").empty() &&
+      util::env_string("REBERT_SCALE", "").empty()) {
+    setup.scale = 1.0;
+    setup.benchmark_names.assign(gen::benchmark_names().begin(),
+                                 gen::benchmark_names().end());
+  }
+
+  std::printf("=== Table I: benchmark circuits (scale %.2f) ===\n",
+              setup.scale);
+  util::TextTable table({"benchmark", "#gates", "#FFs", "#Words",
+                         "paper #FFs", "#inputs", "#outputs"});
+  util::CsvWriter csv("table1_benchmarks.csv",
+                      {"benchmark", "gates", "ffs", "words", "paper_ffs"});
+  util::WallTimer timer;
+  for (const std::string& name : setup.benchmark_names) {
+    const gen::GeneratedCircuit circuit =
+        gen::generate_benchmark(name, setup.scale);
+    const nl::NetlistStats stats = circuit.netlist.stats();
+    table.add_row({name, std::to_string(stats.num_comb_gates),
+                   std::to_string(stats.num_dffs),
+                   std::to_string(circuit.words.num_words()),
+                   std::to_string(paper_ffs(name)),
+                   std::to_string(stats.num_inputs),
+                   std::to_string(stats.num_outputs)});
+    csv.add_row({name, std::to_string(stats.num_comb_gates),
+                 std::to_string(stats.num_dffs),
+                 std::to_string(circuit.words.num_words()),
+                 std::to_string(paper_ffs(name))});
+  }
+  table.print();
+  std::printf("generated %zu circuits in %.2fs; CSV: %s\n",
+              setup.benchmark_names.size(), timer.seconds(),
+              "table1_benchmarks.csv");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Table II — ARI comparison of ReBERT vs the structural baseline across
+// R-Index in {0, 0.2, 0.4, 0.6, 0.8, 1.0} under leave-one-out CV.
+//
+// For every benchmark b: train a ReBERT model on all other benchmarks
+// (with their six R-Index-augmented variants, §III-A-2), then evaluate
+// both methods on b at every corruption level. Prints one block per
+// R-Index (the paper's row layout) plus the per-benchmark averages and the
+// per-R-Index average improvement, and writes table2_ari.csv.
+//
+// Defaults run the scaled 10-benchmark suite in minutes on one CPU core;
+// REBERT_FULL=1 runs all 12 at full scale (hours). See bench/common.h for
+// every knob.
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "bench/common.h"
+#include "metrics/clustering.h"
+#include "nl/corruption.h"
+#include "structural/matching.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace rebert;
+  const benchharness::BenchSetup setup = benchharness::load_bench_setup();
+  const std::vector<core::CircuitData> circuits =
+      benchharness::generate_suite(setup);
+  const std::vector<double>& sweep = benchharness::r_index_sweep();
+
+  std::printf(
+      "=== Table II: ARI, Structural vs ReBERT (LOO-CV, scale %.2f, "
+      "%d epochs, %d samples/circuit) ===\n",
+      setup.scale, setup.options.training.epochs,
+      setup.options.dataset.max_samples_per_circuit);
+
+  // results[r][method][benchmark] = ARI.
+  std::map<double, std::map<std::string, std::map<std::string, double>>>
+      results;
+  util::CsvWriter csv("table2_ari.csv",
+                      {"r_index", "benchmark", "structural_ari",
+                       "rebert_ari", "rebert_homogeneity",
+                       "rebert_completeness"});
+
+  util::WallTimer total_timer;
+  for (std::size_t fold = 0; fold < circuits.size(); ++fold) {
+    const core::CircuitData& test_circuit = circuits[fold];
+    util::WallTimer fold_timer;
+    std::fprintf(stderr, "[fold %zu/%zu] training without %s...\n",
+                 fold + 1, circuits.size(), test_circuit.name.c_str());
+    const std::vector<const core::CircuitData*> train_set =
+        core::loo_train_split(circuits, fold);
+    const auto model = core::train_rebert(train_set, setup.options);
+
+    for (double r : sweep) {
+      // ReBERT.
+      const core::EvaluationResult rebert_result =
+          core::evaluate_rebert(test_circuit, r, *model, setup.options);
+      // Structural baseline on the identical corrupted netlist.
+      nl::CorruptionOptions corrupt_options;
+      corrupt_options.r_index = r;
+      corrupt_options.seed = setup.options.corruption_seed ^
+                             std::hash<std::string>{}(test_circuit.name);
+      const nl::Netlist variant =
+          r == 0.0 ? test_circuit.netlist
+                   : nl::corrupt_netlist(test_circuit.netlist,
+                                         corrupt_options);
+      structural::MatchingOptions matching;
+      matching.backtrace_depth =
+          setup.options.pipeline.tokenizer.backtrace_depth;
+      const structural::StructuralResult structural_result =
+          structural::recover_words_structural(variant, matching);
+      const std::vector<nl::Bit> bits = nl::extract_bits(variant);
+      const std::vector<int> truth = test_circuit.words.labels_for(bits);
+      const double structural_ari =
+          metrics::adjusted_rand_index(truth, structural_result.labels);
+
+      results[r]["Structural"][test_circuit.name] = structural_ari;
+      results[r]["ReBERT"][test_circuit.name] = rebert_result.ari;
+      const metrics::VMeasure vm =
+          metrics::v_measure(truth, rebert_result.recovery.labels);
+      csv.add_row({util::format_double(r, 1), test_circuit.name,
+                   util::format_double(structural_ari, 3),
+                   util::format_double(rebert_result.ari, 3),
+                   util::format_double(vm.homogeneity, 3),
+                   util::format_double(vm.completeness, 3)});
+    }
+    std::fprintf(stderr, "[fold %zu/%zu] %s done in %.1fs\n", fold + 1,
+                 circuits.size(), test_circuit.name.c_str(),
+                 fold_timer.seconds());
+  }
+
+  // Paper-layout rendering: one block per R-Index.
+  std::vector<std::string> headers{"R-Index", "Method"};
+  for (const auto& circuit : circuits) headers.push_back(circuit.name);
+  headers.push_back("Average");
+  util::TextTable table(headers);
+
+  std::map<std::string, std::map<std::string, double>> benchmark_totals;
+  for (double r : sweep) {
+    double structural_avg = 0.0, rebert_avg = 0.0;
+    std::vector<std::string> structural_row{util::format_double(r, 1),
+                                            "Structural"};
+    std::vector<std::string> rebert_row{"", "ReBERT"};
+    for (const auto& circuit : circuits) {
+      const double s = results[r]["Structural"][circuit.name];
+      const double m = results[r]["ReBERT"][circuit.name];
+      structural_row.push_back(util::format_double(s, 3));
+      rebert_row.push_back(util::format_double(m, 3));
+      structural_avg += s;
+      rebert_avg += m;
+      benchmark_totals["Structural"][circuit.name] += s;
+      benchmark_totals["ReBERT"][circuit.name] += m;
+    }
+    structural_avg /= static_cast<double>(circuits.size());
+    rebert_avg /= static_cast<double>(circuits.size());
+    structural_row.push_back(util::format_double(structural_avg, 3));
+    const double improvement =
+        structural_avg > 1e-9
+            ? (rebert_avg - structural_avg) / structural_avg * 100.0
+            : 0.0;
+    rebert_row.push_back(util::format_double(rebert_avg, 3) + " (" +
+                         util::format_double(improvement, 1) + "%)");
+    table.add_row(structural_row);
+    table.add_row(rebert_row);
+  }
+
+  // Per-benchmark averages across R (the paper's final row group).
+  std::vector<std::string> structural_avg_row{"Average", "Structural"};
+  std::vector<std::string> rebert_avg_row{"", "ReBERT"};
+  std::vector<std::string> improvement_row{"", "Improv."};
+  double grand_structural = 0.0, grand_rebert = 0.0;
+  for (const auto& circuit : circuits) {
+    const double s = benchmark_totals["Structural"][circuit.name] /
+                     static_cast<double>(sweep.size());
+    const double m = benchmark_totals["ReBERT"][circuit.name] /
+                     static_cast<double>(sweep.size());
+    structural_avg_row.push_back(util::format_double(s, 3));
+    rebert_avg_row.push_back(util::format_double(m, 3));
+    improvement_row.push_back(
+        s > 1e-9 ? util::format_double((m - s) / s * 100.0, 1) + "%" : "n/a");
+    grand_structural += s;
+    grand_rebert += m;
+  }
+  structural_avg_row.push_back(util::format_double(
+      grand_structural / static_cast<double>(circuits.size()), 3));
+  rebert_avg_row.push_back(util::format_double(
+      grand_rebert / static_cast<double>(circuits.size()), 3));
+  improvement_row.push_back("");
+  table.add_row(structural_avg_row);
+  table.add_row(rebert_avg_row);
+  table.add_row(improvement_row);
+
+  table.print();
+  std::printf("total %.1fs; CSV: table2_ari.csv\n", total_timer.seconds());
+  return 0;
+}

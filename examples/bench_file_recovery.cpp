@@ -1,0 +1,92 @@
+// Recover word structure from a .bench netlist file.
+//
+//   bench_file_recovery [path/to/netlist.bench]
+//
+// With no argument, a demo netlist is written to /tmp and processed, so
+// the example is runnable out of the box. This example uses the
+// training-free structural baseline (a user with no labelled circuits can
+// still run it) and prints the recovered word groups; it also round-trips
+// the netlist through the writer to demonstrate the I/O layer.
+#include <cstdio>
+#include <fstream>
+
+#include "nl/decompose.h"
+#include "nl/parser.h"
+#include "nl/words.h"
+#include "structural/matching.h"
+
+using namespace rebert;
+
+namespace {
+
+constexpr const char* kDemoBench = R"(# 4-bit enable register + 2-bit status
+INPUT(en)
+INPUT(d0)
+INPUT(d1)
+INPUT(d2)
+INPUT(d3)
+m0 = MUX(en, r0, d0)
+m1 = MUX(en, r1, d1)
+m2 = MUX(en, r2, d2)
+m3 = MUX(en, r3, d3)
+r0 = DFF(m0)
+r1 = DFF(m1)
+r2 = DFF(m2)
+r3 = DFF(m3)
+p = XOR(r0, r1)
+q = XOR(r2, r3)
+parity = XOR(p, q)
+s0 = DFF(parity)
+any0 = OR(r0, r1)
+any1 = OR(r2, r3)
+any = OR(any0, any1)
+s1 = DFF(any)
+OUTPUT(parity)
+OUTPUT(any)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/rebert_demo.bench";
+    std::ofstream out(path);
+    out << kDemoBench;
+    std::printf("no input given; wrote demo netlist to %s\n", path.c_str());
+  }
+
+  nl::Netlist netlist = nl::parse_bench_file(path);
+  const nl::NetlistStats stats = netlist.stats();
+  std::printf("parsed '%s': %d inputs, %d outputs, %d gates, %d FFs\n",
+              netlist.name().c_str(), stats.num_inputs, stats.num_outputs,
+              stats.num_comb_gates, stats.num_dffs);
+
+  // Standardize to 2-input form (also lowers MUX cells), as the paper does
+  // before any analysis.
+  netlist = nl::decompose_to_2input(netlist);
+  std::printf("after 2-input decomposition: %d gates\n",
+              netlist.stats().num_comb_gates);
+
+  const structural::StructuralResult result =
+      structural::recover_words_structural(netlist);
+  std::printf("recovered %d words in %.3fs:\n", result.num_words,
+              result.total_seconds);
+
+  const std::vector<nl::Bit> bits = nl::extract_bits(netlist);
+  const nl::WordMap words = nl::WordMap::from_labels(bits, result.labels);
+  for (const auto& [word, members] : words.words()) {
+    std::printf("  %s:", word.c_str());
+    for (const std::string& bit : members) std::printf(" %s", bit.c_str());
+    std::printf("\n");
+  }
+
+  // Demonstrate the writer: serialize the decomposed netlist next to the
+  // input.
+  const std::string out_path = path + ".decomposed";
+  nl::write_bench_file(netlist, out_path);
+  std::printf("wrote 2-input form to %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Security-audit scenario (the paper's §I motivation).
+//
+// An auditor receives a flattened gate-level netlist from an untrusted
+// supply chain. The adversary has additionally restructured the logic with
+// functionally-equivalent gate substitutions (R-Index corruption) to evade
+// template matching. The auditor recovers word-level structure with both
+// methods at increasing corruption and watches the structural method fall
+// over while ReBERT keeps producing usable words.
+#include <cstdio>
+
+#include "circuitgen/suite.h"
+#include "metrics/clustering.h"
+#include "nl/corruption.h"
+#include "rebert/pipeline.h"
+#include "rebert/word_typing.h"
+#include "structural/matching.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace rebert;
+
+namespace {
+
+core::CircuitData make_circuit(const std::string& name, double scale) {
+  gen::GeneratedCircuit generated = gen::generate_benchmark(name, scale);
+  return core::CircuitData{name, std::move(generated.netlist),
+                           std::move(generated.words)};
+}
+
+}  // namespace
+
+int main() {
+  const double scale = 0.5;
+  // The "golden" designs the auditor's model was fine-tuned on.
+  std::vector<core::CircuitData> references;
+  references.push_back(make_circuit("b04", scale));
+  references.push_back(make_circuit("b08", scale));
+  references.push_back(make_circuit("b12", scale));
+  // The delivered, possibly tampered design.
+  const core::CircuitData delivered = make_circuit("b05", scale);
+
+  core::ExperimentOptions options;
+  options.pipeline.tokenizer.tree_code_dim = 16;
+  options.pipeline.tokenizer.max_seq_len = 256;
+  options.dataset.max_samples_per_circuit = 200;
+  options.training.epochs = 3;
+
+  std::printf("fine-tuning audit model on %zu reference designs...\n",
+              references.size());
+  std::vector<const core::CircuitData*> train_set;
+  for (const auto& circuit : references) train_set.push_back(&circuit);
+  const auto model = core::train_rebert(train_set, options);
+
+  std::printf("auditing '%s' (%d FFs, %d true words) under adversarial "
+              "restructuring:\n\n",
+              delivered.name.c_str(),
+              static_cast<int>(delivered.netlist.dffs().size()),
+              delivered.words.num_words());
+
+  util::TextTable table({"adversary R-Index", "Structural ARI",
+                         "ReBERT ARI", "Structural #words",
+                         "ReBERT #words", "true #words"});
+  for (double r : {0.0, 0.3, 0.6, 0.9}) {
+    const nl::Netlist tampered =
+        r == 0.0 ? delivered.netlist
+                 : nl::corrupt_netlist(delivered.netlist,
+                                       {.r_index = r, .seed = 2025});
+    const std::vector<nl::Bit> bits = nl::extract_bits(tampered);
+    const std::vector<int> truth = delivered.words.labels_for(bits);
+
+    const structural::StructuralResult baseline =
+        structural::recover_words_structural(tampered);
+    const core::RecoveryResult recovery =
+        core::recover_words(tampered, *model, options.pipeline);
+
+    table.add_row(
+        {util::format_double(r, 1),
+         util::format_double(
+             metrics::adjusted_rand_index(truth, baseline.labels), 3),
+         util::format_double(
+             metrics::adjusted_rand_index(truth, recovery.labels), 3),
+         std::to_string(baseline.num_words),
+         std::to_string(recovery.num_words),
+         std::to_string(delivered.words.num_words())});
+  }
+  table.print();
+  std::printf(
+      "\nReading the table: equivalent-gate restructuring defeats template\n"
+      "matching (ARI collapses) while the learned model keeps recovering\n"
+      "word structure — the paper's central claim, in an audit workflow.\n");
+
+  // Step 2 of an audit: classify what the recovered words *do* by
+  // simulating the tampered netlist (word_typing.h).
+  std::printf("\nbehavioural classification of recovered words (R=0.6):\n");
+  const nl::Netlist tampered = nl::corrupt_netlist(
+      delivered.netlist, {.r_index = 0.6, .seed = 2025});
+  const core::RecoveryResult recovery =
+      core::recover_words(tampered, *model, options.pipeline);
+  const std::vector<nl::Bit> bits = nl::extract_bits(tampered);
+  const nl::WordMap predicted =
+      nl::WordMap::from_labels(bits, recovery.labels);
+  for (const auto& [word, members] : predicted.words()) {
+    if (members.size() < 2) continue;
+    const core::WordAnalysis analysis =
+        core::analyze_word(tampered, members);
+    std::printf("  %-8s %-14s (%zu bits, confidence %.2f): %s\n",
+                word.c_str(), core::word_kind_name(analysis.kind),
+                members.size(), analysis.confidence,
+                util::join(analysis.ordered_bits, " ").c_str());
+  }
+  return 0;
+}

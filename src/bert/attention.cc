@@ -1,0 +1,123 @@
+#include "bert/attention.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rebert::bert {
+
+using tensor::Tensor;
+
+Tensor slice_cols(const Tensor& x, int c0, int c1) {
+  REBERT_CHECK(x.rank() == 2 && c0 >= 0 && c1 <= x.dim(1) && c0 < c1);
+  Tensor out({x.dim(0), c1 - c0});
+  for (int i = 0; i < x.dim(0); ++i)
+    for (int j = c0; j < c1; ++j) out.at(i, j - c0) = x.at(i, j);
+  return out;
+}
+
+void add_into_cols(Tensor* dst, const Tensor& src, int c0) {
+  REBERT_CHECK(dst && dst->rank() == 2 && src.rank() == 2);
+  REBERT_CHECK(dst->dim(0) == src.dim(0) &&
+               c0 + src.dim(1) <= dst->dim(1));
+  for (int i = 0; i < src.dim(0); ++i)
+    for (int j = 0; j < src.dim(1); ++j)
+      dst->at(i, c0 + j) += src.at(i, j);
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(const std::string& name,
+                                               const BertConfig& config,
+                                               util::Rng& rng)
+    : num_heads_(config.num_heads),
+      head_dim_(config.head_dim()),
+      query_(name + ".query", config.hidden, config.hidden, rng),
+      key_(name + ".key", config.hidden, config.hidden, rng),
+      value_(name + ".value", config.hidden, config.hidden, rng),
+      output_(name + ".output", config.hidden, config.hidden, rng) {}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x, Cache* cache,
+                                       int valid_len) {
+  const int hidden = num_heads_ * head_dim_;
+  REBERT_CHECK_MSG(x.rank() == 2 && x.dim(1) == hidden,
+                   "attention input " << x.shape_string());
+  const int n = x.dim(0);
+  REBERT_CHECK_MSG(valid_len >= 0 && valid_len <= n,
+                   "valid_len " << valid_len << " out of range for " << n);
+
+  Cache local;
+  Cache& c = cache ? *cache : local;
+  c.q = query_.forward(x, &c.q_cache);
+  c.k = key_.forward(x, &c.k_cache);
+  c.v = value_.forward(x, &c.v_cache);
+  c.probs.clear();
+  c.probs.reserve(static_cast<std::size_t>(num_heads_));
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  // -inf surrogate large enough to underflow to exactly 0 after softmax's
+  // max-subtraction and exp.
+  constexpr float kMaskValue = -1e9f;
+  Tensor concat({n, hidden});
+  for (int h = 0; h < num_heads_; ++h) {
+    const int c0 = h * head_dim_, c1 = c0 + head_dim_;
+    const Tensor qh = slice_cols(c.q, c0, c1);
+    const Tensor kh = slice_cols(c.k, c0, c1);
+    const Tensor vh = slice_cols(c.v, c0, c1);
+    Tensor scores = tensor::scale(tensor::matmul_nt(qh, kh), inv_sqrt_d);
+    if (valid_len > 0 && valid_len < n) {
+      for (int i = 0; i < n; ++i)
+        for (int j = valid_len; j < n; ++j) scores.at(i, j) = kMaskValue;
+    }
+    Tensor probs = tensor::softmax_rows(scores);
+    const Tensor oh = tensor::matmul(probs, vh);
+    add_into_cols(&concat, oh, c0);
+    c.probs.push_back(std::move(probs));
+  }
+  c.concat = concat;
+  return output_.forward(concat, &c.out_cache);
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& dy, const Cache& cache) {
+  const int hidden = num_heads_ * head_dim_;
+  const int n = dy.dim(0);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  const Tensor d_concat = output_.backward(dy, cache.out_cache);
+
+  Tensor dq({n, hidden}), dk({n, hidden}), dv({n, hidden});
+  for (int h = 0; h < num_heads_; ++h) {
+    const int c0 = h * head_dim_, c1 = c0 + head_dim_;
+    const Tensor doh = slice_cols(d_concat, c0, c1);
+    const Tensor qh = slice_cols(cache.q, c0, c1);
+    const Tensor kh = slice_cols(cache.k, c0, c1);
+    const Tensor vh = slice_cols(cache.v, c0, c1);
+    const Tensor& probs = cache.probs[static_cast<std::size_t>(h)];
+
+    // O = P V:  dP = dO V^T, dV = P^T dO.
+    const Tensor dp = tensor::matmul_nt(doh, vh);
+    const Tensor dvh = tensor::matmul_tn(probs, doh);
+    // P = softmax(S): dS.
+    Tensor ds = tensor::softmax_rows_backward(dp, probs);
+    ds = tensor::scale(ds, inv_sqrt_d);
+    // S = Q K^T: dQ = dS K, dK = dS^T Q.
+    const Tensor dqh = tensor::matmul(ds, kh);
+    const Tensor dkh = tensor::matmul_tn(ds, qh);
+
+    add_into_cols(&dq, dqh, c0);
+    add_into_cols(&dk, dkh, c0);
+    add_into_cols(&dv, dvh, c0);
+  }
+
+  Tensor dx = query_.backward(dq, cache.q_cache);
+  dx.add_scaled(key_.backward(dk, cache.k_cache), 1.0f);
+  dx.add_scaled(value_.backward(dv, cache.v_cache), 1.0f);
+  return dx;
+}
+
+std::vector<tensor::Parameter*> MultiHeadSelfAttention::parameters() {
+  std::vector<tensor::Parameter*> params;
+  for (auto* layer : {&query_, &key_, &value_, &output_})
+    for (auto* p : layer->parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace rebert::bert

@@ -1,0 +1,56 @@
+// Multi-head self-attention with Add & Norm (§II-C "Attention").
+//
+// Standard BERT attention over one sequence x ∈ R^{n×H}:
+//   Q = xW_q, K = xW_k, V = xW_v; per head h of width d = H/heads:
+//   S_h = Q_h K_h^T / sqrt(d),  P_h = softmax(S_h),  O_h = P_h V_h;
+//   y = concat(O_h) W_o + b_o.
+// The residual connection and LayerNorm live in EncoderLayer. The backward
+// pass is explicit and finite-difference-checked in the tests.
+#pragma once
+
+#include <vector>
+
+#include "bert/config.h"
+#include "tensor/layers.h"
+
+namespace rebert::bert {
+
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention() = default;
+  MultiHeadSelfAttention(const std::string& name, const BertConfig& config,
+                         util::Rng& rng);
+
+  struct Cache {
+    tensor::Linear::Cache q_cache, k_cache, v_cache, out_cache;
+    tensor::Tensor q, k, v;                 // [n, H]
+    std::vector<tensor::Tensor> probs;      // per head, [n, n]
+    tensor::Tensor concat;                  // [n, H] head outputs
+  };
+
+  /// x: [n, hidden] -> [n, hidden]. `valid_len` masks padding: when > 0,
+  /// attention scores onto positions >= valid_len are forced to -inf so
+  /// [PAD] tokens (§II-A-3 pads pair sequences to a uniform length) can
+  /// never influence real positions. 0 means "no padding".
+  tensor::Tensor forward(const tensor::Tensor& x, Cache* cache,
+                         int valid_len = 0);
+
+  /// Returns dx; accumulates all projection gradients.
+  tensor::Tensor backward(const tensor::Tensor& dy, const Cache& cache);
+
+  std::vector<tensor::Parameter*> parameters();
+
+  int num_heads() const { return num_heads_; }
+
+ private:
+  int num_heads_ = 1;
+  int head_dim_ = 1;
+  tensor::Linear query_, key_, value_, output_;
+};
+
+/// Copy columns [c0, c1) of a matrix into a new matrix.
+tensor::Tensor slice_cols(const tensor::Tensor& x, int c0, int c1);
+/// Add `src` into columns [c0, ...) of `dst`.
+void add_into_cols(tensor::Tensor* dst, const tensor::Tensor& src, int c0);
+
+}  // namespace rebert::bert

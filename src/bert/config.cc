@@ -1,0 +1,53 @@
+#include "bert/config.h"
+
+#include "util/check.h"
+
+namespace rebert::bert {
+
+void BertConfig::validate() const {
+  REBERT_CHECK_MSG(vocab_size >= 2, "vocab_size must be >= 2");
+  REBERT_CHECK_MSG(hidden >= 1, "hidden must be >= 1");
+  REBERT_CHECK_MSG(num_layers >= 1, "num_layers must be >= 1");
+  REBERT_CHECK_MSG(num_heads >= 1, "num_heads must be >= 1");
+  REBERT_CHECK_MSG(hidden % num_heads == 0,
+                   "hidden " << hidden << " not divisible by num_heads "
+                             << num_heads);
+  REBERT_CHECK_MSG(intermediate >= 1, "intermediate must be >= 1");
+  REBERT_CHECK_MSG(max_seq_len >= 2, "max_seq_len must be >= 2");
+  REBERT_CHECK_MSG(tree_code_dim >= 2 && tree_code_dim % 2 == 0,
+                   "tree_code_dim must be a positive even number");
+  REBERT_CHECK_MSG(dropout >= 0.0f && dropout < 1.0f,
+                   "dropout must be in [0,1)");
+  REBERT_CHECK_MSG(num_classes >= 2, "num_classes must be >= 2");
+  REBERT_CHECK_MSG(use_word_embedding || use_position_embedding ||
+                       use_tree_embedding,
+                   "at least one embedding must be enabled");
+}
+
+BertConfig paper_config(int vocab_size, int max_seq_len) {
+  BertConfig config;
+  config.vocab_size = vocab_size;
+  config.hidden = 768;
+  config.num_layers = 12;
+  config.num_heads = 12;
+  config.intermediate = 3072;
+  config.max_seq_len = max_seq_len;
+  config.tree_code_dim = 64;
+  config.validate();
+  return config;
+}
+
+BertConfig eval_config(int vocab_size, int max_seq_len) {
+  BertConfig config;
+  config.vocab_size = vocab_size;
+  config.hidden = 64;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.intermediate = 256;
+  config.max_seq_len = max_seq_len;
+  config.tree_code_dim = 32;
+  config.validate();
+  return config;
+}
+
+}  // namespace rebert::bert

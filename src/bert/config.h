@@ -1,0 +1,52 @@
+// BERT model configuration (§II-C, Fig. 4).
+//
+// The paper fine-tunes a standard BERT encoder (12-head multi-head
+// attention, Add & Norm, GELU intermediate, tanh pooler). Its printed
+// dimensions are internally inconsistent (tokens "padded to length 768",
+// word vectors "of size 512"); we standardize on one hidden size H used for
+// embeddings, attention, and pooler, as in the reference BERT architecture.
+//
+// Two presets:
+//   * paper_config(): 12 layers / 12 heads / H=768 — the dimensions the
+//     paper quotes. Constructible and shape-tested, but far too slow to
+//     train on CPU.
+//   * eval_config(): 2 layers / 4 heads / H=64 — the evaluation profile all
+//     experiments in this repo use; trains in seconds-to-minutes on CPU and
+//     preserves the architecture exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace rebert::bert {
+
+struct BertConfig {
+  int vocab_size = 32;
+  int hidden = 64;              // embedding/attention width H
+  int num_layers = 2;
+  int num_heads = 4;            // must divide hidden
+  int intermediate = 256;      // FFN inner width (4H in standard BERT)
+  int max_seq_len = 512;       // learned positional table size
+  int tree_code_dim = 32;      // width of the binary tree-position code
+  float dropout = 0.1f;
+  int num_classes = 2;          // same-word vs different-word
+  std::uint64_t seed = 0x5eed;
+
+  // Embedding ablation switches (§II-B; exercised by ablation_embeddings).
+  bool use_word_embedding = true;
+  bool use_position_embedding = true;
+  bool use_tree_embedding = true;
+
+  /// Throws util::CheckError when inconsistent (e.g. heads don't divide
+  /// hidden, non-positive dims).
+  void validate() const;
+
+  int head_dim() const { return hidden / num_heads; }
+};
+
+/// Paper-quoted dimensions (see file comment).
+BertConfig paper_config(int vocab_size, int max_seq_len);
+
+/// CPU-trainable evaluation profile used by the experiments.
+BertConfig eval_config(int vocab_size, int max_seq_len);
+
+}  // namespace rebert::bert

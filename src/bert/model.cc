@@ -1,0 +1,121 @@
+#include "bert/model.h"
+
+#include "tensor/serialize.h"
+#include "util/check.h"
+
+namespace rebert::bert {
+
+using tensor::Tensor;
+
+struct BertPairClassifier::ForwardCache {
+  BertEmbeddings::Cache embeddings;
+  std::vector<EncoderLayer::Cache> layers;
+  int seq_len = 0;
+  tensor::Linear::Cache pooler;
+  Tensor pooled_tanh;  // tanh output, [1, H]
+  tensor::Linear::Cache classifier;
+};
+
+BertPairClassifier::BertPairClassifier(const BertConfig& config)
+    : config_(config),
+      init_rng_(config.seed),
+      dropout_rng_(config.seed ^ 0xd120u),
+      embeddings_(config, init_rng_),
+      pooler_("pooler", config.hidden, config.hidden, init_rng_),
+      classifier_("classifier", config.hidden, config.num_classes,
+                  init_rng_) {
+  config_.validate();
+  layers_.reserve(static_cast<std::size_t>(config.num_layers));
+  for (int i = 0; i < config.num_layers; ++i)
+    layers_.emplace_back("encoder." + std::to_string(i), config, init_rng_);
+}
+
+Tensor BertPairClassifier::forward(const EncodedSequence& input,
+                                   bool training, ForwardCache* cache) {
+  ForwardCache local;
+  ForwardCache& c = cache ? *cache : local;
+  c.seq_len = input.length();
+  c.layers.resize(layers_.size());
+
+  Tensor hidden = embeddings_.forward(input, training, dropout_rng_,
+                                      &c.embeddings);
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    hidden = layers_[i].forward(hidden, training, dropout_rng_, &c.layers[i],
+                                input.valid_len);
+
+  // Pooler: first token ([CLS]) -> linear -> tanh.
+  Tensor first_row({1, config_.hidden});
+  for (int j = 0; j < config_.hidden; ++j) first_row.at(0, j) = hidden.at(0, j);
+  const Tensor pooled = pooler_.forward(first_row, &c.pooler);
+  c.pooled_tanh = tensor::tanh_forward(pooled);
+  return classifier_.forward(c.pooled_tanh, &c.classifier);
+}
+
+void BertPairClassifier::backward(const Tensor& d_logits,
+                                  const ForwardCache& cache) {
+  const Tensor d_pooled_tanh = classifier_.backward(d_logits,
+                                                    cache.classifier);
+  const Tensor d_pooled =
+      tensor::tanh_backward(d_pooled_tanh, cache.pooled_tanh);
+  const Tensor d_first_row = pooler_.backward(d_pooled, cache.pooler);
+
+  // Only the first token receives gradient from the pooler.
+  Tensor d_hidden({cache.seq_len, config_.hidden});
+  for (int j = 0; j < config_.hidden; ++j)
+    d_hidden.at(0, j) = d_first_row.at(0, j);
+
+  for (std::size_t i = layers_.size(); i-- > 0;)
+    d_hidden = layers_[i].backward(d_hidden, cache.layers[i]);
+  embeddings_.backward(d_hidden, cache.embeddings);
+}
+
+double BertPairClassifier::predict_same_word_probability(
+    const EncodedSequence& input) {
+  const Tensor logits = forward(input, /*training=*/false, nullptr);
+  const Tensor probs = tensor::softmax_rows(logits);
+  return probs.at(0, 1);
+}
+
+double BertPairClassifier::train_step_accumulate(const EncodedSequence& input,
+                                                 int label) {
+  ForwardCache cache;
+  const Tensor logits = forward(input, /*training=*/true, &cache);
+  Tensor d_logits;
+  const double loss =
+      tensor::cross_entropy_with_logits(logits, {label}, &d_logits);
+  backward(d_logits, cache);
+  return loss;
+}
+
+double BertPairClassifier::eval_loss(const EncodedSequence& input,
+                                     int label) {
+  const Tensor logits = forward(input, /*training=*/false, nullptr);
+  return tensor::cross_entropy_with_logits(logits, {label}, nullptr);
+}
+
+const std::vector<tensor::Parameter*>& BertPairClassifier::parameters() {
+  if (parameter_list_.empty()) {
+    for (auto* p : embeddings_.parameters()) parameter_list_.push_back(p);
+    for (auto& layer : layers_)
+      for (auto* p : layer.parameters()) parameter_list_.push_back(p);
+    for (auto* p : pooler_.parameters()) parameter_list_.push_back(p);
+    for (auto* p : classifier_.parameters()) parameter_list_.push_back(p);
+  }
+  return parameter_list_;
+}
+
+std::int64_t BertPairClassifier::num_parameters() {
+  std::int64_t total = 0;
+  for (const auto* p : parameters()) total += p->value.numel();
+  return total;
+}
+
+void BertPairClassifier::save(const std::string& path) {
+  tensor::save_parameters(parameters(), path);
+}
+
+void BertPairClassifier::load(const std::string& path) {
+  tensor::load_parameters(parameters(), path);
+}
+
+}  // namespace rebert::bert

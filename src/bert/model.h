@@ -1,0 +1,68 @@
+// BertPairClassifier: the full ReBERT model (Fig. 1 + Fig. 4).
+//
+// embeddings -> N encoder layers -> pooler (first token, linear + tanh) ->
+// classifier head (2 classes: "same word" / "different word"). The
+// probability of class 1 is the pairwise score used by the word-generation
+// stage.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bert/embedding.h"
+#include "bert/encoder_layer.h"
+
+namespace rebert::bert {
+
+class BertPairClassifier {
+ public:
+  explicit BertPairClassifier(const BertConfig& config);
+
+  // parameters() hands out pointers into the member layers; copying or
+  // moving would leave them dangling.
+  BertPairClassifier(const BertPairClassifier&) = delete;
+  BertPairClassifier& operator=(const BertPairClassifier&) = delete;
+
+  const BertConfig& config() const { return config_; }
+
+  /// Probability that the pair belongs to the same word (class 1);
+  /// inference mode (no dropout).
+  double predict_same_word_probability(const EncodedSequence& input);
+
+  /// Training-mode forward + backward for one example. Returns the loss;
+  /// accumulates gradients on all parameters.
+  double train_step_accumulate(const EncodedSequence& input, int label);
+
+  /// Loss without gradient accumulation (for eval).
+  double eval_loss(const EncodedSequence& input, int label);
+
+  /// All trainable parameters in a stable order.
+  const std::vector<tensor::Parameter*>& parameters();
+
+  std::int64_t num_parameters();
+
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+  /// RNG used for dropout; exposed so training runs are reproducible.
+  util::Rng& dropout_rng() { return dropout_rng_; }
+
+ private:
+  struct ForwardCache;
+  /// logits [1, num_classes]; fills cache when training.
+  tensor::Tensor forward(const EncodedSequence& input, bool training,
+                         ForwardCache* cache);
+  void backward(const tensor::Tensor& d_logits, const ForwardCache& cache);
+
+  BertConfig config_;
+  util::Rng init_rng_;
+  util::Rng dropout_rng_;
+  BertEmbeddings embeddings_;
+  std::vector<EncoderLayer> layers_;
+  tensor::Linear pooler_;
+  tensor::Linear classifier_;
+  std::vector<tensor::Parameter*> parameter_list_;
+};
+
+}  // namespace rebert::bert

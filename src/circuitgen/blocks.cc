@@ -1,0 +1,478 @@
+#include "circuitgen/blocks.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::gen {
+
+using nl::GateId;
+using nl::GateType;
+
+const char* block_type_name(BlockType type) {
+  switch (type) {
+    case BlockType::kEnableReg: return "enreg";
+    case BlockType::kCounter: return "cnt";
+    case BlockType::kAccumulator: return "acc";
+    case BlockType::kShiftReg: return "shift";
+    case BlockType::kMuxReg: return "muxreg";
+    case BlockType::kFsm: return "fsm";
+    case BlockType::kLfsr: return "lfsr";
+    case BlockType::kGrayCounter: return "gray";
+    case BlockType::kJohnsonCounter: return "jc";
+    case BlockType::kOneHotFsm: return "onehot";
+    case BlockType::kCompareFlag: return "cmp";
+    case BlockType::kParityFlag: return "par";
+  }
+  return "?";
+}
+
+BlockBuilder::BlockBuilder(nl::Netlist* netlist, nl::WordMap* words,
+                           util::Rng* rng)
+    : netlist_(netlist), words_(words), rng_(rng) {
+  REBERT_CHECK(netlist && words && rng);
+}
+
+GateId BlockBuilder::fresh_input(const std::string& hint) {
+  const GateId id = netlist_->add_input(
+      "pi_" + hint + "_" + std::to_string(input_counter_++));
+  return id;
+}
+
+GateId BlockBuilder::pick_data_net(const std::string& input_hint) {
+  // Prefer reusing existing signals (connected circuits); sometimes mint a
+  // new primary input to keep the interface realistic.
+  if (!data_pool_.empty() && rng_->bernoulli(0.7)) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng_->uniform_u64(data_pool_.size()));
+    return data_pool_[i];
+  }
+  const GateId id = fresh_input(input_hint);
+  data_pool_.push_back(id);
+  return id;
+}
+
+GateId BlockBuilder::pick_control_net(const std::string& input_hint) {
+  if (!control_pool_.empty() && rng_->bernoulli(0.5)) {
+    const std::size_t i = static_cast<std::size_t>(
+        rng_->uniform_u64(control_pool_.size()));
+    return control_pool_[i];
+  }
+  const GateId id = fresh_input(input_hint);
+  control_pool_.push_back(id);
+  return id;
+}
+
+std::vector<GateId> BlockBuilder::operand_bus(int width,
+                                              const std::string& hint) {
+  // Buses are whole signals: either an existing word's register outputs
+  // (truncated / padded with fresh PIs) or a fresh primary-input bus with
+  // distinct nets — never the same net repeated within one bus.
+  std::vector<GateId> bus;
+  bus.reserve(width);
+  if (!word_buses_.empty() && rng_->bernoulli(0.6)) {
+    const auto& source = word_buses_[static_cast<std::size_t>(
+        rng_->uniform_u64(word_buses_.size()))];
+    for (int i = 0; i < width && i < static_cast<int>(source.size()); ++i)
+      bus.push_back(source[i]);
+  }
+  while (static_cast<int>(bus.size()) < width) {
+    const GateId id = fresh_input(hint);
+    data_pool_.push_back(id);
+    bus.push_back(id);
+  }
+  return bus;
+}
+
+void BlockBuilder::register_word(const std::string& prefix,
+                                 const std::vector<GateId>& dffs) {
+  std::vector<std::string> names;
+  names.reserve(dffs.size());
+  std::vector<GateId> bus;
+  for (GateId id : dffs) {
+    names.push_back(netlist_->gate(id).name);
+    bus.push_back(id);
+    data_pool_.push_back(id);  // register outputs feed later blocks
+  }
+  words_->add_word(prefix, names);
+  word_buses_.push_back(std::move(bus));
+}
+
+void BlockBuilder::build(const BlockSpec& spec, const std::string& prefix) {
+  REBERT_CHECK_MSG(spec.width >= 1, "block width must be >= 1");
+  switch (spec.type) {
+    case BlockType::kEnableReg: return build_enable_reg(spec, prefix);
+    case BlockType::kCounter: return build_counter(spec, prefix);
+    case BlockType::kAccumulator: return build_accumulator(spec, prefix);
+    case BlockType::kShiftReg: return build_shift_reg(spec, prefix);
+    case BlockType::kMuxReg: return build_mux_reg(spec, prefix);
+    case BlockType::kFsm: return build_fsm(spec, prefix);
+    case BlockType::kLfsr: return build_lfsr(spec, prefix);
+    case BlockType::kGrayCounter: return build_gray_counter(spec, prefix);
+    case BlockType::kJohnsonCounter:
+      return build_johnson_counter(spec, prefix);
+    case BlockType::kOneHotFsm: return build_one_hot_fsm(spec, prefix);
+    case BlockType::kCompareFlag: return build_compare_flag(prefix);
+    case BlockType::kParityFlag: return build_parity_flag(prefix);
+  }
+}
+
+// q_i <= MUX(en, q_i, d_i). DFF self-feedback via the mux keep-path.
+void BlockBuilder::build_enable_reg(const BlockSpec& spec,
+                                    const std::string& prefix) {
+  const GateId en = pick_control_net(prefix + "_en");
+  const std::vector<GateId> data = operand_bus(spec.width, prefix + "_d");
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  for (int i = 0; i < spec.width; ++i) {
+    // Create the DFF first (self placeholder), then the mux referencing it.
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    const GateId q =
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i));
+    const GateId mux = netlist_->add_gate(GateType::kMux, {en, q, data[i]});
+    netlist_->replace_gate(q, GateType::kDff, {mux});
+    dffs.push_back(q);
+  }
+  register_word(prefix, dffs);
+}
+
+// Binary up-counter with enable: d_i = q_i XOR c_i, c_0 = en,
+// c_{i+1} = c_i AND q_i.
+void BlockBuilder::build_counter(const BlockSpec& spec,
+                                 const std::string& prefix) {
+  const GateId en = pick_control_net(prefix + "_en");
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  // Create all DFFs first so the carry chain can reference them.
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  GateId carry = en;
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId d = netlist_->add_gate(GateType::kXor, {dffs[i], carry});
+    netlist_->replace_gate(dffs[i], GateType::kDff, {d});
+    if (i + 1 < spec.width)
+      carry = netlist_->add_gate(GateType::kAnd, {carry, dffs[i]});
+  }
+  register_word(prefix, dffs);
+}
+
+// q <= q + x: ripple-carry adder. s_i = q_i ^ x_i ^ c_i,
+// c_{i+1} = (q_i & x_i) | (c_i & (q_i ^ x_i)).
+void BlockBuilder::build_accumulator(const BlockSpec& spec,
+                                     const std::string& prefix) {
+  const std::vector<GateId> x = operand_bus(spec.width, prefix + "_x");
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  GateId carry = nl::kNoGate;
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId axb = netlist_->add_gate(GateType::kXor, {dffs[i], x[i]});
+    GateId sum;
+    GateId next_carry;
+    if (carry == nl::kNoGate) {
+      sum = axb;
+      next_carry = netlist_->add_gate(GateType::kAnd, {dffs[i], x[i]});
+    } else {
+      sum = netlist_->add_gate(GateType::kXor, {axb, carry});
+      const GateId g = netlist_->add_gate(GateType::kAnd, {dffs[i], x[i]});
+      const GateId p = netlist_->add_gate(GateType::kAnd, {carry, axb});
+      next_carry = netlist_->add_gate(GateType::kOr, {g, p});
+    }
+    netlist_->replace_gate(dffs[i], GateType::kDff, {sum});
+    carry = next_carry;
+  }
+  register_word(prefix, dffs);
+}
+
+// Shift register with parallel load: d_0 = MUX(load, serial, x_0),
+// d_i = MUX(load, q_{i-1}, x_i).
+void BlockBuilder::build_shift_reg(const BlockSpec& spec,
+                                   const std::string& prefix) {
+  const GateId load = pick_control_net(prefix + "_load");
+  const GateId serial = pick_data_net(prefix + "_si");
+  const std::vector<GateId> x = operand_bus(spec.width, prefix + "_x");
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId shift_src = (i == 0) ? serial : dffs[i - 1];
+    const GateId d =
+        netlist_->add_gate(GateType::kMux, {load, shift_src, x[i]});
+    netlist_->replace_gate(dffs[i], GateType::kDff, {d});
+  }
+  register_word(prefix, dffs);
+}
+
+// q_i <= MUX(sel, a_i, b_i).
+void BlockBuilder::build_mux_reg(const BlockSpec& spec,
+                                 const std::string& prefix) {
+  const GateId sel = pick_control_net(prefix + "_sel");
+  const std::vector<GateId> a = operand_bus(spec.width, prefix + "_a");
+  const std::vector<GateId> b = operand_bus(spec.width, prefix + "_b");
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId d = netlist_->add_gate(GateType::kMux, {sel, a[i], b[i]});
+    dffs.push_back(netlist_->add_dff(d, prefix + "_" + std::to_string(i)));
+  }
+  register_word(prefix, dffs);
+}
+
+// State register with random two-level next-state logic over the state bits
+// and a couple of control inputs — the "control logic" case where cones are
+// irregular and word bits are *not* template copies of each other.
+void BlockBuilder::build_fsm(const BlockSpec& spec,
+                             const std::string& prefix) {
+  const GateId c0 = pick_control_net(prefix + "_c0");
+  const GateId c1 = pick_control_net(prefix + "_c1");
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  std::vector<GateId> literals = dffs;
+  literals.push_back(c0);
+  literals.push_back(c1);
+  auto random_literal = [&] {
+    const GateId raw = literals[static_cast<std::size_t>(
+        rng_->uniform_u64(literals.size()))];
+    if (rng_->bernoulli(0.4))
+      return netlist_->add_gate(GateType::kNot, {raw});
+    return raw;
+  };
+  const GateType kFirstLevel[] = {GateType::kAnd, GateType::kOr,
+                                  GateType::kNand, GateType::kNor};
+  const GateType kSecondLevel[] = {GateType::kOr, GateType::kAnd,
+                                   GateType::kXor};
+  for (int i = 0; i < spec.width; ++i) {
+    const int terms = rng_->uniform_int(2, 3);
+    std::vector<GateId> products;
+    products.reserve(terms);
+    for (int t = 0; t < terms; ++t) {
+      const GateType op = kFirstLevel[rng_->uniform_int(0, 3)];
+      products.push_back(
+          netlist_->add_gate(op, {random_literal(), random_literal()}));
+    }
+    GateId acc = products[0];
+    for (std::size_t t = 1; t < products.size(); ++t) {
+      const GateType op = kSecondLevel[rng_->uniform_int(0, 2)];
+      acc = netlist_->add_gate(op, {acc, products[t]});
+    }
+    netlist_->replace_gate(dffs[i], GateType::kDff, {acc});
+  }
+  register_word(prefix, dffs);
+}
+
+// Fibonacci LFSR with XNOR feedback (self-starting from the all-zero reset
+// state; the lock-up state is all-ones instead): q0 <= XNOR(q[w-1], q[w-2])
+// (or NOT(q0) for width 1... width >= 2 enforced by substituting a counter
+// for degenerate widths), qi <= q[i-1].
+void BlockBuilder::build_lfsr(const BlockSpec& spec,
+                              const std::string& prefix) {
+  if (spec.width < 2) return build_counter(spec, prefix);
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  const GateId feedback = netlist_->add_gate(
+      GateType::kXnor, {dffs[static_cast<std::size_t>(spec.width - 1)],
+                        dffs[static_cast<std::size_t>(spec.width - 2)]});
+  netlist_->replace_gate(dffs[0], GateType::kDff, {feedback});
+  for (int i = 1; i < spec.width; ++i)
+    netlist_->replace_gate(dffs[static_cast<std::size_t>(i)], GateType::kDff,
+                           {dffs[static_cast<std::size_t>(i - 1)]});
+  register_word(prefix, dffs);
+}
+
+// Gray-code counter: bin = gray2bin(q) (suffix XOR), bin' = bin + 1
+// (ripple carry with enable), q' = bin2gray(bin').
+void BlockBuilder::build_gray_counter(const BlockSpec& spec,
+                                      const std::string& prefix) {
+  if (spec.width < 2) return build_counter(spec, prefix);
+  const GateId en = pick_control_net(prefix + "_en");
+  const int w = spec.width;
+  std::vector<GateId> dffs;
+  dffs.reserve(w);
+  for (int i = 0; i < w; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  // gray -> binary: bin_i = q_i ^ q_{i+1} ^ ... ^ q_{w-1}.
+  std::vector<GateId> bin(static_cast<std::size_t>(w));
+  bin[static_cast<std::size_t>(w - 1)] = dffs[static_cast<std::size_t>(w - 1)];
+  for (int i = w - 2; i >= 0; --i)
+    bin[static_cast<std::size_t>(i)] = netlist_->add_gate(
+        GateType::kXor, {dffs[static_cast<std::size_t>(i)],
+                         bin[static_cast<std::size_t>(i + 1)]});
+  // binary increment with enable.
+  std::vector<GateId> next_bin(static_cast<std::size_t>(w));
+  GateId carry = en;
+  for (int i = 0; i < w; ++i) {
+    next_bin[static_cast<std::size_t>(i)] = netlist_->add_gate(
+        GateType::kXor, {bin[static_cast<std::size_t>(i)], carry});
+    if (i + 1 < w)
+      carry = netlist_->add_gate(
+          GateType::kAnd, {carry, bin[static_cast<std::size_t>(i)]});
+  }
+  // binary -> gray: g_i = b_i ^ b_{i+1}; g_{w-1} = b_{w-1}.
+  for (int i = 0; i < w; ++i) {
+    const GateId g =
+        (i == w - 1)
+            ? next_bin[static_cast<std::size_t>(i)]
+            : netlist_->add_gate(GateType::kXor,
+                                 {next_bin[static_cast<std::size_t>(i)],
+                                  next_bin[static_cast<std::size_t>(i + 1)]});
+    netlist_->replace_gate(dffs[static_cast<std::size_t>(i)], GateType::kDff,
+                           {g});
+  }
+  register_word(prefix, dffs);
+}
+
+// Johnson (twisted-ring) counter: q0 <= NOT(q[w-1]), qi <= q[i-1].
+void BlockBuilder::build_johnson_counter(const BlockSpec& spec,
+                                         const std::string& prefix) {
+  std::vector<GateId> dffs;
+  dffs.reserve(spec.width);
+  for (int i = 0; i < spec.width; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  const GateId twist = netlist_->add_gate(
+      GateType::kNot, {dffs[static_cast<std::size_t>(spec.width - 1)]});
+  netlist_->replace_gate(dffs[0], GateType::kDff, {twist});
+  for (int i = 1; i < spec.width; ++i)
+    netlist_->replace_gate(dffs[static_cast<std::size_t>(i)], GateType::kDff,
+                           {dffs[static_cast<std::size_t>(i - 1)]});
+  register_word(prefix, dffs);
+}
+
+// Self-correcting one-hot ring: advance when `go`, hold otherwise; if the
+// state ever decays to all-zero (e.g. at reset) the zero-detector reseeds
+// bit 0 — the standard safe one-hot FSM encoding.
+void BlockBuilder::build_one_hot_fsm(const BlockSpec& spec,
+                                     const std::string& prefix) {
+  if (spec.width < 2) return build_fsm(spec, prefix);
+  const GateId go = pick_control_net(prefix + "_go");
+  const int w = spec.width;
+  std::vector<GateId> dffs;
+  dffs.reserve(w);
+  for (int i = 0; i < w; ++i) {
+    const GateId self = static_cast<GateId>(netlist_->num_gates());
+    dffs.push_back(
+        netlist_->add_dff(self, prefix + "_" + std::to_string(i)));
+  }
+  // zero detect: NOR tree over all state bits.
+  GateId any = dffs[0];
+  for (int i = 1; i < w; ++i)
+    any = netlist_->add_gate(GateType::kOr,
+                             {any, dffs[static_cast<std::size_t>(i)]});
+  const GateId none = netlist_->add_gate(GateType::kNot, {any});
+  const GateId hold = netlist_->add_gate(GateType::kNot, {go});
+  for (int i = 0; i < w; ++i) {
+    const GateId prev = dffs[static_cast<std::size_t>((i + w - 1) % w)];
+    const GateId advance = netlist_->add_gate(GateType::kAnd, {go, prev});
+    const GateId keep = netlist_->add_gate(
+        GateType::kAnd, {hold, dffs[static_cast<std::size_t>(i)]});
+    GateId d = netlist_->add_gate(GateType::kOr, {advance, keep});
+    if (i == 0) d = netlist_->add_gate(GateType::kOr, {d, none});
+    netlist_->replace_gate(dffs[static_cast<std::size_t>(i)], GateType::kDff,
+                           {d});
+  }
+  register_word(prefix, dffs);
+}
+
+// flag <= (a == b): AND tree over per-bit XNORs of two existing words
+// (or operand buses when no word exists yet).
+void BlockBuilder::build_compare_flag(const std::string& prefix) {
+  std::vector<GateId> a, b;
+  if (word_buses_.size() >= 2 && rng_->bernoulli(0.8)) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng_->uniform_u64(word_buses_.size()));
+    std::size_t j =
+        static_cast<std::size_t>(rng_->uniform_u64(word_buses_.size()));
+    if (j == i) j = (j + 1) % word_buses_.size();
+    const int w = static_cast<int>(
+        std::min(word_buses_[i].size(), word_buses_[j].size()));
+    a.assign(word_buses_[i].begin(), word_buses_[i].begin() + w);
+    b.assign(word_buses_[j].begin(), word_buses_[j].begin() + w);
+  } else {
+    a = operand_bus(4, prefix + "_a");
+    b = operand_bus(4, prefix + "_b");
+  }
+  std::vector<GateId> eq;
+  eq.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    eq.push_back(netlist_->add_gate(GateType::kXnor, {a[i], b[i]}));
+  GateId acc = eq[0];
+  for (std::size_t i = 1; i < eq.size(); ++i)
+    acc = netlist_->add_gate(GateType::kAnd, {acc, eq[i]});
+  const GateId flag = netlist_->add_dff(acc, prefix + "_0");
+  register_word(prefix, {flag});
+}
+
+// flag <= parity of an existing word (or of a fresh operand bus).
+void BlockBuilder::build_parity_flag(const std::string& prefix) {
+  std::vector<GateId> bus;
+  if (!word_buses_.empty() && rng_->bernoulli(0.8)) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng_->uniform_u64(word_buses_.size()));
+    bus = word_buses_[i];
+  } else {
+    bus = operand_bus(4, prefix + "_x");
+  }
+  GateId acc = bus[0];
+  for (std::size_t i = 1; i < bus.size(); ++i)
+    acc = netlist_->add_gate(GateType::kXor, {acc, bus[i]});
+  // A 1-bit bus would alias the flag to an existing word bit; isolate it.
+  if (bus.size() == 1) acc = netlist_->add_gate(GateType::kBuf, {acc});
+  const GateId flag = netlist_->add_dff(acc, prefix + "_0");
+  register_word(prefix, {flag});
+}
+
+void BlockBuilder::add_glue(int num_gates) {
+  REBERT_CHECK(num_gates >= 0);
+  const GateType kGlueOps[] = {GateType::kAnd, GateType::kOr,
+                               GateType::kNand, GateType::kNor,
+                               GateType::kXor, GateType::kNot};
+  std::vector<GateId> glue_nets;
+  for (int g = 0; g < num_gates; ++g) {
+    const GateType op = kGlueOps[rng_->uniform_int(0, 5)];
+    auto pick = [&]() -> GateId {
+      if (!glue_nets.empty() && rng_->bernoulli(0.4))
+        return glue_nets[static_cast<std::size_t>(
+            rng_->uniform_u64(glue_nets.size()))];
+      return pick_data_net("glue");
+    };
+    GateId id;
+    if (op == GateType::kNot) {
+      id = netlist_->add_gate(op, {pick()});
+    } else {
+      id = netlist_->add_gate(op, {pick(), pick()});
+    }
+    glue_nets.push_back(id);
+  }
+  // Observable so the logic is not dead; glue never feeds DFFs.
+  for (std::size_t i = 0; i < glue_nets.size(); i += 7)
+    netlist_->mark_output(glue_nets[i]);
+  if (!glue_nets.empty()) netlist_->mark_output(glue_nets.back());
+}
+
+}  // namespace rebert::gen

@@ -1,0 +1,97 @@
+// Word-structured circuit block generators.
+//
+// The ITC'99 netlists the paper evaluates on are not redistributable with
+// word-level ground truth, so the reproduction generates its own benchmark
+// circuits out of the same ingredients RTL synthesis produces: registers
+// with enables, counters, accumulators (ripple adders), shift registers,
+// muxed datapaths, FSM control logic, and 1-bit status flags. Each block
+// contributes one word (or a 1-bit word for flags) with exact ground truth.
+//
+// Bits inside a word get structurally similar fan-in cones (same local
+// template instantiated per bit position) while different blocks produce
+// different templates — the same regularity/diversity trade-off the paper's
+// methods exploit. Blocks draw operands from a shared signal pool so the
+// circuit is connected like a real design rather than a disjoint union.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nl/netlist.h"
+#include "nl/words.h"
+#include "util/rng.h"
+
+namespace rebert::gen {
+
+enum class BlockType {
+  kEnableReg,      // q <= en ? d : q
+  kCounter,        // q <= q + 1 when en
+  kAccumulator,    // q <= q + x (ripple-carry)
+  kShiftReg,       // q <= load ? x : {q[w-2:0], serial_in}
+  kMuxReg,         // q <= sel ? b : a
+  kFsm,            // state register with random 2-level next-state logic
+  kLfsr,           // XNOR-feedback Fibonacci LFSR (self-starting from 0)
+  kGrayCounter,    // Gray-coded counter (gray -> binary -> +1 -> gray)
+  kJohnsonCounter, // twisted-ring counter: q0 <= NOT(q[w-1]), qi <= q[i-1]
+  kOneHotFsm,      // self-correcting one-hot ring with advance enable
+  kCompareFlag,    // 1-bit word: q <= (a == b) over two pool words
+  kParityFlag,     // 1-bit word: q <= parity of a pool word
+};
+
+const char* block_type_name(BlockType type);
+
+struct BlockSpec {
+  BlockType type;
+  int width = 8;  // number of bits in the word (1 for flags)
+};
+
+/// Mutable context threaded through block builders.
+class BlockBuilder {
+ public:
+  BlockBuilder(nl::Netlist* netlist, nl::WordMap* words, util::Rng* rng);
+
+  /// Instantiate one block; DFF names are "<prefix>_<i>".
+  void build(const BlockSpec& spec, const std::string& prefix);
+
+  /// Random combinational glue gates over existing nets (marked as outputs
+  /// so they stay observable; they never drive DFFs and thus never perturb
+  /// the word ground truth).
+  void add_glue(int num_gates);
+
+  /// Nets usable as data operands (PIs + register outputs + glue).
+  const std::vector<nl::GateId>& data_pool() const { return data_pool_; }
+
+ private:
+  nl::GateId fresh_input(const std::string& hint);
+  nl::GateId pick_data_net(const std::string& input_hint);
+  nl::GateId pick_control_net(const std::string& input_hint);
+  /// Registers `width` operand nets (random mix of pool nets and new PIs).
+  std::vector<nl::GateId> operand_bus(int width, const std::string& hint);
+
+  void build_enable_reg(const BlockSpec& spec, const std::string& prefix);
+  void build_counter(const BlockSpec& spec, const std::string& prefix);
+  void build_accumulator(const BlockSpec& spec, const std::string& prefix);
+  void build_shift_reg(const BlockSpec& spec, const std::string& prefix);
+  void build_mux_reg(const BlockSpec& spec, const std::string& prefix);
+  void build_fsm(const BlockSpec& spec, const std::string& prefix);
+  void build_lfsr(const BlockSpec& spec, const std::string& prefix);
+  void build_gray_counter(const BlockSpec& spec, const std::string& prefix);
+  void build_johnson_counter(const BlockSpec& spec,
+                             const std::string& prefix);
+  void build_one_hot_fsm(const BlockSpec& spec, const std::string& prefix);
+  void build_compare_flag(const std::string& prefix);
+  void build_parity_flag(const std::string& prefix);
+
+  void register_word(const std::string& prefix,
+                     const std::vector<nl::GateId>& dffs);
+
+  nl::Netlist* netlist_;
+  nl::WordMap* words_;
+  util::Rng* rng_;
+  std::vector<nl::GateId> data_pool_;
+  std::vector<nl::GateId> control_pool_;
+  std::vector<std::vector<nl::GateId>> word_buses_;  // for flag blocks
+  int input_counter_ = 0;
+};
+
+}  // namespace rebert::gen

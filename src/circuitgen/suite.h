@@ -1,0 +1,55 @@
+// ITC'99-like benchmark suite (Table I).
+//
+// Each suite entry reproduces the *role* of one ITC'99 circuit: the same
+// flip-flop count and word count as Table I, built from the block library
+// in blocks.h and lowered to 2-input gates. Gate counts emerge from the
+// block mix and differ from the paper's synthesized numbers (documented in
+// EXPERIMENTS.md); everything the methods consume — bit cones, word ground
+// truth, corruption behaviour — is exercised identically.
+//
+// A scale factor < 1 shrinks every circuit proportionally (minimum one word)
+// so the full LOO-CV training sweep stays CPU-friendly; scale = 1 is the
+// paper-sized suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuitgen/blocks.h"
+#include "nl/netlist.h"
+#include "nl/words.h"
+
+namespace rebert::gen {
+
+struct CircuitSpec {
+  std::string name;
+  std::vector<BlockSpec> blocks;
+  int glue_gates = 0;
+  std::uint64_t seed = 0;
+};
+
+struct GeneratedCircuit {
+  nl::Netlist netlist;  // 2-input decomposed, validated
+  nl::WordMap words;    // ground truth over DFF names
+};
+
+/// Derive a block mix hitting exactly `target_ffs` flip-flops in
+/// `target_words` words (>= 1 each). Deterministic.
+CircuitSpec make_spec(const std::string& name, int target_ffs,
+                      int target_words, int glue_gates, std::uint64_t seed);
+
+/// Instantiate a spec into a gate-level netlist plus ground truth.
+GeneratedCircuit generate_circuit(const CircuitSpec& spec);
+
+/// Specs for the 12 benchmarks of Table I at the given scale.
+std::vector<CircuitSpec> itc99_suite_specs(double scale = 1.0);
+
+/// Convenience: generate one benchmark by name ("b03" ... "b18").
+/// Throws util::CheckError for unknown names.
+GeneratedCircuit generate_benchmark(const std::string& name,
+                                    double scale = 1.0);
+
+/// The 12 benchmark names in Table I order.
+const std::vector<std::string>& benchmark_names();
+
+}  // namespace rebert::gen

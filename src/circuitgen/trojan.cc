@@ -1,0 +1,118 @@
+#include "circuitgen/trojan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::gen {
+
+using nl::Gate;
+using nl::GateId;
+using nl::GateType;
+
+nl::Netlist insert_trojan(const nl::Netlist& input,
+                          const TrojanOptions& options, TrojanInfo* info) {
+  REBERT_CHECK(options.trigger_width >= 1);
+  REBERT_CHECK(options.counter_bits >= 1 && options.counter_bits <= 8);
+  nl::Netlist out = input;
+  util::Rng rng(options.seed);
+  TrojanInfo local;
+
+  // Candidate nets: combinational gates (stable names, internal signals a
+  // real attacker would tap).
+  std::vector<GateId> candidates;
+  for (GateId id = 0; id < out.num_gates(); ++id)
+    if (nl::is_combinational(out.gate(id).type)) candidates.push_back(id);
+  REBERT_CHECK_MSG(static_cast<int>(candidates.size()) >=
+                       options.trigger_width + 2,
+                   "netlist too small to host a Trojan");
+  rng.shuffle(candidates);
+
+  // Trigger: AND over rarely-correlated nets.
+  std::vector<GateId> trigger_inputs(
+      candidates.begin(), candidates.begin() + options.trigger_width);
+  for (GateId id : trigger_inputs)
+    local.trigger_nets.push_back(out.gate(id).name);
+  GateId trigger = trigger_inputs[0];
+  for (std::size_t i = 1; i < trigger_inputs.size(); ++i)
+    trigger = out.add_gate(GateType::kAnd, {trigger, trigger_inputs[i]},
+                           options.prefix + "_trig" + std::to_string(i));
+
+  // Payload counter: counts trigger events, saturating at all-ones, at
+  // which point the Trojan arms permanently.
+  std::vector<GateId> counter;
+  for (int i = 0; i < options.counter_bits; ++i) {
+    const GateId self = static_cast<GateId>(out.num_gates());
+    counter.push_back(out.add_dff(
+        self, options.prefix + "_cnt" + std::to_string(i)));
+    local.trojan_ffs.push_back(out.gate(counter.back()).name);
+  }
+  // armed flag: sticky once the counter saturates.
+  GateId saturated = counter[0];
+  for (std::size_t i = 1; i < counter.size(); ++i)
+    saturated = out.add_gate(GateType::kAnd, {saturated, counter[i]},
+                             options.prefix + "_sat" + std::to_string(i));
+  const GateId armed_self = static_cast<GateId>(out.num_gates());
+  const GateId armed = out.add_dff(armed_self, options.prefix + "_armed");
+  local.trojan_ffs.push_back(out.gate(armed).name);
+  const GateId armed_next = out.add_gate(GateType::kOr, {armed, saturated},
+                                         options.prefix + "_arm_next");
+  out.replace_gate(armed, GateType::kDff, {armed_next});
+
+  // Counter increments on trigger unless already armed.
+  const GateId not_armed =
+      out.add_gate(GateType::kNot, {armed}, options.prefix + "_live");
+  GateId carry = out.add_gate(GateType::kAnd, {trigger, not_armed},
+                              options.prefix + "_step");
+  for (std::size_t i = 0; i < counter.size(); ++i) {
+    const GateId d =
+        out.add_gate(GateType::kXor, {counter[i], carry},
+                     options.prefix + "_d" + std::to_string(i));
+    if (i + 1 < counter.size())
+      carry = out.add_gate(GateType::kAnd, {carry, counter[i]},
+                           options.prefix + "_c" + std::to_string(i));
+    out.replace_gate(counter[i], GateType::kDff, {d});
+  }
+
+  // Victim: a combinational net not feeding the trigger, with at least one
+  // consumer. Rewire its consumers to the XOR tap.
+  GateId victim = nl::kNoGate;
+  const std::vector<int> fanout = out.fanout_counts();
+  for (std::size_t i = static_cast<std::size_t>(options.trigger_width);
+       i < candidates.size(); ++i) {
+    if (fanout[static_cast<std::size_t>(candidates[i])] > 0) {
+      victim = candidates[i];
+      break;
+    }
+  }
+  REBERT_CHECK_MSG(victim != nl::kNoGate, "no victim net with fanout");
+  local.victim_net = out.gate(victim).name;
+
+  const GateId tap = out.add_gate(GateType::kXor, {victim, armed},
+                                  options.prefix + "_tap");
+  local.corrupted_net = out.gate(tap).name;
+  // Move every pre-existing consumer of the victim onto the tap (the tap
+  // itself and the trigger chain keep reading the genuine net).
+  for (GateId id = 0; id < out.num_gates(); ++id) {
+    if (id == tap) continue;
+    const Gate& g = out.gate(id);
+    if (g.name.rfind(options.prefix + "_", 0) == 0) continue;  // our logic
+    bool rewire = false;
+    std::vector<GateId> fanins = g.fanins;
+    for (GateId& f : fanins)
+      if (f == victim) {
+        f = tap;
+        rewire = true;
+      }
+    if (rewire) {
+      out.replace_gate(id, g.type, std::move(fanins));
+      ++local.rewired_consumers;
+    }
+  }
+
+  out.validate();
+  if (info) *info = local;
+  return out;
+}
+
+}  // namespace rebert::gen

@@ -1,0 +1,43 @@
+// Hardware-Trojan insertion (the paper's §I threat model).
+//
+// Inserts a classic combinational-trigger / sequential-payload Trojan:
+//   * trigger  — AND over k rarely-simultaneous existing nets,
+//   * payload  — a small counter of trigger events plus an armed flag,
+//   * effect   — once armed, one victim net is XOR-flipped.
+// The Trojan is dormant (functionally invisible) until the trigger fires
+// `arm_count` times, mimicking the stealthy insertions [1]-[4] the paper
+// cites. Word-recovery audits can surface it: the Trojan's flip-flops are
+// structural strangers that join no legitimate word and score low cohesion
+// (see examples/trojan_hunt.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nl/netlist.h"
+#include "util/rng.h"
+
+namespace rebert::gen {
+
+struct TrojanOptions {
+  int trigger_width = 4;   // nets ANDed into the trigger
+  int counter_bits = 2;    // trigger events before arming: 2^bits - 1
+  std::uint64_t seed = 1337;
+  std::string prefix = "troj";  // names of inserted gates/FFs
+};
+
+struct TrojanInfo {
+  std::vector<std::string> trigger_nets;  // existing nets used as trigger
+  std::vector<std::string> trojan_ffs;    // inserted flip-flops
+  std::string victim_net;                 // net whose fanout is corrupted
+  std::string corrupted_net;              // the XOR tap carrying the flip
+  int rewired_consumers = 0;              // fanout edges moved to the tap
+};
+
+/// Insert a Trojan into a copy of `input`. Requires at least
+/// trigger_width + 2 combinational nets. The victim keeps driving its own
+/// net; consumers are rewired to the XOR tap.
+nl::Netlist insert_trojan(const nl::Netlist& input,
+                          const TrojanOptions& options, TrojanInfo* info);
+
+}  // namespace rebert::gen

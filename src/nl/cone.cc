@@ -1,0 +1,99 @@
+#include "nl/cone.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::nl {
+
+int ConeTree::num_leaves() const {
+  int n = 0;
+  for (const ConeNode& node : nodes)
+    if (node.is_leaf) ++n;
+  return n;
+}
+
+std::vector<int> ConeTree::preorder() const {
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  std::vector<int> stack;
+  if (!nodes.empty()) stack.push_back(0);
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    order.push_back(idx);
+    const ConeNode& node = nodes[idx];
+    // Push children right-to-left so the left child is visited first.
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return order;
+}
+
+namespace {
+
+// Recursive expansion. `levels_left` counts remaining combinational levels
+// including the current gate.
+int expand(const Netlist& netlist, GateId net, int levels_left,
+           ConeTree* tree, int* max_level_used, int level) {
+  const Gate& g = netlist.gate(net);
+  const int idx = static_cast<int>(tree->nodes.size());
+  tree->nodes.push_back(ConeNode{});
+  ConeNode& node = tree->nodes.back();
+  node.type = g.type;
+  node.name = g.name;
+
+  const bool cut = !is_combinational(g.type) || levels_left <= 0;
+  if (cut) {
+    node.is_leaf = true;
+    return idx;
+  }
+  *max_level_used = std::max(*max_level_used, level);
+  // Copy fanins: the recursive calls grow tree->nodes and invalidate `node`.
+  const std::vector<GateId> fanins = g.fanins;
+  std::vector<int> children;
+  children.reserve(fanins.size());
+  for (GateId f : fanins)
+    children.push_back(
+        expand(netlist, f, levels_left - 1, tree, max_level_used, level + 1));
+  tree->nodes[idx].children = std::move(children);
+  return idx;
+}
+
+void sexpr_rec(const ConeTree& tree, int idx, bool generalize_leaves,
+               std::string* out) {
+  const ConeNode& node = tree.nodes[idx];
+  if (node.is_leaf) {
+    *out += generalize_leaves ? std::string("X") : node.name;
+    return;
+  }
+  *out += '(';
+  *out += gate_type_name(node.type);
+  for (int child : node.children) {
+    *out += ' ';
+    sexpr_rec(tree, child, generalize_leaves, out);
+  }
+  *out += ')';
+}
+
+}  // namespace
+
+ConeTree extract_cone(const Netlist& netlist, GateId root_net,
+                      int max_depth) {
+  REBERT_CHECK_MSG(max_depth >= 1, "cone depth must be >= 1");
+  REBERT_CHECK(netlist.is_valid_id(root_net));
+  ConeTree tree;
+  int max_level_used = 0;
+  expand(netlist, root_net, max_depth, &tree, &max_level_used, 1);
+  tree.depth = max_level_used;
+  return tree;
+}
+
+std::string cone_to_sexpr(const ConeTree& tree, bool generalize_leaves) {
+  REBERT_CHECK(!tree.nodes.empty());
+  std::string out;
+  sexpr_rec(tree, 0, generalize_leaves, &out);
+  return out;
+}
+
+}  // namespace rebert::nl

@@ -1,0 +1,55 @@
+// Fan-in cone extraction (§II-A-1).
+//
+// For each bit (a net feeding a sequential element) the paper builds a
+// binary tree of the combinational sub-circuit driving it, backtracing a
+// bounded number of gate levels. Because real cones are DAGs (gates with
+// fanout > 1 appear on several paths), the tree duplicates shared logic —
+// exactly what a tree representation implies. Leaves are the cut points:
+// primary inputs, constants, DFF outputs, and gates beyond the depth bound.
+//
+// extract_cone expects a 2-input-decomposed netlist when a *binary* tree is
+// required (the tokenizer enforces this); on general netlists it produces an
+// n-ary tree, which the structural baseline also consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nl/netlist.h"
+
+namespace rebert::nl {
+
+struct ConeNode {
+  GateType type = GateType::kInput;  // gate type; for leaves: the cut net's
+                                     // driver type (INPUT/DFF/CONST/gate)
+  bool is_leaf = false;
+  std::string name;                  // net name (kept for leaves; §II-A-2
+                                     // generalizes it to 'X' downstream)
+  std::vector<int> children;         // indices into ConeTree::nodes
+};
+
+struct ConeTree {
+  std::vector<ConeNode> nodes;  // nodes[0] is the root; pre-order layout
+  int depth = 0;                // gate levels actually reached
+
+  int size() const { return static_cast<int>(nodes.size()); }
+  const ConeNode& root() const { return nodes.at(0); }
+
+  /// Number of leaves.
+  int num_leaves() const;
+
+  /// Pre-order list of node indices (identity permutation by construction —
+  /// kept explicit so downstream code does not depend on the layout).
+  std::vector<int> preorder() const;
+};
+
+/// Backtrace `max_depth` combinational levels from `root_net`. The root
+/// counts as level 1 if it is combinational; a non-combinational root yields
+/// a single-leaf tree.
+ConeTree extract_cone(const Netlist& netlist, GateId root_net, int max_depth);
+
+/// Render as an S-expression, e.g. "(AND (NOT x) y)" — used by tests and
+/// the structural baseline's canonical signatures.
+std::string cone_to_sexpr(const ConeTree& tree, bool generalize_leaves);
+
+}  // namespace rebert::nl

@@ -1,0 +1,211 @@
+#include "nl/corruption.h"
+
+#include "util/check.h"
+
+namespace rebert::nl {
+
+namespace {
+
+// Applies template `t` to gate `id` of `nl` (type/fanins captured before the
+// call). Helper gates are appended; the gate itself is rewired in place so
+// all fanout keeps pointing at the original net. Returns the number of
+// helper gates added.
+int apply_template(Netlist* nl, GateId id, GateType type,
+                   const std::vector<GateId>& fanins, int t) {
+  auto& n = *nl;
+  switch (type) {
+    case GateType::kAnd: {
+      if (fanins.size() > 2) {  // NOT(NAND(...))
+        const GateId h = n.add_gate(GateType::kNand, fanins);
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      const GateId a = fanins[0], b = fanins[1];
+      if (t == 0) {  // NOT(NAND(a,b))
+        const GateId h = n.add_gate(GateType::kNand, {a, b});
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      // NOR(NOT a, NOT b)
+      const GateId na = n.add_gate(GateType::kNot, {a});
+      const GateId nb = n.add_gate(GateType::kNot, {b});
+      n.replace_gate(id, GateType::kNor, {na, nb});
+      return 2;
+    }
+    case GateType::kOr: {
+      if (fanins.size() > 2) {  // NOT(NOR(...))
+        const GateId h = n.add_gate(GateType::kNor, fanins);
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      const GateId a = fanins[0], b = fanins[1];
+      if (t == 0) {  // NOT(NOR(a,b))
+        const GateId h = n.add_gate(GateType::kNor, {a, b});
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      // NAND(NOT a, NOT b)
+      const GateId na = n.add_gate(GateType::kNot, {a});
+      const GateId nb = n.add_gate(GateType::kNot, {b});
+      n.replace_gate(id, GateType::kNand, {na, nb});
+      return 2;
+    }
+    case GateType::kNand: {
+      if (fanins.size() > 2) {  // NOT(AND(...))
+        const GateId h = n.add_gate(GateType::kAnd, fanins);
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      const GateId a = fanins[0], b = fanins[1];
+      if (t == 0) {  // OR(NOT a, NOT b) — the paper's example
+        const GateId na = n.add_gate(GateType::kNot, {a});
+        const GateId nb = n.add_gate(GateType::kNot, {b});
+        n.replace_gate(id, GateType::kOr, {na, nb});
+        return 2;
+      }
+      // NOT(AND(a,b))
+      const GateId h = n.add_gate(GateType::kAnd, {a, b});
+      n.replace_gate(id, GateType::kNot, {h});
+      return 1;
+    }
+    case GateType::kNor: {
+      if (fanins.size() > 2) {  // NOT(OR(...))
+        const GateId h = n.add_gate(GateType::kOr, fanins);
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      const GateId a = fanins[0], b = fanins[1];
+      if (t == 0) {  // AND(NOT a, NOT b)
+        const GateId na = n.add_gate(GateType::kNot, {a});
+        const GateId nb = n.add_gate(GateType::kNot, {b});
+        n.replace_gate(id, GateType::kAnd, {na, nb});
+        return 2;
+      }
+      // NOT(OR(a,b))
+      const GateId h = n.add_gate(GateType::kOr, {a, b});
+      n.replace_gate(id, GateType::kNot, {h});
+      return 1;
+    }
+    case GateType::kXor: {
+      if (fanins.size() > 2) {  // NOT(XNOR(...))
+        const GateId h = n.add_gate(GateType::kXnor, fanins);
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      const GateId a = fanins[0], b = fanins[1];
+      if (t == 0) {  // NOT(XNOR(a,b))
+        const GateId h = n.add_gate(GateType::kXnor, {a, b});
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      // OR(AND(a, NOT b), AND(NOT a, b))
+      const GateId na = n.add_gate(GateType::kNot, {a});
+      const GateId nb = n.add_gate(GateType::kNot, {b});
+      const GateId lo = n.add_gate(GateType::kAnd, {a, nb});
+      const GateId hi = n.add_gate(GateType::kAnd, {na, b});
+      n.replace_gate(id, GateType::kOr, {lo, hi});
+      return 4;
+    }
+    case GateType::kXnor: {
+      if (fanins.size() > 2) {  // NOT(XOR(...))
+        const GateId h = n.add_gate(GateType::kXor, fanins);
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      const GateId a = fanins[0], b = fanins[1];
+      if (t == 0) {  // NOT(XOR(a,b))
+        const GateId h = n.add_gate(GateType::kXor, {a, b});
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      // OR(AND(a,b), NOR(a,b))
+      const GateId both = n.add_gate(GateType::kAnd, {a, b});
+      const GateId neither = n.add_gate(GateType::kNor, {a, b});
+      n.replace_gate(id, GateType::kOr, {both, neither});
+      return 2;
+    }
+    case GateType::kNot: {
+      const GateId a = fanins[0];
+      if (t == 0) {  // NAND(a,a)
+        n.replace_gate(id, GateType::kNand, {a, a});
+        return 0;
+      }
+      // NOR(a,a)
+      n.replace_gate(id, GateType::kNor, {a, a});
+      return 0;
+    }
+    case GateType::kBuf: {
+      const GateId a = fanins[0];
+      if (t == 0) {  // NOT(NOT(a))
+        const GateId h = n.add_gate(GateType::kNot, {a});
+        n.replace_gate(id, GateType::kNot, {h});
+        return 1;
+      }
+      if (t == 1) {  // AND(a,a)
+        n.replace_gate(id, GateType::kAnd, {a, a});
+        return 0;
+      }
+      // OR(a,a)
+      n.replace_gate(id, GateType::kOr, {a, a});
+      return 0;
+    }
+    default:
+      REBERT_CHECK_MSG(false, "no corruption template for "
+                                  << gate_type_name(type));
+  }
+}
+
+}  // namespace
+
+int num_templates(GateType type, int arity) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return arity > 2 ? 1 : 2;
+    case GateType::kNot:
+      return 2;
+    case GateType::kBuf:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+Netlist corrupt_netlist(const Netlist& input, const CorruptionOptions& options,
+                        CorruptionReport* report) {
+  REBERT_CHECK_MSG(options.r_index >= 0.0 && options.r_index <= 1.0,
+                   "R-Index must be in [0,1], got " << options.r_index);
+  // Copy via serialization-free route: rebuild through decompose-style remap
+  // is unnecessary — Netlist is a value type, copy it directly.
+  Netlist out = input;
+  util::Rng rng(options.seed);
+  CorruptionReport local;
+
+  const GateId original_count = input.num_gates();
+  const int before = out.num_gates();
+  for (GateId id = 0; id < original_count; ++id) {
+    const Gate g = out.gate(id);  // copy: replace_gate mutates storage
+    const int templates =
+        num_templates(g.type, static_cast<int>(g.fanins.size()));
+    if (templates == 0) continue;
+    ++local.eligible_gates;
+    if (!rng.bernoulli(options.r_index)) continue;
+    const int t = options.deterministic_templates
+                      ? 0
+                      : static_cast<int>(rng.uniform_u64(
+                            static_cast<std::uint64_t>(templates)));
+    apply_template(&out, id, g.type, g.fanins, t);
+    ++local.replaced_gates;
+  }
+  local.added_gates = out.num_gates() - before;
+
+  out.validate();
+  if (report) *report = local;
+  return out;
+}
+
+}  // namespace rebert::nl

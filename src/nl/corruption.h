@@ -1,0 +1,52 @@
+// Controlled netlist corruption (§III-A-1).
+//
+// Each combinational gate is visited and, with probability R-Index, replaced
+// by a randomly chosen functionally-equivalent template (e.g.
+// A = NAND(B,C)  ->  A = OR(NOT(B), NOT(C)), the paper's own example).
+// R = 0 leaves the netlist untouched; R = 1 replaces every gate that has a
+// template. Replacement keeps the original output net (all fanout stays
+// wired) and adds fresh helper gates, so word ground truth, primary I/O and
+// DFFs are unaffected while local structure is scrambled.
+//
+// Templates are defined for 2-input AND/OR/NAND/NOR/XOR/XNOR and for
+// NOT/BUF. Gates of other types (wide gates, MUX) are corrupted after
+// decomposition in the pipeline; corrupt_netlist itself accepts any netlist
+// and simply skips gates without templates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nl/netlist.h"
+#include "util/rng.h"
+
+namespace rebert::nl {
+
+struct CorruptionOptions {
+  double r_index = 0.0;   // probability of replacing each eligible gate
+  std::uint64_t seed = 7;
+  /// Restrict to one template per gate type (template 0) — used by tests
+  /// and by the "systematic corruption" ablation.
+  bool deterministic_templates = false;
+};
+
+struct CorruptionReport {
+  int eligible_gates = 0;   // gates having at least one template
+  int replaced_gates = 0;
+  int added_gates = 0;      // helper gates created by templates
+  double realized_ratio() const {
+    return eligible_gates ? static_cast<double>(replaced_gates) /
+                                static_cast<double>(eligible_gates)
+                          : 0.0;
+  }
+};
+
+/// Number of equivalence templates available for a gate type (0 if the type
+/// cannot be corrupted).
+int num_templates(GateType type, int arity);
+
+/// Corrupt a copy of `input` with the given options.
+Netlist corrupt_netlist(const Netlist& input, const CorruptionOptions& options,
+                        CorruptionReport* report = nullptr);
+
+}  // namespace rebert::nl

@@ -1,0 +1,160 @@
+#include "nl/decompose.h"
+
+#include "util/check.h"
+
+namespace rebert::nl {
+
+namespace {
+
+// Builds a chain/tree of `op2` gates over `terms` inside `out`; returns the
+// id of the final gate. `terms` has >= 1 entries; a single term is returned
+// unchanged.
+GateId build_tree(Netlist* out, GateType op2, std::vector<GateId> terms,
+                  bool balanced) {
+  REBERT_CHECK(!terms.empty());
+  if (balanced) {
+    while (terms.size() > 1) {
+      std::vector<GateId> next;
+      next.reserve((terms.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < terms.size(); i += 2)
+        next.push_back(out->add_gate(op2, {terms[i], terms[i + 1]}));
+      if (terms.size() % 2) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    return terms[0];
+  }
+  GateId acc = terms[0];
+  for (std::size_t i = 1; i < terms.size(); ++i)
+    acc = out->add_gate(op2, {acc, terms[i]});
+  return acc;
+}
+
+// Rewrites wide gate `id` (original type/fanins already mapped) into a
+// 2-input tree. The gate itself becomes the final (possibly inverting) node
+// so its name and fanout survive.
+void lower_wide_gate(Netlist* out, GateId id, GateType type,
+                     const std::vector<GateId>& fanins, bool balanced) {
+  REBERT_CHECK(fanins.size() > 2);
+  std::vector<GateId> head(fanins.begin(), fanins.end() - 1);
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kXor: {
+      // Associative: tree over all but the last fanin, root of same type.
+      const GateId acc = build_tree(out, type, std::move(head), balanced);
+      out->replace_gate(id, type, {acc, fanins.back()});
+      return;
+    }
+    case GateType::kNand: {
+      const GateId acc =
+          build_tree(out, GateType::kAnd, std::move(head), balanced);
+      out->replace_gate(id, GateType::kNand, {acc, fanins.back()});
+      return;
+    }
+    case GateType::kNor: {
+      const GateId acc =
+          build_tree(out, GateType::kOr, std::move(head), balanced);
+      out->replace_gate(id, GateType::kNor, {acc, fanins.back()});
+      return;
+    }
+    case GateType::kXnor: {
+      const GateId acc =
+          build_tree(out, GateType::kXor, std::move(head), balanced);
+      out->replace_gate(id, GateType::kXnor, {acc, fanins.back()});
+      return;
+    }
+    default:
+      REBERT_CHECK_MSG(false, "gate type " << gate_type_name(type)
+                                           << " is not decomposable");
+  }
+}
+
+}  // namespace
+
+Netlist decompose_to_2input(const Netlist& input,
+                            const DecomposeOptions& options) {
+  Netlist out(input.name());
+
+  // Pass A: create every original gate first (placeholder fanins for
+  // anything with inputs). Having all original names registered up front
+  // guarantees that auto-generated helper names in pass B cannot collide
+  // with them. Order: sources, DFFs (self placeholder), then combinational
+  // gates in topological order.
+  std::vector<GateId> remap(input.num_gates(), kNoGate);
+  for (GateId id = 0; id < input.num_gates(); ++id) {
+    const Gate& g = input.gate(id);
+    if (g.type == GateType::kInput) {
+      remap[id] = out.add_input(g.name);
+    } else if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+      remap[id] = out.add_const(g.type == GateType::kConst1, g.name);
+    } else if (g.type == GateType::kDff) {
+      const GateId self = static_cast<GateId>(out.num_gates());
+      remap[id] = out.add_dff(self, g.name);
+    }
+  }
+  const std::vector<GateId> topo = input.topological_order();
+  for (GateId id : topo) {
+    const Gate& g = input.gate(id);
+    // Placeholder fanins: arity matched to the final 2-input form.
+    std::size_t arity = g.fanins.size();
+    if (g.type == GateType::kMux && options.lower_mux) arity = 2;  // -> OR2
+    if (is_decomposable(g.type) && arity > 2) arity = 2;
+    REBERT_CHECK_MSG(out.num_gates() > 0,
+                     "combinational netlist without sources is cyclic");
+    const GateType placeholder_type =
+        (g.type == GateType::kMux && options.lower_mux) ? GateType::kOr
+                                                        : g.type;
+    remap[id] = out.add_gate(placeholder_type,
+                             std::vector<GateId>(arity, 0), g.name);
+  }
+
+  // Pass B: rewire each combinational gate, adding helper gates as needed.
+  for (GateId id : topo) {
+    const Gate& g = input.gate(id);
+    std::vector<GateId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) {
+      REBERT_CHECK(remap[f] != kNoGate);
+      fanins.push_back(remap[f]);
+    }
+    const GateId new_id = remap[id];
+
+    if (g.type == GateType::kMux && options.lower_mux) {
+      const GateId sel = fanins[0], a = fanins[1], b = fanins[2];
+      const GateId nsel = out.add_gate(GateType::kNot, {sel});
+      const GateId lo = out.add_gate(GateType::kAnd, {nsel, a});
+      const GateId hi = out.add_gate(GateType::kAnd, {sel, b});
+      out.replace_gate(new_id, GateType::kOr, {lo, hi});
+      continue;
+    }
+    if (is_decomposable(g.type) && fanins.size() > 2) {
+      lower_wide_gate(&out, new_id, g.type, fanins, options.balanced);
+      continue;
+    }
+    out.replace_gate(new_id, g.type, std::move(fanins));
+  }
+
+  // Pass C: DFF D pins and primary outputs.
+  for (GateId id = 0; id < input.num_gates(); ++id) {
+    const Gate& g = input.gate(id);
+    if (g.type != GateType::kDff) continue;
+    REBERT_CHECK(remap[g.fanins[0]] != kNoGate);
+    out.replace_gate(remap[id], GateType::kDff, {remap[g.fanins[0]]});
+  }
+  for (GateId id : input.outputs()) out.mark_output(remap[id]);
+
+  out.validate();
+  return out;
+}
+
+bool is_2input(const Netlist& netlist) {
+  for (GateId id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (!is_combinational(g.type)) continue;
+    if (g.type == GateType::kMux) return false;
+    if (g.fanins.size() > 2) return false;
+  }
+  return true;
+}
+
+}  // namespace rebert::nl

@@ -1,0 +1,37 @@
+// k-input → 2-input gate decomposition (§II-A-1).
+//
+// ReBERT standardizes the netlist into binary-tree form before tokenizing:
+// every combinational gate with more than two fanins is rewritten into a
+// tree of 2-input gates using fixed templates, and MUX cells are lowered to
+// AND/OR/NOT form. The rewrite is purely structural and functionally
+// equivalent (verified by the equivalence tests):
+//   AND(a,b,c,...)  -> AND2 chain
+//   NAND(a,...,z)   -> NAND2(AND-chain(a..y), z)
+//   OR / NOR / XOR / XNOR analogously (XOR = parity chain)
+//   MUX(s,a,b)      -> OR(AND(NOT s, a), AND(s, b))
+#pragma once
+
+#include "nl/netlist.h"
+
+namespace rebert::nl {
+
+struct DecomposeOptions {
+  /// true  -> left-leaning chains (a ((b c) d)-style nesting),
+  /// false -> balanced trees (minimizes depth). The paper does not specify;
+  /// left-leaning is the default because it matches the associativity order
+  /// synthesis tools emit most often.
+  bool balanced = false;
+  /// Also lower MUX cells to AND/OR/NOT form.
+  bool lower_mux = true;
+};
+
+/// Returns a new netlist in which every combinational gate has at most two
+/// fanins. Net names of original gates are preserved (so word ground truth
+/// and primary I/O carry over); helper gates get fresh names.
+Netlist decompose_to_2input(const Netlist& input,
+                            const DecomposeOptions& options = {});
+
+/// True if every combinational gate has <= 2 fanins and no MUX remains.
+bool is_2input(const Netlist& netlist);
+
+}  // namespace rebert::nl

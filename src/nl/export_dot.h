@@ -1,0 +1,32 @@
+// Graphviz DOT export for netlists and cones.
+//
+// Visual inspection is half of reverse engineering; this writes the
+// netlist (or one bit's fan-in cone) as a DOT digraph with word groupings
+// rendered as clusters, ready for `dot -Tsvg`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nl/cone.h"
+#include "nl/netlist.h"
+#include "nl/words.h"
+
+namespace rebert::nl {
+
+struct DotOptions {
+  bool cluster_words = true;   // draw each word's DFFs in a subgraph box
+  bool show_gate_types = true; // node labels "name\nTYPE" vs just name
+  int max_gates = 4000;        // refuse to render monsters (throws)
+};
+
+/// Whole netlist; `words` may be empty (no clusters).
+void write_dot(const Netlist& netlist, const WordMap& words,
+               std::ostream& out, const DotOptions& options = {});
+std::string dot_string(const Netlist& netlist, const WordMap& words,
+                       const DotOptions& options = {});
+
+/// One extracted cone as a tree.
+std::string cone_dot_string(const ConeTree& tree);
+
+}  // namespace rebert::nl

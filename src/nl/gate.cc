@@ -1,0 +1,146 @@
+#include "nl/gate.h"
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::nl {
+
+const char* gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kOr: return "OR";
+    case GateType::kNand: return "NAND";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux: return "MUX";
+    case GateType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+GateType gate_type_from_name(const std::string& name) {
+  const std::string n = util::to_upper(name);
+  if (n == "INPUT") return GateType::kInput;
+  if (n == "CONST0") return GateType::kConst0;
+  if (n == "CONST1") return GateType::kConst1;
+  if (n == "BUF" || n == "BUFF") return GateType::kBuf;
+  if (n == "NOT" || n == "INV") return GateType::kNot;
+  if (n == "AND") return GateType::kAnd;
+  if (n == "OR") return GateType::kOr;
+  if (n == "NAND") return GateType::kNand;
+  if (n == "NOR") return GateType::kNor;
+  if (n == "XOR") return GateType::kXor;
+  if (n == "XNOR") return GateType::kXnor;
+  if (n == "MUX") return GateType::kMux;
+  if (n == "DFF") return GateType::kDff;
+  REBERT_CHECK_MSG(false, "unknown gate type name: " << name);
+}
+
+bool is_source(GateType type) {
+  return type == GateType::kInput || type == GateType::kConst0 ||
+         type == GateType::kConst1;
+}
+
+bool is_sequential(GateType type) { return type == GateType::kDff; }
+
+bool is_combinational(GateType type) {
+  return !is_source(type) && !is_sequential(type);
+}
+
+bool is_decomposable(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ArityRange gate_arity(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return {0, 0};
+    case GateType::kBuf:
+    case GateType::kNot:
+      return {1, 1};
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return {2, -1};
+    case GateType::kMux:
+      return {3, 3};
+    case GateType::kDff:
+      return {1, 1};
+  }
+  return {0, 0};
+}
+
+bool eval_gate(GateType type, const std::vector<bool>& inputs) {
+  const ArityRange ar = gate_arity(type);
+  REBERT_CHECK_MSG(static_cast<int>(inputs.size()) >= ar.min &&
+                       (ar.max < 0 ||
+                        static_cast<int>(inputs.size()) <= ar.max),
+                   "bad arity " << inputs.size() << " for "
+                                << gate_type_name(type));
+  switch (type) {
+    case GateType::kConst0: return false;
+    case GateType::kConst1: return true;
+    case GateType::kBuf: return inputs[0];
+    case GateType::kNot: return !inputs[0];
+    case GateType::kAnd: {
+      for (bool v : inputs)
+        if (!v) return false;
+      return true;
+    }
+    case GateType::kOr: {
+      for (bool v : inputs)
+        if (v) return true;
+      return false;
+    }
+    case GateType::kNand: {
+      for (bool v : inputs)
+        if (!v) return true;
+      return false;
+    }
+    case GateType::kNor: {
+      for (bool v : inputs)
+        if (v) return false;
+      return true;
+    }
+    case GateType::kXor: {
+      bool acc = false;
+      for (bool v : inputs) acc ^= v;
+      return acc;
+    }
+    case GateType::kXnor: {
+      bool acc = true;
+      for (bool v : inputs) acc ^= v;
+      return acc;
+    }
+    case GateType::kMux:
+      return inputs[0] ? inputs[2] : inputs[1];
+    case GateType::kInput:
+    case GateType::kDff:
+      REBERT_CHECK_MSG(false, "eval_gate on non-combinational gate "
+                                  << gate_type_name(type));
+  }
+  return false;
+}
+
+}  // namespace rebert::nl

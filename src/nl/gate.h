@@ -1,0 +1,67 @@
+// Gate model: the cell library of the reproduction.
+//
+// The paper operates on generic gate-level netlists (ITC'99 after synthesis)
+// whose cells are the usual primitive Boolean functions plus D flip-flops.
+// We model exactly that: combinational primitives of arbitrary arity >= 1
+// (decomposable to 2-input form, §II-A-1), a 2:1 mux (common synthesis
+// output, lowered before tokenization), and DFFs as the sequential elements
+// whose D pins define the "bits" being grouped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rebert::nl {
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input (no fanin)
+  kConst0,  // constant 0 (no fanin)
+  kConst1,  // constant 1 (no fanin)
+  kBuf,     // 1 fanin
+  kNot,     // 1 fanin
+  kAnd,     // >= 2 fanins
+  kOr,      // >= 2 fanins
+  kNand,    // >= 2 fanins
+  kNor,     // >= 2 fanins
+  kXor,     // >= 2 fanins (odd parity)
+  kXnor,    // >= 2 fanins (even parity)
+  kMux,     // exactly 3 fanins: MUX(sel, a, b) = sel ? b : a
+  kDff,     // sequential; fanin[0] = D, output = Q
+};
+
+inline constexpr int kNumGateTypes = 13;
+
+/// Canonical upper-case mnemonic ("NAND", "DFF", ...), also used as the
+/// token text in the ReBERT vocabulary and the cell name in .bench files.
+const char* gate_type_name(GateType type);
+
+/// Inverse of gate_type_name (case-insensitive). Throws util::CheckError on
+/// unknown names.
+GateType gate_type_from_name(const std::string& name);
+
+/// True for INPUT / CONST0 / CONST1 (gates with no fanin).
+bool is_source(GateType type);
+
+/// True for DFF.
+bool is_sequential(GateType type);
+
+/// True for gates that compute a Boolean function of their fanins.
+bool is_combinational(GateType type);
+
+/// True for AND/OR/NAND/NOR/XOR/XNOR: arity may exceed 2 and the gate can be
+/// decomposed into a 2-input tree.
+bool is_decomposable(GateType type);
+
+/// [min, max] allowed fanin count; max = -1 means unbounded.
+struct ArityRange {
+  int min;
+  int max;
+};
+ArityRange gate_arity(GateType type);
+
+/// Evaluate a combinational gate over its fanin values. XOR/XNOR are odd /
+/// even parity for arity > 2. Requires a legal arity.
+bool eval_gate(GateType type, const std::vector<bool>& inputs);
+
+}  // namespace rebert::nl

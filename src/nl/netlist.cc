@@ -1,0 +1,196 @@
+#include "nl/netlist.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::nl {
+
+GateId Netlist::add_input(const std::string& name) {
+  REBERT_CHECK_MSG(!name.empty(), "primary inputs must be named");
+  const GateId id = add_gate_impl(GateType::kInput, {}, name);
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_const(bool value, const std::string& name) {
+  return add_gate_impl(value ? GateType::kConst1 : GateType::kConst0, {},
+                       name.empty() ? fresh_name("const") : name);
+}
+
+GateId Netlist::add_gate(GateType type, std::vector<GateId> fanins,
+                         const std::string& name) {
+  REBERT_CHECK_MSG(is_combinational(type),
+                   "add_gate expects a combinational type, got "
+                       << gate_type_name(type));
+  return add_gate_impl(type, std::move(fanins),
+                       name.empty() ? fresh_name("n") : name);
+}
+
+GateId Netlist::add_dff(GateId d, const std::string& name) {
+  return add_gate_impl(GateType::kDff, {d},
+                       name.empty() ? fresh_name("ff") : name);
+}
+
+GateId Netlist::add_gate_impl(GateType type, std::vector<GateId> fanins,
+                              std::string name) {
+  const ArityRange ar = gate_arity(type);
+  REBERT_CHECK_MSG(static_cast<int>(fanins.size()) >= ar.min &&
+                       (ar.max < 0 ||
+                        static_cast<int>(fanins.size()) <= ar.max),
+                   "illegal arity " << fanins.size() << " for "
+                                    << gate_type_name(type));
+  const GateId self = static_cast<GateId>(gates_.size());
+  for (GateId f : fanins) {
+    // A DFF may feed back on itself (q = DFF(q)); no other self-reference
+    // is legal.
+    const bool self_loop_ok = (type == GateType::kDff && f == self);
+    REBERT_CHECK_MSG(is_valid_id(f) || self_loop_ok,
+                     "fanin id " << f << " out of range");
+  }
+  REBERT_CHECK_MSG(!by_name_.count(name), "duplicate gate name: " << name);
+
+  const GateId id = self;
+  gates_.push_back(Gate{type, std::move(fanins), name});
+  is_output_flag_.push_back(false);
+  by_name_.emplace(std::move(name), id);
+  if (type == GateType::kDff) dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::mark_output(GateId id) {
+  REBERT_CHECK(is_valid_id(id));
+  if (!is_output_flag_[id]) {
+    is_output_flag_[id] = true;
+    outputs_.push_back(id);
+  }
+}
+
+void Netlist::replace_gate(GateId id, GateType type,
+                           std::vector<GateId> fanins) {
+  REBERT_CHECK(is_valid_id(id));
+  Gate& g = gates_[id];
+  REBERT_CHECK_MSG(is_combinational(g.type) == is_combinational(type) &&
+                       is_sequential(g.type) == is_sequential(type),
+                   "replace_gate cannot change gate class");
+  const ArityRange ar = gate_arity(type);
+  REBERT_CHECK(static_cast<int>(fanins.size()) >= ar.min &&
+               (ar.max < 0 || static_cast<int>(fanins.size()) <= ar.max));
+  for (GateId f : fanins)
+    REBERT_CHECK(is_valid_id(f) || (type == GateType::kDff && f == id));
+  g.type = type;
+  g.fanins = std::move(fanins);
+}
+
+const Gate& Netlist::gate(GateId id) const {
+  REBERT_CHECK_MSG(is_valid_id(id), "gate id " << id << " out of range");
+  return gates_[id];
+}
+
+bool Netlist::is_output(GateId id) const {
+  REBERT_CHECK(is_valid_id(id));
+  return is_output_flag_[id];
+}
+
+std::optional<GateId> Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<int> Netlist::fanout_counts() const {
+  std::vector<int> counts(gates_.size(), 0);
+  for (const Gate& g : gates_)
+    for (GateId f : g.fanins) ++counts[f];
+  return counts;
+}
+
+std::vector<GateId> Netlist::topological_order() const {
+  // Kahn's algorithm over combinational gates only. DFF outputs, primary
+  // inputs, and constants are cut points: they have no combinational fanin.
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<GateId> ready;
+  int num_comb = 0;
+  for (GateId id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[id];
+    if (!is_combinational(g.type)) continue;
+    ++num_comb;
+    int deps = 0;
+    for (GateId f : g.fanins)
+      if (is_combinational(gates_[f].type)) ++deps;
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(id);
+  }
+
+  // Fanout adjacency restricted to combinational edges.
+  std::vector<std::vector<GateId>> fanouts(gates_.size());
+  for (GateId id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[id];
+    if (!is_combinational(g.type)) continue;
+    for (GateId f : g.fanins)
+      if (is_combinational(gates_[f].type)) fanouts[f].push_back(id);
+  }
+
+  std::vector<GateId> order;
+  order.reserve(num_comb);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const GateId id = ready[head];
+    order.push_back(id);
+    for (GateId out : fanouts[id])
+      if (--pending[out] == 0) ready.push_back(out);
+  }
+  REBERT_CHECK_MSG(static_cast<int>(order.size()) == num_comb,
+                   "combinational cycle detected in netlist '" << name_
+                                                               << "'");
+  return order;
+}
+
+std::vector<int> Netlist::logic_depths() const {
+  std::vector<int> depth(gates_.size(), 0);
+  for (GateId id : topological_order()) {
+    int d = 0;
+    for (GateId f : gates_[id].fanins)
+      if (is_combinational(gates_[f].type)) d = std::max(d, depth[f]);
+    depth[id] = d + 1;
+  }
+  return depth;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.num_inputs = static_cast<int>(inputs_.size());
+  s.num_outputs = static_cast<int>(outputs_.size());
+  s.num_dffs = static_cast<int>(dffs_.size());
+  for (const Gate& g : gates_) {
+    if (is_combinational(g.type)) ++s.num_comb_gates;
+    s.max_fanin = std::max(s.max_fanin, static_cast<int>(g.fanins.size()));
+  }
+  return s;
+}
+
+void Netlist::validate() const {
+  REBERT_CHECK(gates_.size() == is_output_flag_.size());
+  REBERT_CHECK(by_name_.size() == gates_.size());
+  for (GateId id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[id];
+    REBERT_CHECK_MSG(!g.name.empty(), "gate " << id << " has empty name");
+    auto it = by_name_.find(g.name);
+    REBERT_CHECK_MSG(it != by_name_.end() && it->second == id,
+                     "name map inconsistent for " << g.name);
+    const ArityRange ar = gate_arity(g.type);
+    REBERT_CHECK(static_cast<int>(g.fanins.size()) >= ar.min &&
+                 (ar.max < 0 || static_cast<int>(g.fanins.size()) <= ar.max));
+    for (GateId f : g.fanins) REBERT_CHECK(is_valid_id(f));
+  }
+  topological_order();  // throws on combinational cycles
+}
+
+std::string Netlist::fresh_name(const char* prefix) {
+  for (;;) {
+    std::string candidate =
+        std::string(prefix) + "_" + std::to_string(auto_name_counter_++);
+    if (!by_name_.count(candidate)) return candidate;
+  }
+}
+
+}  // namespace rebert::nl

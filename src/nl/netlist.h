@@ -1,0 +1,123 @@
+// Gate-level netlist graph.
+//
+// Representation: every gate drives exactly one net, so a net is identified
+// by its driving gate's id (the convention of structural formats like
+// ISCAS-89 .bench, which the parser reads/writes). Fanout is implicit via
+// fanin references; fanout lists can be computed on demand.
+//
+// Invariants maintained by the builder API:
+//   * every fanin id refers to an existing gate,
+//   * arity is legal for the gate type,
+//   * names are unique and non-empty,
+//   * the combinational part is acyclic (checked by topological_order()).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nl/gate.h"
+
+namespace rebert::nl {
+
+/// Index of a gate (== the net it drives) inside a Netlist.
+using GateId = std::int32_t;
+inline constexpr GateId kNoGate = -1;
+
+struct Gate {
+  GateType type = GateType::kInput;
+  std::vector<GateId> fanins;
+  std::string name;  // unique net/gate name
+};
+
+struct NetlistStats {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  int num_dffs = 0;
+  int num_comb_gates = 0;  // combinational gates only (paper's "#gates")
+  int max_fanin = 0;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ---- construction -------------------------------------------------------
+
+  /// Add a primary input. Name must be unique.
+  GateId add_input(const std::string& name);
+
+  GateId add_const(bool value, const std::string& name);
+
+  /// Add a combinational gate. Empty name -> auto-generated unique name.
+  GateId add_gate(GateType type, std::vector<GateId> fanins,
+                  const std::string& name = "");
+
+  /// Add a D flip-flop with the given D fanin.
+  GateId add_dff(GateId d, const std::string& name = "");
+
+  /// Mark a net as a primary output (idempotent).
+  void mark_output(GateId id);
+
+  /// Re-type / re-wire an existing gate in place, keeping its name and all
+  /// fanout references. Used by the corruption engine (template roots keep
+  /// the original net). Sequential<->combinational changes are rejected.
+  void replace_gate(GateId id, GateType type, std::vector<GateId> fanins);
+
+  // ---- access --------------------------------------------------------------
+
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(GateId id) const;
+  bool is_valid_id(GateId id) const {
+    return id >= 0 && id < num_gates();
+  }
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  const std::vector<GateId>& dffs() const { return dffs_; }
+
+  bool is_output(GateId id) const;
+
+  /// Lookup by unique name.
+  std::optional<GateId> find(const std::string& name) const;
+
+  /// Per-gate fanout count (computed on demand, O(edges)).
+  std::vector<int> fanout_counts() const;
+
+  /// Topological order of the combinational gates (sources and DFF outputs
+  /// are cut points / leaves and excluded). Throws util::CheckError if a
+  /// combinational cycle exists.
+  std::vector<GateId> topological_order() const;
+
+  /// Number of combinational gates on the longest path driving `id`
+  /// (0 for sources / DFF outputs).
+  std::vector<int> logic_depths() const;
+
+  NetlistStats stats() const;
+
+  /// Structural sanity check: fanin ids valid, arities legal, names unique,
+  /// DFD fanins present, no combinational cycle. Throws on violation.
+  void validate() const;
+
+ private:
+  GateId add_gate_impl(GateType type, std::vector<GateId> fanins,
+                       std::string name);
+  std::string fresh_name(const char* prefix);
+
+  std::string name_ = "netlist";
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<bool> is_output_flag_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::uint64_t auto_name_counter_ = 0;
+};
+
+}  // namespace rebert::nl

@@ -1,0 +1,341 @@
+#include "nl/opt.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace rebert::nl {
+
+namespace {
+
+// Builder state for the rewrite pass.
+struct Rewriter {
+  const Netlist& in;
+  const OptOptions& options;
+  Netlist out;
+  OptReport report;
+  std::vector<GateId> remap;  // old id -> new id
+  GateId const0 = kNoGate;
+  GateId const1 = kNoGate;
+  // structural hashing: (type, fanins) -> new gate id
+  std::map<std::pair<GateType, std::vector<GateId>>, GateId> strash;
+
+  explicit Rewriter(const Netlist& input, const OptOptions& opts)
+      : in(input), options(opts), out(input.name()),
+        remap(static_cast<std::size_t>(input.num_gates()), kNoGate) {}
+
+  GateId get_const(bool value) {
+    GateId& slot = value ? const1 : const0;
+    if (slot == kNoGate) {
+      // Avoid both current and *future* names (original gates are emitted
+      // after constants may already exist).
+      std::string name = value ? "opt_const1" : "opt_const0";
+      while (in.find(name) || out.find(name)) name += "_";
+      slot = out.add_const(value, name);
+    }
+    return slot;
+  }
+
+  bool is_const(GateId new_id, bool* value) const {
+    const GateType t = out.gate(new_id).type;
+    if (t == GateType::kConst0) {
+      *value = false;
+      return true;
+    }
+    if (t == GateType::kConst1) {
+      *value = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Create (or reuse via strash) a combinational gate.
+  GateId emit(GateType type, std::vector<GateId> fanins,
+              const std::string& name) {
+    if (options.structural_hash) {
+      std::vector<GateId> canonical = fanins;
+      if (is_decomposable(type))  // commutative types
+        std::sort(canonical.begin(), canonical.end());
+      const auto key = std::make_pair(type, std::move(canonical));
+      auto it = strash.find(key);
+      if (it != strash.end()) {
+        ++report.merged_gates;
+        return it->second;
+      }
+      const GateId id = out.add_gate(type, std::move(fanins), name);
+      strash.emplace(key, id);
+      return id;
+    }
+    return out.add_gate(type, std::move(fanins), name);
+  }
+
+  // Returns the new-net id computing NOT(x), folding constants and double
+  // inversion.
+  GateId emit_not(GateId x, const std::string& name) {
+    bool value = false;
+    if (options.fold_constants && is_const(x, &value)) {
+      ++report.folded_gates;
+      return get_const(!value);
+    }
+    if (options.collapse_buffers && out.gate(x).type == GateType::kNot) {
+      ++report.collapsed_buffers;
+      return out.gate(x).fanins[0];
+    }
+    return emit(GateType::kNot, {x}, name);
+  }
+
+  // Rewrite one original combinational gate; returns its new-net id.
+  GateId rewrite(const Gate& g) {
+    std::vector<GateId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) {
+      REBERT_CHECK(remap[static_cast<std::size_t>(f)] != kNoGate);
+      fanins.push_back(remap[static_cast<std::size_t>(f)]);
+    }
+
+    switch (g.type) {
+      case GateType::kBuf: {
+        if (options.collapse_buffers) {
+          ++report.collapsed_buffers;
+          return fanins[0];
+        }
+        return emit(GateType::kBuf, std::move(fanins), g.name);
+      }
+      case GateType::kNot:
+        return emit_not(fanins[0], g.name);
+      case GateType::kAnd:
+      case GateType::kNand:
+        return rewrite_and_like(g, std::move(fanins));
+      case GateType::kOr:
+      case GateType::kNor:
+        return rewrite_or_like(g, std::move(fanins));
+      case GateType::kXor:
+      case GateType::kXnor:
+        return rewrite_xor_like(g, std::move(fanins));
+      case GateType::kMux:
+        return rewrite_mux(g, std::move(fanins));
+      default:
+        REBERT_CHECK_MSG(false, "unexpected gate type in rewrite");
+    }
+  }
+
+  GateId rewrite_and_like(const Gate& g, std::vector<GateId> fanins) {
+    const bool inverting = g.type == GateType::kNand;
+    if (options.fold_constants) {
+      std::vector<GateId> kept;
+      for (GateId f : fanins) {
+        bool value = false;
+        if (is_const(f, &value)) {
+          if (!value) {  // controlling value
+            ++report.folded_gates;
+            return get_const(inverting);
+          }
+          continue;  // non-controlling: drop
+        }
+        if (std::find(kept.begin(), kept.end(), f) == kept.end())
+          kept.push_back(f);  // x AND x = x
+      }
+      if (kept.size() != fanins.size()) ++report.folded_gates;
+      if (kept.empty()) return get_const(!inverting);
+      if (kept.size() == 1)
+        return inverting ? emit_not(kept[0], g.name) : kept[0];
+      fanins = std::move(kept);
+    }
+    return emit(g.type, std::move(fanins), g.name);
+  }
+
+  GateId rewrite_or_like(const Gate& g, std::vector<GateId> fanins) {
+    const bool inverting = g.type == GateType::kNor;
+    if (options.fold_constants) {
+      std::vector<GateId> kept;
+      for (GateId f : fanins) {
+        bool value = false;
+        if (is_const(f, &value)) {
+          if (value) {  // controlling value
+            ++report.folded_gates;
+            return get_const(!inverting);
+          }
+          continue;
+        }
+        if (std::find(kept.begin(), kept.end(), f) == kept.end())
+          kept.push_back(f);  // x OR x = x
+      }
+      if (kept.size() != fanins.size()) ++report.folded_gates;
+      if (kept.empty()) return get_const(inverting);
+      if (kept.size() == 1)
+        return inverting ? emit_not(kept[0], g.name) : kept[0];
+      fanins = std::move(kept);
+    }
+    return emit(g.type, std::move(fanins), g.name);
+  }
+
+  GateId rewrite_xor_like(const Gate& g, std::vector<GateId> fanins) {
+    bool invert = g.type == GateType::kXnor;
+    if (options.fold_constants) {
+      // Constants toggle the inversion; identical nets cancel pairwise.
+      std::map<GateId, int> counts;
+      bool changed = false;
+      for (GateId f : fanins) {
+        bool value = false;
+        if (is_const(f, &value)) {
+          if (value) invert = !invert;
+          changed = true;
+          continue;
+        }
+        ++counts[f];
+      }
+      std::vector<GateId> kept;
+      for (const auto& [net, count] : counts) {
+        if (count % 2 == 1) kept.push_back(net);
+        if (count > 1) changed = true;
+      }
+      if (changed) ++report.folded_gates;
+      if (kept.empty()) return get_const(invert);
+      if (kept.size() == 1)
+        return invert ? emit_not(kept[0], g.name) : kept[0];
+      return emit(invert ? GateType::kXnor : GateType::kXor,
+                  std::move(kept), g.name);
+    }
+    return emit(g.type, std::move(fanins), g.name);
+  }
+
+  GateId rewrite_mux(const Gate& g, std::vector<GateId> fanins) {
+    const GateId sel = fanins[0], a = fanins[1], b = fanins[2];
+    if (options.fold_constants) {
+      bool value = false;
+      if (is_const(sel, &value)) {
+        ++report.folded_gates;
+        return value ? b : a;
+      }
+      if (a == b) {
+        ++report.folded_gates;
+        return a;
+      }
+    }
+    return emit(GateType::kMux, std::move(fanins), g.name);
+  }
+};
+
+// Mark-and-copy: keep only logic in the cone of outputs and DFFs; primary
+// inputs are always kept (they are the interface).
+Netlist sweep_dead_logic(const Netlist& in, OptReport* report) {
+  std::vector<bool> live(static_cast<std::size_t>(in.num_gates()), false);
+  std::vector<GateId> stack;
+  auto mark = [&](GateId id) {
+    if (!live[static_cast<std::size_t>(id)]) {
+      live[static_cast<std::size_t>(id)] = true;
+      stack.push_back(id);
+    }
+  };
+  for (GateId id : in.outputs()) mark(id);
+  for (GateId id : in.dffs()) mark(id);
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    for (GateId f : in.gate(id).fanins) mark(f);
+  }
+
+  Netlist out(in.name());
+  std::vector<GateId> remap(static_cast<std::size_t>(in.num_gates()),
+                            kNoGate);
+  // Interface first.
+  for (GateId id : in.inputs()) remap[static_cast<std::size_t>(id)] =
+      out.add_input(in.gate(id).name);
+  for (GateId id = 0; id < in.num_gates(); ++id) {
+    const Gate& g = in.gate(id);
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+      if (live[static_cast<std::size_t>(id)])
+        remap[static_cast<std::size_t>(id)] =
+            out.add_const(g.type == GateType::kConst1, g.name);
+    } else if (g.type == GateType::kDff) {
+      const GateId self = static_cast<GateId>(out.num_gates());
+      remap[static_cast<std::size_t>(id)] = out.add_dff(self, g.name);
+    }
+  }
+  int dropped = 0;
+  for (GateId id : in.topological_order()) {
+    if (!live[static_cast<std::size_t>(id)]) {
+      ++dropped;
+      continue;
+    }
+    const Gate& g = in.gate(id);
+    std::vector<GateId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) {
+      REBERT_CHECK(remap[static_cast<std::size_t>(f)] != kNoGate);
+      fanins.push_back(remap[static_cast<std::size_t>(f)]);
+    }
+    remap[static_cast<std::size_t>(id)] =
+        out.add_gate(g.type, std::move(fanins), g.name);
+  }
+  for (GateId id = 0; id < in.num_gates(); ++id) {
+    const Gate& g = in.gate(id);
+    if (g.type != GateType::kDff) continue;
+    out.replace_gate(remap[static_cast<std::size_t>(id)], GateType::kDff,
+                     {remap[static_cast<std::size_t>(g.fanins[0])]});
+  }
+  for (GateId id : in.outputs())
+    out.mark_output(remap[static_cast<std::size_t>(id)]);
+  if (report) report->dead_gates += dropped;
+  return out;
+}
+
+}  // namespace
+
+Netlist optimize_netlist(const Netlist& input, const OptOptions& options,
+                         OptReport* report) {
+  Rewriter rewriter(input, options);
+  rewriter.report.gates_before = input.stats().num_comb_gates;
+
+  // Interface and sequential elements first.
+  for (GateId id : input.inputs())
+    rewriter.remap[static_cast<std::size_t>(id)] =
+        rewriter.out.add_input(input.gate(id).name);
+  for (GateId id = 0; id < input.num_gates(); ++id) {
+    const Gate& g = input.gate(id);
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1)
+      rewriter.remap[static_cast<std::size_t>(id)] =
+          rewriter.get_const(g.type == GateType::kConst1);
+    else if (g.type == GateType::kDff) {
+      const GateId self = static_cast<GateId>(rewriter.out.num_gates());
+      rewriter.remap[static_cast<std::size_t>(id)] =
+          rewriter.out.add_dff(self, g.name);
+    }
+  }
+
+  for (GateId id : input.topological_order())
+    rewriter.remap[static_cast<std::size_t>(id)] =
+        rewriter.rewrite(input.gate(id));
+
+  for (GateId id = 0; id < input.num_gates(); ++id) {
+    const Gate& g = input.gate(id);
+    if (g.type != GateType::kDff) continue;
+    rewriter.out.replace_gate(
+        rewriter.remap[static_cast<std::size_t>(id)], GateType::kDff,
+        {rewriter.remap[static_cast<std::size_t>(g.fanins[0])]});
+  }
+
+  // Outputs: re-materialize names simplified away.
+  for (GateId id : input.outputs()) {
+    const GateId mapped = rewriter.remap[static_cast<std::size_t>(id)];
+    const std::string& original_name = input.gate(id).name;
+    if (rewriter.out.gate(mapped).name == original_name) {
+      rewriter.out.mark_output(mapped);
+    } else {
+      const GateId buf =
+          rewriter.out.add_gate(GateType::kBuf, {mapped}, original_name);
+      rewriter.out.mark_output(buf);
+    }
+  }
+
+  Netlist result = options.sweep_dead
+                       ? sweep_dead_logic(rewriter.out, &rewriter.report)
+                       : std::move(rewriter.out);
+  rewriter.report.gates_after = result.stats().num_comb_gates;
+  result.validate();
+  if (report) *report = rewriter.report;
+  return result;
+}
+
+}  // namespace rebert::nl

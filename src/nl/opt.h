@@ -1,0 +1,42 @@
+// Netlist optimization passes.
+//
+// The paper motivates learned reverse engineering with the observation
+// that synthesis optimization destroys recognizable structure ([10]/[11]
+// discussion in §I). This module provides the standard cleanup passes a
+// synthesis tool applies, so experiments can evaluate recovery on
+// *optimized* netlists (see bench/ablation_optimization):
+//   * constant folding / propagation (incl. controlling-value shortcuts),
+//   * BUF and double-inverter elimination,
+//   * structural hashing (merging duplicate gates),
+//   * dead-logic sweep (anything outside the cone of outputs and DFFs).
+// All passes are functionally safe; tests verify equivalence by random
+// simulation. Primary I/O and flip-flop names always survive.
+#pragma once
+
+#include "nl/netlist.h"
+
+namespace rebert::nl {
+
+struct OptOptions {
+  bool fold_constants = true;
+  bool collapse_buffers = true;   // BUF(x) -> x, NOT(NOT(x)) -> x
+  bool structural_hash = true;    // merge identical (type, fanins) gates
+  bool sweep_dead = true;         // drop logic feeding nothing observable
+};
+
+struct OptReport {
+  int folded_gates = 0;      // gates simplified by constant propagation
+  int collapsed_buffers = 0; // BUFs / inverter pairs removed
+  int merged_gates = 0;      // duplicates merged by structural hashing
+  int dead_gates = 0;        // removed by the sweep
+  int gates_before = 0;      // combinational count in the input
+  int gates_after = 0;       // combinational count in the output
+};
+
+/// Optimize a copy of `input`. Primary inputs, primary outputs, and DFFs
+/// are preserved by name; an output whose driver is simplified away is
+/// re-materialized as a BUF so the named net survives.
+Netlist optimize_netlist(const Netlist& input, const OptOptions& options = {},
+                         OptReport* report = nullptr);
+
+}  // namespace rebert::nl

@@ -1,0 +1,226 @@
+#include "nl/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::nl {
+
+namespace {
+
+struct Statement {
+  enum class Kind { kInput, kOutput, kGate } kind;
+  std::string lhs;                 // defined net (empty for OUTPUT)
+  std::string output_net;         // for OUTPUT statements
+  GateType type = GateType::kInput;
+  std::vector<std::string> args;  // fanin net names
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "bench parse error at line " << line << ": " << message;
+  throw ParseError(os.str());
+}
+
+// Parses "NAME ( a , b , ... )" -> {NAME, args}. `text` has no '=' part.
+void parse_call(const std::string& text, int line, std::string* callee,
+                std::vector<std::string>* args) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    fail(line, "expected NAME(arg, ...), got '" + text + "'");
+  *callee = util::trim(text.substr(0, open));
+  if (callee->empty()) fail(line, "missing function name");
+  args->clear();
+  const std::string inner =
+      util::trim(text.substr(open + 1, close - open - 1));
+  if (inner.empty()) return;
+  for (const std::string& piece : util::split(inner, ',')) {
+    const std::string arg = util::trim(piece);
+    if (arg.empty()) fail(line, "empty argument in '" + text + "'");
+    args->push_back(arg);
+  }
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& netlist_name) {
+  std::vector<Statement> statements;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string text = util::trim(line);
+    if (text.empty()) continue;
+
+    Statement st;
+    st.line = line_no;
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      std::string callee;
+      std::vector<std::string> args;
+      parse_call(text, line_no, &callee, &args);
+      const std::string upper = util::to_upper(callee);
+      if (args.size() != 1)
+        fail(line_no, upper + " expects exactly one net name");
+      if (upper == "INPUT") {
+        st.kind = Statement::Kind::kInput;
+        st.lhs = args[0];
+      } else if (upper == "OUTPUT") {
+        st.kind = Statement::Kind::kOutput;
+        st.output_net = args[0];
+      } else {
+        fail(line_no, "unknown directive '" + callee + "'");
+      }
+    } else {
+      st.kind = Statement::Kind::kGate;
+      st.lhs = util::trim(text.substr(0, eq));
+      if (st.lhs.empty()) fail(line_no, "missing left-hand side");
+      std::string callee;
+      parse_call(util::trim(text.substr(eq + 1)), line_no, &callee, &st.args);
+      try {
+        st.type = gate_type_from_name(callee);
+      } catch (const util::CheckError&) {
+        fail(line_no, "unknown gate type '" + callee + "'");
+      }
+      if (st.type == GateType::kInput)
+        fail(line_no, "INPUT cannot appear on the right-hand side");
+    }
+    statements.push_back(std::move(st));
+  }
+
+  Netlist netlist(netlist_name);
+
+  // Pass 1: create all defined gates so forward references resolve; gates
+  // whose fanins are not known yet get placeholder fanins that pass 2
+  // rewires. Sources and DFFs are created first so a valid placeholder id
+  // always exists by the time the first combinational gate is created (a
+  // netlist whose combinational gates have no source at all is cyclic and
+  // rejected by validate()).
+  std::vector<std::pair<GateId, const Statement*>> pending;
+  auto define_check = [&](const Statement& st) {
+    if (netlist.find(st.lhs))
+      fail(st.line, "net '" + st.lhs + "' defined twice");
+  };
+  for (const Statement& st : statements) {
+    if (st.kind == Statement::Kind::kInput) {
+      define_check(st);
+      netlist.add_input(st.lhs);
+    } else if (st.kind == Statement::Kind::kGate &&
+               (st.type == GateType::kConst0 ||
+                st.type == GateType::kConst1)) {
+      define_check(st);
+      if (!st.args.empty()) fail(st.line, "constants take no arguments");
+      netlist.add_const(st.type == GateType::kConst1, st.lhs);
+    }
+  }
+  for (const Statement& st : statements) {
+    if (st.kind != Statement::Kind::kGate || st.type != GateType::kDff)
+      continue;
+    define_check(st);
+    if (st.args.size() != 1) fail(st.line, "DFF expects exactly one fanin");
+    // Self-reference is always a legal placeholder for a DFF.
+    const GateId self = static_cast<GateId>(netlist.num_gates());
+    const GateId id = netlist.add_dff(self, st.lhs);
+    pending.emplace_back(id, &st);
+  }
+  for (const Statement& st : statements) {
+    if (st.kind != Statement::Kind::kGate) continue;
+    if (st.type == GateType::kDff || st.type == GateType::kConst0 ||
+        st.type == GateType::kConst1)
+      continue;
+    define_check(st);
+    if (netlist.num_gates() == 0)
+      fail(st.line,
+           "netlist has no primary inputs, constants, or flip-flops; "
+           "combinational logic would be cyclic");
+    std::vector<GateId> placeholder(st.args.size(), 0);
+    const GateId id = netlist.add_gate(st.type, std::move(placeholder),
+                                       st.lhs);
+    pending.emplace_back(id, &st);
+  }
+
+  // Pass 2: resolve fanins by name.
+  for (auto& [id, st] : pending) {
+    std::vector<GateId> fanins;
+    fanins.reserve(st->args.size());
+    for (const std::string& arg : st->args) {
+      auto ref = netlist.find(arg);
+      if (!ref)
+        fail(st->line, "undefined net '" + arg + "'");
+      fanins.push_back(*ref);
+    }
+    netlist.replace_gate(id, netlist.gate(id).type, std::move(fanins));
+  }
+
+  // Pass 3: outputs.
+  for (const Statement& st : statements) {
+    if (st.kind != Statement::Kind::kOutput) continue;
+    auto ref = netlist.find(st.output_net);
+    if (!ref) fail(st.line, "OUTPUT references undefined net '" +
+                                st.output_net + "'");
+    netlist.mark_output(*ref);
+  }
+
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& netlist_name) {
+  std::istringstream in(text);
+  return parse_bench(in, netlist_name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  REBERT_CHECK_MSG(in.good(), "cannot open bench file " << path);
+  // Derive a netlist name from the file name (drop directory and extension).
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return parse_bench(in, name);
+}
+
+void write_bench(const Netlist& netlist, std::ostream& out) {
+  out << "# netlist: " << netlist.name() << "\n";
+  const NetlistStats stats = netlist.stats();
+  out << "# inputs=" << stats.num_inputs << " outputs=" << stats.num_outputs
+      << " dffs=" << stats.num_dffs << " gates=" << stats.num_comb_gates
+      << "\n";
+  for (GateId id : netlist.inputs())
+    out << "INPUT(" << netlist.gate(id).name << ")\n";
+  for (GateId id : netlist.outputs())
+    out << "OUTPUT(" << netlist.gate(id).name << ")\n";
+  for (GateId id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (g.type == GateType::kInput) continue;
+    out << g.name << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << netlist.gate(g.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& netlist) {
+  std::ostringstream out;
+  write_bench(netlist, out);
+  return out.str();
+}
+
+void write_bench_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  REBERT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_bench(netlist, out);
+}
+
+}  // namespace rebert::nl

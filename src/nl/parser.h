@@ -1,0 +1,39 @@
+// ISCAS-89 / ITC'99 style ".bench" structural netlist reader & writer.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//   INPUT(a)
+//   OUTPUT(y)
+//   y = NAND(a, b)
+//   q = DFF(d)
+//   k = CONST0()            (extension: constants)
+// Statements may reference nets defined later; the parser resolves forward
+// references in a second pass.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "nl/netlist.h"
+
+namespace rebert::nl {
+
+/// Thrown on malformed input with a line-number message.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parse a netlist from .bench text.
+Netlist parse_bench(std::istream& in, const std::string& netlist_name = "");
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& netlist_name = "");
+Netlist parse_bench_file(const std::string& path);
+
+/// Serialize; parse_bench(write_bench(n)) reproduces the netlist up to gate
+/// ordering.
+void write_bench(const Netlist& netlist, std::ostream& out);
+std::string write_bench_string(const Netlist& netlist);
+void write_bench_file(const Netlist& netlist, const std::string& path);
+
+}  // namespace rebert::nl

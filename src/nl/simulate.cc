@@ -1,0 +1,162 @@
+#include "nl/simulate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::nl {
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(netlist),
+      topo_(netlist.topological_order()),
+      values_(static_cast<std::size_t>(netlist.num_gates()), 0),
+      state_(netlist.dffs().size(), 0) {}
+
+void Simulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(state_.begin(), state_.end(), 0);
+}
+
+void Simulator::set_inputs(const std::vector<bool>& values) {
+  const auto& inputs = netlist_.inputs();
+  REBERT_CHECK_MSG(values.size() == inputs.size(),
+                   "expected " << inputs.size() << " input values, got "
+                               << values.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    values_[inputs[i]] = values[i] ? 1 : 0;
+}
+
+void Simulator::eval_combinational() {
+  // Sources: constants; DFF outputs come from latched state.
+  for (GateId id = 0; id < netlist_.num_gates(); ++id) {
+    const GateType t = netlist_.gate(id).type;
+    if (t == GateType::kConst0) values_[id] = 0;
+    if (t == GateType::kConst1) values_[id] = 1;
+  }
+  const auto& dffs = netlist_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    values_[dffs[i]] = state_[i];
+
+  std::vector<bool> fanin_values;
+  for (GateId id : topo_) {
+    const Gate& g = netlist_.gate(id);
+    fanin_values.clear();
+    for (GateId f : g.fanins) fanin_values.push_back(values_[f] != 0);
+    values_[id] = eval_gate(g.type, fanin_values) ? 1 : 0;
+  }
+}
+
+void Simulator::step() {
+  const auto& dffs = netlist_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    state_[i] = values_[netlist_.gate(dffs[i]).fanins[0]];
+}
+
+bool Simulator::value(GateId id) const {
+  REBERT_CHECK(netlist_.is_valid_id(id));
+  return values_[id] != 0;
+}
+
+std::vector<bool> Simulator::output_values() const {
+  std::vector<bool> out;
+  out.reserve(netlist_.outputs().size());
+  for (GateId id : netlist_.outputs()) out.push_back(values_[id] != 0);
+  return out;
+}
+
+std::vector<bool> Simulator::next_state_values() const {
+  std::vector<bool> out;
+  out.reserve(netlist_.dffs().size());
+  for (GateId id : netlist_.dffs())
+    out.push_back(values_[netlist_.gate(id).fanins[0]] != 0);
+  return out;
+}
+
+std::vector<bool> Simulator::state_values() const {
+  return std::vector<bool>(state_.begin(), state_.end());
+}
+
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    const EquivalenceOptions& options) {
+  EquivalenceResult result;
+
+  // Match inputs by name; require the same input sets.
+  REBERT_CHECK_MSG(a.inputs().size() == b.inputs().size(),
+                   "input count mismatch");
+  // b_slot_for_a[i] = position of a's i-th input within b.inputs().
+  std::vector<std::size_t> b_slot_for_a(a.inputs().size());
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    const std::string& name = a.gate(a.inputs()[i]).name;
+    auto ib = b.find(name);
+    REBERT_CHECK_MSG(ib && b.gate(*ib).type == GateType::kInput,
+                     "input '" << name << "' missing in second netlist");
+    const auto& b_inputs = b.inputs();
+    const auto it = std::find(b_inputs.begin(), b_inputs.end(), *ib);
+    REBERT_CHECK(it != b_inputs.end());
+    b_slot_for_a[i] = static_cast<std::size_t>(it - b_inputs.begin());
+  }
+
+  // Observables: primary outputs of `a` (matched by name in `b`) plus DFF
+  // D-values matched via DFF names.
+  struct Observable {
+    std::string name;
+    GateId in_a;
+    GateId in_b;
+    bool is_dff;  // compare D pin values rather than the net itself
+  };
+  std::vector<Observable> observables;
+  for (GateId oa : a.outputs()) {
+    auto ob = b.find(a.gate(oa).name);
+    if (ob) observables.push_back({a.gate(oa).name, oa, *ob, false});
+  }
+  for (GateId fa : a.dffs()) {
+    auto fb = b.find(a.gate(fa).name);
+    if (fb && b.gate(*fb).type == GateType::kDff)
+      observables.push_back({a.gate(fa).name, fa, *fb, true});
+  }
+  REBERT_CHECK_MSG(!observables.empty(),
+                   "no common observables between netlists");
+
+  Simulator sim_a(a);
+  Simulator sim_b(b);
+  util::Rng rng(options.seed);
+
+  for (int seq = 0; seq < options.num_sequences; ++seq) {
+    sim_a.reset();
+    sim_b.reset();
+    for (int cycle = 0; cycle < options.cycles_per_sequence; ++cycle) {
+      std::vector<bool> in_a(a.inputs().size());
+      for (std::size_t i = 0; i < in_a.size(); ++i)
+        in_a[i] = rng.bernoulli(0.5);
+      // Align b's inputs by name with a's ordering.
+      std::vector<bool> in_b(b.inputs().size());
+      for (std::size_t i = 0; i < a.inputs().size(); ++i)
+        in_b[b_slot_for_a[i]] = in_a[i];
+      sim_a.set_inputs(in_a);
+      sim_b.set_inputs(in_b);
+      sim_a.eval_combinational();
+      sim_b.eval_combinational();
+
+      for (const Observable& obs : observables) {
+        const bool va = obs.is_dff
+                            ? sim_a.value(a.gate(obs.in_a).fanins[0])
+                            : sim_a.value(obs.in_a);
+        const bool vb = obs.is_dff
+                            ? sim_b.value(b.gate(obs.in_b).fanins[0])
+                            : sim_b.value(obs.in_b);
+        if (va != vb) {
+          result.equivalent = false;
+          result.failing_sequence = seq;
+          result.failing_cycle = cycle;
+          result.mismatched_net = obs.name;
+          return result;
+        }
+      }
+      sim_a.step();
+      sim_b.step();
+    }
+  }
+  return result;
+}
+
+}  // namespace rebert::nl

@@ -1,0 +1,72 @@
+// Cycle-accurate logic simulation and random-vector equivalence checking.
+//
+// The corruption engine (§III-A-1) must replace gates only with
+// functionally equivalent templates; the simulator provides the oracle that
+// our tests and the corruption engine's self-check use to verify that the
+// corrupted netlist computes the same sequential function as the original.
+#pragma once
+
+#include <vector>
+
+#include "nl/netlist.h"
+#include "util/rng.h"
+
+namespace rebert::nl {
+
+/// Two-valued simulator. State = DFF outputs; inputs set per cycle.
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Reset all DFFs to 0.
+  void reset();
+
+  /// Set primary input values (aligned with netlist.inputs()).
+  void set_inputs(const std::vector<bool>& values);
+
+  /// Evaluate all combinational logic for the current inputs/state.
+  void eval_combinational();
+
+  /// Clock edge: latch D values into DFFs (call after eval_combinational).
+  void step();
+
+  /// Value of any net after eval_combinational().
+  bool value(GateId id) const;
+
+  /// Values of primary outputs / DFF D-inputs (the observable signals used
+  /// for equivalence checking).
+  std::vector<bool> output_values() const;
+  std::vector<bool> next_state_values() const;
+  std::vector<bool> state_values() const;
+
+  const Netlist& netlist() const { return netlist_; }
+
+ private:
+  const Netlist& netlist_;
+  std::vector<GateId> topo_;
+  std::vector<char> values_;  // per-net value (char to avoid bitset refs)
+  std::vector<char> state_;   // per-DFF latched value, aligned with dffs()
+};
+
+struct EquivalenceOptions {
+  int num_sequences = 16;  // independent random runs from reset
+  int cycles_per_sequence = 32;
+  std::uint64_t seed = 1;
+};
+
+struct EquivalenceResult {
+  bool equivalent = true;
+  int failing_sequence = -1;
+  int failing_cycle = -1;
+  std::string mismatched_net;  // name of the first differing observable
+};
+
+/// Random simulation equivalence check. Netlists must have identical
+/// primary-input names; observables are the primary outputs and the D pins
+/// of DFFs *matched by name* (nets present in both). This matches the
+/// corruption setting, where templates add fresh gates but keep original
+/// nets alive.
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    const EquivalenceOptions& options = {});
+
+}  // namespace rebert::nl

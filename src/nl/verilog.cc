@@ -1,0 +1,377 @@
+#include "nl/verilog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::nl {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw VerilogError("verilog parse error: " + message);
+}
+
+std::string strip_comments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size();) {
+    if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < text.size() &&
+             !(text[i] == '*' && text[i + 1] == '/'))
+        ++i;
+      i = std::min(text.size(), i + 2);
+      out += ' ';
+    } else {
+      out += text[i++];
+    }
+  }
+  return out;
+}
+
+// Splits "a , b[2] , c" into trimmed pieces.
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& piece : util::split(text, ',')) {
+    const std::string item = util::trim(piece);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+struct Declaration {
+  std::vector<std::string> names;  // vector ranges already expanded
+};
+
+// Parses the tail of an input/output/wire statement: "[3:0] bus, x".
+Declaration parse_declaration(const std::string& tail) {
+  Declaration decl;
+  std::string rest = util::trim(tail);
+  int msb = -1, lsb = -1;
+  if (!rest.empty() && rest.front() == '[') {
+    const std::size_t close = rest.find(']');
+    if (close == std::string::npos) fail("unterminated range in '" + rest + "'");
+    const std::string range = rest.substr(1, close - 1);
+    const std::size_t colon = range.find(':');
+    if (colon == std::string::npos) fail("bad range '" + range + "'");
+    msb = std::stoi(util::trim(range.substr(0, colon)));
+    lsb = std::stoi(util::trim(range.substr(colon + 1)));
+    rest = util::trim(rest.substr(close + 1));
+  }
+  for (const std::string& name : split_list(rest)) {
+    if (msb < 0) {
+      decl.names.push_back(name);
+    } else {
+      const int step = msb >= lsb ? -1 : 1;
+      for (int i = msb;; i += step) {
+        decl.names.push_back(name + "[" + std::to_string(i) + "]");
+        if (i == lsb) break;
+      }
+    }
+  }
+  return decl;
+}
+
+struct Instance {
+  GateType type;
+  std::vector<std::string> args;  // output first
+};
+
+struct Assign {
+  std::string lhs;
+  std::string rhs;  // identifier or 1'b0 / 1'b1
+};
+
+bool is_const_literal(const std::string& token, bool* value) {
+  if (token == "1'b0" || token == "1'B0") {
+    *value = false;
+    return true;
+  }
+  if (token == "1'b1" || token == "1'B1") {
+    *value = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& in) {
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  const std::string text = strip_comments(raw);
+
+  // Statement scan: ';'-separated, with module header and endmodule as
+  // anchors.
+  std::vector<std::string> statements;
+  std::string current;
+  for (char c : text) {
+    if (c == ';') {
+      statements.push_back(util::trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string trailing = util::trim(current);
+  if (!trailing.empty()) statements.push_back(trailing);
+
+  std::string module_name;
+  std::vector<std::string> inputs, outputs;
+  std::vector<Instance> instances;
+  std::vector<Assign> assigns;
+  bool saw_module = false, saw_end = false;
+
+  for (std::string statement : statements) {
+    if (statement.empty()) continue;
+    // endmodule can be glued to the final statement (no ';' after it).
+    if (util::ends_with(statement, "endmodule")) {
+      statement = util::trim(
+          statement.substr(0, statement.size() - std::string("endmodule").size()));
+      saw_end = true;
+      if (statement.empty()) continue;
+    }
+    const std::vector<std::string> words = util::split_ws(statement);
+    const std::string& keyword = words[0];
+
+    if (keyword == "module") {
+      if (saw_module) fail("multiple modules (flatten first)");
+      saw_module = true;
+      const std::size_t open = statement.find('(');
+      module_name = util::trim(
+          statement.substr(6, (open == std::string::npos
+                                   ? statement.size()
+                                   : open) - 6));
+      continue;  // port list is implied by the declarations
+    }
+    if (!saw_module) fail("statement before module header: " + statement);
+
+    if (keyword == "input" || keyword == "output" || keyword == "wire") {
+      const Declaration decl =
+          parse_declaration(statement.substr(keyword.size()));
+      if (keyword == "input")
+        inputs.insert(inputs.end(), decl.names.begin(), decl.names.end());
+      else if (keyword == "output")
+        outputs.insert(outputs.end(), decl.names.begin(), decl.names.end());
+      // wires are implicit (every net has a driver)
+      continue;
+    }
+    if (keyword == "assign") {
+      const std::size_t eq = statement.find('=');
+      if (eq == std::string::npos) fail("assign without '='");
+      Assign assign;
+      assign.lhs = util::trim(statement.substr(6, eq - 6));
+      assign.rhs = util::trim(statement.substr(eq + 1));
+      if (assign.lhs.empty() || assign.rhs.empty())
+        fail("malformed assign: " + statement);
+      assigns.push_back(std::move(assign));
+      continue;
+    }
+
+    // Gate primitive: type [instance] ( args ).
+    GateType type;
+    try {
+      type = gate_type_from_name(keyword);
+    } catch (const util::CheckError&) {
+      fail("unsupported construct '" + keyword + "' (flatten to gate "
+           "primitives first)");
+    }
+    const std::size_t open = statement.find('(');
+    const std::size_t close = statement.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+      fail("malformed instance: " + statement);
+    Instance instance;
+    instance.type = type;
+    instance.args = split_list(statement.substr(open + 1, close - open - 1));
+    if (instance.args.size() < 2)
+      fail("primitive needs an output and at least one input: " + statement);
+    instances.push_back(std::move(instance));
+  }
+  if (!saw_module) fail("no module found");
+  if (!saw_end) fail("missing endmodule");
+
+  // Build the netlist with the same two-pass strategy as the .bench
+  // parser: sources and DFFs first, then combinational gates with
+  // placeholder fanins, then rewiring.
+  Netlist netlist(module_name.empty() ? "top" : module_name);
+  for (const std::string& name : inputs) {
+    if (netlist.find(name)) fail("input '" + name + "' declared twice");
+    netlist.add_input(name);
+  }
+
+  // Names that will be defined later; internal literal-constant gates must
+  // not squat on any of them.
+  std::unordered_set<std::string> future_names(inputs.begin(), inputs.end());
+  for (const Instance& instance : instances)
+    future_names.insert(instance.args[0]);
+  for (const Assign& assign : assigns) future_names.insert(assign.lhs);
+
+  GateId const0 = kNoGate, const1 = kNoGate;
+  auto get_const = [&](bool value) {
+    GateId& slot = value ? const1 : const0;
+    if (slot == kNoGate) {
+      std::string name = value ? "lit1" : "lit0";
+      while (future_names.count(name) || netlist.find(name)) name += "_";
+      slot = netlist.add_const(value, name);
+    }
+    return slot;
+  };
+  // Pre-create constants referenced anywhere so placeholder ids exist.
+  for (const Instance& instance : instances)
+    for (std::size_t i = 1; i < instance.args.size(); ++i) {
+      bool value = false;
+      if (is_const_literal(instance.args[i], &value)) get_const(value);
+    }
+  for (const Assign& assign : assigns) {
+    bool value = false;
+    if (is_const_literal(assign.rhs, &value)) get_const(value);
+  }
+
+  struct Pending {
+    GateId id;
+    std::vector<std::string> fanin_names;
+  };
+  std::vector<Pending> pending;
+
+  auto define = [&](const std::string& name) {
+    if (netlist.find(name)) fail("net '" + name + "' driven twice");
+  };
+
+  for (const Instance& instance : instances) {
+    if (instance.type != GateType::kDff) continue;
+    if (instance.args.size() != 2) fail("dff expects (Q, D)");
+    define(instance.args[0]);
+    const GateId self = static_cast<GateId>(netlist.num_gates());
+    const GateId id = netlist.add_dff(self, instance.args[0]);
+    pending.push_back({id, {instance.args[1]}});
+  }
+  for (const Instance& instance : instances) {
+    if (instance.type == GateType::kDff) continue;
+    define(instance.args[0]);
+    if (netlist.num_gates() == 0)
+      fail("combinational netlist without any source");
+    const std::vector<GateId> placeholder(instance.args.size() - 1, 0);
+    const GateId id =
+        netlist.add_gate(instance.type, placeholder, instance.args[0]);
+    pending.push_back(
+        {id, {instance.args.begin() + 1, instance.args.end()}});
+  }
+  for (const Assign& assign : assigns) {
+    define(assign.lhs);
+    bool value = false;
+    if (is_const_literal(assign.rhs, &value)) {
+      // Tie: materialize as BUF of the constant so the name exists.
+      netlist.add_gate(GateType::kBuf, {get_const(value)}, assign.lhs);
+    } else {
+      if (netlist.num_gates() == 0) fail("assign before any source");
+      const GateId id =
+          netlist.add_gate(GateType::kBuf, {static_cast<GateId>(0)},
+                           assign.lhs);
+      pending.push_back({id, {assign.rhs}});
+    }
+  }
+
+  for (const Pending& p : pending) {
+    std::vector<GateId> fanins;
+    fanins.reserve(p.fanin_names.size());
+    for (const std::string& name : p.fanin_names) {
+      bool value = false;
+      if (is_const_literal(name, &value)) {
+        fanins.push_back(get_const(value));
+        continue;
+      }
+      const auto ref = netlist.find(name);
+      if (!ref) fail("undriven net '" + name + "'");
+      fanins.push_back(*ref);
+    }
+    netlist.replace_gate(p.id, netlist.gate(p.id).type, std::move(fanins));
+  }
+
+  for (const std::string& name : outputs) {
+    const auto ref = netlist.find(name);
+    if (!ref) fail("output '" + name + "' has no driver");
+    netlist.mark_output(*ref);
+  }
+
+  netlist.validate();
+  return netlist;
+}
+
+Netlist parse_verilog_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_verilog(in);
+}
+
+Netlist parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  REBERT_CHECK_MSG(in.good(), "cannot open verilog file " << path);
+  return parse_verilog(in);
+}
+
+void write_verilog(const Netlist& netlist, std::ostream& out) {
+  // Sanitized module name (identifiers only).
+  std::string module_name = netlist.name().empty() ? "top" : netlist.name();
+  for (char& c : module_name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+
+  std::vector<std::string> port_names;
+  for (GateId id : netlist.inputs()) port_names.push_back(netlist.gate(id).name);
+  for (GateId id : netlist.outputs())
+    port_names.push_back(netlist.gate(id).name);
+
+  out << "module " << module_name << " (" << util::join(port_names, ", ")
+      << ");\n";
+  for (GateId id : netlist.inputs())
+    out << "  input " << netlist.gate(id).name << ";\n";
+  for (GateId id : netlist.outputs())
+    out << "  output " << netlist.gate(id).name << ";\n";
+  for (GateId id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (g.type == GateType::kInput || netlist.is_output(id)) continue;
+    out << "  wire " << g.name << ";\n";
+  }
+  int instance_counter = 0;
+  for (GateId id = 0; id < netlist.num_gates(); ++id) {
+    const Gate& g = netlist.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        out << "  assign " << g.name << " = 1'b0;\n";
+        break;
+      case GateType::kConst1:
+        out << "  assign " << g.name << " = 1'b1;\n";
+        break;
+      default: {
+        out << "  " << util::to_lower(gate_type_name(g.type)) << " g"
+            << instance_counter++ << " (" << g.name;
+        for (GateId f : g.fanins) out << ", " << netlist.gate(f).name;
+        out << ");\n";
+      }
+    }
+  }
+  out << "endmodule\n";
+}
+
+std::string write_verilog_string(const Netlist& netlist) {
+  std::ostringstream out;
+  write_verilog(netlist, out);
+  return out.str();
+}
+
+void write_verilog_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  REBERT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_verilog(netlist, out);
+}
+
+}  // namespace rebert::nl

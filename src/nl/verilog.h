@@ -1,0 +1,47 @@
+// Structural Verilog reader & writer (gate-primitive subset).
+//
+// The ITC'99 benchmarks circulate as synthesized structural Verilog; this
+// module accepts the subset such netlists use:
+//
+//   module top (a, b, y);
+//     input a, b;
+//     input [3:0] bus;          // vectors expand to bus[3] .. bus[0]
+//     output y;
+//     wire w1;
+//     nand g1 (w1, a, b);       // primitives: output first, then inputs
+//     not (y, w1);              // instance name optional
+//     dff r0 (q, w1);           // sequential pseudo-primitive (Q, D)
+//     assign y2 = w1;           // simple alias (materialized as BUF)
+//     assign k = 1'b0;          // constant tie
+//   endmodule
+//
+// Supported primitives: and/or/nand/nor/xor/xnor (n-ary), not/buf (unary),
+// mux (sel, a, b), dff (Q, D). Comments (// and /* */) are stripped.
+// Multiple modules, hierarchies, always blocks, and expressions are out of
+// scope — flatten first, as the paper's flow assumes.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "nl/netlist.h"
+
+namespace rebert::nl {
+
+class VerilogError : public std::runtime_error {
+ public:
+  explicit VerilogError(const std::string& what) : std::runtime_error(what) {}
+};
+
+Netlist parse_verilog(std::istream& in);
+Netlist parse_verilog_string(const std::string& text);
+Netlist parse_verilog_file(const std::string& path);
+
+/// Emits the module in the accepted subset; parse(write(n)) is equivalent
+/// to n by simulation.
+void write_verilog(const Netlist& netlist, std::ostream& out);
+std::string write_verilog_string(const Netlist& netlist);
+void write_verilog_file(const Netlist& netlist, const std::string& path);
+
+}  // namespace rebert::nl

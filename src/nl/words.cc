@@ -1,0 +1,115 @@
+#include "nl/words.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::nl {
+
+std::vector<Bit> extract_bits(const Netlist& netlist) {
+  std::vector<Bit> bits;
+  bits.reserve(netlist.dffs().size());
+  for (GateId id : netlist.dffs()) {
+    const Gate& g = netlist.gate(id);
+    bits.push_back(Bit{id, g.fanins[0], g.name});
+  }
+  return bits;
+}
+
+void WordMap::add_word(const std::string& word_name,
+                       const std::vector<std::string>& bit_names) {
+  REBERT_CHECK_MSG(!bit_names.empty(), "word '" << word_name << "' is empty");
+  for (const auto& [name, bits] : words_)
+    REBERT_CHECK_MSG(name != word_name,
+                     "word '" << word_name << "' added twice");
+  const int label = static_cast<int>(words_.size());
+  for (const std::string& bit : bit_names) {
+    REBERT_CHECK_MSG(!word_of_bit_.count(bit),
+                     "bit '" << bit << "' assigned to two words");
+    word_of_bit_.emplace(bit, label);
+  }
+  words_.emplace_back(word_name, bit_names);
+}
+
+std::vector<int> WordMap::labels_for(const std::vector<Bit>& bits) const {
+  std::vector<int> labels(bits.size(), -1);
+  int next_singleton = num_words();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto it = word_of_bit_.find(bits[i].name);
+    labels[i] = (it != word_of_bit_.end()) ? it->second : next_singleton++;
+  }
+  return labels;
+}
+
+WordMap WordMap::from_labels(const std::vector<Bit>& bits,
+                             const std::vector<int>& labels) {
+  REBERT_CHECK(bits.size() == labels.size());
+  std::unordered_map<int, std::vector<std::string>> groups;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    groups[labels[i]].push_back(bits[i].name);
+  // Deterministic word order: sort group keys.
+  std::vector<int> keys;
+  keys.reserve(groups.size());
+  for (const auto& [k, v] : groups) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  WordMap map;
+  for (int k : keys)
+    map.add_word("word_" + std::to_string(k), groups[k]);
+  return map;
+}
+
+std::unordered_map<int, int> WordMap::size_histogram() const {
+  std::unordered_map<int, int> histogram;
+  for (const auto& [name, bits] : words_)
+    ++histogram[static_cast<int>(bits.size())];
+  return histogram;
+}
+
+std::string WordMap::to_text() const {
+  std::string out = "# word-level ground truth: name: bit bit ...\n";
+  for (const auto& [name, bits] : words_) {
+    out += name;
+    out += ':';
+    for (const std::string& bit : bits) {
+      out += ' ';
+      out += bit;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+WordMap WordMap::from_text(const std::string& text) {
+  WordMap map;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    const std::string line = util::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t colon = line.find(':');
+    REBERT_CHECK_MSG(colon != std::string::npos,
+                     "word line missing ':': " << line);
+    const std::string name = util::trim(line.substr(0, colon));
+    REBERT_CHECK_MSG(!name.empty(), "word line missing name: " << line);
+    const std::vector<std::string> bits =
+        util::split_ws(line.substr(colon + 1));
+    map.add_word(name, bits);
+  }
+  return map;
+}
+
+void WordMap::save(const std::string& path) const {
+  std::ofstream out(path);
+  REBERT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << to_text();
+}
+
+WordMap WordMap::load(const std::string& path) {
+  std::ifstream in(path);
+  REBERT_CHECK_MSG(in.good(), "cannot open words file " << path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return from_text(text);
+}
+
+}  // namespace rebert::nl

@@ -1,0 +1,69 @@
+// Bits and word-level ground truth.
+//
+// §II-A: "Bits are identified as signals feeding into sequential components"
+// — i.e. the D pin of each flip-flop. A *word* is a set of bits that the
+// original RTL grouped (a register, counter, accumulator, ...). The
+// benchmark generator emits the ground-truth WordMap; reverse-engineering
+// methods output a grouping over the same bit universe, and metrics::ARI
+// compares the two labelings.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nl/netlist.h"
+
+namespace rebert::nl {
+
+/// One bit = one flip-flop; the cone root is the D-input net.
+struct Bit {
+  GateId dff = kNoGate;    // the sequential element
+  GateId d_net = kNoGate;  // signal feeding it (cone root)
+  std::string name;        // the DFF's name (stable across corruption)
+};
+
+/// All bits of a netlist in a deterministic order (DFF creation order).
+std::vector<Bit> extract_bits(const Netlist& netlist);
+
+/// Ground-truth (or predicted) word grouping over bit names.
+class WordMap {
+ public:
+  /// Assign `bit_names` to a word. Word names must be unique; each bit can
+  /// belong to at most one word.
+  void add_word(const std::string& word_name,
+                const std::vector<std::string>& bit_names);
+
+  int num_words() const { return static_cast<int>(words_.size()); }
+  const std::vector<std::pair<std::string, std::vector<std::string>>>& words()
+      const {
+    return words_;
+  }
+
+  /// Word label for a bit; bits not covered by any word get singleton labels
+  /// appended after the word labels (the ITC'99 ground truth also leaves
+  /// loose status flags as 1-bit words).
+  /// Returns labels aligned with `bits` ordering.
+  std::vector<int> labels_for(const std::vector<Bit>& bits) const;
+
+  /// Build a WordMap from labels (inverse of labels_for, for predictions).
+  static WordMap from_labels(const std::vector<Bit>& bits,
+                             const std::vector<int>& labels);
+
+  /// Histogram of word sizes, e.g. {1: 3, 8: 4} — three 1-bit and four
+  /// 8-bit words.
+  std::unordered_map<int, int> size_histogram() const;
+
+  /// Text serialization: one word per line, "name: bit bit bit".
+  /// Lines starting with '#' are comments.
+  std::string to_text() const;
+  static WordMap from_text(const std::string& text);
+  void save(const std::string& path) const;
+  static WordMap load(const std::string& path);
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::string>>> words_;
+  std::unordered_map<std::string, int> word_of_bit_;
+};
+
+}  // namespace rebert::nl

@@ -1,0 +1,154 @@
+#include "rebert/dataset.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "nl/corruption.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rebert::core {
+
+namespace {
+
+struct IndexPair {
+  int a;
+  int b;
+};
+
+// Collect positive pairs (same label) and a sample of negative pairs from
+// one circuit variant's bit labels.
+void sample_pairs(const std::vector<int>& labels, int budget,
+                  double negative_ratio, util::Rng* rng,
+                  std::vector<IndexPair>* positives,
+                  std::vector<IndexPair>* negatives) {
+  const int n = static_cast<int>(labels.size());
+  positives->clear();
+  negatives->clear();
+  if (n < 2 || budget <= 0) return;
+
+  // Positives: enumerate within label groups (words are small, so this is
+  // cheap even for the biggest benchmarks).
+  std::unordered_map<int, std::vector<int>> groups;
+  for (int i = 0; i < n; ++i) groups[labels[static_cast<std::size_t>(i)]].push_back(i);
+  for (const auto& [label, members] : groups)
+    for (std::size_t x = 0; x < members.size(); ++x)
+      for (std::size_t y = x + 1; y < members.size(); ++y)
+        positives->push_back({members[x], members[y]});
+  rng->shuffle(*positives);
+
+  // Budget split: pos + ratio*pos <= budget.
+  const int max_positives = std::max(
+      1, static_cast<int>(budget / (1.0 + negative_ratio)));
+  if (static_cast<int>(positives->size()) > max_positives)
+    positives->resize(static_cast<std::size_t>(max_positives));
+
+  const int want_negatives = std::min(
+      budget - static_cast<int>(positives->size()),
+      static_cast<int>(positives->size() * negative_ratio + 0.5));
+
+  // Negatives: rejection-sample random pairs with different labels (dense
+  // enumeration would be quadratic in FF count on the big benchmarks).
+  int attempts = 0;
+  const int max_attempts = want_negatives * 50 + 100;
+  std::unordered_map<long long, bool> seen;
+  while (static_cast<int>(negatives->size()) < want_negatives &&
+         attempts++ < max_attempts) {
+    const int a = static_cast<int>(rng->uniform_u64(static_cast<std::uint64_t>(n)));
+    const int b = static_cast<int>(rng->uniform_u64(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    if (labels[static_cast<std::size_t>(a)] ==
+        labels[static_cast<std::size_t>(b)])
+      continue;
+    const int lo = std::min(a, b), hi = std::max(a, b);
+    const long long key = static_cast<long long>(lo) * n + hi;
+    if (seen.count(key)) continue;
+    seen.emplace(key, true);
+    negatives->push_back({lo, hi});
+  }
+}
+
+}  // namespace
+
+std::vector<bert::LabeledExample> build_examples_for_circuit(
+    const CircuitData& circuit, const DatasetOptions& options) {
+  REBERT_CHECK_MSG(!options.r_indices.empty(), "need at least one R-Index");
+  REBERT_CHECK(options.negative_ratio > 0.0);
+  REBERT_CHECK(options.max_samples_per_circuit >= 1);
+
+  const Tokenizer tokenizer(options.tokenizer);
+  util::Rng rng(options.seed ^
+                std::hash<std::string>{}(circuit.name));
+
+  const int budget_per_variant = std::max(
+      1, options.max_samples_per_circuit /
+             static_cast<int>(options.r_indices.size()));
+
+  std::vector<bert::LabeledExample> examples;
+  for (std::size_t v = 0; v < options.r_indices.size(); ++v) {
+    const double r = options.r_indices[v];
+    nl::CorruptionOptions corrupt_options;
+    corrupt_options.r_index = r;
+    corrupt_options.seed = rng.next_u64();
+    const nl::Netlist variant =
+        r == 0.0 ? circuit.netlist
+                 : nl::corrupt_netlist(circuit.netlist, corrupt_options);
+
+    const std::vector<nl::Bit> bits = nl::extract_bits(variant);
+    if (bits.size() < 2) continue;
+    const std::vector<int> labels = circuit.words.labels_for(bits);
+    const std::vector<BitSequence> sequences = tokenizer.tokenize_bits(variant);
+
+    std::vector<IndexPair> positives, negatives;
+    sample_pairs(labels, budget_per_variant, options.negative_ratio, &rng,
+                 &positives, &negatives);
+    for (const IndexPair& p : positives)
+      examples.push_back(
+          {tokenizer.encode_pair(sequences[static_cast<std::size_t>(p.a)],
+                                 sequences[static_cast<std::size_t>(p.b)]),
+           1});
+    for (const IndexPair& p : negatives)
+      examples.push_back(
+          {tokenizer.encode_pair(sequences[static_cast<std::size_t>(p.a)],
+                                 sequences[static_cast<std::size_t>(p.b)]),
+           0});
+  }
+  // Per-circuit cap across all variants.
+  if (static_cast<int>(examples.size()) > options.max_samples_per_circuit) {
+    rng.shuffle(examples);
+    examples.resize(static_cast<std::size_t>(options.max_samples_per_circuit));
+  }
+  return examples;
+}
+
+std::vector<bert::LabeledExample> build_training_set(
+    const std::vector<const CircuitData*>& circuits,
+    const DatasetOptions& options) {
+  REBERT_CHECK_MSG(!circuits.empty(), "no training circuits");
+  std::vector<bert::LabeledExample> all;
+  for (const CircuitData* circuit : circuits) {
+    REBERT_CHECK(circuit != nullptr);
+    std::vector<bert::LabeledExample> examples =
+        build_examples_for_circuit(*circuit, options);
+    LOG_DEBUG << "circuit " << circuit->name << ": " << examples.size()
+              << " examples";
+    for (auto& e : examples) all.push_back(std::move(e));
+  }
+  util::Rng rng(options.seed ^ 0xabcdefULL);
+  rng.shuffle(all);
+  return all;
+}
+
+std::vector<const CircuitData*> loo_train_split(
+    const std::vector<CircuitData>& circuits, std::size_t test_index) {
+  REBERT_CHECK_MSG(test_index < circuits.size(),
+                   "test index out of range");
+  std::vector<const CircuitData*> train;
+  for (std::size_t i = 0; i < circuits.size(); ++i)
+    if (i != test_index) train.push_back(&circuits[i]);
+  return train;
+}
+
+}  // namespace rebert::core

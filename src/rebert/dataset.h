@@ -1,0 +1,49 @@
+// Training-data generation (§III-A-2).
+//
+// For each training circuit, six corrupted variants are produced (R-Index
+// 0, 0.2, ..., 1.0). Each variant contributes labelled bit pairs: positives
+// (same ground-truth word) and negatives (different words), balanced at
+// 1 : 1.2 positive : negative, with at most `max_samples_per_circuit`
+// samples per circuit so large designs cannot dominate. Evaluation uses
+// leave-one-out cross-validation across the benchmark suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bert/trainer.h"
+#include "nl/netlist.h"
+#include "nl/words.h"
+#include "rebert/tokenizer.h"
+
+namespace rebert::core {
+
+/// A benchmark circuit with its ground truth; the unit of LOO-CV.
+struct CircuitData {
+  std::string name;
+  nl::Netlist netlist;  // 2-input decomposed
+  nl::WordMap words;
+};
+
+struct DatasetOptions {
+  std::vector<double> r_indices{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  double negative_ratio = 1.2;      // negatives per positive
+  int max_samples_per_circuit = 5000;
+  std::uint64_t seed = 2024;
+  TokenizerOptions tokenizer;
+};
+
+/// Labelled pair examples from one circuit (all R-Index variants).
+std::vector<bert::LabeledExample> build_examples_for_circuit(
+    const CircuitData& circuit, const DatasetOptions& options);
+
+/// Aggregate over several circuits and shuffle.
+std::vector<bert::LabeledExample> build_training_set(
+    const std::vector<const CircuitData*>& circuits,
+    const DatasetOptions& options);
+
+/// Leave-one-out split: all circuits except `test_index` are training.
+std::vector<const CircuitData*> loo_train_split(
+    const std::vector<CircuitData>& circuits, std::size_t test_index);
+
+}  // namespace rebert::core

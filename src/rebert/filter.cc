@@ -1,0 +1,34 @@
+#include "rebert/filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rebert::core {
+
+double jaccard_similarity(const std::vector<int>& a,
+                          const std::vector<int>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_map<int, int> count_a, count_b;
+  for (int t : a) ++count_a[t];
+  for (int t : b) ++count_b[t];
+  long long intersection = 0, uni = 0;
+  for (const auto& [token, ca] : count_a) {
+    const auto it = count_b.find(token);
+    const int cb = it == count_b.end() ? 0 : it->second;
+    intersection += std::min(ca, cb);
+    uni += std::max(ca, cb);
+  }
+  for (const auto& [token, cb] : count_b)
+    if (!count_a.count(token)) uni += cb;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+bool passes_filter(const BitSequence& a, const BitSequence& b,
+                   const FilterOptions& options) {
+  if (!options.enabled) return true;
+  return jaccard_similarity(a.token_ids, b.token_ids) >= options.threshold;
+}
+
+}  // namespace rebert::core

@@ -1,0 +1,60 @@
+#include "rebert/prediction_cache.h"
+
+namespace rebert::core {
+
+namespace {
+inline std::uint64_t fnv_step(std::uint64_t h, std::uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+std::uint64_t hash_sequence(std::uint64_t seed, const BitSequence& seq) {
+  std::uint64_t h = fnv_step(seed, static_cast<std::uint64_t>(
+                                       seq.token_ids.size()));
+  for (int token : seq.token_ids)
+    h = fnv_step(h, static_cast<std::uint64_t>(token));
+  for (const auto& code : seq.tree_codes) {
+    // Pack the 0/1 code bits into words to keep hashing cheap.
+    std::uint64_t packed = 0;
+    int used = 0;
+    for (std::uint8_t bit : code) {
+      packed = (packed << 1) | bit;
+      if (++used == 64) {
+        h = fnv_step(h, packed);
+        packed = 0;
+        used = 0;
+      }
+    }
+    h = fnv_step(h, packed ^ static_cast<std::uint64_t>(used));
+  }
+  return h;
+}
+
+std::uint64_t PredictionCache::key_of(const BitSequence& a,
+                                      const BitSequence& b) {
+  return hash_sequence(hash_sequence(0x5eedULL, a) * 0x100000001b3ULL, b);
+}
+
+bool PredictionCache::lookup(std::uint64_t key, double* score) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  if (score) *score = it->second;
+  return true;
+}
+
+void PredictionCache::insert(std::uint64_t key, double score) {
+  entries_.emplace(key, score);
+}
+
+void PredictionCache::clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace rebert::core

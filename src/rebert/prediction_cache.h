@@ -1,0 +1,53 @@
+// Prediction cache — the "acceleration opportunity" the paper's
+// conclusion defers to future work.
+//
+// After leaf generalization (§II-A-2) many bits of a word share *exactly*
+// the same token sequence (template copies differ only in signal names),
+// so the model is repeatedly asked to score identical inputs. Scores are
+// deterministic at inference, so memoizing on the (sequence, sequence,
+// tree-code) pair is lossless: the cached pipeline returns bit-identical
+// score matrices while skipping most forward passes. The speedup bench
+// (ablation_cache) measures the effect; on template-rich circuits the hit
+// rate is high.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rebert/tokenizer.h"
+
+namespace rebert::core {
+
+class PredictionCache {
+ public:
+  /// Order-sensitive key over both sequences' tokens and tree codes
+  /// (encode_pair(a, b) and encode_pair(b, a) are different model inputs).
+  static std::uint64_t key_of(const BitSequence& a, const BitSequence& b);
+
+  /// Returns true and writes the score on a hit.
+  bool lookup(std::uint64_t key, double* score) const;
+
+  void insert(std::uint64_t key, double score);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+  void clear();
+
+ private:
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::unordered_map<std::uint64_t, double> entries_;
+};
+
+/// Hash helper (FNV-1a over ints), exposed for tests.
+std::uint64_t hash_sequence(std::uint64_t seed, const BitSequence& seq);
+
+}  // namespace rebert::core

@@ -1,0 +1,129 @@
+#include "rebert/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::core {
+
+WordReport make_word_report(const std::vector<nl::Bit>& bits,
+                            const ScoreMatrix& scores,
+                            const std::vector<int>& labels,
+                            const GroupingOptions& options) {
+  REBERT_CHECK(bits.size() == labels.size());
+  REBERT_CHECK(static_cast<int>(bits.size()) == scores.size());
+
+  WordReport report;
+  const double max_score = scores.max_score();
+  report.threshold =
+      max_score > 0.0 ? max_score * options.threshold_factor : 0.0;
+
+  std::map<int, std::vector<int>> groups;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    groups[labels[i]].push_back(static_cast<int>(i));
+
+  for (const auto& [label, members] : groups) {
+    if (members.size() < 2) {
+      ++report.num_singletons;
+      continue;
+    }
+    WordReportEntry entry;
+    entry.word_name = "word_" + std::to_string(label);
+    for (int member : members)
+      entry.bits.push_back(bits[static_cast<std::size_t>(member)].name);
+
+    double total = 0.0;
+    double minimum = 1.0;
+    int scored = 0, filtered = 0;
+    for (std::size_t x = 0; x < members.size(); ++x) {
+      for (std::size_t y = x + 1; y < members.size(); ++y) {
+        const double s = scores.at(members[x], members[y]);
+        if (s == ScoreMatrix::kFiltered) {
+          ++filtered;
+          continue;
+        }
+        total += s;
+        minimum = std::min(minimum, s);
+        ++scored;
+      }
+    }
+    entry.mean_intra_score = scored ? total / scored : 0.0;
+    entry.min_intra_score = scored ? minimum : 0.0;
+    const int pairs = scored + filtered;
+    entry.filtered_intra_fraction =
+        pairs ? static_cast<double>(filtered) / pairs : 0.0;
+    report.words.push_back(std::move(entry));
+  }
+
+  std::sort(report.words.begin(), report.words.end(),
+            [](const WordReportEntry& a, const WordReportEntry& b) {
+              if (a.mean_intra_score != b.mean_intra_score)
+                return a.mean_intra_score > b.mean_intra_score;
+              return a.word_name < b.word_name;
+            });
+  return report;
+}
+
+std::string WordReport::to_string() const {
+  std::ostringstream os;
+  os << "recovered " << words.size() << " multi-bit words, "
+     << num_singletons << " singleton bits (threshold "
+     << util::format_double(threshold, 3) << ")\n";
+  for (const WordReportEntry& entry : words) {
+    os << "  " << entry.word_name << " [" << entry.bits.size()
+       << " bits, cohesion " << util::format_double(entry.mean_intra_score, 3)
+       << ", weakest link " << util::format_double(entry.min_intra_score, 3);
+    if (entry.filtered_intra_fraction > 0.0)
+      os << ", " << util::format_double(
+                entry.filtered_intra_fraction * 100.0, 0)
+         << "% filtered";
+    os << "]\n    ";
+    os << util::join(entry.bits, " ");
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u0000";  // control chars never appear in net names; keep
+                         // the escape trivially valid anyway
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string WordReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"threshold\":" << util::format_double(threshold, 6)
+     << ",\"num_singletons\":" << num_singletons << ",\"words\":[";
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const WordReportEntry& entry = words[w];
+    if (w) os << ',';
+    os << "{\"name\":\"" << json_escape(entry.word_name) << "\",\"bits\":[";
+    for (std::size_t b = 0; b < entry.bits.size(); ++b) {
+      if (b) os << ',';
+      os << '"' << json_escape(entry.bits[b]) << '"';
+    }
+    os << "],\"mean_intra_score\":"
+       << util::format_double(entry.mean_intra_score, 6)
+       << ",\"min_intra_score\":"
+       << util::format_double(entry.min_intra_score, 6)
+       << ",\"filtered_intra_fraction\":"
+       << util::format_double(entry.filtered_intra_fraction, 6) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace rebert::core

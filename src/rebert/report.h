@@ -1,0 +1,44 @@
+// Human-readable recovery reports.
+//
+// Reverse engineers consume the grouping as a report: which flip-flops form
+// which word, and how confident the model is in each group. Cohesion
+// statistics expose weak groups (low mean pairwise score) that deserve
+// manual inspection — the audit workflow of the paper's introduction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nl/words.h"
+#include "rebert/grouping.h"
+#include "rebert/scoring.h"
+
+namespace rebert::core {
+
+struct WordReportEntry {
+  std::string word_name;
+  std::vector<std::string> bits;     // flip-flop names
+  double mean_intra_score = 0.0;     // avg model score of in-word pairs
+  double min_intra_score = 0.0;      // weakest in-word link
+  double filtered_intra_fraction = 0.0;  // in-word pairs cut by the filter
+};
+
+struct WordReport {
+  std::vector<WordReportEntry> words;  // multi-bit words first, descending
+                                       // cohesion
+  double threshold = 0.0;              // the dynamic max/3 threshold used
+  int num_singletons = 0;
+
+  std::string to_string() const;
+  /// Machine-readable form for downstream tooling (stable key order).
+  std::string to_json() const;
+};
+
+/// Build a report from the scored matrix and the resulting labels.
+/// `bits` is the bit universe in matrix order.
+WordReport make_word_report(const std::vector<nl::Bit>& bits,
+                            const ScoreMatrix& scores,
+                            const std::vector<int>& labels,
+                            const GroupingOptions& options = {});
+
+}  // namespace rebert::core

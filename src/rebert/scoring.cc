@@ -1,0 +1,79 @@
+#include "rebert/scoring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::core {
+
+ScoreMatrix::ScoreMatrix(int n) : n_(n) {
+  REBERT_CHECK_MSG(n >= 1, "score matrix needs at least one bit");
+  values_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                 kFiltered);
+}
+
+double ScoreMatrix::at(int i, int j) const {
+  REBERT_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+  return values_[static_cast<std::size_t>(i) * n_ + j];
+}
+
+void ScoreMatrix::set(int i, int j, double score) {
+  REBERT_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+  values_[static_cast<std::size_t>(i) * n_ + j] = score;
+  values_[static_cast<std::size_t>(j) * n_ + i] = score;
+}
+
+double ScoreMatrix::max_score() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double ScoreMatrix::filtered_fraction() const {
+  if (n_ < 2) return 0.0;
+  long long filtered = 0, total = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      ++total;
+      if (at(i, j) == kFiltered) ++filtered;
+    }
+  }
+  return static_cast<double>(filtered) / static_cast<double>(total);
+}
+
+ScoreMatrix build_score_matrix(
+    const std::vector<BitSequence>& bits, const FilterOptions& filter,
+    const std::function<double(int, int)>& scorer) {
+  REBERT_CHECK(!bits.empty());
+  ScoreMatrix matrix(static_cast<int>(bits.size()));
+  for (int i = 0; i < matrix.size(); ++i) {
+    for (int j = i + 1; j < matrix.size(); ++j) {
+      if (!passes_filter(bits[static_cast<std::size_t>(i)],
+                         bits[static_cast<std::size_t>(j)], filter))
+        continue;  // stays kFiltered
+      matrix.set(i, j, scorer(i, j));
+    }
+  }
+  return matrix;
+}
+
+ScoreMatrix build_score_matrix_with_model(
+    const std::vector<BitSequence>& bits, const Tokenizer& tokenizer,
+    const FilterOptions& filter, bert::BertPairClassifier& model,
+    PredictionCache* cache) {
+  return build_score_matrix(
+      bits, filter, [&](int i, int j) {
+        const BitSequence& a = bits[static_cast<std::size_t>(i)];
+        const BitSequence& b = bits[static_cast<std::size_t>(j)];
+        std::uint64_t key = 0;
+        if (cache) {
+          key = PredictionCache::key_of(a, b);
+          double cached = 0.0;
+          if (cache->lookup(key, &cached)) return cached;
+        }
+        const bert::EncodedSequence pair = tokenizer.encode_pair(a, b);
+        const double score = model.predict_same_word_probability(pair);
+        if (cache) cache->insert(key, score);
+        return score;
+      });
+}
+
+}  // namespace rebert::core

@@ -1,0 +1,53 @@
+// Pairwise score matrix (§II-C/D, Fig. 1(d) input).
+//
+// score(i,j) = P(same word | bits i, j) from the model, or kFiltered (-1)
+// when the Jaccard pre-filter rejects the pair. The matrix is symmetric
+// with a kFiltered diagonal (self-pairs are never scored).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bert/model.h"
+#include "rebert/filter.h"
+#include "rebert/prediction_cache.h"
+#include "rebert/tokenizer.h"
+
+namespace rebert::core {
+
+class ScoreMatrix {
+ public:
+  static constexpr double kFiltered = -1.0;
+
+  explicit ScoreMatrix(int n);
+
+  int size() const { return n_; }
+  double at(int i, int j) const;
+  void set(int i, int j, double score);  // symmetric write
+
+  /// Maximum entry (filtered cells included as -1); -1 when fully filtered.
+  double max_score() const;
+
+  /// Fraction of strict-upper-triangle pairs that were filtered.
+  double filtered_fraction() const;
+
+ private:
+  int n_;
+  std::vector<double> values_;
+};
+
+/// Scores every pair with `scorer` unless the filter rejects it first.
+/// `scorer(i, j)` is only invoked for surviving pairs.
+ScoreMatrix build_score_matrix(
+    const std::vector<BitSequence>& bits, const FilterOptions& filter,
+    const std::function<double(int, int)>& scorer);
+
+/// Convenience: model-backed scoring through Tokenizer::encode_pair.
+/// When `cache` is non-null, identical (generalized) sequence pairs reuse
+/// previous predictions — lossless, since inference is deterministic.
+ScoreMatrix build_score_matrix_with_model(
+    const std::vector<BitSequence>& bits, const Tokenizer& tokenizer,
+    const FilterOptions& filter, bert::BertPairClassifier& model,
+    PredictionCache* cache = nullptr);
+
+}  // namespace rebert::core

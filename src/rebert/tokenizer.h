@@ -1,0 +1,71 @@
+// Bit tokenization and pair-sequence encoding (§II-A, Fig. 2).
+//
+// For every bit (a net feeding a sequential element) the tokenizer:
+//   1. backtraces `depth` levels through the (2-input-decomposed) netlist
+//      to build the bit's binary fan-in tree,
+//   2. emits the pre-order token sequence (gate mnemonics; leaves
+//      generalized to 'X'),
+//   3. records each token's tree-position code (§II-B-3).
+// encode_pair() concatenates two bit sequences into the model input:
+// [CLS] tokens(a) [SEP] tokens(b) [SEP], sequential positions 0..n-1, and
+// per-token tree codes (all-zero for the special tokens).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bert/embedding.h"
+#include "nl/cone.h"
+#include "nl/netlist.h"
+#include "nl/words.h"
+#include "rebert/tree_code.h"
+#include "rebert/vocab.h"
+
+namespace rebert::core {
+
+struct TokenizerOptions {
+  int backtrace_depth = 6;      // the paper's k = 6
+  int tree_code_dim = 32;       // must match BertConfig::tree_code_dim
+  int max_seq_len = 512;        // pair sequences are truncated to this
+  bool generalize_leaves = true;
+  /// Pad every pair sequence up to this length with [PAD] tokens (the
+  /// paper pads to a uniform length for batch compatibility; §II-A-3).
+  /// 0 = no padding. Must be <= max_seq_len. Predictions are unchanged by
+  /// padding — attention masks [PAD] positions (verified by tests).
+  int pad_to = 0;
+};
+
+/// Tokenized representation of one bit.
+struct BitSequence {
+  std::vector<int> token_ids;                       // pre-order tokens
+  std::vector<std::vector<std::uint8_t>> tree_codes;  // aligned with tokens
+  int tree_size = 0;
+  int tree_depth = 0;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  const TokenizerOptions& options() const { return options_; }
+
+  /// Tokenize the fan-in cone of `net` (normally a Bit::d_net). The netlist
+  /// must already be 2-input decomposed for faithful binary trees; wide
+  /// gates simply yield n-ary pre-order traversals otherwise.
+  BitSequence tokenize_net(const nl::Netlist& netlist, nl::GateId net) const;
+
+  /// Tokenize every bit of the netlist in extract_bits() order.
+  std::vector<BitSequence> tokenize_bits(const nl::Netlist& netlist) const;
+
+  /// Build the model input for a pair of bits.
+  bert::EncodedSequence encode_pair(const BitSequence& a,
+                                    const BitSequence& b) const;
+
+  /// Token ids back to text (debugging / the tokenize_demo example).
+  static std::string decode(const std::vector<int>& token_ids);
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace rebert::core

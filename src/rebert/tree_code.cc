@@ -1,0 +1,69 @@
+#include "rebert/tree_code.h"
+
+#include "util/check.h"
+
+namespace rebert::core {
+
+std::vector<std::vector<std::uint8_t>> tree_codes(const nl::ConeTree& tree,
+                                                  int width) {
+  REBERT_CHECK_MSG(width >= 2 && width % 2 == 0,
+                   "tree code width must be positive and even, got "
+                       << width);
+  std::vector<std::vector<std::uint8_t>> codes(
+      tree.nodes.size(), std::vector<std::uint8_t>(
+                             static_cast<std::size_t>(width), 0));
+  if (tree.nodes.empty()) return codes;
+
+  // DFS carrying the parent's code; children are ordered left-to-right.
+  struct Item {
+    int node;
+    std::vector<std::uint8_t> code;
+  };
+  std::vector<Item> stack;
+  stack.push_back({0, codes[0]});
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    codes[static_cast<std::size_t>(item.node)] = item.code;
+    const nl::ConeNode& node = tree.nodes[static_cast<std::size_t>(item.node)];
+    for (std::size_t child_pos = 0; child_pos < node.children.size();
+         ++child_pos) {
+      // Right-shift the parent's code by two and insert the branch marker:
+      // '10' for the left (first) child, '01' for the right child. Trees
+      // are binary after decomposition; for n-ary nodes every child beyond
+      // the first uses the right marker.
+      std::vector<std::uint8_t> child_code(
+          static_cast<std::size_t>(width), 0);
+      for (int b = 0; b + 2 < width; ++b)
+        child_code[static_cast<std::size_t>(b + 2)] =
+            item.code[static_cast<std::size_t>(b)];
+      if (child_pos == 0) {
+        child_code[0] = 1;  // '10'
+        child_code[1] = 0;
+      } else {
+        child_code[0] = 0;  // '01'
+        child_code[1] = 1;
+      }
+      stack.push_back({node.children[child_pos], std::move(child_code)});
+    }
+  }
+  return codes;
+}
+
+tensor::Tensor tree_codes_tensor(const nl::ConeTree& tree, int width) {
+  const auto codes = tree_codes(tree, width);
+  tensor::Tensor out({static_cast<int>(codes.size()), width});
+  for (std::size_t i = 0; i < codes.size(); ++i)
+    for (int b = 0; b < width; ++b)
+      out.at(static_cast<int>(i), b) = codes[i][static_cast<std::size_t>(b)];
+  return out;
+}
+
+std::string code_string(const std::vector<std::uint8_t>& code) {
+  std::string out;
+  out.reserve(code.size());
+  for (std::uint8_t bit : code) out += bit ? '1' : '0';
+  return out;
+}
+
+}  // namespace rebert::core

@@ -1,0 +1,38 @@
+// Tree-based positional codes (§II-B-3, Fig. 3).
+//
+// Each tree node's code encodes its root-to-node path, two bits per level:
+// the root is the all-zero code; a child's code is its parent's code
+// right-shifted by two positions with '10' inserted for a left child and
+// '01' for a right child. Equivalently, bits [0,1] of a node's code name
+// the branch taken into that node, bits [2,3] the branch above it, and so
+// on — deeper ancestry occupies higher offsets until it falls off the fixed
+// code width.
+//
+// The paper sizes the code as twice the node count and concatenates all
+// node codes; for the model we emit fixed-width per-token codes (width =
+// BertConfig::tree_code_dim) aligned with the pre-order token sequence, and
+// a learned linear layer projects them into the hidden space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nl/cone.h"
+#include "tensor/tensor.h"
+
+namespace rebert::core {
+
+/// Per-node path codes in pre-order (index-aligned with ConeTree::nodes).
+/// codes[i] has exactly `width` entries in {0,1}.
+std::vector<std::vector<std::uint8_t>> tree_codes(const nl::ConeTree& tree,
+                                                  int width);
+
+/// Codes as [num_nodes, width] tensor rows (model input form).
+tensor::Tensor tree_codes_tensor(const nl::ConeTree& tree, int width);
+
+/// Render one code as a bit string, e.g. "100100" (for tests and the
+/// tokenize_demo example reproducing Fig. 3).
+std::string code_string(const std::vector<std::uint8_t>& code);
+
+}  // namespace rebert::core

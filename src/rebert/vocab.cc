@@ -1,0 +1,48 @@
+#include "rebert/vocab.h"
+
+#include "util/check.h"
+
+namespace rebert::core {
+
+Vocabulary::Vocabulary() {
+  auto add = [this](const std::string& token) {
+    const int id = static_cast<int>(tokens_.size());
+    tokens_.push_back(token);
+    ids_.emplace(token, id);
+    return id;
+  };
+  pad_id_ = add("[PAD]");
+  cls_id_ = add("[CLS]");
+  sep_id_ = add("[SEP]");
+  unk_id_ = add("[UNK]");
+  leaf_id_ = add("X");
+  gate_ids_.resize(static_cast<std::size_t>(nl::kNumGateTypes), unk_id_);
+  for (int t = 0; t < nl::kNumGateTypes; ++t) {
+    const nl::GateType type = static_cast<nl::GateType>(t);
+    gate_ids_[static_cast<std::size_t>(t)] = add(nl::gate_type_name(type));
+  }
+}
+
+int Vocabulary::gate_id(nl::GateType type) const {
+  const int t = static_cast<int>(type);
+  REBERT_CHECK(t >= 0 && t < nl::kNumGateTypes);
+  return gate_ids_[static_cast<std::size_t>(t)];
+}
+
+int Vocabulary::id_of(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? unk_id_ : it->second;
+}
+
+const std::string& Vocabulary::token(int id) const {
+  REBERT_CHECK_MSG(id >= 0 && id < size(), "token id " << id
+                                                       << " out of range");
+  return tokens_[static_cast<std::size_t>(id)];
+}
+
+const Vocabulary& vocabulary() {
+  static const Vocabulary vocab;
+  return vocab;
+}
+
+}  // namespace rebert::core

@@ -1,0 +1,53 @@
+// Token vocabulary (§II-A-2).
+//
+// Tokens are gate-type mnemonics plus the generalized leaf token 'X' (the
+// paper deliberately erases leaf signal names: "the specific names
+// contribute minimally to prediction accuracy but introduce unnecessary
+// complexity into the vocabulary") and the BERT special tokens.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nl/gate.h"
+
+namespace rebert::core {
+
+class Vocabulary {
+ public:
+  /// Fixed vocabulary: specials, 'X', then every gate-type mnemonic.
+  Vocabulary();
+
+  int pad_id() const { return pad_id_; }
+  int cls_id() const { return cls_id_; }
+  int sep_id() const { return sep_id_; }
+  int unk_id() const { return unk_id_; }
+  int leaf_id() const { return leaf_id_; }  // the 'X' token
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// Token id for a gate type (internal tree nodes).
+  int gate_id(nl::GateType type) const;
+
+  /// Token id by text; unknown text maps to [UNK].
+  int id_of(const std::string& token) const;
+
+  /// Token text by id.
+  const std::string& token(int id) const;
+
+  bool is_special(int id) const {
+    return id == pad_id_ || id == cls_id_ || id == sep_id_ || id == unk_id_;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+  std::vector<int> gate_ids_;  // indexed by GateType
+  int pad_id_, cls_id_, sep_id_, unk_id_, leaf_id_;
+};
+
+/// The process-wide vocabulary (it is fixed, so sharing is safe).
+const Vocabulary& vocabulary();
+
+}  // namespace rebert::core

@@ -1,0 +1,241 @@
+#include "rebert/word_typing.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nl/simulate.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rebert::core {
+
+const char* word_kind_name(WordKind kind) {
+  switch (kind) {
+    case WordKind::kConstant: return "constant";
+    case WordKind::kCounter: return "counter";
+    case WordKind::kShiftRegister: return "shift-register";
+    case WordKind::kDataRegister: return "data-register";
+    case WordKind::kFlag: return "flag";
+    case WordKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// traces[t][b] = value of bit b after cycle t.
+using Traces = std::vector<std::vector<std::uint8_t>>;
+
+Traces simulate_traces(const nl::Netlist& netlist,
+                       const std::vector<nl::GateId>& dffs,
+                       const AnalyzeOptions& options) {
+  nl::Simulator sim(netlist);
+  sim.reset();
+  util::Rng rng(options.seed);
+  Traces traces;
+  traces.reserve(static_cast<std::size_t>(options.cycles));
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    std::vector<bool> inputs(netlist.inputs().size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      inputs[i] = rng.bernoulli(options.input_high_probability);
+    sim.set_inputs(inputs);
+    sim.eval_combinational();
+    sim.step();
+    sim.eval_combinational();  // expose the freshly latched Q values
+    std::vector<std::uint8_t> row;
+    row.reserve(dffs.size());
+    for (nl::GateId id : dffs)
+      row.push_back(sim.value(id) ? 1 : 0);
+    traces.push_back(std::move(row));
+  }
+  return traces;
+}
+
+bool word_changed(const Traces& traces, std::size_t t) {
+  return traces[t] != traces[t - 1];
+}
+
+// Fraction of transitions where trace of bit `to` at t equals bit `from`
+// at t-1 — the "copies from" evidence used for shift detection — counted
+// only on cycles where the word changed (holds are uninformative).
+double copy_rate(const Traces& traces, int from, int to) {
+  int matches = 0, total = 0;
+  for (std::size_t t = 1; t < traces.size(); ++t) {
+    if (!word_changed(traces, t)) continue;
+    ++total;
+    if (traces[t][static_cast<std::size_t>(to)] ==
+        traces[t - 1][static_cast<std::size_t>(from)])
+      ++matches;
+  }
+  return total ? static_cast<double>(matches) / total : 0.0;
+}
+
+// Try to order bits as a counter: LSB toggles most. Returns the fit (the
+// fraction of change-cycles whose delta is +1 mod 2^w) and the order.
+double counter_fit(const Traces& traces, std::vector<int>* order) {
+  const std::size_t width = traces[0].size();
+  // Toggle counts.
+  std::vector<int> toggles(width, 0);
+  for (std::size_t t = 1; t < traces.size(); ++t)
+    for (std::size_t b = 0; b < width; ++b)
+      if (traces[t][b] != traces[t - 1][b]) ++toggles[b];
+  order->resize(width);
+  std::iota(order->begin(), order->end(), 0);
+  std::stable_sort(order->begin(), order->end(),
+                   [&](int a, int b) { return toggles[static_cast<std::size_t>(a)] >
+                                               toggles[static_cast<std::size_t>(b)]; });
+  if (width > 63) return 0.0;  // value packing limit; words this wide are
+                               // never counters in practice
+
+  auto value_at = [&](std::size_t t) {
+    std::uint64_t value = 0;
+    for (std::size_t k = 0; k < width; ++k)
+      value |= static_cast<std::uint64_t>(
+                   traces[t][static_cast<std::size_t>((*order)[k])])
+               << k;
+    return value;
+  };
+  const std::uint64_t modulus = 1ULL << width;
+  int increments = 0, changes = 0;
+  for (std::size_t t = 1; t < traces.size(); ++t) {
+    if (!word_changed(traces, t)) continue;
+    ++changes;
+    if ((value_at(t - 1) + 1) % modulus == value_at(t)) ++increments;
+  }
+  return changes ? static_cast<double>(increments) / changes : 0.0;
+}
+
+// Try to find a shift chain: each bit (except the head) copies exactly one
+// predecessor with high rate, predecessors distinct, forming one path.
+double shift_fit(const Traces& traces, double threshold,
+                 std::vector<int>* order) {
+  const int width = static_cast<int>(traces[0].size());
+  if (width < 2) return 0.0;
+  // best_source[j] = bit whose previous value j matches most often.
+  std::vector<int> best_source(static_cast<std::size_t>(width), -1);
+  std::vector<double> best_rate(static_cast<std::size_t>(width), 0.0);
+  for (int j = 0; j < width; ++j) {
+    for (int i = 0; i < width; ++i) {
+      if (i == j) continue;
+      const double rate = copy_rate(traces, i, j);
+      if (rate > best_rate[static_cast<std::size_t>(j)]) {
+        best_rate[static_cast<std::size_t>(j)] = rate;
+        best_source[static_cast<std::size_t>(j)] = i;
+      }
+    }
+  }
+  // Accept edges above threshold; they must form a single path covering
+  // width-1 edges with distinct sources.
+  std::vector<int> successor(static_cast<std::size_t>(width), -1);
+  int edges = 0;
+  double rate_total = 0.0;
+  for (int j = 0; j < width; ++j) {
+    const int i = best_source[static_cast<std::size_t>(j)];
+    if (i < 0 || best_rate[static_cast<std::size_t>(j)] < threshold) continue;
+    if (successor[static_cast<std::size_t>(i)] != -1) return 0.0;  // branch
+    successor[static_cast<std::size_t>(i)] = j;
+    rate_total += best_rate[static_cast<std::size_t>(j)];
+    ++edges;
+  }
+  if (edges != width - 1) return 0.0;
+  // Find the head (no one copies from it into... i.e. the bit that is not
+  // anyone's target).
+  std::vector<bool> is_target(static_cast<std::size_t>(width), false);
+  for (int i = 0; i < width; ++i)
+    if (successor[static_cast<std::size_t>(i)] >= 0)
+      is_target[static_cast<std::size_t>(
+          successor[static_cast<std::size_t>(i)])] = true;
+  int head = -1;
+  for (int j = 0; j < width; ++j)
+    if (!is_target[static_cast<std::size_t>(j)]) {
+      if (head != -1) return 0.0;  // two heads: not a single chain
+      head = j;
+    }
+  if (head == -1) return 0.0;  // cycle
+  order->clear();
+  for (int at = head; at != -1; at = successor[static_cast<std::size_t>(at)])
+    order->push_back(at);
+  if (static_cast<int>(order->size()) != width) return 0.0;
+  return rate_total / edges;
+}
+
+}  // namespace
+
+WordAnalysis analyze_word(const nl::Netlist& netlist,
+                          const std::vector<std::string>& bit_names,
+                          const AnalyzeOptions& options) {
+  REBERT_CHECK_MSG(!bit_names.empty(), "empty word");
+  REBERT_CHECK(options.cycles >= 8);
+  std::vector<nl::GateId> dffs;
+  dffs.reserve(bit_names.size());
+  for (const std::string& name : bit_names) {
+    const auto id = netlist.find(name);
+    REBERT_CHECK_MSG(id.has_value(), "no flip-flop named '" << name << "'");
+    REBERT_CHECK_MSG(netlist.gate(*id).type == nl::GateType::kDff,
+                     "'" << name << "' is not a flip-flop");
+    dffs.push_back(*id);
+  }
+
+  WordAnalysis analysis;
+  analysis.ordered_bits = bit_names;
+
+  const Traces traces = simulate_traces(netlist, dffs, options);
+  int changes = 0;
+  for (std::size_t t = 1; t < traces.size(); ++t)
+    if (word_changed(traces, t)) ++changes;
+  analysis.activity =
+      static_cast<double>(changes) / static_cast<double>(traces.size() - 1);
+
+  if (changes == 0) {
+    analysis.kind = WordKind::kConstant;
+    analysis.confidence = 1.0;
+    return analysis;
+  }
+  if (bit_names.size() == 1) {
+    analysis.kind = WordKind::kFlag;
+    analysis.confidence = 1.0;
+    return analysis;
+  }
+
+  std::vector<int> counter_order;
+  const double counter_score = counter_fit(traces, &counter_order);
+  std::vector<int> shift_order;
+  const double shift_score =
+      shift_fit(traces, options.pattern_threshold, &shift_order);
+
+  auto apply_order = [&](const std::vector<int>& order) {
+    std::vector<std::string> ordered;
+    ordered.reserve(order.size());
+    for (int index : order)
+      ordered.push_back(bit_names[static_cast<std::size_t>(index)]);
+    analysis.ordered_bits = std::move(ordered);
+  };
+
+  if (counter_score >= options.pattern_threshold &&
+      counter_score >= shift_score) {
+    analysis.kind = WordKind::kCounter;
+    analysis.confidence = counter_score;
+    apply_order(counter_order);
+    return analysis;
+  }
+  if (shift_score >= options.pattern_threshold) {
+    analysis.kind = WordKind::kShiftRegister;
+    analysis.confidence = shift_score;
+    apply_order(shift_order);
+    return analysis;
+  }
+
+  // Hold-or-load as a unit: on "hold" cycles nothing in the word changed;
+  // a data register holds on a visible fraction of cycles.
+  const double hold_fraction = 1.0 - analysis.activity;
+  if (hold_fraction > 0.05) {
+    analysis.kind = WordKind::kDataRegister;
+    analysis.confidence = hold_fraction;
+    return analysis;
+  }
+  analysis.kind = WordKind::kUnknown;
+  analysis.confidence = 0.0;
+  return analysis;
+}
+
+}  // namespace rebert::core

@@ -1,0 +1,60 @@
+// Behavioural word analysis — one step beyond grouping.
+//
+// The paper's introduction frames word recovery as a step toward
+// "recovering the high-level functionality" of a netlist. This module
+// takes a recovered word (a set of flip-flops) and infers, by random
+// simulation of the netlist, *what the word is*:
+//   * kConstant       — the bits never change,
+//   * kCounter        — the word (in some bit order) increments on its
+//                       active cycles,
+//   * kShiftRegister  — each bit copies a fixed predecessor bit,
+//   * kDataRegister   — the word holds or loads as a unit,
+//   * kFlag           — a 1-bit word,
+//   * kUnknown        — none of the above with confidence.
+// For counters and shifters the analysis also *orders* the bits (LSB→MSB /
+// shift direction), information the grouping stage does not produce.
+// Everything is a heuristic over simulation traces; confidence reports how
+// cleanly the best pattern fit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nl/netlist.h"
+
+namespace rebert::core {
+
+enum class WordKind {
+  kConstant,
+  kCounter,
+  kShiftRegister,
+  kDataRegister,
+  kFlag,
+  kUnknown,
+};
+
+const char* word_kind_name(WordKind kind);
+
+struct AnalyzeOptions {
+  int cycles = 256;           // simulation length
+  std::uint64_t seed = 4242;  // drives the random input stream
+  double input_high_probability = 0.5;
+  /// Minimum fraction of (observed) transitions that must fit a pattern.
+  double pattern_threshold = 0.85;
+};
+
+struct WordAnalysis {
+  WordKind kind = WordKind::kUnknown;
+  /// For kCounter: inferred LSB..MSB. For kShiftRegister: the shift chain
+  /// in copy order. Otherwise: the input order.
+  std::vector<std::string> ordered_bits;
+  double confidence = 0.0;  // fraction of evidence fitting the pattern
+  double activity = 0.0;    // fraction of cycles on which the word changed
+};
+
+/// Analyze one word of `netlist`. `bit_names` are DFF names (at least 1).
+WordAnalysis analyze_word(const nl::Netlist& netlist,
+                          const std::vector<std::string>& bit_names,
+                          const AnalyzeOptions& options = {});
+
+}  // namespace rebert::core

@@ -1,0 +1,145 @@
+#include "structural/matching.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "nl/words.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace rebert::structural {
+
+namespace {
+
+bool is_commutative(nl::GateType type) {
+  switch (type) {
+    case nl::GateType::kAnd:
+    case nl::GateType::kOr:
+    case nl::GateType::kNand:
+    case nl::GateType::kNor:
+    case nl::GateType::kXor:
+    case nl::GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Nodes matched by simultaneous traversal: same gate type at the same tree
+// position counts 1 and recurses into aligned children. Commutative
+// 2-input gates try both child alignments and keep the better one — the
+// template matcher of [12] is insensitive to synthesis-chosen input order.
+int matching_nodes(const nl::ConeTree& a, int ia, const nl::ConeTree& b,
+                   int ib) {
+  const nl::ConeNode& na = a.nodes[static_cast<std::size_t>(ia)];
+  const nl::ConeNode& nb = b.nodes[static_cast<std::size_t>(ib)];
+  // Leaves match any leaf (signal names are not part of the *shape*).
+  if (na.is_leaf || nb.is_leaf) return (na.is_leaf && nb.is_leaf) ? 1 : 0;
+  if (na.type != nb.type) return 0;
+  const std::size_t ca = na.children.size(), cb = nb.children.size();
+  if (is_commutative(na.type) && ca == 2 && cb == 2) {
+    const int straight = matching_nodes(a, na.children[0], b, nb.children[0]) +
+                         matching_nodes(a, na.children[1], b, nb.children[1]);
+    const int crossed = matching_nodes(a, na.children[0], b, nb.children[1]) +
+                        matching_nodes(a, na.children[1], b, nb.children[0]);
+    return 1 + std::max(straight, crossed);
+  }
+  int total = 1;
+  const std::size_t shared = std::min(ca, cb);
+  for (std::size_t c = 0; c < shared; ++c)
+    total += matching_nodes(a, na.children[c], b, nb.children[c]);
+  return total;
+}
+
+}  // namespace
+
+double shape_similarity(const nl::ConeTree& a, const nl::ConeTree& b) {
+  REBERT_CHECK(!a.nodes.empty() && !b.nodes.empty());
+  const int matched = matching_nodes(a, 0, b, 0);
+  // Dice-style normalization by the average size: tolerant of the depth
+  // growth along ripple/carry chains while still penalizing size mismatch.
+  return 2.0 * static_cast<double>(matched) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double support_similarity(const nl::ConeTree& a, const nl::ConeTree& b) {
+  std::unordered_set<std::string> leaves_a, leaves_b;
+  for (const nl::ConeNode& node : a.nodes)
+    if (node.is_leaf) leaves_a.insert(node.name);
+  for (const nl::ConeNode& node : b.nodes)
+    if (node.is_leaf) leaves_b.insert(node.name);
+  if (leaves_a.empty() && leaves_b.empty()) return 1.0;
+  int intersection = 0;
+  for (const std::string& leaf : leaves_a)
+    if (leaves_b.count(leaf)) ++intersection;
+  const int uni = static_cast<int>(leaves_a.size() + leaves_b.size()) -
+                  intersection;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+double pair_similarity(const nl::ConeTree& a, const nl::ConeTree& b,
+                       const MatchingOptions& options) {
+  const double total_weight = options.shape_weight + options.support_weight;
+  REBERT_CHECK_MSG(total_weight > 0.0, "similarity weights are all zero");
+  return (options.shape_weight * shape_similarity(a, b) +
+          options.support_weight * support_similarity(a, b)) /
+         total_weight;
+}
+
+StructuralResult recover_words_structural(const nl::Netlist& netlist,
+                                          const MatchingOptions& options) {
+  util::WallTimer timer;
+  StructuralResult result;
+
+  const std::vector<nl::Bit> bits = nl::extract_bits(netlist);
+  REBERT_CHECK_MSG(!bits.empty(), "netlist has no sequential elements");
+  const int n = static_cast<int>(bits.size());
+
+  std::vector<nl::ConeTree> cones;
+  cones.reserve(bits.size());
+  for (const nl::Bit& bit : bits)
+    cones.push_back(
+        nl::extract_cone(netlist, bit.d_net, options.backtrace_depth));
+
+  // Union-find grouping over similar pairs (inline to avoid depending on
+  // the rebert core library).
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double sim = pair_similarity(cones[static_cast<std::size_t>(i)],
+                                         cones[static_cast<std::size_t>(j)],
+                                         options);
+      if (sim >= options.group_threshold)
+        parent[static_cast<std::size_t>(find(i))] = find(j);
+    }
+  }
+
+  result.labels.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> root_label(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    const int root = find(i);
+    if (root_label[static_cast<std::size_t>(root)] < 0)
+      root_label[static_cast<std::size_t>(root)] = next++;
+    result.labels[static_cast<std::size_t>(i)] =
+        root_label[static_cast<std::size_t>(root)];
+  }
+  result.num_words = next;
+  result.total_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace rebert::structural

@@ -1,0 +1,60 @@
+// Structural-matching baseline — reimplementation of Meade et al.,
+// "Gate-level netlist reverse engineering for hardware security: Control
+// logic register identification" (ISCAS 2016), the comparison method of the
+// paper's Table II/III ("Structural").
+//
+// The method groups registers whose bounded fan-in cones are structurally
+// similar and share driving signals:
+//   * shape similarity — simultaneous recursive traversal of the two
+//     fan-in trees counting positionally matching gate types,
+//   * support similarity — Jaccard over the cones' leaf signal sets (shared
+//     control/data sources; unlike ReBERT the baseline may use real signal
+//     names, which is exactly the template matching that corruption
+//     destroys).
+// Pairs whose combined similarity exceeds a fixed threshold are connected;
+// connected components are the reported words. No learning is involved.
+#pragma once
+
+#include <vector>
+
+#include "nl/cone.h"
+#include "nl/netlist.h"
+
+namespace rebert::structural {
+
+struct MatchingOptions {
+  int backtrace_depth = 6;       // same cone depth as ReBERT for fairness
+  double shape_weight = 0.7;     // weight of tree-shape similarity
+  double support_weight = 0.3;   // weight of shared-leaf similarity
+  // Combined similarity needed for an edge. A perfect shape match alone
+  // scores shape_weight = 0.7; the default demands slightly more, so a
+  // template copy must also share part of its support (the common
+  // enable/control signals of a real word). Empirically this separates
+  // same-word template copies from cross-word template twins best on the
+  // benchmark suite.
+  double group_threshold = 0.75;
+};
+
+/// Positional tree-shape similarity in [0, 1]: fraction of nodes that match
+/// by gate type under simultaneous pre-order traversal, normalized by the
+/// larger tree.
+double shape_similarity(const nl::ConeTree& a, const nl::ConeTree& b);
+
+/// Jaccard similarity of the two cones' leaf-name sets in [0, 1].
+double support_similarity(const nl::ConeTree& a, const nl::ConeTree& b);
+
+/// Combined pairwise similarity per MatchingOptions weights.
+double pair_similarity(const nl::ConeTree& a, const nl::ConeTree& b,
+                       const MatchingOptions& options);
+
+struct StructuralResult {
+  std::vector<int> labels;  // word label per bit (extract_bits order)
+  int num_words = 0;
+  double total_seconds = 0.0;
+};
+
+/// Run the full baseline on a netlist.
+StructuralResult recover_words_structural(const nl::Netlist& netlist,
+                                          const MatchingOptions& options = {});
+
+}  // namespace rebert::structural

@@ -1,0 +1,52 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rebert::tensor {
+
+GradCheckResult check_gradient(Tensor* param, const Tensor& analytic_grad,
+                               const std::function<double()>& loss,
+                               double epsilon, double tolerance,
+                               int max_probes) {
+  REBERT_CHECK(param != nullptr);
+  REBERT_CHECK_MSG(param->same_shape(analytic_grad),
+                   "gradient shape mismatch");
+  GradCheckResult result;
+
+  std::vector<std::int64_t> probes;
+  if (max_probes <= 0 || max_probes >= param->numel()) {
+    probes.resize(static_cast<std::size_t>(param->numel()));
+    for (std::int64_t i = 0; i < param->numel(); ++i)
+      probes[static_cast<std::size_t>(i)] = i;
+  } else {
+    util::Rng rng(1234);
+    for (int i = 0; i < max_probes; ++i)
+      probes.push_back(static_cast<std::int64_t>(
+          rng.uniform_u64(static_cast<std::uint64_t>(param->numel()))));
+  }
+
+  for (std::int64_t i : probes) {
+    const float original = (*param)[i];
+    (*param)[i] = original + static_cast<float>(epsilon);
+    const double plus = loss();
+    (*param)[i] = original - static_cast<float>(epsilon);
+    const double minus = loss();
+    (*param)[i] = original;
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    const double analytic = analytic_grad[i];
+    const double abs_err = std::abs(numeric - analytic);
+    const double denom = std::max({std::abs(numeric), std::abs(analytic), 1e-8});
+    const double rel_err = abs_err / denom;
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    // Relative error is meaningful only away from zero; below an absolute
+    // floor we accept the match on absolute terms.
+    if (abs_err > 1e-4) result.max_rel_error = std::max(result.max_rel_error, rel_err);
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace rebert::tensor

@@ -1,0 +1,30 @@
+// Finite-difference gradient checking.
+//
+// The correctness backbone of the NN substrate: every layer's backward pass
+// is compared against central differences of its forward pass. Used only by
+// tests; lives in the library so the BERT tests can reuse it.
+#pragma once
+
+#include <functional>
+
+#include "tensor/layers.h"
+
+namespace rebert::tensor {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = true;
+};
+
+/// `loss` must be a deterministic scalar function of the current value of
+/// `param` (typically a closure running a layer forward and reducing).
+/// `analytic_grad` is the gradient your backward computed for `param`
+/// (same shape). Checks d loss / d param[i] by central differences on a
+/// sample of entries (all entries if max_probes <= 0).
+GradCheckResult check_gradient(Tensor* param, const Tensor& analytic_grad,
+                               const std::function<double()>& loss,
+                               double epsilon = 1e-3, double tolerance = 2e-2,
+                               int max_probes = 0);
+
+}  // namespace rebert::tensor

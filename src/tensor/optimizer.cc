@@ -1,0 +1,101 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rebert::tensor {
+
+WarmupLinearSchedule::WarmupLinearSchedule(double base_lr, int warmup_steps,
+                                           int total_steps)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {
+  REBERT_CHECK(base_lr > 0.0);
+  REBERT_CHECK(warmup_steps >= 0);
+  REBERT_CHECK(total_steps == 0 || total_steps >= warmup_steps);
+}
+
+double WarmupLinearSchedule::lr(int step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_)
+    return base_lr_ * (step + 1) / static_cast<double>(warmup_steps_);
+  if (total_steps_ == 0) return base_lr_;
+  if (step >= total_steps_) return 0.0;
+  const double remaining = total_steps_ - step;
+  const double span = total_steps_ - warmup_steps_;
+  return span > 0 ? base_lr_ * remaining / span : base_lr_;
+}
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  REBERT_CHECK_MSG(!params_.empty(), "optimizer needs parameters");
+  for (Parameter* p : params_) REBERT_CHECK(p != nullptr);
+}
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  if (momentum_ > 0.0) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step(double lr) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (momentum_ > 0.0) {
+      Tensor& vel = velocity_[i];
+      for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+        vel[j] = static_cast<float>(momentum_ * vel[j] + p.grad[j]);
+        p.value[j] -= static_cast<float>(lr) * vel[j];
+      }
+    } else {
+      p.value.add_scaled(p.grad, static_cast<float>(-lr));
+    }
+    p.zero_grad();
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params)
+    : Adam(std::move(params), Options()) {}
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step(double lr) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, t_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const double g = p.grad[j];
+      m[j] = static_cast<float>(options_.beta1 * m[j] +
+                                (1.0 - options_.beta1) * g);
+      v[j] = static_cast<float>(options_.beta2 * v[j] +
+                                (1.0 - options_.beta2) * g * g);
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      double update = lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+      if (options_.weight_decay > 0.0)
+        update += lr * options_.weight_decay * p.value[j];
+      p.value[j] -= static_cast<float>(update);
+    }
+    p.zero_grad();
+  }
+}
+
+}  // namespace rebert::tensor

@@ -1,0 +1,76 @@
+// Optimizers and learning-rate schedules.
+//
+// Adam (with optional decoupled weight decay, i.e. AdamW) is what BERT
+// fine-tuning uses; plain SGD is kept for tests and ablations. Optimizers
+// hold per-parameter state keyed by position in the parameter list, so the
+// list must stay stable across steps (it does: models build it once).
+#pragma once
+
+#include <vector>
+
+#include "tensor/layers.h"
+
+namespace rebert::tensor {
+
+/// Linear warmup to `base_lr` over `warmup_steps`, then linear decay to 0 at
+/// `total_steps` (the schedule used by BERT fine-tuning). total_steps == 0
+/// disables decay.
+class WarmupLinearSchedule {
+ public:
+  WarmupLinearSchedule(double base_lr, int warmup_steps, int total_steps);
+  double lr(int step) const;
+
+ private:
+  double base_lr_;
+  int warmup_steps_;
+  int total_steps_;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  virtual void step(double lr) = 0;
+
+  void zero_grad();
+  const std::vector<Parameter*>& parameters() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double momentum = 0.0);
+  void step(double lr) override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;  // decoupled (AdamW) when > 0
+  };
+
+  explicit Adam(std::vector<Parameter*> params);
+  Adam(std::vector<Parameter*> params, Options options);
+  void step(double lr) override;
+
+  int step_count() const { return t_; }
+
+ private:
+  Options options_;
+  int t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace rebert::tensor

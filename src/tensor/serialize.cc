@@ -1,0 +1,99 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace rebert::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'B', 'T', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  REBERT_CHECK_MSG(in.good(), "unexpected end of checkpoint file");
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  REBERT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    REBERT_CHECK_MSG(!p->name.empty(), "unnamed parameter cannot be saved");
+    write_u32(out, static_cast<std::uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u32(out, static_cast<std::uint32_t>(p->value.rank()));
+    for (int d = 0; d < p->value.rank(); ++d)
+      write_u32(out, static_cast<std::uint32_t>(p->value.dim(d)));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  REBERT_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+void load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  REBERT_CHECK_MSG(in.good(), "cannot open checkpoint " << path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  REBERT_CHECK_MSG(in.good() && std::equal(magic, magic + 4, kMagic),
+                   path << " is not a ReBERT checkpoint");
+  const std::uint32_t version = read_u32(in);
+  REBERT_CHECK_MSG(version == kVersion,
+                   "unsupported checkpoint version " << version);
+  const std::uint32_t count = read_u32(in);
+
+  std::unordered_map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) {
+    REBERT_CHECK_MSG(by_name.emplace(p->name, p).second,
+                     "duplicate parameter name " << p->name);
+  }
+
+  std::size_t loaded = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = read_u32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    REBERT_CHECK_MSG(in.good(), "truncated checkpoint " << path);
+    const std::uint32_t rank = read_u32(in);
+    std::vector<int> shape(rank);
+    std::int64_t numel = 1;
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      shape[d] = static_cast<int>(read_u32(in));
+      numel *= shape[d];
+    }
+    auto it = by_name.find(name);
+    REBERT_CHECK_MSG(it != by_name.end(),
+                     "checkpoint parameter '" << name
+                                              << "' not present in model");
+    Parameter& p = *it->second;
+    REBERT_CHECK_MSG(p.value.shape() == shape,
+                     "shape mismatch for '" << name << "': model "
+                                            << p.value.shape_string());
+    in.read(reinterpret_cast<char*>(p.value.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    REBERT_CHECK_MSG(in.good(), "truncated tensor data in " << path);
+    ++loaded;
+  }
+  REBERT_CHECK_MSG(loaded == params.size(),
+                   "checkpoint has " << loaded << " of " << params.size()
+                                     << " model parameters");
+}
+
+}  // namespace rebert::tensor

@@ -1,0 +1,47 @@
+// Lightweight runtime checking macros.
+//
+// REBERT_CHECK is always on (including release builds): it guards invariants
+// whose violation would corrupt results silently (netlist graph consistency,
+// tensor shape mismatches, ...). Failures throw util::CheckError so callers
+// and tests can observe them; nothing in this codebase aborts the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rebert::util {
+
+/// Thrown when a REBERT_CHECK condition fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rebert::util
+
+#define REBERT_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rebert::util::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REBERT_CHECK_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream rebert_check_os_;                                 \
+      rebert_check_os_ << msg;                                             \
+      ::rebert::util::detail::check_failed(#cond, __FILE__, __LINE__,      \
+                                           rebert_check_os_.str());        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,50 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), columns_(header.size()) {
+  REBERT_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
+  REBERT_CHECK(!header.empty());
+  std::vector<std::string> escaped;
+  escaped.reserve(header.size());
+  for (const auto& h : header) escaped.push_back(escape(h));
+  out_ << join(escaped, ",") << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  REBERT_CHECK_MSG(cells.size() == columns_,
+                   "CSV row width " << cells.size() << " != " << columns_);
+  std::vector<std::string> escaped;
+  escaped.reserve(cells.size());
+  for (const auto& c : cells) escaped.push_back(escape(c));
+  out_ << join(escaped, ",") << '\n';
+  out_.flush();
+}
+
+void CsvWriter::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(cells);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace rebert::util

@@ -1,0 +1,32 @@
+// CSV emission for experiment results (EXPERIMENTS.md references these
+// files; downstream users can re-plot without re-running the sweeps).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rebert::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row. Throws on I/O
+  /// failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision);
+
+  const std::string& path() const { return path_; }
+
+  /// Quote a field per RFC 4180 if it contains a comma, quote, or newline.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace rebert::util

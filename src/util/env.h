@@ -1,0 +1,25 @@
+// Environment-variable knobs for the experiment harnesses.
+//
+// The Table II/III benches train a model under leave-one-out CV, which is
+// expensive; these helpers let a user scale the sweeps up or down
+// (REBERT_EPOCHS, REBERT_MAX_PAIRS, ...) without recompiling.
+#pragma once
+
+#include <string>
+
+namespace rebert::util {
+
+/// Integer environment variable with fallback (also returns the fallback on
+/// a malformed value).
+int env_int(const char* name, int fallback);
+
+/// Double environment variable with fallback.
+double env_double(const char* name, double fallback);
+
+/// String environment variable with fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Boolean: "1", "true", "yes", "on" (case-insensitive) are true.
+bool env_bool(const char* name, bool fallback);
+
+}  // namespace rebert::util

@@ -1,0 +1,99 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::util {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+FlagParser::FlagParser(const std::vector<std::string>& args) { parse(args); }
+
+void FlagParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    REBERT_CHECK_MSG(!name.empty(), "bare '--' is not a flag");
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      flags_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is another flag (or absent):
+    // then it is a bare boolean.
+    if (i + 1 < args.size() && !starts_with(args[i + 1], "--")) {
+      flags_[name] = args[i + 1];
+      ++i;
+    } else {
+      flags_[name] = "";
+    }
+  }
+}
+
+bool FlagParser::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::get(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int FlagParser::get_int(const std::string& name, int fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  REBERT_CHECK_MSG(end && *end == '\0',
+                   "flag --" << name << " expects an integer, got '"
+                             << it->second << "'");
+  return static_cast<int>(value);
+}
+
+double FlagParser::get_double(const std::string& name,
+                              double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  REBERT_CHECK_MSG(end && *end == '\0',
+                   "flag --" << name << " expects a number, got '"
+                             << it->second << "'");
+  return value;
+}
+
+bool FlagParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty()) return true;  // bare --flag
+  const std::string v = to_lower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> FlagParser::unknown_flags(
+    const std::vector<std::string>& allowed) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string& candidate : allowed)
+      if (candidate == name) {
+        found = true;
+        break;
+      }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace rebert::util

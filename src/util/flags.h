@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+// Supports "--name value", "--name=value", bare boolean "--name", and
+// positional arguments (subcommands, file names). No registration step:
+// callers query by name with a fallback, and can validate against an
+// allow-list to catch typos.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rebert::util {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// Bare "--flag" or "--flag true/1/yes" -> true.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Returns the flags present that are not in `allowed` (typo detection).
+  std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& allowed) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;  // name -> value ("" for bare)
+};
+
+}  // namespace rebert::util

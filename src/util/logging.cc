@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/string_utils.h"
+
+namespace rebert::util {
+
+namespace {
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level = [] {
+    if (const char* env = std::getenv("REBERT_LOG_LEVEL"))
+      return parse_log_level(env);
+    return LogLevel::kInfo;
+  }();
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "trace") return LogLevel::kTrace;
+  if (n == "debug") return LogLevel::kDebug;
+  if (n == "info") return LogLevel::kInfo;
+  if (n == "warn" || n == "warning") return LogLevel::kWarn;
+  if (n == "error") return LogLevel::kError;
+  if (n == "off" || n == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace rebert::util

@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// Library code logs through this instead of writing to std::cerr directly so
+// benchmarks and tests can silence or capture output. The default sink is
+// stderr; severity is filtered by a process-wide level (settable via the
+// REBERT_LOG_LEVEL environment variable: trace/debug/info/warn/error/off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rebert::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global severity threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "debug", "INFO", ... (unknown strings -> kInfo).
+LogLevel parse_log_level(const std::string& name);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit_log(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rebert::util
+
+#define REBERT_LOG(level)                                            \
+  if (::rebert::util::LogLevel::level < ::rebert::util::log_level()) \
+    ;                                                                \
+  else                                                               \
+    ::rebert::util::detail::LogLine(::rebert::util::LogLevel::level)
+
+#define LOG_TRACE REBERT_LOG(kTrace)
+#define LOG_DEBUG REBERT_LOG(kDebug)
+#define LOG_INFO REBERT_LOG(kInfo)
+#define LOG_WARN REBERT_LOG(kWarn)
+#define LOG_ERROR REBERT_LOG(kError)

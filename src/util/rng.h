@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the reproduction (circuit generation, netlist
+// corruption, dataset sampling, weight initialization, shuffling) draw from
+// Rng so that every experiment is reproducible from a single 64-bit seed.
+// The generator is xoshiro256**, seeded through SplitMix64 as its authors
+// recommend; both are tiny, fast, and have no global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rebert::util {
+
+/// SplitMix64: used to expand a single seed into xoshiro's 256-bit state and
+/// as a cheap standalone generator for hashing-style uses.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** wrapped with the distribution helpers this project needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double gaussian();
+
+  /// Normal with given mean / stddev.
+  double gaussian(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample an index from non-negative weights (at least one positive).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child generator (for per-circuit / per-worker
+  /// streams that must not perturb the parent sequence).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace rebert::util

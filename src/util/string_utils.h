@@ -1,0 +1,31 @@
+// Small string helpers shared across parsers, table printers, and loaders.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rebert::util {
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// Split on a delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any run of whitespace; drops empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+/// Fixed-precision formatting, e.g. format_double(0.12345, 3) == "0.123".
+std::string format_double(double value, int precision);
+
+}  // namespace rebert::util

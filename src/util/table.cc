@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+
+namespace rebert::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  REBERT_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  REBERT_CHECK_MSG(cells.size() == headers_.size(),
+                   "row has " << cells.size() << " cells, expected "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "-+-";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+void TextTable::print() const {
+  std::fputs(to_string().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace rebert::util

@@ -1,0 +1,40 @@
+// Aligned plain-text table rendering for the experiment harnesses.
+//
+// The Table I-III benches print rows in the same layout as the paper; this
+// helper keeps column alignment without dragging in a formatting library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rebert::util {
+
+class TextTable {
+ public:
+  /// Column headers fix the column count; subsequent rows must match.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: doubles are formatted with the given precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+  /// Render with a header separator, e.g.
+  ///   name  | x     | y
+  ///   ------+-------+-----
+  ///   b03   | 0.653 | 0.728
+  std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rebert::util

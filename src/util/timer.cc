@@ -1,0 +1,14 @@
+#include "util/timer.h"
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace rebert::util {
+
+ScopedTimer::ScopedTimer(std::string label) : label_(std::move(label)) {}
+
+ScopedTimer::~ScopedTimer() {
+  LOG_INFO << label_ << ": " << format_double(timer_.seconds(), 3) << "s";
+}
+
+}  // namespace rebert::util

@@ -1,0 +1,53 @@
+#include "bert/config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace rebert::bert {
+namespace {
+
+TEST(ConfigTest, EvalConfigValid) {
+  const BertConfig c = eval_config(32, 256);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.vocab_size, 32);
+  EXPECT_EQ(c.max_seq_len, 256);
+  EXPECT_EQ(c.hidden % c.num_heads, 0);
+  EXPECT_EQ(c.head_dim() * c.num_heads, c.hidden);
+}
+
+TEST(ConfigTest, PaperConfigMatchesQuotedDimensions) {
+  const BertConfig c = paper_config(32, 512);
+  EXPECT_EQ(c.hidden, 768);
+  EXPECT_EQ(c.num_heads, 12);   // "we use 12 heads" (§II-C)
+  EXPECT_EQ(c.num_layers, 12);
+  EXPECT_EQ(c.intermediate, 3072);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ConfigTest, ValidationCatchesBadValues) {
+  BertConfig c = eval_config(32, 128);
+  c.num_heads = 5;  // does not divide 64
+  EXPECT_THROW(c.validate(), util::CheckError);
+
+  c = eval_config(32, 128);
+  c.vocab_size = 1;
+  EXPECT_THROW(c.validate(), util::CheckError);
+
+  c = eval_config(32, 128);
+  c.dropout = 1.0f;
+  EXPECT_THROW(c.validate(), util::CheckError);
+
+  c = eval_config(32, 128);
+  c.tree_code_dim = 7;  // must be even (2 bits per tree level)
+  EXPECT_THROW(c.validate(), util::CheckError);
+
+  c = eval_config(32, 128);
+  c.use_word_embedding = false;
+  c.use_position_embedding = false;
+  c.use_tree_embedding = false;
+  EXPECT_THROW(c.validate(), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::bert

@@ -1,0 +1,101 @@
+#include "bert/encoder_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+
+namespace rebert::bert {
+namespace {
+
+using tensor::Tensor;
+
+BertConfig tiny_config() {
+  BertConfig c;
+  c.vocab_size = 8;
+  c.hidden = 8;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.intermediate = 12;
+  c.max_seq_len = 16;
+  c.tree_code_dim = 4;
+  c.dropout = 0.0f;
+  return c;
+}
+
+TEST(EncoderLayerTest, PreservesShape) {
+  util::Rng rng(1);
+  EncoderLayer layer("enc", tiny_config(), rng);
+  const Tensor x = Tensor::randn({6, 8}, rng);
+  util::Rng drop_rng(2);
+  const Tensor y = layer.forward(x, false, drop_rng, nullptr);
+  EXPECT_EQ(y.dim(0), 6);
+  EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(EncoderLayerTest, OutputRowsAreNormalized) {
+  util::Rng rng(2);
+  EncoderLayer layer("enc", tiny_config(), rng);
+  const Tensor x = Tensor::randn({4, 8}, rng, 5.0f);
+  util::Rng drop_rng(3);
+  const Tensor y = layer.forward(x, false, drop_rng, nullptr);
+  // Final LayerNorm with default gamma=1, beta=0: each row ~zero mean.
+  for (int i = 0; i < 4; ++i) {
+    double mean = 0;
+    for (int j = 0; j < 8; ++j) mean += y.at(i, j);
+    EXPECT_NEAR(mean / 8, 0.0, 1e-4);
+  }
+}
+
+TEST(EncoderLayerTest, GradcheckThroughFullLayer) {
+  util::Rng rng(3);
+  EncoderLayer layer("enc", tiny_config(), rng);
+  Tensor x = Tensor::randn({3, 8}, rng);
+  const Tensor w = Tensor::randn({3, 8}, rng);
+  util::Rng drop_rng(4);
+
+  auto loss = [&]() {
+    util::Rng r(4);
+    return tensor::mul(layer.forward(x, false, r, nullptr), w).sum();
+  };
+
+  EncoderLayer::Cache cache;
+  layer.forward(x, false, drop_rng, &cache);
+  for (auto* p : layer.parameters()) p->zero_grad();
+  const Tensor dx = layer.backward(w, cache);
+
+  const auto xres = tensor::check_gradient(&x, dx, loss, 1e-2, 6e-2);
+  EXPECT_TRUE(xres.ok) << "input rel err " << xres.max_rel_error;
+  for (auto* p : layer.parameters()) {
+    const auto res =
+        tensor::check_gradient(&p->value, p->grad, loss, 1e-2, 6e-2, 12);
+    EXPECT_TRUE(res.ok) << p->name << " rel err " << res.max_rel_error;
+  }
+}
+
+TEST(EncoderLayerTest, DropoutChangesTrainingOutputOnly) {
+  BertConfig c = tiny_config();
+  c.dropout = 0.5f;
+  util::Rng rng(5);
+  EncoderLayer layer("enc", c, rng);
+  const Tensor x = Tensor::randn({4, 8}, rng);
+  util::Rng d1(10), d2(20);
+  // Eval mode ignores dropout RNG entirely.
+  const Tensor e1 = layer.forward(x, false, d1, nullptr);
+  const Tensor e2 = layer.forward(x, false, d2, nullptr);
+  EXPECT_TRUE(allclose(e1, e2));
+  // Training mode with different RNG streams differs.
+  util::Rng t1(10), t2(20);
+  const Tensor y1 = layer.forward(x, true, t1, nullptr);
+  const Tensor y2 = layer.forward(x, true, t2, nullptr);
+  EXPECT_FALSE(allclose(y1, y2, 1e-6f));
+}
+
+TEST(EncoderLayerTest, ParameterCount) {
+  util::Rng rng(6);
+  EncoderLayer layer("enc", tiny_config(), rng);
+  // attention: 4 linears (W+b) = 8; 2 layernorms = 4; 2 FFN linears = 4.
+  EXPECT_EQ(layer.parameters().size(), 16u);
+}
+
+}  // namespace
+}  // namespace rebert::bert

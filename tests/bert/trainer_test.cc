@@ -1,0 +1,143 @@
+// Trainer behaviour: validation splits, early stopping, best-checkpoint
+// restoration.
+#include "bert/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace rebert::bert {
+namespace {
+
+using tensor::Tensor;
+
+BertConfig tiny_config() {
+  BertConfig c;
+  c.vocab_size = 12;
+  c.hidden = 16;
+  c.num_heads = 2;
+  c.num_layers = 1;
+  c.intermediate = 32;
+  c.max_seq_len = 16;
+  c.tree_code_dim = 6;
+  c.dropout = 0.0f;
+  c.seed = 5;
+  return c;
+}
+
+EncodedSequence make_sequence(const std::vector<int>& tokens,
+                              const BertConfig& c) {
+  EncodedSequence s;
+  s.token_ids = tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    s.position_ids.push_back(static_cast<int>(i));
+  s.tree_codes = Tensor({static_cast<int>(tokens.size()), c.tree_code_dim});
+  return s;
+}
+
+std::vector<LabeledExample> separable_dataset(const BertConfig& c, int n) {
+  std::vector<LabeledExample> examples;
+  util::Rng rng(11);
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    std::vector<int> tokens{label == 1 ? 5 : 6};
+    for (int j = 0; j < 4; ++j) tokens.push_back(rng.uniform_int(0, 4));
+    examples.push_back({make_sequence(tokens, c), label});
+  }
+  return examples;
+}
+
+TEST(TrainerEvalSplitTest, EvalLossReportedPerEpoch) {
+  const BertConfig c = tiny_config();
+  BertPairClassifier model(c);
+  TrainOptions options;
+  options.epochs = 3;
+  options.eval_fraction = 0.25;
+  const TrainResult result =
+      train(model, separable_dataset(c, 40), options);
+  ASSERT_EQ(result.epochs.size(), 3u);
+  for (const EpochStats& stats : result.epochs)
+    EXPECT_GT(stats.eval_loss, 0.0);
+  EXPECT_GE(result.best_epoch, 0);
+  EXPECT_GT(result.best_eval_loss, 0.0);
+}
+
+TEST(TrainerEvalSplitTest, NoSplitMeansNoEvalTracking) {
+  const BertConfig c = tiny_config();
+  BertPairClassifier model(c);
+  TrainOptions options;
+  options.epochs = 2;
+  const TrainResult result =
+      train(model, separable_dataset(c, 20), options);
+  EXPECT_EQ(result.best_epoch, -1);
+  EXPECT_FALSE(result.stopped_early);
+  for (const EpochStats& stats : result.epochs)
+    EXPECT_DOUBLE_EQ(stats.eval_loss, 0.0);
+}
+
+TEST(TrainerEvalSplitTest, BestWeightsRestoredAtEnd) {
+  // After training, the model's eval loss must equal the reported best
+  // (i.e. the best checkpoint was restored, not the last).
+  const BertConfig c = tiny_config();
+  BertPairClassifier model(c);
+  TrainOptions options;
+  options.epochs = 4;
+  options.eval_fraction = 0.3;
+  options.learning_rate = 3e-3;  // deliberately jumpy so epochs differ
+  const std::vector<LabeledExample> examples = separable_dataset(c, 30);
+  const TrainResult result = train(model, examples, options);
+
+  // Rebuild the same eval split the trainer used.
+  std::vector<std::size_t> indices(examples.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  util::Rng split_rng(options.shuffle_seed ^ 0xe7a1ULL);
+  split_rng.shuffle(indices);
+  const std::size_t eval_count = static_cast<std::size_t>(
+      examples.size() * options.eval_fraction);
+  std::vector<LabeledExample> eval_set;
+  for (std::size_t i = 0; i < eval_count; ++i)
+    eval_set.push_back(examples[indices[i]]);
+
+  EXPECT_NEAR(evaluate_loss(model, eval_set), result.best_eval_loss, 1e-9);
+}
+
+TEST(TrainerEarlyStopTest, StopsWhenEvalLossPlateaus) {
+  // Random labels: the model can only memorize the training half, so the
+  // validation loss rises after the first epochs and patience triggers.
+  const BertConfig c = tiny_config();
+  BertPairClassifier model(c);
+  TrainOptions options;
+  options.epochs = 40;
+  options.eval_fraction = 0.3;
+  options.early_stop_patience = 2;
+  options.learning_rate = 5e-3;
+  std::vector<LabeledExample> noise;
+  util::Rng rng(13);
+  for (int i = 0; i < 24; ++i) {
+    std::vector<int> tokens;
+    for (int j = 0; j < 5; ++j) tokens.push_back(rng.uniform_int(0, 9));
+    noise.push_back({make_sequence(tokens, c), rng.bernoulli(0.5) ? 1 : 0});
+  }
+  const TrainResult result = train(model, noise, options);
+  EXPECT_LT(result.epochs.size(), 40u);
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.best_epoch,
+            static_cast<int>(result.epochs.size()) - 1);
+}
+
+TEST(TrainerEvalSplitTest, RejectsBadFraction) {
+  const BertConfig c = tiny_config();
+  BertPairClassifier model(c);
+  TrainOptions options;
+  options.eval_fraction = 1.0;
+  EXPECT_THROW(train(model, separable_dataset(c, 8), options),
+               util::CheckError);
+  options.eval_fraction = -0.1;
+  EXPECT_THROW(train(model, separable_dataset(c, 8), options),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::bert

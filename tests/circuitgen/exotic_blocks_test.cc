@@ -1,0 +1,188 @@
+// Behavioural tests for the exotic sequential blocks (LFSR, Gray counter,
+// Johnson counter, one-hot FSM): each has a crisp invariant that random
+// simulation can check exactly.
+#include <gtest/gtest.h>
+
+#include "circuitgen/blocks.h"
+#include "nl/decompose.h"
+#include "nl/simulate.h"
+#include "nl/words.h"
+#include "rebert/word_typing.h"
+
+namespace rebert::gen {
+namespace {
+
+struct Built {
+  nl::Netlist netlist{"t"};
+  std::vector<std::string> bits;
+  std::vector<nl::GateId> dffs;
+};
+
+Built build(BlockType type, int width, std::uint64_t seed = 42) {
+  Built out;
+  nl::WordMap words;
+  util::Rng rng(seed);
+  BlockBuilder builder(&out.netlist, &words, &rng);
+  builder.build({type, width}, "w");
+  out.bits = words.words()[0].second;
+  for (const std::string& name : out.bits)
+    out.dffs.push_back(*out.netlist.find(name));
+  return out;
+}
+
+std::vector<bool> state_of(const nl::Simulator& sim, const Built& b) {
+  std::vector<bool> state;
+  state.reserve(b.dffs.size());
+  for (nl::GateId id : b.dffs) state.push_back(sim.value(id));
+  return state;
+}
+
+TEST(LfsrTest, SelfStartsAndCyclesThroughManyStates) {
+  const Built b = build(BlockType::kLfsr, 5);
+  nl::Simulator sim(b.netlist);
+  sim.reset();
+  std::set<std::vector<bool>> seen;
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    sim.eval_combinational();
+    sim.step();
+    sim.eval_combinational();
+    seen.insert(state_of(sim, b));
+  }
+  // An XNOR 5-bit LFSR visits 31 states (all but all-ones).
+  EXPECT_GE(seen.size(), 16u);
+  const std::vector<bool> all_ones(5, true);
+  EXPECT_EQ(seen.count(all_ones), 0u);
+}
+
+TEST(LfsrTest, ShiftBodyCopiesBits) {
+  const Built b = build(BlockType::kLfsr, 6);
+  nl::Simulator sim(b.netlist);
+  sim.reset();
+  std::vector<bool> previous(6, false);
+  for (int cycle = 0; cycle < 32; ++cycle) {
+    sim.eval_combinational();
+    sim.step();
+    sim.eval_combinational();
+    const std::vector<bool> current = state_of(sim, b);
+    if (cycle > 0)
+      for (int i = 1; i < 6; ++i)
+        EXPECT_EQ(current[static_cast<std::size_t>(i)],
+                  previous[static_cast<std::size_t>(i - 1)])
+            << "bit " << i << " cycle " << cycle;
+    previous = current;
+  }
+}
+
+TEST(GrayCounterTest, ExactlyOneBitFlipsPerActiveCycle) {
+  const Built b = build(BlockType::kGrayCounter, 4);
+  // Control net is the single PI ("en"); drive it high.
+  nl::Simulator sim(b.netlist);
+  sim.reset();
+  std::vector<bool> ones(b.netlist.inputs().size(), true);
+  std::vector<bool> previous(4, false);
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    sim.set_inputs(ones);
+    sim.eval_combinational();
+    sim.step();
+    sim.eval_combinational();
+    const std::vector<bool> current = state_of(sim, b);
+    int flips = 0;
+    for (int i = 0; i < 4; ++i)
+      if (current[static_cast<std::size_t>(i)] !=
+          previous[static_cast<std::size_t>(i)])
+        ++flips;
+    EXPECT_EQ(flips, 1) << "cycle " << cycle;
+    previous = current;
+  }
+}
+
+TEST(GrayCounterTest, VisitsAllStates) {
+  const Built b = build(BlockType::kGrayCounter, 3);
+  nl::Simulator sim(b.netlist);
+  sim.reset();
+  std::vector<bool> ones(b.netlist.inputs().size(), true);
+  std::set<std::vector<bool>> seen;
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    sim.set_inputs(ones);
+    sim.eval_combinational();
+    sim.step();
+    sim.eval_combinational();
+    seen.insert(state_of(sim, b));
+  }
+  EXPECT_EQ(seen.size(), 8u);  // full 3-bit Gray cycle
+}
+
+TEST(JohnsonCounterTest, WalkingOnesPattern) {
+  const Built b = build(BlockType::kJohnsonCounter, 4);
+  nl::Simulator sim(b.netlist);
+  sim.reset();
+  // From 0000 the Johnson sequence is 1000, 1100, 1110, 1111, 0111, ...
+  // (in our bit order q0 is the injection point).
+  std::vector<std::vector<bool>> expected{
+      {true, false, false, false}, {true, true, false, false},
+      {true, true, true, false},   {true, true, true, true},
+      {false, true, true, true},   {false, false, true, true},
+      {false, false, false, true}, {false, false, false, false}};
+  for (const auto& want : expected) {
+    sim.eval_combinational();
+    sim.step();
+    sim.eval_combinational();
+    EXPECT_EQ(state_of(sim, b), want);
+  }
+}
+
+TEST(JohnsonCounterTest, ClassifiedAsShiftRegister) {
+  const Built b = build(BlockType::kJohnsonCounter, 5);
+  const core::WordAnalysis analysis = core::analyze_word(b.netlist, b.bits);
+  EXPECT_EQ(analysis.kind, core::WordKind::kShiftRegister)
+      << core::word_kind_name(analysis.kind);
+}
+
+TEST(OneHotFsmTest, ReseedsAndStaysOneHot) {
+  const Built b = build(BlockType::kOneHotFsm, 5);
+  nl::Simulator sim(b.netlist);
+  sim.reset();
+  util::Rng rng(3);
+  int popcount_violations = 0;
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    std::vector<bool> inputs(b.netlist.inputs().size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      inputs[i] = rng.bernoulli(0.5);
+    sim.set_inputs(inputs);
+    sim.eval_combinational();
+    sim.step();
+    sim.eval_combinational();
+    if (cycle == 0) continue;  // reseed cycle
+    const std::vector<bool> state = state_of(sim, b);
+    int population = 0;
+    for (bool v : state) population += v ? 1 : 0;
+    if (population != 1) ++popcount_violations;
+  }
+  EXPECT_EQ(popcount_violations, 0);
+}
+
+TEST(ExoticBlocksTest, AllDecomposeAndValidate) {
+  for (BlockType type :
+       {BlockType::kLfsr, BlockType::kGrayCounter,
+        BlockType::kJohnsonCounter, BlockType::kOneHotFsm}) {
+    const Built b = build(type, 6);
+    EXPECT_NO_THROW(b.netlist.validate()) << block_type_name(type);
+    const nl::Netlist d = nl::decompose_to_2input(b.netlist);
+    EXPECT_TRUE(nl::check_equivalence(b.netlist, d).equivalent)
+        << block_type_name(type);
+  }
+}
+
+TEST(ExoticBlocksTest, DegenerateWidthsFallBack) {
+  // Width-1 LFSR/Gray/one-hot fall back to simpler blocks rather than
+  // producing broken feedback.
+  for (BlockType type : {BlockType::kLfsr, BlockType::kGrayCounter,
+                         BlockType::kOneHotFsm}) {
+    const Built b = build(type, 1);
+    EXPECT_EQ(b.bits.size(), 1u) << block_type_name(type);
+    EXPECT_NO_THROW(b.netlist.validate());
+  }
+}
+
+}  // namespace
+}  // namespace rebert::gen

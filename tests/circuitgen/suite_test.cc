@@ -1,0 +1,143 @@
+#include "circuitgen/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/decompose.h"
+#include "nl/corruption.h"
+#include "nl/simulate.h"
+#include "util/check.h"
+
+namespace rebert::gen {
+namespace {
+
+TEST(SpecTest, MakeSpecHitsTargetsExactly) {
+  const CircuitSpec spec = make_spec("x", 53, 10, 20, 1);
+  int ffs = 0;
+  for (const BlockSpec& b : spec.blocks) ffs += b.width;
+  EXPECT_EQ(ffs, 53);
+  EXPECT_EQ(static_cast<int>(spec.blocks.size()), 10);
+}
+
+TEST(SpecTest, SmallBudgets) {
+  const CircuitSpec spec = make_spec("tiny", 2, 2, 0, 1);
+  EXPECT_EQ(spec.blocks.size(), 2u);
+  EXPECT_EQ(spec.blocks[0].width + spec.blocks[1].width, 2);
+  EXPECT_THROW(make_spec("bad", 1, 2, 0, 1), util::CheckError);
+  EXPECT_THROW(make_spec("bad", 5, 0, 0, 1), util::CheckError);
+}
+
+TEST(SuiteTest, TwelveBenchmarksInTableOrder) {
+  const auto& names = benchmark_names();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.front(), "b03");
+  EXPECT_EQ(names.back(), "b18");
+  const auto specs = itc99_suite_specs();
+  ASSERT_EQ(specs.size(), 12u);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    EXPECT_EQ(specs[i].name, names[i]);
+}
+
+TEST(SuiteTest, GeneratedCircuitMatchesTableOneFfCounts) {
+  // Full-scale FF counts equal Table I; checked for the small benches
+  // (generating b17/b18 here would slow the unit suite; covered by the
+  // Table I bench binary).
+  const struct {
+    const char* name;
+    int ffs;
+    int words;
+  } expectations[] = {
+      {"b03", 30, 7}, {"b04", 66, 8}, {"b08", 21, 5}, {"b11", 31, 5}};
+  for (const auto& e : expectations) {
+    const GeneratedCircuit c = generate_benchmark(e.name);
+    EXPECT_EQ(static_cast<int>(c.netlist.dffs().size()), e.ffs) << e.name;
+    EXPECT_EQ(c.words.num_words(), e.words) << e.name;
+  }
+}
+
+TEST(SuiteTest, GroundTruthCoversEveryFlipFlop) {
+  const GeneratedCircuit c = generate_benchmark("b03");
+  const auto bits = nl::extract_bits(c.netlist);
+  const std::vector<int> labels = c.words.labels_for(bits);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    EXPECT_LT(labels[i], c.words.num_words())
+        << "bit " << bits[i].name << " not covered by any word";
+}
+
+TEST(SuiteTest, OutputIs2InputDecomposed) {
+  const GeneratedCircuit c = generate_benchmark("b05");
+  EXPECT_TRUE(nl::is_2input(c.netlist));
+  c.netlist.validate();
+}
+
+TEST(SuiteTest, DeterministicAcrossCalls) {
+  const GeneratedCircuit a = generate_benchmark("b07");
+  const GeneratedCircuit b = generate_benchmark("b07");
+  ASSERT_EQ(a.netlist.num_gates(), b.netlist.num_gates());
+  for (nl::GateId id = 0; id < a.netlist.num_gates(); ++id) {
+    EXPECT_EQ(a.netlist.gate(id).type, b.netlist.gate(id).type);
+    EXPECT_EQ(a.netlist.gate(id).name, b.netlist.gate(id).name);
+  }
+}
+
+TEST(SuiteTest, DifferentBenchmarksDiffer) {
+  const GeneratedCircuit a = generate_benchmark("b03");
+  const GeneratedCircuit b = generate_benchmark("b08");
+  EXPECT_NE(a.netlist.num_gates(), b.netlist.num_gates());
+}
+
+TEST(SuiteTest, ScaleShrinksCircuits) {
+  const GeneratedCircuit full = generate_benchmark("b12", 1.0);
+  const GeneratedCircuit half = generate_benchmark("b12", 0.5);
+  EXPECT_LT(half.netlist.dffs().size(), full.netlist.dffs().size());
+  EXPECT_LT(half.words.num_words(), full.words.num_words());
+  EXPECT_GE(half.words.num_words(), 2);
+}
+
+TEST(SuiteTest, RejectsBadArguments) {
+  EXPECT_THROW(generate_benchmark("b99"), util::CheckError);
+  EXPECT_THROW(itc99_suite_specs(0.0), util::CheckError);
+  EXPECT_THROW(itc99_suite_specs(1.5), util::CheckError);
+}
+
+TEST(SuiteTest, CorruptionPreservesGeneratedCircuitFunction) {
+  const GeneratedCircuit c = generate_benchmark("b08");
+  const nl::Netlist corrupted =
+      nl::corrupt_netlist(c.netlist, {.r_index = 0.6, .seed = 11});
+  const nl::EquivalenceResult eq =
+      nl::check_equivalence(c.netlist, corrupted, {.num_sequences = 4,
+                                                   .cycles_per_sequence = 16});
+  EXPECT_TRUE(eq.equivalent) << eq.mismatched_net;
+}
+
+TEST(SuiteTest, WordSizesAreRealistic) {
+  const GeneratedCircuit c = generate_benchmark("b12");
+  const auto histogram = c.words.size_histogram();
+  int multi_bit_words = 0;
+  for (const auto& [size, count] : histogram)
+    if (size > 1) multi_bit_words += count;
+  EXPECT_GT(multi_bit_words, 0);
+}
+
+class SuiteGenerationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteGenerationTest, SmallAndMediumBenchmarksValidate) {
+  const GeneratedCircuit c = generate_benchmark(GetParam());
+  EXPECT_NO_THROW(c.netlist.validate());
+  EXPECT_GT(c.netlist.stats().num_comb_gates, 0);
+  EXPECT_EQ(c.netlist.name(), GetParam());
+  // Every word bit resolves to a DFF.
+  for (const auto& [word, bit_names] : c.words.words())
+    for (const std::string& bit : bit_names) {
+      auto id = c.netlist.find(bit);
+      ASSERT_TRUE(id.has_value()) << bit;
+      EXPECT_EQ(c.netlist.gate(*id).type, nl::GateType::kDff);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FirstTen, SuiteGenerationTest,
+                         ::testing::Values("b03", "b04", "b05", "b07", "b08",
+                                           "b11", "b12", "b13", "b14",
+                                           "b15"));
+
+}  // namespace
+}  // namespace rebert::gen

@@ -1,0 +1,128 @@
+#include "circuitgen/trojan.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+#include "nl/simulate.h"
+#include "nl/words.h"
+#include "util/check.h"
+
+namespace rebert::gen {
+namespace {
+
+TEST(TrojanTest, InsertionProducesValidNetlist) {
+  const GeneratedCircuit c = generate_benchmark("b05");
+  TrojanInfo info;
+  const nl::Netlist infected = insert_trojan(c.netlist, {}, &info);
+  EXPECT_NO_THROW(infected.validate());
+  EXPECT_EQ(info.trigger_nets.size(), 4u);
+  EXPECT_EQ(info.trojan_ffs.size(), 3u);  // 2 counter bits + armed flag
+  EXPECT_FALSE(info.victim_net.empty());
+  EXPECT_GT(info.rewired_consumers, 0);
+  // Trojan FFs exist and are DFFs.
+  for (const std::string& name : info.trojan_ffs) {
+    const auto id = infected.find(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_EQ(infected.gate(*id).type, nl::GateType::kDff);
+  }
+}
+
+TEST(TrojanTest, DormantUntilArmed) {
+  // Starting from reset, the armed flag is 0, so the tap equals the victim
+  // and every original signal computes its original value — for at least
+  // the first cycle (the counter needs 2^bits - 1 trigger hits plus the
+  // arming cycle before the payload can fire).
+  const GeneratedCircuit c = generate_benchmark("b08");
+  TrojanInfo info;
+  const nl::Netlist infected = insert_trojan(c.netlist, {}, &info);
+
+  nl::Simulator clean(c.netlist);
+  nl::Simulator dirty(infected);
+  clean.reset();
+  dirty.reset();
+  util::Rng rng(5);
+  // Compare original primary outputs on the very first evaluation.
+  std::vector<bool> inputs(c.netlist.inputs().size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    inputs[i] = rng.bernoulli(0.5);
+  clean.set_inputs(inputs);
+  clean.eval_combinational();
+  // Input order matches: insert_trojan copies the netlist.
+  dirty.set_inputs(inputs);
+  dirty.eval_combinational();
+  for (nl::GateId out_id : c.netlist.outputs()) {
+    const std::string& name = c.netlist.gate(out_id).name;
+    const auto dirty_id = infected.find(name);
+    ASSERT_TRUE(dirty_id.has_value());
+    EXPECT_EQ(clean.value(out_id), dirty.value(*dirty_id)) << name;
+  }
+}
+
+TEST(TrojanTest, EventuallyFiresUnderRandomStimulus) {
+  // With a narrow trigger the Trojan arms under enough random cycles, and
+  // from then on the corrupted net diverges from the victim.
+  const GeneratedCircuit c = generate_benchmark("b08");
+  TrojanOptions options;
+  options.trigger_width = 1;  // easy trigger for the test
+  options.counter_bits = 1;
+  TrojanInfo info;
+  const nl::Netlist infected = insert_trojan(c.netlist, options, &info);
+
+  nl::Simulator sim(infected);
+  sim.reset();
+  util::Rng rng(9);
+  const nl::GateId armed = *infected.find("troj_armed");
+  const nl::GateId victim = *infected.find(info.victim_net);
+  const nl::GateId tap = *infected.find(info.corrupted_net);
+  bool fired = false;
+  for (int cycle = 0; cycle < 200 && !fired; ++cycle) {
+    std::vector<bool> inputs(infected.inputs().size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      inputs[i] = rng.bernoulli(0.5);
+    sim.set_inputs(inputs);
+    sim.eval_combinational();
+    if (sim.value(armed)) {
+      fired = true;
+      EXPECT_NE(sim.value(victim), sim.value(tap));
+    }
+    sim.step();
+  }
+  EXPECT_TRUE(fired) << "trigger never armed in 200 cycles";
+}
+
+TEST(TrojanTest, TrojanFfsAreOutsideGroundTruthWords) {
+  const GeneratedCircuit c = generate_benchmark("b05");
+  TrojanInfo info;
+  const nl::Netlist infected = insert_trojan(c.netlist, {}, &info);
+  const auto bits = nl::extract_bits(infected);
+  const std::vector<int> labels = c.words.labels_for(bits);
+  // Trojan FFs receive fresh singleton labels beyond the true words.
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool is_trojan =
+        std::find(info.trojan_ffs.begin(), info.trojan_ffs.end(),
+                  bits[i].name) != info.trojan_ffs.end();
+    if (is_trojan) EXPECT_GE(labels[i], c.words.num_words());
+  }
+}
+
+TEST(TrojanTest, DeterministicAndSeedSensitive) {
+  const GeneratedCircuit c = generate_benchmark("b05");
+  TrojanInfo a, b, d;
+  insert_trojan(c.netlist, {.seed = 1}, &a);
+  insert_trojan(c.netlist, {.seed = 1}, &b);
+  insert_trojan(c.netlist, {.seed = 2}, &d);
+  EXPECT_EQ(a.trigger_nets, b.trigger_nets);
+  EXPECT_EQ(a.victim_net, b.victim_net);
+  EXPECT_NE(a.trigger_nets, d.trigger_nets);
+}
+
+TEST(TrojanTest, RejectsTinyNetlists) {
+  nl::Netlist tiny;
+  tiny.add_input("a");
+  tiny.add_gate(nl::GateType::kNot, {0}, "x");
+  tiny.mark_output(1);
+  EXPECT_THROW(insert_trojan(tiny, {}, nullptr), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::gen

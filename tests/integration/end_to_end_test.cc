@@ -1,0 +1,173 @@
+// Cross-module integration tests: the full flows a user actually runs,
+// stitched across netlist I/O, generation, corruption, optimization,
+// tokenization, both recovery methods, and metrics.
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+#include "metrics/clustering.h"
+#include "nl/corruption.h"
+#include "nl/decompose.h"
+#include "nl/opt.h"
+#include "nl/parser.h"
+#include "nl/simulate.h"
+#include "nl/verilog.h"
+#include "rebert/pipeline.h"
+#include "rebert/report.h"
+#include "structural/matching.h"
+
+namespace rebert {
+namespace {
+
+core::CircuitData make_circuit(const std::string& name, double scale) {
+  gen::GeneratedCircuit generated = gen::generate_benchmark(name, scale);
+  return core::CircuitData{name, std::move(generated.netlist),
+                           std::move(generated.words)};
+}
+
+// Generated circuit -> Verilog text -> reparse -> corrupt -> optimize:
+// function preserved through the entire tool chain.
+TEST(EndToEndTest, FormatCorruptOptimizeChainPreservesFunction) {
+  const gen::GeneratedCircuit original = gen::generate_benchmark("b08");
+  const nl::Netlist via_verilog =
+      nl::parse_verilog_string(nl::write_verilog_string(original.netlist));
+  const nl::Netlist via_bench =
+      nl::parse_bench_string(nl::write_bench_string(via_verilog));
+  const nl::Netlist corrupted =
+      nl::corrupt_netlist(via_bench, {.r_index = 0.7, .seed = 9});
+  const nl::Netlist optimized = nl::optimize_netlist(corrupted);
+
+  const nl::EquivalenceResult eq = nl::check_equivalence(
+      original.netlist, optimized,
+      {.num_sequences = 6, .cycles_per_sequence = 24});
+  EXPECT_TRUE(eq.equivalent) << eq.mismatched_net;
+}
+
+// Ground truth survives the tool chain: bits keep names through formats,
+// corruption, and optimization, so labels stay aligned.
+TEST(EndToEndTest, GroundTruthAlignmentSurvivesToolChain) {
+  const core::CircuitData circuit = make_circuit("b03", 1.0);
+  const nl::Netlist reparsed =
+      nl::parse_verilog_string(nl::write_verilog_string(circuit.netlist));
+  const nl::Netlist corrupted =
+      nl::corrupt_netlist(reparsed, {.r_index = 0.5, .seed = 2});
+  const nl::Netlist optimized = nl::optimize_netlist(corrupted);
+
+  const auto bits_before = nl::extract_bits(circuit.netlist);
+  const auto bits_after = nl::extract_bits(optimized);
+  ASSERT_EQ(bits_before.size(), bits_after.size());
+  const auto labels_before = circuit.words.labels_for(bits_before);
+  const auto labels_after = circuit.words.labels_for(bits_after);
+  EXPECT_EQ(labels_before, labels_after);
+}
+
+// Structural recovery through the full adversarial chain still produces a
+// valid partition, and the clean chain scores better than the corrupted
+// one (averaged over seeds to kill variance).
+TEST(EndToEndTest, StructuralDegradationIsMonotoneOnAverage) {
+  const core::CircuitData circuit = make_circuit("b04", 1.0);
+  const auto bits = nl::extract_bits(circuit.netlist);
+  const auto truth = circuit.words.labels_for(bits);
+
+  auto average_ari = [&](double r) {
+    double total = 0.0;
+    const int kSeeds = 3;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const nl::Netlist variant =
+          r == 0.0 ? circuit.netlist
+                   : nl::corrupt_netlist(
+                         circuit.netlist,
+                         {.r_index = r,
+                          .seed = static_cast<std::uint64_t>(seed)});
+      total += metrics::adjusted_rand_index(
+          truth,
+          structural::recover_words_structural(variant).labels);
+    }
+    return total / kSeeds;
+  };
+  const double clean = average_ari(0.0);
+  const double mid = average_ari(0.5);
+  EXPECT_GT(clean, 0.2);
+  EXPECT_LT(mid, clean);
+}
+
+// Mini paper experiment: train on two circuits, evaluate on a third, and
+// require ReBERT to beat the structural baseline averaged over the
+// corruption sweep (the paper's headline claim at miniature scale).
+TEST(EndToEndTest, ReBertBeatsStructuralAveragedOverSweep) {
+  std::vector<core::CircuitData> circuits;
+  circuits.push_back(make_circuit("b03", 0.5));
+  circuits.push_back(make_circuit("b08", 0.5));
+  circuits.push_back(make_circuit("b13", 0.5));
+  const core::CircuitData target = make_circuit("b11", 0.5);
+
+  core::ExperimentOptions options;
+  options.pipeline.tokenizer.tree_code_dim = 16;
+  options.pipeline.tokenizer.max_seq_len = 192;
+  options.dataset.max_samples_per_circuit = 150;
+  options.training.epochs = 3;
+
+  std::vector<const core::CircuitData*> train_set;
+  for (const auto& circuit : circuits) train_set.push_back(&circuit);
+  const auto model = core::train_rebert(train_set, options);
+
+  double rebert_total = 0.0, structural_total = 0.0;
+  const auto bits = nl::extract_bits(target.netlist);
+  for (double r : {0.0, 0.4, 0.8}) {
+    const core::EvaluationResult rebert_result =
+        core::evaluate_rebert(target, r, *model, options);
+    rebert_total += rebert_result.ari;
+
+    nl::CorruptionOptions corrupt_options;
+    corrupt_options.r_index = r;
+    corrupt_options.seed =
+        options.corruption_seed ^ std::hash<std::string>{}(target.name);
+    const nl::Netlist variant =
+        r == 0.0 ? target.netlist
+                 : nl::corrupt_netlist(target.netlist, corrupt_options);
+    const auto variant_bits = nl::extract_bits(variant);
+    structural_total += metrics::adjusted_rand_index(
+        target.words.labels_for(variant_bits),
+        structural::recover_words_structural(variant).labels);
+  }
+  EXPECT_GT(rebert_total, structural_total)
+      << "ReBERT avg " << rebert_total / 3 << " vs structural "
+      << structural_total / 3;
+}
+
+// Detailed recovery + report end-to-end on a trained-from-scratch model.
+TEST(EndToEndTest, DetailedRecoveryAndReport) {
+  const core::CircuitData circuit = make_circuit("b03", 0.5);
+  core::ExperimentOptions options;
+  options.pipeline.tokenizer.tree_code_dim = 16;
+  options.pipeline.tokenizer.max_seq_len = 192;
+  bert::BertPairClassifier model(core::make_model_config(options));
+
+  const core::RecoveryArtifacts artifacts = core::recover_words_detailed(
+      circuit.netlist, model, options.pipeline);
+  EXPECT_EQ(artifacts.bits.size(), circuit.netlist.dffs().size());
+  EXPECT_EQ(artifacts.sequences.size(), artifacts.bits.size());
+  EXPECT_EQ(artifacts.scores.size(),
+            static_cast<int>(artifacts.bits.size()));
+
+  const core::WordReport report = core::make_word_report(
+      artifacts.bits, artifacts.scores, artifacts.result.labels);
+  EXPECT_EQ(static_cast<int>(report.words.size()) + report.num_singletons,
+            artifacts.result.num_words);
+  EXPECT_FALSE(report.to_string().empty());
+}
+
+// The .bench and Verilog readers agree on the same circuit.
+TEST(EndToEndTest, BenchAndVerilogAgree) {
+  const gen::GeneratedCircuit circuit = gen::generate_benchmark("b05");
+  const nl::Netlist from_bench =
+      nl::parse_bench_string(nl::write_bench_string(circuit.netlist));
+  const nl::Netlist from_verilog =
+      nl::parse_verilog_string(nl::write_verilog_string(circuit.netlist));
+  EXPECT_TRUE(nl::check_equivalence(from_bench, from_verilog,
+                                    {.num_sequences = 4,
+                                     .cycles_per_sequence = 16})
+                  .equivalent);
+}
+
+}  // namespace
+}  // namespace rebert

@@ -1,0 +1,127 @@
+#include "nl/cone.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/parser.h"
+#include "util/check.h"
+
+namespace rebert::nl {
+namespace {
+
+Netlist paper_figure2_circuit() {
+  // Figure 2's example tree: root AND, left child NOT(X0), right child
+  // OR(X1, X2), extracted with k=3.
+  return parse_bench_string(R"(
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+n_not = NOT(x0)
+n_or = OR(x1, x2)
+bit = AND(n_not, n_or)
+q = DFF(bit)
+OUTPUT(q)
+)");
+}
+
+TEST(ConeTest, PaperFigure2Tree) {
+  const Netlist n = paper_figure2_circuit();
+  const ConeTree tree = extract_cone(n, *n.find("bit"), 3);
+  // AND, NOT, x0, OR, x1, x2 in pre-order.
+  ASSERT_EQ(tree.size(), 6);
+  EXPECT_EQ(tree.root().type, GateType::kAnd);
+  EXPECT_FALSE(tree.root().is_leaf);
+  EXPECT_EQ(tree.depth, 2);  // two combinational levels below-and-including
+  EXPECT_EQ(cone_to_sexpr(tree, /*generalize_leaves=*/true),
+            "(AND (NOT X) (OR X X))");
+  EXPECT_EQ(cone_to_sexpr(tree, /*generalize_leaves=*/false),
+            "(AND (NOT x0) (OR x1 x2))");
+}
+
+TEST(ConeTest, DepthLimitCutsTree) {
+  const Netlist n = paper_figure2_circuit();
+  const ConeTree tree = extract_cone(n, *n.find("bit"), 1);
+  // Only the root expands; children become leaves.
+  ASSERT_EQ(tree.size(), 3);
+  EXPECT_EQ(cone_to_sexpr(tree, true), "(AND X X)");
+  // The leaves keep their net names for the non-generalized view.
+  EXPECT_EQ(cone_to_sexpr(tree, false), "(AND n_not n_or)");
+}
+
+TEST(ConeTest, NonCombinationalRootIsSingleLeaf) {
+  const Netlist n = paper_figure2_circuit();
+  const ConeTree tree = extract_cone(n, *n.find("x0"), 4);
+  ASSERT_EQ(tree.size(), 1);
+  EXPECT_TRUE(tree.root().is_leaf);
+  EXPECT_EQ(tree.depth, 0);
+  EXPECT_EQ(cone_to_sexpr(tree, false), "x0");
+}
+
+TEST(ConeTest, DffOutputIsCutPoint) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+q = DFF(b)
+b = AND(a, q)
+OUTPUT(b)
+)");
+  const ConeTree tree = extract_cone(n, *n.find("b"), 5);
+  // AND expands; q is a leaf even though its D cone continues behind it.
+  ASSERT_EQ(tree.size(), 3);
+  EXPECT_EQ(cone_to_sexpr(tree, false), "(AND a q)");
+  EXPECT_EQ(tree.nodes[2].type, GateType::kDff);
+  EXPECT_TRUE(tree.nodes[2].is_leaf);
+}
+
+TEST(ConeTest, SharedLogicIsDuplicated) {
+  // Diamond: shared = AND(a,b); bit = OR(NOT(shared), shared).
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+shared = AND(a, b)
+inv = NOT(shared)
+bit = OR(inv, shared)
+OUTPUT(bit)
+)");
+  const ConeTree tree = extract_cone(n, *n.find("bit"), 4);
+  EXPECT_EQ(cone_to_sexpr(tree, false), "(OR (NOT (AND a b)) (AND a b))");
+  // 'shared' appears twice: tree form duplicates DAG nodes.
+  int and_nodes = 0;
+  for (const ConeNode& node : tree.nodes)
+    if (!node.is_leaf && node.type == GateType::kAnd) ++and_nodes;
+  EXPECT_EQ(and_nodes, 2);
+}
+
+TEST(ConeTest, PreorderIsIdentityLayout) {
+  const Netlist n = paper_figure2_circuit();
+  const ConeTree tree = extract_cone(n, *n.find("bit"), 3);
+  const std::vector<int> order = tree.preorder();
+  ASSERT_EQ(static_cast<int>(order.size()), tree.size());
+  for (int i = 0; i < tree.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ConeTest, NumLeaves) {
+  const Netlist n = paper_figure2_circuit();
+  EXPECT_EQ(extract_cone(n, *n.find("bit"), 3).num_leaves(), 3);
+  EXPECT_EQ(extract_cone(n, *n.find("bit"), 1).num_leaves(), 2);
+}
+
+TEST(ConeTest, RejectsBadArguments) {
+  const Netlist n = paper_figure2_circuit();
+  EXPECT_THROW(extract_cone(n, *n.find("bit"), 0), util::CheckError);
+  EXPECT_THROW(extract_cone(n, 999, 3), util::CheckError);
+}
+
+TEST(ConeTest, WideGateProducesNaryTree) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+bit = NAND(a, b, c)
+OUTPUT(bit)
+)");
+  const ConeTree tree = extract_cone(n, *n.find("bit"), 2);
+  EXPECT_EQ(tree.root().children.size(), 3u);
+  EXPECT_EQ(cone_to_sexpr(tree, true), "(NAND X X X)");
+}
+
+}  // namespace
+}  // namespace rebert::nl

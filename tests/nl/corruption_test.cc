@@ -1,0 +1,165 @@
+#include "nl/corruption.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/decompose.h"
+#include "nl/parser.h"
+#include "util/check.h"
+#include "nl/simulate.h"
+
+namespace rebert::nl {
+namespace {
+
+Netlist sample_circuit() {
+  return parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+g1 = AND(a, b)
+g2 = OR(b, c)
+g3 = NAND(g1, g2)
+g4 = NOR(a, g2)
+g5 = XOR(g3, g4)
+g6 = XNOR(g1, c)
+g7 = NOT(g5)
+g8 = BUF(g6)
+q1 = DFF(g7)
+q2 = DFF(g8)
+OUTPUT(g5)
+OUTPUT(g6)
+)",
+                            "sample");
+}
+
+TEST(CorruptionTest, RZeroIsIdentity) {
+  const Netlist n = sample_circuit();
+  CorruptionReport report;
+  const Netlist c = corrupt_netlist(n, {.r_index = 0.0, .seed = 1}, &report);
+  EXPECT_EQ(report.replaced_gates, 0);
+  EXPECT_EQ(report.added_gates, 0);
+  EXPECT_EQ(c.num_gates(), n.num_gates());
+}
+
+TEST(CorruptionTest, ROneReplacesEveryEligibleGate) {
+  const Netlist n = sample_circuit();
+  CorruptionReport report;
+  const Netlist c = corrupt_netlist(n, {.r_index = 1.0, .seed = 1}, &report);
+  EXPECT_EQ(report.eligible_gates, 8);  // g1..g8 all have templates
+  EXPECT_EQ(report.replaced_gates, report.eligible_gates);
+  EXPECT_GT(c.num_gates(), n.num_gates());
+}
+
+class CorruptionEquivalenceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorruptionEquivalenceTest, PreservesFunctionAtAllRIndexes) {
+  const Netlist n = sample_circuit();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Netlist c =
+        corrupt_netlist(n, {.r_index = GetParam(), .seed = seed});
+    const EquivalenceResult eq = check_equivalence(n, c);
+    EXPECT_TRUE(eq.equivalent)
+        << "R=" << GetParam() << " seed=" << seed << " mismatch on "
+        << eq.mismatched_net;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RIndexSweep, CorruptionEquivalenceTest,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8, 1.0));
+
+TEST(CorruptionTest, DeterministicForSameSeed) {
+  const Netlist n = sample_circuit();
+  const Netlist c1 = corrupt_netlist(n, {.r_index = 0.5, .seed = 9});
+  const Netlist c2 = corrupt_netlist(n, {.r_index = 0.5, .seed = 9});
+  EXPECT_EQ(c1.num_gates(), c2.num_gates());
+  for (GateId id = 0; id < c1.num_gates(); ++id) {
+    EXPECT_EQ(c1.gate(id).type, c2.gate(id).type);
+    EXPECT_EQ(c1.gate(id).fanins, c2.gate(id).fanins);
+  }
+}
+
+TEST(CorruptionTest, DifferentSeedsDiffer) {
+  const Netlist n = sample_circuit();
+  const Netlist c1 = corrupt_netlist(n, {.r_index = 0.5, .seed = 1});
+  const Netlist c2 = corrupt_netlist(n, {.r_index = 0.5, .seed = 2});
+  bool any_difference = c1.num_gates() != c2.num_gates();
+  if (!any_difference) {
+    for (GateId id = 0; id < c1.num_gates(); ++id)
+      if (c1.gate(id).type != c2.gate(id).type) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CorruptionTest, RealizedRatioTracksRIndex) {
+  // On a larger circuit the fraction of replaced gates approaches R.
+  Netlist n("wide");
+  std::vector<GateId> nets;
+  for (int i = 0; i < 8; ++i)
+    nets.push_back(n.add_input("in" + std::to_string(i)));
+  util::Rng rng(5);
+  for (int i = 0; i < 600; ++i) {
+    const GateId a = nets[rng.uniform_int(0, static_cast<int>(nets.size()) - 1)];
+    const GateId b = nets[rng.uniform_int(0, static_cast<int>(nets.size()) - 1)];
+    nets.push_back(n.add_gate(GateType::kNand, {a, b}));
+  }
+  n.mark_output(nets.back());
+  CorruptionReport report;
+  corrupt_netlist(n, {.r_index = 0.4, .seed = 3}, &report);
+  EXPECT_EQ(report.eligible_gates, 600);
+  EXPECT_NEAR(report.realized_ratio(), 0.4, 0.07);
+}
+
+TEST(CorruptionTest, PreservesInterfaceAndGroundTruthAnchors) {
+  const Netlist n = sample_circuit();
+  const Netlist c = corrupt_netlist(n, {.r_index = 1.0, .seed = 4});
+  EXPECT_EQ(c.inputs().size(), n.inputs().size());
+  EXPECT_EQ(c.outputs().size(), n.outputs().size());
+  EXPECT_EQ(c.dffs().size(), n.dffs().size());
+  // DFF names (bit identities) survive.
+  EXPECT_TRUE(c.find("q1").has_value());
+  EXPECT_TRUE(c.find("q2").has_value());
+  EXPECT_EQ(c.gate(*c.find("q1")).type, GateType::kDff);
+}
+
+TEST(CorruptionTest, PaperExampleTemplateNandToOrNotNot) {
+  // A = NAND(B,C) -> A = OR(NOT(B), NOT(C)) is template 0 for NAND.
+  const Netlist n = parse_bench_string(
+      "INPUT(b)\nINPUT(c)\na = NAND(b, c)\nOUTPUT(a)\n");
+  const Netlist c = corrupt_netlist(
+      n, {.r_index = 1.0, .seed = 1, .deterministic_templates = true});
+  EXPECT_EQ(c.gate(*c.find("a")).type, GateType::kOr);
+  EXPECT_TRUE(check_equivalence(n, c).equivalent);
+}
+
+TEST(CorruptionTest, WorksAfterDecomposition) {
+  const Netlist n = decompose_to_2input(parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+y = AND(a, b, c, d)
+z = XOR(a, b, c)
+q = DFF(y)
+OUTPUT(z)
+)"));
+  const Netlist c = corrupt_netlist(n, {.r_index = 1.0, .seed = 2});
+  EXPECT_TRUE(check_equivalence(n, c).equivalent);
+}
+
+TEST(CorruptionTest, RejectsOutOfRangeRIndex) {
+  const Netlist n = sample_circuit();
+  EXPECT_THROW(corrupt_netlist(n, {.r_index = -0.1}), util::CheckError);
+  EXPECT_THROW(corrupt_netlist(n, {.r_index = 1.1}), util::CheckError);
+}
+
+TEST(NumTemplatesTest, CoversExpectedTypes) {
+  EXPECT_EQ(num_templates(GateType::kNand, 2), 2);
+  EXPECT_EQ(num_templates(GateType::kNand, 4), 1);
+  EXPECT_EQ(num_templates(GateType::kNot, 1), 2);
+  EXPECT_EQ(num_templates(GateType::kBuf, 1), 3);
+  EXPECT_EQ(num_templates(GateType::kMux, 3), 0);
+  EXPECT_EQ(num_templates(GateType::kDff, 1), 0);
+  EXPECT_EQ(num_templates(GateType::kInput, 0), 0);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,149 @@
+#include "nl/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/parser.h"
+#include "nl/simulate.h"
+
+namespace rebert::nl {
+namespace {
+
+Netlist wide_circuit() {
+  return parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(s)
+w_and = AND(a, b, c, d)
+w_nand = NAND(a, b, c)
+w_or = OR(a, b, c, d)
+w_nor = NOR(b, c, d)
+w_xor = XOR(a, b, c)
+w_xnor = XNOR(a, b, c, d)
+m = MUX(s, w_and, w_or)
+q1 = DFF(w_nand)
+q2 = DFF(m)
+OUTPUT(w_xor)
+OUTPUT(w_xnor)
+OUTPUT(w_nor)
+)",
+                            "wide");
+}
+
+TEST(DecomposeTest, ProducesOnly2InputGates) {
+  const Netlist n = wide_circuit();
+  EXPECT_FALSE(is_2input(n));
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_TRUE(is_2input(d));
+  d.validate();
+}
+
+TEST(DecomposeTest, PreservesFunction) {
+  const Netlist n = wide_circuit();
+  const Netlist d = decompose_to_2input(n);
+  const EquivalenceResult eq = check_equivalence(n, d);
+  EXPECT_TRUE(eq.equivalent)
+      << "mismatch on " << eq.mismatched_net << " seq " << eq.failing_sequence
+      << " cycle " << eq.failing_cycle;
+}
+
+TEST(DecomposeTest, BalancedVariantAlsoEquivalent) {
+  const Netlist n = wide_circuit();
+  DecomposeOptions opt;
+  opt.balanced = true;
+  const Netlist d = decompose_to_2input(n, opt);
+  EXPECT_TRUE(is_2input(d));
+  EXPECT_TRUE(check_equivalence(n, d).equivalent);
+}
+
+TEST(DecomposeTest, PreservesNamesAndInterface) {
+  const Netlist n = wide_circuit();
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_EQ(d.inputs().size(), n.inputs().size());
+  EXPECT_EQ(d.outputs().size(), n.outputs().size());
+  EXPECT_EQ(d.dffs().size(), n.dffs().size());
+  // Original named nets survive.
+  for (const char* name :
+       {"w_and", "w_nand", "w_or", "w_nor", "w_xor", "w_xnor", "m", "q1"})
+    EXPECT_TRUE(d.find(name).has_value()) << name;
+}
+
+TEST(DecomposeTest, WideNandKeepsInvertingRoot) {
+  // NAND(a,b,c) -> NAND2(AND(a,b), c): the named net must stay a NAND.
+  const Netlist n = wide_circuit();
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_EQ(d.gate(*d.find("w_nand")).type, GateType::kNand);
+  EXPECT_EQ(d.gate(*d.find("w_nor")).type, GateType::kNor);
+  EXPECT_EQ(d.gate(*d.find("w_xnor")).type, GateType::kXnor);
+  EXPECT_EQ(d.gate(*d.find("w_and")).type, GateType::kAnd);
+}
+
+TEST(DecomposeTest, MuxLoweredToAoi) {
+  const Netlist n = wide_circuit();
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_EQ(d.gate(*d.find("m")).type, GateType::kOr);
+  DecomposeOptions keep_mux;
+  keep_mux.lower_mux = false;
+  const Netlist d2 = decompose_to_2input(n, keep_mux);
+  EXPECT_EQ(d2.gate(*d2.find("m")).type, GateType::kMux);
+}
+
+TEST(DecomposeTest, TwoInputNetlistIsUnchangedStructurally) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+x = AND(a, b)
+y = NOT(x)
+q = DFF(y)
+OUTPUT(y)
+)");
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_EQ(d.num_gates(), n.num_gates());
+  EXPECT_TRUE(check_equivalence(n, d).equivalent);
+}
+
+TEST(DecomposeTest, GateCountGrowsAsExpected) {
+  // AND(a,b,c,d) -> 3 AND2 gates total (2 helpers + named root).
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+y = AND(a, b, c, d)
+OUTPUT(y)
+)");
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_EQ(d.stats().num_comb_gates, 3);
+}
+
+TEST(DecomposeTest, DffSelfLoopSurvives) {
+  const Netlist n = parse_bench_string(R"(
+q = DFF(n1)
+n1 = NOT(q)
+OUTPUT(q)
+)");
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_TRUE(check_equivalence(n, d).equivalent);
+}
+
+TEST(DecomposeTest, XorParityPreservedForWideArity) {
+  // 5-input XOR: odd parity semantics must survive the chain rewrite.
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+y = XOR(a, b, c, d, e)
+z = XNOR(a, b, c, d, e)
+OUTPUT(y)
+OUTPUT(z)
+)");
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_TRUE(is_2input(d));
+  EXPECT_TRUE(check_equivalence(n, d).equivalent);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,181 @@
+#include "nl/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::nl {
+namespace {
+
+Netlist make_small() {
+  // a, b inputs; n1 = AND(a,b); n2 = NOT(n1); q = DFF(n2); output n2.
+  Netlist n("small");
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId n1 = n.add_gate(GateType::kAnd, {a, b}, "n1");
+  const GateId n2 = n.add_gate(GateType::kNot, {n1}, "n2");
+  n.add_dff(n2, "q");
+  n.mark_output(n2);
+  return n;
+}
+
+TEST(NetlistTest, BuildAndAccess) {
+  Netlist n = make_small();
+  EXPECT_EQ(n.num_gates(), 5);
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.dffs().size(), 1u);
+  ASSERT_TRUE(n.find("n1").has_value());
+  EXPECT_EQ(n.gate(*n.find("n1")).type, GateType::kAnd);
+  EXPECT_FALSE(n.find("missing").has_value());
+}
+
+TEST(NetlistTest, StatsCountsCombinationalOnly) {
+  Netlist n = make_small();
+  const NetlistStats s = n.stats();
+  EXPECT_EQ(s.num_inputs, 2);
+  EXPECT_EQ(s.num_outputs, 1);
+  EXPECT_EQ(s.num_dffs, 1);
+  EXPECT_EQ(s.num_comb_gates, 2);
+  EXPECT_EQ(s.max_fanin, 2);
+}
+
+TEST(NetlistTest, DuplicateNamesRejected) {
+  Netlist n;
+  n.add_input("a");
+  EXPECT_THROW(n.add_input("a"), util::CheckError);
+  n.add_gate(GateType::kNot, {0}, "x");
+  EXPECT_THROW(n.add_gate(GateType::kNot, {0}, "x"), util::CheckError);
+}
+
+TEST(NetlistTest, ArityValidated) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::kAnd, {a}), util::CheckError);
+  EXPECT_THROW(n.add_gate(GateType::kNot, {a, a}), util::CheckError);
+  EXPECT_THROW(n.add_gate(GateType::kMux, {a, a}), util::CheckError);
+  EXPECT_NO_THROW(n.add_gate(GateType::kAnd, {a, a, a}));  // wide ok
+}
+
+TEST(NetlistTest, InvalidFaninRejected) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::kNot, {a + 10}), util::CheckError);
+  EXPECT_THROW(n.add_gate(GateType::kNot, {-1}), util::CheckError);
+}
+
+TEST(NetlistTest, DffSelfLoopAllowed) {
+  Netlist n;
+  const GateId q = n.add_dff(0, "q");  // q = DFF(q)
+  EXPECT_EQ(n.gate(q).fanins[0], q);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(NetlistTest, CombinationalSelfLoopRejected) {
+  Netlist n;
+  n.add_input("a");
+  // A combinational gate cannot reference itself (id would be 1).
+  EXPECT_THROW(n.add_gate(GateType::kNot, {1}), util::CheckError);
+}
+
+TEST(NetlistTest, TopologicalOrderRespectsDependencies) {
+  Netlist n = make_small();
+  const std::vector<GateId> order = n.topological_order();
+  EXPECT_EQ(order.size(), 2u);  // n1, n2
+  auto pos = [&](const std::string& name) {
+    const GateId id = *n.find(name);
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos("n1"), pos("n2"));
+}
+
+TEST(NetlistTest, CombinationalCycleDetected) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  // g1 = AND(a, g2); g2 = NOT(g1) — a combinational loop.
+  const GateId g1 = n.add_gate(GateType::kAnd, {a, a}, "g1");
+  const GateId g2 = n.add_gate(GateType::kNot, {g1}, "g2");
+  n.replace_gate(g1, GateType::kAnd, {a, g2});
+  EXPECT_THROW(n.topological_order(), util::CheckError);
+  EXPECT_THROW(n.validate(), util::CheckError);
+}
+
+TEST(NetlistTest, SequentialLoopIsFine) {
+  Netlist n;
+  const GateId q1 = n.add_dff(0, "q1");
+  const GateId inv = n.add_gate(GateType::kNot, {q1}, "inv");
+  n.replace_gate(q1, GateType::kDff, {inv});
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(NetlistTest, FanoutCounts) {
+  Netlist n = make_small();
+  const std::vector<int> fanout = n.fanout_counts();
+  EXPECT_EQ(fanout[*n.find("a")], 1);
+  EXPECT_EQ(fanout[*n.find("n1")], 1);
+  EXPECT_EQ(fanout[*n.find("n2")], 1);  // feeds the DFF
+  EXPECT_EQ(fanout[*n.find("q")], 0);
+}
+
+TEST(NetlistTest, LogicDepths) {
+  Netlist n = make_small();
+  const std::vector<int> depth = n.logic_depths();
+  EXPECT_EQ(depth[*n.find("a")], 0);
+  EXPECT_EQ(depth[*n.find("n1")], 1);
+  EXPECT_EQ(depth[*n.find("n2")], 2);
+}
+
+TEST(NetlistTest, MarkOutputIdempotent) {
+  Netlist n = make_small();
+  const GateId n2 = *n.find("n2");
+  n.mark_output(n2);
+  n.mark_output(n2);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_TRUE(n.is_output(n2));
+  EXPECT_FALSE(n.is_output(*n.find("n1")));
+}
+
+TEST(NetlistTest, ReplaceGateKeepsNameAndFanout) {
+  Netlist n = make_small();
+  const GateId n1 = *n.find("n1");
+  const GateId a = *n.find("a");
+  n.replace_gate(n1, GateType::kOr, {a, a});
+  EXPECT_EQ(n.gate(n1).type, GateType::kOr);
+  EXPECT_EQ(n.gate(n1).name, "n1");
+  // n2 still points at n1.
+  EXPECT_EQ(n.gate(*n.find("n2")).fanins[0], n1);
+}
+
+TEST(NetlistTest, ReplaceGateCannotChangeClass) {
+  Netlist n = make_small();
+  const GateId n1 = *n.find("n1");
+  EXPECT_THROW(n.replace_gate(n1, GateType::kDff, {0}), util::CheckError);
+  const GateId q = *n.find("q");
+  EXPECT_THROW(n.replace_gate(q, GateType::kNot, {0}), util::CheckError);
+}
+
+TEST(NetlistTest, AutoNamesAreUnique) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId g1 = n.add_gate(GateType::kNot, {a});
+  const GateId g2 = n.add_gate(GateType::kNot, {a});
+  EXPECT_NE(n.gate(g1).name, n.gate(g2).name);
+}
+
+TEST(NetlistTest, ValidatePassesOnWellFormed) {
+  EXPECT_NO_THROW(make_small().validate());
+}
+
+TEST(NetlistTest, CopyIsIndependent) {
+  Netlist n = make_small();
+  Netlist copy = n;
+  copy.add_input("extra");
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(copy.inputs().size(), 3u);
+  EXPECT_FALSE(n.find("extra").has_value());
+}
+
+}  // namespace
+}  // namespace rebert::nl

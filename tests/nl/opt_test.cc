@@ -1,0 +1,212 @@
+#include "nl/opt.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+#include "nl/corruption.h"
+#include "nl/parser.h"
+#include "nl/simulate.h"
+#include "nl/words.h"
+
+namespace rebert::nl {
+namespace {
+
+TEST(OptTest, FoldsConstantAnd) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+zero = CONST0()
+y = AND(a, zero)
+q = DFF(y)
+OUTPUT(y)
+)");
+  OptReport report;
+  const Netlist o = optimize_netlist(n, {}, &report);
+  EXPECT_GT(report.folded_gates, 0);
+  // y collapses to constant 0; the output net is re-materialized.
+  ASSERT_TRUE(o.find("y").has_value());
+  EXPECT_TRUE(check_equivalence(n, o).equivalent);
+}
+
+TEST(OptTest, NonControllingConstantsDrop) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+one = CONST1()
+y = AND(a, b, one)
+OUTPUT(y)
+)");
+  const Netlist o = optimize_netlist(n);
+  // AND(a, b, 1) -> AND(a, b).
+  EXPECT_EQ(o.gate(*o.find("y")).fanins.size(), 2u);
+  EXPECT_TRUE(check_equivalence(n, o).equivalent);
+}
+
+TEST(OptTest, CollapsesDoubleInverter) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+n1 = NOT(a)
+n2 = NOT(n1)
+y = AND(n2, a)
+OUTPUT(y)
+)");
+  OptReport report;
+  const Netlist o = optimize_netlist(n, {}, &report);
+  EXPECT_GT(report.collapsed_buffers, 0);
+  // y = AND(a, a) -> folds to a; output materialized as BUF.
+  EXPECT_TRUE(check_equivalence(n, o).equivalent);
+  EXPECT_LT(o.stats().num_comb_gates, n.stats().num_comb_gates);
+}
+
+TEST(OptTest, CollapsesBuffers) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+c = BUF(a)
+y = AND(c, b)
+OUTPUT(y)
+)");
+  const Netlist o = optimize_netlist(n);
+  EXPECT_EQ(o.gate(*o.find("y")).fanins[0], *o.find("a"));
+  EXPECT_TRUE(check_equivalence(n, o).equivalent);
+}
+
+TEST(OptTest, StructuralHashMergesDuplicates) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+x = AND(a, b)
+y = AND(b, a)
+z = XOR(x, y)
+q = DFF(z)
+OUTPUT(z)
+)");
+  OptReport report;
+  const Netlist o = optimize_netlist(n, {}, &report);
+  EXPECT_GT(report.merged_gates, 0);
+  // XOR(x, x) folds to constant 0.
+  EXPECT_TRUE(check_equivalence(n, o).equivalent);
+}
+
+TEST(OptTest, XorCancellation) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+y = XOR(a, b, a)
+OUTPUT(y)
+)");
+  const Netlist o = optimize_netlist(n);
+  // XOR(a, b, a) = b: output materialized as BUF(b).
+  EXPECT_TRUE(check_equivalence(n, o).equivalent);
+  EXPECT_LE(o.stats().num_comb_gates, 1);
+}
+
+TEST(OptTest, MuxWithConstantSelect) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+one = CONST1()
+y = MUX(one, a, b)
+OUTPUT(y)
+)");
+  const Netlist o = optimize_netlist(n);
+  EXPECT_TRUE(check_equivalence(n, o).equivalent);
+}
+
+TEST(OptTest, SweepRemovesDeadLogic) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+y = AND(a, b)
+dead1 = OR(a, b)
+dead2 = NOT(dead1)
+OUTPUT(y)
+)");
+  OptReport report;
+  const Netlist o = optimize_netlist(n, {}, &report);
+  EXPECT_EQ(report.dead_gates, 2);
+  EXPECT_FALSE(o.find("dead1").has_value());
+  EXPECT_FALSE(o.find("dead2").has_value());
+  EXPECT_TRUE(o.find("y").has_value());
+}
+
+TEST(OptTest, SweepKeepsDffCones) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+x = NOT(a)
+q = DFF(x)
+OUTPUT(a)
+)");
+  const Netlist o = optimize_netlist(n);
+  // x feeds a DFF: live even though no primary output reads it.
+  EXPECT_TRUE(o.find("x").has_value());
+  EXPECT_TRUE(o.find("q").has_value());
+}
+
+TEST(OptTest, PreservesInterfaceAndDffNames) {
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b05");
+  const Netlist o = optimize_netlist(c.netlist);
+  EXPECT_EQ(o.inputs().size(), c.netlist.inputs().size());
+  EXPECT_EQ(o.outputs().size(), c.netlist.outputs().size());
+  EXPECT_EQ(o.dffs().size(), c.netlist.dffs().size());
+  for (const nl::Bit& bit : extract_bits(c.netlist))
+    EXPECT_TRUE(o.find(bit.name).has_value()) << bit.name;
+}
+
+class OptEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OptEquivalenceTest, BenchmarkCircuitsStayEquivalent) {
+  const gen::GeneratedCircuit c = gen::generate_benchmark(GetParam());
+  const Netlist o = optimize_netlist(c.netlist);
+  const EquivalenceResult eq = check_equivalence(
+      c.netlist, o, {.num_sequences = 6, .cycles_per_sequence = 24});
+  EXPECT_TRUE(eq.equivalent) << GetParam() << " mismatch on "
+                             << eq.mismatched_net;
+  o.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSuite, OptEquivalenceTest,
+                         ::testing::Values("b03", "b05", "b08", "b11",
+                                           "b13"));
+
+TEST(OptTest, OptimizeAfterCorruptionUndoesSomeBloat) {
+  // Corruption adds helper gates; optimization (esp. double-inverter
+  // removal) reclaims part of them without changing function.
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b08");
+  const Netlist corrupted =
+      corrupt_netlist(c.netlist, {.r_index = 1.0, .seed = 3});
+  OptReport report;
+  const Netlist o = optimize_netlist(corrupted, {}, &report);
+  EXPECT_LT(report.gates_after, report.gates_before);
+  EXPECT_TRUE(check_equivalence(corrupted, o).equivalent);
+}
+
+TEST(OptTest, DisabledPassesAreNoOps) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+n1 = NOT(a)
+n2 = NOT(n1)
+dead = OR(a, n1)
+OUTPUT(n2)
+)");
+  OptOptions off;
+  off.fold_constants = false;
+  off.collapse_buffers = false;
+  off.structural_hash = false;
+  off.sweep_dead = false;
+  OptReport report;
+  const Netlist o = optimize_netlist(n, off, &report);
+  EXPECT_EQ(report.gates_after, report.gates_before);
+  EXPECT_EQ(report.folded_gates, 0);
+  EXPECT_TRUE(o.find("dead").has_value());
+}
+
+TEST(OptTest, IdempotentOnSecondRun) {
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b03");
+  OptReport first, second;
+  const Netlist once = optimize_netlist(c.netlist, {}, &first);
+  const Netlist twice = optimize_netlist(once, {}, &second);
+  EXPECT_EQ(second.gates_after, first.gates_after);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,143 @@
+#include "nl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/simulate.h"
+
+namespace rebert::nl {
+namespace {
+
+constexpr const char* kSmallBench = R"(
+# a tiny sequential circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = AND(a, b)
+y = NOT(n1)
+q = DFF(y)
+)";
+
+TEST(ParserTest, ParsesSmallCircuit) {
+  const Netlist n = parse_bench_string(kSmallBench, "small");
+  EXPECT_EQ(n.name(), "small");
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.dffs().size(), 1u);
+  EXPECT_EQ(n.stats().num_comb_gates, 2);
+  ASSERT_TRUE(n.find("n1").has_value());
+  EXPECT_EQ(n.gate(*n.find("n1")).type, GateType::kAnd);
+  EXPECT_EQ(n.gate(*n.find("q")).fanins[0], *n.find("y"));
+}
+
+TEST(ParserTest, ForwardReferencesResolve) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+y = NOT(later)
+later = AND(a, q)
+q = DFF(y)
+OUTPUT(y)
+)");
+  EXPECT_EQ(n.gate(*n.find("y")).fanins[0], *n.find("later"));
+  EXPECT_EQ(n.gate(*n.find("later")).fanins[1], *n.find("q"));
+}
+
+TEST(ParserTest, DffOnlyRingParses) {
+  // No primary inputs at all: two flip-flops feeding each other through
+  // an inverter.
+  const Netlist n = parse_bench_string(R"(
+q1 = DFF(n1)
+q2 = DFF(q1)
+n1 = NOT(q2)
+OUTPUT(q2)
+)");
+  EXPECT_EQ(n.dffs().size(), 2u);
+  EXPECT_EQ(n.inputs().size(), 0u);
+}
+
+TEST(ParserTest, ConstantsAndComments) {
+  const Netlist n = parse_bench_string(R"(
+k1 = CONST1()   # tie-high
+k0 = CONST0()
+y = AND(k1, k0)
+OUTPUT(y)
+)");
+  EXPECT_EQ(n.gate(*n.find("k1")).type, GateType::kConst1);
+  EXPECT_EQ(n.gate(*n.find("k0")).type, GateType::kConst0);
+}
+
+TEST(ParserTest, WideGatesAndMux) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(s)
+w = NAND(a, b, c)
+m = MUX(s, a, b)
+OUTPUT(w)
+OUTPUT(m)
+)");
+  EXPECT_EQ(n.gate(*n.find("w")).fanins.size(), 3u);
+  EXPECT_EQ(n.gate(*n.find("m")).type, GateType::kMux);
+}
+
+TEST(ParserTest, RoundTripPreservesSemantics) {
+  const Netlist n = parse_bench_string(kSmallBench, "small");
+  const std::string text = write_bench_string(n);
+  const Netlist reparsed = parse_bench_string(text, "small");
+  EXPECT_EQ(reparsed.stats().num_comb_gates, n.stats().num_comb_gates);
+  EXPECT_EQ(reparsed.dffs().size(), n.dffs().size());
+  const EquivalenceResult eq = check_equivalence(n, reparsed);
+  EXPECT_TRUE(eq.equivalent) << "mismatch on " << eq.mismatched_net;
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_bench_string("INPUT(a)\ny = FROB(a)\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, RejectsDuplicateDefinition) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\na = NOT(a)\n"), ParseError);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nx = NOT(a)\nx = BUF(a)\n"),
+               ParseError);
+}
+
+TEST(ParserTest, RejectsUndefinedNet) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n"),
+               ParseError);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(ghost)\n"), ParseError);
+}
+
+TEST(ParserTest, RejectsMalformedSyntax) {
+  EXPECT_THROW(parse_bench_string("y = AND(a, b\n"), ParseError);
+  EXPECT_THROW(parse_bench_string("= AND(a, b)\n"), ParseError);
+  EXPECT_THROW(parse_bench_string("INPUT()\n"), ParseError);
+  EXPECT_THROW(parse_bench_string("y = (a, b)\n"), ParseError);
+  EXPECT_THROW(parse_bench_string("y = AND(a,, b)\n"), ParseError);
+}
+
+TEST(ParserTest, RejectsInputOnRhs) {
+  EXPECT_THROW(parse_bench_string("y = INPUT(a)\n"), ParseError);
+}
+
+TEST(ParserTest, RejectsSourcelessCombinationalNetlist) {
+  EXPECT_THROW(parse_bench_string("y = NOT(y)\n"), ParseError);
+}
+
+TEST(ParserTest, EmptyInputYieldsEmptyNetlist) {
+  const Netlist n = parse_bench_string("# only a comment\n\n");
+  EXPECT_EQ(n.num_gates(), 0);
+}
+
+TEST(ParserTest, WhitespaceTolerant) {
+  const Netlist n = parse_bench_string(
+      "  INPUT( a )\n\ty =  NOT ( a ) \nOUTPUT( y )\n");
+  EXPECT_TRUE(n.find("y").has_value());
+  EXPECT_EQ(n.gate(*n.find("y")).type, GateType::kNot);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,149 @@
+// Randomized property tests over the netlist tool chain.
+//
+// A seeded random netlist generator (DAG of mixed-arity gates + DFFs)
+// drives the invariants that must hold for *every* netlist, not just the
+// benchmark suite:
+//   * decompose_to_2input preserves function and leaves only 2-input gates,
+//   * corrupt_netlist preserves function at every R-Index,
+//   * optimize_netlist preserves function and never grows the gate count,
+//   * .bench and Verilog writers round-trip through their parsers,
+//   * the full chain (corrupt -> optimize -> round-trip) composes.
+#include <gtest/gtest.h>
+
+#include "nl/corruption.h"
+#include "nl/decompose.h"
+#include "nl/opt.h"
+#include "nl/parser.h"
+#include "nl/simulate.h"
+#include "nl/verilog.h"
+#include "util/rng.h"
+
+namespace rebert::nl {
+namespace {
+
+// Random DAG netlist: `num_gates` combinational gates over `num_inputs`
+// PIs and `num_dffs` flip-flops (whose D pins are wired to random nets at
+// the end). Gate types and arities are random; outputs are a random sample.
+Netlist random_netlist(std::uint64_t seed, int num_inputs = 6,
+                       int num_gates = 60, int num_dffs = 5) {
+  util::Rng rng(seed);
+  Netlist netlist("rand_" + std::to_string(seed));
+  std::vector<GateId> nets;
+  for (int i = 0; i < num_inputs; ++i)
+    nets.push_back(netlist.add_input("in" + std::to_string(i)));
+  // A couple of constants for spice.
+  nets.push_back(netlist.add_const(false, "k0"));
+  nets.push_back(netlist.add_const(true, "k1"));
+  // DFFs early so combinational logic can read state.
+  std::vector<GateId> dffs;
+  for (int i = 0; i < num_dffs; ++i) {
+    const GateId self = static_cast<GateId>(netlist.num_gates());
+    const GateId q = netlist.add_dff(self, "q" + std::to_string(i));
+    dffs.push_back(q);
+    nets.push_back(q);
+  }
+
+  const GateType kTypes[] = {GateType::kAnd, GateType::kOr, GateType::kNand,
+                             GateType::kNor, GateType::kXor,
+                             GateType::kXnor, GateType::kNot, GateType::kBuf,
+                             GateType::kMux};
+  auto pick_net = [&] {
+    return nets[static_cast<std::size_t>(
+        rng.uniform_u64(nets.size()))];
+  };
+  for (int g = 0; g < num_gates; ++g) {
+    const GateType type = kTypes[rng.uniform_int(0, 8)];
+    std::vector<GateId> fanins;
+    if (type == GateType::kNot || type == GateType::kBuf) {
+      fanins = {pick_net()};
+    } else if (type == GateType::kMux) {
+      fanins = {pick_net(), pick_net(), pick_net()};
+    } else {
+      const int arity = rng.uniform_int(2, 4);
+      for (int a = 0; a < arity; ++a) fanins.push_back(pick_net());
+    }
+    nets.push_back(netlist.add_gate(type, std::move(fanins)));
+  }
+  // Wire DFF D pins to late nets (feedback through state).
+  for (GateId q : dffs) {
+    const GateId d = nets[static_cast<std::size_t>(
+        nets.size() - 1 - rng.uniform_u64(nets.size() / 2))];
+    netlist.replace_gate(q, GateType::kDff, {d});
+  }
+  // Random outputs.
+  for (int i = 0; i < 4; ++i) netlist.mark_output(pick_net());
+  netlist.mark_output(nets.back());
+  netlist.validate();
+  return netlist;
+}
+
+EquivalenceOptions quick_eq() {
+  return {.num_sequences = 4, .cycles_per_sequence = 16, .seed = 99};
+}
+
+class RandomNetlistProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetlistProperty, DecomposePreservesFunction) {
+  const Netlist n = random_netlist(static_cast<std::uint64_t>(GetParam()));
+  const Netlist d = decompose_to_2input(n);
+  EXPECT_TRUE(is_2input(d));
+  const EquivalenceResult eq = check_equivalence(n, d, quick_eq());
+  EXPECT_TRUE(eq.equivalent) << "seed " << GetParam() << " net "
+                             << eq.mismatched_net;
+}
+
+TEST_P(RandomNetlistProperty, CorruptionPreservesFunction) {
+  const Netlist n = decompose_to_2input(
+      random_netlist(static_cast<std::uint64_t>(GetParam())));
+  for (double r : {0.3, 1.0}) {
+    const Netlist c = corrupt_netlist(
+        n, {.r_index = r, .seed = static_cast<std::uint64_t>(GetParam())});
+    const EquivalenceResult eq = check_equivalence(n, c, quick_eq());
+    EXPECT_TRUE(eq.equivalent) << "seed " << GetParam() << " r " << r
+                               << " net " << eq.mismatched_net;
+  }
+}
+
+TEST_P(RandomNetlistProperty, OptimizePreservesFunctionAndShrinks) {
+  const Netlist n = random_netlist(static_cast<std::uint64_t>(GetParam()));
+  OptReport report;
+  const Netlist o = optimize_netlist(n, {}, &report);
+  EXPECT_LE(report.gates_after, report.gates_before + 5)
+      << "output rematerialization may add a few BUFs but no more";
+  const EquivalenceResult eq = check_equivalence(n, o, quick_eq());
+  EXPECT_TRUE(eq.equivalent) << "seed " << GetParam() << " net "
+                             << eq.mismatched_net;
+}
+
+TEST_P(RandomNetlistProperty, BenchRoundTrip) {
+  const Netlist n = random_netlist(static_cast<std::uint64_t>(GetParam()));
+  const Netlist reparsed = parse_bench_string(write_bench_string(n));
+  EXPECT_TRUE(check_equivalence(n, reparsed, quick_eq()).equivalent)
+      << "seed " << GetParam();
+}
+
+TEST_P(RandomNetlistProperty, VerilogRoundTrip) {
+  const Netlist n = random_netlist(static_cast<std::uint64_t>(GetParam()));
+  const Netlist reparsed = parse_verilog_string(write_verilog_string(n));
+  EXPECT_TRUE(check_equivalence(n, reparsed, quick_eq()).equivalent)
+      << "seed " << GetParam();
+}
+
+TEST_P(RandomNetlistProperty, FullChainComposes) {
+  const Netlist n = decompose_to_2input(
+      random_netlist(static_cast<std::uint64_t>(GetParam())));
+  const Netlist c = corrupt_netlist(
+      n, {.r_index = 0.6, .seed = static_cast<std::uint64_t>(GetParam())});
+  const Netlist o = optimize_netlist(c);
+  const Netlist round =
+      parse_verilog_string(write_verilog_string(o));
+  const EquivalenceResult eq = check_equivalence(n, round, quick_eq());
+  EXPECT_TRUE(eq.equivalent) << "seed " << GetParam() << " net "
+                             << eq.mismatched_net;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace rebert::nl

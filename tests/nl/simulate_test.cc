@@ -1,0 +1,175 @@
+#include "nl/simulate.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/parser.h"
+#include "util/check.h"
+
+namespace rebert::nl {
+namespace {
+
+TEST(SimulatorTest, CombinationalEval) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+x = AND(a, b)
+y = XOR(a, b)
+OUTPUT(x)
+OUTPUT(y)
+)");
+  Simulator sim(n);
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      sim.set_inputs({a == 1, b == 1});
+      sim.eval_combinational();
+      EXPECT_EQ(sim.value(*n.find("x")), (a && b));
+      EXPECT_EQ(sim.value(*n.find("y")), (a != b));
+    }
+  }
+}
+
+TEST(SimulatorTest, ToggleFlipFlop) {
+  // q toggles every cycle: q = DFF(NOT(q)).
+  const Netlist n = parse_bench_string(R"(
+q = DFF(nq)
+nq = NOT(q)
+OUTPUT(q)
+)");
+  Simulator sim(n);
+  sim.reset();
+  bool expected = false;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    sim.eval_combinational();
+    EXPECT_EQ(sim.value(*n.find("q")), expected) << "cycle " << cycle;
+    sim.step();
+    expected = !expected;
+  }
+}
+
+TEST(SimulatorTest, TwoBitCounterSequence) {
+  // b0 toggles every cycle; b1 toggles when b0 is 1 (binary up-counter).
+  const Netlist n = parse_bench_string(R"(
+b0 = DFF(d0)
+b1 = DFF(d1)
+d0 = NOT(b0)
+d1 = XOR(b1, b0)
+OUTPUT(b0)
+OUTPUT(b1)
+)");
+  Simulator sim(n);
+  sim.reset();
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    sim.eval_combinational();
+    const int value = (sim.value(*n.find("b1")) ? 2 : 0) +
+                      (sim.value(*n.find("b0")) ? 1 : 0);
+    EXPECT_EQ(value, cycle % 4);
+    sim.step();
+  }
+}
+
+TEST(SimulatorTest, ConstantsAndMux) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(s)
+one = CONST1()
+zero = CONST0()
+y = MUX(s, zero, one)
+OUTPUT(y)
+)");
+  Simulator sim(n);
+  sim.set_inputs({false});
+  sim.eval_combinational();
+  EXPECT_FALSE(sim.value(*n.find("y")));
+  sim.set_inputs({true});
+  sim.eval_combinational();
+  EXPECT_TRUE(sim.value(*n.find("y")));
+}
+
+TEST(SimulatorTest, ResetClearsState) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(d)
+q = DFF(d)
+OUTPUT(q)
+)");
+  Simulator sim(n);
+  sim.set_inputs({true});
+  sim.eval_combinational();
+  sim.step();
+  sim.eval_combinational();
+  EXPECT_TRUE(sim.value(*n.find("q")));
+  sim.reset();
+  sim.set_inputs({false});
+  sim.eval_combinational();
+  EXPECT_FALSE(sim.value(*n.find("q")));
+}
+
+TEST(SimulatorTest, InputArityChecked) {
+  const Netlist n = parse_bench_string("INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n");
+  Simulator sim(n);
+  EXPECT_THROW(sim.set_inputs({true, false}), util::CheckError);
+  EXPECT_THROW(sim.set_inputs({}), util::CheckError);
+}
+
+TEST(SimulatorTest, NextStateAndOutputVectors) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(d)
+q = DFF(d)
+y = NOT(q)
+OUTPUT(y)
+)");
+  Simulator sim(n);
+  sim.set_inputs({true});
+  sim.eval_combinational();
+  EXPECT_EQ(sim.next_state_values(), std::vector<bool>{true});
+  EXPECT_EQ(sim.output_values(), std::vector<bool>{true});  // NOT(q=0)
+  EXPECT_EQ(sim.state_values(), std::vector<bool>{false});
+}
+
+TEST(EquivalenceTest, IdenticalNetlistsAreEquivalent) {
+  const Netlist n = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+x = NAND(a, b)
+q = DFF(x)
+OUTPUT(x)
+)");
+  EXPECT_TRUE(check_equivalence(n, n).equivalent);
+}
+
+TEST(EquivalenceTest, DetectsFunctionalDifference) {
+  const Netlist a = parse_bench_string(
+      "INPUT(i)\nq = DFF(x)\nx = NOT(i)\nOUTPUT(x)\n");
+  const Netlist b = parse_bench_string(
+      "INPUT(i)\nq = DFF(x)\nx = BUF(i)\nOUTPUT(x)\n");
+  const EquivalenceResult eq = check_equivalence(a, b);
+  EXPECT_FALSE(eq.equivalent);
+  EXPECT_EQ(eq.mismatched_net, "x");
+  EXPECT_GE(eq.failing_sequence, 0);
+}
+
+TEST(EquivalenceTest, DetectsSequentialDifference) {
+  // Same combinational interface, different state update: q vs q xor 1.
+  const Netlist a = parse_bench_string(
+      "INPUT(i)\nq = DFF(i)\ny = BUF(q)\nOUTPUT(y)\n");
+  const Netlist b = parse_bench_string(
+      "INPUT(i)\nni = NOT(i)\nq = DFF(ni)\ny = BUF(q)\nOUTPUT(y)\n");
+  EXPECT_FALSE(check_equivalence(a, b).equivalent);
+}
+
+TEST(EquivalenceTest, EquivalentRestructuredLogic) {
+  // De Morgan: NAND(a,b) == OR(NOT a, NOT b).
+  const Netlist a = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\ny = NAND(a, b)\nOUTPUT(y)\n");
+  const Netlist b = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nna = NOT(a)\nnb = NOT(b)\ny = OR(na, nb)\n"
+      "OUTPUT(y)\n");
+  EXPECT_TRUE(check_equivalence(a, b).equivalent);
+}
+
+TEST(EquivalenceTest, RequiresMatchingInputs) {
+  const Netlist a = parse_bench_string("INPUT(a)\ny = NOT(a)\nOUTPUT(y)\n");
+  const Netlist b = parse_bench_string("INPUT(z)\ny = NOT(z)\nOUTPUT(y)\n");
+  EXPECT_THROW(check_equivalence(a, b), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,193 @@
+#include "nl/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+#include "nl/parser.h"
+#include "nl/simulate.h"
+
+namespace rebert::nl {
+namespace {
+
+constexpr const char* kSmallModule = R"(
+// a tiny sequential design
+module small (a, b, y);
+  input a, b;
+  output y;
+  wire w1;
+  nand g1 (w1, a, b);
+  not g2 (y, w1);
+  dff r0 (q, y);
+endmodule
+)";
+
+TEST(VerilogParseTest, SmallModule) {
+  const Netlist n = parse_verilog_string(kSmallModule);
+  EXPECT_EQ(n.name(), "small");
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.dffs().size(), 1u);
+  EXPECT_EQ(n.gate(*n.find("w1")).type, GateType::kNand);
+  EXPECT_EQ(n.gate(*n.find("y")).type, GateType::kNot);
+  EXPECT_EQ(n.gate(*n.find("q")).fanins[0], *n.find("y"));
+}
+
+TEST(VerilogParseTest, InstanceNamesAreOptional) {
+  const Netlist n = parse_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  not (y, a);
+endmodule
+)");
+  EXPECT_EQ(n.gate(*n.find("y")).type, GateType::kNot);
+}
+
+TEST(VerilogParseTest, VectorDeclarationsExpand) {
+  const Netlist n = parse_verilog_string(R"(
+module m (d, y);
+  input [3:0] d;
+  output y;
+  wire [1:0] w;
+  and g0 (w[0], d[0], d[1]);
+  and g1 (w[1], d[2], d[3]);
+  or g2 (y, w[0], w[1]);
+endmodule
+)");
+  EXPECT_EQ(n.inputs().size(), 4u);
+  EXPECT_TRUE(n.find("d[3]").has_value());
+  EXPECT_TRUE(n.find("w[1]").has_value());
+}
+
+TEST(VerilogParseTest, AscendingRangeAlsoWorks) {
+  const Netlist n = parse_verilog_string(R"(
+module m (d, y);
+  input [0:2] d;
+  output y;
+  and g0 (y, d[0], d[2]);
+endmodule
+)");
+  EXPECT_EQ(n.inputs().size(), 3u);
+  EXPECT_TRUE(n.find("d[1]").has_value());
+}
+
+TEST(VerilogParseTest, AssignAndConstants) {
+  const Netlist n = parse_verilog_string(R"(
+module m (a, y, k);
+  input a;
+  output y, k;
+  wire w;
+  assign w = a;
+  not g (y, w);
+  assign k = 1'b1;
+endmodule
+)");
+  EXPECT_EQ(n.gate(*n.find("w")).type, GateType::kBuf);
+  EXPECT_EQ(n.gate(*n.find("k")).type, GateType::kBuf);
+  Simulator sim(n);
+  sim.set_inputs({false});
+  sim.eval_combinational();
+  EXPECT_TRUE(sim.value(*n.find("k")));
+}
+
+TEST(VerilogParseTest, ConstantLiteralAsOperand) {
+  const Netlist n = parse_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  and g (y, a, 1'b1);
+endmodule
+)");
+  Simulator sim(n);
+  sim.set_inputs({true});
+  sim.eval_combinational();
+  EXPECT_TRUE(sim.value(*n.find("y")));
+}
+
+TEST(VerilogParseTest, CommentsStripped) {
+  const Netlist n = parse_verilog_string(R"(
+module m (a, y); // header
+  input a;  /* inline
+     block comment spanning lines */
+  output y;
+  buf g (y, a); // trailing
+endmodule
+)");
+  EXPECT_EQ(n.gate(*n.find("y")).type, GateType::kBuf);
+}
+
+TEST(VerilogParseTest, MuxPrimitive) {
+  const Netlist n = parse_verilog_string(R"(
+module m (s, a, b, y);
+  input s, a, b;
+  output y;
+  mux g (y, s, a, b);
+endmodule
+)");
+  EXPECT_EQ(n.gate(*n.find("y")).type, GateType::kMux);
+}
+
+TEST(VerilogParseTest, Errors) {
+  EXPECT_THROW(parse_verilog_string("wire w;\n"), VerilogError);
+  EXPECT_THROW(parse_verilog_string("module m (a);\ninput a;\n"),
+               VerilogError);  // missing endmodule
+  EXPECT_THROW(parse_verilog_string(
+                   "module m (a, y);\ninput a;\noutput y;\n"
+                   "frobnicate g (y, a);\nendmodule\n"),
+               VerilogError);
+  EXPECT_THROW(parse_verilog_string(
+                   "module m (a, y);\ninput a;\noutput y;\n"
+                   "not g (y, ghost);\nendmodule\n"),
+               VerilogError);
+  EXPECT_THROW(parse_verilog_string(
+                   "module m (a, y);\ninput a;\noutput y;\n"
+                   "not g1 (y, a);\nnot g2 (y, a);\nendmodule\n"),
+               VerilogError);  // double driver
+}
+
+TEST(VerilogWriteTest, RoundTripPreservesSemantics) {
+  const Netlist original = parse_verilog_string(kSmallModule);
+  const std::string text = write_verilog_string(original);
+  const Netlist reparsed = parse_verilog_string(text);
+  EXPECT_EQ(reparsed.dffs().size(), original.dffs().size());
+  const EquivalenceResult eq = check_equivalence(original, reparsed);
+  EXPECT_TRUE(eq.equivalent) << eq.mismatched_net;
+}
+
+TEST(VerilogWriteTest, BenchToVerilogBridge) {
+  // Cross-format: .bench in, Verilog out, parse back, still equivalent.
+  const Netlist bench = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+x = XOR(a, b)
+q = DFF(x)
+OUTPUT(x)
+)");
+  const Netlist reparsed = parse_verilog_string(write_verilog_string(bench));
+  EXPECT_TRUE(check_equivalence(bench, reparsed).equivalent);
+}
+
+TEST(VerilogWriteTest, GeneratedBenchmarkRoundTrips) {
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b03");
+  const Netlist reparsed =
+      parse_verilog_string(write_verilog_string(c.netlist));
+  EXPECT_EQ(reparsed.dffs().size(), c.netlist.dffs().size());
+  const EquivalenceResult eq = check_equivalence(
+      c.netlist, reparsed, {.num_sequences = 4, .cycles_per_sequence = 16});
+  EXPECT_TRUE(eq.equivalent) << eq.mismatched_net;
+}
+
+TEST(VerilogWriteTest, ConstantsWrittenAsAssigns) {
+  Netlist n("consts");
+  n.add_input("a");
+  const GateId k = n.add_const(true, "tie_hi");
+  n.add_gate(GateType::kAnd, {0, k}, "y");
+  n.mark_output(*n.find("y"));
+  const std::string text = write_verilog_string(n);
+  EXPECT_NE(text.find("assign tie_hi = 1'b1;"), std::string::npos);
+  const Netlist reparsed = parse_verilog_string(text);
+  EXPECT_TRUE(check_equivalence(n, reparsed).equivalent);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "circuitgen/suite.h"
+#include "nl/words.h"
+#include "util/check.h"
+
+namespace rebert::nl {
+namespace {
+
+TEST(WordsIoTest, TextRoundTrip) {
+  WordMap map;
+  map.add_word("counter", {"c0", "c1", "c2"});
+  map.add_word("flag", {"f0"});
+  const std::string text = map.to_text();
+  const WordMap reparsed = WordMap::from_text(text);
+  EXPECT_EQ(reparsed.num_words(), 2);
+  EXPECT_EQ(reparsed.words()[0].first, "counter");
+  EXPECT_EQ(reparsed.words()[0].second,
+            (std::vector<std::string>{"c0", "c1", "c2"}));
+  EXPECT_EQ(reparsed.words()[1].second, std::vector<std::string>{"f0"});
+}
+
+TEST(WordsIoTest, CommentsAndBlanksIgnored) {
+  const WordMap map = WordMap::from_text(
+      "# header\n\nw: a b\n   # another comment\nv: c\n");
+  EXPECT_EQ(map.num_words(), 2);
+}
+
+TEST(WordsIoTest, MalformedLinesRejected) {
+  EXPECT_THROW(WordMap::from_text("no colon here\n"), util::CheckError);
+  EXPECT_THROW(WordMap::from_text(": bits without name\n"),
+               util::CheckError);
+  EXPECT_THROW(WordMap::from_text("empty:\n"), util::CheckError);
+  EXPECT_THROW(WordMap::from_text("w: a\nw: b\n"), util::CheckError);
+}
+
+TEST(WordsIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/rebert_words_test.txt";
+  const gen::GeneratedCircuit circuit = gen::generate_benchmark("b03");
+  circuit.words.save(path);
+  const WordMap loaded = WordMap::load(path);
+  EXPECT_EQ(loaded.num_words(), circuit.words.num_words());
+  // Labels derived from the loaded map match the originals exactly.
+  const auto bits = extract_bits(circuit.netlist);
+  EXPECT_EQ(loaded.labels_for(bits), circuit.words.labels_for(bits));
+  std::remove(path.c_str());
+}
+
+TEST(WordsIoTest, MissingFileRejected) {
+  EXPECT_THROW(WordMap::load("/does/not/exist.words"), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,114 @@
+#include "nl/words.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/corruption.h"
+#include "nl/parser.h"
+#include "util/check.h"
+
+namespace rebert::nl {
+namespace {
+
+Netlist two_word_circuit() {
+  return parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+d0 = AND(a, b)
+d1 = OR(a, b)
+d2 = XOR(a, b)
+r0 = DFF(d0)
+r1 = DFF(d1)
+s0 = DFF(d2)
+flag = DFF(a)
+OUTPUT(d2)
+)");
+}
+
+TEST(BitsTest, ExtractsAllDffsInOrder) {
+  const Netlist n = two_word_circuit();
+  const std::vector<Bit> bits = extract_bits(n);
+  ASSERT_EQ(bits.size(), 4u);
+  EXPECT_EQ(bits[0].name, "r0");
+  EXPECT_EQ(bits[1].name, "r1");
+  EXPECT_EQ(bits[2].name, "s0");
+  EXPECT_EQ(bits[3].name, "flag");
+  EXPECT_EQ(bits[0].d_net, *n.find("d0"));
+  EXPECT_EQ(bits[0].dff, *n.find("r0"));
+}
+
+TEST(BitsTest, StableAcrossCorruption) {
+  const Netlist n = two_word_circuit();
+  const Netlist c = corrupt_netlist(n, {.r_index = 1.0, .seed = 3});
+  const std::vector<Bit> before = extract_bits(n);
+  const std::vector<Bit> after = extract_bits(c);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i].name, after[i].name);
+}
+
+TEST(WordMapTest, LabelsForAssignsWordIndexes) {
+  const Netlist n = two_word_circuit();
+  const std::vector<Bit> bits = extract_bits(n);
+  WordMap map;
+  map.add_word("r", {"r0", "r1"});
+  map.add_word("s", {"s0"});
+  const std::vector<int> labels = map.labels_for(bits);
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], labels[1]);  // r0, r1 together
+  EXPECT_NE(labels[0], labels[2]);
+  // 'flag' is not in any word: it gets a fresh singleton label.
+  EXPECT_NE(labels[3], labels[0]);
+  EXPECT_NE(labels[3], labels[2]);
+  EXPECT_GE(labels[3], map.num_words());
+}
+
+TEST(WordMapTest, UncoveredBitsGetDistinctSingletons) {
+  const Netlist n = two_word_circuit();
+  const std::vector<Bit> bits = extract_bits(n);
+  WordMap map;  // empty: every bit uncovered
+  const std::vector<int> labels = map.labels_for(bits);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    for (std::size_t j = i + 1; j < labels.size(); ++j)
+      EXPECT_NE(labels[i], labels[j]);
+}
+
+TEST(WordMapTest, RejectsDuplicates) {
+  WordMap map;
+  map.add_word("w", {"b0", "b1"});
+  EXPECT_THROW(map.add_word("w", {"b2"}), util::CheckError);
+  EXPECT_THROW(map.add_word("v", {"b1"}), util::CheckError);  // bit reused
+  EXPECT_THROW(map.add_word("empty", {}), util::CheckError);
+}
+
+TEST(WordMapTest, FromLabelsRoundTrip) {
+  const Netlist n = two_word_circuit();
+  const std::vector<Bit> bits = extract_bits(n);
+  const std::vector<int> labels{0, 0, 1, 2};
+  const WordMap map = WordMap::from_labels(bits, labels);
+  EXPECT_EQ(map.num_words(), 3);
+  const std::vector<int> relabeled = map.labels_for(bits);
+  // Label values may differ but the partition must be identical.
+  EXPECT_EQ(relabeled[0], relabeled[1]);
+  EXPECT_NE(relabeled[0], relabeled[2]);
+  EXPECT_NE(relabeled[2], relabeled[3]);
+}
+
+TEST(WordMapTest, SizeHistogram) {
+  WordMap map;
+  map.add_word("a", {"a0", "a1", "a2", "a3"});
+  map.add_word("b", {"b0", "b1", "b2", "b3"});
+  map.add_word("c", {"c0"});
+  const auto histogram = map.size_histogram();
+  EXPECT_EQ(histogram.at(4), 2);
+  EXPECT_EQ(histogram.at(1), 1);
+  EXPECT_EQ(histogram.size(), 2u);
+}
+
+TEST(WordMapTest, FromLabelsRejectsSizeMismatch) {
+  const Netlist n = two_word_circuit();
+  const std::vector<Bit> bits = extract_bits(n);
+  EXPECT_THROW(WordMap::from_labels(bits, {0, 1}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -1,0 +1,119 @@
+#include "rebert/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+CircuitData make_circuit(const std::string& name) {
+  gen::GeneratedCircuit generated = gen::generate_benchmark(name);
+  return CircuitData{name, std::move(generated.netlist),
+                     std::move(generated.words)};
+}
+
+DatasetOptions small_options() {
+  DatasetOptions options;
+  options.r_indices = {0.0, 0.5};
+  options.max_samples_per_circuit = 200;
+  options.tokenizer.backtrace_depth = 4;
+  options.tokenizer.tree_code_dim = 8;
+  options.tokenizer.max_seq_len = 128;
+  return options;
+}
+
+TEST(DatasetTest, ProducesLabeledExamples) {
+  const CircuitData circuit = make_circuit("b03");
+  const auto examples = build_examples_for_circuit(circuit, small_options());
+  ASSERT_FALSE(examples.empty());
+  EXPECT_LE(static_cast<int>(examples.size()), 200);
+  int positives = 0, negatives = 0;
+  for (const auto& ex : examples) {
+    EXPECT_TRUE(ex.label == 0 || ex.label == 1);
+    EXPECT_GE(ex.sequence.length(), 5);
+    (ex.label == 1 ? positives : negatives)++;
+  }
+  EXPECT_GT(positives, 0);
+  EXPECT_GT(negatives, 0);
+}
+
+TEST(DatasetTest, NegativeRatioApproximatelyRespected) {
+  const CircuitData circuit = make_circuit("b04");
+  DatasetOptions options = small_options();
+  options.max_samples_per_circuit = 1000;
+  const auto examples = build_examples_for_circuit(circuit, options);
+  int positives = 0, negatives = 0;
+  for (const auto& ex : examples) (ex.label == 1 ? positives : negatives)++;
+  ASSERT_GT(positives, 0);
+  const double ratio = static_cast<double>(negatives) / positives;
+  // 1:1.2 target (§III-A-2) with sampling slack.
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(DatasetTest, CapIsEnforced) {
+  const CircuitData circuit = make_circuit("b12");
+  DatasetOptions options = small_options();
+  options.max_samples_per_circuit = 50;
+  const auto examples = build_examples_for_circuit(circuit, options);
+  EXPECT_LE(static_cast<int>(examples.size()), 50);
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  const CircuitData circuit = make_circuit("b03");
+  const auto a = build_examples_for_circuit(circuit, small_options());
+  const auto b = build_examples_for_circuit(circuit, small_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].sequence.token_ids, b[i].sequence.token_ids);
+  }
+}
+
+TEST(DatasetTest, SeedChangesSampling) {
+  const CircuitData circuit = make_circuit("b03");
+  DatasetOptions options = small_options();
+  const auto a = build_examples_for_circuit(circuit, options);
+  options.seed += 1;
+  const auto b = build_examples_for_circuit(circuit, options);
+  bool any_difference = a.size() != b.size();
+  for (std::size_t i = 0; !any_difference && i < a.size(); ++i)
+    any_difference = a[i].sequence.token_ids != b[i].sequence.token_ids ||
+                     a[i].label != b[i].label;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DatasetTest, TrainingSetAggregatesCircuits) {
+  const CircuitData c1 = make_circuit("b03");
+  const CircuitData c2 = make_circuit("b08");
+  DatasetOptions options = small_options();
+  options.max_samples_per_circuit = 100;
+  const auto only_one = build_training_set({&c1}, options);
+  const auto both = build_training_set({&c1, &c2}, options);
+  EXPECT_GT(both.size(), only_one.size());
+}
+
+TEST(DatasetTest, LooSplitExcludesTestCircuit) {
+  std::vector<CircuitData> circuits;
+  circuits.push_back(make_circuit("b03"));
+  circuits.push_back(make_circuit("b08"));
+  circuits.push_back(make_circuit("b11"));
+  const auto split = loo_train_split(circuits, 1);
+  ASSERT_EQ(split.size(), 2u);
+  for (const CircuitData* c : split) EXPECT_NE(c->name, "b08");
+  EXPECT_THROW(loo_train_split(circuits, 3), util::CheckError);
+}
+
+TEST(DatasetTest, RejectsBadOptions) {
+  const CircuitData circuit = make_circuit("b03");
+  DatasetOptions options = small_options();
+  options.r_indices.clear();
+  EXPECT_THROW(build_examples_for_circuit(circuit, options),
+               util::CheckError);
+  EXPECT_THROW(build_training_set({}, small_options()), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::core

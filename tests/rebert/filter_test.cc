@@ -1,0 +1,64 @@
+#include "rebert/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace rebert::core {
+namespace {
+
+TEST(JaccardTest, IdenticalSequencesScoreOne) {
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2, 3}, {1, 2, 3}), 1.0);
+  // Bag semantics: order does not matter.
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2, 3}, {3, 2, 1}), 1.0);
+}
+
+TEST(JaccardTest, DisjointSequencesScoreZero) {
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(JaccardTest, MultisetCountsMatter) {
+  // {1,1,2} vs {1,2,2}: min counts 1+1=2; max counts 2+2=4 -> 0.5.
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 1, 2}, {1, 2, 2}), 0.5);
+  // {1,1} vs {1}: 1/2.
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1, 1}, {1}), 0.5);
+}
+
+TEST(JaccardTest, EmptyEdgeCases) {
+  EXPECT_DOUBLE_EQ(jaccard_similarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity({1}, {}), 0.0);
+}
+
+TEST(JaccardTest, SymmetricAndBounded) {
+  const std::vector<int> a{1, 2, 2, 3, 5};
+  const std::vector<int> b{2, 3, 3, 4};
+  const double ab = jaccard_similarity(a, b);
+  EXPECT_DOUBLE_EQ(ab, jaccard_similarity(b, a));
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+}
+
+TEST(FilterTest, ThresholdGatesPairs) {
+  BitSequence a, b;
+  a.token_ids = {1, 2, 3, 4};
+  b.token_ids = {1, 2, 3, 9};  // Jaccard = 3/5 = 0.6
+  FilterOptions strict;          // threshold 0.7
+  EXPECT_FALSE(passes_filter(a, b, strict));
+  FilterOptions loose;
+  loose.threshold = 0.5;
+  EXPECT_TRUE(passes_filter(a, b, loose));
+}
+
+TEST(FilterTest, DisabledFilterPassesEverything) {
+  BitSequence a, b;
+  a.token_ids = {1};
+  b.token_ids = {9};
+  FilterOptions off;
+  off.enabled = false;
+  EXPECT_TRUE(passes_filter(a, b, off));
+}
+
+TEST(FilterTest, PaperThresholdIsPointSeven) {
+  EXPECT_DOUBLE_EQ(FilterOptions{}.threshold, 0.7);
+}
+
+}  // namespace
+}  // namespace rebert::core

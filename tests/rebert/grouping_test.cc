@@ -1,0 +1,134 @@
+#include "rebert/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+TEST(UnionFindTest, BasicOperations) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.connected(0, 1));
+  uf.unite(0, 1);
+  EXPECT_TRUE(uf.connected(0, 1));
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+  const std::vector<int> labels = uf.labels();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[3], labels[4]);
+}
+
+TEST(UnionFindTest, LabelsAreCompactAndFirstSeen) {
+  UnionFind uf(4);
+  uf.unite(2, 3);
+  const std::vector<int> labels = uf.labels();
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 1);
+  EXPECT_EQ(labels[2], 2);
+  EXPECT_EQ(labels[3], 2);
+}
+
+TEST(UnionFindTest, RangeChecked) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), util::CheckError);
+  EXPECT_THROW(uf.find(-1), util::CheckError);
+}
+
+TEST(GroupingTest, ThresholdIsMaxOverThree) {
+  // max = 0.9 -> threshold 0.3: edges for scores > 0.3.
+  ScoreMatrix scores(4);
+  scores.set(0, 1, 0.9);
+  scores.set(2, 3, 0.31);
+  scores.set(0, 2, 0.29);
+  const std::vector<int> labels = group_words(scores);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(GroupingTest, FilteredPairsNeverConnect) {
+  ScoreMatrix scores(3);
+  scores.set(0, 1, 0.9);
+  // (1,2) stays kFiltered = -1.
+  const std::vector<int> labels = group_words(scores);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[1], labels[2]);
+}
+
+TEST(GroupingTest, AllFilteredYieldsSingletons) {
+  ScoreMatrix scores(4);
+  const std::vector<int> labels = group_words(scores);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    for (std::size_t j = i + 1; j < labels.size(); ++j)
+      EXPECT_NE(labels[i], labels[j]);
+}
+
+TEST(GroupingTest, TransitiveChainsMerge) {
+  // 0-1, 1-2 above threshold: all three in one word even though 0-2 is low.
+  ScoreMatrix scores(3);
+  scores.set(0, 1, 0.9);
+  scores.set(1, 2, 0.9);
+  scores.set(0, 2, 0.05);
+  const std::vector<int> labels = group_words(scores);
+  EXPECT_EQ(labels[0], labels[2]);
+}
+
+TEST(GroupingTest, DynamicThresholdAdaptsToLowScores) {
+  // Even weak scores group if they dominate the matrix: max 0.2 ->
+  // threshold ~0.066.
+  ScoreMatrix scores(3);
+  scores.set(0, 1, 0.2);
+  scores.set(1, 2, 0.07);
+  const std::vector<int> labels = group_words(scores);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+}
+
+TEST(GroupingTest, CustomThresholdFactor) {
+  // max = 0.9; the 0.5 edge appears only when the factor drops below 5/9.
+  ScoreMatrix scores(3);
+  scores.set(0, 1, 0.9);
+  scores.set(1, 2, 0.5);
+  GroupingOptions strict;
+  strict.threshold_factor = 0.7;  // threshold 0.63 > 0.5
+  const std::vector<int> strict_labels = group_words(scores, strict);
+  EXPECT_EQ(strict_labels[0], strict_labels[1]);
+  EXPECT_NE(strict_labels[1], strict_labels[2]);
+  GroupingOptions loose;
+  loose.threshold_factor = 0.3;  // threshold 0.27 < 0.5
+  const std::vector<int> loose_labels = group_words(scores, loose);
+  EXPECT_EQ(loose_labels[0], loose_labels[2]);
+}
+
+TEST(GroupingTest, RejectsBadFactor) {
+  ScoreMatrix scores(2);
+  GroupingOptions bad;
+  bad.threshold_factor = 0.0;
+  EXPECT_THROW(group_words(scores, bad), util::CheckError);
+  bad.threshold_factor = 1.5;
+  EXPECT_THROW(group_words(scores, bad), util::CheckError);
+}
+
+TEST(ScoreMatrixTest, SymmetricStorage) {
+  ScoreMatrix scores(3);
+  scores.set(0, 2, 0.42);
+  EXPECT_DOUBLE_EQ(scores.at(2, 0), 0.42);
+  EXPECT_DOUBLE_EQ(scores.at(0, 1), ScoreMatrix::kFiltered);
+  EXPECT_THROW(scores.at(3, 0), util::CheckError);
+}
+
+TEST(ScoreMatrixTest, MaxAndFilteredFraction) {
+  ScoreMatrix scores(3);
+  EXPECT_DOUBLE_EQ(scores.max_score(), ScoreMatrix::kFiltered);
+  EXPECT_DOUBLE_EQ(scores.filtered_fraction(), 1.0);
+  scores.set(0, 1, 0.4);
+  EXPECT_DOUBLE_EQ(scores.max_score(), 0.4);
+  EXPECT_NEAR(scores.filtered_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rebert::core

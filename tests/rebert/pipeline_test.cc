@@ -1,0 +1,97 @@
+#include "rebert/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+CircuitData make_circuit(const std::string& name, double scale = 1.0) {
+  gen::GeneratedCircuit generated = gen::generate_benchmark(name, scale);
+  return CircuitData{name, std::move(generated.netlist),
+                     std::move(generated.words)};
+}
+
+ExperimentOptions quick_options() {
+  ExperimentOptions options;
+  options.pipeline.tokenizer.backtrace_depth = 4;
+  options.pipeline.tokenizer.tree_code_dim = 8;
+  options.pipeline.tokenizer.max_seq_len = 96;
+  options.dataset.r_indices = {0.0, 0.5};
+  options.dataset.max_samples_per_circuit = 120;
+  options.training.epochs = 2;
+  options.training.batch_size = 16;
+  options.model_hidden = 32;
+  options.model_layers = 1;
+  options.model_heads = 2;
+  return options;
+}
+
+TEST(PipelineConfigTest, MakeModelConfigDerivesFromOptions) {
+  const ExperimentOptions options = quick_options();
+  const bert::BertConfig config = make_model_config(options);
+  EXPECT_EQ(config.vocab_size, vocabulary().size());
+  EXPECT_EQ(config.hidden, 32);
+  EXPECT_EQ(config.max_seq_len, 96);
+  EXPECT_EQ(config.tree_code_dim, 8);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(PipelineTest, EndToEndTrainAndRecover) {
+  // Train on b03+b08, evaluate on b11 — a miniature of the paper's LOO-CV.
+  std::vector<CircuitData> circuits;
+  circuits.push_back(make_circuit("b03"));
+  circuits.push_back(make_circuit("b08"));
+  const CircuitData test_circuit = make_circuit("b11");
+
+  const ExperimentOptions options = quick_options();
+  std::vector<const CircuitData*> train_set{&circuits[0], &circuits[1]};
+  auto model = train_rebert(train_set, options);
+  ASSERT_NE(model, nullptr);
+
+  const EvaluationResult clean =
+      evaluate_rebert(test_circuit, 0.0, *model, options);
+  EXPECT_EQ(clean.recovery.labels.size(),
+            test_circuit.netlist.dffs().size());
+  EXPECT_GE(clean.ari, -1.0);
+  EXPECT_LE(clean.ari, 1.0);
+  EXPECT_GT(clean.recovery.num_words, 0);
+  EXPECT_GT(clean.recovery.total_seconds, 0.0);
+  // Even a lightly trained model must beat random grouping on average;
+  // at minimum it must not be pathological.
+  EXPECT_GT(clean.ari, -0.2);
+
+  const EvaluationResult corrupted =
+      evaluate_rebert(test_circuit, 0.6, *model, options);
+  EXPECT_EQ(corrupted.recovery.labels.size(),
+            test_circuit.netlist.dffs().size());
+}
+
+TEST(PipelineTest, RecoverWordsTimingBreakdownConsistent) {
+  const CircuitData circuit = make_circuit("b03");
+  const ExperimentOptions options = quick_options();
+  bert::BertPairClassifier model(make_model_config(options));
+  const RecoveryResult result =
+      recover_words(circuit.netlist, model, options.pipeline);
+  EXPECT_EQ(result.labels.size(), circuit.netlist.dffs().size());
+  EXPECT_LE(result.tokenize_seconds + result.scoring_seconds +
+                result.grouping_seconds,
+            result.total_seconds + 0.05);
+  EXPECT_GE(result.filtered_fraction, 0.0);
+  EXPECT_LE(result.filtered_fraction, 1.0);
+}
+
+TEST(PipelineTest, UntrainedModelStillProducesValidPartition) {
+  const CircuitData circuit = make_circuit("b08");
+  const ExperimentOptions options = quick_options();
+  bert::BertPairClassifier model(make_model_config(options));
+  const EvaluationResult result =
+      evaluate_rebert(circuit, 0.2, model, options);
+  EXPECT_EQ(result.recovery.labels.size(), circuit.netlist.dffs().size());
+  for (int label : result.recovery.labels) EXPECT_GE(label, 0);
+}
+
+}  // namespace
+}  // namespace rebert::core

@@ -1,0 +1,121 @@
+#include "rebert/report.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/parser.h"
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+std::vector<nl::Bit> four_bits() {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+q0 = DFF(a)
+q1 = DFF(a)
+q2 = DFF(a)
+q3 = DFF(a)
+OUTPUT(a)
+)");
+  // Keep the netlist alive via static: Bit only stores ids and names.
+  return nl::extract_bits(n);
+}
+
+TEST(ReportTest, GroupsAndSingletonsSeparated) {
+  const auto bits = four_bits();
+  ScoreMatrix scores(4);
+  scores.set(0, 1, 0.9);
+  scores.set(0, 2, 0.8);
+  scores.set(1, 2, 0.85);
+  const std::vector<int> labels{0, 0, 0, 1};  // q3 singleton
+  const WordReport report = make_word_report(bits, scores, labels);
+  ASSERT_EQ(report.words.size(), 1u);
+  EXPECT_EQ(report.num_singletons, 1);
+  const WordReportEntry& entry = report.words[0];
+  EXPECT_EQ(entry.bits.size(), 3u);
+  EXPECT_NEAR(entry.mean_intra_score, (0.9 + 0.8 + 0.85) / 3, 1e-12);
+  EXPECT_NEAR(entry.min_intra_score, 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(entry.filtered_intra_fraction, 0.0);
+  EXPECT_NEAR(report.threshold, 0.3, 1e-12);  // max 0.9 / 3
+}
+
+TEST(ReportTest, FilteredIntraPairsCounted) {
+  const auto bits = four_bits();
+  ScoreMatrix scores(4);
+  scores.set(0, 1, 0.9);
+  scores.set(1, 2, 0.9);
+  // (0,2) stays filtered but 0,1,2 still chain into one word.
+  const std::vector<int> labels{0, 0, 0, 1};
+  const WordReport report = make_word_report(bits, scores, labels);
+  ASSERT_EQ(report.words.size(), 1u);
+  EXPECT_NEAR(report.words[0].filtered_intra_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ReportTest, SortsByCohesion) {
+  const auto bits = four_bits();
+  ScoreMatrix scores(4);
+  scores.set(0, 1, 0.5);
+  scores.set(2, 3, 0.95);
+  const std::vector<int> labels{0, 0, 1, 1};
+  const WordReport report = make_word_report(bits, scores, labels);
+  ASSERT_EQ(report.words.size(), 2u);
+  EXPECT_GT(report.words[0].mean_intra_score,
+            report.words[1].mean_intra_score);
+  EXPECT_EQ(report.words[0].bits[0], "q2");
+}
+
+TEST(ReportTest, ToStringMentionsEverything) {
+  const auto bits = four_bits();
+  ScoreMatrix scores(4);
+  scores.set(0, 1, 0.6);
+  const std::vector<int> labels{0, 0, 1, 2};
+  const WordReport report = make_word_report(bits, scores, labels);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("1 multi-bit words"), std::string::npos);
+  EXPECT_NE(text.find("2 singleton bits"), std::string::npos);
+  EXPECT_NE(text.find("q0 q1"), std::string::npos);
+}
+
+TEST(ReportTest, JsonFormIsWellFormedAndComplete) {
+  const auto bits = four_bits();
+  ScoreMatrix scores(4);
+  scores.set(0, 1, 0.6);
+  const std::vector<int> labels{0, 0, 1, 2};
+  const WordReport report = make_word_report(bits, scores, labels);
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"num_singletons\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"bits\":[\"q0\",\"q1\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_intra_score\":0.600000"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ReportTest, AllSingletons) {
+  const auto bits = four_bits();
+  ScoreMatrix scores(4);
+  const std::vector<int> labels{0, 1, 2, 3};
+  const WordReport report = make_word_report(bits, scores, labels);
+  EXPECT_TRUE(report.words.empty());
+  EXPECT_EQ(report.num_singletons, 4);
+  EXPECT_DOUBLE_EQ(report.threshold, 0.0);
+}
+
+TEST(ReportTest, RejectsMismatchedSizes) {
+  const auto bits = four_bits();
+  ScoreMatrix scores(4);
+  EXPECT_THROW(make_word_report(bits, scores, {0, 1}), util::CheckError);
+  ScoreMatrix small(2);
+  EXPECT_THROW(make_word_report(bits, small, {0, 1, 2, 3}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::core

@@ -1,0 +1,81 @@
+#include "rebert/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/parser.h"
+
+namespace rebert::core {
+namespace {
+
+std::vector<BitSequence> three_bits() {
+  // Bits 0 and 1 share a template; bit 2 differs completely.
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a0)
+INPUT(b0)
+INPUT(a1)
+INPUT(b1)
+INPUT(c)
+d0 = XOR(a0, b0)
+d1 = XOR(a1, b1)
+inv = NOT(c)
+d2 = NOT(inv)
+q0 = DFF(d0)
+q1 = DFF(d1)
+q2 = DFF(d2)
+OUTPUT(d2)
+)");
+  Tokenizer tokenizer({.backtrace_depth = 4, .tree_code_dim = 8,
+                       .max_seq_len = 64});
+  return tokenizer.tokenize_bits(n);
+}
+
+TEST(BuildScoreMatrixTest, FilterShortCircuitsScorer) {
+  const auto bits = three_bits();
+  int scorer_calls = 0;
+  const ScoreMatrix scores = build_score_matrix(
+      bits, FilterOptions{}, [&](int, int) {
+        ++scorer_calls;
+        return 0.9;
+      });
+  // Pair (0,1) is identical -> scored. Pairs with bit 2 are dissimilar ->
+  // filtered without calling the scorer.
+  EXPECT_EQ(scorer_calls, 1);
+  EXPECT_DOUBLE_EQ(scores.at(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(scores.at(0, 2), ScoreMatrix::kFiltered);
+  EXPECT_DOUBLE_EQ(scores.at(1, 2), ScoreMatrix::kFiltered);
+}
+
+TEST(BuildScoreMatrixTest, DisabledFilterScoresAllPairs) {
+  const auto bits = three_bits();
+  int scorer_calls = 0;
+  FilterOptions off;
+  off.enabled = false;
+  build_score_matrix(bits, off, [&](int, int) {
+    ++scorer_calls;
+    return 0.1;
+  });
+  EXPECT_EQ(scorer_calls, 3);  // all pairs of 3 bits
+}
+
+TEST(BuildScoreMatrixTest, ScoresLandSymmetrically) {
+  const auto bits = three_bits();
+  FilterOptions off;
+  off.enabled = false;
+  const ScoreMatrix scores = build_score_matrix(
+      bits, off, [&](int i, int j) { return 0.1 * (i + 1) + 0.01 * j; });
+  for (int i = 0; i < scores.size(); ++i)
+    for (int j = 0; j < scores.size(); ++j)
+      if (i != j) EXPECT_DOUBLE_EQ(scores.at(i, j), scores.at(j, i));
+}
+
+TEST(BuildScoreMatrixTest, SingleBitMatrix) {
+  const auto bits = three_bits();
+  const std::vector<BitSequence> one{bits[0]};
+  const ScoreMatrix scores =
+      build_score_matrix(one, FilterOptions{}, [](int, int) { return 1.0; });
+  EXPECT_EQ(scores.size(), 1);
+  EXPECT_DOUBLE_EQ(scores.filtered_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace rebert::core

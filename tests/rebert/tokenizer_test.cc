@@ -1,0 +1,178 @@
+#include "rebert/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/parser.h"
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+nl::Netlist fig2_circuit() {
+  // Fig. 2: bit = AND(NOT(x0), OR(x1, x2)), extracted with k=3.
+  return nl::parse_bench_string(R"(
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+n_not = NOT(x0)
+n_or = OR(x1, x2)
+bit = AND(n_not, n_or)
+q = DFF(bit)
+OUTPUT(q)
+)");
+}
+
+TEST(TokenizerTest, PaperFigure2TokenSequence) {
+  const nl::Netlist n = fig2_circuit();
+  Tokenizer tokenizer({.backtrace_depth = 3, .tree_code_dim = 8,
+                       .max_seq_len = 64});
+  const BitSequence seq = tokenizer.tokenize_net(n, *n.find("bit"));
+  // Pre-order: AND NOT X OR X X — exactly Fig. 2(b).
+  EXPECT_EQ(Tokenizer::decode(seq.token_ids), "AND NOT X OR X X");
+  EXPECT_EQ(seq.tree_size, 6);
+  EXPECT_EQ(seq.tree_depth, 2);
+  EXPECT_EQ(seq.tree_codes.size(), seq.token_ids.size());
+}
+
+TEST(TokenizerTest, LeafGeneralizationCanBeDisabled) {
+  const nl::Netlist n = fig2_circuit();
+  Tokenizer tokenizer({.backtrace_depth = 3, .tree_code_dim = 8,
+                       .max_seq_len = 64, .generalize_leaves = false});
+  const BitSequence seq = tokenizer.tokenize_net(n, *n.find("bit"));
+  // Leaves keep their driver type (INPUT) instead of X.
+  EXPECT_EQ(Tokenizer::decode(seq.token_ids),
+            "AND NOT INPUT OR INPUT INPUT");
+}
+
+TEST(TokenizerTest, DepthLimitsSequenceLength) {
+  const nl::Netlist n = fig2_circuit();
+  Tokenizer shallow({.backtrace_depth = 1, .tree_code_dim = 8,
+                     .max_seq_len = 64});
+  const BitSequence seq = shallow.tokenize_net(n, *n.find("bit"));
+  EXPECT_EQ(Tokenizer::decode(seq.token_ids), "AND X X");
+}
+
+TEST(TokenizerTest, TokenizeBitsCoversAllDffs) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+d0 = AND(a, b)
+d1 = OR(a, b)
+q0 = DFF(d0)
+q1 = DFF(d1)
+OUTPUT(d0)
+)");
+  Tokenizer tokenizer({.backtrace_depth = 4, .tree_code_dim = 8,
+                       .max_seq_len = 64});
+  const std::vector<BitSequence> all = tokenizer.tokenize_bits(n);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(Tokenizer::decode(all[0].token_ids), "AND X X");
+  EXPECT_EQ(Tokenizer::decode(all[1].token_ids), "OR X X");
+}
+
+TEST(TokenizerTest, EncodePairLayout) {
+  const nl::Netlist n = fig2_circuit();
+  Tokenizer tokenizer({.backtrace_depth = 3, .tree_code_dim = 8,
+                       .max_seq_len = 64});
+  const BitSequence seq = tokenizer.tokenize_net(n, *n.find("bit"));
+  const bert::EncodedSequence pair = tokenizer.encode_pair(seq, seq);
+  const Vocabulary& v = vocabulary();
+  // [CLS] 6 tokens [SEP] 6 tokens [SEP] = 15.
+  ASSERT_EQ(pair.length(), 15);
+  EXPECT_EQ(pair.token_ids.front(), v.cls_id());
+  EXPECT_EQ(pair.token_ids[7], v.sep_id());
+  EXPECT_EQ(pair.token_ids.back(), v.sep_id());
+  // Positions sequential.
+  for (int i = 0; i < pair.length(); ++i)
+    EXPECT_EQ(pair.position_ids[static_cast<std::size_t>(i)], i);
+  // Special tokens carry all-zero tree codes.
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(pair.tree_codes.at(0, b), 0.0f);
+    EXPECT_EQ(pair.tree_codes.at(7, b), 0.0f);
+    EXPECT_EQ(pair.tree_codes.at(14, b), 0.0f);
+  }
+  // First real token (root of a) also zero; second (NOT, left child) is
+  // '10...'.
+  EXPECT_EQ(pair.tree_codes.at(2, 0), 1.0f);
+  EXPECT_EQ(pair.tree_codes.at(2, 1), 0.0f);
+}
+
+TEST(TokenizerTest, EncodePairTruncatesLongSequences) {
+  // Build a deep chain so the cone is large, then encode with a small
+  // max_seq_len.
+  std::string bench = "INPUT(a)\nINPUT(b)\nn0 = AND(a, b)\n";
+  for (int i = 1; i < 40; ++i)
+    bench += "n" + std::to_string(i) + " = AND(n" + std::to_string(i - 1) +
+             ", b)\n";
+  bench += "OUTPUT(n39)\n";
+  const nl::Netlist n = nl::parse_bench_string(bench);
+  Tokenizer tokenizer({.backtrace_depth = 30, .tree_code_dim = 8,
+                       .max_seq_len = 32});
+  const BitSequence seq = tokenizer.tokenize_net(n, *n.find("n39"));
+  EXPECT_GT(static_cast<int>(seq.token_ids.size()), 32);
+  const bert::EncodedSequence pair = tokenizer.encode_pair(seq, seq);
+  EXPECT_LE(pair.length(), 32);
+  // Structure preserved: CLS head, SEP tail.
+  EXPECT_EQ(pair.token_ids.front(), vocabulary().cls_id());
+  EXPECT_EQ(pair.token_ids.back(), vocabulary().sep_id());
+}
+
+TEST(TokenizerTest, SameWordBitsGetSimilarSequences) {
+  // Two bits built from the same template over different inputs tokenize
+  // to identical generalized sequences.
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a0)
+INPUT(a1)
+INPUT(b0)
+INPUT(b1)
+d0 = XOR(a0, b0)
+d1 = XOR(a1, b1)
+q0 = DFF(d0)
+q1 = DFF(d1)
+OUTPUT(d0)
+)");
+  Tokenizer tokenizer({.backtrace_depth = 6, .tree_code_dim = 8,
+                       .max_seq_len = 64});
+  const auto bits = tokenizer.tokenize_bits(n);
+  EXPECT_EQ(bits[0].token_ids, bits[1].token_ids);
+}
+
+TEST(TokenizerTest, PaddingFillsToFixedLength) {
+  const nl::Netlist n = fig2_circuit();
+  Tokenizer tokenizer({.backtrace_depth = 3, .tree_code_dim = 8,
+                       .max_seq_len = 64, .generalize_leaves = true,
+                       .pad_to = 32});
+  const BitSequence seq = tokenizer.tokenize_net(n, *n.find("bit"));
+  const bert::EncodedSequence pair = tokenizer.encode_pair(seq, seq);
+  EXPECT_EQ(pair.length(), 32);
+  EXPECT_EQ(pair.valid_len, 15);  // [CLS] + 6 + [SEP] + 6 + [SEP]
+  const Vocabulary& v = vocabulary();
+  for (int i = pair.valid_len; i < pair.length(); ++i) {
+    EXPECT_EQ(pair.token_ids[static_cast<std::size_t>(i)], v.pad_id());
+    for (int b = 0; b < 8; ++b)
+      EXPECT_EQ(pair.tree_codes.at(i, b), 0.0f);
+  }
+  // Sequences already at/above pad_to are not padded.
+  Tokenizer small_pad({.backtrace_depth = 3, .tree_code_dim = 8,
+                       .max_seq_len = 64, .generalize_leaves = true,
+                       .pad_to = 10});
+  const bert::EncodedSequence unpadded = small_pad.encode_pair(seq, seq);
+  EXPECT_EQ(unpadded.length(), 15);
+  EXPECT_EQ(unpadded.valid_len, 0);
+}
+
+TEST(TokenizerTest, RejectsBadOptions) {
+  EXPECT_THROW(Tokenizer({.backtrace_depth = 0}), util::CheckError);
+  EXPECT_THROW(Tokenizer({.backtrace_depth = 3, .tree_code_dim = 5}),
+               util::CheckError);
+  EXPECT_THROW(Tokenizer({.backtrace_depth = 3, .tree_code_dim = 8,
+                          .max_seq_len = 4}),
+               util::CheckError);
+  EXPECT_THROW(Tokenizer({.backtrace_depth = 3, .tree_code_dim = 8,
+                          .max_seq_len = 64, .generalize_leaves = true,
+                          .pad_to = 128}),
+               util::CheckError);  // pad_to > max_seq_len
+}
+
+}  // namespace
+}  // namespace rebert::core

@@ -1,0 +1,120 @@
+#include "rebert/tree_code.h"
+
+#include <gtest/gtest.h>
+
+#include "nl/parser.h"
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+// The Fig. 3 example: a 3-node tree (root with left and right children).
+nl::ConeTree fig3_tree() {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+root = AND(a, b)
+OUTPUT(root)
+)");
+  return nl::extract_cone(n, *n.find("root"), 2);
+}
+
+TEST(TreeCodeTest, PaperFigure3Example) {
+  // Paper: root = all zeros; left child '10' + shifted root; right child
+  // '01' + shifted root. With width 6:
+  //   root  = 000000
+  //   left  = 100000
+  //   right = 010000
+  const nl::ConeTree tree = fig3_tree();
+  ASSERT_EQ(tree.size(), 3);
+  const auto codes = tree_codes(tree, 6);
+  EXPECT_EQ(code_string(codes[0]), "000000");
+  EXPECT_EQ(code_string(codes[1]), "100000");  // left child of root
+  EXPECT_EQ(code_string(codes[2]), "010000");  // right child of root
+}
+
+TEST(TreeCodeTest, DeeperPathShiftsAncestry) {
+  // root -> NOT (left) -> leaf (its only=left child):
+  // leaf code = '10' + shift(parent '10...') = 1010...
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+inv = NOT(a)
+root = AND(inv, b)
+OUTPUT(root)
+)");
+  const nl::ConeTree tree = nl::extract_cone(n, *n.find("root"), 3);
+  // Pre-order: root AND, inv NOT, leaf a, leaf b.
+  ASSERT_EQ(tree.size(), 4);
+  const auto codes = tree_codes(tree, 8);
+  EXPECT_EQ(code_string(codes[0]), "00000000");
+  EXPECT_EQ(code_string(codes[1]), "10000000");  // NOT = left child
+  EXPECT_EQ(code_string(codes[2]), "10100000");  // a = left child of NOT
+  EXPECT_EQ(code_string(codes[3]), "01000000");  // b = right child of root
+}
+
+TEST(TreeCodeTest, WidthTruncatesDeepAncestry) {
+  // With width 2 only the most recent branch survives the shift.
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+inv = NOT(a)
+root = AND(inv, b)
+OUTPUT(root)
+)");
+  const nl::ConeTree tree = nl::extract_cone(n, *n.find("root"), 3);
+  const auto codes = tree_codes(tree, 2);
+  EXPECT_EQ(code_string(codes[1]), "10");
+  EXPECT_EQ(code_string(codes[2]), "10");  // ancestry beyond 1 level lost
+  EXPECT_EQ(code_string(codes[3]), "01");
+}
+
+TEST(TreeCodeTest, CodesDistinguishSiblingSubtrees) {
+  // Symmetric tree: same token at mirrored positions gets different codes.
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+l = AND(a, b)
+r = AND(c, d)
+root = OR(l, r)
+OUTPUT(root)
+)");
+  const nl::ConeTree tree = nl::extract_cone(n, *n.find("root"), 3);
+  const auto codes = tree_codes(tree, 8);
+  // Pre-order: OR, AND(l), a, b, AND(r), c, d.
+  ASSERT_EQ(tree.size(), 7);
+  EXPECT_NE(code_string(codes[1]), code_string(codes[4]));
+  EXPECT_NE(code_string(codes[2]), code_string(codes[5]));
+}
+
+TEST(TreeCodeTest, TensorFormMatchesVectorForm) {
+  const nl::ConeTree tree = fig3_tree();
+  const auto codes = tree_codes(tree, 6);
+  const tensor::Tensor t = tree_codes_tensor(tree, 6);
+  ASSERT_EQ(t.dim(0), 3);
+  ASSERT_EQ(t.dim(1), 6);
+  for (int i = 0; i < 3; ++i)
+    for (int b = 0; b < 6; ++b)
+      EXPECT_EQ(t.at(i, b),
+                static_cast<float>(codes[static_cast<std::size_t>(i)]
+                                        [static_cast<std::size_t>(b)]));
+}
+
+TEST(TreeCodeTest, SingleNodeTreeIsAllZero) {
+  const nl::Netlist n = nl::parse_bench_string("INPUT(a)\nOUTPUT(a)\n");
+  const nl::ConeTree tree = nl::extract_cone(n, *n.find("a"), 2);
+  const auto codes = tree_codes(tree, 4);
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(code_string(codes[0]), "0000");
+}
+
+TEST(TreeCodeTest, RejectsBadWidth) {
+  const nl::ConeTree tree = fig3_tree();
+  EXPECT_THROW(tree_codes(tree, 0), util::CheckError);
+  EXPECT_THROW(tree_codes(tree, 5), util::CheckError);  // odd
+}
+
+}  // namespace
+}  // namespace rebert::core

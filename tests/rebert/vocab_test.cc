@@ -1,0 +1,52 @@
+#include "rebert/vocab.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+TEST(VocabTest, SpecialsComeFirst) {
+  const Vocabulary& v = vocabulary();
+  EXPECT_EQ(v.pad_id(), 0);
+  EXPECT_EQ(v.token(v.pad_id()), "[PAD]");
+  EXPECT_EQ(v.token(v.cls_id()), "[CLS]");
+  EXPECT_EQ(v.token(v.sep_id()), "[SEP]");
+  EXPECT_EQ(v.token(v.unk_id()), "[UNK]");
+  EXPECT_EQ(v.token(v.leaf_id()), "X");
+}
+
+TEST(VocabTest, CoversEveryGateType) {
+  const Vocabulary& v = vocabulary();
+  for (int t = 0; t < nl::kNumGateTypes; ++t) {
+    const nl::GateType type = static_cast<nl::GateType>(t);
+    const int id = v.gate_id(type);
+    EXPECT_EQ(v.token(id), nl::gate_type_name(type));
+    EXPECT_FALSE(v.is_special(id));
+  }
+  // 5 specials/leaf + 13 gate types.
+  EXPECT_EQ(v.size(), 5 + nl::kNumGateTypes);
+}
+
+TEST(VocabTest, LookupByTextAndUnknownFallback) {
+  const Vocabulary& v = vocabulary();
+  EXPECT_EQ(v.id_of("NAND"), v.gate_id(nl::GateType::kNand));
+  EXPECT_EQ(v.id_of("X"), v.leaf_id());
+  EXPECT_EQ(v.id_of("definitely-not-a-token"), v.unk_id());
+}
+
+TEST(VocabTest, IdsAreStableAcrossInstances) {
+  Vocabulary a, b;
+  EXPECT_EQ(a.id_of("XOR"), b.id_of("XOR"));
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(VocabTest, TokenRangeChecked) {
+  const Vocabulary& v = vocabulary();
+  EXPECT_THROW(v.token(-1), util::CheckError);
+  EXPECT_THROW(v.token(v.size()), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::core

@@ -1,0 +1,142 @@
+#include "rebert/word_typing.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/blocks.h"
+#include "nl/parser.h"
+#include "nl/words.h"
+#include "util/check.h"
+
+namespace rebert::core {
+namespace {
+
+// Build one block and return its netlist + word bit names.
+struct BlockCircuit {
+  nl::Netlist netlist{"t"};
+  std::vector<std::string> bits;
+};
+
+BlockCircuit build_block(gen::BlockType type, int width,
+                         std::uint64_t seed = 42) {
+  BlockCircuit out;
+  nl::WordMap words;
+  util::Rng rng(seed);
+  gen::BlockBuilder builder(&out.netlist, &words, &rng);
+  builder.build({type, width}, "w");
+  out.bits = words.words()[0].second;
+  return out;
+}
+
+TEST(WordTypingTest, FreeRunningCounterDetectedWithOrder) {
+  // A counter with enable tied high: build manually so the enable is a
+  // constant and the count pattern is clean every cycle.
+  const nl::Netlist n = nl::parse_bench_string(R"(
+b0 = DFF(d0)
+b1 = DFF(d1)
+b2 = DFF(d2)
+d0 = NOT(b0)
+c1 = BUF(b0)
+d1 = XOR(b1, c1)
+c2 = AND(b0, b1)
+d2 = XOR(b2, c2)
+OUTPUT(b2)
+)");
+  // Scrambled input order: analysis must recover LSB..MSB.
+  const WordAnalysis a = analyze_word(n, {"b2", "b0", "b1"});
+  EXPECT_EQ(a.kind, WordKind::kCounter) << word_kind_name(a.kind);
+  EXPECT_GT(a.confidence, 0.95);
+  ASSERT_EQ(a.ordered_bits.size(), 3u);
+  EXPECT_EQ(a.ordered_bits[0], "b0");
+  EXPECT_EQ(a.ordered_bits[1], "b1");
+  EXPECT_EQ(a.ordered_bits[2], "b2");
+}
+
+TEST(WordTypingTest, GeneratedCounterBlockDetected) {
+  const BlockCircuit c = build_block(gen::BlockType::kCounter, 5);
+  const WordAnalysis a = analyze_word(c.netlist, c.bits);
+  EXPECT_EQ(a.kind, WordKind::kCounter) << word_kind_name(a.kind);
+  EXPECT_GT(a.confidence, 0.9);
+}
+
+TEST(WordTypingTest, PureShiftRegisterDetectedWithChainOrder) {
+  // Serial shifter without parallel load: q0 <- si, q1 <- q0, q2 <- q1.
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(si)
+q0 = DFF(si)
+q1 = DFF(q0)
+q2 = DFF(q1)
+OUTPUT(q2)
+)");
+  const WordAnalysis a = analyze_word(n, {"q2", "q0", "q1"});
+  EXPECT_EQ(a.kind, WordKind::kShiftRegister) << word_kind_name(a.kind);
+  ASSERT_EQ(a.ordered_bits.size(), 3u);
+  EXPECT_EQ(a.ordered_bits[0], "q0");
+  EXPECT_EQ(a.ordered_bits[1], "q1");
+  EXPECT_EQ(a.ordered_bits[2], "q2");
+}
+
+TEST(WordTypingTest, EnableRegisterIsDataRegister) {
+  const BlockCircuit c = build_block(gen::BlockType::kEnableReg, 6);
+  const WordAnalysis a = analyze_word(c.netlist, c.bits);
+  EXPECT_EQ(a.kind, WordKind::kDataRegister) << word_kind_name(a.kind);
+  EXPECT_GT(a.activity, 0.0);
+  EXPECT_LT(a.activity, 1.0);
+}
+
+TEST(WordTypingTest, ConstantWordDetected) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(x)
+zero = CONST0()
+q0 = DFF(zero)
+q1 = DFF(zero)
+y = AND(x, q0)
+OUTPUT(y)
+)");
+  const WordAnalysis a = analyze_word(n, {"q0", "q1"});
+  EXPECT_EQ(a.kind, WordKind::kConstant);
+  EXPECT_DOUBLE_EQ(a.confidence, 1.0);
+  EXPECT_DOUBLE_EQ(a.activity, 0.0);
+}
+
+TEST(WordTypingTest, SingleBitIsFlag) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(x)
+q = DFF(x)
+OUTPUT(q)
+)");
+  const WordAnalysis a = analyze_word(n, {"q"});
+  EXPECT_EQ(a.kind, WordKind::kFlag);
+}
+
+TEST(WordTypingTest, AccumulatorIsNotMisreadAsCounterOrShift) {
+  const BlockCircuit c = build_block(gen::BlockType::kAccumulator, 5);
+  const WordAnalysis a = analyze_word(c.netlist, c.bits);
+  EXPECT_NE(a.kind, WordKind::kCounter) << word_kind_name(a.kind);
+  EXPECT_NE(a.kind, WordKind::kShiftRegister) << word_kind_name(a.kind);
+}
+
+TEST(WordTypingTest, KindNamesAreHuman) {
+  EXPECT_STREQ(word_kind_name(WordKind::kCounter), "counter");
+  EXPECT_STREQ(word_kind_name(WordKind::kShiftRegister), "shift-register");
+  EXPECT_STREQ(word_kind_name(WordKind::kUnknown), "unknown");
+}
+
+TEST(WordTypingTest, RejectsBadInput) {
+  const nl::Netlist n = nl::parse_bench_string(
+      "INPUT(x)\nq = DFF(x)\nOUTPUT(q)\n");
+  EXPECT_THROW(analyze_word(n, {}), util::CheckError);
+  EXPECT_THROW(analyze_word(n, {"ghost"}), util::CheckError);
+  EXPECT_THROW(analyze_word(n, {"x"}), util::CheckError);  // not a DFF
+}
+
+TEST(WordTypingTest, DeterministicForSameSeed) {
+  const BlockCircuit c = build_block(gen::BlockType::kShiftReg, 4);
+  const WordAnalysis a = analyze_word(c.netlist, c.bits);
+  const WordAnalysis b = analyze_word(c.netlist, c.bits);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.ordered_bits, b.ordered_bits);
+  EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
+}
+
+}  // namespace
+}  // namespace rebert::core

@@ -1,0 +1,173 @@
+#include "structural/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+#include "metrics/clustering.h"
+#include "nl/corruption.h"
+#include "nl/parser.h"
+#include "nl/words.h"
+
+namespace rebert::structural {
+namespace {
+
+TEST(ShapeSimilarityTest, IdenticalTreesScoreOne) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+d = AND(a, b)
+OUTPUT(d)
+)");
+  const nl::ConeTree t = nl::extract_cone(n, *n.find("d"), 3);
+  EXPECT_DOUBLE_EQ(shape_similarity(t, t), 1.0);
+}
+
+TEST(ShapeSimilarityTest, SameTemplateDifferentLeavesScoresOne) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a0)
+INPUT(b0)
+INPUT(a1)
+INPUT(b1)
+d0 = XOR(a0, b0)
+d1 = XOR(a1, b1)
+OUTPUT(d0)
+OUTPUT(d1)
+)");
+  const nl::ConeTree t0 = nl::extract_cone(n, *n.find("d0"), 3);
+  const nl::ConeTree t1 = nl::extract_cone(n, *n.find("d1"), 3);
+  EXPECT_DOUBLE_EQ(shape_similarity(t0, t1), 1.0);
+}
+
+TEST(ShapeSimilarityTest, DifferentRootsScoreZero) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+d0 = AND(a, b)
+d1 = OR(a, b)
+OUTPUT(d0)
+OUTPUT(d1)
+)");
+  const nl::ConeTree t0 = nl::extract_cone(n, *n.find("d0"), 3);
+  const nl::ConeTree t1 = nl::extract_cone(n, *n.find("d1"), 3);
+  EXPECT_DOUBLE_EQ(shape_similarity(t0, t1), 0.0);
+}
+
+TEST(ShapeSimilarityTest, PartialMatchIsFractional) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+x = OR(b, c)
+d0 = AND(a, x)
+d1 = AND(a, b)
+OUTPUT(d0)
+OUTPUT(d1)
+)");
+  const nl::ConeTree t0 = nl::extract_cone(n, *n.find("d0"), 3);  // 5 nodes
+  const nl::ConeTree t1 = nl::extract_cone(n, *n.find("d1"), 3);  // 3 nodes
+  const double sim = shape_similarity(t0, t1);
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(SupportSimilarityTest, SharedLeavesDetected) {
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(ctrl)
+INPUT(a)
+INPUT(b)
+d0 = AND(ctrl, a)
+d1 = AND(ctrl, b)
+d2 = AND(a, b)
+OUTPUT(d0)
+OUTPUT(d1)
+OUTPUT(d2)
+)");
+  const nl::ConeTree t0 = nl::extract_cone(n, *n.find("d0"), 2);
+  const nl::ConeTree t1 = nl::extract_cone(n, *n.find("d1"), 2);
+  // Leaves {ctrl,a} vs {ctrl,b}: Jaccard 1/3.
+  EXPECT_NEAR(support_similarity(t0, t1), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(support_similarity(t0, t0), 1.0);
+}
+
+TEST(StructuralRecoveryTest, PerfectOnCleanTemplateWords) {
+  // Two words with distinct templates, each sharing a control signal among
+  // its bits (as real register words do), no corruption: the method's home
+  // turf.
+  const nl::Netlist n = nl::parse_bench_string(R"(
+INPUT(a0)
+INPUT(a1)
+INPUT(c0)
+INPUT(c1)
+INPUT(sel)
+INPUT(en)
+x0 = NOR(sel, a0)
+x1 = NOR(sel, a1)
+m0 = AND(en, c0)
+m1 = AND(en, c1)
+qx0 = DFF(x0)
+qx1 = DFF(x1)
+qm0 = DFF(m0)
+qm1 = DFF(m1)
+OUTPUT(x0)
+)");
+  const StructuralResult result = recover_words_structural(n);
+  const auto bits = nl::extract_bits(n);
+  nl::WordMap truth;
+  truth.add_word("x", {"qx0", "qx1"});
+  truth.add_word("m", {"qm0", "qm1"});
+  const double ari = metrics::adjusted_rand_index(truth.labels_for(bits),
+                                                  result.labels);
+  EXPECT_DOUBLE_EQ(ari, 1.0);
+}
+
+TEST(StructuralRecoveryTest, DegradesUnderCorruption) {
+  // The paper's central observation: gate replacement destroys template
+  // matching. ARI at heavy mid-corruption must drop well below the clean
+  // score on a benchmark circuit.
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b03");
+  const auto clean_bits = nl::extract_bits(c.netlist);
+  const std::vector<int> truth = c.words.labels_for(clean_bits);
+
+  const StructuralResult clean = recover_words_structural(c.netlist);
+  const double clean_ari =
+      metrics::adjusted_rand_index(truth, clean.labels);
+
+  double corrupted_total = 0.0;
+  const int kSeeds = 3;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    const nl::Netlist corrupted = nl::corrupt_netlist(
+        c.netlist, {.r_index = 0.5, .seed = static_cast<std::uint64_t>(seed)});
+    const StructuralResult result = recover_words_structural(corrupted);
+    corrupted_total += metrics::adjusted_rand_index(truth, result.labels);
+  }
+  const double corrupted_ari = corrupted_total / kSeeds;
+  // Clean template matching works (absolute level depends on the block
+  // mix; b03 contains an LFSR word whose single-leaf cones are inherently
+  // ambiguous), and corruption must cost it most of that score.
+  EXPECT_GT(clean_ari, 0.2);
+  EXPECT_LT(corrupted_ari, 0.6 * clean_ari);
+}
+
+TEST(StructuralRecoveryTest, ReportsTiming) {
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b08");
+  const StructuralResult result = recover_words_structural(c.netlist);
+  EXPECT_GE(result.total_seconds, 0.0);
+  EXPECT_EQ(result.labels.size(), c.netlist.dffs().size());
+  EXPECT_EQ(result.num_words, metrics::num_clusters(result.labels));
+}
+
+TEST(StructuralRecoveryTest, ThresholdControlsGranularity) {
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b03");
+  MatchingOptions merge_everything;
+  merge_everything.group_threshold = 0.01;
+  MatchingOptions split_everything;
+  split_everything.group_threshold = 1.01;
+  const auto merged =
+      recover_words_structural(c.netlist, merge_everything);
+  const auto split = recover_words_structural(c.netlist, split_everything);
+  EXPECT_LT(merged.num_words, split.num_words);
+  EXPECT_EQ(split.num_words, static_cast<int>(c.netlist.dffs().size()));
+}
+
+}  // namespace
+}  // namespace rebert::structural

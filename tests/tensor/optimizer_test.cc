@@ -1,0 +1,139 @@
+#include "tensor/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace rebert::tensor {
+namespace {
+
+// Minimizes f(w) = 0.5 * ||w - target||^2; gradient = w - target.
+void fill_quadratic_grad(Parameter* p, const Tensor& target) {
+  for (std::int64_t i = 0; i < p->value.numel(); ++i)
+    p->grad[i] = p->value[i] - target[i];
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Parameter w("w", Tensor::from_vector({10, -10, 5}));
+  const Tensor target = Tensor::from_vector({1, 2, 3});
+  Sgd opt({&w});
+  for (int i = 0; i < 200; ++i) {
+    fill_quadratic_grad(&w, target);
+    opt.step(0.1);
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(w.value[i], target[i], 1e-4);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Parameter w1("w", Tensor::from_vector({10}));
+  Parameter w2("w", Tensor::from_vector({10}));
+  const Tensor target = Tensor::from_vector({0});
+  Sgd plain({&w1});
+  Sgd momentum({&w2}, 0.9);
+  for (int i = 0; i < 10; ++i) {
+    fill_quadratic_grad(&w1, target);
+    plain.step(0.01);
+    fill_quadratic_grad(&w2, target);
+    momentum.step(0.01);
+  }
+  EXPECT_LT(std::abs(w2.value[0]), std::abs(w1.value[0]));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Parameter w("w", Tensor::from_vector({5, -7}));
+  const Tensor target = Tensor::from_vector({-1, 4});
+  Adam opt({&w});
+  for (int i = 0; i < 2000; ++i) {
+    fill_quadratic_grad(&w, target);
+    opt.step(0.05);
+  }
+  EXPECT_NEAR(w.value[0], -1.0, 1e-2);
+  EXPECT_NEAR(w.value[1], 4.0, 1e-2);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Parameter w("w", Tensor::from_vector({1}));
+  Adam opt({&w});
+  w.grad[0] = 2.0f;
+  opt.step(0.01);
+  EXPECT_FLOAT_EQ(w.grad[0], 0.0f);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  Parameter w("w", Tensor::from_vector({4.0f}));
+  Adam::Options options;
+  options.weight_decay = 0.1;
+  Adam opt({&w}, options);
+  // Zero task gradient: only decay acts.
+  for (int i = 0; i < 50; ++i) opt.step(0.1);
+  EXPECT_LT(w.value[0], 4.0f);
+  EXPECT_GT(w.value[0], 0.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Parameter a("a", Tensor::from_vector({1}));
+  Parameter b("b", Tensor::from_vector({1, 2}));
+  a.grad[0] = 3.0f;
+  b.grad[1] = 4.0f;
+  Sgd opt({&a, &b});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(b.grad[1], 0.0f);
+}
+
+TEST(OptimizerTest, RejectsEmptyOrNull) {
+  EXPECT_THROW(Sgd({}), util::CheckError);
+  EXPECT_THROW(Sgd({nullptr}), util::CheckError);
+}
+
+TEST(ScheduleTest, WarmupThenLinearDecay) {
+  WarmupLinearSchedule sched(1.0, 10, 110);
+  // Warmup ramps from base/warmup to base.
+  EXPECT_NEAR(sched.lr(0), 0.1, 1e-9);
+  EXPECT_NEAR(sched.lr(4), 0.5, 1e-9);
+  EXPECT_NEAR(sched.lr(9), 1.0, 1e-9);
+  // Decay hits zero at total_steps.
+  EXPECT_NEAR(sched.lr(10), 1.0, 1e-9);
+  EXPECT_NEAR(sched.lr(60), 0.5, 1e-9);
+  EXPECT_NEAR(sched.lr(110), 0.0, 1e-9);
+  EXPECT_NEAR(sched.lr(500), 0.0, 1e-9);
+}
+
+TEST(ScheduleTest, NoDecayWhenTotalStepsZero) {
+  WarmupLinearSchedule sched(0.5, 4, 0);
+  EXPECT_NEAR(sched.lr(2), 0.375, 1e-9);
+  EXPECT_NEAR(sched.lr(1000), 0.5, 1e-9);
+}
+
+TEST(ScheduleTest, RejectsBadArgs) {
+  EXPECT_THROW(WarmupLinearSchedule(0.0, 1, 10), util::CheckError);
+  EXPECT_THROW(WarmupLinearSchedule(1.0, -1, 10), util::CheckError);
+  EXPECT_THROW(WarmupLinearSchedule(1.0, 20, 10), util::CheckError);
+}
+
+// Least-squares regression solved by Adam: y = X w*, recover w*.
+TEST(AdamTest, SolvesLeastSquares) {
+  util::Rng rng(21);
+  const int n = 64, d = 4;
+  const Tensor x = Tensor::randn({n, d}, rng);
+  Tensor w_star({d, 1});
+  for (int i = 0; i < d; ++i) w_star.at(i, 0) = static_cast<float>(i - 1.5);
+  const Tensor y = matmul(x, w_star);
+
+  Parameter w("w", Tensor({d, 1}));
+  Adam opt({&w});
+  for (int iter = 0; iter < 1500; ++iter) {
+    const Tensor pred = matmul(x, w.value);
+    Tensor residual = sub(pred, y);
+    // grad = X^T residual / n.
+    const Tensor g = scale(matmul_tn(x, residual), 1.0f / n);
+    w.grad.add_scaled(g, 1.0f);
+    opt.step(0.05);
+  }
+  for (int i = 0; i < d; ++i)
+    EXPECT_NEAR(w.value.at(i, 0), w_star.at(i, 0), 0.05) << "coef " << i;
+}
+
+}  // namespace
+}  // namespace rebert::tensor

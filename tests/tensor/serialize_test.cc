@@ -1,0 +1,113 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rebert::tensor {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTrip) {
+  util::Rng rng(1);
+  Parameter a("layer.weight", Tensor::randn({3, 4}, rng));
+  Parameter b("layer.bias", Tensor::randn({4}, rng));
+  const std::string path = temp_path("ckpt_roundtrip.bin");
+  save_parameters({&a, &b}, path);
+
+  Parameter a2("layer.weight", Tensor({3, 4}));
+  Parameter b2("layer.bias", Tensor({4}));
+  load_parameters({&a2, &b2}, path);
+  EXPECT_TRUE(allclose(a.value, a2.value));
+  EXPECT_TRUE(allclose(b.value, b2.value));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OrderIndependentByName) {
+  util::Rng rng(2);
+  Parameter a("x", Tensor::randn({2}, rng));
+  Parameter b("y", Tensor::randn({2}, rng));
+  const std::string path = temp_path("ckpt_order.bin");
+  save_parameters({&a, &b}, path);
+  Parameter a2("x", Tensor({2})), b2("y", Tensor({2}));
+  load_parameters({&b2, &a2}, path);  // reversed order
+  EXPECT_TRUE(allclose(a.value, a2.value));
+  EXPECT_TRUE(allclose(b.value, b2.value));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  util::Rng rng(3);
+  Parameter a("w", Tensor::randn({2, 2}, rng));
+  const std::string path = temp_path("ckpt_shape.bin");
+  save_parameters({&a}, path);
+  Parameter wrong("w", Tensor({4}));
+  EXPECT_THROW(load_parameters({&wrong}, path), util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, UnknownNameRejected) {
+  util::Rng rng(4);
+  Parameter a("w", Tensor::randn({2}, rng));
+  const std::string path = temp_path("ckpt_name.bin");
+  save_parameters({&a}, path);
+  Parameter other("different", Tensor({2}));
+  EXPECT_THROW(load_parameters({&other}, path), util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, IncompleteModelCoverageRejected) {
+  util::Rng rng(5);
+  Parameter a("w", Tensor::randn({2}, rng));
+  const std::string path = temp_path("ckpt_partial.bin");
+  save_parameters({&a}, path);
+  Parameter a2("w", Tensor({2})), extra("extra", Tensor({1}));
+  EXPECT_THROW(load_parameters({&a2, &extra}, path), util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptFileRejected) {
+  const std::string path = temp_path("ckpt_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  Parameter a("w", Tensor({2}));
+  EXPECT_THROW(load_parameters({&a}, path), util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileRejected) {
+  Parameter a("w", Tensor({2}));
+  EXPECT_THROW(load_parameters({&a}, temp_path("does_not_exist.bin")),
+               util::CheckError);
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  util::Rng rng(6);
+  Parameter a("w", Tensor::randn({16, 16}, rng));
+  const std::string path = temp_path("ckpt_trunc.bin");
+  save_parameters({&a}, path);
+  // Truncate to half size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  Parameter a2("w", Tensor({16, 16}));
+  EXPECT_THROW(load_parameters({&a2}, path), util::CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rebert::tensor

@@ -1,0 +1,87 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace rebert::util {
+namespace {
+
+FlagParser make(std::initializer_list<std::string> args) {
+  return FlagParser(std::vector<std::string>(args));
+}
+
+TEST(FlagsTest, PositionalAndFlags) {
+  // A non-flag token after "--name" is greedily taken as its value;
+  // positionals must precede flags or follow another flag's value.
+  const FlagParser flags =
+      make({"recover", "pos2", "--in", "c.bench", "--report"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "recover");
+  EXPECT_EQ(flags.positional()[1], "pos2");
+  EXPECT_EQ(flags.get("in", ""), "c.bench");
+  EXPECT_TRUE(flags.has("report"));
+  EXPECT_TRUE(flags.get_bool("report", false));
+  EXPECT_FALSE(flags.has("missing"));
+  // Greedy consumption: "--report extra" makes "extra" the value.
+  const FlagParser greedy = make({"--report", "extra"});
+  EXPECT_EQ(greedy.get("report", ""), "extra");
+  EXPECT_TRUE(greedy.positional().empty());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const FlagParser flags = make({"--scale=0.5", "--name=x=y"});
+  EXPECT_EQ(flags.get("scale", ""), "0.5");
+  EXPECT_EQ(flags.get("name", ""), "x=y");  // only first '=' splits
+}
+
+TEST(FlagsTest, BareBooleanBeforeAnotherFlag) {
+  const FlagParser flags = make({"--verbose", "--out", "f"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get("out", ""), "f");
+}
+
+TEST(FlagsTest, TypedAccessors) {
+  const FlagParser flags =
+      make({"--epochs", "5", "--scale", "0.25", "--flag", "no"});
+  EXPECT_EQ(flags.get_int("epochs", 1), 5);
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 1.0), 0.25);
+  EXPECT_FALSE(flags.get_bool("flag", true));
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(flags.get_bool("missing", true));
+}
+
+TEST(FlagsTest, NegativeNumbersAreValues) {
+  const FlagParser flags = make({"--offset", "-3"});
+  EXPECT_EQ(flags.get_int("offset", 0), -3);
+}
+
+TEST(FlagsTest, MalformedNumbersThrow) {
+  const FlagParser flags = make({"--epochs", "five", "--scale", "x"});
+  EXPECT_THROW(flags.get_int("epochs", 1), CheckError);
+  EXPECT_THROW(flags.get_double("scale", 1.0), CheckError);
+}
+
+TEST(FlagsTest, UnknownFlagDetection) {
+  const FlagParser flags = make({"--in", "f", "--typo", "v"});
+  const auto unknown = flags.unknown_flags({"in", "out"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+  EXPECT_TRUE(make({"--in", "f"}).unknown_flags({"in"}).empty());
+}
+
+TEST(FlagsTest, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "cmd", "--x", "1"};
+  const FlagParser flags(4, argv);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "cmd");
+  EXPECT_EQ(flags.get_int("x", 0), 1);
+}
+
+TEST(FlagsTest, BareDoubleDashRejected) {
+  EXPECT_THROW(make({"--"}), CheckError);
+}
+
+}  // namespace
+}  // namespace rebert::util

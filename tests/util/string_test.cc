@@ -1,0 +1,60 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace rebert::util {
+namespace {
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t x y \n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWsTest, DropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+  EXPECT_EQ(split(join(parts, "|"), '|'), parts);
+}
+
+TEST(PrefixSuffixTest, Matches) {
+  EXPECT_TRUE(starts_with("NAND(a,b)", "NAND"));
+  EXPECT_FALSE(starts_with("NAND", "NAND("));
+  EXPECT_TRUE(ends_with("file.bench", ".bench"));
+  EXPECT_FALSE(ends_with("bench", ".bench"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_TRUE(ends_with("abc", ""));
+}
+
+TEST(CaseTest, Converts) {
+  EXPECT_EQ(to_lower("NaNd"), "nand");
+  EXPECT_EQ(to_upper("dff_3"), "DFF_3");
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(format_double(0.12345, 3), "0.123");
+  EXPECT_EQ(format_double(-1.0, 2), "-1.00");
+  EXPECT_EQ(format_double(2.5, 0), "2");  // round-to-even
+  EXPECT_EQ(format_double(1234.5678, 1), "1234.6");
+}
+
+}  // namespace
+}  // namespace rebert::util

@@ -1,0 +1,82 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace rebert::util {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "ari"});
+  t.add_row({"b03", "0.653"});
+  t.add_row({"b18-long", "0.1"});
+  const std::string s = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // All lines equal width (alignment).
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned line: " << line;
+  }
+}
+
+TEST(TextTableTest, RejectsWrongArity) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_THROW(t.add_row({"1", "2"}), CheckError);
+  EXPECT_THROW(t.add_row({"1", "2", "3", "4"}), CheckError);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTableTest, NumericRowFormatsPrecision) {
+  TextTable t({"name", "x", "y"});
+  t.add_row_numeric("r", {0.12345, 2.0}, 3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("0.123"), std::string::npos);
+  EXPECT_NE(s.find("2.000"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/rebert_csv_test.csv";
+  {
+    CsvWriter csv(path, {"bench", "ari"});
+    csv.add_row({"b03", "0.653"});
+    csv.add_row_numeric("b04", {0.5}, 3);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "bench,ari");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "b03,0.653");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "b04,0.500");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, RejectsWrongWidth) {
+  const std::string path = ::testing::TempDir() + "/rebert_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rebert::util
