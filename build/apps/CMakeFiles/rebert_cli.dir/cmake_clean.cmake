@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_cli.dir/rebert_cli.cc.o"
+  "CMakeFiles/rebert_cli.dir/rebert_cli.cc.o.d"
+  "rebert_cli"
+  "rebert_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_depth"
+  "../bench/ablation_depth.pdb"
+  "CMakeFiles/ablation_depth.dir/ablation_depth.cc.o"
+  "CMakeFiles/ablation_depth.dir/ablation_depth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_optimization"
+  "../bench/ablation_optimization.pdb"
+  "CMakeFiles/ablation_optimization.dir/ablation_optimization.cc.o"
+  "CMakeFiles/ablation_optimization.dir/ablation_optimization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_ari"
+  "../bench/table2_ari.pdb"
+  "CMakeFiles/table2_ari.dir/table2_ari.cc.o"
+  "CMakeFiles/table2_ari.dir/table2_ari.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ari.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

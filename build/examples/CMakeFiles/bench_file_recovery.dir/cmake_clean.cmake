@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_file_recovery.dir/bench_file_recovery.cpp.o"
+  "CMakeFiles/bench_file_recovery.dir/bench_file_recovery.cpp.o.d"
+  "bench_file_recovery"
+  "bench_file_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_audit.dir/netlist_audit.cpp.o"
+  "CMakeFiles/netlist_audit.dir/netlist_audit.cpp.o.d"
+  "netlist_audit"
+  "netlist_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokenize_demo.dir/tokenize_demo.cpp.o"
+  "CMakeFiles/tokenize_demo.dir/tokenize_demo.cpp.o.d"
+  "tokenize_demo"
+  "tokenize_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokenize_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

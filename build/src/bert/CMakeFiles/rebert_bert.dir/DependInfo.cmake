@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bert/attention.cc" "src/bert/CMakeFiles/rebert_bert.dir/attention.cc.o" "gcc" "src/bert/CMakeFiles/rebert_bert.dir/attention.cc.o.d"
+  "/root/repo/src/bert/config.cc" "src/bert/CMakeFiles/rebert_bert.dir/config.cc.o" "gcc" "src/bert/CMakeFiles/rebert_bert.dir/config.cc.o.d"
+  "/root/repo/src/bert/embedding.cc" "src/bert/CMakeFiles/rebert_bert.dir/embedding.cc.o" "gcc" "src/bert/CMakeFiles/rebert_bert.dir/embedding.cc.o.d"
+  "/root/repo/src/bert/encoder_layer.cc" "src/bert/CMakeFiles/rebert_bert.dir/encoder_layer.cc.o" "gcc" "src/bert/CMakeFiles/rebert_bert.dir/encoder_layer.cc.o.d"
+  "/root/repo/src/bert/model.cc" "src/bert/CMakeFiles/rebert_bert.dir/model.cc.o" "gcc" "src/bert/CMakeFiles/rebert_bert.dir/model.cc.o.d"
+  "/root/repo/src/bert/trainer.cc" "src/bert/CMakeFiles/rebert_bert.dir/trainer.cc.o" "gcc" "src/bert/CMakeFiles/rebert_bert.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rebert_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rebert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_bert.dir/attention.cc.o"
+  "CMakeFiles/rebert_bert.dir/attention.cc.o.d"
+  "CMakeFiles/rebert_bert.dir/config.cc.o"
+  "CMakeFiles/rebert_bert.dir/config.cc.o.d"
+  "CMakeFiles/rebert_bert.dir/embedding.cc.o"
+  "CMakeFiles/rebert_bert.dir/embedding.cc.o.d"
+  "CMakeFiles/rebert_bert.dir/encoder_layer.cc.o"
+  "CMakeFiles/rebert_bert.dir/encoder_layer.cc.o.d"
+  "CMakeFiles/rebert_bert.dir/model.cc.o"
+  "CMakeFiles/rebert_bert.dir/model.cc.o.d"
+  "CMakeFiles/rebert_bert.dir/trainer.cc.o"
+  "CMakeFiles/rebert_bert.dir/trainer.cc.o.d"
+  "librebert_bert.a"
+  "librebert_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

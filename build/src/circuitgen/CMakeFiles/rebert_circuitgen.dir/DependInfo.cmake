@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuitgen/blocks.cc" "src/circuitgen/CMakeFiles/rebert_circuitgen.dir/blocks.cc.o" "gcc" "src/circuitgen/CMakeFiles/rebert_circuitgen.dir/blocks.cc.o.d"
+  "/root/repo/src/circuitgen/suite.cc" "src/circuitgen/CMakeFiles/rebert_circuitgen.dir/suite.cc.o" "gcc" "src/circuitgen/CMakeFiles/rebert_circuitgen.dir/suite.cc.o.d"
+  "/root/repo/src/circuitgen/trojan.cc" "src/circuitgen/CMakeFiles/rebert_circuitgen.dir/trojan.cc.o" "gcc" "src/circuitgen/CMakeFiles/rebert_circuitgen.dir/trojan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nl/CMakeFiles/rebert_nl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rebert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_circuitgen.dir/blocks.cc.o"
+  "CMakeFiles/rebert_circuitgen.dir/blocks.cc.o.d"
+  "CMakeFiles/rebert_circuitgen.dir/suite.cc.o"
+  "CMakeFiles/rebert_circuitgen.dir/suite.cc.o.d"
+  "CMakeFiles/rebert_circuitgen.dir/trojan.cc.o"
+  "CMakeFiles/rebert_circuitgen.dir/trojan.cc.o.d"
+  "librebert_circuitgen.a"
+  "librebert_circuitgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_circuitgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_metrics.dir/clustering.cc.o"
+  "CMakeFiles/rebert_metrics.dir/clustering.cc.o.d"
+  "librebert_metrics.a"
+  "librebert_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nl/cone.cc" "src/nl/CMakeFiles/rebert_nl.dir/cone.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/cone.cc.o.d"
+  "/root/repo/src/nl/corruption.cc" "src/nl/CMakeFiles/rebert_nl.dir/corruption.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/corruption.cc.o.d"
+  "/root/repo/src/nl/decompose.cc" "src/nl/CMakeFiles/rebert_nl.dir/decompose.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/decompose.cc.o.d"
+  "/root/repo/src/nl/export_dot.cc" "src/nl/CMakeFiles/rebert_nl.dir/export_dot.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/export_dot.cc.o.d"
+  "/root/repo/src/nl/gate.cc" "src/nl/CMakeFiles/rebert_nl.dir/gate.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/gate.cc.o.d"
+  "/root/repo/src/nl/netlist.cc" "src/nl/CMakeFiles/rebert_nl.dir/netlist.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/netlist.cc.o.d"
+  "/root/repo/src/nl/opt.cc" "src/nl/CMakeFiles/rebert_nl.dir/opt.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/opt.cc.o.d"
+  "/root/repo/src/nl/parser.cc" "src/nl/CMakeFiles/rebert_nl.dir/parser.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/parser.cc.o.d"
+  "/root/repo/src/nl/simulate.cc" "src/nl/CMakeFiles/rebert_nl.dir/simulate.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/simulate.cc.o.d"
+  "/root/repo/src/nl/verilog.cc" "src/nl/CMakeFiles/rebert_nl.dir/verilog.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/verilog.cc.o.d"
+  "/root/repo/src/nl/words.cc" "src/nl/CMakeFiles/rebert_nl.dir/words.cc.o" "gcc" "src/nl/CMakeFiles/rebert_nl.dir/words.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rebert_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

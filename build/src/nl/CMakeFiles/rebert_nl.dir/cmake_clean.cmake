@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_nl.dir/cone.cc.o"
+  "CMakeFiles/rebert_nl.dir/cone.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/corruption.cc.o"
+  "CMakeFiles/rebert_nl.dir/corruption.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/decompose.cc.o"
+  "CMakeFiles/rebert_nl.dir/decompose.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/export_dot.cc.o"
+  "CMakeFiles/rebert_nl.dir/export_dot.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/gate.cc.o"
+  "CMakeFiles/rebert_nl.dir/gate.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/netlist.cc.o"
+  "CMakeFiles/rebert_nl.dir/netlist.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/opt.cc.o"
+  "CMakeFiles/rebert_nl.dir/opt.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/parser.cc.o"
+  "CMakeFiles/rebert_nl.dir/parser.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/simulate.cc.o"
+  "CMakeFiles/rebert_nl.dir/simulate.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/verilog.cc.o"
+  "CMakeFiles/rebert_nl.dir/verilog.cc.o.d"
+  "CMakeFiles/rebert_nl.dir/words.cc.o"
+  "CMakeFiles/rebert_nl.dir/words.cc.o.d"
+  "librebert_nl.a"
+  "librebert_nl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_nl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

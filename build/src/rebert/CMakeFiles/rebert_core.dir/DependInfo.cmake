@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rebert/dataset.cc" "src/rebert/CMakeFiles/rebert_core.dir/dataset.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/dataset.cc.o.d"
+  "/root/repo/src/rebert/filter.cc" "src/rebert/CMakeFiles/rebert_core.dir/filter.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/filter.cc.o.d"
+  "/root/repo/src/rebert/grouping.cc" "src/rebert/CMakeFiles/rebert_core.dir/grouping.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/grouping.cc.o.d"
+  "/root/repo/src/rebert/pipeline.cc" "src/rebert/CMakeFiles/rebert_core.dir/pipeline.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/rebert/prediction_cache.cc" "src/rebert/CMakeFiles/rebert_core.dir/prediction_cache.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/prediction_cache.cc.o.d"
+  "/root/repo/src/rebert/report.cc" "src/rebert/CMakeFiles/rebert_core.dir/report.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/report.cc.o.d"
+  "/root/repo/src/rebert/scoring.cc" "src/rebert/CMakeFiles/rebert_core.dir/scoring.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/scoring.cc.o.d"
+  "/root/repo/src/rebert/tokenizer.cc" "src/rebert/CMakeFiles/rebert_core.dir/tokenizer.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/tokenizer.cc.o.d"
+  "/root/repo/src/rebert/tree_code.cc" "src/rebert/CMakeFiles/rebert_core.dir/tree_code.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/tree_code.cc.o.d"
+  "/root/repo/src/rebert/vocab.cc" "src/rebert/CMakeFiles/rebert_core.dir/vocab.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/vocab.cc.o.d"
+  "/root/repo/src/rebert/word_typing.cc" "src/rebert/CMakeFiles/rebert_core.dir/word_typing.cc.o" "gcc" "src/rebert/CMakeFiles/rebert_core.dir/word_typing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bert/CMakeFiles/rebert_bert.dir/DependInfo.cmake"
+  "/root/repo/build/src/nl/CMakeFiles/rebert_nl.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rebert_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rebert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rebert_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_core.dir/dataset.cc.o"
+  "CMakeFiles/rebert_core.dir/dataset.cc.o.d"
+  "CMakeFiles/rebert_core.dir/filter.cc.o"
+  "CMakeFiles/rebert_core.dir/filter.cc.o.d"
+  "CMakeFiles/rebert_core.dir/grouping.cc.o"
+  "CMakeFiles/rebert_core.dir/grouping.cc.o.d"
+  "CMakeFiles/rebert_core.dir/pipeline.cc.o"
+  "CMakeFiles/rebert_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/rebert_core.dir/prediction_cache.cc.o"
+  "CMakeFiles/rebert_core.dir/prediction_cache.cc.o.d"
+  "CMakeFiles/rebert_core.dir/report.cc.o"
+  "CMakeFiles/rebert_core.dir/report.cc.o.d"
+  "CMakeFiles/rebert_core.dir/scoring.cc.o"
+  "CMakeFiles/rebert_core.dir/scoring.cc.o.d"
+  "CMakeFiles/rebert_core.dir/tokenizer.cc.o"
+  "CMakeFiles/rebert_core.dir/tokenizer.cc.o.d"
+  "CMakeFiles/rebert_core.dir/tree_code.cc.o"
+  "CMakeFiles/rebert_core.dir/tree_code.cc.o.d"
+  "CMakeFiles/rebert_core.dir/vocab.cc.o"
+  "CMakeFiles/rebert_core.dir/vocab.cc.o.d"
+  "CMakeFiles/rebert_core.dir/word_typing.cc.o"
+  "CMakeFiles/rebert_core.dir/word_typing.cc.o.d"
+  "librebert_core.a"
+  "librebert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librebert_core.a"
+)

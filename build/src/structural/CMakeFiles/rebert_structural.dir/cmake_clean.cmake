@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_structural.dir/matching.cc.o"
+  "CMakeFiles/rebert_structural.dir/matching.cc.o.d"
+  "librebert_structural.a"
+  "librebert_structural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

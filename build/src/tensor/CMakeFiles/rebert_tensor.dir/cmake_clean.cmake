@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/rebert_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/rebert_tensor.dir/layers.cc.o"
+  "CMakeFiles/rebert_tensor.dir/layers.cc.o.d"
+  "CMakeFiles/rebert_tensor.dir/ops.cc.o"
+  "CMakeFiles/rebert_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/rebert_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/rebert_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/rebert_tensor.dir/serialize.cc.o"
+  "CMakeFiles/rebert_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/rebert_tensor.dir/tensor.cc.o"
+  "CMakeFiles/rebert_tensor.dir/tensor.cc.o.d"
+  "librebert_tensor.a"
+  "librebert_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_util.dir/csv.cc.o"
+  "CMakeFiles/rebert_util.dir/csv.cc.o.d"
+  "CMakeFiles/rebert_util.dir/env.cc.o"
+  "CMakeFiles/rebert_util.dir/env.cc.o.d"
+  "CMakeFiles/rebert_util.dir/flags.cc.o"
+  "CMakeFiles/rebert_util.dir/flags.cc.o.d"
+  "CMakeFiles/rebert_util.dir/logging.cc.o"
+  "CMakeFiles/rebert_util.dir/logging.cc.o.d"
+  "CMakeFiles/rebert_util.dir/rng.cc.o"
+  "CMakeFiles/rebert_util.dir/rng.cc.o.d"
+  "CMakeFiles/rebert_util.dir/string_utils.cc.o"
+  "CMakeFiles/rebert_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/rebert_util.dir/table.cc.o"
+  "CMakeFiles/rebert_util.dir/table.cc.o.d"
+  "CMakeFiles/rebert_util.dir/timer.cc.o"
+  "CMakeFiles/rebert_util.dir/timer.cc.o.d"
+  "librebert_util.a"
+  "librebert_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_attention_test.dir/bert/attention_test.cc.o"
+  "CMakeFiles/bert_attention_test.dir/bert/attention_test.cc.o.d"
+  "bert_attention_test"
+  "bert_attention_test.pdb"
+  "bert_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

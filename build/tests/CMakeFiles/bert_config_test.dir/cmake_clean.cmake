@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_config_test.dir/bert/config_test.cc.o"
+  "CMakeFiles/bert_config_test.dir/bert/config_test.cc.o.d"
+  "bert_config_test"
+  "bert_config_test.pdb"
+  "bert_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_embedding_test.dir/bert/embedding_test.cc.o"
+  "CMakeFiles/bert_embedding_test.dir/bert/embedding_test.cc.o.d"
+  "bert_embedding_test"
+  "bert_embedding_test.pdb"
+  "bert_embedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

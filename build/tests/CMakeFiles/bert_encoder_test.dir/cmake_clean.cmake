@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_encoder_test.dir/bert/encoder_test.cc.o"
+  "CMakeFiles/bert_encoder_test.dir/bert/encoder_test.cc.o.d"
+  "bert_encoder_test"
+  "bert_encoder_test.pdb"
+  "bert_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_masking_test.dir/bert/masking_test.cc.o"
+  "CMakeFiles/bert_masking_test.dir/bert/masking_test.cc.o.d"
+  "bert_masking_test"
+  "bert_masking_test.pdb"
+  "bert_masking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_masking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

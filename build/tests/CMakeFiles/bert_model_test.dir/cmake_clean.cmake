@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_model_test.dir/bert/model_test.cc.o"
+  "CMakeFiles/bert_model_test.dir/bert/model_test.cc.o.d"
+  "bert_model_test"
+  "bert_model_test.pdb"
+  "bert_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_trainer_test.dir/bert/trainer_test.cc.o"
+  "CMakeFiles/bert_trainer_test.dir/bert/trainer_test.cc.o.d"
+  "bert_trainer_test"
+  "bert_trainer_test.pdb"
+  "bert_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

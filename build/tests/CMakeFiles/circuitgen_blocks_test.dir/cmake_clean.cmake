@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuitgen_blocks_test.dir/circuitgen/blocks_test.cc.o"
+  "CMakeFiles/circuitgen_blocks_test.dir/circuitgen/blocks_test.cc.o.d"
+  "circuitgen_blocks_test"
+  "circuitgen_blocks_test.pdb"
+  "circuitgen_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuitgen_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuitgen_suite_test.dir/circuitgen/suite_test.cc.o"
+  "CMakeFiles/circuitgen_suite_test.dir/circuitgen/suite_test.cc.o.d"
+  "circuitgen_suite_test"
+  "circuitgen_suite_test.pdb"
+  "circuitgen_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuitgen_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuitgen_trojan_test.dir/circuitgen/trojan_test.cc.o"
+  "CMakeFiles/circuitgen_trojan_test.dir/circuitgen/trojan_test.cc.o.d"
+  "circuitgen_trojan_test"
+  "circuitgen_trojan_test.pdb"
+  "circuitgen_trojan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuitgen_trojan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

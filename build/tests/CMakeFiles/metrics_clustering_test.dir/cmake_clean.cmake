@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_clustering_test.dir/metrics/clustering_test.cc.o"
+  "CMakeFiles/metrics_clustering_test.dir/metrics/clustering_test.cc.o.d"
+  "metrics_clustering_test"
+  "metrics_clustering_test.pdb"
+  "metrics_clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

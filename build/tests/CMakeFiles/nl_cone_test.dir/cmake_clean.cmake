@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_cone_test.dir/nl/cone_test.cc.o"
+  "CMakeFiles/nl_cone_test.dir/nl/cone_test.cc.o.d"
+  "nl_cone_test"
+  "nl_cone_test.pdb"
+  "nl_cone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_cone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

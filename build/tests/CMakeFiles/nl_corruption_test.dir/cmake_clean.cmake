@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_corruption_test.dir/nl/corruption_test.cc.o"
+  "CMakeFiles/nl_corruption_test.dir/nl/corruption_test.cc.o.d"
+  "nl_corruption_test"
+  "nl_corruption_test.pdb"
+  "nl_corruption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

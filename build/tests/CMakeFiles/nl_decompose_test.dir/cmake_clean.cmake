@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_decompose_test.dir/nl/decompose_test.cc.o"
+  "CMakeFiles/nl_decompose_test.dir/nl/decompose_test.cc.o.d"
+  "nl_decompose_test"
+  "nl_decompose_test.pdb"
+  "nl_decompose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_decompose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_export_dot_test.dir/nl/export_dot_test.cc.o"
+  "CMakeFiles/nl_export_dot_test.dir/nl/export_dot_test.cc.o.d"
+  "nl_export_dot_test"
+  "nl_export_dot_test.pdb"
+  "nl_export_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_export_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

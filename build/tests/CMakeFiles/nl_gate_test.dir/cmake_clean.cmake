@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_gate_test.dir/nl/gate_test.cc.o"
+  "CMakeFiles/nl_gate_test.dir/nl/gate_test.cc.o.d"
+  "nl_gate_test"
+  "nl_gate_test.pdb"
+  "nl_gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

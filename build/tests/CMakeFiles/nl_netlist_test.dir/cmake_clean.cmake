@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_netlist_test.dir/nl/netlist_test.cc.o"
+  "CMakeFiles/nl_netlist_test.dir/nl/netlist_test.cc.o.d"
+  "nl_netlist_test"
+  "nl_netlist_test.pdb"
+  "nl_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_opt_test.dir/nl/opt_test.cc.o"
+  "CMakeFiles/nl_opt_test.dir/nl/opt_test.cc.o.d"
+  "nl_opt_test"
+  "nl_opt_test.pdb"
+  "nl_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_parser_test.dir/nl/parser_test.cc.o"
+  "CMakeFiles/nl_parser_test.dir/nl/parser_test.cc.o.d"
+  "nl_parser_test"
+  "nl_parser_test.pdb"
+  "nl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

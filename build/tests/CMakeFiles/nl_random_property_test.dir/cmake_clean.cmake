@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_random_property_test.dir/nl/random_property_test.cc.o"
+  "CMakeFiles/nl_random_property_test.dir/nl/random_property_test.cc.o.d"
+  "nl_random_property_test"
+  "nl_random_property_test.pdb"
+  "nl_random_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_random_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_simulate_test.dir/nl/simulate_test.cc.o"
+  "CMakeFiles/nl_simulate_test.dir/nl/simulate_test.cc.o.d"
+  "nl_simulate_test"
+  "nl_simulate_test.pdb"
+  "nl_simulate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_simulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

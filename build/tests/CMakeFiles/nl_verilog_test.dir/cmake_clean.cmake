@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_verilog_test.dir/nl/verilog_test.cc.o"
+  "CMakeFiles/nl_verilog_test.dir/nl/verilog_test.cc.o.d"
+  "nl_verilog_test"
+  "nl_verilog_test.pdb"
+  "nl_verilog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_verilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

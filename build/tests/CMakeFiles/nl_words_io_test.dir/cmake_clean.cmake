@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_words_io_test.dir/nl/words_io_test.cc.o"
+  "CMakeFiles/nl_words_io_test.dir/nl/words_io_test.cc.o.d"
+  "nl_words_io_test"
+  "nl_words_io_test.pdb"
+  "nl_words_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_words_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

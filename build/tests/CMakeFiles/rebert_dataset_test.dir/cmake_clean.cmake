@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_dataset_test.dir/rebert/dataset_test.cc.o"
+  "CMakeFiles/rebert_dataset_test.dir/rebert/dataset_test.cc.o.d"
+  "rebert_dataset_test"
+  "rebert_dataset_test.pdb"
+  "rebert_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_filter_test.dir/rebert/filter_test.cc.o"
+  "CMakeFiles/rebert_filter_test.dir/rebert/filter_test.cc.o.d"
+  "rebert_filter_test"
+  "rebert_filter_test.pdb"
+  "rebert_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_grouping_test.dir/rebert/grouping_test.cc.o"
+  "CMakeFiles/rebert_grouping_test.dir/rebert/grouping_test.cc.o.d"
+  "rebert_grouping_test"
+  "rebert_grouping_test.pdb"
+  "rebert_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_pipeline_test.dir/rebert/pipeline_test.cc.o"
+  "CMakeFiles/rebert_pipeline_test.dir/rebert/pipeline_test.cc.o.d"
+  "rebert_pipeline_test"
+  "rebert_pipeline_test.pdb"
+  "rebert_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_prediction_cache_test.dir/rebert/prediction_cache_test.cc.o"
+  "CMakeFiles/rebert_prediction_cache_test.dir/rebert/prediction_cache_test.cc.o.d"
+  "rebert_prediction_cache_test"
+  "rebert_prediction_cache_test.pdb"
+  "rebert_prediction_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_prediction_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

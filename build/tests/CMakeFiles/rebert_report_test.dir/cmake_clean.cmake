@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_report_test.dir/rebert/report_test.cc.o"
+  "CMakeFiles/rebert_report_test.dir/rebert/report_test.cc.o.d"
+  "rebert_report_test"
+  "rebert_report_test.pdb"
+  "rebert_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

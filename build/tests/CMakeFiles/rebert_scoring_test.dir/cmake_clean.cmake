@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_scoring_test.dir/rebert/scoring_test.cc.o"
+  "CMakeFiles/rebert_scoring_test.dir/rebert/scoring_test.cc.o.d"
+  "rebert_scoring_test"
+  "rebert_scoring_test.pdb"
+  "rebert_scoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_tokenizer_test.dir/rebert/tokenizer_test.cc.o"
+  "CMakeFiles/rebert_tokenizer_test.dir/rebert/tokenizer_test.cc.o.d"
+  "rebert_tokenizer_test"
+  "rebert_tokenizer_test.pdb"
+  "rebert_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_tree_code_test.dir/rebert/tree_code_test.cc.o"
+  "CMakeFiles/rebert_tree_code_test.dir/rebert/tree_code_test.cc.o.d"
+  "rebert_tree_code_test"
+  "rebert_tree_code_test.pdb"
+  "rebert_tree_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_tree_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

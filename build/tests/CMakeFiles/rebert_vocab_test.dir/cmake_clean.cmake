@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_vocab_test.dir/rebert/vocab_test.cc.o"
+  "CMakeFiles/rebert_vocab_test.dir/rebert/vocab_test.cc.o.d"
+  "rebert_vocab_test"
+  "rebert_vocab_test.pdb"
+  "rebert_vocab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_vocab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

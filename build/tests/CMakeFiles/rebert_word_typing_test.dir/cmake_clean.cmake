@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebert_word_typing_test.dir/rebert/word_typing_test.cc.o"
+  "CMakeFiles/rebert_word_typing_test.dir/rebert/word_typing_test.cc.o.d"
+  "rebert_word_typing_test"
+  "rebert_word_typing_test.pdb"
+  "rebert_word_typing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebert_word_typing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_matching_test.dir/structural/matching_test.cc.o"
+  "CMakeFiles/structural_matching_test.dir/structural/matching_test.cc.o.d"
+  "structural_matching_test"
+  "structural_matching_test.pdb"
+  "structural_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

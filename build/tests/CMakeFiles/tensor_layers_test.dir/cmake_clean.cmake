@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_layers_test.dir/tensor/layers_test.cc.o"
+  "CMakeFiles/tensor_layers_test.dir/tensor/layers_test.cc.o.d"
+  "tensor_layers_test"
+  "tensor_layers_test.pdb"
+  "tensor_layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

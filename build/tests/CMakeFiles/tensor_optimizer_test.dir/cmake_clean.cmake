@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_optimizer_test.dir/tensor/optimizer_test.cc.o"
+  "CMakeFiles/tensor_optimizer_test.dir/tensor/optimizer_test.cc.o.d"
+  "tensor_optimizer_test"
+  "tensor_optimizer_test.pdb"
+  "tensor_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

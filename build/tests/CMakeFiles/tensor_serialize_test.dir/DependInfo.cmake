@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/serialize_test.cc" "tests/CMakeFiles/tensor_serialize_test.dir/tensor/serialize_test.cc.o" "gcc" "tests/CMakeFiles/tensor_serialize_test.dir/tensor/serialize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rebert_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nl/CMakeFiles/rebert_nl.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rebert_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuitgen/CMakeFiles/rebert_circuitgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rebert_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/bert/CMakeFiles/rebert_bert.dir/DependInfo.cmake"
+  "/root/repo/build/src/structural/CMakeFiles/rebert_structural.dir/DependInfo.cmake"
+  "/root/repo/build/src/rebert/CMakeFiles/rebert_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
