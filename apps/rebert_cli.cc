@@ -12,9 +12,15 @@
 //                       [--structural] [--report]
 //   rebert_cli analyze  --in c.bench --bits q0,q1,q2
 //   rebert_cli dot      --in c.bench --out c.dot [--words truth]
+//   rebert_cli lint     --in c.bench [--words truth] [--format text|csv]
+//                       [--out report.csv] [--fail-on-warn]
 //
 // File formats are detected by extension: .v / .verilog parse as structural
 // Verilog, everything else as ISCAS-89 .bench.
+//
+// `lint` reports typed diagnostics (NL001..., see src/nl/lint.h) instead of
+// stopping at the first defect; exit status is 0 when no error-severity
+// diagnostic fired (add --fail-on-warn to also fail on warnings).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -24,6 +30,7 @@
 #include "nl/corruption.h"
 #include "nl/decompose.h"
 #include "nl/export_dot.h"
+#include "nl/lint.h"
 #include "nl/opt.h"
 #include "nl/parser.h"
 #include "nl/verilog.h"
@@ -41,7 +48,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: rebert_cli <gen|stats|convert|corrupt|optimize|train|"
-               "recover|analyze> [flags]\n"
+               "recover|analyze|dot|lint> [flags]\n"
                "see the header of apps/rebert_cli.cc for the full flag "
                "reference\n");
   return 2;
@@ -278,6 +285,67 @@ int cmd_dot(const util::FlagParser& flags) {
   return 0;
 }
 
+int cmd_lint(const util::FlagParser& flags) {
+  const std::string in_path = require_flag(flags, "in");
+
+  nl::LintOptions options;
+  nl::WordMap words;
+  const std::string words_path = flags.get("words", "");
+  if (!words_path.empty()) {
+    words = nl::WordMap::load(words_path);
+    options.words = &words;
+  }
+
+  nl::LintReport report;
+  if (is_verilog_path(in_path)) {
+    // Verilog has no tolerant source-level pass; parse (reporting a parse
+    // failure as a diagnostic) and lint the graph.
+    try {
+      const nl::Netlist netlist = nl::parse_verilog_file(in_path);
+      report = nl::lint_netlist(netlist, options);
+    } catch (const std::exception& e) {
+      nl::LintDiagnostic d;
+      d.code = nl::LintCode::kParseFailure;
+      d.message = e.what();
+      report.netlist_name = in_path;
+      report.add(std::move(d));
+    }
+  } else {
+    report = nl::lint_bench_file(in_path, options);
+  }
+
+  const std::string format = flags.get("format", "text");
+  std::string rendered;
+  if (format == "csv") {
+    rendered = report.to_csv();
+  } else if (format == "text") {
+    rendered = report.to_text();
+  } else {
+    std::fprintf(stderr, "unknown --format '%s' (text|csv)\n",
+                 format.c_str());
+    return 2;
+  }
+
+  const std::string out_path = flags.get("out", "");
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << rendered;
+    std::printf("wrote %s (%zu diagnostic(s))\n", out_path.c_str(),
+                report.diagnostics.size());
+  }
+
+  const bool failed = report.num_errors() > 0 ||
+                      (flags.get_bool("fail-on-warn", false) &&
+                       report.num_warnings() > 0);
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -294,6 +362,7 @@ int main(int argc, char** argv) {
     if (command == "recover") return cmd_recover(flags);
     if (command == "analyze") return cmd_analyze(flags);
     if (command == "dot") return cmd_dot(flags);
+    if (command == "lint") return cmd_lint(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

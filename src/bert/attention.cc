@@ -9,7 +9,9 @@ namespace rebert::bert {
 using tensor::Tensor;
 
 Tensor slice_cols(const Tensor& x, int c0, int c1) {
-  REBERT_CHECK(x.rank() == 2 && c0 >= 0 && c1 <= x.dim(1) && c0 < c1);
+  // Head slicing bounds follow from H = heads * head_dim, proven at model
+  // build time (check_model_graph); per-call cost matters (heads x layers).
+  REBERT_DCHECK(x.rank() == 2 && c0 >= 0 && c1 <= x.dim(1) && c0 < c1);
   Tensor out({x.dim(0), c1 - c0});
   for (int i = 0; i < x.dim(0); ++i)
     for (int j = c0; j < c1; ++j) out.at(i, j - c0) = x.at(i, j);
@@ -17,9 +19,9 @@ Tensor slice_cols(const Tensor& x, int c0, int c1) {
 }
 
 void add_into_cols(Tensor* dst, const Tensor& src, int c0) {
-  REBERT_CHECK(dst && dst->rank() == 2 && src.rank() == 2);
-  REBERT_CHECK(dst->dim(0) == src.dim(0) &&
-               c0 + src.dim(1) <= dst->dim(1));
+  REBERT_DCHECK(dst && dst->rank() == 2 && src.rank() == 2);
+  REBERT_DCHECK(dst->dim(0) == src.dim(0) &&
+                c0 + src.dim(1) <= dst->dim(1));
   for (int i = 0; i < src.dim(0); ++i)
     for (int j = 0; j < src.dim(1); ++j)
       dst->at(i, c0 + j) += src.at(i, j);
@@ -38,6 +40,8 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(const std::string& name,
 Tensor MultiHeadSelfAttention::forward(const Tensor& x, Cache* cache,
                                        int valid_len) {
   const int hidden = num_heads_ * head_dim_;
+  // Entry-point check stays always-on (public API, once per forward); the
+  // per-head helpers below rely on the build-time graph check instead.
   REBERT_CHECK_MSG(x.rank() == 2 && x.dim(1) == hidden,
                    "attention input " << x.shape_string());
   const int n = x.dim(0);

@@ -1,11 +1,85 @@
 #include "bert/model.h"
 
+#include <unordered_map>
+
+#include "tensor/graphcheck.h"
 #include "tensor/serialize.h"
 #include "util/check.h"
 
 namespace rebert::bert {
 
 using tensor::Tensor;
+
+void check_model_graph(const BertConfig& config,
+                       const std::vector<tensor::Parameter*>& parameters) {
+  const int n = tensor::kDynamicDim;  // sequence length, dynamic
+  const int H = config.hidden;
+  const int I = config.intermediate;
+
+  std::unordered_map<std::string, const tensor::Parameter*> by_name;
+  for (const tensor::Parameter* p : parameters) by_name.emplace(p->name, p);
+
+  tensor::GraphCheck g("BertPairClassifier");
+  auto check_param = [&](const std::string& name,
+                         const tensor::ShapePattern& expected) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      g.require(false, "parameter '" + name + "' is missing");
+      return;
+    }
+    g.param(name, it->second->value.shape(), expected);
+    g.require(it->second->grad.shape() == it->second->value.shape(),
+              "parameter '" + name + "' gradient shape differs from value");
+  };
+
+  g.require(config.num_heads >= 1 && H % config.num_heads == 0,
+            "num_heads must divide hidden");
+  g.require(config.num_classes >= 2, "classifier needs >= 2 classes");
+
+  // Embedding: token ids [n] -> summed embeddings [n, H] -> LayerNorm.
+  g.stage("embeddings.sum", {n}, {n, H});
+  check_param("embeddings.word.table", {config.vocab_size, H});
+  check_param("embeddings.position.table", {config.max_seq_len, H});
+  check_param("embeddings.tree_projection.weight", {config.tree_code_dim, H});
+  check_param("embeddings.tree_projection.bias", {H});
+  g.stage("embeddings.norm", {n, H}, {n, H});
+  check_param("embeddings.norm.gamma", {H});
+  check_param("embeddings.norm.beta", {H});
+
+  // Encoder stack: each layer maps [n, H] -> [n, H] through attention
+  // (H split across heads) and the GELU FFN ([n, H] -> [n, I] -> [n, H]).
+  for (int i = 0; i < config.num_layers; ++i) {
+    const std::string prefix = "encoder." + std::to_string(i);
+    g.stage(prefix + ".attention", {n, H}, {n, H});
+    for (const char* proj : {"query", "key", "value", "output"}) {
+      check_param(prefix + ".attention." + proj + ".weight", {H, H});
+      check_param(prefix + ".attention." + proj + ".bias", {H});
+    }
+    g.stage(prefix + ".attention_norm", {n, H}, {n, H});
+    check_param(prefix + ".attention_norm.gamma", {H});
+    check_param(prefix + ".attention_norm.beta", {H});
+    g.stage(prefix + ".intermediate", {n, H}, {n, I});
+    check_param(prefix + ".intermediate.weight", {H, I});
+    check_param(prefix + ".intermediate.bias", {I});
+    g.stage(prefix + ".ffn_output", {n, I}, {n, H});
+    check_param(prefix + ".ffn_output.weight", {I, H});
+    check_param(prefix + ".ffn_output.bias", {H});
+    g.stage(prefix + ".ffn_norm", {n, H}, {n, H});
+    check_param(prefix + ".ffn_norm.gamma", {H});
+    check_param(prefix + ".ffn_norm.beta", {H});
+  }
+
+  // Head: [CLS] slice -> pooler (tanh) -> classifier logits.
+  g.stage("pooler.first_token", {n, H}, {1, H});
+  g.stage("pooler", {1, H}, {1, H});
+  check_param("pooler.weight", {H, H});
+  check_param("pooler.bias", {H});
+  g.stage("classifier", {1, H}, {1, config.num_classes});
+  check_param("classifier.weight", {H, config.num_classes});
+  check_param("classifier.bias", {config.num_classes});
+
+  g.finish();
+}
 
 struct BertPairClassifier::ForwardCache {
   BertEmbeddings::Cache embeddings;
@@ -28,6 +102,9 @@ BertPairClassifier::BertPairClassifier(const BertConfig& config)
   layers_.reserve(static_cast<std::size_t>(config.num_layers));
   for (int i = 0; i < config.num_layers; ++i)
     layers_.emplace_back("encoder." + std::to_string(i), config, init_rng_);
+  // One cold-path pass proves the whole stage chain shape-consistent, so
+  // the forward path does not re-check layer shapes per call.
+  check_model_graph(config_, parameters());
 }
 
 Tensor BertPairClassifier::forward(const EncodedSequence& input,

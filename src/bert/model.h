@@ -15,6 +15,15 @@
 
 namespace rebert::bert {
 
+/// Cold-path static check of the whole model graph: verifies shape
+/// compatibility end-to-end (embedding -> attention heads -> FFN -> pooler
+/// -> classifier) and every parameter's shape against the configuration.
+/// Run once at model build time by the BertPairClassifier constructor;
+/// throws util::CheckError listing *all* inconsistencies. This replaces
+/// per-forward-call shape checking on the hot path (see tensor/graphcheck.h).
+void check_model_graph(const BertConfig& config,
+                       const std::vector<tensor::Parameter*>& parameters);
+
 class BertPairClassifier {
  public:
   explicit BertPairClassifier(const BertConfig& config);

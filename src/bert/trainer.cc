@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "tensor/graphcheck.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -108,11 +109,13 @@ TrainResult train(BertPairClassifier& model,
           std::min(order.size(), seen + static_cast<std::size_t>(
                                             options.batch_size));
       int batch_count = 0;
+      double batch_loss = 0.0;
       for (std::size_t i = seen; i < batch_end; ++i) {
         const LabeledExample& ex = train_set[order[i]];
-        epoch_loss += model.train_step_accumulate(ex.sequence, ex.label);
+        batch_loss += model.train_step_accumulate(ex.sequence, ex.label);
         ++batch_count;
       }
+      epoch_loss += batch_loss;
       // Average the accumulated gradients over the batch.
       if (batch_count > 1) {
         const float inv = 1.0f / static_cast<float>(batch_count);
@@ -121,7 +124,28 @@ TrainResult train(BertPairClassifier& model,
       }
       if (options.clip_norm > 0.0)
         tensor::clip_gradients(model.parameters(), options.clip_norm);
+      if (options.check_numerics) {
+        // Cold-path tripwire: catch the step where non-finite values first
+        // enter, instead of reporting "loss = nan" epochs later.
+        tensor::NumericTripwire tripwire;
+        tripwire.set_step(step);
+        tripwire.observe_scalar("batch loss", batch_loss);
+        for (const tensor::Parameter* p : model.parameters())
+          tripwire.observe(p->name + ".grad", p->grad);
+        REBERT_CHECK_MSG(!tripwire.tripped(),
+                         "numeric tripwire before optimizer step — "
+                             << tripwire.first_trip());
+      }
       optimizer.step(schedule.lr(step));
+      if (options.check_numerics) {
+        tensor::NumericTripwire tripwire;
+        tripwire.set_step(step);
+        for (const tensor::Parameter* p : model.parameters())
+          tripwire.observe(p->name, p->value);
+        REBERT_CHECK_MSG(!tripwire.tripped(),
+                         "numeric tripwire after optimizer step — "
+                             << tripwire.first_trip());
+      }
       ++step;
       seen = batch_end;
     }

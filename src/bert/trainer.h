@@ -35,6 +35,13 @@ struct TrainOptions {
   /// validation-loss improvement and restore the best weights (0 = run all
   /// epochs but still restore the best checkpoint at the end).
   int early_stop_patience = 0;
+
+  /// NaN/Inf tripwire (tensor/graphcheck.h): after every optimizer step,
+  /// scan the batch loss, gradients, and updated parameters and throw
+  /// util::CheckError naming the first non-finite tensor and step. Debug
+  /// mode for diverging runs — off by default (it scans every parameter
+  /// once per batch).
+  bool check_numerics = false;
 };
 
 struct EpochStats {

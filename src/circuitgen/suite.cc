@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nl/decompose.h"
+#include "nl/lint.h"
 #include "util/check.h"
 
 namespace rebert::gen {
@@ -86,7 +87,7 @@ CircuitSpec make_spec(const std::string& name, int target_ffs,
   return spec;
 }
 
-GeneratedCircuit generate_circuit(const CircuitSpec& spec) {
+GeneratedCircuit generate_circuit(const CircuitSpec& spec, bool lint) {
   nl::Netlist netlist(spec.name);
   nl::WordMap words;
   util::Rng rng(spec.seed);
@@ -110,6 +111,14 @@ GeneratedCircuit generate_circuit(const CircuitSpec& spec) {
 
   GeneratedCircuit out{nl::decompose_to_2input(netlist), std::move(words)};
   out.netlist.validate();
+  if (lint) {
+    nl::LintOptions lint_options;
+    lint_options.words = &out.words;
+    const nl::LintReport report = nl::lint_netlist(out.netlist, lint_options);
+    REBERT_CHECK_MSG(report.clean(), "generated circuit '"
+                                         << spec.name << "' failed lint:\n"
+                                         << report.to_text());
+  }
   return out;
 }
 
@@ -130,9 +139,10 @@ std::vector<CircuitSpec> itc99_suite_specs(double scale) {
   return specs;
 }
 
-GeneratedCircuit generate_benchmark(const std::string& name, double scale) {
+GeneratedCircuit generate_benchmark(const std::string& name, double scale,
+                                    bool lint) {
   for (const CircuitSpec& spec : itc99_suite_specs(scale))
-    if (spec.name == name) return generate_circuit(spec);
+    if (spec.name == name) return generate_circuit(spec, lint);
   REBERT_CHECK_MSG(false, "unknown benchmark '" << name << "'");
 }
 

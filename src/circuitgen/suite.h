@@ -38,8 +38,11 @@ struct GeneratedCircuit {
 CircuitSpec make_spec(const std::string& name, int target_ffs,
                       int target_words, int glue_gates, std::uint64_t seed);
 
-/// Instantiate a spec into a gate-level netlist plus ground truth.
-GeneratedCircuit generate_circuit(const CircuitSpec& spec);
+/// Instantiate a spec into a gate-level netlist plus ground truth. By
+/// default the result is linted (nl/lint.h) against the ground-truth words
+/// and generation fails on any error-severity diagnostic; pass lint = false
+/// to opt out (e.g. when deliberately producing defective circuits).
+GeneratedCircuit generate_circuit(const CircuitSpec& spec, bool lint = true);
 
 /// Specs for the 12 benchmarks of Table I at the given scale.
 std::vector<CircuitSpec> itc99_suite_specs(double scale = 1.0);
@@ -47,7 +50,7 @@ std::vector<CircuitSpec> itc99_suite_specs(double scale = 1.0);
 /// Convenience: generate one benchmark by name ("b03" ... "b18").
 /// Throws util::CheckError for unknown names.
 GeneratedCircuit generate_benchmark(const std::string& name,
-                                    double scale = 1.0);
+                                    double scale = 1.0, bool lint = true);
 
 /// The 12 benchmark names in Table I order.
 const std::vector<std::string>& benchmark_names();

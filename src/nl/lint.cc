@@ -1,0 +1,478 @@
+#include "nl/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nl/parser.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+
+namespace rebert::nl {
+
+namespace {
+
+struct CodeInfo {
+  const char* id;
+  const char* name;
+  LintSeverity severity;
+};
+
+constexpr CodeInfo kCodeInfo[kNumLintCodes] = {
+    {"NL001", "combinational-cycle", LintSeverity::kError},
+    {"NL002", "undriven-net", LintSeverity::kError},
+    {"NL003", "multi-driven-net", LintSeverity::kError},
+    {"NL004", "dangling-output", LintSeverity::kWarning},
+    {"NL005", "unreachable-gate", LintSeverity::kWarning},
+    {"NL006", "dff-no-cone", LintSeverity::kWarning},
+    {"NL007", "word-bit-mismatch", LintSeverity::kError},
+    {"NL008", "floating-input", LintSeverity::kWarning},
+    {"NL009", "parse-failure", LintSeverity::kError},
+};
+
+const CodeInfo& info(LintCode code) {
+  const int index = static_cast<int>(code);
+  REBERT_CHECK_MSG(index >= 0 && index < kNumLintCodes,
+                   "unknown lint code " << index);
+  return kCodeInfo[index];
+}
+
+}  // namespace
+
+const char* lint_severity_name(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kError: return "error";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+const char* lint_code_id(LintCode code) { return info(code).id; }
+const char* lint_code_name(LintCode code) { return info(code).name; }
+LintSeverity lint_code_severity(LintCode code) { return info(code).severity; }
+
+std::string LintDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << lint_severity_name(severity) << " " << lint_code_id(code) << " ["
+     << lint_code_name(code) << "]";
+  if (line > 0) os << " line " << line;
+  if (!net.empty()) os << " net '" << net << "'";
+  if (gate != kNoGate) os << " (gate " << gate << ")";
+  os << ": " << message;
+  return os.str();
+}
+
+int LintReport::num_errors() const {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const LintDiagnostic& d) {
+                      return d.severity == LintSeverity::kError;
+                    }));
+}
+
+int LintReport::num_warnings() const {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const LintDiagnostic& d) {
+                      return d.severity == LintSeverity::kWarning;
+                    }));
+}
+
+int LintReport::count(LintCode code) const {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [code](const LintDiagnostic& d) {
+                      return d.code == code;
+                    }));
+}
+
+void LintReport::add(LintDiagnostic diagnostic) {
+  diagnostic.severity = lint_code_severity(diagnostic.code);
+  diagnostics.push_back(std::move(diagnostic));
+}
+
+void LintReport::merge(const LintReport& other) {
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream os;
+  if (!netlist_name.empty()) os << "== lint: " << netlist_name << " ==\n";
+  for (const LintDiagnostic& d : diagnostics) os << d.to_string() << "\n";
+  os << num_errors() << " error(s), " << num_warnings() << " warning(s)\n";
+  return os.str();
+}
+
+std::string LintReport::to_csv() const {
+  std::ostringstream os;
+  os << "netlist,severity,code,name,gate,net,line,message\n";
+  for (const LintDiagnostic& d : diagnostics) {
+    os << util::CsvWriter::escape(netlist_name) << ","
+       << lint_severity_name(d.severity) << "," << lint_code_id(d.code) << ","
+       << lint_code_name(d.code) << ",";
+    if (d.gate != kNoGate) os << d.gate;
+    os << "," << util::CsvWriter::escape(d.net) << "," << d.line << ","
+       << util::CsvWriter::escape(d.message) << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Bounded emission per diagnostic class.
+class Emitter {
+ public:
+  Emitter(LintReport* report, int max_per_code)
+      : report_(report), max_per_code_(max_per_code) {}
+
+  void emit(LintCode code, GateId gate, std::string net, std::string message,
+            int line = 0) {
+    int& emitted = emitted_[static_cast<int>(code)];
+    if (max_per_code_ > 0 && emitted >= max_per_code_) {
+      ++suppressed_;
+      return;
+    }
+    ++emitted;
+    LintDiagnostic d;
+    d.code = code;
+    d.gate = gate;
+    d.net = std::move(net);
+    d.line = line;
+    d.message = std::move(message);
+    report_->add(std::move(d));
+  }
+
+  int suppressed() const { return suppressed_; }
+
+ private:
+  LintReport* report_;
+  int max_per_code_;
+  int emitted_[kNumLintCodes] = {};
+  int suppressed_ = 0;
+};
+
+void check_combinational_cycles(const Netlist& netlist, Emitter* emit) {
+  // Kahn's algorithm over the combinational subgraph; unlike
+  // Netlist::topological_order() this pass reports instead of throwing.
+  const int n = netlist.num_gates();
+  std::vector<int> pending(n, 0);
+  std::vector<std::vector<GateId>> fanouts(n);
+  std::vector<GateId> ready;
+  int num_comb = 0;
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = netlist.gate(id);
+    if (!is_combinational(g.type)) continue;
+    ++num_comb;
+    int deps = 0;
+    for (GateId f : g.fanins) {
+      if (is_combinational(netlist.gate(f).type)) {
+        ++deps;
+        fanouts[f].push_back(id);
+      }
+    }
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(id);
+  }
+  int drained = 0;
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    ++drained;
+    for (GateId out : fanouts[ready[head]])
+      if (--pending[out] == 0) ready.push_back(out);
+  }
+  if (drained == num_comb) return;
+
+  // Every undrained combinational gate lies on or downstream of a cycle.
+  std::vector<GateId> residual;
+  for (GateId id = 0; id < n; ++id)
+    if (is_combinational(netlist.gate(id).type) && pending[id] > 0)
+      residual.push_back(id);
+  std::ostringstream os;
+  os << "combinational cycle involves " << residual.size() << " gate(s):";
+  const std::size_t shown = std::min<std::size_t>(residual.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i)
+    os << " " << netlist.gate(residual[i]).name;
+  if (residual.size() > shown) os << " (+" << residual.size() - shown
+                                 << " more)";
+  emit->emit(LintCode::kCombinationalCycle, residual.front(),
+             netlist.gate(residual.front()).name, os.str());
+}
+
+void check_dangling_and_unreachable(const Netlist& netlist,
+                                    const LintOptions& options,
+                                    Emitter* emit) {
+  const int n = netlist.num_gates();
+  const std::vector<int> fanout = netlist.fanout_counts();
+
+  std::vector<bool> dangling(n, false);
+  if (options.check_dangling) {
+    for (GateId id = 0; id < n; ++id) {
+      const Gate& g = netlist.gate(id);
+      if (g.type == GateType::kInput) continue;  // NL008's job
+      // Flip-flops are observable endpoints in their own right (each one is
+      // a "bit" in the pipeline's universe), not dangling logic.
+      if (is_sequential(g.type)) continue;
+      if (fanout[id] > 0 || netlist.is_output(id)) continue;
+      dangling[id] = true;
+      emit->emit(LintCode::kDanglingOutput, id, g.name,
+                 std::string(gate_type_name(g.type)) +
+                     " output drives no gate and is not a primary output");
+    }
+  }
+
+  if (!options.check_unreachable) return;
+  // Reverse reachability from the observable roots: primary outputs and
+  // flip-flops (whose D cones are the pipeline's unit of analysis).
+  std::vector<bool> reachable(n, false);
+  std::vector<GateId> stack;
+  auto mark = [&](GateId id) {
+    if (!reachable[id]) {
+      reachable[id] = true;
+      stack.push_back(id);
+    }
+  };
+  for (GateId id : netlist.outputs()) mark(id);
+  for (GateId id : netlist.dffs()) mark(id);
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    for (GateId f : netlist.gate(id).fanins) mark(f);
+  }
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = netlist.gate(id);
+    if (reachable[id] || g.type == GateType::kInput || dangling[id]) continue;
+    emit->emit(LintCode::kUnreachableGate, id, g.name,
+               std::string(gate_type_name(g.type)) +
+                   " feeds only dead logic; no primary output or flip-flop "
+                   "depends on it");
+  }
+}
+
+void check_dff_cones(const Netlist& netlist, Emitter* emit) {
+  for (GateId dff : netlist.dffs()) {
+    const GateId d = netlist.gate(dff).fanins[0];
+    // Backward closure of the D pin across combinational gates. A healthy
+    // cone bottoms out in at least one primary input or one flip-flop other
+    // than the FF itself; a cone made only of constants (or a bare
+    // self-loop) is degenerate state the corruption engine can produce.
+    std::vector<GateId> stack{d};
+    std::unordered_set<GateId> seen{d};
+    bool live_leaf = false;
+    while (!stack.empty() && !live_leaf) {
+      const GateId id = stack.back();
+      stack.pop_back();
+      const Gate& g = netlist.gate(id);
+      if (g.type == GateType::kInput) live_leaf = true;
+      if (g.type == GateType::kDff && id != dff) live_leaf = true;
+      if (!is_combinational(g.type)) continue;
+      for (GateId f : g.fanins)
+        if (seen.insert(f).second) stack.push_back(f);
+    }
+    if (!live_leaf)
+      emit->emit(LintCode::kDffNoCone, dff, netlist.gate(dff).name,
+                 "flip-flop fan-in cone contains no primary input and no "
+                 "other flip-flop (constant or self-loop state)");
+  }
+}
+
+void check_word_labels(const Netlist& netlist, const WordMap& words,
+                       Emitter* emit) {
+  for (const auto& [word, bits] : words.words()) {
+    for (const std::string& bit : bits) {
+      const auto id = netlist.find(bit);
+      if (!id) {
+        emit->emit(LintCode::kWordBitMismatch, kNoGate, word,
+                   "word references bit '" + bit +
+                       "' which does not exist in the netlist");
+      } else if (netlist.gate(*id).type != GateType::kDff) {
+        emit->emit(LintCode::kWordBitMismatch, *id, word,
+                   "word references net '" + bit +
+                       "' which is not a flip-flop (bits are DFF outputs)");
+      }
+    }
+  }
+}
+
+void check_floating_inputs(const Netlist& netlist,
+                           const std::vector<int>& fanout, Emitter* emit) {
+  for (GateId id : netlist.inputs()) {
+    if (fanout[id] == 0 && !netlist.is_output(id))
+      emit->emit(LintCode::kFloatingInput, id, netlist.gate(id).name,
+                 "primary input drives nothing");
+  }
+}
+
+}  // namespace
+
+LintReport lint_netlist(const Netlist& netlist, const LintOptions& options) {
+  LintReport report;
+  report.netlist_name = netlist.name();
+  Emitter emit(&report, options.max_per_code);
+
+  check_combinational_cycles(netlist, &emit);
+  check_dangling_and_unreachable(netlist, options, &emit);
+  if (options.check_dff_cones) check_dff_cones(netlist, &emit);
+  if (options.check_floating_inputs)
+    check_floating_inputs(netlist, netlist.fanout_counts(), &emit);
+  if (options.words) check_word_labels(netlist, *options.words, &emit);
+  return report;
+}
+
+namespace {
+
+// Minimal tolerant scan of one "NAME(arg, ...)" call; returns false when the
+// text is not even call-shaped.
+bool scan_call(const std::string& text, std::string* callee,
+               std::vector<std::string>* args) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    return false;
+  *callee = util::to_upper(util::trim(text.substr(0, open)));
+  if (callee->empty()) return false;
+  args->clear();
+  const std::string inner =
+      util::trim(text.substr(open + 1, close - open - 1));
+  if (inner.empty()) return true;
+  for (const std::string& piece : util::split(inner, ',')) {
+    const std::string arg = util::trim(piece);
+    if (arg.empty()) return false;
+    args->push_back(arg);
+  }
+  return true;
+}
+
+}  // namespace
+
+LintReport lint_bench_source(const std::string& text,
+                             const std::string& netlist_name) {
+  LintReport report;
+  report.netlist_name = netlist_name;
+  Emitter emit(&report, /*max_per_code=*/1000);
+
+  struct Ref {
+    std::string name;
+    int line;
+  };
+  std::unordered_map<std::string, int> defined;  // net -> first defining line
+  std::vector<Ref> referenced;
+
+  auto define = [&](const std::string& net, int line) {
+    auto [it, inserted] = defined.emplace(net, line);
+    if (!inserted)
+      emit.emit(LintCode::kMultiDrivenNet, kNoGate, net,
+                "net is driven more than once (first driver at line " +
+                    std::to_string(it->second) + ")",
+                line);
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string stmt = util::trim(line);
+    if (stmt.empty()) continue;
+
+    std::string callee;
+    std::vector<std::string> args;
+    const std::size_t eq = stmt.find('=');
+    if (eq == std::string::npos) {
+      if (!scan_call(stmt, &callee, &args) || args.size() != 1) {
+        emit.emit(LintCode::kParseFailure, kNoGate, "",
+                  "expected INPUT(net) or OUTPUT(net), got '" + stmt + "'",
+                  line_no);
+        continue;
+      }
+      if (callee == "INPUT") {
+        define(args[0], line_no);
+      } else if (callee == "OUTPUT") {
+        referenced.push_back(Ref{args[0], line_no});
+      } else {
+        emit.emit(LintCode::kParseFailure, kNoGate, "",
+                  "unknown directive '" + callee + "'", line_no);
+      }
+      continue;
+    }
+
+    const std::string lhs = util::trim(stmt.substr(0, eq));
+    if (lhs.empty() || !scan_call(util::trim(stmt.substr(eq + 1)), &callee,
+                                  &args)) {
+      emit.emit(LintCode::kParseFailure, kNoGate, lhs,
+                "malformed gate statement '" + stmt + "'", line_no);
+      continue;
+    }
+    try {
+      const GateType type = gate_type_from_name(callee);
+      if (type == GateType::kInput) {
+        emit.emit(LintCode::kParseFailure, kNoGate, lhs,
+                  "INPUT cannot appear on the right-hand side", line_no);
+        continue;
+      }
+    } catch (const util::CheckError&) {
+      emit.emit(LintCode::kParseFailure, kNoGate, lhs,
+                "unknown gate type '" + callee + "'", line_no);
+      continue;
+    }
+    define(lhs, line_no);
+    for (const std::string& arg : args) referenced.push_back(Ref{arg, line_no});
+  }
+
+  std::unordered_set<std::string> reported_undriven;
+  for (const Ref& ref : referenced) {
+    if (defined.count(ref.name)) continue;
+    if (!reported_undriven.insert(ref.name).second) continue;
+    emit.emit(LintCode::kUndrivenNet, kNoGate, ref.name,
+              "net is referenced but never driven", ref.line);
+  }
+  return report;
+}
+
+LintReport lint_bench_file(const std::string& path,
+                           const LintOptions& options) {
+  std::ifstream in(path);
+  REBERT_CHECK_MSG(in.good(), "cannot open bench file " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+
+  LintReport report = lint_bench_source(text, name);
+  if (!report.clean()) return report;
+
+  ParseOptions parse_options;
+  parse_options.lint = false;  // graph lint runs below with caller options
+  try {
+    const Netlist netlist = parse_bench_string(text, name, parse_options);
+    report.merge(lint_netlist(netlist, options));
+  } catch (const std::exception& e) {
+    // Defects the tolerant source scan cannot model (bad arity, builder
+    // rejections) still surface as a single parse-failure diagnostic.
+    // Cycles abort netlist construction itself (validate() refuses to
+    // build an unorderable graph), so map them to their own code here.
+    const std::string what = e.what();
+    LintDiagnostic d;
+    d.code = what.find("combinational cycle") != std::string::npos
+                 ? LintCode::kCombinationalCycle
+                 : LintCode::kParseFailure;
+    d.message = what.find("combinational cycle") != std::string::npos
+                    ? "combinational cycle detected (netlist construction "
+                      "aborted before gates could be enumerated)"
+                    : what;
+    report.add(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace rebert::nl

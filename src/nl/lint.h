@@ -1,0 +1,131 @@
+// Netlist linter: typed diagnostics over gate-level structure.
+//
+// Everything downstream of the parser — cone extraction, tokenization, word
+// grouping, the corruption experiments — silently assumes a well-formed
+// graph. The builder API in Netlist rejects the hard violations (bad fanin
+// ids, illegal arity, duplicate names, combinational cycles) by throwing,
+// but many *soft* defects parse and validate fine and then quietly degrade
+// results: gates whose output drives nothing, logic unreachable from any
+// observable point, flip-flops whose fan-in cone is degenerate, word labels
+// naming bits that do not exist. The corruption engine (R-Index gate
+// replacement) makes such near-degenerate structure easy to produce, so the
+// linter reports them all in one pass instead of failing on the first.
+//
+// Two analysis levels:
+//   * lint_netlist()      — graph-level checks over a parsed Netlist (and
+//                           optionally its WordMap ground truth).
+//   * lint_bench_source() — text-level checks over raw .bench statements
+//                           that the parser would reject outright
+//                           (undriven nets, multi-driven nets, parse
+//                           failures), reported with line numbers.
+// lint_bench_file() composes both: source lint first, then graph lint when
+// the file parses.
+//
+// Every diagnostic carries a stable code (NL001...), a severity, and a
+// location (gate id and/or net name). Codes are append-only; reporters and
+// CI greps may rely on them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nl/netlist.h"
+#include "nl/words.h"
+
+namespace rebert::nl {
+
+enum class LintSeverity : std::uint8_t { kError, kWarning, kInfo };
+
+/// "error" / "warning" / "info".
+const char* lint_severity_name(LintSeverity severity);
+
+// Stable diagnostic classes. Values are append-only: the numeric id is part
+// of the code string (NL001...) that external tooling may match on.
+enum class LintCode : std::uint8_t {
+  kCombinationalCycle = 0,  // NL001 (error): comb. subgraph has a cycle
+  kUndrivenNet,             // NL002 (error): net referenced, never defined
+  kMultiDrivenNet,          // NL003 (error): net defined more than once
+  kDanglingOutput,          // NL004 (warning): gate output drives nothing
+  kUnreachableGate,         // NL005 (warning): dead transitive logic
+  kDffNoCone,               // NL006 (warning): FF cone has no PI/FF leaves
+  kWordBitMismatch,         // NL007 (error): word label names unknown bit
+  kFloatingInput,           // NL008 (warning): primary input unused
+  kParseFailure,            // NL009 (error): .bench text does not parse
+};
+
+inline constexpr int kNumLintCodes = 9;
+
+/// Stable code string, e.g. "NL004".
+const char* lint_code_id(LintCode code);
+
+/// Human-readable slug, e.g. "dangling-output".
+const char* lint_code_name(LintCode code);
+
+/// Default severity of the class (fixed; severities are part of the
+/// contract, not configurable).
+LintSeverity lint_code_severity(LintCode code);
+
+struct LintDiagnostic {
+  LintCode code = LintCode::kCombinationalCycle;
+  LintSeverity severity = LintSeverity::kError;
+  GateId gate = kNoGate;  // offending gate, when one exists
+  std::string net;        // offending net / bit / word name, when known
+  int line = 0;           // 1-based source line (source-level lint only)
+  std::string message;    // human-readable detail
+
+  /// One-line rendering: "error NL004 [dangling-output] net 'x': ...".
+  std::string to_string() const;
+};
+
+struct LintReport {
+  std::string netlist_name;
+  std::vector<LintDiagnostic> diagnostics;
+
+  int num_errors() const;
+  int num_warnings() const;
+  bool clean() const { return num_errors() == 0; }
+
+  /// Count of diagnostics of one class.
+  int count(LintCode code) const;
+  bool has(LintCode code) const { return count(code) > 0; }
+
+  void add(LintDiagnostic diagnostic);
+  /// Append all diagnostics of `other` (used to compose source + graph
+  /// passes).
+  void merge(const LintReport& other);
+
+  /// Text reporter: one diagnostic per line plus a summary trailer.
+  std::string to_text() const;
+
+  /// CSV reporter: header + one row per diagnostic
+  /// (netlist,severity,code,name,gate,net,line,message).
+  std::string to_csv() const;
+};
+
+struct LintOptions {
+  bool check_dangling = true;
+  bool check_unreachable = true;
+  bool check_dff_cones = true;
+  bool check_floating_inputs = true;
+  /// When set, word labels are checked against the netlist's DFFs (NL007).
+  const WordMap* words = nullptr;
+  /// Cap on diagnostics per class, so a pathological netlist cannot emit
+  /// millions of lines. 0 = unlimited.
+  int max_per_code = 1000;
+};
+
+/// Graph-level lint. Never throws on netlist defects — that is the point —
+/// only on internal errors.
+LintReport lint_netlist(const Netlist& netlist, const LintOptions& options = {});
+
+/// Text-level lint of .bench source: NL002 undriven nets, NL003 multi-driven
+/// nets, NL009 parse failures. Reports every defect with its line number
+/// where the parser would throw on the first.
+LintReport lint_bench_source(const std::string& text,
+                             const std::string& netlist_name = "");
+
+/// Source lint, then (if the text parses) graph lint, merged.
+LintReport lint_bench_file(const std::string& path,
+                           const LintOptions& options = {});
+
+}  // namespace rebert::nl

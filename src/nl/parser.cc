@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "nl/lint.h"
 #include "util/check.h"
 #include "util/string_utils.h"
 
@@ -47,7 +48,8 @@ void parse_call(const std::string& text, int line, std::string* callee,
 
 }  // namespace
 
-Netlist parse_bench(std::istream& in, const std::string& netlist_name) {
+Netlist parse_bench(std::istream& in, const std::string& netlist_name,
+                    const ParseOptions& options) {
   std::vector<Statement> statements;
   std::string line;
   int line_no = 0;
@@ -168,16 +170,26 @@ Netlist parse_bench(std::istream& in, const std::string& netlist_name) {
   }
 
   netlist.validate();
+
+  if (options.lint || options.lint_report) {
+    LintReport report = lint_netlist(netlist);
+    if (options.lint && !report.clean())
+      throw ParseError("netlist '" + netlist.name() +
+                       "' failed lint:\n" + report.to_text());
+    if (options.lint_report) *options.lint_report = std::move(report);
+  }
   return netlist;
 }
 
 Netlist parse_bench_string(const std::string& text,
-                           const std::string& netlist_name) {
+                           const std::string& netlist_name,
+                           const ParseOptions& options) {
   std::istringstream in(text);
-  return parse_bench(in, netlist_name);
+  return parse_bench(in, netlist_name, options);
 }
 
-Netlist parse_bench_file(const std::string& path) {
+Netlist parse_bench_file(const std::string& path,
+                         const ParseOptions& options) {
   std::ifstream in(path);
   REBERT_CHECK_MSG(in.good(), "cannot open bench file " << path);
   // Derive a netlist name from the file name (drop directory and extension).
@@ -186,7 +198,7 @@ Netlist parse_bench_file(const std::string& path) {
   if (slash != std::string::npos) name = name.substr(slash + 1);
   const std::size_t dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
-  return parse_bench(in, name);
+  return parse_bench(in, name, options);
 }
 
 void write_bench(const Netlist& netlist, std::ostream& out) {

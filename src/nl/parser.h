@@ -18,17 +18,33 @@
 
 namespace rebert::nl {
 
+struct LintReport;  // nl/lint.h
+
 /// Thrown on malformed input with a line-number message.
 class ParseError : public std::runtime_error {
  public:
   explicit ParseError(const std::string& what) : std::runtime_error(what) {}
 };
 
+struct ParseOptions {
+  /// Run lint_netlist() on the parsed result and throw ParseError when it
+  /// reports any error-severity diagnostic. On by default so defective
+  /// netlists cannot silently enter the pipeline; set to false to accept
+  /// them (the `rebert_cli lint` path does, to report instead of throw).
+  bool lint = true;
+  /// When non-null, receives the full lint report (including warnings,
+  /// which never cause a throw). Filled even when `lint` is false.
+  LintReport* lint_report = nullptr;
+};
+
 /// Parse a netlist from .bench text.
-Netlist parse_bench(std::istream& in, const std::string& netlist_name = "");
+Netlist parse_bench(std::istream& in, const std::string& netlist_name = "",
+                    const ParseOptions& options = {});
 Netlist parse_bench_string(const std::string& text,
-                           const std::string& netlist_name = "");
-Netlist parse_bench_file(const std::string& path);
+                           const std::string& netlist_name = "",
+                           const ParseOptions& options = {});
+Netlist parse_bench_file(const std::string& path,
+                         const ParseOptions& options = {});
 
 /// Serialize; parse_bench(write_bench(n)) reproduces the netlist up to gate
 /// ordering.

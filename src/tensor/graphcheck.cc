@@ -1,0 +1,134 @@
+#include "tensor/graphcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rebert::tensor {
+
+std::string shape_pattern_string(const ShapePattern& pattern) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (i) os << ", ";
+    if (pattern[i] == kDynamicDim)
+      os << "?";
+    else
+      os << pattern[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool shapes_compatible(const ShapePattern& expected,
+                       const ShapePattern& actual) {
+  if (expected.size() != actual.size()) return false;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] == kDynamicDim || actual[i] == kDynamicDim) continue;
+    if (expected[i] != actual[i]) return false;
+  }
+  return true;
+}
+
+GraphCheck::GraphCheck(std::string graph_name)
+    : graph_name_(std::move(graph_name)) {}
+
+GraphCheck& GraphCheck::stage(const std::string& name, ShapePattern in,
+                              ShapePattern out) {
+  if (has_prev_ && !shapes_compatible(prev_out_, in)) {
+    std::ostringstream os;
+    os << "stage '" << name << "' expects input "
+       << shape_pattern_string(in) << " but '" << prev_stage_
+       << "' produces " << shape_pattern_string(prev_out_);
+    failures_.push_back(os.str());
+  }
+  prev_stage_ = name;
+  prev_out_ = std::move(out);
+  has_prev_ = true;
+  return *this;
+}
+
+GraphCheck& GraphCheck::param(const std::string& name,
+                              const std::vector<int>& actual,
+                              const ShapePattern& expected) {
+  if (!shapes_compatible(expected, actual)) {
+    std::ostringstream os;
+    os << "parameter '" << name << "' has shape "
+       << shape_pattern_string(actual) << ", expected "
+       << shape_pattern_string(expected);
+    failures_.push_back(os.str());
+  }
+  return *this;
+}
+
+GraphCheck& GraphCheck::require(bool ok, const std::string& message) {
+  if (!ok) failures_.push_back(message);
+  return *this;
+}
+
+std::string GraphCheck::failures_text() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < failures_.size(); ++i) {
+    if (i) os << "\n";
+    os << "  " << failures_[i];
+  }
+  return os.str();
+}
+
+void GraphCheck::finish() const {
+  REBERT_CHECK_MSG(failures_.empty(),
+                   "graph check failed for '"
+                       << graph_name_ << "' (" << failures_.size()
+                       << " problem(s)):\n" << failures_text());
+}
+
+// ---- NaN/Inf tripwire ------------------------------------------------------
+
+std::int64_t first_nonfinite(const Tensor& t) {
+  const float* data = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i)
+    if (!std::isfinite(data[i])) return i;
+  return -1;
+}
+
+bool all_finite(const Tensor& t) { return first_nonfinite(t) < 0; }
+
+void check_finite(const Tensor& t, const std::string& what) {
+  const std::int64_t index = first_nonfinite(t);
+  REBERT_CHECK_MSG(index < 0, "non-finite value in '"
+                                  << what << "' at flat index " << index
+                                  << " (shape " << t.shape_string() << ")");
+}
+
+void NumericTripwire::observe(const std::string& what, const Tensor& t) {
+  ++num_observations_;
+  if (tripped_) return;
+  const std::int64_t index = first_nonfinite(t);
+  if (index >= 0) trip(what, index);
+}
+
+void NumericTripwire::observe_scalar(const std::string& what, double value) {
+  ++num_observations_;
+  if (tripped_) return;
+  if (!std::isfinite(value)) trip(what, -1);
+}
+
+void NumericTripwire::trip(const std::string& what, std::int64_t index) {
+  tripped_ = true;
+  std::ostringstream os;
+  if (step_ >= 0) os << "step " << step_ << ": ";
+  os << "NaN/Inf in '" << what << "'";
+  if (index >= 0) os << " at flat index " << index;
+  first_trip_ = os.str();
+}
+
+void NumericTripwire::reset() {
+  tripped_ = false;
+  first_trip_.clear();
+  num_observations_ = 0;
+  step_ = -1;
+}
+
+}  // namespace rebert::tensor

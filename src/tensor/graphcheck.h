@@ -1,0 +1,128 @@
+// Static graph checking: validate tensor-shape compatibility once, on the
+// cold path, instead of re-checking shapes on every forward call.
+//
+// The layer stack of a model is a linear chain of stages, each consuming a
+// shape and producing a shape. The shapes are known the moment the model is
+// configured — only the sequence length varies at run time — so one pass at
+// build time can prove the whole chain (embedding -> attention heads -> FFN
+// -> classifier) consistent and report *every* mismatch at once, where the
+// scattered per-call REBERT_CHECKs used to fail one at a time in the middle
+// of a forward pass. Dynamic dimensions (sequence length) are expressed with
+// kDynamicDim, which unifies with anything.
+//
+// The second half is a NaN/Inf tripwire for trainer debugging: numeric
+// blowups (exploding gradients, bad learning rates) surface as NaN losses
+// long after the first bad value appeared. NumericTripwire::observe() scans
+// tensors at batch granularity and records where non-finite values first
+// entered, so the trainer can point at the offending parameter instead of
+// reporting "loss = nan" three epochs later.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rebert::tensor {
+
+/// Wildcard dimension: matches any concrete size (used for sequence length).
+inline constexpr int kDynamicDim = -1;
+
+/// A shape with optional dynamic dims, e.g. {kDynamicDim, 64}.
+using ShapePattern = std::vector<int>;
+
+/// "[?, 64]" style rendering of a pattern.
+std::string shape_pattern_string(const ShapePattern& pattern);
+
+/// True when a concrete or patterned `actual` is compatible with `expected`
+/// (equal rank; each dim equal or either side dynamic).
+bool shapes_compatible(const ShapePattern& expected,
+                       const ShapePattern& actual);
+
+/// Accumulates a chain of stages and parameter declarations, then reports
+/// all inconsistencies in one shot. Usage:
+///
+///   GraphCheck g("model");
+///   g.stage("embeddings", {kDynamicDim}, {kDynamicDim, H})
+///    .stage("encoder.0", {kDynamicDim, H}, {kDynamicDim, H})
+///    .param("encoder.0.query.weight", weight.shape(), {H, H})
+///    .require(H % heads == 0, "heads must divide hidden");
+///   g.finish();  // throws util::CheckError listing every failure
+class GraphCheck {
+ public:
+  explicit GraphCheck(std::string graph_name);
+
+  /// Declare the next stage in the chain: consumes `in`, produces `out`.
+  /// `in` is unified with the previous stage's `out`.
+  GraphCheck& stage(const std::string& name, ShapePattern in,
+                    ShapePattern out);
+
+  /// Verify a parameter's actual shape against the expected pattern.
+  GraphCheck& param(const std::string& name, const std::vector<int>& actual,
+                    const ShapePattern& expected);
+
+  /// Arbitrary invariant with an explanatory message.
+  GraphCheck& require(bool ok, const std::string& message);
+
+  int num_failures() const { return static_cast<int>(failures_.size()); }
+  bool ok() const { return failures_.empty(); }
+  /// All failure messages, one per line (empty string when ok).
+  std::string failures_text() const;
+
+  /// Throws util::CheckError with failures_text() when any check failed.
+  void finish() const;
+
+ private:
+  std::string graph_name_;
+  std::string prev_stage_;
+  ShapePattern prev_out_;
+  bool has_prev_ = false;
+  std::vector<std::string> failures_;
+};
+
+// ---- NaN/Inf tripwire ------------------------------------------------------
+
+/// True when every entry of `t` is finite (no NaN, no +/-Inf).
+bool all_finite(const Tensor& t);
+
+/// Flat index of the first non-finite entry, or -1 when all finite.
+std::int64_t first_nonfinite(const Tensor& t);
+
+/// Throws util::CheckError naming `what` when `t` has a non-finite entry.
+void check_finite(const Tensor& t, const std::string& what);
+
+/// Cold-path numeric monitor. Call observe() at batch granularity; the
+/// first non-finite observation is recorded (with tensor name and flat
+/// index) and kept until reset().
+class NumericTripwire {
+ public:
+  /// Scan a tensor; records the first trip, cheap no-op afterwards.
+  void observe(const std::string& what, const Tensor& t);
+  /// Scan a scalar (e.g. the batch loss).
+  void observe_scalar(const std::string& what, double value);
+
+  bool tripped() const { return tripped_; }
+  /// "step 12: NaN/Inf in 'encoder.0.query.weight.grad' at flat index 7";
+  /// empty when not tripped.
+  const std::string& first_trip() const { return first_trip_; }
+
+  /// Number of observe*() calls since construction/reset (for tests and
+  /// reporting).
+  std::int64_t num_observations() const { return num_observations_; }
+
+  /// Tag subsequent observations with a step number for the trip message.
+  void set_step(std::int64_t step) { step_ = step; }
+
+  void reset();
+
+ private:
+  void trip(const std::string& what, std::int64_t index);
+
+  bool tripped_ = false;
+  std::string first_trip_;
+  std::int64_t num_observations_ = 0;
+  std::int64_t step_ = -1;
+};
+
+}  // namespace rebert::tensor

@@ -12,9 +12,10 @@ Linear::Linear(const std::string& name, int in_features, int out_features,
       bias(name + ".bias", Tensor({out_features})) {}
 
 Tensor Linear::forward(const Tensor& x, Cache* cache) const {
-  REBERT_CHECK_MSG(x.rank() == 2 && x.dim(1) == weight.value.dim(0),
-                   "Linear input " << x.shape_string() << " vs weight "
-                                   << weight.value.shape_string());
+  // Shape proven once at model build time (tensor/graphcheck.h).
+  REBERT_DCHECK_MSG(x.rank() == 2 && x.dim(1) == weight.value.dim(0),
+                    "Linear input " << x.shape_string() << " vs weight "
+                                    << weight.value.shape_string());
   if (cache) cache->input = x;
   return add_row_bias(matmul(x, weight.value), bias.value);
 }
@@ -33,8 +34,9 @@ LayerNorm::LayerNorm(const std::string& name, int hidden, float eps_in)
 
 Tensor LayerNorm::forward(const Tensor& x, Cache* cache) const {
   const int h = gamma.value.dim(0);
-  REBERT_CHECK_MSG(x.rank() == 2 && x.dim(1) == h,
-                   "LayerNorm input " << x.shape_string() << " hidden " << h);
+  REBERT_DCHECK_MSG(x.rank() == 2 && x.dim(1) == h,
+                    "LayerNorm input " << x.shape_string() << " hidden "
+                                       << h);
   const int n = x.dim(0);
   Tensor y({n, h});
   Tensor normalized({n, h});
@@ -66,7 +68,7 @@ Tensor LayerNorm::forward(const Tensor& x, Cache* cache) const {
 
 Tensor LayerNorm::backward(const Tensor& dy, const Cache& cache) {
   const Tensor& nrm = cache.normalized;
-  REBERT_CHECK(dy.same_shape(nrm));
+  REBERT_DCHECK(dy.same_shape(nrm));
   const int n = dy.dim(0), h = dy.dim(1);
   Tensor dx({n, h});
   for (int i = 0; i < n; ++i) {
@@ -103,9 +105,9 @@ Tensor Embedding::forward(const std::vector<int>& ids, Cache* cache) const {
 
 void Embedding::backward(const Tensor& dy, const Cache& cache) {
   const int h = table.value.dim(1);
-  REBERT_CHECK_MSG(dy.rank() == 2 && dy.dim(1) == h &&
-                       dy.dim(0) == static_cast<int>(cache.ids.size()),
-                   "Embedding backward shape " << dy.shape_string());
+  REBERT_DCHECK_MSG(dy.rank() == 2 && dy.dim(1) == h &&
+                        dy.dim(0) == static_cast<int>(cache.ids.size()),
+                    "Embedding backward shape " << dy.shape_string());
   for (std::size_t i = 0; i < cache.ids.size(); ++i) {
     const int row = cache.ids[i];
     float* g = table.grad.data() + static_cast<std::size_t>(row) * h;

@@ -45,3 +45,22 @@ namespace detail {
                                            rebert_check_os_.str());        \
     }                                                                      \
   } while (0)
+
+// Hot-path variant: same semantics as REBERT_CHECK when REBERT_ENABLE_DCHECKS
+// is defined (CMake option REBERT_DCHECKS, forced on by sanitizer builds),
+// compiled to nothing otherwise. Use only for conditions that a cold-path
+// pass already proves (e.g. layer shapes validated once at model build by
+// check_model_graph); data-dependent invariants stay on REBERT_CHECK.
+#ifdef REBERT_ENABLE_DCHECKS
+#define REBERT_DCHECK(cond) REBERT_CHECK(cond)
+#define REBERT_DCHECK_MSG(cond, msg) REBERT_CHECK_MSG(cond, msg)
+#else
+// `false && (cond)` keeps the expression type-checked (and its operands
+// "used") without evaluating it at run time.
+#define REBERT_DCHECK(cond) \
+  do {                      \
+    if (false && (cond)) {  \
+    }                       \
+  } while (0)
+#define REBERT_DCHECK_MSG(cond, msg) REBERT_DCHECK(cond)
+#endif

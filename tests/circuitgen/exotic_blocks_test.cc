@@ -64,11 +64,12 @@ TEST(LfsrTest, ShiftBodyCopiesBits) {
     sim.step();
     sim.eval_combinational();
     const std::vector<bool> current = state_of(sim, b);
-    if (cycle > 0)
+    if (cycle > 0) {
       for (int i = 1; i < 6; ++i)
         EXPECT_EQ(current[static_cast<std::size_t>(i)],
                   previous[static_cast<std::size_t>(i - 1)])
             << "bit " << i << " cycle " << cycle;
+    }
     previous = current;
   }
 }

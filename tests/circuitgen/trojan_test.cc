@@ -101,7 +101,9 @@ TEST(TrojanTest, TrojanFfsAreOutsideGroundTruthWords) {
     const bool is_trojan =
         std::find(info.trojan_ffs.begin(), info.trojan_ffs.end(),
                   bits[i].name) != info.trojan_ffs.end();
-    if (is_trojan) EXPECT_GE(labels[i], c.words.num_words());
+    if (is_trojan) {
+      EXPECT_GE(labels[i], c.words.num_words());
+    }
   }
 }
 

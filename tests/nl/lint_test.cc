@@ -1,0 +1,323 @@
+// Every lint diagnostic class must fire on a deliberately-broken netlist and
+// stay silent on healthy ones; the reporters and the parser/circuitgen
+// integration are covered here too.
+#include "nl/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "circuitgen/suite.h"
+#include "nl/parser.h"
+#include "util/check.h"
+
+namespace rebert::nl {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good());
+  out << text;
+}
+
+// A minimal healthy netlist: two inputs, one used gate, one observed FF.
+Netlist healthy_netlist() {
+  Netlist n("healthy");
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId g = n.add_gate(GateType::kAnd, {a, b}, "g");
+  n.add_dff(g, "q");
+  n.mark_output(g);
+  return n;
+}
+
+TEST(LintCodeTest, StableIdsAndSeverities) {
+  EXPECT_STREQ(lint_code_id(LintCode::kCombinationalCycle), "NL001");
+  EXPECT_STREQ(lint_code_id(LintCode::kUndrivenNet), "NL002");
+  EXPECT_STREQ(lint_code_id(LintCode::kMultiDrivenNet), "NL003");
+  EXPECT_STREQ(lint_code_id(LintCode::kDanglingOutput), "NL004");
+  EXPECT_STREQ(lint_code_id(LintCode::kUnreachableGate), "NL005");
+  EXPECT_STREQ(lint_code_id(LintCode::kDffNoCone), "NL006");
+  EXPECT_STREQ(lint_code_id(LintCode::kWordBitMismatch), "NL007");
+  EXPECT_STREQ(lint_code_id(LintCode::kFloatingInput), "NL008");
+  EXPECT_STREQ(lint_code_id(LintCode::kParseFailure), "NL009");
+
+  EXPECT_EQ(lint_code_severity(LintCode::kCombinationalCycle),
+            LintSeverity::kError);
+  EXPECT_EQ(lint_code_severity(LintCode::kDanglingOutput),
+            LintSeverity::kWarning);
+  EXPECT_STREQ(lint_code_name(LintCode::kDffNoCone), "dff-no-cone");
+  EXPECT_STREQ(lint_severity_name(LintSeverity::kError), "error");
+}
+
+TEST(LintNetlistTest, HealthyNetlistIsClean) {
+  const LintReport report = lint_netlist(healthy_netlist());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.diagnostics.size(), 0u) << report.to_text();
+}
+
+// NL001: a combinational cycle seeded through replace_gate (the builder API
+// otherwise prevents cycles; the corruption engine rewires exactly like
+// this).
+TEST(LintNetlistTest, FiresCombinationalCycle) {
+  Netlist n("cyclic");
+  const GateId a = n.add_input("a");
+  const GateId g1 = n.add_gate(GateType::kAnd, {a, a}, "g1");
+  const GateId g2 = n.add_gate(GateType::kOr, {g1, a}, "g2");
+  n.mark_output(g2);
+  n.replace_gate(g1, GateType::kAnd, {g2, a});  // g1 <-> g2 cycle
+
+  const LintReport report = lint_netlist(n);
+  EXPECT_TRUE(report.has(LintCode::kCombinationalCycle)) << report.to_text();
+  EXPECT_GT(report.num_errors(), 0);
+  // The diagnostic names gates on the cycle.
+  bool mentions_gate = false;
+  for (const LintDiagnostic& d : report.diagnostics)
+    if (d.code == LintCode::kCombinationalCycle &&
+        d.message.find("g1") != std::string::npos)
+      mentions_gate = true;
+  EXPECT_TRUE(mentions_gate) << report.to_text();
+}
+
+// NL004: a gate whose output feeds nothing and is not a primary output.
+TEST(LintNetlistTest, FiresDanglingOutput) {
+  Netlist n = healthy_netlist();
+  const GateId a = *n.find("a");
+  const GateId b = *n.find("b");
+  n.add_gate(GateType::kXor, {a, b}, "dead");
+
+  const LintReport report = lint_netlist(n);
+  ASSERT_EQ(report.count(LintCode::kDanglingOutput), 1) << report.to_text();
+  const LintDiagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.net, "dead");
+  EXPECT_EQ(d.severity, LintSeverity::kWarning);
+  EXPECT_TRUE(report.clean());  // warnings only
+}
+
+// NL005: transitively dead logic — fanout > 0 but only into dead gates.
+TEST(LintNetlistTest, FiresUnreachableGate) {
+  Netlist n = healthy_netlist();
+  const GateId a = *n.find("a");
+  const GateId b = *n.find("b");
+  const GateId inner = n.add_gate(GateType::kOr, {a, b}, "inner");
+  n.add_gate(GateType::kNot, {inner}, "outer");  // dangling sink
+
+  const LintReport report = lint_netlist(n);
+  EXPECT_EQ(report.count(LintCode::kDanglingOutput), 1) << report.to_text();
+  ASSERT_EQ(report.count(LintCode::kUnreachableGate), 1) << report.to_text();
+  for (const LintDiagnostic& d : report.diagnostics)
+    if (d.code == LintCode::kUnreachableGate) {
+      EXPECT_EQ(d.net, "inner");
+    }
+}
+
+// NL006: flip-flop state fed only by constants or itself.
+TEST(LintNetlistTest, FiresDffNoCone) {
+  Netlist n = healthy_netlist();
+  const GateId c = n.add_const(true, "one");
+  const GateId stuck = n.add_dff(c, "stuck");
+  n.mark_output(stuck);
+
+  const LintReport report = lint_netlist(n);
+  ASSERT_EQ(report.count(LintCode::kDffNoCone), 1) << report.to_text();
+  for (const LintDiagnostic& d : report.diagnostics)
+    if (d.code == LintCode::kDffNoCone) {
+      EXPECT_EQ(d.net, "stuck");
+    }
+}
+
+TEST(LintNetlistTest, SelfLoopDffHasNoCone) {
+  Netlist n = healthy_netlist();
+  const GateId self = static_cast<GateId>(n.num_gates());
+  const GateId q = n.add_dff(self, "loop");  // q = DFF(q)
+  n.mark_output(q);
+
+  const LintReport report = lint_netlist(n);
+  EXPECT_EQ(report.count(LintCode::kDffNoCone), 1) << report.to_text();
+}
+
+TEST(LintNetlistTest, DffFedByOtherDffIsHealthy) {
+  Netlist n = healthy_netlist();
+  const GateId q = *n.find("q");
+  const GateId q2 = n.add_dff(q, "q2");  // shift-register stage
+  n.mark_output(q2);
+  const LintReport report = lint_netlist(n);
+  EXPECT_EQ(report.count(LintCode::kDffNoCone), 0) << report.to_text();
+}
+
+// NL007: word labels referencing bits the netlist does not have.
+TEST(LintNetlistTest, FiresWordBitMismatch) {
+  const Netlist n = healthy_netlist();
+  WordMap words;
+  words.add_word("ghost", {"q", "q_missing"});
+  words.add_word("wrong_kind", {"g"});  // g is a gate, not a flip-flop
+
+  LintOptions options;
+  options.words = &words;
+  const LintReport report = lint_netlist(n, options);
+  EXPECT_EQ(report.count(LintCode::kWordBitMismatch), 2) << report.to_text();
+  EXPECT_FALSE(report.clean());
+}
+
+// NL008: primary input connected to nothing.
+TEST(LintNetlistTest, FiresFloatingInput) {
+  Netlist n = healthy_netlist();
+  n.add_input("nc_pin");
+  const LintReport report = lint_netlist(n);
+  ASSERT_EQ(report.count(LintCode::kFloatingInput), 1) << report.to_text();
+  for (const LintDiagnostic& d : report.diagnostics)
+    if (d.code == LintCode::kFloatingInput) {
+      EXPECT_EQ(d.net, "nc_pin");
+    }
+}
+
+TEST(LintNetlistTest, OptionsDisableIndividualChecks) {
+  Netlist n = healthy_netlist();
+  n.add_input("nc_pin");
+  n.add_gate(GateType::kXor, {*n.find("a"), *n.find("b")}, "dead");
+
+  LintOptions options;
+  options.check_dangling = false;
+  options.check_unreachable = false;
+  options.check_floating_inputs = false;
+  const LintReport report = lint_netlist(n, options);
+  EXPECT_EQ(report.diagnostics.size(), 0u) << report.to_text();
+}
+
+TEST(LintNetlistTest, MaxPerCodeCapsEmission) {
+  Netlist n = healthy_netlist();
+  for (int i = 0; i < 10; ++i) n.add_input("nc" + std::to_string(i));
+  LintOptions options;
+  options.max_per_code = 3;
+  const LintReport report = lint_netlist(n, options);
+  EXPECT_EQ(report.count(LintCode::kFloatingInput), 3);
+}
+
+// NL002 / NL003 / NL009: text-level defects the parser rejects outright.
+TEST(LintSourceTest, FiresUndrivenNet) {
+  const LintReport report = lint_bench_source(
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a, phantom)\n", "broken");
+  ASSERT_EQ(report.count(LintCode::kUndrivenNet), 1) << report.to_text();
+  const LintDiagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.net, "phantom");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.severity, LintSeverity::kError);
+}
+
+TEST(LintSourceTest, FiresMultiDrivenNet) {
+  const LintReport report = lint_bench_source(
+      "INPUT(a)\nINPUT(b)\ny = AND(a, b)\ny = OR(a, b)\nOUTPUT(y)\n");
+  ASSERT_EQ(report.count(LintCode::kMultiDrivenNet), 1) << report.to_text();
+  const LintDiagnostic& d = report.diagnostics.front();
+  EXPECT_EQ(d.net, "y");
+  EXPECT_EQ(d.line, 4);
+  // The message points back at the first driver.
+  EXPECT_NE(d.message.find("line 3"), std::string::npos) << d.message;
+}
+
+TEST(LintSourceTest, FiresParseFailure) {
+  const LintReport report = lint_bench_source(
+      "INPUT(a)\ny = FROBNICATE(a)\nthis is not a statement\n");
+  EXPECT_EQ(report.count(LintCode::kParseFailure), 2) << report.to_text();
+}
+
+TEST(LintSourceTest, ReportsAllDefectsNotJustFirst) {
+  // The parser throws at the first defect; the linter must keep going.
+  const LintReport report = lint_bench_source(
+      "INPUT(a)\n"
+      "a = BUF(a)\n"            // NL003 multi-driven
+      "y = AND(a, ghost1)\n"    // NL002
+      "z = OR(a, ghost2)\n"     // NL002
+      "w = WIBBLE(a)\n"         // NL009
+      "OUTPUT(y)\n");
+  EXPECT_EQ(report.count(LintCode::kMultiDrivenNet), 1);
+  EXPECT_EQ(report.count(LintCode::kUndrivenNet), 2);
+  EXPECT_EQ(report.count(LintCode::kParseFailure), 1);
+  EXPECT_EQ(report.num_errors(), 4) << report.to_text();
+}
+
+TEST(LintSourceTest, CleanSourceHasNoDiagnostics) {
+  const LintReport report = lint_bench_source(
+      "# comment\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  EXPECT_EQ(report.diagnostics.size(), 0u) << report.to_text();
+}
+
+TEST(LintFileTest, ComposesSourceAndGraphPasses) {
+  const std::string path = temp_path("lint_compose.bench");
+  // Parses fine, but has a floating input and a dangling gate.
+  write_file(path,
+             "INPUT(a)\nINPUT(b)\nINPUT(nc)\n"
+             "g = AND(a, b)\ndead = XOR(a, b)\n"
+             "q = DFF(g)\nOUTPUT(g)\n");
+  const LintReport report = lint_bench_file(path);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.count(LintCode::kFloatingInput), 1) << report.to_text();
+  EXPECT_EQ(report.count(LintCode::kDanglingOutput), 1) << report.to_text();
+  std::remove(path.c_str());
+}
+
+TEST(LintFileTest, SourceErrorsShortCircuitGraphPass) {
+  const std::string path = temp_path("lint_undriven.bench");
+  write_file(path, "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n");
+  const LintReport report = lint_bench_file(path);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.count(LintCode::kUndrivenNet), 1) << report.to_text();
+  std::remove(path.c_str());
+}
+
+TEST(LintReportTest, TextAndCsvReporters) {
+  Netlist n = healthy_netlist();
+  n.add_input("nc_pin");
+  LintReport report = lint_netlist(n);
+  report.netlist_name = "reporter_demo";
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("NL008"), std::string::npos) << text;
+  EXPECT_NE(text.find("floating-input"), std::string::npos) << text;
+  EXPECT_NE(text.find("0 error(s), 1 warning(s)"), std::string::npos) << text;
+
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("netlist,severity,code,name,gate,net,line,message"),
+            std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("reporter_demo,warning,NL008,floating-input"),
+            std::string::npos)
+      << csv;
+}
+
+// Parser integration: the report (warnings included) is observable through
+// ParseOptions, and lint can be opted out entirely.
+TEST(LintParserIntegrationTest, ParseFillsLintReport) {
+  LintReport report;
+  ParseOptions options;
+  options.lint_report = &report;
+  const Netlist n = parse_bench_string(
+      "INPUT(a)\nINPUT(nc)\nOUTPUT(y)\ny = NOT(a)\n", "with_warning",
+      options);
+  EXPECT_EQ(n.num_gates(), 3);
+  EXPECT_EQ(report.count(LintCode::kFloatingInput), 1) << report.to_text();
+}
+
+TEST(LintParserIntegrationTest, OptOutSkipsLint) {
+  ParseOptions options;
+  options.lint = false;
+  EXPECT_NO_THROW(parse_bench_string("INPUT(a)\nOUTPUT(a)\n", "", options));
+}
+
+// Circuitgen integration: every generated benchmark lints with zero errors
+// against its own ground truth (the acceptance bar for `rebert_cli lint`).
+TEST(LintCircuitgenIntegrationTest, GeneratedBenchmarkLintsClean) {
+  const gen::GeneratedCircuit c = gen::generate_benchmark("b03", 0.25);
+  LintOptions options;
+  options.words = &c.words;
+  const LintReport report = lint_netlist(c.netlist, options);
+  EXPECT_TRUE(report.clean()) << report.to_text();
+}
+
+}  // namespace
+}  // namespace rebert::nl

@@ -65,7 +65,9 @@ TEST(BuildScoreMatrixTest, ScoresLandSymmetrically) {
       bits, off, [&](int i, int j) { return 0.1 * (i + 1) + 0.01 * j; });
   for (int i = 0; i < scores.size(); ++i)
     for (int j = 0; j < scores.size(); ++j)
-      if (i != j) EXPECT_DOUBLE_EQ(scores.at(i, j), scores.at(j, i));
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(scores.at(i, j), scores.at(j, i));
+      }
 }
 
 TEST(BuildScoreMatrixTest, SingleBitMatrix) {

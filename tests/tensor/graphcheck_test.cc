@@ -1,0 +1,132 @@
+// GraphCheck stage/param unification, the finite-value helpers, and the
+// NaN/Inf tripwire.
+#include "tensor/graphcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace rebert::tensor {
+namespace {
+
+TEST(ShapePatternTest, Compatibility) {
+  EXPECT_TRUE(shapes_compatible({2, 3}, {2, 3}));
+  EXPECT_TRUE(shapes_compatible({kDynamicDim, 3}, {7, 3}));
+  EXPECT_TRUE(shapes_compatible({7, 3}, {kDynamicDim, 3}));
+  EXPECT_FALSE(shapes_compatible({2, 3}, {3, 2}));
+  EXPECT_FALSE(shapes_compatible({2, 3}, {2, 3, 1}));  // rank mismatch
+  EXPECT_TRUE(shapes_compatible({}, {}));
+}
+
+TEST(ShapePatternTest, Rendering) {
+  EXPECT_EQ(shape_pattern_string({kDynamicDim, 64}), "[?, 64]");
+  EXPECT_EQ(shape_pattern_string({}), "[]");
+}
+
+TEST(GraphCheckTest, ConsistentChainPasses) {
+  GraphCheck g("chain");
+  g.stage("embed", {kDynamicDim}, {kDynamicDim, 8})
+      .stage("encoder", {kDynamicDim, 8}, {kDynamicDim, 8})
+      .stage("head", {kDynamicDim, 8}, {1, 2});
+  EXPECT_TRUE(g.ok());
+  EXPECT_NO_THROW(g.finish());
+}
+
+TEST(GraphCheckTest, MismatchedStagesReported) {
+  GraphCheck g("chain");
+  g.stage("a", {kDynamicDim}, {kDynamicDim, 8})
+      .stage("b", {kDynamicDim, 16}, {kDynamicDim, 16});  // 8 != 16
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.num_failures(), 1);
+  EXPECT_THROW(g.finish(), util::CheckError);
+}
+
+TEST(GraphCheckTest, CollectsAllFailuresNotJustFirst) {
+  GraphCheck g("multi");
+  g.stage("a", {4}, {8})
+      .stage("b", {9}, {10})    // failure 1: 8 vs 9
+      .stage("c", {11}, {12})   // failure 2: 10 vs 11
+      .require(false, "failure 3");
+  EXPECT_EQ(g.num_failures(), 3);
+  try {
+    g.finish();
+    FAIL() << "expected a throw";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failure 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 problem(s)"), std::string::npos) << what;
+  }
+}
+
+TEST(GraphCheckTest, ParamShapeVerified) {
+  GraphCheck g("params");
+  Tensor w({8, 16});
+  g.param("layer.weight", w.shape(), {8, 16});
+  EXPECT_TRUE(g.ok());
+  g.param("layer.weight", w.shape(), {16, 8});
+  EXPECT_FALSE(g.ok());
+  EXPECT_NE(g.failures_text().find("layer.weight"), std::string::npos);
+}
+
+TEST(FiniteCheckTest, AllFiniteAndFirstNonfinite) {
+  Tensor t({2, 2});
+  EXPECT_TRUE(all_finite(t));
+  EXPECT_EQ(first_nonfinite(t), -1);
+  t.at(1, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(all_finite(t));
+  EXPECT_EQ(first_nonfinite(t), 2);  // row-major flat index
+  t.at(1, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(t));
+}
+
+TEST(FiniteCheckTest, CheckFiniteThrowsWithContext) {
+  Tensor t({3});
+  EXPECT_NO_THROW(check_finite(t, "grad"));
+  t[1] = -std::numeric_limits<float>::infinity();
+  try {
+    check_finite(t, "encoder.0.query.grad");
+    FAIL() << "expected a throw";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("encoder.0.query.grad"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 1"), std::string::npos) << what;
+  }
+}
+
+TEST(NumericTripwireTest, RecordsFirstTripOnly) {
+  NumericTripwire tripwire;
+  Tensor good({2});
+  Tensor bad({2});
+  bad[1] = std::numeric_limits<float>::quiet_NaN();
+
+  tripwire.set_step(12);
+  tripwire.observe("good", good);
+  EXPECT_FALSE(tripwire.tripped());
+  tripwire.observe("first_bad", bad);
+  EXPECT_TRUE(tripwire.tripped());
+  tripwire.observe("second_bad", bad);  // must not overwrite
+  EXPECT_NE(tripwire.first_trip().find("first_bad"), std::string::npos);
+  EXPECT_NE(tripwire.first_trip().find("step 12"), std::string::npos);
+  EXPECT_NE(tripwire.first_trip().find("index 1"), std::string::npos);
+  EXPECT_EQ(tripwire.num_observations(), 3);
+}
+
+TEST(NumericTripwireTest, ScalarObservationAndReset) {
+  NumericTripwire tripwire;
+  tripwire.observe_scalar("loss", 0.5);
+  EXPECT_FALSE(tripwire.tripped());
+  tripwire.observe_scalar("loss", std::nan(""));
+  EXPECT_TRUE(tripwire.tripped());
+  EXPECT_NE(tripwire.first_trip().find("loss"), std::string::npos);
+
+  tripwire.reset();
+  EXPECT_FALSE(tripwire.tripped());
+  EXPECT_EQ(tripwire.num_observations(), 0);
+  EXPECT_TRUE(tripwire.first_trip().empty());
+}
+
+}  // namespace
+}  // namespace rebert::tensor

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Static analysis driver: clang-tidy (when available), sanitizer test-suite
+# runs, and netlist lint over every generated benchmark.
+#
+# Usage: tools/static_analysis.sh [--skip-tidy] [--skip-sanitizers] [--skip-lint]
+#
+# Stages (each independently skippable):
+#   1. clang-tidy over src/ and apps/ using a compile_commands.json build.
+#      Skipped with a notice when clang-tidy is not installed (the container
+#      image ships only gcc).
+#   2. ASan and UBSan builds of the full test suite, run under ctest. Any
+#      sanitizer report fails the stage (UBSan is built with
+#      -fno-sanitize-recover so findings abort).
+#   3. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
+#      R-Index 0 and 0.4. Error-severity diagnostics fail the stage;
+#      warnings are reported but tolerated (generated circuits contain
+#      intentional dead distractor logic).
+set -u
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+RUN_TIDY=1
+RUN_SAN=1
+RUN_LINT=1
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tidy) RUN_TIDY=0 ;;
+    --skip-sanitizers) RUN_SAN=0 ;;
+    --skip-lint) RUN_LINT=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+FAILURES=0
+
+note() { printf '\n== %s ==\n' "$1"; }
+
+# ---- 1. clang-tidy ---------------------------------------------------------
+if [ "$RUN_TIDY" -eq 1 ]; then
+  note "clang-tidy"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    mapfile -t TIDY_SOURCES < <(find src apps -name '*.cc' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p build-tidy -quiet "${TIDY_SOURCES[@]}" || FAILURES=$((FAILURES + 1))
+    else
+      clang-tidy -p build-tidy --quiet "${TIDY_SOURCES[@]}" || FAILURES=$((FAILURES + 1))
+    fi
+  else
+    echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  fi
+fi
+
+# ---- 2. sanitizer builds ---------------------------------------------------
+run_sanitizer() {
+  local san="$1"
+  local dir="build-$san"
+  note "sanitizer: $san"
+  cmake -B "$dir" -S . -DREBERT_SANITIZE="$san" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
+  cmake --build "$dir" -j "$JOBS" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS") || FAILURES=$((FAILURES + 1))
+}
+
+if [ "$RUN_SAN" -eq 1 ]; then
+  run_sanitizer address
+  run_sanitizer undefined
+fi
+
+# ---- 3. netlist lint over generated benchmarks -----------------------------
+if [ "$RUN_LINT" -eq 1 ]; then
+  note "netlist lint (b03..b18, R-Index 0 and 0.4)"
+  BUILD=build
+  if [ ! -x "$BUILD/apps/rebert_cli" ]; then
+    cmake -B "$BUILD" -S . >/dev/null && cmake --build "$BUILD" -j "$JOBS" --target rebert_cli >/dev/null \
+      || { echo "failed to build rebert_cli" >&2; exit 1; }
+  fi
+  CLI="$ROOT/$BUILD/apps/rebert_cli"
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+  LINT_ERRORS=0
+  for bench in b03 b04 b05 b07 b08 b11 b12 b13 b14 b15 b17 b18; do
+    "$CLI" gen --bench "$bench" --out "$WORK/$bench.bench" --words "$WORK/$bench.words" >/dev/null \
+      || { echo "FAIL: gen $bench"; LINT_ERRORS=$((LINT_ERRORS + 1)); continue; }
+    if ! "$CLI" lint --in "$WORK/$bench.bench" --words "$WORK/$bench.words" >/dev/null; then
+      echo "FAIL: lint $bench (R=0)"
+      "$CLI" lint --in "$WORK/$bench.bench" --words "$WORK/$bench.words" | grep '^error' | head -5
+      LINT_ERRORS=$((LINT_ERRORS + 1))
+    fi
+    "$CLI" corrupt --in "$WORK/$bench.bench" --r-index 0.4 --seed 7 \
+      --out "$WORK/$bench.r04.bench" >/dev/null \
+      || { echo "FAIL: corrupt $bench"; LINT_ERRORS=$((LINT_ERRORS + 1)); continue; }
+    if ! "$CLI" lint --in "$WORK/$bench.r04.bench" >/dev/null; then
+      echo "FAIL: lint $bench (R=0.4)"
+      LINT_ERRORS=$((LINT_ERRORS + 1))
+    fi
+  done
+  if [ "$LINT_ERRORS" -eq 0 ]; then
+    echo "all benchmarks lint clean of errors"
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+note "summary"
+if [ "$FAILURES" -eq 0 ]; then
+  echo "static analysis passed"
+else
+  echo "static analysis: $FAILURES stage(s) failed"
+fi
+exit "$((FAILURES > 0))"
