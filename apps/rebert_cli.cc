@@ -1,19 +1,28 @@
 // rebert_cli — command-line driver for the whole toolkit.
 //
-//   rebert_cli gen      --bench b05 [--scale 1.0] --out c.bench
-//                       [--words c.words] [--verilog]
-//   rebert_cli stats    --in c.bench
-//   rebert_cli convert  --in c.bench --out c.v
-//   rebert_cli corrupt  --in c.bench --r-index 0.4 [--seed 7] --out d.bench
-//   rebert_cli optimize --in c.bench --out e.bench
-//   rebert_cli train    --out model.bin [--benchmarks b03,b08,...]
-//                       [--scale 0.25] [--epochs 3] [--max-samples 250]
-//   rebert_cli recover  --in c.bench [--model model.bin] [--words truth]
-//                       [--structural] [--report]
-//   rebert_cli analyze  --in c.bench --bits q0,q1,q2
-//   rebert_cli dot      --in c.bench --out c.dot [--words truth]
-//   rebert_cli lint     --in c.bench [--words truth] [--format text|csv]
-//                       [--out report.csv] [--fail-on-warn]
+// Subcommands (run `rebert_cli` with no arguments for the same list — the
+// usage screen and the dispatcher are generated from one table, so they
+// cannot drift apart):
+//
+//   rebert_cli gen         --bench b05 --out c.bench [--scale 1.0]
+//                          [--words c.words]
+//   rebert_cli stats       --in c.bench
+//   rebert_cli convert     --in c.bench --out c.v
+//   rebert_cli corrupt     --in c.bench --out d.bench [--r-index 0.5]
+//                          [--seed 7]
+//   rebert_cli optimize    --in c.bench --out e.bench
+//   rebert_cli train       --out model.bin [--benchmarks b03,b08,...]
+//                          [--scale 0.25] [--epochs 3] [--max-samples 250]
+//   rebert_cli recover     --in c.bench [--model model.bin] [--threads N]
+//                          [--words truth] [--structural] [--report]
+//   rebert_cli analyze     --in c.bench --bits q0,q1,q2
+//   rebert_cli dot         --in c.bench --out c.dot [--words truth]
+//   rebert_cli lint        --in c.bench [--words truth] [--format text|csv]
+//                          [--out report.csv] [--fail-on-warn]
+//   rebert_cli serve       [--socket /tmp/rebert.sock] [--threads N]
+//                          [--batch 16] [--model model.bin] [--scale 0.25]
+//   rebert_cli bench-serve [--bench b07] [--requests 200] [--clients 2]
+//                          [--threads N] [--batch 16] [--scale 0.25]
 //
 // File formats are detected by extension: .v / .verilog parse as structural
 // Verilog, everything else as ISCAS-89 .bench.
@@ -21,9 +30,18 @@
 // `lint` reports typed diagnostics (NL001..., see src/nl/lint.h) instead of
 // stopping at the first defect; exit status is 0 when no error-severity
 // diagnostic fired (add --fail-on-warn to also fail on warnings).
+//
+// `serve` speaks the newline protocol of src/serve/protocol.h over stdio
+// (default) or a Unix socket; `bench-serve` drives the same engine with an
+// in-process load generator and reports p50/p95 latency and QPS.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "circuitgen/suite.h"
 #include "metrics/clustering.h"
@@ -37,22 +55,17 @@
 #include "rebert/pipeline.h"
 #include "rebert/report.h"
 #include "rebert/word_typing.h"
+#include "serve/engine.h"
+#include "serve/serve_loop.h"
 #include "structural/matching.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/string_utils.h"
+#include "util/timer.h"
 
 using namespace rebert;
 
 namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: rebert_cli <gen|stats|convert|corrupt|optimize|train|"
-               "recover|analyze|dot|lint> [flags]\n"
-               "see the header of apps/rebert_cli.cc for the full flag "
-               "reference\n");
-  return 2;
-}
 
 bool is_verilog_path(const std::string& path) {
   return util::ends_with(path, ".v") || util::ends_with(path, ".verilog");
@@ -89,6 +102,16 @@ core::ExperimentOptions experiment_options(const util::FlagParser& flags) {
       flags.get_int("max-samples", 250);
   options.training.epochs = flags.get_int("epochs", 3);
   options.training.verbose = flags.get_bool("verbose", false);
+  return options;
+}
+
+serve::EngineOptions engine_options(const util::FlagParser& flags) {
+  serve::EngineOptions options;
+  options.num_threads = flags.get_int("threads", 0);
+  options.batch_size = flags.get_int("batch", 16);
+  options.suite_scale = flags.get_double("scale", 0.25);
+  options.model_path = flags.get("model", "");
+  options.experiment = experiment_options(flags);
   return options;
 }
 
@@ -194,16 +217,22 @@ int cmd_recover(const util::FlagParser& flags) {
     std::fprintf(stderr, "netlist has no flip-flops\n");
     return 1;
   }
+  // 1 = serial (default), 0 = REBERT_THREADS / hardware, n = exactly n.
+  // Recovered labels are bit-identical at any value.
+  const int threads = flags.get_int("threads", 1);
 
   std::vector<int> labels;
   if (flags.get_bool("structural", false)) {
+    structural::MatchingOptions match_options;
+    match_options.num_threads = threads;
     const structural::StructuralResult result =
-        structural::recover_words_structural(netlist);
+        structural::recover_words_structural(netlist, match_options);
     labels = result.labels;
     std::printf("structural matching: %d words in %.3fs\n",
                 result.num_words, result.total_seconds);
   } else {
     core::ExperimentOptions options = experiment_options(flags);
+    options.pipeline.num_threads = threads;
     bert::BertPairClassifier model(core::make_model_config(options));
     const std::string model_path = flags.get("model", "");
     if (!model_path.empty()) {
@@ -346,6 +375,142 @@ int cmd_lint(const util::FlagParser& flags) {
   return failed ? 1 : 0;
 }
 
+int cmd_serve(const util::FlagParser& flags) {
+  serve::InferenceEngine engine(engine_options(flags));
+  serve::ServeLoop loop(engine);
+  const std::string socket_path = flags.get("socket", "");
+  if (!socket_path.empty()) {
+    loop.run_unix_socket(socket_path);  // blocks until the process dies
+    return 0;
+  }
+  std::fprintf(stderr,
+               "rebert serve: reading requests from stdin (try: help)\n");
+  const std::size_t answered = loop.run(std::cin, std::cout);
+  std::fprintf(stderr, "rebert serve: answered %zu request(s)\n", answered);
+  return 0;
+}
+
+int cmd_bench_serve(const util::FlagParser& flags) {
+  serve::InferenceEngine engine(engine_options(flags));
+  serve::ServeLoop loop(engine);
+
+  const std::string bench = flags.get("bench", "b07");
+  const int total = std::max(1, flags.get_int("requests", 200));
+  const int clients = std::max(1, flags.get_int("clients", 2));
+  const int num_bits = engine.warm(bench);
+  const std::vector<std::string> bits = engine.bit_names(bench);
+  std::printf("bench-serve: %s (%d bits), %d requests, %d client(s), "
+              "%d engine thread(s), batch %d\n",
+              bench.c_str(), num_bits, total, clients, engine.threads(),
+              engine.options().batch_size);
+
+  std::atomic<int> next{0};
+  std::atomic<int> errors{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  util::WallTimer wall;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      util::Rng rng(0x5e27eULL + static_cast<std::uint64_t>(c));
+      std::vector<double>& mine = latencies[static_cast<std::size_t>(c)];
+      while (next.fetch_add(1) < total) {
+        const std::string& a =
+            bits[static_cast<std::size_t>(rng.uniform_int(0, num_bits - 1))];
+        const std::string& b =
+            bits[static_cast<std::size_t>(rng.uniform_int(0, num_bits - 1))];
+        const std::string line = "score " + bench + " " + a + " " + b;
+        util::WallTimer timer;
+        bool quit = false;
+        const std::string response = loop.handle_line(line, &quit);
+        mine.push_back(timer.seconds());
+        if (!util::starts_with(response, "ok"))
+          errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = wall.seconds();
+
+  std::vector<double> all;
+  for (const std::vector<double>& client : latencies)
+    all.insert(all.end(), client.begin(), client.end());
+  std::sort(all.begin(), all.end());
+  const auto percentile = [&all](double p) {
+    const std::size_t index = std::min(
+        all.size() - 1, static_cast<std::size_t>(p * all.size()));
+    return all[index];
+  };
+  double sum = 0.0;
+  for (double latency : all) sum += latency;
+
+  if (errors.load() > 0)
+    std::fprintf(stderr, "bench-serve: %d request(s) failed\n",
+                 errors.load());
+  std::printf("requests   : %zu\n", all.size());
+  std::printf("wall       : %.3fs\n", elapsed);
+  std::printf("qps        : %.1f\n",
+              static_cast<double>(all.size()) / elapsed);
+  std::printf("latency avg: %.3fms\n", 1000.0 * sum / all.size());
+  std::printf("latency p50: %.3fms\n", 1000.0 * percentile(0.50));
+  std::printf("latency p95: %.3fms\n", 1000.0 * percentile(0.95));
+  return errors.load() > 0 ? 1 : 0;
+}
+
+// The one subcommand table: the usage screen and the dispatcher in main()
+// are both generated from it, so adding a command here is the whole
+// registration.
+struct Subcommand {
+  const char* name;
+  const char* flags_help;
+  int (*run)(const util::FlagParser&);
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"gen", "--bench b05 --out c.bench [--scale 1.0] [--words c.words]",
+     cmd_gen},
+    {"stats", "--in c.bench", cmd_stats},
+    {"convert", "--in c.bench --out c.v", cmd_convert},
+    {"corrupt", "--in c.bench --out d.bench [--r-index 0.5] [--seed 7]",
+     cmd_corrupt},
+    {"optimize", "--in c.bench --out e.bench", cmd_optimize},
+    {"train",
+     "--out model.bin [--benchmarks b03,b08,...] [--scale 0.25] "
+     "[--epochs 3] [--max-samples 250]",
+     cmd_train},
+    {"recover",
+     "--in c.bench [--model model.bin] [--threads N] [--words truth] "
+     "[--structural] [--report] [--json]",
+     cmd_recover},
+    {"analyze", "--in c.bench --bits q0,q1,q2", cmd_analyze},
+    {"dot", "--in c.bench --out c.dot [--words truth]", cmd_dot},
+    {"lint",
+     "--in c.bench [--words truth] [--format text|csv] [--out report.csv] "
+     "[--fail-on-warn]",
+     cmd_lint},
+    {"serve",
+     "[--socket /tmp/rebert.sock] [--threads N] [--batch 16] "
+     "[--model model.bin] [--scale 0.25]",
+     cmd_serve},
+    {"bench-serve",
+     "[--bench b07] [--requests 200] [--clients 2] [--threads N] "
+     "[--batch 16] [--scale 0.25]",
+     cmd_bench_serve},
+};
+
+int usage() {
+  std::string verbs;
+  for (const Subcommand& command : kSubcommands) {
+    if (!verbs.empty()) verbs += '|';
+    verbs += command.name;
+  }
+  std::fprintf(stderr, "usage: rebert_cli <%s> [flags]\n\n", verbs.c_str());
+  for (const Subcommand& command : kSubcommands)
+    std::fprintf(stderr, "  rebert_cli %-11s %s\n", command.name,
+                 command.flags_help);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,16 +518,8 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) return usage();
   const std::string& command = flags.positional()[0];
   try {
-    if (command == "gen") return cmd_gen(flags);
-    if (command == "stats") return cmd_stats(flags);
-    if (command == "convert") return cmd_convert(flags);
-    if (command == "corrupt") return cmd_corrupt(flags);
-    if (command == "optimize") return cmd_optimize(flags);
-    if (command == "train") return cmd_train(flags);
-    if (command == "recover") return cmd_recover(flags);
-    if (command == "analyze") return cmd_analyze(flags);
-    if (command == "dot") return cmd_dot(flags);
-    if (command == "lint") return cmd_lint(flags);
+    for (const Subcommand& entry : kSubcommands)
+      if (command == entry.name) return entry.run(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

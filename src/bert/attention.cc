@@ -38,7 +38,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(const std::string& name,
       output_(name + ".output", config.hidden, config.hidden, rng) {}
 
 Tensor MultiHeadSelfAttention::forward(const Tensor& x, Cache* cache,
-                                       int valid_len) {
+                                       int valid_len) const {
   const int hidden = num_heads_ * head_dim_;
   // Entry-point check stays always-on (public API, once per forward); the
   // per-head helpers below rely on the build-time graph check instead.

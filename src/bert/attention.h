@@ -32,8 +32,10 @@ class MultiHeadSelfAttention {
   /// attention scores onto positions >= valid_len are forced to -inf so
   /// [PAD] tokens (§II-A-3 pads pair sequences to a uniform length) can
   /// never influence real positions. 0 means "no padding".
+  /// const: reads only the projection parameters, so concurrent forward
+  /// calls on one instance are safe (each caller owns its Cache).
   tensor::Tensor forward(const tensor::Tensor& x, Cache* cache,
-                         int valid_len = 0);
+                         int valid_len = 0) const;
 
   /// Returns dx; accumulates all projection gradients.
   tensor::Tensor backward(const tensor::Tensor& dy, const Cache& cache);

@@ -19,7 +19,7 @@ BertEmbeddings::BertEmbeddings(const BertConfig& config, util::Rng& rng)
 }
 
 Tensor BertEmbeddings::forward(const EncodedSequence& input, bool training,
-                               util::Rng& rng, Cache* cache) {
+                               util::Rng& rng, Cache* cache) const {
   const int n = input.length();
   REBERT_CHECK_MSG(n >= 1, "empty sequence");
   REBERT_CHECK_MSG(static_cast<int>(input.position_ids.size()) == n,

@@ -46,9 +46,10 @@ class BertEmbeddings {
     bool used_tree = false;
   };
 
-  /// -> [n, hidden].
+  /// -> [n, hidden]. const: tables are only read; `rng` is consumed only
+  /// when `training` (dropout), so concurrent eval forwards are safe.
   tensor::Tensor forward(const EncodedSequence& input, bool training,
-                         util::Rng& rng, Cache* cache);
+                         util::Rng& rng, Cache* cache) const;
 
   /// Accumulates all embedding gradients (no input gradient: ids are
   /// discrete and tree codes are fixed features).

@@ -18,7 +18,7 @@ EncoderLayer::EncoderLayer(const std::string& name, const BertConfig& config,
       dropout_(config.dropout) {}
 
 Tensor EncoderLayer::forward(const Tensor& x, bool training, util::Rng& rng,
-                             Cache* cache, int valid_len) {
+                             Cache* cache, int valid_len) const {
   Cache local;
   Cache& c = cache ? *cache : local;
 

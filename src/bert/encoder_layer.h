@@ -26,9 +26,12 @@ class EncoderLayer {
   };
 
   /// `valid_len` > 0 masks trailing [PAD] positions in the attention
-  /// sublayer (see MultiHeadSelfAttention::forward).
+  /// sublayer (see MultiHeadSelfAttention::forward). const: parameters are
+  /// only read, so concurrent eval-mode forwards are safe; `rng` is
+  /// consumed only when `training` (dropout masks).
   tensor::Tensor forward(const tensor::Tensor& x, bool training,
-                         util::Rng& rng, Cache* cache, int valid_len = 0);
+                         util::Rng& rng, Cache* cache,
+                         int valid_len = 0) const;
   tensor::Tensor backward(const tensor::Tensor& dy, const Cache& cache);
 
   std::vector<tensor::Parameter*> parameters();

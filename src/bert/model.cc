@@ -108,16 +108,24 @@ BertPairClassifier::BertPairClassifier(const BertConfig& config)
 }
 
 Tensor BertPairClassifier::forward(const EncodedSequence& input,
-                                   bool training, ForwardCache* cache) {
+                                   util::Rng* dropout_rng,
+                                   ForwardCache* cache) const {
+  const bool training = dropout_rng != nullptr;
+  // Eval-mode layer forwards never consume randomness (dropout is the
+  // identity), but the layer API threads an Rng through; hand them an
+  // inert thread-local one so concurrent const inference shares no
+  // mutable state whatsoever.
+  static thread_local util::Rng inert_eval_rng(0);
+  util::Rng& rng = training ? *dropout_rng : inert_eval_rng;
+
   ForwardCache local;
   ForwardCache& c = cache ? *cache : local;
   c.seq_len = input.length();
   c.layers.resize(layers_.size());
 
-  Tensor hidden = embeddings_.forward(input, training, dropout_rng_,
-                                      &c.embeddings);
+  Tensor hidden = embeddings_.forward(input, training, rng, &c.embeddings);
   for (std::size_t i = 0; i < layers_.size(); ++i)
-    hidden = layers_[i].forward(hidden, training, dropout_rng_, &c.layers[i],
+    hidden = layers_[i].forward(hidden, training, rng, &c.layers[i],
                                 input.valid_len);
 
   // Pooler: first token ([CLS]) -> linear -> tanh.
@@ -147,16 +155,27 @@ void BertPairClassifier::backward(const Tensor& d_logits,
 }
 
 double BertPairClassifier::predict_same_word_probability(
-    const EncodedSequence& input) {
-  const Tensor logits = forward(input, /*training=*/false, nullptr);
+    const EncodedSequence& input) const {
+  const Tensor logits = forward(input, /*dropout_rng=*/nullptr, nullptr);
   const Tensor probs = tensor::softmax_rows(logits);
   return probs.at(0, 1);
+}
+
+std::vector<double> BertPairClassifier::predict_same_word_probabilities(
+    const std::vector<const EncodedSequence*>& batch) const {
+  std::vector<double> scores;
+  scores.reserve(batch.size());
+  for (const EncodedSequence* input : batch) {
+    REBERT_CHECK_MSG(input != nullptr, "null sequence in prediction batch");
+    scores.push_back(predict_same_word_probability(*input));
+  }
+  return scores;
 }
 
 double BertPairClassifier::train_step_accumulate(const EncodedSequence& input,
                                                  int label) {
   ForwardCache cache;
-  const Tensor logits = forward(input, /*training=*/true, &cache);
+  const Tensor logits = forward(input, &dropout_rng_, &cache);
   Tensor d_logits;
   const double loss =
       tensor::cross_entropy_with_logits(logits, {label}, &d_logits);
@@ -165,8 +184,8 @@ double BertPairClassifier::train_step_accumulate(const EncodedSequence& input,
 }
 
 double BertPairClassifier::eval_loss(const EncodedSequence& input,
-                                     int label) {
-  const Tensor logits = forward(input, /*training=*/false, nullptr);
+                                     int label) const {
+  const Tensor logits = forward(input, /*dropout_rng=*/nullptr, nullptr);
   return tensor::cross_entropy_with_logits(logits, {label}, nullptr);
 }
 

@@ -37,14 +37,29 @@ class BertPairClassifier {
 
   /// Probability that the pair belongs to the same word (class 1);
   /// inference mode (no dropout).
-  double predict_same_word_probability(const EncodedSequence& input);
+  ///
+  /// Thread safety: const inference reads parameters only (dropout is the
+  /// identity in eval mode and its RNG is never touched), so any number of
+  /// threads may score pairs against one shared model snapshot
+  /// concurrently. Training methods are NOT concurrency-safe and must not
+  /// overlap with inference.
+  double predict_same_word_probability(const EncodedSequence& input) const;
+
+  /// Batch-forward entry point: scores a micro-batch of encoded pair
+  /// sequences (one forward each — sequences differ in length, so there is
+  /// no cross-sequence tensor to fuse). This is the unit of work the serve
+  /// engine and the parallel scorer fan out across runtime::ThreadPool
+  /// workers; keeping the batch walk inside the model lets future backends
+  /// fuse it for real without touching callers.
+  std::vector<double> predict_same_word_probabilities(
+      const std::vector<const EncodedSequence*>& batch) const;
 
   /// Training-mode forward + backward for one example. Returns the loss;
   /// accumulates gradients on all parameters.
   double train_step_accumulate(const EncodedSequence& input, int label);
 
   /// Loss without gradient accumulation (for eval).
-  double eval_loss(const EncodedSequence& input, int label);
+  double eval_loss(const EncodedSequence& input, int label) const;
 
   /// All trainable parameters in a stable order.
   const std::vector<tensor::Parameter*>& parameters();
@@ -59,9 +74,11 @@ class BertPairClassifier {
 
  private:
   struct ForwardCache;
-  /// logits [1, num_classes]; fills cache when training.
-  tensor::Tensor forward(const EncodedSequence& input, bool training,
-                         ForwardCache* cache);
+  /// logits [1, num_classes]; fills cache when training. `dropout_rng`
+  /// null means inference mode (no dropout, no RNG consumption — what
+  /// makes const concurrent forwards sound).
+  tensor::Tensor forward(const EncodedSequence& input,
+                         util::Rng* dropout_rng, ForwardCache* cache) const;
   void backward(const tensor::Tensor& d_logits, const ForwardCache& cache);
 
   BertConfig config_;

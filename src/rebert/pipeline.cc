@@ -25,10 +25,12 @@ RecoveryArtifacts recover_words_detailed(const nl::Netlist& netlist,
                    "netlist has no sequential elements");
 
   phase.reset();
-  PredictionCache cache;
-  artifacts.scores = build_score_matrix_with_model(
+  ShardedPredictionCache cache;
+  ScoringOptions scoring;
+  scoring.num_threads = options.num_threads;
+  artifacts.scores = score_all_pairs(
       artifacts.sequences, tokenizer, options.filter, model,
-      options.use_prediction_cache ? &cache : nullptr);
+      options.use_prediction_cache ? &cache : nullptr, scoring);
   result.scoring_seconds = phase.seconds();
   result.filtered_fraction = artifacts.scores.filtered_fraction();
   result.cache_hit_rate = cache.hit_rate();

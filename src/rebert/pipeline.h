@@ -29,6 +29,11 @@ struct PipelineOptions {
   /// (lossless; see prediction_cache.h). The cache lives for one
   /// recover_words() call.
   bool use_prediction_cache = true;
+  /// Worker threads for the pairwise-scoring hot path (see
+  /// core::score_all_pairs): 1 = serial, 0 = REBERT_THREADS / hardware,
+  /// n > 1 = exactly n. The recovered labels are bit-identical at any
+  /// value — threading only changes wall-clock time.
+  int num_threads = 1;
 };
 
 struct RecoveryResult {

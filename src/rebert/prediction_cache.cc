@@ -1,12 +1,22 @@
 #include "rebert/prediction_cache.h"
 
+#include "util/check.h"
+
 namespace rebert::core {
 
 namespace {
+
 inline std::uint64_t fnv_step(std::uint64_t h, std::uint64_t value) {
   h ^= value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   return h;
 }
+
+inline std::uint64_t round_up_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 std::uint64_t hash_sequence(std::uint64_t seed, const BitSequence& seq) {
@@ -39,10 +49,10 @@ std::uint64_t PredictionCache::key_of(const BitSequence& a,
 bool PredictionCache::lookup(std::uint64_t key, double* score) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++misses_;
+    stats_.record_miss();
     return false;
   }
-  ++hits_;
+  stats_.record_hit();
   if (score) *score = it->second;
   return true;
 }
@@ -53,8 +63,66 @@ void PredictionCache::insert(std::uint64_t key, double score) {
 
 void PredictionCache::clear() {
   entries_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  stats_.reset();
+}
+
+ShardedPredictionCache::ShardedPredictionCache(int shards) {
+  if (shards <= 0) shards = 64;
+  const std::uint64_t n =
+      round_up_pow2(static_cast<std::uint64_t>(shards));
+  shards_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  shard_mask_ = n - 1;
+}
+
+ShardedPredictionCache::Shard& ShardedPredictionCache::shard_for(
+    std::uint64_t key) const {
+  // Fibonacci-mix the key before masking: keys are already hashes, but
+  // the low bits of closely related sequences correlate; one multiply
+  // spreads them across shards.
+  const std::uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
+  return *shards_[(mixed >> 32) & shard_mask_];
+}
+
+bool ShardedPredictionCache::lookup(std::uint64_t key, double* score) const {
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      if (score) *score = it->second;
+      stats_.record_hit();
+      return true;
+    }
+  }
+  stats_.record_miss();
+  return false;
+}
+
+void ShardedPredictionCache::insert(std::uint64_t key, double score) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // emplace keeps the first value on duplicate keys; racing inserts carry
+  // identical scores (deterministic inference), so either winning is fine.
+  shard.entries.emplace(key, score);
+}
+
+std::size_t ShardedPredictionCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+void ShardedPredictionCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+  }
+  stats_.reset();
 }
 
 }  // namespace rebert::core

@@ -9,15 +9,78 @@
 // score matrices while skipping most forward passes. The speedup bench
 // (ablation_cache) measures the effect; on template-rich circuits the hit
 // rate is high.
+//
+// Two implementations share the key scheme:
+//   * PredictionCache — single-map cache for serial pipelines. Its
+//     hit/miss statistics are atomic (lookup is const and may be called
+//     from several readers), but the map itself is NOT thread-safe.
+//   * ShardedPredictionCache — mutex-striped cache for the concurrent
+//     runtime: the key space is split across kShards independent maps,
+//     each behind its own mutex, so parallel scorers rarely contend on
+//     the same lock. insert() of the same key from two threads is benign:
+//     inference is deterministic, so both write the same score.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "rebert/tokenizer.h"
 
 namespace rebert::core {
+
+namespace detail {
+
+/// Saturating hit/miss counters shared by both cache flavours. Increments
+/// are relaxed atomics (counters only feed statistics, never control
+/// flow); totals saturate instead of wrapping so hit_rate() stays
+/// meaningful even on absurdly long-lived servers.
+class CacheStats {
+ public:
+  void record_hit() { bump(hits_); }
+  void record_miss() { bump(misses_); }
+
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// hits / (hits + misses); 0 before any lookup. The sum is computed in
+  /// a wider domain so hits + misses cannot overflow the division.
+  double hit_rate() const {
+    const double h = static_cast<double>(hits());
+    const double m = static_cast<double>(misses());
+    const double total = h + m;
+    return total > 0.0 ? h / total : 0.0;
+  }
+
+  void reset() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& counter) {
+    std::uint64_t current = counter.load(std::memory_order_relaxed);
+    // Saturate at max instead of wrapping to 0 (which would report a
+    // nonsense hit rate). The CAS loop only matters within one increment
+    // of the ceiling; the fast path is a plain fetch_add.
+    if (current >= kSaturated) return;
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static constexpr std::uint64_t kSaturated = ~0ULL - 1024;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace detail
 
 class PredictionCache {
  public:
@@ -31,20 +94,48 @@ class PredictionCache {
   void insert(std::uint64_t key, double score);
 
   std::size_t size() const { return entries_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  double hit_rate() const {
-    const std::uint64_t total = hits_ + misses_;
-    return total ? static_cast<double>(hits_) / static_cast<double>(total)
-                 : 0.0;
-  }
+  std::uint64_t hits() const { return stats_.hits(); }
+  std::uint64_t misses() const { return stats_.misses(); }
+  double hit_rate() const { return stats_.hit_rate(); }
 
   void clear();
 
  private:
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  mutable detail::CacheStats stats_;
   std::unordered_map<std::uint64_t, double> entries_;
+};
+
+/// Thread-safe cache for the concurrent runtime: fixed shard count, one
+/// mutex per shard, atomic statistics. All methods are safe to call from
+/// any number of threads concurrently.
+class ShardedPredictionCache {
+ public:
+  /// `shards` is rounded up to a power of two; 0 picks the default (64 —
+  /// enough striping that 8-16 scoring threads rarely collide).
+  explicit ShardedPredictionCache(int shards = 0);
+
+  bool lookup(std::uint64_t key, double* score) const;
+  void insert(std::uint64_t key, double score);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::size_t size() const;  // sum over shards; O(shards)
+  std::uint64_t hits() const { return stats_.hits(); }
+  std::uint64_t misses() const { return stats_.misses(); }
+  double hit_rate() const { return stats_.hit_rate(); }
+
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, double> entries;
+  };
+
+  Shard& shard_for(std::uint64_t key) const;
+
+  mutable detail::CacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_ = 0;
 };
 
 /// Hash helper (FNV-1a over ints), exposed for tests.

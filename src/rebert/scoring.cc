@@ -1,7 +1,11 @@
 #include "rebert/scoring.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "runtime/parallel_for.h"
+#include "runtime/threads.h"
 #include "util/check.h"
 
 namespace rebert::core {
@@ -57,7 +61,7 @@ ScoreMatrix build_score_matrix(
 
 ScoreMatrix build_score_matrix_with_model(
     const std::vector<BitSequence>& bits, const Tokenizer& tokenizer,
-    const FilterOptions& filter, bert::BertPairClassifier& model,
+    const FilterOptions& filter, const bert::BertPairClassifier& model,
     PredictionCache* cache) {
   return build_score_matrix(
       bits, filter, [&](int i, int j) {
@@ -74,6 +78,64 @@ ScoreMatrix build_score_matrix_with_model(
         if (cache) cache->insert(key, score);
         return score;
       });
+}
+
+ScoreMatrix score_all_pairs(const std::vector<BitSequence>& bits,
+                            const Tokenizer& tokenizer,
+                            const FilterOptions& filter,
+                            const bert::BertPairClassifier& model,
+                            ShardedPredictionCache* cache,
+                            const ScoringOptions& options) {
+  REBERT_CHECK(!bits.empty());
+  const int n = static_cast<int>(bits.size());
+  ScoreMatrix matrix(n);
+
+  // Flatten the strict upper triangle into a work list so parallel_for
+  // sees one dense index space; (i, j) identifies the only body invocation
+  // that may touch matrix cells (i, j)/(j, i).
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(n - 1) / 2);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+
+  const auto score_one = [&](std::int64_t p) {
+    const auto [i, j] = pairs[static_cast<std::size_t>(p)];
+    const BitSequence& a = bits[static_cast<std::size_t>(i)];
+    const BitSequence& b = bits[static_cast<std::size_t>(j)];
+    if (!passes_filter(a, b, filter)) return;  // cell stays kFiltered
+    std::uint64_t key = 0;
+    if (cache) {
+      key = PredictionCache::key_of(a, b);
+      double cached = 0.0;
+      if (cache->lookup(key, &cached)) {
+        matrix.set(i, j, cached);
+        return;
+      }
+    }
+    const bert::EncodedSequence encoded = tokenizer.encode_pair(a, b);
+    const double score = model.predict_same_word_probability(encoded);
+    if (cache) cache->insert(key, score);
+    matrix.set(i, j, score);
+  };
+
+  runtime::ParallelForOptions schedule;
+  schedule.grain = std::max(1, options.grain);
+  const std::int64_t total = static_cast<std::int64_t>(pairs.size());
+  const int threads = options.num_threads == 1
+                          ? 1
+                          : runtime::resolve_thread_count(options.num_threads);
+  if (threads <= 1 && options.pool == nullptr) {
+    runtime::serial_for(0, total, score_one, schedule);
+  } else if (options.pool != nullptr) {
+    runtime::parallel_for(*options.pool, 0, total, score_one, schedule);
+  } else {
+    // The calling thread participates in parallel_for, so a transient pool
+    // needs one fewer worker to land on `threads` scoring threads total.
+    runtime::ThreadPool pool(std::max(1, threads - 1));
+    runtime::parallel_for(pool, 0, total, score_one, schedule);
+  }
+  return matrix;
 }
 
 }  // namespace rebert::core

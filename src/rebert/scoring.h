@@ -12,6 +12,7 @@
 #include "rebert/filter.h"
 #include "rebert/prediction_cache.h"
 #include "rebert/tokenizer.h"
+#include "runtime/thread_pool.h"
 
 namespace rebert::core {
 
@@ -47,7 +48,36 @@ ScoreMatrix build_score_matrix(
 /// previous predictions — lossless, since inference is deterministic.
 ScoreMatrix build_score_matrix_with_model(
     const std::vector<BitSequence>& bits, const Tokenizer& tokenizer,
-    const FilterOptions& filter, bert::BertPairClassifier& model,
+    const FilterOptions& filter, const bert::BertPairClassifier& model,
     PredictionCache* cache = nullptr);
+
+/// Scheduling knobs for score_all_pairs.
+struct ScoringOptions {
+  /// Worker threads; 1 = serial, 0 = resolve from REBERT_THREADS /
+  /// hardware (runtime::resolve_thread_count).
+  int num_threads = 1;
+  /// Candidate pairs per scheduling chunk (see runtime/parallel_for.h).
+  int grain = 32;
+  /// Reuse an existing pool (e.g. the serve engine's) instead of spinning
+  /// up a transient one. When null and more than one thread is resolved, a
+  /// pool is created for the call.
+  runtime::ThreadPool* pool = nullptr;
+};
+
+/// Score every candidate pair of `bits` — the O(bits²) hot path of the
+/// whole pipeline — fanning surviving pairs out across worker threads.
+///
+/// Determinism: the output is bit-identical at any thread count. Each of
+/// the n(n-1)/2 pair slots is computed by exactly one body invocation that
+/// writes only its own matrix cell, the model is read-only during
+/// inference, and cache hits are lossless (same key -> same score), so
+/// scheduling order cannot change a single bit of the result. Enforced by
+/// tests/runtime/scoring_parallel_test.cc at 1, 2, and 8 threads.
+ScoreMatrix score_all_pairs(const std::vector<BitSequence>& bits,
+                            const Tokenizer& tokenizer,
+                            const FilterOptions& filter,
+                            const bert::BertPairClassifier& model,
+                            ShardedPredictionCache* cache = nullptr,
+                            const ScoringOptions& options = {});
 
 }  // namespace rebert::core

@@ -1,0 +1,74 @@
+// Synchronization primitives shared by the runtime: a countdown latch and a
+// cooperative cancellation token.
+//
+// Both are intentionally minimal — the thread pool and parallel_for need
+// exactly "wait until N completions" and "was a stop requested", and tests
+// need to exercise the primitives in isolation.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+namespace rebert::runtime {
+
+/// Single-use countdown latch: constructed with an expected count,
+/// count_down() by completing workers, wait() blocks until zero.
+class Latch {
+ public:
+  explicit Latch(std::int64_t count) : count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down(std::int64_t n = 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    count_ -= n;
+    if (count_ <= 0) cv_.notify_all();
+  }
+
+  bool try_wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return count_ <= 0;
+  }
+
+  void wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ <= 0; });
+  }
+
+  /// Returns true when the latch reached zero within `timeout`.
+  template <typename Rep, typename Period>
+  bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return count_ <= 0; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::int64_t count_;
+};
+
+/// Cooperative cancellation: long-running parallel work polls requested()
+/// between chunks and stops early when a stop was requested. Wait-free on
+/// the polling side.
+class CancellationToken {
+ public:
+  void request_stop() { stop_.store(true, std::memory_order_release); }
+  bool requested() const { return stop_.load(std::memory_order_acquire); }
+  void reset() { stop_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+/// Thrown by parallel_for when its CancellationToken fires mid-run.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("parallel work cancelled") {}
+};
+
+}  // namespace rebert::runtime

@@ -1,0 +1,119 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rebert::runtime {
+
+namespace {
+
+/// State shared between the caller and its helper tasks. The caller always
+/// outlives the helpers (it waits on the completion latch before
+/// returning), so the raw `body` pointer below stays valid for every
+/// helper; the shared_ptr just keeps ownership symmetric between them.
+struct LoopState {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::int64_t num_chunks = 0;
+  const std::function<void(std::int64_t)>* body = nullptr;
+  CancellationToken* cancel = nullptr;
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> cancelled{false};
+
+  void record_error(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!first_error) first_error = std::move(error);
+    failed.store(true, std::memory_order_release);
+  }
+
+  /// Claim and run chunks until the cursor is exhausted, an error was
+  /// recorded, or cancellation fired.
+  void drain() {
+    for (;;) {
+      if (failed.load(std::memory_order_acquire)) return;
+      if (cancel && cancel->requested()) {
+        cancelled.store(true, std::memory_order_release);
+        return;
+      }
+      const std::int64_t chunk =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      const std::int64_t lo = begin + chunk * grain;
+      const std::int64_t hi = std::min(end, lo + grain);
+      try {
+        for (std::int64_t i = lo; i < hi; ++i) (*body)(i);
+      } catch (...) {
+        record_error(std::current_exception());
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void serial_for(std::int64_t begin, std::int64_t end,
+                const std::function<void(std::int64_t)>& body,
+                const ParallelForOptions& options) {
+  REBERT_CHECK_MSG(options.grain >= 1, "parallel_for grain must be >= 1");
+  for (std::int64_t i = begin; i < end; ++i) {
+    if (options.cancel && options.cancel->requested() &&
+        (i - begin) % options.grain == 0)
+      throw CancelledError();
+    body(i);
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body,
+                  const ParallelForOptions& options) {
+  REBERT_CHECK_MSG(options.grain >= 1, "parallel_for grain must be >= 1");
+  if (begin >= end) return;
+
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = options.grain;
+  state->num_chunks = (end - begin + options.grain - 1) / options.grain;
+  state->body = &body;
+  state->cancel = options.cancel;
+
+  // One helper per worker beyond the caller, but never more than chunks —
+  // extra helpers would only start, find the cursor exhausted, and exit.
+  const std::int64_t helpers =
+      std::min<std::int64_t>(pool.size(), state->num_chunks - 1);
+  auto done = std::make_shared<Latch>(helpers);
+  for (std::int64_t h = 0; h < helpers; ++h) {
+    pool.submit([state, done] {
+      state->drain();
+      done->count_down();
+    });
+  }
+
+  state->drain();  // the caller processes chunks too
+
+  // Helpers may still be mid-chunk (or queued behind unrelated tasks);
+  // help drain the pool while waiting so nested loops cannot deadlock.
+  while (!done->try_wait()) {
+    if (!pool.try_run_one())
+      done->wait_for(std::chrono::milliseconds(1));
+  }
+
+  if (state->first_error) std::rethrow_exception(state->first_error);
+  if (state->cancelled.load(std::memory_order_acquire))
+    throw CancelledError();
+}
+
+}  // namespace rebert::runtime

@@ -1,0 +1,71 @@
+#include "runtime/thread_pool.h"
+
+#include "runtime/threads.h"
+#include "util/check.h"
+
+namespace rebert::runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = resolve_thread_count(num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Drain semantics: workers only exit once the queue is empty, but guard
+  // against tasks submitted between the last worker exit and this point.
+  while (try_run_one()) {
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  REBERT_CHECK_MSG(fn != nullptr, "cannot submit a null task");
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::try_run_one() {
+  std::packaged_task<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();  // packaged_task captures exceptions into the future
+  return true;
+}
+
+std::size_t ThreadPool::queued() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace rebert::runtime

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with an unbounded work queue.
+//
+// The pool is the concurrency substrate every parallel stage shares: one
+// pool per pipeline run (or per serve daemon), sized by
+// runtime::resolve_thread_count. Properties the rest of the tree relies on:
+//   * submit() is safe from any thread, including pool workers (the queue
+//     is unbounded, so an enqueueing worker never blocks on queue space);
+//   * each task's exception is captured in its future and rethrown at
+//     future.get(), never swallowed or left to terminate a worker;
+//   * try_run_one() lets a blocked caller help drain the queue, which is
+//     how parallel_for waits without deadlocking under nesting;
+//   * the destructor finishes every queued task before joining (drain
+//     semantics), so submitted work is never silently dropped.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rebert::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (resolved through resolve_thread_count,
+  /// so 0 means "REBERT_THREADS or hardware").
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task; the future resolves when it ran (or rethrows what it
+  /// threw). Safe to call from worker threads.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run one queued task on the calling thread if any is ready. Returns
+  /// false when the queue was empty. Used by waiters to help drain the
+  /// queue instead of blocking idle.
+  bool try_run_one();
+
+  /// Tasks currently queued (excluding running ones); for stats/tests.
+  std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace rebert::runtime

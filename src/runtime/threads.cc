@@ -1,0 +1,21 @@
+#include "runtime/threads.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/env.h"
+
+namespace rebert::runtime {
+
+int resolve_thread_count(int requested) {
+  if (requested <= 0) {
+    requested = util::env_int("REBERT_THREADS", 0);
+    if (requested <= 0) {
+      requested = static_cast<int>(std::thread::hardware_concurrency());
+      if (requested <= 0) requested = 1;
+    }
+  }
+  return std::clamp(requested, 1, kMaxThreads);
+}
+
+}  // namespace rebert::runtime

@@ -1,0 +1,211 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+#include "circuitgen/suite.h"
+#include "nl/decompose.h"
+#include "nl/netlist.h"
+#include "nl/parser.h"
+#include "rebert/scoring.h"
+#include "runtime/threads.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace rebert::serve {
+
+namespace {
+
+bool is_generated_bench(const std::string& name) {
+  const std::vector<std::string>& names = gen::benchmark_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(EngineOptions options)
+    : options_(std::move(options)),
+      tokenizer_(options_.experiment.pipeline.tokenizer),
+      model_(std::make_unique<bert::BertPairClassifier>(
+          core::make_model_config(options_.experiment))),
+      // The request thread participates in every parallel_for it issues, so
+      // the pool holds one fewer worker than the resolved scoring width.
+      pool_(std::max(
+          1, runtime::resolve_thread_count(options_.num_threads) - 1)),
+      cache_(options_.cache_shards) {
+  REBERT_CHECK_MSG(options_.batch_size >= 1,
+                   "serve batch size must be at least 1");
+  if (options_.model_path.empty()) {
+    LOG_WARN << "serve: no --model given; using untrained weights "
+                "(scores exercise the runtime, not the paper's accuracy)";
+  } else {
+    model_->load(options_.model_path);
+    LOG_INFO << "serve: loaded model from " << options_.model_path;
+  }
+}
+
+const InferenceEngine::BenchContext& InferenceEngine::bench(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(benches_mu_);
+  auto it = benches_.find(name);
+  if (it != benches_.end()) return *it->second;
+
+  // First use: generate or parse, decompose, tokenize. Loading holds the
+  // registry lock — concurrent requests for other benches wait, which is
+  // acceptable for a registry that fills once and is then read-only.
+  nl::Netlist netlist;
+  if (is_generated_bench(name)) {
+    netlist = gen::generate_benchmark(name, options_.suite_scale).netlist;
+  } else {
+    netlist = nl::parse_bench_file(name);
+    if (!nl::is_2input(netlist)) netlist = nl::decompose_to_2input(netlist);
+  }
+
+  auto context = std::make_unique<BenchContext>();
+  context->bits = nl::extract_bits(netlist);
+  REBERT_CHECK_MSG(!context->bits.empty(),
+                   "bench '" + name + "' has no sequential elements");
+  context->sequences = tokenizer_.tokenize_bits(netlist);
+  for (int i = 0; i < static_cast<int>(context->bits.size()); ++i)
+    context->index_of[context->bits[static_cast<std::size_t>(i)].name] = i;
+  LOG_INFO << "serve: loaded bench " << name << " ("
+           << context->bits.size() << " bits)";
+  it = benches_.emplace(name, std::move(context)).first;
+  return *it->second;
+}
+
+int InferenceEngine::bit_index(const BenchContext& context,
+                               const std::string& bench,
+                               const std::string& bit) const {
+  const auto it = context.index_of.find(bit);
+  REBERT_CHECK_MSG(it != context.index_of.end(),
+                   "bench '" + bench + "' has no bit named '" + bit + "'");
+  return it->second;
+}
+
+double InferenceEngine::score(const std::string& bench,
+                              const std::string& bit_a,
+                              const std::string& bit_b) {
+  return score_batch(bench, {{bit_a, bit_b}}).front();
+}
+
+std::vector<double> InferenceEngine::score_batch(
+    const std::string& bench_name,
+    const std::vector<std::pair<std::string, std::string>>& bit_pairs) {
+  score_requests_.fetch_add(bit_pairs.size(), std::memory_order_relaxed);
+  const BenchContext& context = bench(bench_name);
+
+  std::vector<double> scores(bit_pairs.size(), 0.0);
+
+  // Pass 1 (inline): resolve names, answer cache hits, and encode misses.
+  struct Miss {
+    std::size_t slot;       // index into `scores`
+    std::uint64_t key;
+    bert::EncodedSequence encoded;
+  };
+  std::vector<Miss> misses;
+  for (std::size_t p = 0; p < bit_pairs.size(); ++p) {
+    const int i = bit_index(context, bench_name, bit_pairs[p].first);
+    const int j = bit_index(context, bench_name, bit_pairs[p].second);
+    const core::BitSequence& a =
+        context.sequences[static_cast<std::size_t>(i)];
+    const core::BitSequence& b =
+        context.sequences[static_cast<std::size_t>(j)];
+    const std::uint64_t key = core::PredictionCache::key_of(a, b);
+    double cached = 0.0;
+    if (cache_.lookup(key, &cached)) {
+      scores[p] = cached;
+      continue;
+    }
+    misses.push_back({p, key, tokenizer_.encode_pair(a, b)});
+  }
+
+  // Pass 2 (pool): forward the misses in fixed-size micro-batches. Each
+  // task owns a disjoint [begin, end) span of `misses`, so the score
+  // writes never alias.
+  const std::size_t batch = static_cast<std::size_t>(options_.batch_size);
+  std::vector<std::future<void>> futures;
+  for (std::size_t begin = 0; begin < misses.size(); begin += batch) {
+    const std::size_t end = std::min(begin + batch, misses.size());
+    futures.push_back(pool_.submit([this, &misses, &scores, begin, end] {
+      std::vector<const bert::EncodedSequence*> inputs;
+      inputs.reserve(end - begin);
+      for (std::size_t m = begin; m < end; ++m)
+        inputs.push_back(&misses[m].encoded);
+      const std::vector<double> probs =
+          model_->predict_same_word_probabilities(inputs);
+      for (std::size_t m = begin; m < end; ++m) {
+        scores[misses[m].slot] = probs[m - begin];
+        cache_.insert(misses[m].key, probs[m - begin]);
+      }
+    }));
+  }
+  // Help drain while waiting so a busy pool cannot starve this request.
+  for (std::future<void>& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool_.try_run_one())
+        future.wait_for(std::chrono::milliseconds(1));
+    }
+    future.get();  // rethrows task exceptions
+  }
+  return scores;
+}
+
+RecoverSummary InferenceEngine::recover(const std::string& bench_name) {
+  recover_requests_.fetch_add(1, std::memory_order_relaxed);
+  const BenchContext& context = bench(bench_name);
+  const core::PipelineOptions& pipeline = options_.experiment.pipeline;
+
+  util::WallTimer timer;
+  core::ScoringOptions scoring;
+  scoring.pool = &pool_;
+  const core::ScoreMatrix matrix = core::score_all_pairs(
+      context.sequences, tokenizer_, pipeline.filter, *model_,
+      pipeline.use_prediction_cache ? &cache_ : nullptr, scoring);
+  const std::vector<int> labels = core::group_words(matrix,
+                                                    pipeline.grouping);
+
+  RecoverSummary summary;
+  summary.num_bits = static_cast<int>(context.bits.size());
+  summary.num_words = metrics::num_clusters(labels);
+  summary.filtered_fraction = matrix.filtered_fraction();
+  summary.cache_hit_rate = cache_.hit_rate();
+  summary.seconds = timer.seconds();
+  return summary;
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats stats;
+  stats.threads = pool_.size() + 1;
+  stats.batch_size = options_.batch_size;
+  stats.cache_shards = cache_.num_shards();
+  stats.score_requests = score_requests_.load(std::memory_order_relaxed);
+  stats.recover_requests =
+      recover_requests_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_entries = cache_.size();
+  {
+    std::lock_guard<std::mutex> lock(benches_mu_);
+    stats.benches_loaded = benches_.size();
+  }
+  stats.uptime_seconds = uptime_.seconds();
+  return stats;
+}
+
+int InferenceEngine::warm(const std::string& name) {
+  return static_cast<int>(bench(name).bits.size());
+}
+
+std::vector<std::string> InferenceEngine::bit_names(
+    const std::string& name) {
+  const BenchContext& context = bench(name);
+  std::vector<std::string> names;
+  names.reserve(context.bits.size());
+  for (const nl::Bit& bit : context.bits) names.push_back(bit.name);
+  return names;
+}
+
+}  // namespace rebert::serve

@@ -1,0 +1,143 @@
+// InferenceEngine — the long-lived core of the serving runtime.
+//
+// Owns one immutable BertPairClassifier snapshot (const after construction;
+// the inference path is compiler-enforced read-only, see bert/model.h), a
+// runtime::ThreadPool, a sharded thread-safe PredictionCache shared by all
+// requests, and a lazily-populated registry of benchmark contexts
+// (tokenized bit universes). score requests are micro-batched into
+// fixed-size forward batches and fanned out across the pool; recover
+// requests reuse the pool through core::score_all_pairs.
+//
+// Thread safety: every public method may be called from any number of
+// threads concurrently (one per connection in the socket server). The
+// model and tokenizer are read-only, the cache is internally sharded,
+// bench loading is serialized behind a mutex, and request counters are
+// relaxed atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bert/model.h"
+#include "nl/words.h"
+#include "rebert/pipeline.h"
+#include "rebert/prediction_cache.h"
+#include "rebert/tokenizer.h"
+#include "runtime/thread_pool.h"
+#include "util/timer.h"
+
+namespace rebert::serve {
+
+struct EngineOptions {
+  /// Worker threads in the engine pool: 0 = REBERT_THREADS / hardware.
+  int num_threads = 0;
+  /// Pair sequences per forward micro-batch. Requests smaller than this
+  /// run as one batch; larger ones split into ceil(n / batch_size) pool
+  /// tasks.
+  int batch_size = 16;
+  /// Shards of the prediction cache (0 = default; see prediction_cache.h).
+  int cache_shards = 0;
+  /// circuitgen scale for generated benchmark names ("b03".."b18").
+  double suite_scale = 0.25;
+  /// Weight file produced by `rebert_cli train --save`. Empty = fresh
+  /// (untrained) weights — scores are meaningless but the runtime paths
+  /// are fully exercised, which is what the serve tests and benches need.
+  std::string model_path;
+  /// Model dimensions and pipeline knobs (tokenizer/filter/grouping). The
+  /// model config is derived with core::make_model_config, so it must
+  /// match the checkpoint when model_path is set.
+  core::ExperimentOptions experiment;
+};
+
+struct EngineStats {
+  int threads = 0;
+  int batch_size = 0;
+  int cache_shards = 0;
+  std::uint64_t score_requests = 0;
+  std::uint64_t recover_requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t cache_entries = 0;
+  std::size_t benches_loaded = 0;
+  double uptime_seconds = 0.0;
+};
+
+struct RecoverSummary {
+  int num_bits = 0;
+  int num_words = 0;
+  double filtered_fraction = 0.0;
+  double cache_hit_rate = 0.0;  // engine-lifetime rate at completion
+  double seconds = 0.0;
+};
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(EngineOptions options);
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// P(same word) for two bits (DFF names) of a benchmark. Throws
+  /// util::CheckError on unknown bench or bit names.
+  double score(const std::string& bench, const std::string& bit_a,
+               const std::string& bit_b);
+
+  /// Batched form: scores every (bitA, bitB) name pair against one bench.
+  /// Cache hits are answered inline; misses are encoded and fanned out to
+  /// the pool in `batch_size` groups. Result order matches input order.
+  std::vector<double> score_batch(
+      const std::string& bench,
+      const std::vector<std::pair<std::string, std::string>>& bit_pairs);
+
+  /// Full word recovery over a benchmark, parallelized on the engine pool.
+  RecoverSummary recover(const std::string& bench);
+
+  EngineStats stats() const;
+
+  /// Pre-load a bench context (useful before latency measurements so the
+  /// first timed request does not pay tokenization). Returns its bit count.
+  int warm(const std::string& bench);
+
+  /// Bit (DFF) names of a bench in extract_bits order — what a load
+  /// generator needs to fabricate valid score requests.
+  std::vector<std::string> bit_names(const std::string& bench);
+
+  int threads() const { return pool_.size() + 1; }  // pool + calling thread
+  runtime::ThreadPool& pool() { return pool_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct BenchContext {
+    std::vector<nl::Bit> bits;
+    std::vector<core::BitSequence> sequences;
+    std::map<std::string, int> index_of;  // bit name -> sequence index
+  };
+
+  /// Resolve a bench name to its context, loading it on first use.
+  /// The returned reference stays valid for the engine's lifetime.
+  const BenchContext& bench(const std::string& name);
+
+  int bit_index(const BenchContext& context, const std::string& bench,
+                const std::string& bit) const;
+
+  EngineOptions options_;
+  core::Tokenizer tokenizer_;
+  std::unique_ptr<bert::BertPairClassifier> model_;
+  runtime::ThreadPool pool_;
+  core::ShardedPredictionCache cache_;
+
+  mutable std::mutex benches_mu_;
+  std::map<std::string, std::unique_ptr<BenchContext>> benches_;
+
+  std::atomic<std::uint64_t> score_requests_{0};
+  std::atomic<std::uint64_t> recover_requests_{0};
+  util::WallTimer uptime_;
+};
+
+}  // namespace rebert::serve

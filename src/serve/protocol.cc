@@ -1,0 +1,66 @@
+#include "serve/protocol.h"
+
+#include "util/string_utils.h"
+
+namespace rebert::serve {
+
+namespace {
+
+Request invalid(std::string message) {
+  Request request;
+  request.type = RequestType::kInvalid;
+  request.error = std::move(message);
+  return request;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const std::string trimmed = util::trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return invalid("");
+
+  const std::vector<std::string> tokens = util::split_ws(trimmed);
+  const std::string& verb = tokens[0];
+  Request request;
+  if (verb == "score") {
+    if (tokens.size() != 4)
+      return invalid("usage: score <bench> <bitA> <bitB>");
+    request.type = RequestType::kScore;
+    request.bench = tokens[1];
+    request.bit_a = tokens[2];
+    request.bit_b = tokens[3];
+  } else if (verb == "recover") {
+    if (tokens.size() != 2) return invalid("usage: recover <bench>");
+    request.type = RequestType::kRecover;
+    request.bench = tokens[1];
+  } else if (verb == "stats") {
+    if (tokens.size() != 1) return invalid("usage: stats");
+    request.type = RequestType::kStats;
+  } else if (verb == "help") {
+    request.type = RequestType::kHelp;
+  } else if (verb == "quit" || verb == "exit") {
+    request.type = RequestType::kQuit;
+  } else {
+    return invalid("unknown request '" + verb + "' (try: help)");
+  }
+  return request;
+}
+
+bool is_blank_request(const Request& request) {
+  return request.type == RequestType::kInvalid && request.error.empty();
+}
+
+std::string format_ok(const std::string& payload) {
+  return payload.empty() ? "ok" : "ok " + payload;
+}
+
+std::string format_error(const std::string& message) {
+  return "err " + message;
+}
+
+std::string help_text() {
+  return "commands: score <bench> <bitA> <bitB> | recover <bench> | "
+         "stats | help | quit; <bench> = b03..b18 or a .bench file path";
+}
+
+}  // namespace rebert::serve

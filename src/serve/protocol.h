@@ -1,0 +1,55 @@
+// Newline-delimited request/response protocol of the serving runtime.
+//
+// Requests (one per line, whitespace-tokenized):
+//   score <bench> <bitA> <bitB>   P(same word) for two bits of a benchmark
+//   recover <bench>               full word recovery, summary line back
+//   stats                         engine / cache / request counters
+//   help                          protocol summary
+//   quit                          close the connection (stdio: end the loop)
+//
+// Responses (one per request, in order):
+//   ok [<payload>]                success; payload is request-specific
+//   err <message>                 parse or execution failure
+//
+// <bench> is either a generated-suite name ("b03".."b18", circuitgen
+// scale set by the engine) or a path to a .bench netlist file. Responses
+// never contain newlines, so the protocol stays trivially framable over
+// both stdio and a Unix socket.
+#pragma once
+
+#include <string>
+
+namespace rebert::serve {
+
+enum class RequestType {
+  kScore,
+  kRecover,
+  kStats,
+  kHelp,
+  kQuit,
+  kInvalid,
+};
+
+struct Request {
+  RequestType type = RequestType::kInvalid;
+  std::string bench;   // score / recover
+  std::string bit_a;   // score
+  std::string bit_b;   // score
+  std::string error;   // kInvalid: human-readable parse diagnosis
+};
+
+/// Parse one request line. Never throws; malformed input yields kInvalid
+/// with `error` set. Blank/comment ('#') lines also come back kInvalid
+/// with an empty error — callers should skip those silently.
+Request parse_request(const std::string& line);
+
+/// True for lines the loop should skip without responding (blank, comment).
+bool is_blank_request(const Request& request);
+
+std::string format_ok(const std::string& payload);
+std::string format_error(const std::string& message);
+
+/// The `help` response payload (single line).
+std::string help_text();
+
+}  // namespace rebert::serve

@@ -1,0 +1,168 @@
+#include "serve/serve_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace rebert::serve {
+
+namespace {
+
+std::string format_stats(const EngineStats& stats) {
+  std::ostringstream out;
+  out << "threads=" << stats.threads << " batch=" << stats.batch_size
+      << " shards=" << stats.cache_shards
+      << " score_requests=" << stats.score_requests
+      << " recover_requests=" << stats.recover_requests
+      << " cache_hits=" << stats.cache_hits
+      << " cache_misses=" << stats.cache_misses
+      << " cache_entries=" << stats.cache_entries
+      << " benches=" << stats.benches_loaded << " uptime_seconds="
+      << util::format_double(stats.uptime_seconds, 3);
+  return out.str();
+}
+
+std::string format_recover(const RecoverSummary& summary) {
+  std::ostringstream out;
+  out << "words=" << summary.num_words << " bits=" << summary.num_bits
+      << " filtered=" << util::format_double(summary.filtered_fraction, 4)
+      << " cache_hit_rate="
+      << util::format_double(summary.cache_hit_rate, 4) << " seconds="
+      << util::format_double(summary.seconds, 3);
+  return out.str();
+}
+
+/// One line, no trailing newline: what a response must collapse to if an
+/// engine error message happens to contain one.
+std::string single_line(std::string text) {
+  for (char& c : text)
+    if (c == '\n' || c == '\r') c = ' ';
+  return text;
+}
+
+}  // namespace
+
+std::string ServeLoop::handle_line(const std::string& line, bool* quit) {
+  const Request request = parse_request(line);
+  try {
+    switch (request.type) {
+      case RequestType::kScore:
+        return format_ok(util::format_double(
+            engine_.score(request.bench, request.bit_a, request.bit_b), 6));
+      case RequestType::kRecover:
+        return format_ok(format_recover(engine_.recover(request.bench)));
+      case RequestType::kStats:
+        return format_ok(format_stats(engine_.stats()));
+      case RequestType::kHelp:
+        return format_ok(help_text());
+      case RequestType::kQuit:
+        if (quit) *quit = true;
+        return format_ok("bye");
+      case RequestType::kInvalid:
+        return format_error(request.error);
+    }
+    return format_error("unreachable");
+  } catch (const std::exception& e) {
+    // Engine failures (unknown bench, parse error in a .bench file, ...)
+    // answer this request only; the daemon keeps serving.
+    return format_error(single_line(e.what()));
+  }
+}
+
+std::size_t ServeLoop::run(std::istream& in, std::ostream& out) {
+  std::size_t answered = 0;
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    if (is_blank_request(parse_request(line))) continue;
+    out << handle_line(line, &quit) << '\n';
+    out.flush();
+    ++answered;
+  }
+  return answered;
+}
+
+void ServeLoop::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit && !stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;  // EOF or error: drop the connection
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (is_blank_request(parse_request(line))) continue;
+      const std::string response = handle_line(line, &quit) + "\n";
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n =
+            ::write(fd, response.data() + sent, response.size() - sent);
+        if (n <= 0) { quit = true; break; }
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void ServeLoop::run_unix_socket(const std::string& path) {
+  REBERT_CHECK_MSG(path.size() < sizeof(sockaddr_un{}.sun_path),
+                   "unix socket path too long: " + path);
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  REBERT_CHECK_MSG(listener >= 0, "socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    REBERT_CHECK_MSG(false, "cannot listen on " + path + ": " + reason);
+  }
+  listen_fd_.store(listener, std::memory_order_relaxed);
+  LOG_INFO << "serve: listening on unix socket " << path;
+
+  std::vector<std::thread> handlers;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed by stop(), or hard error
+    handlers.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  for (std::thread& handler : handlers) handler.join();
+  const int open_fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
+  if (open_fd >= 0) ::close(open_fd);
+  ::unlink(path.c_str());
+}
+
+void ServeLoop::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  // Closing the listener unblocks accept(); shutdown() first so a
+  // concurrent accept returns instead of racing the close.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace rebert::serve

@@ -1,0 +1,55 @@
+// ServeLoop — transports for the newline protocol (protocol.h).
+//
+// Two transports share one dispatcher:
+//   * run(in, out)        — stdio / any iostream pair; one request per
+//                           line until EOF or `quit`. What `rebert_cli
+//                           serve` uses by default, and what the tests
+//                           drive with stringstreams.
+//   * run_unix_socket(p)  — AF_UNIX stream server at path p; one handler
+//                           thread per connection, each speaking the same
+//                           line protocol. `quit` closes that connection
+//                           only; stop() (or destruction) shuts the
+//                           listener down and joins the handlers.
+#pragma once
+
+#include <atomic>
+#include <iosfwd>
+#include <string>
+
+#include "serve/engine.h"
+
+namespace rebert::serve {
+
+class ServeLoop {
+ public:
+  explicit ServeLoop(InferenceEngine& engine) : engine_(engine) {}
+
+  /// Dispatch one request line to the engine; returns the response line
+  /// (without trailing newline). Sets *quit on a quit request. Exceptions
+  /// from the engine become `err` responses — a malformed request must
+  /// never take the daemon down.
+  std::string handle_line(const std::string& line, bool* quit);
+
+  /// Serve `in` line by line until EOF or quit, writing one response line
+  /// per request to `out`. Blank and comment lines are skipped silently.
+  /// Returns the number of requests answered.
+  std::size_t run(std::istream& in, std::ostream& out);
+
+  /// Listen on an AF_UNIX stream socket (the path is unlinked first and
+  /// on shutdown). Blocks until stop() is called from another thread.
+  /// Throws util::CheckError when the socket cannot be created or bound.
+  void run_unix_socket(const std::string& path);
+
+  /// Ask run_unix_socket to shut down: stops accepting, closes the
+  /// listener, joins connection handlers. Safe from any thread.
+  void stop();
+
+ private:
+  void handle_connection(int fd);
+
+  InferenceEngine& engine_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+};
+
+}  // namespace rebert::serve

@@ -1,10 +1,16 @@
 #include "structural/matching.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "nl/words.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "runtime/threads.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -117,14 +123,43 @@ StructuralResult recover_words_structural(const nl::Netlist& netlist,
     return x;
   };
 
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      const double sim = pair_similarity(cones[static_cast<std::size_t>(i)],
-                                         cones[static_cast<std::size_t>(j)],
-                                         options);
-      if (sim >= options.group_threshold)
-        parent[static_cast<std::size_t>(find(i))] = find(j);
-    }
+  // Phase 1 (parallel): the expensive pairwise tree comparisons, each pair
+  // writing only its own slot of `above`. Phase 2 (serial): replay the
+  // threshold edges in lexicographic pair order through union-find, so the
+  // resulting labels are identical to the single-threaded sweep at any
+  // thread count.
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(n - 1) / 2);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  std::vector<std::uint8_t> above(pairs.size(), 0);
+
+  const auto compare_one = [&](std::int64_t p) {
+    const auto [i, j] = pairs[static_cast<std::size_t>(p)];
+    const double sim = pair_similarity(cones[static_cast<std::size_t>(i)],
+                                       cones[static_cast<std::size_t>(j)],
+                                       options);
+    if (sim >= options.group_threshold)
+      above[static_cast<std::size_t>(p)] = 1;
+  };
+  const int threads = options.num_threads == 1
+                          ? 1
+                          : runtime::resolve_thread_count(options.num_threads);
+  if (threads <= 1) {
+    runtime::serial_for(0, static_cast<std::int64_t>(pairs.size()),
+                        compare_one);
+  } else {
+    // The calling thread participates, so spawn threads - 1 workers.
+    runtime::ThreadPool pool(std::max(1, threads - 1));
+    runtime::parallel_for(pool, 0, static_cast<std::int64_t>(pairs.size()),
+                          compare_one);
+  }
+
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    if (!above[p]) continue;
+    parent[static_cast<std::size_t>(find(pairs[p].first))] =
+        find(pairs[p].second);
   }
 
   result.labels.assign(static_cast<std::size_t>(n), -1);

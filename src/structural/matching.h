@@ -33,6 +33,11 @@ struct MatchingOptions {
   // same-word template copies from cross-word template twins best on the
   // benchmark suite.
   double group_threshold = 0.75;
+  // Worker threads for the O(bits²) pairwise-similarity sweep: 1 = serial,
+  // 0 = REBERT_THREADS / hardware. Labels are identical at any value: the
+  // similarities are computed in parallel, but union-find merges replay in
+  // the serial pair order.
+  int num_threads = 1;
 };
 
 /// Positional tree-shape similarity in [0, 1]: fraction of nodes that match

@@ -1,0 +1,158 @@
+#include "runtime/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/latch.h"
+#include "runtime/thread_pool.h"
+
+namespace rebert::runtime {
+namespace {
+
+std::vector<double> run_with_pool(int workers, std::int64_t n,
+                                  std::int64_t grain) {
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  const auto body = [&out](std::int64_t i) {
+    // A value that depends on the index alone; any scheduling bug that
+    // runs an index twice or not at all changes the result.
+    out[static_cast<std::size_t>(i)] = 1.0 / (1.0 + static_cast<double>(i));
+  };
+  ParallelForOptions options;
+  options.grain = grain;
+  if (workers <= 0) {
+    serial_for(0, n, body, options);
+  } else {
+    ThreadPool pool(workers);
+    parallel_for(pool, 0, n, body, options);
+  }
+  return out;
+}
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> counts(static_cast<std::size_t>(n));
+  ThreadPool pool(4);
+  parallel_for(pool, 0, n, [&counts](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, BitIdenticalAcrossThreadCounts) {
+  // The determinism guarantee the scoring pipeline relies on: identical
+  // output at 1, 2, and 8 threads (and for the serial fallback), including
+  // with a grain that does not divide the range.
+  const std::int64_t n = 777;
+  const std::vector<double> serial = run_with_pool(0, n, 10);
+  EXPECT_EQ(serial, run_with_pool(1, n, 10));
+  EXPECT_EQ(serial, run_with_pool(2, n, 10));
+  EXPECT_EQ(serial, run_with_pool(8, n, 10));
+  EXPECT_EQ(serial, run_with_pool(8, n, 1));
+  EXPECT_EQ(serial, run_with_pool(8, n, 4096));  // single chunk
+}
+
+TEST(ParallelForTest, EmptyAndSingletonRanges) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  parallel_for(pool, 5, 5, [&ran](std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+  parallel_for(pool, 5, 6, [&ran](std::int64_t i) {
+    EXPECT_EQ(i, 5);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelForTest, BodyExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  ParallelForOptions options;
+  options.grain = 8;
+  EXPECT_THROW(
+      parallel_for(
+          pool, 0, 512,
+          [](std::int64_t i) {
+            if (i == 137) throw std::runtime_error("body failed");
+          },
+          options),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> ran{0};
+  parallel_for(pool, 0, 16, [&ran](std::int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ParallelForTest, SerialForAlsoThrows) {
+  EXPECT_THROW(serial_for(0, 10,
+                          [](std::int64_t i) {
+                            if (i == 3) throw std::runtime_error("x");
+                          }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, CancellationStopsIssuingChunks) {
+  ThreadPool pool(2);
+  CancellationToken cancel;
+  ParallelForOptions options;
+  options.grain = 1;
+  options.cancel = &cancel;
+  std::atomic<std::int64_t> ran{0};
+  EXPECT_THROW(parallel_for(
+                   pool, 0, 100000,
+                   [&](std::int64_t) {
+                     if (ran.fetch_add(1) == 10) cancel.request_stop();
+                   },
+                   options),
+               CancelledError);
+  // Already-started chunks finish, but the loop must stop far short of the
+  // full range.
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ParallelForTest, PreCancelledRunsNothing) {
+  ThreadPool pool(2);
+  CancellationToken cancel;
+  cancel.request_stop();
+  ParallelForOptions options;
+  options.cancel = &cancel;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [&ran](std::int64_t) { ran.fetch_add(1); }, options),
+      CancelledError);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelForTest, NestedLoopsOnOnePoolDoNotDeadlock) {
+  // help-while-wait: an outer body blocked on an inner parallel_for drains
+  // the pool queue itself, so even a single-worker pool makes progress.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  parallel_for(pool, 0, 4, [&](std::int64_t) {
+    parallel_for(pool, 0, 8, [&ran](std::int64_t) { ran.fetch_add(1); });
+  });
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelForTest, LargeRangeStress) {
+  const std::int64_t n = 200000;
+  std::vector<std::uint8_t> hit(static_cast<std::size_t>(n), 0);
+  ThreadPool pool(8);
+  ParallelForOptions options;
+  options.grain = 64;
+  parallel_for(
+      pool, 0, n,
+      [&hit](std::int64_t i) { hit[static_cast<std::size_t>(i)] ^= 1; },
+      options);
+  const std::int64_t total =
+      std::accumulate(hit.begin(), hit.end(), std::int64_t{0});
+  EXPECT_EQ(total, n);
+}
+
+}  // namespace
+}  // namespace rebert::runtime

@@ -1,0 +1,41 @@
+// The structural baseline's parallel pairwise sweep must label exactly
+// like the single-threaded one (similarities in parallel, union-find
+// replayed serially in pair order — see structural/matching.cc).
+#include "structural/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "circuitgen/suite.h"
+
+namespace rebert::structural {
+namespace {
+
+TEST(StructuralParallelTest, LabelsIdenticalAcrossThreadCounts) {
+  const gen::GeneratedCircuit generated = gen::generate_benchmark("b04", 0.5);
+  MatchingOptions options;
+  options.num_threads = 1;
+  const StructuralResult serial =
+      recover_words_structural(generated.netlist, options);
+  for (int threads : {2, 8}) {
+    options.num_threads = threads;
+    const StructuralResult parallel =
+        recover_words_structural(generated.netlist, options);
+    EXPECT_EQ(serial.labels, parallel.labels) << threads << " threads";
+    EXPECT_EQ(serial.num_words, parallel.num_words);
+  }
+}
+
+TEST(StructuralParallelTest, AutoThreadCountAlsoMatches) {
+  const gen::GeneratedCircuit generated = gen::generate_benchmark("b03", 0.5);
+  MatchingOptions options;
+  options.num_threads = 1;
+  const StructuralResult serial =
+      recover_words_structural(generated.netlist, options);
+  options.num_threads = 0;  // REBERT_THREADS / hardware
+  const StructuralResult parallel =
+      recover_words_structural(generated.netlist, options);
+  EXPECT_EQ(serial.labels, parallel.labels);
+}
+
+}  // namespace
+}  // namespace rebert::structural

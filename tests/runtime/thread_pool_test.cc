@@ -1,0 +1,157 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/latch.h"
+#include "runtime/threads.h"
+
+namespace rebert::runtime {
+namespace {
+
+TEST(ResolveThreadCountTest, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_thread_count(1), 1);
+  EXPECT_EQ(resolve_thread_count(7), 7);
+  EXPECT_EQ(resolve_thread_count(kMaxThreads + 100), kMaxThreads);
+}
+
+TEST(ResolveThreadCountTest, AutoIsAtLeastOne) {
+  EXPECT_GE(resolve_thread_count(0), 1);
+  EXPECT_GE(resolve_thread_count(-3), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  // The queue is unbounded, so a worker enqueueing more work must never
+  // block — even on a single-worker pool where nobody else could drain it.
+  std::atomic<int> inner_ran{0};
+  std::mutex mu;
+  std::vector<std::future<void>> inner;
+  {
+    ThreadPool pool(1);
+    std::vector<std::future<void>> outer;
+    for (int i = 0; i < 16; ++i) {
+      outer.push_back(pool.submit([&] {
+        std::lock_guard<std::mutex> lock(mu);
+        inner.push_back(pool.submit([&inner_ran] { inner_ran.fetch_add(1); }));
+      }));
+    }
+    for (auto& future : outer) future.get();
+  }  // destructor drains the inner tasks
+  for (auto& future : inner) future.get();
+  EXPECT_EQ(inner_ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ExceptionIsCapturedInFuture) {
+  ThreadPool pool(2);
+  std::future<void> bad =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must survive it.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, TryRunOneExecutesOnCallingThread) {
+  // Park the only worker so queued tasks can't run anywhere else, then
+  // drain them from this thread via try_run_one. The `started` handshake
+  // guarantees the worker (not this thread, below) runs the parking task.
+  ThreadPool pool(1);
+  Latch started(1);
+  Latch release(1);
+  pool.submit([&started, &release] {
+    started.count_down();
+    release.wait();
+  });
+  started.wait();
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+  while (pool.queued() > 0) pool.try_run_one();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_FALSE(pool.try_run_one());  // queue empty now
+  release.count_down();
+  for (auto& future : futures) future.get();
+}
+
+TEST(ThreadPoolTest, StressManyProducersManyTasks) {
+  std::atomic<long long> sum{0};
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  std::mutex mu;
+  // 4 external producer threads each submit 500 tasks concurrently with
+  // the pool consuming them.
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 500; ++i) {
+        auto future = pool.submit([&sum, p, i] { sum.fetch_add(p * 1000 + i); });
+        std::lock_guard<std::mutex> lock(mu);
+        futures.push_back(std::move(future));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  for (auto& future : futures) future.get();
+  long long expected = 0;
+  for (int p = 0; p < 4; ++p)
+    for (int i = 0; i < 500; ++i) expected += p * 1000 + i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(LatchTest, WaitReturnsAfterCountdown) {
+  Latch latch(3);
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down(2);
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  EXPECT_TRUE(latch.try_wait());
+  latch.wait();  // must not block
+  EXPECT_TRUE(latch.wait_for(std::chrono::milliseconds(1)));
+}
+
+TEST(LatchTest, WaitForTimesOutWhileCounted) {
+  Latch latch(1);
+  EXPECT_FALSE(latch.wait_for(std::chrono::milliseconds(1)));
+}
+
+TEST(CancellationTokenTest, RequestObservedAndResettable) {
+  CancellationToken token;
+  EXPECT_FALSE(token.requested());
+  token.request_stop();
+  EXPECT_TRUE(token.requested());
+  token.reset();
+  EXPECT_FALSE(token.requested());
+}
+
+}  // namespace
+}  // namespace rebert::runtime

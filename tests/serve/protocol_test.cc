@@ -1,0 +1,71 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace rebert::serve {
+namespace {
+
+TEST(ParseRequestTest, Score) {
+  const Request request = parse_request("score b03 q0 q1");
+  EXPECT_EQ(request.type, RequestType::kScore);
+  EXPECT_EQ(request.bench, "b03");
+  EXPECT_EQ(request.bit_a, "q0");
+  EXPECT_EQ(request.bit_b, "q1");
+}
+
+TEST(ParseRequestTest, ScoreArityChecked) {
+  EXPECT_EQ(parse_request("score b03 q0").type, RequestType::kInvalid);
+  EXPECT_EQ(parse_request("score b03 q0 q1 q2").type, RequestType::kInvalid);
+  EXPECT_NE(parse_request("score b03 q0").error, "");
+}
+
+TEST(ParseRequestTest, Recover) {
+  const Request request = parse_request("recover /tmp/c.bench");
+  EXPECT_EQ(request.type, RequestType::kRecover);
+  EXPECT_EQ(request.bench, "/tmp/c.bench");
+  EXPECT_EQ(parse_request("recover").type, RequestType::kInvalid);
+  EXPECT_EQ(parse_request("recover a b").type, RequestType::kInvalid);
+}
+
+TEST(ParseRequestTest, StatsHelpQuit) {
+  EXPECT_EQ(parse_request("stats").type, RequestType::kStats);
+  EXPECT_EQ(parse_request("stats now").type, RequestType::kInvalid);
+  EXPECT_EQ(parse_request("help").type, RequestType::kHelp);
+  EXPECT_EQ(parse_request("quit").type, RequestType::kQuit);
+  EXPECT_EQ(parse_request("exit").type, RequestType::kQuit);
+}
+
+TEST(ParseRequestTest, WhitespaceTolerant) {
+  const Request request = parse_request("  score   b05  a   b  ");
+  EXPECT_EQ(request.type, RequestType::kScore);
+  EXPECT_EQ(request.bench, "b05");
+}
+
+TEST(ParseRequestTest, BlankAndCommentLinesAreSilent) {
+  EXPECT_TRUE(is_blank_request(parse_request("")));
+  EXPECT_TRUE(is_blank_request(parse_request("   ")));
+  EXPECT_TRUE(is_blank_request(parse_request("# a comment")));
+  EXPECT_FALSE(is_blank_request(parse_request("bogus")));
+  EXPECT_FALSE(is_blank_request(parse_request("stats")));
+}
+
+TEST(ParseRequestTest, UnknownVerbNamesItself) {
+  const Request request = parse_request("frobnicate x");
+  EXPECT_EQ(request.type, RequestType::kInvalid);
+  EXPECT_NE(request.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(FormatTest, OkAndError) {
+  EXPECT_EQ(format_ok(""), "ok");
+  EXPECT_EQ(format_ok("0.5"), "ok 0.5");
+  EXPECT_EQ(format_error("boom"), "err boom");
+}
+
+TEST(FormatTest, HelpIsSingleLine) {
+  EXPECT_EQ(help_text().find('\n'), std::string::npos);
+  EXPECT_NE(help_text().find("score"), std::string::npos);
+  EXPECT_NE(help_text().find("recover"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rebert::serve

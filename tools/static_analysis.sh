@@ -8,9 +8,11 @@
 #   1. clang-tidy over src/ and apps/ using a compile_commands.json build.
 #      Skipped with a notice when clang-tidy is not installed (the container
 #      image ships only gcc).
-#   2. ASan and UBSan builds of the full test suite, run under ctest. Any
-#      sanitizer report fails the stage (UBSan is built with
-#      -fno-sanitize-recover so findings abort).
+#   2. ASan and UBSan builds of the full test suite, run under ctest, plus
+#      a TSan build running the `concurrency`-labelled tests (thread pool,
+#      parallel_for, sharded cache, serve engine). Any sanitizer report
+#      fails the stage (UBSan is built with -fno-sanitize-recover so
+#      findings abort).
 #   3. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
 #      R-Index 0 and 0.4. Error-severity diagnostics fail the stage;
 #      warnings are reported but tolerated (generated circuits contain
@@ -54,18 +56,24 @@ if [ "$RUN_TIDY" -eq 1 ]; then
 fi
 
 # ---- 2. sanitizer builds ---------------------------------------------------
+# run_sanitizer <sanitizer> [ctest-label]: builds the suite under the given
+# sanitizer and runs either the whole suite or only the tests carrying the
+# label (TSan runs the `concurrency` subset — its runtime slows the
+# numerical tests severely and they carry no threading to check).
 run_sanitizer() {
   local san="$1"
+  local label="${2:-}"
   local dir="build-$san"
-  note "sanitizer: $san"
+  note "sanitizer: $san${label:+ (ctest -L $label)}"
   cmake -B "$dir" -S . -DREBERT_SANITIZE="$san" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
   cmake --build "$dir" -j "$JOBS" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
-  (cd "$dir" && ctest --output-on-failure -j "$JOBS") || FAILURES=$((FAILURES + 1))
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" ${label:+-L "$label"}) || FAILURES=$((FAILURES + 1))
 }
 
 if [ "$RUN_SAN" -eq 1 ]; then
   run_sanitizer address
   run_sanitizer undefined
+  run_sanitizer thread concurrency
 fi
 
 # ---- 3. netlist lint over generated benchmarks -----------------------------
