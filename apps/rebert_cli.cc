@@ -15,12 +15,16 @@
 //                          [--scale 0.25] [--epochs 3] [--max-samples 250]
 //   rebert_cli recover     --in c.bench [--model model.bin] [--threads N]
 //                          [--words truth] [--structural] [--report]
+//                          [--cache-file cache.rbpc]
 //   rebert_cli analyze     --in c.bench --bits q0,q1,q2
 //   rebert_cli dot         --in c.bench --out c.dot [--words truth]
 //   rebert_cli lint        --in c.bench [--words truth] [--format text|csv]
 //                          [--out report.csv] [--fail-on-warn]
 //   rebert_cli serve       [--socket /tmp/rebert.sock] [--threads N]
 //                          [--batch 16] [--model model.bin] [--scale 0.25]
+//                          [--cache-file cache.rbpc] [--snapshot-every 64]
+//   rebert_cli score       [--bench b07] [--pairs 200 | --bits a,b]
+//                          [--seed 1] [--cache-file cache.rbpc] [...]
 //   rebert_cli bench-serve [--bench b07] [--requests 200] [--clients 2]
 //                          [--threads N] [--batch 16] [--scale 0.25]
 //
@@ -37,6 +41,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -52,7 +57,9 @@
 #include "nl/opt.h"
 #include "nl/parser.h"
 #include "nl/verilog.h"
+#include "persist/cache_io.h"
 #include "rebert/pipeline.h"
+#include "rebert/prediction_cache.h"
 #include "rebert/report.h"
 #include "rebert/word_typing.h"
 #include "serve/engine.h"
@@ -220,6 +227,7 @@ int cmd_recover(const util::FlagParser& flags) {
   // 1 = serial (default), 0 = REBERT_THREADS / hardware, n = exactly n.
   // Recovered labels are bit-identical at any value.
   const int threads = flags.get_int("threads", 1);
+  const std::string cache_file = flags.get("cache-file", "");
 
   std::vector<int> labels;
   if (flags.get_bool("structural", false)) {
@@ -233,6 +241,16 @@ int cmd_recover(const util::FlagParser& flags) {
   } else {
     core::ExperimentOptions options = experiment_options(flags);
     options.pipeline.num_threads = threads;
+    // Cross-run prediction reuse: warm the cache from a snapshot before
+    // scoring and write it back after (lossless — labels are identical
+    // warm or cold, only wall-clock changes).
+    core::ShardedPredictionCache cache;
+    if (!cache_file.empty()) {
+      const std::size_t warmed = persist::load_cache(&cache, cache_file);
+      std::printf("cache: warm-started %zu entries from %s\n", warmed,
+                  cache_file.c_str());
+      options.pipeline.external_cache = &cache;
+    }
     bert::BertPairClassifier model(core::make_model_config(options));
     const std::string model_path = flags.get("model", "");
     if (!model_path.empty()) {
@@ -252,6 +270,11 @@ int cmd_recover(const util::FlagParser& flags) {
                 artifacts.result.total_seconds,
                 artifacts.result.filtered_fraction * 100.0,
                 artifacts.result.cache_hit_rate * 100.0);
+    if (!cache_file.empty()) {
+      persist::save_cache(cache, cache_file);
+      std::printf("cache: saved %zu entries to %s\n", cache.size(),
+                  cache_file.c_str());
+    }
     if (flags.get_bool("report", false) || flags.get_bool("json", false)) {
       const core::WordReport report = core::make_word_report(
           artifacts.bits, artifacts.scores, artifacts.result.labels);
@@ -378,6 +401,11 @@ int cmd_lint(const util::FlagParser& flags) {
 int cmd_serve(const util::FlagParser& flags) {
   serve::InferenceEngine engine(engine_options(flags));
   serve::ServeLoop loop(engine);
+  const std::string cache_file = flags.get("cache-file", "");
+  if (!cache_file.empty()) {
+    engine.load_cache(cache_file);  // cold start on missing/corrupt
+    loop.enable_snapshots(cache_file, flags.get_int("snapshot-every", 64));
+  }
   const std::string socket_path = flags.get("socket", "");
   if (!socket_path.empty()) {
     loop.run_unix_socket(socket_path);  // blocks until the process dies
@@ -387,6 +415,84 @@ int cmd_serve(const util::FlagParser& flags) {
                "rebert serve: reading requests from stdin (try: help)\n");
   const std::size_t answered = loop.run(std::cin, std::cout);
   std::fprintf(stderr, "rebert serve: answered %zu request(s)\n", answered);
+  return 0;
+}
+
+// Scores a batch of bit pairs through the serving engine — either one
+// explicit pair (--bits a,b) or a seeded random workload (--pairs N).
+// With --cache-file the run warm-starts from a snapshot and writes one
+// back, so repeated invocations hit the cache instead of the model; the
+// printed scores checksum makes "bit-identical cold vs warm" checkable
+// from the shell.
+int cmd_score(const util::FlagParser& flags) {
+  serve::InferenceEngine engine(engine_options(flags));
+  const std::string bench = flags.get("bench", "b07");
+  const std::string cache_file = flags.get("cache-file", "");
+  std::size_t warmed = 0;
+  if (!cache_file.empty()) warmed = engine.load_cache(cache_file);
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const std::string bits = flags.get("bits", "");
+  if (!bits.empty()) {
+    std::vector<std::string> names;
+    for (const std::string& piece : util::split(bits, ','))
+      if (!util::trim(piece).empty()) names.push_back(util::trim(piece));
+    if (names.size() != 2) {
+      std::fprintf(stderr, "--bits expects exactly two names, got '%s'\n",
+                   bits.c_str());
+      return 2;
+    }
+    pairs.emplace_back(names[0], names[1]);
+  } else {
+    const int count = std::max(1, flags.get_int("pairs", 200));
+    const std::vector<std::string> all = engine.bit_names(bench);
+    const int n = static_cast<int>(all.size());
+    util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+    for (int i = 0; i < count; ++i)
+      pairs.emplace_back(
+          all[static_cast<std::size_t>(rng.uniform_int(0, n - 1))],
+          all[static_cast<std::size_t>(rng.uniform_int(0, n - 1))]);
+  }
+
+  util::WallTimer timer;
+  const std::vector<double> scores = engine.score_batch(bench, pairs);
+  const double seconds = timer.seconds();
+
+  // FNV-1a over the raw score bits: two runs scored the same workload
+  // identically iff the checksums match.
+  std::uint64_t checksum = 14695981039346656037ULL;
+  for (double score : scores) {
+    std::uint64_t raw;
+    static_assert(sizeof(raw) == sizeof(score));
+    std::memcpy(&raw, &score, sizeof(raw));
+    for (int b = 0; b < 64; b += 8) {
+      checksum ^= (raw >> b) & 0xff;
+      checksum *= 1099511628211ULL;
+    }
+  }
+  if (!bits.empty())
+    std::printf("score %s %s %s = %s\n", bench.c_str(),
+                pairs[0].first.c_str(), pairs[0].second.c_str(),
+                util::format_double(scores[0], 6).c_str());
+
+  const serve::EngineStats stats = engine.stats();
+  std::printf("pairs           : %zu in %.3fs\n", scores.size(), seconds);
+  std::printf("scores checksum : %016llx\n",
+              static_cast<unsigned long long>(checksum));
+  std::printf("cache           : %llu hit(s), %llu miss(es) (%.1f%% hit "
+              "rate), %zu entries, %zu warm-loaded\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              100.0 * static_cast<double>(stats.cache_hits) /
+                  static_cast<double>(
+                      std::max<std::uint64_t>(1, stats.cache_hits +
+                                                     stats.cache_misses)),
+              stats.cache_entries, warmed);
+  if (!cache_file.empty()) {
+    engine.save_cache(cache_file);
+    std::printf("cache           : saved %zu entries to %s\n",
+                stats.cache_entries, cache_file.c_str());
+  }
   return 0;
 }
 
@@ -480,7 +586,7 @@ constexpr Subcommand kSubcommands[] = {
      cmd_train},
     {"recover",
      "--in c.bench [--model model.bin] [--threads N] [--words truth] "
-     "[--structural] [--report] [--json]",
+     "[--structural] [--report] [--json] [--cache-file cache.rbpc]",
      cmd_recover},
     {"analyze", "--in c.bench --bits q0,q1,q2", cmd_analyze},
     {"dot", "--in c.bench --out c.dot [--words truth]", cmd_dot},
@@ -490,8 +596,13 @@ constexpr Subcommand kSubcommands[] = {
      cmd_lint},
     {"serve",
      "[--socket /tmp/rebert.sock] [--threads N] [--batch 16] "
-     "[--model model.bin] [--scale 0.25]",
+     "[--model model.bin] [--scale 0.25] [--cache-file cache.rbpc] "
+     "[--snapshot-every 64]",
      cmd_serve},
+    {"score",
+     "[--bench b07] [--pairs 200 | --bits a,b] [--seed 1] "
+     "[--cache-file cache.rbpc] [--model model.bin] [--threads N]",
+     cmd_score},
     {"bench-serve",
      "[--bench b07] [--requests 200] [--clients 2] [--threads N] "
      "[--batch 16] [--scale 0.25]",

@@ -62,8 +62,12 @@ Declaration parse_declaration(const std::string& tail) {
     const std::string range = rest.substr(1, close - 1);
     const std::size_t colon = range.find(':');
     if (colon == std::string::npos) fail("bad range '" + range + "'");
-    msb = std::stoi(util::trim(range.substr(0, colon)));
-    lsb = std::stoi(util::trim(range.substr(colon + 1)));
+    // Checked parse: "[x:0]" or an overflow-sized index must fail through
+    // fail() with the offending text, not escape as std::invalid_argument.
+    if (!util::parse_int(util::trim(range.substr(0, colon)), &msb) ||
+        !util::parse_int(util::trim(range.substr(colon + 1)), &lsb))
+      fail("bad range index in '[" + range + "]'");
+    if (msb < 0 || lsb < 0) fail("negative range index in '[" + range + "]'");
     rest = util::trim(rest.substr(close + 1));
   }
   for (const std::string& name : split_list(rest)) {

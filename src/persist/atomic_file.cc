@@ -1,0 +1,122 @@
+#include "persist/atomic_file.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace rebert::persist {
+
+namespace {
+
+std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+/// Directory part of `path` ("." when there is no separator) — where the
+/// temp file must live for rename() to stay atomic, and what gets fsynced
+/// after the rename so the directory entry itself is durable.
+std::string directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Unique-within-process temp name next to the destination. The pid keeps
+/// concurrent processes apart; the counter keeps concurrent threads apart.
+/// A crash leaves this file behind, and that is fine: nothing ever opens
+/// `<path>.tmp.*` as an artifact, so stale temps are inert garbage.
+std::string make_temp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), O_RDONLY | (directory ? O_DIRECTORY : 0));
+  if (fd < 0) {
+    const int err = errno;
+    REBERT_CHECK_MSG(false, "cannot open " << path << " for fsync: "
+                                           << errno_text(err));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  REBERT_CHECK_MSG(rc == 0, "fsync " << path << " failed: " << errno_text(err));
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), temp_path_(make_temp_path(path_)) {
+  errno = 0;
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_.good()) {
+    const int err = errno;
+    REBERT_CHECK_MSG(false, "cannot create temp file " << temp_path_
+                                                       << " for " << path_
+                                                       << ": "
+                                                       << errno_text(err));
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_) return;
+  // Abandoned write: drop the staged bytes, leave the destination alone.
+  out_.close();
+  std::remove(temp_path_.c_str());
+}
+
+void AtomicFileWriter::commit() {
+  REBERT_CHECK_MSG(!committed_, "commit() called twice for " << path_);
+  errno = 0;
+  out_.flush();
+  const bool wrote_ok = out_.good();
+  const int write_err = errno;
+  out_.close();
+  if (!wrote_ok) {
+    std::remove(temp_path_.c_str());
+    REBERT_CHECK_MSG(false, "write failure on " << temp_path_ << " (for "
+                                                << path_ << "): "
+                                                << errno_text(write_err));
+  }
+  try {
+    fsync_path(temp_path_, /*directory=*/false);
+    errno = 0;
+    if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+      const int err = errno;
+      REBERT_CHECK_MSG(false, "rename " << temp_path_ << " -> " << path_
+                                        << " failed: " << errno_text(err));
+    }
+  } catch (...) {
+    std::remove(temp_path_.c_str());
+    throw;
+  }
+  committed_ = true;
+  // The rename is on disk only once the directory entry is. Some
+  // filesystems refuse directory fsync; the file data is already synced,
+  // so degrade to a warning instead of failing the whole write.
+  try {
+    fsync_path(directory_of(path_), /*directory=*/true);
+  } catch (const std::exception& e) {
+    LOG_WARN << "atomic write of " << path_
+             << ": directory fsync skipped: " << e.what();
+  }
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  AtomicFileWriter writer(path);
+  writer.stream().write(contents.data(),
+                        static_cast<std::streamsize>(contents.size()));
+  writer.commit();
+}
+
+}  // namespace rebert::persist

@@ -1,0 +1,55 @@
+// Crash-safe file writes shared by every on-disk artifact (checkpoints,
+// cache snapshots, reports that must never be half-written).
+//
+// The only durable way to replace a file on POSIX is: write a temp file in
+// the *same directory* (rename across filesystems is not atomic), flush it,
+// fsync it, then rename() over the destination and fsync the directory.
+// A crash — up to and including kill -9 or power loss — at any point leaves
+// either the old file or the new file at the target path, never a torn mix,
+// and at worst an abandoned `<path>.tmp.<pid>.<n>` file that readers ignore.
+//
+// All failures throw util::CheckError carrying the errno text, so callers
+// see *why* (ENOSPC vs EACCES vs ENOENT) instead of a bare "write failed".
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace rebert::persist {
+
+/// Streaming atomic writer: construct, write to stream(), commit().
+/// Destruction without commit() abandons the write — the temp file is
+/// removed and the destination is left exactly as it was.
+class AtomicFileWriter {
+ public:
+  /// Opens a uniquely named temp file next to `path`. Throws
+  /// util::CheckError (with errno text) when it cannot be created.
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// The temp file's stream; write the full contents here before commit().
+  std::ostream& stream() { return out_; }
+
+  /// Where the bytes are staged until commit() — exposed for tests.
+  const std::string& temp_path() const { return temp_path_; }
+
+  /// Flush + fsync the temp file, rename it over the destination, fsync
+  /// the directory. Throws util::CheckError (errno included) on any step;
+  /// the temp file is removed on failure. Call at most once.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// One-shot convenience: atomically replace `path` with `contents`.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace rebert::persist

@@ -1,0 +1,45 @@
+// Warm-start glue between the RBPC snapshot format and the prediction
+// caches. Header-only templates so persist stays a leaf library: any cache
+// exposing export_entries() / import_entries() (core::PredictionCache and
+// core::ShardedPredictionCache both do) persists through the same two
+// calls, and only the including translation unit pays the dependency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "persist/snapshot.h"
+#include "util/logging.h"
+
+namespace rebert::persist {
+
+/// Atomically snapshot `cache` to `path`. Throws util::CheckError (with
+/// errno detail) on I/O failure.
+template <typename Cache>
+void save_cache(const Cache& cache, const std::string& path) {
+  save_snapshot(cache.export_entries(), path);
+}
+
+/// Warm-start `cache` from a snapshot. Returns the number of entries
+/// imported; a missing file imports 0 silently-ish (info log, normal first
+/// run) and a corrupt/truncated/version-skewed file imports 0 with a
+/// warning — the caller always continues, at worst cold. Never throws on
+/// file content.
+template <typename Cache>
+std::size_t load_cache(Cache* cache, const std::string& path) {
+  const SnapshotLoadResult result = load_snapshot(path);
+  switch (result.status) {
+    case SnapshotLoadStatus::kLoaded:
+      return cache->import_entries(result.records);
+    case SnapshotLoadStatus::kMissing:
+      LOG_INFO << "cache snapshot: " << result.message << "; starting cold";
+      return 0;
+    case SnapshotLoadStatus::kCorrupt:
+      LOG_WARN << "cache snapshot rejected: " << result.message
+               << "; starting cold";
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace rebert::persist

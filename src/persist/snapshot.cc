@@ -1,0 +1,139 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "persist/atomic_file.h"
+#include "util/check.h"
+
+namespace rebert::persist {
+
+namespace {
+
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+template <typename T>
+void write_pod(std::ostream& out, Fnv1a* sum, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  if (sum) sum->update(&value, sizeof(value));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, Fnv1a* sum, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  if (!in.good()) return false;
+  if (sum) sum->update(value, sizeof(*value));
+  return true;
+}
+
+SnapshotLoadResult reject(std::string message) {
+  SnapshotLoadResult result;
+  result.status = SnapshotLoadStatus::kCorrupt;
+  result.message = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+void save_snapshot(std::vector<CacheRecord> records, const std::string& path) {
+  // Sorted records make the file a pure function of the cache contents —
+  // two processes that learned the same entries write identical bytes.
+  std::sort(records.begin(), records.end());
+
+  AtomicFileWriter writer(path);
+  std::ostream& out = writer.stream();
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  write_pod(out, nullptr, kSnapshotVersion);
+  Fnv1a sum;
+  write_pod(out, &sum, static_cast<std::uint64_t>(records.size()));
+  for (const CacheRecord& record : records) {
+    write_pod(out, &sum, record.first);
+    write_pod(out, &sum, record.second);
+  }
+  write_pod(out, nullptr, sum.value());
+  writer.commit();
+}
+
+SnapshotLoadResult load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    SnapshotLoadResult result;
+    result.status = SnapshotLoadStatus::kMissing;
+    result.message = "no snapshot at " + path;
+    return result;
+  }
+
+  // Sizes first: a corrupt record count must not drive a giant allocation
+  // or a long read loop — the arithmetic proves truncation up front.
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kSnapshotMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  constexpr std::uint64_t kRecordBytes = sizeof(std::uint64_t) + sizeof(double);
+  constexpr std::uint64_t kChecksumBytes = sizeof(std::uint64_t);
+  if (file_size < kHeaderBytes + kChecksumBytes)
+    return reject(path + " is too small (" + std::to_string(file_size) +
+                  " bytes) to be a cache snapshot");
+
+  char magic[sizeof(kSnapshotMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || !std::equal(magic, magic + sizeof(magic), kSnapshotMagic))
+    return reject(path + " is not a cache snapshot (bad magic)");
+
+  std::uint32_t version = 0;
+  if (!read_pod(in, nullptr, &version))
+    return reject(path + ": truncated header");
+  if (version != kSnapshotVersion)
+    return reject(path + ": unsupported snapshot version " +
+                  std::to_string(version) + " (this build reads " +
+                  std::to_string(kSnapshotVersion) + ")");
+
+  Fnv1a sum;
+  std::uint64_t count = 0;
+  if (!read_pod(in, &sum, &count))
+    return reject(path + ": truncated header");
+  const std::uint64_t expected =
+      kHeaderBytes + count * kRecordBytes + kChecksumBytes;
+  if (file_size != expected)
+    return reject(path + ": expected " + std::to_string(expected) +
+                  " bytes for " + std::to_string(count) + " record(s), file has " +
+                  std::to_string(file_size) + " (truncated or trailing garbage)");
+
+  SnapshotLoadResult result;
+  result.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CacheRecord record;
+    if (!read_pod(in, &sum, &record.first) ||
+        !read_pod(in, &sum, &record.second))
+      return reject(path + ": truncated at record " + std::to_string(i) +
+                    " of " + std::to_string(count));
+    result.records.push_back(record);
+  }
+
+  std::uint64_t stored_sum = 0;
+  if (!read_pod(in, nullptr, &stored_sum))
+    return reject(path + ": truncated checksum");
+  if (stored_sum != sum.value())
+    return reject(path + ": checksum mismatch (file is corrupt)");
+
+  result.status = SnapshotLoadStatus::kLoaded;
+  return result;
+}
+
+}  // namespace rebert::persist

@@ -25,15 +25,17 @@ RecoveryArtifacts recover_words_detailed(const nl::Netlist& netlist,
                    "netlist has no sequential elements");
 
   phase.reset();
-  ShardedPredictionCache cache;
+  ShardedPredictionCache local_cache;
+  ShardedPredictionCache* cache =
+      options.external_cache ? options.external_cache : &local_cache;
   ScoringOptions scoring;
   scoring.num_threads = options.num_threads;
   artifacts.scores = score_all_pairs(
       artifacts.sequences, tokenizer, options.filter, model,
-      options.use_prediction_cache ? &cache : nullptr, scoring);
+      options.use_prediction_cache ? cache : nullptr, scoring);
   result.scoring_seconds = phase.seconds();
   result.filtered_fraction = artifacts.scores.filtered_fraction();
-  result.cache_hit_rate = cache.hit_rate();
+  result.cache_hit_rate = cache->hit_rate();
 
   phase.reset();
   result.labels = group_words(artifacts.scores, options.grouping);

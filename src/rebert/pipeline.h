@@ -27,8 +27,13 @@ struct PipelineOptions {
   GroupingOptions grouping;
   /// Memoize predictions on identical generalized sequence pairs
   /// (lossless; see prediction_cache.h). The cache lives for one
-  /// recover_words() call.
+  /// recover_words() call unless `external_cache` is set.
   bool use_prediction_cache = true;
+  /// Caller-owned cache to reuse across calls (e.g. warm-started from an
+  /// RBPC snapshot via persist/cache_io.h). Null = per-call cache. Only
+  /// consulted when use_prediction_cache is true; hits are lossless, so
+  /// recovered labels are identical warm or cold.
+  ShardedPredictionCache* external_cache = nullptr;
   /// Worker threads for the pairwise-scoring hot path (see
   /// core::score_all_pairs): 1 = serial, 0 = REBERT_THREADS / hardware,
   /// n > 1 = exactly n. The recovered labels are bit-identical at any

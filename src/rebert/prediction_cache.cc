@@ -1,5 +1,7 @@
 #include "rebert/prediction_cache.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace rebert::core {
@@ -61,6 +63,22 @@ void PredictionCache::insert(std::uint64_t key, double score) {
   entries_.emplace(key, score);
 }
 
+std::vector<std::pair<std::uint64_t, double>>
+PredictionCache::export_entries() const {
+  std::vector<std::pair<std::uint64_t, double>> out(entries_.begin(),
+                                                    entries_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PredictionCache::import_entries(
+    const std::vector<std::pair<std::uint64_t, double>>& entries) {
+  std::size_t inserted = 0;
+  for (const auto& [key, score] : entries)
+    if (entries_.emplace(key, score).second) ++inserted;
+  return inserted;
+}
+
 void PredictionCache::clear() {
   entries_.clear();
   stats_.reset();
@@ -115,6 +133,29 @@ std::size_t ShardedPredictionCache::size() const {
     total += shard->entries.size();
   }
   return total;
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+ShardedPredictionCache::export_entries() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.insert(out.end(), shard->entries.begin(), shard->entries.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ShardedPredictionCache::import_entries(
+    const std::vector<std::pair<std::uint64_t, double>>& entries) {
+  std::size_t inserted = 0;
+  for (const auto& [key, score] : entries) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.emplace(key, score).second) ++inserted;
+  }
+  return inserted;
 }
 
 void ShardedPredictionCache::clear() {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rebert/tokenizer.h"
@@ -98,6 +99,14 @@ class PredictionCache {
   std::uint64_t misses() const { return stats_.misses(); }
   double hit_rate() const { return stats_.hit_rate(); }
 
+  /// All entries sorted by key — what persist::save_cache snapshots.
+  std::vector<std::pair<std::uint64_t, double>> export_entries() const;
+
+  /// Warm-start: insert snapshot records (existing keys keep their value,
+  /// statistics untouched). Returns the number of records inserted.
+  std::size_t import_entries(
+      const std::vector<std::pair<std::uint64_t, double>>& entries);
+
   void clear();
 
  private:
@@ -122,6 +131,17 @@ class ShardedPredictionCache {
   std::uint64_t hits() const { return stats_.hits(); }
   std::uint64_t misses() const { return stats_.misses(); }
   double hit_rate() const { return stats_.hit_rate(); }
+
+  /// All entries across shards, sorted by key. Shard-agnostic: a snapshot
+  /// exported at one shard count imports at any other (or into the serial
+  /// PredictionCache) — records carry no shard structure.
+  std::vector<std::pair<std::uint64_t, double>> export_entries() const;
+
+  /// Warm-start from snapshot records; each key lands in its own shard.
+  /// Existing keys keep their value, statistics are untouched. Returns the
+  /// number of records inserted. Thread-safe like every other method.
+  std::size_t import_entries(
+      const std::vector<std::pair<std::uint64_t, double>>& entries);
 
   void clear();
 

@@ -6,6 +6,7 @@
 
 #include "circuitgen/suite.h"
 #include "nl/decompose.h"
+#include "persist/cache_io.h"
 #include "nl/netlist.h"
 #include "nl/parser.h"
 #include "rebert/scoring.h"
@@ -187,12 +188,27 @@ EngineStats InferenceEngine::stats() const {
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.cache_entries = cache_.size();
+  stats.warm_entries = warm_entries_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(benches_mu_);
     stats.benches_loaded = benches_.size();
   }
   stats.uptime_seconds = uptime_.seconds();
   return stats;
+}
+
+std::size_t InferenceEngine::load_cache(const std::string& path) {
+  const std::size_t loaded = persist::load_cache(&cache_, path);
+  warm_entries_.fetch_add(loaded, std::memory_order_relaxed);
+  if (loaded > 0) {
+    LOG_INFO << "serve: warm-started " << loaded << " cache entries from "
+             << path;
+  }
+  return loaded;
+}
+
+void InferenceEngine::save_cache(const std::string& path) const {
+  persist::save_cache(cache_, path);
 }
 
 int InferenceEngine::warm(const std::string& name) {

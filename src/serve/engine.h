@@ -64,6 +64,7 @@ struct EngineStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::size_t cache_entries = 0;
+  std::size_t warm_entries = 0;  // entries imported by load_cache()
   std::size_t benches_loaded = 0;
   double uptime_seconds = 0.0;
 };
@@ -99,6 +100,18 @@ class InferenceEngine {
   RecoverSummary recover(const std::string& bench);
 
   EngineStats stats() const;
+
+  /// Warm-start the prediction cache from an RBPC snapshot (see
+  /// persist/snapshot.h). Missing, truncated, or corrupt files warm
+  /// nothing and never throw — the engine starts cold with a warning.
+  /// Returns the number of entries imported (also reported by stats()).
+  std::size_t load_cache(const std::string& path);
+
+  /// Atomically snapshot the prediction cache to `path` (crash mid-save
+  /// leaves any previous snapshot intact). Throws util::CheckError with
+  /// errno detail on I/O failure. Safe to call while requests are in
+  /// flight — the cache is read under its shard locks.
+  void save_cache(const std::string& path) const;
 
   /// Pre-load a bench context (useful before latency measurements so the
   /// first timed request does not pay tokenization). Returns its bit count.
@@ -137,6 +150,7 @@ class InferenceEngine {
 
   std::atomic<std::uint64_t> score_requests_{0};
   std::atomic<std::uint64_t> recover_requests_{0};
+  std::atomic<std::size_t> warm_entries_{0};
   util::WallTimer uptime_;
 };
 

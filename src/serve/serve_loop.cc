@@ -1,6 +1,7 @@
 #include "serve/serve_loop.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <exception>
 #include <istream>
@@ -32,6 +33,7 @@ std::string format_stats(const EngineStats& stats) {
       << " cache_hits=" << stats.cache_hits
       << " cache_misses=" << stats.cache_misses
       << " cache_entries=" << stats.cache_entries
+      << " warm_entries=" << stats.warm_entries
       << " benches=" << stats.benches_loaded << " uptime_seconds="
       << util::format_double(stats.uptime_seconds, 3);
   return out.str();
@@ -56,6 +58,37 @@ std::string single_line(std::string text) {
 }
 
 }  // namespace
+
+void ServeLoop::enable_snapshots(std::string path, int every_n) {
+  snapshot_path_ = std::move(path);
+  snapshot_every_ = every_n;
+}
+
+void ServeLoop::snapshot_cache(bool force) {
+  if (snapshot_path_.empty()) return;
+  std::unique_lock<std::mutex> lock(snapshot_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Another thread is mid-save. A cadence save can skip (the next one
+    // covers it); a shutdown save must land, so wait our turn.
+    if (!force) return;
+    lock.lock();
+  }
+  try {
+    engine_.save_cache(snapshot_path_);
+    LOG_DEBUG << "serve: cache snapshot written to " << snapshot_path_;
+  } catch (const std::exception& e) {
+    LOG_WARN << "serve: cache snapshot to " << snapshot_path_
+             << " failed: " << e.what();
+  }
+}
+
+void ServeLoop::count_request_for_snapshot() {
+  if (snapshot_path_.empty() || snapshot_every_ < 1) return;
+  const std::uint64_t n =
+      answered_since_snapshot_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % static_cast<std::uint64_t>(snapshot_every_) == 0)
+    snapshot_cache(/*force=*/false);
+}
 
 std::string ServeLoop::handle_line(const std::string& line, bool* quit) {
   const Request request = parse_request(line);
@@ -93,7 +126,9 @@ std::size_t ServeLoop::run(std::istream& in, std::ostream& out) {
     out << handle_line(line, &quit) << '\n';
     out.flush();
     ++answered;
+    count_request_for_snapshot();
   }
+  snapshot_cache(/*force=*/true);
   return answered;
 }
 
@@ -102,8 +137,13 @@ void ServeLoop::handle_connection(int fd) {
   char chunk[4096];
   bool quit = false;
   while (!quit && !stopping_.load(std::memory_order_relaxed)) {
-    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
-    if (got <= 0) break;  // EOF or error: drop the connection
+    ssize_t got;
+    // A signal (e.g. the profiler's SIGPROF, or SIGTERM racing shutdown)
+    // interrupting the read must not drop a healthy connection.
+    do {
+      got = ::read(fd, chunk, sizeof(chunk));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) break;  // EOF or hard error: drop the connection
     buffer.append(chunk, static_cast<std::size_t>(got));
     std::size_t newline;
     while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
@@ -113,11 +153,15 @@ void ServeLoop::handle_connection(int fd) {
       const std::string response = handle_line(line, &quit) + "\n";
       std::size_t sent = 0;
       while (sent < response.size()) {
-        const ssize_t n =
-            ::write(fd, response.data() + sent, response.size() - sent);
+        // MSG_NOSIGNAL: a client that disconnected mid-response must cost
+        // us this connection (EPIPE), not the whole daemon (SIGPIPE).
+        const ssize_t n = ::send(fd, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
         if (n <= 0) { quit = true; break; }
         sent += static_cast<std::size_t>(n);
       }
+      if (sent == response.size()) count_request_for_snapshot();
     }
   }
   ::close(fd);
@@ -140,11 +184,19 @@ void ServeLoop::run_unix_socket(const std::string& path) {
     REBERT_CHECK_MSG(false, "cannot listen on " + path + ": " + reason);
   }
   listen_fd_.store(listener, std::memory_order_relaxed);
+  // Belt and braces with the MSG_NOSIGNAL sends: nothing else in this
+  // process wants SIGPIPE's default die-on-write either (a half-closed
+  // stdio pipe would otherwise kill a daemon mid-reply).
+  std::signal(SIGPIPE, SIG_IGN);
   LOG_INFO << "serve: listening on unix socket " << path;
 
   std::vector<std::thread> handlers;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listener, nullptr, nullptr);
+    int fd;
+    do {
+      fd = ::accept(listener, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR &&
+             !stopping_.load(std::memory_order_relaxed));
     if (fd < 0) break;  // listener closed by stop(), or hard error
     handlers.emplace_back([this, fd] { handle_connection(fd); });
   }
@@ -152,6 +204,7 @@ void ServeLoop::run_unix_socket(const std::string& path) {
   const int open_fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
   if (open_fd >= 0) ::close(open_fd);
   ::unlink(path.c_str());
+  snapshot_cache(/*force=*/true);
 }
 
 void ServeLoop::stop() {

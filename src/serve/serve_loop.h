@@ -13,7 +13,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 
 #include "serve/engine.h"
@@ -44,12 +46,32 @@ class ServeLoop {
   /// listener, joins connection handlers. Safe from any thread.
   void stop();
 
+  /// Persist the engine's prediction cache to `path` after every
+  /// `every_n` answered requests, and once more when a serving loop exits
+  /// cleanly (EOF, quit, stop()). Snapshots are atomic (temp + fsync +
+  /// rename), so a crash mid-snapshot leaves the previous one intact.
+  /// Call before serving; `every_n < 1` snapshots only on shutdown.
+  void enable_snapshots(std::string path, int every_n);
+
+  /// Snapshot now (no-op unless enable_snapshots was called). `force`
+  /// ignores the request cadence — used on clean shutdown. Concurrent
+  /// callers coalesce: a cadence-triggered save that finds another save in
+  /// flight skips instead of queueing. Save failures are logged, never
+  /// thrown — losing a snapshot must not take down serving.
+  void snapshot_cache(bool force);
+
  private:
   void handle_connection(int fd);
+  void count_request_for_snapshot();
 
   InferenceEngine& engine_;
   std::atomic<bool> stopping_{false};
   std::atomic<int> listen_fd_{-1};
+
+  std::string snapshot_path_;
+  int snapshot_every_ = 0;
+  std::atomic<std::uint64_t> answered_since_snapshot_{0};
+  std::mutex snapshot_mu_;  // serializes actual saves
 };
 
 }  // namespace rebert::serve

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "persist/atomic_file.h"
 #include "util/check.h"
 
 namespace rebert::tensor {
@@ -17,19 +18,59 @@ void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint32_t read_u32(std::istream& in) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  REBERT_CHECK_MSG(in.good(), "unexpected end of checkpoint file");
-  return v;
-}
+/// Checkpoint reads with located failures: every truncation error reports
+/// where in the file the read stopped and how large the file is, so a
+/// half-written or clipped checkpoint is diagnosable from the message
+/// alone ("truncated ... at offset 1234 of 5678 bytes").
+class CheckpointReader {
+ public:
+  CheckpointReader(std::istream& in, std::string path) : in_(in),
+                                                         path_(std::move(path)) {
+    in_.seekg(0, std::ios::end);
+    size_ = static_cast<long long>(in_.tellg());
+    in_.seekg(0, std::ios::beg);
+  }
+
+  std::istream& in() { return in_; }
+  const std::string& path() const { return path_; }
+
+  void bytes(char* dst, std::streamsize n, const char* what) {
+    in_.read(dst, n);
+    require(what);
+  }
+
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v = 0;
+    bytes(reinterpret_cast<char*>(&v), sizeof(v), what);
+    return v;
+  }
+
+  /// Fails with the current offset when the last read did not complete.
+  void require(const char* what) {
+    if (in_.good()) return;
+    in_.clear();  // failbit blocks tellg; the position is still meaningful
+    const long long offset = static_cast<long long>(in_.tellg());
+    REBERT_CHECK_MSG(false, "truncated checkpoint " << path_ << ": " << what
+                                                    << " at offset " << offset
+                                                    << " of " << size_
+                                                    << " bytes");
+  }
+
+ private:
+  std::istream& in_;
+  std::string path_;
+  long long size_ = 0;
+};
 
 }  // namespace
 
 void save_parameters(const std::vector<Parameter*>& params,
                      const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  REBERT_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  // Atomic write: a crash (or ENOSPC) mid-save must leave any previous
+  // checkpoint at `path` intact instead of a truncated file that
+  // hard-fails the next load_parameters.
+  persist::AtomicFileWriter writer(path);
+  std::ostream& out = writer.stream();
   out.write(kMagic, sizeof(kMagic));
   write_u32(out, kVersion);
   write_u32(out, static_cast<std::uint32_t>(params.size()));
@@ -43,21 +84,22 @@ void save_parameters(const std::vector<Parameter*>& params,
     out.write(reinterpret_cast<const char*>(p->value.data()),
               static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
   }
-  REBERT_CHECK_MSG(out.good(), "write failure on " << path);
+  writer.commit();  // flush + fsync + rename; errno-detailed on failure
 }
 
 void load_parameters(const std::vector<Parameter*>& params,
                      const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   REBERT_CHECK_MSG(in.good(), "cannot open checkpoint " << path);
+  CheckpointReader reader(in, path);
   char magic[4];
-  in.read(magic, sizeof(magic));
-  REBERT_CHECK_MSG(in.good() && std::equal(magic, magic + 4, kMagic),
+  reader.bytes(magic, sizeof(magic), "magic");
+  REBERT_CHECK_MSG(std::equal(magic, magic + 4, kMagic),
                    path << " is not a ReBERT checkpoint");
-  const std::uint32_t version = read_u32(in);
+  const std::uint32_t version = reader.u32("version");
   REBERT_CHECK_MSG(version == kVersion,
                    "unsupported checkpoint version " << version);
-  const std::uint32_t count = read_u32(in);
+  const std::uint32_t count = reader.u32("parameter count");
 
   std::unordered_map<std::string, Parameter*> by_name;
   for (Parameter* p : params) {
@@ -67,15 +109,14 @@ void load_parameters(const std::vector<Parameter*>& params,
 
   std::size_t loaded = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t name_len = read_u32(in);
+    const std::uint32_t name_len = reader.u32("parameter name length");
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    REBERT_CHECK_MSG(in.good(), "truncated checkpoint " << path);
-    const std::uint32_t rank = read_u32(in);
+    reader.bytes(name.data(), name_len, "parameter name");
+    const std::uint32_t rank = reader.u32("tensor rank");
     std::vector<int> shape(rank);
     std::int64_t numel = 1;
     for (std::uint32_t d = 0; d < rank; ++d) {
-      shape[d] = static_cast<int>(read_u32(in));
+      shape[d] = static_cast<int>(reader.u32("tensor shape"));
       numel *= shape[d];
     }
     auto it = by_name.find(name);
@@ -86,9 +127,9 @@ void load_parameters(const std::vector<Parameter*>& params,
     REBERT_CHECK_MSG(p.value.shape() == shape,
                      "shape mismatch for '" << name << "': model "
                                             << p.value.shape_string());
-    in.read(reinterpret_cast<char*>(p.value.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    REBERT_CHECK_MSG(in.good(), "truncated tensor data in " << path);
+    reader.bytes(reinterpret_cast<char*>(p.value.data()),
+                 static_cast<std::streamsize>(numel * sizeof(float)),
+                 "tensor data");
     ++loaded;
   }
   REBERT_CHECK_MSG(loaded == params.size(),

@@ -1,7 +1,10 @@
 #include "util/string_utils.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace rebert::util {
 
@@ -65,6 +68,22 @@ std::string to_upper(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   return out;
+}
+
+bool parse_int(std::string_view s, int* value) {
+  if (s.empty()) return false;
+  const std::string buf(s);  // strtol needs a NUL terminator
+  // strtol itself skips leading whitespace; a strict parse must not.
+  if (std::isspace(static_cast<unsigned char>(buf.front()))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str()) return false;
+  if (errno == ERANGE || parsed < std::numeric_limits<int>::min() ||
+      parsed > std::numeric_limits<int>::max())
+    return false;
+  if (value) *value = static_cast<int>(parsed);
+  return true;
 }
 
 std::string format_double(double value, int precision) {

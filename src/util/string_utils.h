@@ -28,4 +28,11 @@ std::string to_upper(std::string_view s);
 /// Fixed-precision formatting, e.g. format_double(0.12345, 3) == "0.123".
 std::string format_double(double value, int precision);
 
+/// Strict base-10 integer parse of the whole string (optional sign, no
+/// leading/trailing junk, must fit in int). Returns false instead of
+/// throwing — what parsers want when malformed input ("[x:0]", an
+/// overflow-sized index) must become a located diagnostic, not an
+/// uncaught std::invalid_argument.
+bool parse_int(std::string_view s, int* value);
+
 }  // namespace rebert::util

@@ -71,6 +71,52 @@ endmodule
   EXPECT_TRUE(n.find("d[1]").has_value());
 }
 
+TEST(VerilogParseTest, MalformedRangeIndexIsVerilogError) {
+  // Regression: `[x:0]` used to escape as std::invalid_argument from
+  // std::stoi instead of a located VerilogError.
+  EXPECT_THROW(parse_verilog_string(R"(
+module m (d, y);
+  input [x:0] d;
+  output y;
+  and g0 (y, d[0], d[0]);
+endmodule
+)"),
+               VerilogError);
+  // Trailing junk after the index must not be silently accepted either.
+  EXPECT_THROW(parse_verilog_string(R"(
+module m (d, y);
+  input [3a:0] d;
+  output y;
+  and g0 (y, d[0], d[1]);
+endmodule
+)"),
+               VerilogError);
+}
+
+TEST(VerilogParseTest, OverflowRangeIndexIsVerilogError) {
+  // 99999999999999999999 overflows int; std::stoi would have thrown
+  // std::out_of_range straight through the parser.
+  EXPECT_THROW(parse_verilog_string(R"(
+module m (d, y);
+  input [99999999999999999999:0] d;
+  output y;
+  and g0 (y, d[0], d[0]);
+endmodule
+)"),
+               VerilogError);
+}
+
+TEST(VerilogParseTest, NegativeRangeIndexIsVerilogError) {
+  EXPECT_THROW(parse_verilog_string(R"(
+module m (d, y);
+  input [-2:0] d;
+  output y;
+  and g0 (y, d[0], d[0]);
+endmodule
+)"),
+               VerilogError);
+}
+
 TEST(VerilogParseTest, AssignAndConstants) {
   const Netlist n = parse_verilog_string(R"(
 module m (a, y, k);

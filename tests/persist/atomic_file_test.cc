@@ -1,0 +1,127 @@
+// Crash-safety contract of the atomic writer: the destination path holds
+// either the old bytes or the new bytes, never a torn mix, and abandoned
+// writes (the kill -9 simulation) leave the destination untouched.
+#include "persist/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+
+#include "util/check.h"
+
+namespace rebert::persist {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Names in TempDir() containing `needle` — for asserting no temp litter.
+std::vector<std::string> dir_entries_containing(const std::string& needle) {
+  std::vector<std::string> hits;
+  DIR* dir = ::opendir(::testing::TempDir().c_str());
+  if (!dir) return hits;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.find(needle) != std::string::npos) hits.push_back(name);
+  }
+  ::closedir(dir);
+  return hits;
+}
+
+TEST(AtomicFileTest, WriteCreatesExactContents) {
+  const std::string path = temp_path("atomic_basic.bin");
+  write_file_atomic(path, "plain text");
+  EXPECT_EQ(read_file(path), "plain text");
+  write_file_atomic(path, std::string_view("a\0b", 3));  // binary-safe
+  EXPECT_EQ(read_file(path), std::string("a\0b", 3));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, OverwriteReplacesAndLeavesNoTemp) {
+  const std::string path = temp_path("atomic_overwrite.bin");
+  write_file_atomic(path, "first version");
+  write_file_atomic(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+  EXPECT_EQ(dir_entries_containing("atomic_overwrite.bin.tmp").size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, AbandonedWriterLeavesDestinationUntouched) {
+  const std::string path = temp_path("atomic_abandon.bin");
+  write_file_atomic(path, "durable");
+  {
+    // Simulates a crash mid-write: bytes staged, commit() never reached.
+    AtomicFileWriter writer(path);
+    writer.stream() << "half-written garbage";
+    EXPECT_TRUE(file_exists(writer.temp_path()));
+  }
+  EXPECT_EQ(read_file(path), "durable");
+  EXPECT_EQ(dir_entries_containing("atomic_abandon.bin.tmp").size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, LeftoverTempFromKilledProcessIsIgnored) {
+  // A kill -9 between write and rename leaves `<path>.tmp.<pid>.<n>`
+  // behind. Nothing reads those: the destination stays authoritative and
+  // later atomic writes still land.
+  const std::string path = temp_path("atomic_leftover.bin");
+  write_file_atomic(path, "good");
+  {
+    std::ofstream stale(path + ".tmp.99999.0", std::ios::binary);
+    stale << "torn bytes from a dead process";
+  }
+  EXPECT_EQ(read_file(path), "good");
+  write_file_atomic(path, "newer");
+  EXPECT_EQ(read_file(path), "newer");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp.99999.0").c_str());
+}
+
+TEST(AtomicFileTest, StagesNextToDestinationNotElsewhere) {
+  // Same-directory staging is what makes rename() atomic; a temp file in
+  // /tmp with a destination on another filesystem would copy, not rename.
+  const std::string path = temp_path("atomic_dir.bin");
+  AtomicFileWriter writer(path);
+  EXPECT_EQ(writer.temp_path().rfind(path + ".tmp.", 0), 0u);
+}
+
+TEST(AtomicFileTest, MissingDirectoryReportsErrno) {
+  const std::string path =
+      temp_path("no_such_subdir") + "/deeper/target.bin";
+  try {
+    write_file_atomic(path, "bytes");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("target.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("errno"), std::string::npos) << what;
+  }
+}
+
+TEST(AtomicFileTest, CommitTwiceRejected) {
+  const std::string path = temp_path("atomic_twice.bin");
+  AtomicFileWriter writer(path);
+  writer.stream() << "once";
+  writer.commit();
+  EXPECT_THROW(writer.commit(), util::CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rebert::persist

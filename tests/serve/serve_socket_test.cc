@@ -1,0 +1,163 @@
+// Unix-socket transport robustness: a client that disconnects mid-response
+// (the SIGPIPE/EPIPE path) or mid-request costs the daemon that one
+// connection, never the process, and later clients are served normally.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/engine.h"
+#include "serve/serve_loop.h"
+#include "util/string_utils.h"
+
+namespace rebert::serve {
+namespace {
+
+EngineOptions small_options() {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.batch_size = 4;
+  options.suite_scale = 0.25;
+  options.experiment.pipeline.tokenizer.backtrace_depth = 4;
+  options.experiment.pipeline.tokenizer.tree_code_dim = 8;
+  options.experiment.pipeline.tokenizer.max_seq_len = 128;
+  options.experiment.model_hidden = 32;
+  options.experiment.model_layers = 1;
+  options.experiment.model_heads = 2;
+  return options;
+}
+
+int connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::close(fd);
+  return -1;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer may already be gone; that is the point
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_line(int fd) {
+  std::string line;
+  char c;
+  while (true) {
+    ssize_t got;
+    do {
+      got = ::read(fd, &c, 1);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0 || c == '\n') return line;
+    line += c;
+  }
+}
+
+TEST(ServeSocketTest, DisconnectMidResponseDoesNotKillDaemon) {
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_disconnect.sock";
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  // Rude client: pipeline many requests, then vanish without reading a
+  // byte. The responses overrun the dead socket's buffer, so the server's
+  // send() hits EPIPE — which must drop this connection, not the process.
+  {
+    const int rude = connect_to(socket_path);
+    ASSERT_GE(rude, 0);
+    std::string burst;
+    for (int i = 0; i < 400; ++i) burst += "stats\n";
+    send_all(rude, burst);
+    ::close(rude);
+  }
+
+  // A polite client arriving afterwards is served normally — the proof
+  // that the daemon survived the EPIPE above.
+  for (int round = 0; round < 3; ++round) {
+    const int polite = connect_to(socket_path);
+    ASSERT_GE(polite, 0);
+    send_all(polite, "stats\n");
+    const std::string response = read_line(polite);
+    EXPECT_TRUE(util::starts_with(response, "ok threads=")) << response;
+    ::close(polite);
+  }
+
+  loop.stop();
+  server.join();
+  std::remove(socket_path.c_str());
+}
+
+TEST(ServeSocketTest, HalfLineThenDisconnectIsDropped) {
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_halfline.sock";
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  {
+    const int rude = connect_to(socket_path);
+    ASSERT_GE(rude, 0);
+    send_all(rude, "score b03 q0");  // no newline, then gone
+    ::close(rude);
+  }
+
+  const int polite = connect_to(socket_path);
+  ASSERT_GE(polite, 0);
+  send_all(polite, "help\n");
+  EXPECT_TRUE(util::starts_with(read_line(polite), "ok commands:"));
+  ::close(polite);
+
+  loop.stop();
+  server.join();
+  std::remove(socket_path.c_str());
+}
+
+TEST(ServeSocketTest, QuitClosesOnlyThatConnection) {
+  const std::string socket_path = ::testing::TempDir() + "/rebert_quit.sock";
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  const int first = connect_to(socket_path);
+  ASSERT_GE(first, 0);
+  send_all(first, "quit\n");
+  EXPECT_EQ(read_line(first), "ok bye");
+  EXPECT_EQ(read_line(first), "");  // server closed the connection
+  ::close(first);
+
+  const int second = connect_to(socket_path);
+  ASSERT_GE(second, 0);
+  send_all(second, "stats\n");
+  EXPECT_TRUE(util::starts_with(read_line(second), "ok threads="));
+  ::close(second);
+
+  loop.stop();
+  server.join();
+  std::remove(socket_path.c_str());
+}
+
+}  // namespace
+}  // namespace rebert::serve

@@ -90,6 +90,56 @@ TEST(SerializeTest, MissingFileRejected) {
                util::CheckError);
 }
 
+TEST(SerializeTest, TruncatedFileReportsOffsetAndSize) {
+  // Regression: a checkpoint clipped mid-tensor must fail with a located
+  // message ("at offset X of Y bytes"), not a bare end-of-file check.
+  util::Rng rng(7);
+  Parameter a("w", Tensor::randn({8, 8}, rng));
+  const std::string path = temp_path("ckpt_located.bin");
+  save_parameters({&a}, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() - 16));
+  out.close();
+  Parameter a2("w", Tensor({8, 8}));
+  try {
+    load_parameters({&a2}, path);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(contents.size() - 16)),
+              std::string::npos)
+        << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveIsAtomicLeavesNoTempAndKeepsOldOnFailure) {
+  // save_parameters stages through <path>.tmp.* and renames: after a
+  // successful save only the checkpoint itself exists, and a failed save
+  // (unwritable directory) leaves a previous checkpoint untouched.
+  util::Rng rng(8);
+  Parameter a("w", Tensor::randn({4}, rng));
+  const std::string path = temp_path("ckpt_atomic.bin");
+  save_parameters({&a}, path);
+  Parameter a2("w", Tensor({4}));
+  load_parameters({&a2}, path);  // loadable — no partial state
+  EXPECT_TRUE(allclose(a.value, a2.value));
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  Parameter unnamed("", Tensor({2}));
+  EXPECT_THROW(save_parameters({&unnamed}, path), util::CheckError);
+  Parameter a3("w", Tensor({4}));
+  load_parameters({&a3}, path);  // old checkpoint survived the failed save
+  EXPECT_TRUE(allclose(a.value, a3.value));
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, TruncatedFileRejected) {
   util::Rng rng(6);
   Parameter a("w", Tensor::randn({16, 16}, rng));

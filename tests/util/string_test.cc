@@ -49,6 +49,34 @@ TEST(CaseTest, Converts) {
   EXPECT_EQ(to_upper("dff_3"), "DFF_3");
 }
 
+TEST(ParseIntTest, AcceptsPlainIntegers) {
+  int v = -1;
+  EXPECT_TRUE(parse_int("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parse_int("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(parse_int("+5", &v));
+  EXPECT_EQ(v, 5);
+  EXPECT_TRUE(parse_int("2147483647", &v));
+  EXPECT_EQ(v, 2147483647);
+}
+
+TEST(ParseIntTest, RejectsJunkAndOverflowWithoutTouchingOutput) {
+  int v = 123;
+  EXPECT_FALSE(parse_int("", &v));
+  EXPECT_FALSE(parse_int("x", &v));
+  EXPECT_FALSE(parse_int("3a", &v));     // trailing junk (stoi accepts!)
+  EXPECT_FALSE(parse_int(" 7", &v));     // leading whitespace (strtol skips)
+  EXPECT_FALSE(parse_int("7 ", &v));
+  EXPECT_FALSE(parse_int("1.5", &v));
+  EXPECT_FALSE(parse_int("--2", &v));
+  EXPECT_FALSE(parse_int("99999999999999999999", &v));  // overflows long too
+  EXPECT_FALSE(parse_int("2147483648", &v));  // one past INT_MAX
+  EXPECT_EQ(v, 123);  // failures leave *value untouched
+}
+
 TEST(FormatDoubleTest, FixedPrecision) {
   EXPECT_EQ(format_double(0.12345, 3), "0.123");
   EXPECT_EQ(format_double(-1.0, 2), "-1.00");

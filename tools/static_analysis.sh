@@ -8,11 +8,14 @@
 #   1. clang-tidy over src/ and apps/ using a compile_commands.json build.
 #      Skipped with a notice when clang-tidy is not installed (the container
 #      image ships only gcc).
-#   2. ASan and UBSan builds of the full test suite, run under ctest, plus
-#      a TSan build running the `concurrency`-labelled tests (thread pool,
-#      parallel_for, sharded cache, serve engine). Any sanitizer report
-#      fails the stage (UBSan is built with -fno-sanitize-recover so
-#      findings abort).
+#   2. ASan and UBSan builds of the full test suite, run under ctest, then
+#      an explicit `ctest -L persist` gate in the same build dirs (the
+#      crash-safety suites: atomic writer, RBPC snapshots, checkpoint
+#      truncation, warm-start serving), plus a TSan build running the
+#      `concurrency`-labelled tests (thread pool, parallel_for, sharded
+#      cache, serve engine, socket serving). Any sanitizer report fails
+#      the stage (UBSan is built with -fno-sanitize-recover so findings
+#      abort).
 #   3. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
 #      R-Index 0 and 0.4. Error-severity diagnostics fail the stage;
 #      warnings are reported but tolerated (generated circuits contain
@@ -68,6 +71,11 @@ run_sanitizer() {
   cmake -B "$dir" -S . -DREBERT_SANITIZE="$san" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
   cmake --build "$dir" -j "$JOBS" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" ${label:+-L "$label"}) || FAILURES=$((FAILURES + 1))
+  if [ -z "$label" ]; then
+    # Explicit persistence gate: the crash-safety suites must stay green
+    # under this sanitizer even if the full run above is ever narrowed.
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L persist) || FAILURES=$((FAILURES + 1))
+  fi
 }
 
 if [ "$RUN_SAN" -eq 1 ]; then
