@@ -23,6 +23,8 @@
 //   rebert_cli serve       [--socket /tmp/rebert.sock] [--threads N]
 //                          [--batch 16] [--model model.bin] [--scale 0.25]
 //                          [--cache-file cache.rbpc] [--snapshot-every 64]
+//                          [--max-inflight 0] [--retry-after-ms 50]
+//                          [--deadline-ms 0] [--max-connections 64]
 //   rebert_cli score       [--bench b07] [--pairs 200 | --bits a,b]
 //                          [--seed 1] [--cache-file cache.rbpc] [...]
 //   rebert_cli bench-serve [--bench b07] [--requests 200] [--clients 2]
@@ -38,6 +40,15 @@
 // `serve` speaks the newline protocol of src/serve/protocol.h over stdio
 // (default) or a Unix socket; `bench-serve` drives the same engine with an
 // in-process load generator and reports p50/p95 latency and QPS.
+//
+// Overload safety (see DESIGN.md): --max-inflight bounds concurrently
+// admitted score/recover requests (excess answered `err overloaded
+// retry_after_ms=<n>`), --deadline-ms imposes a default per-request
+// deadline (`err deadline_exceeded`), --max-connections caps socket
+// handler threads, and the REBERT_FAULTS environment variable
+// (site:prob:seed[:delay_ms],...) arms deterministic fault injection for
+// chaos drills — a model-path fault degrades `recover` to the structural
+// baseline rather than failing it.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -118,6 +129,8 @@ serve::EngineOptions engine_options(const util::FlagParser& flags) {
   options.batch_size = flags.get_int("batch", 16);
   options.suite_scale = flags.get_double("scale", 0.25);
   options.model_path = flags.get("model", "");
+  options.max_inflight = flags.get_int("max-inflight", 0);
+  options.retry_after_ms = flags.get_int("retry-after-ms", 50);
   options.experiment = experiment_options(flags);
   return options;
 }
@@ -401,6 +414,8 @@ int cmd_lint(const util::FlagParser& flags) {
 int cmd_serve(const util::FlagParser& flags) {
   serve::InferenceEngine engine(engine_options(flags));
   serve::ServeLoop loop(engine);
+  loop.set_default_deadline_ms(flags.get_int("deadline-ms", 0));
+  loop.set_max_connections(flags.get_int("max-connections", 64));
   const std::string cache_file = flags.get("cache-file", "");
   if (!cache_file.empty()) {
     engine.load_cache(cache_file);  // cold start on missing/corrupt
@@ -597,7 +612,8 @@ constexpr Subcommand kSubcommands[] = {
     {"serve",
      "[--socket /tmp/rebert.sock] [--threads N] [--batch 16] "
      "[--model model.bin] [--scale 0.25] [--cache-file cache.rbpc] "
-     "[--snapshot-every 64]",
+     "[--snapshot-every 64] [--max-inflight 0] [--retry-after-ms 50] "
+     "[--deadline-ms 0] [--max-connections 64]",
      cmd_serve},
     {"score",
      "[--bench b07] [--pairs 200 | --bits a,b] [--seed 1] "

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "runtime/fault_injector.h"
 #include "tensor/graphcheck.h"
 #include "tensor/serialize.h"
 #include "util/check.h"
@@ -156,6 +157,11 @@ void BertPairClassifier::backward(const Tensor& d_logits,
 
 double BertPairClassifier::predict_same_word_probability(
     const EncodedSequence& input) const {
+  // Chaos site: simulates an inference failure (bad checkpoint arithmetic,
+  // a NaN tripwire from check_numerics, a future accelerator backend
+  // erroring out). One check per forward so probability-armed chaos runs
+  // fail a deterministic fraction of predictions.
+  runtime::FaultInjector::global().maybe_throw("model.forward");
   const Tensor logits = forward(input, /*dropout_rng=*/nullptr, nullptr);
   const Tensor probs = tensor::softmax_rows(logits);
   return probs.at(0, 1);

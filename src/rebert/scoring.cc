@@ -121,6 +121,7 @@ ScoreMatrix score_all_pairs(const std::vector<BitSequence>& bits,
 
   runtime::ParallelForOptions schedule;
   schedule.grain = std::max(1, options.grain);
+  schedule.cancel = options.cancel;
   const std::int64_t total = static_cast<std::int64_t>(pairs.size());
   const int threads = options.num_threads == 1
                           ? 1

@@ -12,6 +12,7 @@
 #include "rebert/filter.h"
 #include "rebert/prediction_cache.h"
 #include "rebert/tokenizer.h"
+#include "runtime/latch.h"
 #include "runtime/thread_pool.h"
 
 namespace rebert::core {
@@ -62,6 +63,11 @@ struct ScoringOptions {
   /// up a transient one. When null and more than one thread is resolved, a
   /// pool is created for the call.
   runtime::ThreadPool* pool = nullptr;
+  /// Cooperative cancellation / deadline token, polled between scheduling
+  /// chunks (see runtime/parallel_for.h). When it fires mid-sweep the call
+  /// throws runtime::CancelledError — how the serve engine bounds a
+  /// recover request to its deadline_ms.
+  runtime::CancellationToken* cancel = nullptr;
 };
 
 /// Score every candidate pair of `bits` — the O(bits²) hot path of the

@@ -1,0 +1,150 @@
+#include "runtime/fault_injector.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace rebert::runtime {
+
+const std::vector<std::string>& fault_sites() {
+  static const std::vector<std::string> sites{
+      "socket.read", "socket.send", "snapshot.save",
+      "pool.submit", "model.forward",
+  };
+  return sites;
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* injector = [] {
+    auto* instance = new FaultInjector();
+    const std::string spec = util::env_string("REBERT_FAULTS", "");
+    if (!spec.empty()) {
+      try {
+        instance->configure(spec);
+      } catch (const std::exception& e) {
+        LOG_WARN << "REBERT_FAULTS ignored: " << e.what();
+      }
+    }
+    return instance;
+  }();
+  return *injector;
+}
+
+void FaultInjector::arm(const std::string& site, double probability,
+                        std::uint64_t seed, int delay_ms) {
+  const std::vector<std::string>& known = fault_sites();
+  REBERT_CHECK_MSG(
+      std::find(known.begin(), known.end(), site) != known.end(),
+      "unknown fault site '" + site + "' (known: " +
+          util::join(known, ", ") + ")");
+  REBERT_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
+                   "fault probability must be in [0, 1], got " << probability);
+  REBERT_CHECK_MSG(delay_ms >= 0, "fault delay must be >= 0 ms");
+  std::lock_guard<std::mutex> lock(mu_);
+  Site armed;
+  armed.probability = probability;
+  armed.delay_ms = delay_ms;
+  armed.rng = util::Rng(seed);
+  const bool fresh = sites_.find(site) == sites_.end();
+  sites_[site] = std::move(armed);
+  if (fresh) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  LOG_INFO << "faults: armed " << site << " p=" << probability
+           << " seed=" << seed
+           << (delay_ms > 0 ? " delay_ms=" + std::to_string(delay_ms) : "");
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0)
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+  total_trips_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  for (const std::string& piece : util::split(spec, ',')) {
+    const std::string entry = util::trim(piece);
+    if (entry.empty()) continue;
+    const std::vector<std::string> fields = util::split(entry, ':');
+    REBERT_CHECK_MSG(fields.size() == 3 || fields.size() == 4,
+                     "bad REBERT_FAULTS entry '"
+                         << entry << "' (want site:prob:seed[:delay_ms])");
+    char* end = nullptr;
+    const double probability = std::strtod(fields[1].c_str(), &end);
+    REBERT_CHECK_MSG(end != fields[1].c_str() && *end == '\0',
+                     "bad probability in '" << entry << "'");
+    int seed = 0;
+    REBERT_CHECK_MSG(util::parse_int(fields[2], &seed) && seed >= 0,
+                     "bad seed in '" << entry << "'");
+    int delay_ms = 0;
+    if (fields.size() == 4)
+      REBERT_CHECK_MSG(util::parse_int(fields[3], &delay_ms) && delay_ms >= 0,
+                       "bad delay_ms in '" << entry << "'");
+    arm(fields[0], probability, static_cast<std::uint64_t>(seed), delay_ms);
+  }
+}
+
+bool FaultInjector::should_fail(const char* site) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  int delay_ms = 0;
+  bool tripped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    Site& armed = it->second;
+    ++armed.checks;
+    if (!armed.rng.bernoulli(armed.probability)) return false;
+    ++armed.trips;
+    total_trips_.fetch_add(1, std::memory_order_relaxed);
+    tripped = true;
+    delay_ms = armed.delay_ms;
+  }
+  if (tripped && delay_ms > 0) {
+    // Latency mode: the fault is slowness, not failure. Sleep outside the
+    // lock so concurrent sites keep making independent decisions.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return false;
+  }
+  return tripped;
+}
+
+void FaultInjector::maybe_throw(const char* site) {
+  if (should_fail(site)) throw InjectedFault(site);
+}
+
+bool FaultInjector::maybe_errno(const char* site, int err) {
+  if (!should_fail(site)) return false;
+  errno = err;
+  return true;
+}
+
+std::vector<FaultInjector::SiteReport> FaultInjector::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteReport> reports;
+  reports.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    SiteReport entry;
+    entry.site = name;
+    entry.probability = site.probability;
+    entry.delay_ms = site.delay_ms;
+    entry.checks = site.checks;
+    entry.trips = site.trips;
+    reports.push_back(std::move(entry));
+  }
+  return reports;
+}
+
+}  // namespace rebert::runtime

@@ -1,0 +1,127 @@
+// Deterministic, seeded fault injection for the serving runtime.
+//
+// A FaultInjector owns a set of named sites — fixed points in the code where
+// a failure can be provoked on demand: socket reads/sends, snapshot saves,
+// pool submissions, model forwards. Each armed site trips with a configured
+// probability drawn from its own seeded stream, so a chaos run is exactly
+// reproducible: same spec, same request interleaving per thread, same trips.
+//
+// Sites are compiled in always (no #ifdef chaos build) and cost one relaxed
+// atomic load when nothing is armed, so production binaries pay nothing.
+// Arming happens either programmatically (tests) or via the environment:
+//
+//   REBERT_FAULTS=site:prob:seed[,site:prob:seed]...
+//   REBERT_FAULTS=model.forward:1.0:7,socket.send:0.25:3
+//
+// An optional fourth field turns the fault into added latency instead of a
+// failure: `model.forward:1.0:7:50` sleeps 50 ms per trip — how the deadline
+// and admission-control tests make a fast model predictably slow.
+//
+// A trip manifests per call shape:
+//   * maybe_throw(site)        throws runtime::InjectedFault
+//   * maybe_errno(site, err)   returns true with errno set (syscall shims)
+//   * should_fail(site)        bare boolean for custom handling
+// Latency-mode trips sleep and then report "no failure" on all three.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rebert::runtime {
+
+/// Thrown by maybe_throw when an armed site trips. Derives from
+/// runtime_error so existing catch-and-degrade paths treat it exactly like
+/// the real failure it simulates.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site) {}
+};
+
+/// The sites the codebase exposes. arm()/configure() reject anything else
+/// so a typo in REBERT_FAULTS fails loudly instead of arming nothing.
+const std::vector<std::string>& fault_sites();
+
+class FaultInjector {
+ public:
+  struct SiteReport {
+    std::string site;
+    double probability = 0.0;
+    int delay_ms = 0;
+    std::uint64_t checks = 0;  // times the site was evaluated while armed
+    std::uint64_t trips = 0;   // times it fired
+  };
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector every production site consults. First access
+  /// arms it from REBERT_FAULTS (malformed specs log a warning and arm
+  /// nothing — a bad env var must not take the daemon down).
+  static FaultInjector& global();
+
+  /// Arm `site` to trip with `probability` in [0, 1], decisions drawn from
+  /// a stream seeded by `seed`. delay_ms > 0 turns trips into added latency
+  /// instead of failures. Re-arming a site resets its stream and counters.
+  /// Throws util::CheckError on an unknown site or probability outside
+  /// [0, 1].
+  void arm(const std::string& site, double probability, std::uint64_t seed,
+           int delay_ms = 0);
+
+  void disarm(const std::string& site);
+  void disarm_all();
+
+  /// Parse and apply the REBERT_FAULTS grammar (see file comment). Throws
+  /// util::CheckError describing the first malformed entry; entries before
+  /// it stay armed.
+  void configure(const std::string& spec);
+
+  /// True when the armed site trips this call. Latency-mode trips sleep
+  /// here and return false. The disarmed fast path is one relaxed load.
+  bool should_fail(const char* site);
+
+  /// Throws InjectedFault when the site trips.
+  void maybe_throw(const char* site);
+
+  /// Returns true with errno = err when the site trips — drop-in for
+  /// simulating a failed syscall.
+  bool maybe_errno(const char* site, int err);
+
+  bool armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Total trips across all sites since construction / last disarm_all.
+  std::uint64_t total_trips() const {
+    return total_trips_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-site configuration and counters, armed sites only.
+  std::vector<SiteReport> report() const;
+
+ private:
+  struct Site {
+    double probability = 0.0;
+    int delay_ms = 0;
+    util::Rng rng{0};
+    std::uint64_t checks = 0;
+    std::uint64_t trips = 0;
+  };
+
+  // armed_count_ mirrors sites_.size() so the hot path can skip the mutex;
+  // total_trips_ is read by stats endpoints without locking.
+  std::atomic<int> armed_count_{0};
+  std::atomic<std::uint64_t> total_trips_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+};
+
+}  // namespace rebert::runtime

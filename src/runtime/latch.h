@@ -54,15 +54,49 @@ class Latch {
 
 /// Cooperative cancellation: long-running parallel work polls requested()
 /// between chunks and stops early when a stop was requested. Wait-free on
-/// the polling side.
+/// the polling side (deadline-armed tokens add one monotonic clock read).
+///
+/// Besides the explicit request_stop(), a token can carry a deadline:
+/// set_deadline_after_ms(n) makes requested() start returning true once n
+/// milliseconds of wall-clock have elapsed. This is how the serving layer
+/// enforces per-request deadline_ms through the same polling points the
+/// cancellation path already has — micro-batches and parallel_for chunks
+/// stop between units of work, never mid-forward.
 class CancellationToken {
  public:
   void request_stop() { stop_.store(true, std::memory_order_release); }
-  bool requested() const { return stop_.load(std::memory_order_acquire); }
-  void reset() { stop_.store(false, std::memory_order_release); }
+
+  bool requested() const {
+    if (stop_.load(std::memory_order_acquire)) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_acquire);
+    return deadline != 0 && now_ns() >= deadline;
+  }
+
+  /// Arm the deadline `ms` milliseconds from now (ms <= 0 expires
+  /// immediately). Overwrites any previous deadline.
+  void set_deadline_after_ms(std::int64_t ms) {
+    deadline_ns_.store(now_ns() + ms * 1'000'000, std::memory_order_release);
+  }
+
+  bool deadline_armed() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  void reset() {
+    stop_.store(false, std::memory_order_release);
+    deadline_ns_.store(0, std::memory_order_release);
+  }
 
  private:
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};
 };
 
 /// Thrown by parallel_for when its CancellationToken fires mid-run.

@@ -95,12 +95,22 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
   const std::int64_t helpers =
       std::min<std::int64_t>(pool.size(), state->num_chunks - 1);
   auto done = std::make_shared<Latch>(helpers);
+  std::int64_t launched = 0;
   for (std::int64_t h = 0; h < helpers; ++h) {
-    pool.submit([state, done] {
-      state->drain();
-      done->count_down();
-    });
+    // A submit that throws (queue failure, injected pool.submit fault) must
+    // not strand the latch: stop launching and let the caller process every
+    // remaining chunk itself — slower, never wrong.
+    try {
+      pool.submit([state, done] {
+        state->drain();
+        done->count_down();
+      });
+      ++launched;
+    } catch (...) {
+      break;
+    }
   }
+  if (launched < helpers) done->count_down(helpers - launched);
 
   state->drain();  // the caller processes chunks too
 

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include "runtime/fault_injector.h"
 #include "runtime/threads.h"
 #include "util/check.h"
 
@@ -27,6 +28,10 @@ ThreadPool::~ThreadPool() {
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
   REBERT_CHECK_MSG(fn != nullptr, "cannot submit a null task");
+  // Chaos site: simulates enqueue failure (allocation pressure, a saturated
+  // bounded queue in a future backend). Callers that fan work out must
+  // survive this by running the task inline or with fewer helpers.
+  FaultInjector::global().maybe_throw("pool.submit");
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {

@@ -1,0 +1,108 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+#include "util/retry_eintr.h"
+
+namespace rebert::serve {
+
+Client::Client(std::string socket_path, ClientOptions options)
+    : path_(std::move(socket_path)), options_(options) {}
+
+Client::~Client() { close(); }
+
+bool Client::connect() {
+  if (fd_ >= 0) return true;
+  REBERT_CHECK_MSG(path_.size() < sizeof(sockaddr_un{}.sun_path),
+                   "unix socket path too long: " + path_);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    REBERT_CHECK_MSG(fd >= 0, "socket() failed");
+    const int result = util::retry_eintr([&] {
+      return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+    });
+    if (result == 0) {
+      fd_ = fd;
+      return true;
+    }
+    ::close(fd);
+    // ENOENT / ECONNREFUSED: the daemon has not bound yet — poll.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.connect_poll_ms));
+  }
+  return false;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+std::string Client::read_line() {
+  std::size_t newline;
+  while ((newline = buffer_.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t got = util::retry_eintr([&] {
+      return ::read(fd_, chunk, sizeof(chunk));
+    });
+    REBERT_CHECK_MSG(got > 0, "serve client: connection to " + path_ +
+                                  " closed mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+  std::string line = buffer_.substr(0, newline);
+  buffer_.erase(0, newline + 1);
+  return line;
+}
+
+std::string Client::request(const std::string& line) {
+  REBERT_CHECK_MSG(fd_ >= 0, "serve client: not connected to " + path_);
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = util::retry_eintr([&] {
+      return ::send(fd_, framed.data() + sent, framed.size() - sent,
+                    MSG_NOSIGNAL);
+    });
+    REBERT_CHECK_MSG(n > 0, "serve client: send to " + path_ + " failed: " +
+                                std::strerror(errno));
+    sent += static_cast<std::size_t>(n);
+  }
+  return read_line();
+}
+
+std::string Client::request_with_retry(const std::string& line) {
+  std::string response;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    response = request(line);
+    const int retry_after_ms = parse_retry_after_ms(response);
+    if (retry_after_ms < 0) return response;  // not an overload shed
+    if (attempt == options_.max_attempts) break;  // budget spent
+    ++retries_;
+    const int doubled =
+        options_.base_backoff_ms << std::min(attempt - 1, 20);
+    const int backoff = std::min(options_.max_backoff_ms,
+                                 std::max(retry_after_ms, doubled));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  return response;
+}
+
+}  // namespace rebert::serve

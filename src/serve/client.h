@@ -1,0 +1,74 @@
+// Client — the calling side of the newline protocol over a Unix socket.
+//
+// One Client wraps one connection: request() does a single round-trip;
+// request_with_retry() additionally honours the server's admission control,
+// backing off and retrying when the answer is `err overloaded
+// retry_after_ms=<n>`. The backoff is capped exponential and fully
+// deterministic — wait times are a function of the attempt number and the
+// server's advisory delay only, never of wall-clock randomness — so a
+// retrying workload replays identically (what the chaos tests and the
+// overload bench rely on).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rebert::serve {
+
+struct ClientOptions {
+  /// connect() polls until the server's socket accepts, at
+  /// `connect_poll_ms` intervals, for at most `connect_attempts` tries —
+  /// so a client may be launched before its daemon finishes binding.
+  int connect_attempts = 200;
+  int connect_poll_ms = 10;
+  /// request_with_retry(): total send attempts per request (the first try
+  /// plus up to max_attempts - 1 retries after overload responses).
+  int max_attempts = 8;
+  /// Backoff before retry k (1-based) is
+  ///   min(max_backoff_ms, max(retry_after_ms, base_backoff_ms << (k-1)))
+  /// where retry_after_ms is the server's advisory value from the shed
+  /// response (0 when absent).
+  int base_backoff_ms = 1;
+  int max_backoff_ms = 64;
+};
+
+class Client {
+ public:
+  explicit Client(std::string socket_path, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establish the connection (idempotent). Returns false when the server
+  /// never came up within the polling budget.
+  bool connect();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One round-trip: send `line` (newline appended) and return the
+  /// response line without its newline. Throws util::CheckError when the
+  /// connection is gone (send failure or EOF mid-response).
+  std::string request(const std::string& line);
+
+  /// Round-trip that retries shed requests per ClientOptions. Returns the
+  /// first non-overloaded response, or the final overloaded response when
+  /// every attempt was shed (the caller can tell via
+  /// parse_retry_after_ms >= 0).
+  std::string request_with_retry(const std::string& line);
+
+  /// Overload retries performed across the client's lifetime.
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  std::string read_line();
+
+  std::string path_;
+  ClientOptions options_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes received beyond the last returned line
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace rebert::serve

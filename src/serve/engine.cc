@@ -10,7 +10,9 @@
 #include "nl/netlist.h"
 #include "nl/parser.h"
 #include "rebert/scoring.h"
+#include "runtime/fault_injector.h"
 #include "runtime/threads.h"
+#include "structural/matching.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -70,6 +72,9 @@ const InferenceEngine::BenchContext& InferenceEngine::bench(
   context->sequences = tokenizer_.tokenize_bits(netlist);
   for (int i = 0; i < static_cast<int>(context->bits.size()); ++i)
     context->index_of[context->bits[static_cast<std::size_t>(i)].name] = i;
+  // The netlist outlives tokenization so a model-path failure can still
+  // answer recover via the structural baseline (no model involved).
+  context->netlist = std::move(netlist);
   LOG_INFO << "serve: loaded bench " << name << " ("
            << context->bits.size() << " bits)";
   it = benches_.emplace(name, std::move(context)).first;
@@ -85,15 +90,41 @@ int InferenceEngine::bit_index(const BenchContext& context,
   return it->second;
 }
 
+void InferenceEngine::Admission::release() {
+  if (engine_ == nullptr) return;
+  engine_->inflight_.fetch_sub(1, std::memory_order_relaxed);
+  engine_ = nullptr;
+}
+
+InferenceEngine::Admission InferenceEngine::try_admit() {
+  const int budget = options_.max_inflight;
+  if (budget < 1) {  // unlimited: keep the gauge, never decline
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    return Admission(this);
+  }
+  int current = inflight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current >= budget) {
+      shed_requests_.fetch_add(1, std::memory_order_relaxed);
+      return Admission();
+    }
+    if (inflight_.compare_exchange_weak(current, current + 1,
+                                        std::memory_order_relaxed))
+      return Admission(this);
+  }
+}
+
 double InferenceEngine::score(const std::string& bench,
                               const std::string& bit_a,
-                              const std::string& bit_b) {
-  return score_batch(bench, {{bit_a, bit_b}}).front();
+                              const std::string& bit_b,
+                              runtime::CancellationToken* cancel) {
+  return score_batch(bench, {{bit_a, bit_b}}, cancel).front();
 }
 
 std::vector<double> InferenceEngine::score_batch(
     const std::string& bench_name,
-    const std::vector<std::pair<std::string, std::string>>& bit_pairs) {
+    const std::vector<std::pair<std::string, std::string>>& bit_pairs,
+    runtime::CancellationToken* cancel) {
   score_requests_.fetch_add(bit_pairs.size(), std::memory_order_relaxed);
   const BenchContext& context = bench(bench_name);
 
@@ -124,12 +155,16 @@ std::vector<double> InferenceEngine::score_batch(
 
   // Pass 2 (pool): forward the misses in fixed-size micro-batches. Each
   // task owns a disjoint [begin, end) span of `misses`, so the score
-  // writes never alias.
+  // writes never alias. The deadline token is polled between batches only
+  // — a started forward always finishes.
   const std::size_t batch = static_cast<std::size_t>(options_.batch_size);
   std::vector<std::future<void>> futures;
+  std::exception_ptr failure;
   for (std::size_t begin = 0; begin < misses.size(); begin += batch) {
+    if (cancel != nullptr && cancel->requested()) break;  // stop issuing
     const std::size_t end = std::min(begin + batch, misses.size());
-    futures.push_back(pool_.submit([this, &misses, &scores, begin, end] {
+    auto forward_batch = [this, &misses, &scores, begin, end, cancel] {
+      if (cancel != nullptr && cancel->requested()) return;
       std::vector<const bert::EncodedSequence*> inputs;
       inputs.reserve(end - begin);
       for (std::size_t m = begin; m < end; ++m)
@@ -140,38 +175,96 @@ std::vector<double> InferenceEngine::score_batch(
         scores[misses[m].slot] = probs[m - begin];
         cache_.insert(misses[m].key, probs[m - begin]);
       }
-    }));
+    };
+    try {
+      futures.push_back(pool_.submit(forward_batch));
+    } catch (...) {
+      // Enqueue failure (injected pool.submit fault, allocation pressure,
+      // a saturated bounded queue in a future backend): run the batch on
+      // this thread — slower, never lost. A failing forward still must not
+      // escape before submitted batches settle, so park its exception.
+      try {
+        forward_batch();
+      } catch (...) {
+        if (!failure) failure = std::current_exception();
+      }
+    }
   }
   // Help drain while waiting so a busy pool cannot starve this request.
+  // Every future must settle before returning (tasks reference locals);
+  // only then may cancellation or a task failure surface.
   for (std::future<void>& future : futures) {
     while (future.wait_for(std::chrono::seconds(0)) !=
            std::future_status::ready) {
       if (!pool_.try_run_one())
         future.wait_for(std::chrono::milliseconds(1));
     }
-    future.get();  // rethrows task exceptions
+    try {
+      future.get();
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
   }
+  if (cancel != nullptr && cancel->requested()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    throw runtime::CancelledError();
+  }
+  if (failure) {
+    model_healthy_.store(false, std::memory_order_relaxed);
+    std::rethrow_exception(failure);
+  }
+  if (!misses.empty())
+    model_healthy_.store(true, std::memory_order_relaxed);
   return scores;
 }
 
-RecoverSummary InferenceEngine::recover(const std::string& bench_name) {
+RecoverSummary InferenceEngine::recover(const std::string& bench_name,
+                                        runtime::CancellationToken* cancel) {
   recover_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Failures before scoring (unknown bench, unparsable .bench file) are
+  // request errors, not model failures — they propagate undegraded.
   const BenchContext& context = bench(bench_name);
   const core::PipelineOptions& pipeline = options_.experiment.pipeline;
 
   util::WallTimer timer;
-  core::ScoringOptions scoring;
-  scoring.pool = &pool_;
-  const core::ScoreMatrix matrix = core::score_all_pairs(
-      context.sequences, tokenizer_, pipeline.filter, *model_,
-      pipeline.use_prediction_cache ? &cache_ : nullptr, scoring);
-  const std::vector<int> labels = core::group_words(matrix,
-                                                    pipeline.grouping);
-
   RecoverSummary summary;
   summary.num_bits = static_cast<int>(context.bits.size());
+  std::vector<int> labels;
+  try {
+    core::ScoringOptions scoring;
+    scoring.pool = &pool_;
+    scoring.cancel = cancel;
+    const core::ScoreMatrix matrix = core::score_all_pairs(
+        context.sequences, tokenizer_, pipeline.filter, *model_,
+        pipeline.use_prediction_cache ? &cache_ : nullptr, scoring);
+    labels = core::group_words(matrix, pipeline.grouping);
+    summary.filtered_fraction = matrix.filtered_fraction();
+    model_healthy_.store(true, std::memory_order_relaxed);
+  } catch (const runtime::CancelledError&) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  } catch (const std::exception& e) {
+    // Model-path failure (injected forward fault, NaN tripwire, broken
+    // checkpoint arithmetic): degrade to the structural matching baseline
+    // — no model involved — instead of failing the request.
+    model_healthy_.store(false, std::memory_order_relaxed);
+    degraded_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    LOG_WARN << "serve: recover(" << bench_name << ") model path failed ("
+             << e.what() << "); answering via the structural baseline";
+    structural::MatchingOptions matching;
+    matching.backtrace_depth = pipeline.tokenizer.backtrace_depth;
+    labels = structural::recover_words_structural(context.netlist,
+                                                  matching).labels;
+    summary.degraded = true;
+  }
+  // The fallback runs serially and does not poll the token; honour a
+  // deadline that fired while it ran rather than returning late.
+  if (cancel != nullptr && cancel->requested()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    throw runtime::CancelledError();
+  }
+
   summary.num_words = metrics::num_clusters(labels);
-  summary.filtered_fraction = matrix.filtered_fraction();
   summary.cache_hit_rate = cache_.hit_rate();
   summary.seconds = timer.seconds();
   return summary;
@@ -194,6 +287,15 @@ EngineStats InferenceEngine::stats() const {
     stats.benches_loaded = benches_.size();
   }
   stats.uptime_seconds = uptime_.seconds();
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.max_inflight = options_.max_inflight;
+  stats.model_healthy = model_healthy_.load(std::memory_order_relaxed);
+  stats.shed_requests = shed_requests_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.degraded_recoveries =
+      degraded_recoveries_.load(std::memory_order_relaxed);
+  stats.faults_injected = runtime::FaultInjector::global().total_trips();
   return stats;
 }
 
@@ -208,6 +310,10 @@ std::size_t InferenceEngine::load_cache(const std::string& path) {
 }
 
 void InferenceEngine::save_cache(const std::string& path) const {
+  // Chaos site: simulates a failing snapshot write (disk full, EIO).
+  // ServeLoop::snapshot_cache catches and logs — losing a snapshot must
+  // never take serving down.
+  runtime::FaultInjector::global().maybe_throw("snapshot.save");
   persist::save_cache(cache_, path);
 }
 

@@ -13,6 +13,18 @@
 // model and tokenizer are read-only, the cache is internally sharded,
 // bench loading is serialized behind a mutex, and request counters are
 // relaxed atomics.
+//
+// Robustness (see DESIGN.md "Overload-safe serving"):
+//   * Admission control — try_admit() hands out at most max_inflight
+//     concurrent request slots; callers answer `err overloaded
+//     retry_after_ms=<n>` when it declines instead of queueing unboundedly.
+//   * Deadlines — score/recover take an optional CancellationToken; arm it
+//     with set_deadline_after_ms and the work stops cooperatively between
+//     micro-batches / parallel_for chunks, surfacing runtime::CancelledError.
+//   * Graceful degradation — when the model path fails (injected fault,
+//     NaN tripwire, bad checkpoint) recover() falls back to the structural
+//     matching baseline (Meade et al., ISCAS'16), which needs no model, and
+//     tags the summary `degraded`.
 #pragma once
 
 #include <atomic>
@@ -29,6 +41,7 @@
 #include "rebert/pipeline.h"
 #include "rebert/prediction_cache.h"
 #include "rebert/tokenizer.h"
+#include "runtime/latch.h"
 #include "runtime/thread_pool.h"
 #include "util/timer.h"
 
@@ -53,6 +66,12 @@ struct EngineOptions {
   /// model config is derived with core::make_model_config, so it must
   /// match the checkpoint when model_path is set.
   core::ExperimentOptions experiment;
+  /// Admission budget: score/recover requests concurrently in flight
+  /// before try_admit() starts shedding. 0 = unlimited (no shedding).
+  int max_inflight = 0;
+  /// Advisory client backoff carried by shed responses
+  /// (`err overloaded retry_after_ms=<n>`).
+  int retry_after_ms = 50;
 };
 
 struct EngineStats {
@@ -67,6 +86,14 @@ struct EngineStats {
   std::size_t warm_entries = 0;  // entries imported by load_cache()
   std::size_t benches_loaded = 0;
   double uptime_seconds = 0.0;
+  // Robustness gauges and counters (see class comment).
+  int inflight = 0;            // admitted requests right now
+  int max_inflight = 0;        // 0 = unlimited
+  bool model_healthy = true;   // last model forward succeeded
+  std::uint64_t shed_requests = 0;       // admission declines
+  std::uint64_t deadline_exceeded = 0;   // requests cancelled by deadline
+  std::uint64_t degraded_recoveries = 0; // recovers answered structurally
+  std::uint64_t faults_injected = 0;     // trips of the global FaultInjector
 };
 
 struct RecoverSummary {
@@ -75,29 +102,89 @@ struct RecoverSummary {
   double filtered_fraction = 0.0;
   double cache_hit_rate = 0.0;  // engine-lifetime rate at completion
   double seconds = 0.0;
+  /// True when the model path failed and the words came from the
+  /// structural baseline instead (response tag `degraded=structural`).
+  bool degraded = false;
 };
 
 class InferenceEngine {
  public:
+  /// RAII admission slot. Falsy when the budget was exhausted and the
+  /// request must be shed; releases its slot on destruction otherwise.
+  class Admission {
+   public:
+    Admission() = default;
+    explicit Admission(InferenceEngine* engine) : engine_(engine) {}
+    Admission(Admission&& other) noexcept : engine_(other.engine_) {
+      other.engine_ = nullptr;
+    }
+    Admission& operator=(Admission&& other) noexcept {
+      if (this != &other) {
+        release();
+        engine_ = other.engine_;
+        other.engine_ = nullptr;
+      }
+      return *this;
+    }
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+    ~Admission() { release(); }
+    explicit operator bool() const { return engine_ != nullptr; }
+
+   private:
+    void release();
+    InferenceEngine* engine_ = nullptr;
+  };
+
   explicit InferenceEngine(EngineOptions options);
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
+  /// Reserve an in-flight slot for one score/recover request. Falsy when
+  /// max_inflight slots are taken — the caller must answer
+  /// `err overloaded` (the decline is counted in shed_requests). With
+  /// max_inflight == 0 admission always succeeds but the in-flight gauge
+  /// still tracks.
+  Admission try_admit();
+
+  /// The advisory backoff to attach to shed responses.
+  int retry_after_ms() const { return options_.retry_after_ms; }
+
+  /// Account a request shed outside the engine (e.g. a connection turned
+  /// away at the listener's connection cap) so stats() aggregates all
+  /// shedding in one counter.
+  void record_shed() {
+    shed_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// P(same word) for two bits (DFF names) of a benchmark. Throws
-  /// util::CheckError on unknown bench or bit names.
+  /// util::CheckError on unknown bench or bit names. When `cancel` fires
+  /// (deadline or explicit stop) throws runtime::CancelledError.
   double score(const std::string& bench, const std::string& bit_a,
-               const std::string& bit_b);
+               const std::string& bit_b,
+               runtime::CancellationToken* cancel = nullptr);
 
   /// Batched form: scores every (bitA, bitB) name pair against one bench.
   /// Cache hits are answered inline; misses are encoded and fanned out to
   /// the pool in `batch_size` groups. Result order matches input order.
+  /// `cancel` is polled between micro-batches, never mid-forward.
   std::vector<double> score_batch(
       const std::string& bench,
-      const std::vector<std::pair<std::string, std::string>>& bit_pairs);
+      const std::vector<std::pair<std::string, std::string>>& bit_pairs,
+      runtime::CancellationToken* cancel = nullptr);
 
   /// Full word recovery over a benchmark, parallelized on the engine pool.
-  RecoverSummary recover(const std::string& bench);
+  /// A model-path failure degrades to the structural baseline (summary
+  /// tagged `degraded`); a fired `cancel` throws runtime::CancelledError.
+  RecoverSummary recover(const std::string& bench,
+                         runtime::CancellationToken* cancel = nullptr);
+
+  /// False after a model forward failed (until one succeeds again) — what
+  /// the `health` verb reports as `degraded`.
+  bool model_healthy() const {
+    return model_healthy_.load(std::memory_order_relaxed);
+  }
 
   EngineStats stats() const;
 
@@ -127,6 +214,7 @@ class InferenceEngine {
 
  private:
   struct BenchContext {
+    nl::Netlist netlist;  // retained for the structural fallback
     std::vector<nl::Bit> bits;
     std::vector<core::BitSequence> sequences;
     std::map<std::string, int> index_of;  // bit name -> sequence index
@@ -151,6 +239,11 @@ class InferenceEngine {
   std::atomic<std::uint64_t> score_requests_{0};
   std::atomic<std::uint64_t> recover_requests_{0};
   std::atomic<std::size_t> warm_entries_{0};
+  std::atomic<int> inflight_{0};
+  std::atomic<bool> model_healthy_{true};
+  std::atomic<std::uint64_t> shed_requests_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> degraded_recoveries_{0};
   util::WallTimer uptime_;
 };
 

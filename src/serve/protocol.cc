@@ -1,5 +1,7 @@
 #include "serve/protocol.h"
 
+#include <vector>
+
 #include "util/string_utils.h"
 
 namespace rebert::serve {
@@ -13,35 +15,78 @@ Request invalid(std::string message) {
   return request;
 }
 
+/// Echoing attacker-controlled request text back must not let a multi-MB
+/// line or embedded control bytes reach the response: cap the length and
+/// replace non-printables so the reply stays one short, clean line.
+std::string sanitize_token(const std::string& token) {
+  constexpr std::size_t kMaxEcho = 48;
+  std::string safe;
+  safe.reserve(std::min(token.size(), kMaxEcho));
+  for (char c : token) {
+    if (safe.size() >= kMaxEcho) {
+      safe += "...";
+      break;
+    }
+    safe += (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return safe;
+}
+
+/// Strip a trailing `deadline_ms=<n>` token if present. Returns false (with
+/// *error set) when the token is present but malformed.
+bool take_deadline(std::vector<std::string>* tokens, int* deadline_ms,
+                   std::string* error) {
+  *deadline_ms = 0;
+  if (tokens->empty()) return true;
+  const std::string& last = tokens->back();
+  if (!util::starts_with(last, "deadline_ms=")) return true;
+  int value = 0;
+  if (!util::parse_int(last.substr(12), &value) || value < 0) {
+    *error = "bad deadline_ms in '" + sanitize_token(last) + "'";
+    return false;
+  }
+  *deadline_ms = value;
+  tokens->pop_back();
+  return true;
+}
+
 }  // namespace
 
 Request parse_request(const std::string& line) {
   const std::string trimmed = util::trim(line);
   if (trimmed.empty() || trimmed[0] == '#') return invalid("");
 
-  const std::vector<std::string> tokens = util::split_ws(trimmed);
-  const std::string& verb = tokens[0];
+  std::vector<std::string> tokens = util::split_ws(trimmed);
+  const std::string verb = tokens[0];
   Request request;
+  std::string deadline_error;
+  if (!take_deadline(&tokens, &request.deadline_ms, &deadline_error))
+    return invalid(deadline_error);
   if (verb == "score") {
     if (tokens.size() != 4)
-      return invalid("usage: score <bench> <bitA> <bitB>");
+      return invalid("usage: score <bench> <bitA> <bitB> [deadline_ms=<n>]");
     request.type = RequestType::kScore;
     request.bench = tokens[1];
     request.bit_a = tokens[2];
     request.bit_b = tokens[3];
   } else if (verb == "recover") {
-    if (tokens.size() != 2) return invalid("usage: recover <bench>");
+    if (tokens.size() != 2)
+      return invalid("usage: recover <bench> [deadline_ms=<n>]");
     request.type = RequestType::kRecover;
     request.bench = tokens[1];
   } else if (verb == "stats") {
     if (tokens.size() != 1) return invalid("usage: stats");
     request.type = RequestType::kStats;
+  } else if (verb == "health") {
+    if (tokens.size() != 1) return invalid("usage: health");
+    request.type = RequestType::kHealth;
   } else if (verb == "help") {
     request.type = RequestType::kHelp;
   } else if (verb == "quit" || verb == "exit") {
     request.type = RequestType::kQuit;
   } else {
-    return invalid("unknown request '" + verb + "' (try: help)");
+    return invalid("unknown request '" + sanitize_token(verb) +
+                   "' (try: help)");
   }
   return request;
 }
@@ -58,9 +103,30 @@ std::string format_error(const std::string& message) {
   return "err " + message;
 }
 
+std::string format_overloaded(int retry_after_ms) {
+  return "err overloaded retry_after_ms=" + std::to_string(retry_after_ms);
+}
+
+int parse_retry_after_ms(const std::string& response) {
+  const std::string needle = "retry_after_ms=";
+  const std::size_t at = response.find(needle);
+  if (at == std::string::npos) return -1;
+  std::size_t end = at + needle.size();
+  while (end < response.size() && response[end] >= '0' &&
+         response[end] <= '9')
+    ++end;
+  int value = 0;
+  if (!util::parse_int(response.substr(at + needle.size(),
+                                       end - at - needle.size()),
+                       &value))
+    return -1;
+  return value;
+}
+
 std::string help_text() {
-  return "commands: score <bench> <bitA> <bitB> | recover <bench> | "
-         "stats | help | quit; <bench> = b03..b18 or a .bench file path";
+  return "commands: score <bench> <bitA> <bitB> [deadline_ms=<n>] | "
+         "recover <bench> [deadline_ms=<n>] | stats | health | help | "
+         "quit; <bench> = b03..b18 or a .bench file path";
 }
 
 }  // namespace rebert::serve

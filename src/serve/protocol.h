@@ -1,15 +1,28 @@
 // Newline-delimited request/response protocol of the serving runtime.
 //
 // Requests (one per line, whitespace-tokenized):
-//   score <bench> <bitA> <bitB>   P(same word) for two bits of a benchmark
-//   recover <bench>               full word recovery, summary line back
+//   score <bench> <bitA> <bitB> [deadline_ms=<n>]
+//                                 P(same word) for two bits of a benchmark
+//   recover <bench> [deadline_ms=<n>]
+//                                 full word recovery, summary line back
 //   stats                         engine / cache / request counters
+//   health                        ready | degraded | overloaded + gauges
 //   help                          protocol summary
 //   quit                          close the connection (stdio: end the loop)
 //
 // Responses (one per request, in order):
 //   ok [<payload>]                success; payload is request-specific
 //   err <message>                 parse or execution failure
+//
+// Distinguished error payloads (machine-parseable prefixes):
+//   err overloaded retry_after_ms=<n>   admission control shed the request;
+//                                       retry after the advisory delay
+//   err deadline_exceeded               the request's deadline_ms elapsed
+//                                       before the result was ready
+//
+// A recover that had to fall back to the structural baseline (model
+// failure, numerics tripwire) succeeds with `degraded=structural` appended
+// to its payload.
 //
 // <bench> is either a generated-suite name ("b03".."b18", circuitgen
 // scale set by the engine) or a path to a .bench netlist file. Responses
@@ -25,6 +38,7 @@ enum class RequestType {
   kScore,
   kRecover,
   kStats,
+  kHealth,
   kHelp,
   kQuit,
   kInvalid,
@@ -35,6 +49,7 @@ struct Request {
   std::string bench;   // score / recover
   std::string bit_a;   // score
   std::string bit_b;   // score
+  int deadline_ms = 0; // score / recover: 0 = caller imposes no deadline
   std::string error;   // kInvalid: human-readable parse diagnosis
 };
 
@@ -48,6 +63,12 @@ bool is_blank_request(const Request& request);
 
 std::string format_ok(const std::string& payload);
 std::string format_error(const std::string& message);
+
+/// The shed response: `err overloaded retry_after_ms=<n>`.
+std::string format_overloaded(int retry_after_ms);
+
+/// Extract retry_after_ms from a shed response; -1 when absent/malformed.
+int parse_retry_after_ms(const std::string& response);
 
 /// The `help` response payload (single line).
 std::string help_text();

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <exception>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -12,12 +13,16 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "runtime/fault_injector.h"
+#include "runtime/latch.h"
 #include "serve/protocol.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/retry_eintr.h"
 #include "util/string_utils.h"
 
 namespace rebert::serve {
@@ -34,8 +39,31 @@ std::string format_stats(const EngineStats& stats) {
       << " cache_misses=" << stats.cache_misses
       << " cache_entries=" << stats.cache_entries
       << " warm_entries=" << stats.warm_entries
-      << " benches=" << stats.benches_loaded << " uptime_seconds="
+      << " benches=" << stats.benches_loaded
+      << " shed_requests=" << stats.shed_requests
+      << " deadline_exceeded=" << stats.deadline_exceeded
+      << " degraded_recoveries=" << stats.degraded_recoveries
+      << " faults_injected=" << stats.faults_injected
+      << " uptime_seconds="
       << util::format_double(stats.uptime_seconds, 3);
+  return out.str();
+}
+
+/// The `health` payload: one coarse status plus the gauges behind it.
+/// `overloaded` reflects this instant's budget; `degraded` the last model
+/// forward; `ready` otherwise.
+std::string format_health(const EngineStats& stats) {
+  const char* status = "ready";
+  if (!stats.model_healthy) status = "degraded";
+  if (stats.max_inflight > 0 && stats.inflight >= stats.max_inflight)
+    status = "overloaded";
+  std::ostringstream out;
+  out << "status=" << status << " inflight=" << stats.inflight
+      << " max_inflight=" << stats.max_inflight
+      << " shed_requests=" << stats.shed_requests
+      << " deadline_exceeded=" << stats.deadline_exceeded
+      << " degraded_recoveries=" << stats.degraded_recoveries
+      << " faults_injected=" << stats.faults_injected;
   return out.str();
 }
 
@@ -95,12 +123,37 @@ std::string ServeLoop::handle_line(const std::string& line, bool* quit) {
   try {
     switch (request.type) {
       case RequestType::kScore:
-        return format_ok(util::format_double(
-            engine_.score(request.bench, request.bit_a, request.bit_b), 6));
-      case RequestType::kRecover:
-        return format_ok(format_recover(engine_.recover(request.bench)));
+      case RequestType::kRecover: {
+        // Admission first: a shed request costs one atomic decline, not a
+        // queued slot. The RAII ticket frees the slot however we leave.
+        InferenceEngine::Admission admission = engine_.try_admit();
+        if (!admission)
+          return format_overloaded(engine_.retry_after_ms());
+        runtime::CancellationToken deadline;
+        runtime::CancellationToken* cancel = nullptr;
+        const int deadline_ms = request.deadline_ms > 0
+                                    ? request.deadline_ms
+                                    : default_deadline_ms_;
+        if (deadline_ms > 0) {
+          deadline.set_deadline_after_ms(deadline_ms);
+          cancel = &deadline;
+        }
+        if (request.type == RequestType::kScore) {
+          return format_ok(util::format_double(
+              engine_.score(request.bench, request.bit_a, request.bit_b,
+                            cancel),
+              6));
+        }
+        const RecoverSummary summary =
+            engine_.recover(request.bench, cancel);
+        std::string payload = format_recover(summary);
+        if (summary.degraded) payload += " degraded=structural";
+        return format_ok(payload);
+      }
       case RequestType::kStats:
         return format_ok(format_stats(engine_.stats()));
+      case RequestType::kHealth:
+        return format_ok(format_health(engine_.stats()));
       case RequestType::kHelp:
         return format_ok(help_text());
       case RequestType::kQuit:
@@ -110,6 +163,8 @@ std::string ServeLoop::handle_line(const std::string& line, bool* quit) {
         return format_error(request.error);
     }
     return format_error("unreachable");
+  } catch (const runtime::CancelledError&) {
+    return format_error("deadline_exceeded");
   } catch (const std::exception& e) {
     // Engine failures (unknown bench, parse error in a .bench file, ...)
     // answer this request only; the daemon keeps serving.
@@ -133,16 +188,20 @@ std::size_t ServeLoop::run(std::istream& in, std::ostream& out) {
 }
 
 void ServeLoop::handle_connection(int fd) {
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
   std::string buffer;
   char chunk[4096];
   bool quit = false;
   while (!quit && !stopping_.load(std::memory_order_relaxed)) {
-    ssize_t got;
     // A signal (e.g. the profiler's SIGPROF, or SIGTERM racing shutdown)
-    // interrupting the read must not drop a healthy connection.
-    do {
-      got = ::read(fd, chunk, sizeof(chunk));
-    } while (got < 0 && errno == EINTR);
+    // interrupting the read must not drop a healthy connection —
+    // retry_eintr absorbs it. An injected socket.read fault simulates the
+    // hard-error path: this connection drops, the daemon keeps serving.
+    ssize_t got = -1;
+    if (!faults.maybe_errno("socket.read", EIO))
+      got = util::retry_eintr([&] {
+        return ::read(fd, chunk, sizeof(chunk));
+      });
     if (got <= 0) break;  // EOF or hard error: drop the connection
     buffer.append(chunk, static_cast<std::size_t>(got));
     std::size_t newline;
@@ -155,9 +214,12 @@ void ServeLoop::handle_connection(int fd) {
       while (sent < response.size()) {
         // MSG_NOSIGNAL: a client that disconnected mid-response must cost
         // us this connection (EPIPE), not the whole daemon (SIGPIPE).
-        const ssize_t n = ::send(fd, response.data() + sent,
-                                 response.size() - sent, MSG_NOSIGNAL);
-        if (n < 0 && errno == EINTR) continue;
+        ssize_t n = -1;
+        if (!faults.maybe_errno("socket.send", EPIPE))
+          n = util::retry_eintr([&] {
+            return ::send(fd, response.data() + sent,
+                          response.size() - sent, MSG_NOSIGNAL);
+          });
         if (n <= 0) { quit = true; break; }
         sent += static_cast<std::size_t>(n);
       }
@@ -170,12 +232,21 @@ void ServeLoop::handle_connection(int fd) {
 void ServeLoop::run_unix_socket(const std::string& path) {
   REBERT_CHECK_MSG(path.size() < sizeof(sockaddr_un{}.sun_path),
                    "unix socket path too long: " + path);
+  // Only ever unlink something that is actually a socket: a path collision
+  // with a regular file (a config, a checkpoint) must fail loudly, not
+  // silently destroy the file.
+  struct stat existing;
+  if (::lstat(path.c_str(), &existing) == 0) {
+    REBERT_CHECK_MSG(S_ISSOCK(existing.st_mode),
+                     "refusing to serve on " + path +
+                         ": path exists and is not a socket");
+    ::unlink(path.c_str());
+  }
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   REBERT_CHECK_MSG(listener >= 0, "socket() failed");
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
       ::listen(listener, 16) != 0) {
@@ -190,17 +261,53 @@ void ServeLoop::run_unix_socket(const std::string& path) {
   std::signal(SIGPIPE, SIG_IGN);
   LOG_INFO << "serve: listening on unix socket " << path;
 
-  std::vector<std::thread> handlers;
+  // One handler thread per live connection, bounded by max_connections.
+  // Finished handlers flag `done` and are joined on the accept path, so a
+  // long-lived daemon never accumulates dead threads.
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Handler> handlers;
+  const auto reap = [&handlers] {
+    for (auto it = handlers.begin(); it != handlers.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = handlers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   while (!stopping_.load(std::memory_order_relaxed)) {
-    int fd;
-    do {
-      fd = ::accept(listener, nullptr, nullptr);
-    } while (fd < 0 && errno == EINTR &&
-             !stopping_.load(std::memory_order_relaxed));
+    // stop() closes the listener, so a retried accept fails fast instead
+    // of blocking; EINTR alone must not end the accept loop.
+    const int fd =
+        util::retry_eintr([&] { return ::accept(listener, nullptr, nullptr); });
     if (fd < 0) break;  // listener closed by stop(), or hard error
-    handlers.emplace_back([this, fd] { handle_connection(fd); });
+    reap();
+    if (max_connections_ > 0 &&
+        static_cast<int>(handlers.size()) >= max_connections_) {
+      // Shed at the door: one advisory line, then close — no handler
+      // thread, no unbounded backlog. Count it before sending, so a
+      // client that saw the refusal also sees it in stats.
+      engine_.record_shed();
+      const std::string refusal =
+          format_overloaded(engine_.retry_after_ms()) + "\n";
+      (void)util::retry_eintr([&] {
+        return ::send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+      });
+      ::close(fd);
+      continue;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, fd, done] {
+      handle_connection(fd);
+      done->store(true, std::memory_order_release);
+    });
+    handlers.push_back({std::move(thread), std::move(done)});
   }
-  for (std::thread& handler : handlers) handler.join();
+  for (Handler& handler : handlers) handler.thread.join();
   const int open_fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
   if (open_fd >= 0) ::close(open_fd);
   ::unlink(path.c_str());

@@ -60,6 +60,17 @@ class ServeLoop {
   /// thrown — losing a snapshot must not take down serving.
   void snapshot_cache(bool force);
 
+  /// Default deadline applied to score/recover requests that carry no
+  /// deadline_ms field of their own; 0 (the default) imposes none. An
+  /// expired deadline answers `err deadline_exceeded`.
+  void set_default_deadline_ms(int ms) { default_deadline_ms_ = ms; }
+
+  /// Cap on concurrently served socket connections; 0 = unlimited. A
+  /// connection arriving over the cap is told
+  /// `err overloaded retry_after_ms=<n>` and closed instead of spawning a
+  /// handler thread — the listener never accumulates unbounded threads.
+  void set_max_connections(int n) { max_connections_ = n; }
+
  private:
   void handle_connection(int fd);
   void count_request_for_snapshot();
@@ -67,6 +78,8 @@ class ServeLoop {
   InferenceEngine& engine_;
   std::atomic<bool> stopping_{false};
   std::atomic<int> listen_fd_{-1};
+  int default_deadline_ms_ = 0;
+  int max_connections_ = 0;
 
   std::string snapshot_path_;
   int snapshot_every_ = 0;

@@ -1,0 +1,26 @@
+// EINTR retry for POSIX syscalls that return -1/errno.
+//
+// A signal (the profiler's SIGPROF, a SIGTERM racing shutdown, a debugger
+// attach) interrupting a blocking syscall must never be treated as a real
+// I/O failure. Every raw read/accept/send/connect in the tree goes through
+// this one helper instead of a hand-rolled do/while per call site, so the
+// retry policy cannot drift between them.
+#pragma once
+
+#include <cerrno>
+#include <utility>
+
+namespace rebert::util {
+
+/// Invoke `fn` (a callable wrapping one syscall, returning int or ssize_t)
+/// until it either succeeds or fails with something other than EINTR.
+/// Returns the final result; errno is left as the syscall set it.
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  for (;;) {
+    const auto result = std::forward<Fn>(fn)();
+    if (result >= 0 || errno != EINTR) return result;
+  }
+}
+
+}  // namespace rebert::util

@@ -1,0 +1,132 @@
+// FaultInjector semantics the chaos suites build on: seeded determinism,
+// the REBERT_FAULTS grammar, per-site counters, and the three trip shapes
+// (throw, errno, bare boolean) plus latency mode.
+#include "runtime/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <vector>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace rebert::runtime {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedNeverFails) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(injector.should_fail("model.forward"));
+  EXPECT_EQ(injector.total_trips(), 0u);
+}
+
+TEST(FaultInjectorTest, UnknownSiteAndBadProbabilityRejected) {
+  FaultInjector injector;
+  EXPECT_THROW(injector.arm("model.fwd", 1.0, 1), util::CheckError);
+  EXPECT_THROW(injector.arm("model.forward", 1.5, 1), util::CheckError);
+  EXPECT_THROW(injector.arm("model.forward", -0.1, 1), util::CheckError);
+  EXPECT_THROW(injector.arm("model.forward", 0.5, 1, -3), util::CheckError);
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST(FaultInjectorTest, SameSeedSameTripSequence) {
+  std::vector<bool> first, second;
+  for (std::vector<bool>* out : {&first, &second}) {
+    FaultInjector injector;
+    injector.arm("socket.read", 0.5, 42);
+    for (int i = 0; i < 200; ++i)
+      out->push_back(injector.should_fail("socket.read"));
+  }
+  EXPECT_EQ(first, second);
+  // And not degenerate: a fair-ish coin must show both faces in 200 draws.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(FaultInjectorTest, ProbabilityEndpoints) {
+  FaultInjector injector;
+  injector.arm("pool.submit", 0.0, 7);
+  injector.arm("model.forward", 1.0, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.should_fail("pool.submit"));
+    EXPECT_TRUE(injector.should_fail("model.forward"));
+  }
+}
+
+TEST(FaultInjectorTest, TripShapes) {
+  FaultInjector injector;
+  injector.arm("model.forward", 1.0, 1);
+  EXPECT_THROW(injector.maybe_throw("model.forward"), InjectedFault);
+  errno = 0;
+  EXPECT_TRUE(injector.maybe_errno("model.forward", EIO));
+  EXPECT_EQ(errno, EIO);
+  injector.arm("model.forward", 0.0, 1);
+  EXPECT_NO_THROW(injector.maybe_throw("model.forward"));
+  EXPECT_FALSE(injector.maybe_errno("model.forward", EIO));
+}
+
+TEST(FaultInjectorTest, LatencyModeSleepsButReportsNoFailure) {
+  FaultInjector injector;
+  injector.arm("snapshot.save", 1.0, 3, /*delay_ms=*/20);
+  util::WallTimer timer;
+  EXPECT_FALSE(injector.should_fail("snapshot.save"));
+  EXPECT_GE(timer.seconds(), 0.015);
+  EXPECT_EQ(injector.total_trips(), 1u);  // latency trips still count
+}
+
+TEST(FaultInjectorTest, DisarmAndCounters) {
+  FaultInjector injector;
+  injector.arm("socket.send", 1.0, 5);
+  ASSERT_TRUE(injector.should_fail("socket.send"));
+  const std::vector<FaultInjector::SiteReport> reports = injector.report();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].site, "socket.send");
+  EXPECT_EQ(reports[0].checks, 1u);
+  EXPECT_EQ(reports[0].trips, 1u);
+  injector.disarm("socket.send");
+  EXPECT_FALSE(injector.armed());
+  EXPECT_FALSE(injector.should_fail("socket.send"));
+}
+
+TEST(FaultInjectorTest, ConfigureGrammar) {
+  FaultInjector injector;
+  injector.configure("model.forward:1.0:7, socket.send:0.25:3:10");
+  const std::vector<FaultInjector::SiteReport> reports = injector.report();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].site, "model.forward");
+  EXPECT_EQ(reports[0].probability, 1.0);
+  EXPECT_EQ(reports[1].site, "socket.send");
+  EXPECT_EQ(reports[1].delay_ms, 10);
+}
+
+TEST(FaultInjectorTest, ConfigureRejectsMalformedEntries) {
+  FaultInjector injector;
+  EXPECT_THROW(injector.configure("model.forward"), util::CheckError);
+  EXPECT_THROW(injector.configure("model.forward:zero:1"),
+               util::CheckError);
+  EXPECT_THROW(injector.configure("model.forward:1.0:x"), util::CheckError);
+  EXPECT_THROW(injector.configure("no.such.site:1.0:1"), util::CheckError);
+  // Entries before the malformed one stay armed (fail-late semantics).
+  FaultInjector partial;
+  EXPECT_THROW(partial.configure("pool.submit:1.0:1,bogus"),
+               util::CheckError);
+  EXPECT_TRUE(partial.armed());
+  EXPECT_TRUE(partial.should_fail("pool.submit"));
+}
+
+TEST(FaultInjectorTest, RearmResetsStream) {
+  FaultInjector injector;
+  injector.arm("socket.read", 0.5, 9);
+  std::vector<bool> first;
+  for (int i = 0; i < 50; ++i)
+    first.push_back(injector.should_fail("socket.read"));
+  injector.arm("socket.read", 0.5, 9);  // same seed, fresh stream
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(injector.should_fail("socket.read"), first[i]) << i;
+}
+
+}  // namespace
+}  // namespace rebert::runtime

@@ -55,6 +55,67 @@ TEST(ParseRequestTest, UnknownVerbNamesItself) {
   EXPECT_NE(request.error.find("frobnicate"), std::string::npos);
 }
 
+TEST(ParseRequestTest, DeadlineSuffixParsed) {
+  Request request = parse_request("score b03 q0 q1 deadline_ms=25");
+  EXPECT_EQ(request.type, RequestType::kScore);
+  EXPECT_EQ(request.deadline_ms, 25);
+  request = parse_request("recover b05 deadline_ms=1000");
+  EXPECT_EQ(request.type, RequestType::kRecover);
+  EXPECT_EQ(request.bench, "b05");
+  EXPECT_EQ(request.deadline_ms, 1000);
+  // Absent -> 0, meaning "no deadline from this request".
+  EXPECT_EQ(parse_request("recover b05").deadline_ms, 0);
+}
+
+TEST(ParseRequestTest, MalformedDeadlineRejected) {
+  EXPECT_EQ(parse_request("score b03 q0 q1 deadline_ms=abc").type,
+            RequestType::kInvalid);
+  EXPECT_EQ(parse_request("recover b03 deadline_ms=-5").type,
+            RequestType::kInvalid);
+  EXPECT_EQ(parse_request("recover b03 deadline_ms=").type,
+            RequestType::kInvalid);
+  const Request request = parse_request("recover b03 deadline_ms=oops");
+  EXPECT_NE(request.error.find("deadline_ms"), std::string::npos);
+}
+
+TEST(ParseRequestTest, DeadlineOnlyStripsTrailingToken) {
+  // deadline_ms must be the LAST token; elsewhere it is an ordinary
+  // argument and trips the arity check instead of silently vanishing.
+  EXPECT_EQ(parse_request("score b03 deadline_ms=5 q0 q1").type,
+            RequestType::kInvalid);
+}
+
+TEST(ParseRequestTest, Health) {
+  EXPECT_EQ(parse_request("health").type, RequestType::kHealth);
+  EXPECT_EQ(parse_request("health now").type, RequestType::kInvalid);
+  EXPECT_NE(help_text().find("health"), std::string::npos);
+}
+
+TEST(ParseRequestTest, HugeUnknownVerbIsEchoedSanitized) {
+  // A multi-kilobyte garbage verb must come back as a short error that
+  // contains no control bytes — the daemon echoes at most a capped prefix.
+  std::string line(4096, 'Z');
+  line[10] = '\x01';
+  const Request request = parse_request(line);
+  EXPECT_EQ(request.type, RequestType::kInvalid);
+  EXPECT_LT(request.error.size(), 120u);
+  for (char c : request.error) {
+    EXPECT_GE(c, 0x20);
+    EXPECT_LT(c, 0x7f);
+  }
+  EXPECT_NE(request.error.find('?'), std::string::npos);
+}
+
+TEST(FormatTest, OverloadedRoundTrips) {
+  const std::string shed = format_overloaded(50);
+  EXPECT_EQ(shed, "err overloaded retry_after_ms=50");
+  EXPECT_EQ(parse_retry_after_ms(shed), 50);
+  EXPECT_EQ(parse_retry_after_ms(format_overloaded(0)), 0);
+  EXPECT_EQ(parse_retry_after_ms("ok 0.5"), -1);
+  EXPECT_EQ(parse_retry_after_ms("err overloaded retry_after_ms="), -1);
+  EXPECT_EQ(parse_retry_after_ms("err deadline_exceeded"), -1);
+}
+
 TEST(FormatTest, OkAndError) {
   EXPECT_EQ(format_ok(""), "ok");
   EXPECT_EQ(format_ok("0.5"), "ok 0.5");

@@ -4,13 +4,16 @@
 // loadable file at the configured cadence.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/serve_loop.h"
 #include "util/string_utils.h"
@@ -110,6 +113,89 @@ TEST(ServePersistTest, ServeLoopSnapshotsAtCadenceAndOnExit) {
   std::ostringstream out;
   const std::size_t answered = loop.run(in, out);
   EXPECT_EQ(answered, 4u);
+
+  InferenceEngine warm(small_options(1, 4));
+  const std::size_t warmed = warm.load_cache(path);
+  EXPECT_EQ(warmed, engine.stats().cache_entries);
+  EXPECT_GT(warmed, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServePersistTest, EveryNBelowOneSavesOnlyOnShutdown) {
+  // every_n < 1 disables cadence snapshots entirely: no matter how many
+  // requests are answered, the only save is the forced one at shutdown.
+  const std::string path = temp_path("shutdown_only.rbpc");
+  std::remove(path.c_str());
+
+  InferenceEngine engine(small_options(2, 4));
+  ServeLoop loop(engine);
+  loop.enable_snapshots(path, /*every_n=*/0);
+  const std::vector<std::string> bits = engine.bit_names("b03");
+
+  std::ostringstream script;
+  for (int i = 0; i < 6; ++i)
+    script << "score b03 " << bits[0] << " "
+           << bits[static_cast<std::size_t>(1 + i % 2)] << "\n";
+  std::istringstream in(script.str());
+  std::ostringstream out;
+
+  // run() answers all requests without ever writing the snapshot...
+  std::ifstream probe_before(path);
+  EXPECT_FALSE(probe_before.good());
+  const std::size_t answered = loop.run(in, out);
+  EXPECT_EQ(answered, 6u);
+
+  // ...and the shutdown path (end of run()) writes exactly one, loadable.
+  InferenceEngine warm(small_options(1, 4));
+  const std::size_t warmed = warm.load_cache(path);
+  EXPECT_EQ(warmed, engine.stats().cache_entries);
+  EXPECT_GT(warmed, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ServePersistTest, ConcurrentCadenceSavesCoalesceWithoutCorruption) {
+  // Cadence 1 means every answered request wants a snapshot; with several
+  // connections answering concurrently the try-lock coalesces the writes.
+  // The invariants: no request fails, the daemon survives, and the final
+  // snapshot is complete and loadable.
+  const std::string path = temp_path("coalesce.rbpc");
+  std::remove(path.c_str());
+
+  InferenceEngine engine(small_options(2, 4));
+  const std::vector<std::string> bits = engine.bit_names("b03");
+  ServeLoop loop(engine);
+  loop.enable_snapshots(path, /*every_n=*/1);
+  const std::string socket_path = temp_path("coalesce.sock");
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 20;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(socket_path);
+      if (!client.connect()) {
+        failures.fetch_add(kRequests);
+        return;
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        const std::string& a = bits[static_cast<std::size_t>(
+            (c + r) % static_cast<int>(bits.size()))];
+        const std::string& b = bits[static_cast<std::size_t>(
+            (c * 3 + r) % static_cast<int>(bits.size()))];
+        const std::string response =
+            client.request("score b03 " + a + " " + b);
+        if (!util::starts_with(response, "ok ")) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  loop.stop();
+  server.join();
+  std::remove(socket_path.c_str());
 
   InferenceEngine warm(small_options(1, 4));
   const std::size_t warmed = warm.load_cache(path);

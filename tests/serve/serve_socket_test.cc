@@ -7,6 +7,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +19,7 @@
 
 #include "serve/engine.h"
 #include "serve/serve_loop.h"
+#include "util/check.h"
 #include "util/string_utils.h"
 
 namespace rebert::serve {
@@ -73,6 +76,32 @@ std::string read_line(int fd) {
     if (got <= 0 || c == '\n') return line;
     line += c;
   }
+}
+
+TEST(ServeSocketTest, RefusesToUnlinkNonSocketPath) {
+  // A path collision with a regular file must fail loudly and leave the
+  // file untouched — never silently unlink someone's config or checkpoint.
+  const std::string path = ::testing::TempDir() + "/rebert_not_a_socket";
+  const std::string payload = "precious bytes, do not delete\n";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << payload;
+  }
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  try {
+    loop.run_unix_socket(path);
+    FAIL() << "run_unix_socket accepted a non-socket path";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("not a socket"),
+              std::string::npos);
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "file was unlinked";
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, payload);
+  std::remove(path.c_str());
 }
 
 TEST(ServeSocketTest, DisconnectMidResponseDoesNotKillDaemon) {

@@ -2,24 +2,31 @@
 # Static analysis driver: clang-tidy (when available), sanitizer test-suite
 # runs, and netlist lint over every generated benchmark.
 #
-# Usage: tools/static_analysis.sh [--skip-tidy] [--skip-sanitizers] [--skip-lint]
+# Usage: tools/static_analysis.sh [--skip-tidy] [--skip-sanitizers]
+#                                 [--skip-lint] [--skip-smoke]
 #
 # Stages (each independently skippable):
 #   1. clang-tidy over src/ and apps/ using a compile_commands.json build.
 #      Skipped with a notice when clang-tidy is not installed (the container
 #      image ships only gcc).
 #   2. ASan and UBSan builds of the full test suite, run under ctest, then
-#      an explicit `ctest -L persist` gate in the same build dirs (the
-#      crash-safety suites: atomic writer, RBPC snapshots, checkpoint
-#      truncation, warm-start serving), plus a TSan build running the
-#      `concurrency`-labelled tests (thread pool, parallel_for, sharded
-#      cache, serve engine, socket serving). Any sanitizer report fails
+#      explicit `ctest -L persist` and `ctest -L chaos` gates in the same
+#      build dirs (crash-safety suites: atomic writer, RBPC snapshots,
+#      checkpoint truncation, warm-start serving; chaos suites: fault
+#      injection, admission control, deadlines, structural degradation),
+#      plus a TSan build running the `concurrency` and `chaos` labelled
+#      tests (thread pool, parallel_for, sharded cache, serve engine,
+#      socket serving, concurrent chaos storm). Any sanitizer report fails
 #      the stage (UBSan is built with -fno-sanitize-recover so findings
 #      abort).
 #   3. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
 #      R-Index 0 and 0.4. Error-severity diagnostics fail the stage;
 #      warnings are reported but tolerated (generated circuits contain
 #      intentional dead distractor logic).
+#   4. Degraded-serving smoke: `rebert_cli serve` with REBERT_FAULTS
+#      hard-failing every model forward must keep answering — recover
+#      falls back to the structural baseline and tags the response
+#      `degraded=structural`.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -28,11 +35,13 @@ ROOT=$(pwd)
 RUN_TIDY=1
 RUN_SAN=1
 RUN_LINT=1
+RUN_SMOKE=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tidy) RUN_TIDY=0 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
     --skip-lint) RUN_LINT=0 ;;
+    --skip-smoke) RUN_SMOKE=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -41,6 +50,17 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 FAILURES=0
 
 note() { printf '\n== %s ==\n' "$1"; }
+
+# Build (if needed) and export $CLI, the plain-build rebert_cli binary used
+# by the lint and smoke stages. Returns non-zero when the build fails.
+ensure_cli() {
+  local build=build
+  if [ ! -x "$build/apps/rebert_cli" ]; then
+    cmake -B "$build" -S . >/dev/null && cmake --build "$build" -j "$JOBS" --target rebert_cli >/dev/null \
+      || { echo "failed to build rebert_cli" >&2; return 1; }
+  fi
+  CLI="$ROOT/$build/apps/rebert_cli"
+}
 
 # ---- 1. clang-tidy ---------------------------------------------------------
 if [ "$RUN_TIDY" -eq 1 ]; then
@@ -72,27 +92,24 @@ run_sanitizer() {
   cmake --build "$dir" -j "$JOBS" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" ${label:+-L "$label"}) || FAILURES=$((FAILURES + 1))
   if [ -z "$label" ]; then
-    # Explicit persistence gate: the crash-safety suites must stay green
+    # Explicit gates: the crash-safety and chaos suites must stay green
     # under this sanitizer even if the full run above is ever narrowed.
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L persist) || FAILURES=$((FAILURES + 1))
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L chaos) || FAILURES=$((FAILURES + 1))
   fi
 }
 
 if [ "$RUN_SAN" -eq 1 ]; then
   run_sanitizer address
   run_sanitizer undefined
-  run_sanitizer thread concurrency
+  # ctest -L takes a regex: one TSan build covers both labelled subsets.
+  run_sanitizer thread "concurrency|chaos"
 fi
 
 # ---- 3. netlist lint over generated benchmarks -----------------------------
 if [ "$RUN_LINT" -eq 1 ]; then
   note "netlist lint (b03..b18, R-Index 0 and 0.4)"
-  BUILD=build
-  if [ ! -x "$BUILD/apps/rebert_cli" ]; then
-    cmake -B "$BUILD" -S . >/dev/null && cmake --build "$BUILD" -j "$JOBS" --target rebert_cli >/dev/null \
-      || { echo "failed to build rebert_cli" >&2; exit 1; }
-  fi
-  CLI="$ROOT/$BUILD/apps/rebert_cli"
+  ensure_cli || exit 1
   WORK=$(mktemp -d)
   trap 'rm -rf "$WORK"' EXIT
   LINT_ERRORS=0
@@ -114,6 +131,29 @@ if [ "$RUN_LINT" -eq 1 ]; then
   done
   if [ "$LINT_ERRORS" -eq 0 ]; then
     echo "all benchmarks lint clean of errors"
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+# ---- 4. degraded-serving smoke ---------------------------------------------
+# Arm the fault injector so every model forward fails, then demand that a
+# stdio serving session still answers: recover must come back `ok` tagged
+# `degraded=structural` (the structural baseline needs no model), and the
+# health verb must report the degradation.
+if [ "$RUN_SMOKE" -eq 1 ]; then
+  note "degraded serving smoke (REBERT_FAULTS=model.forward:1.0:7)"
+  ensure_cli || exit 1
+  SMOKE_OUT=$(printf 'health\nrecover b03\nhealth\nquit\n' | \
+    REBERT_FAULTS=model.forward:1.0:7 "$CLI" serve --scale 0.25 2>/dev/null)
+  echo "$SMOKE_OUT"
+  SMOKE_ERRORS=0
+  echo "$SMOKE_OUT" | grep -q '^ok words=.*degraded=structural' \
+    || { echo "FAIL: recover did not degrade to the structural baseline"; SMOKE_ERRORS=$((SMOKE_ERRORS + 1)); }
+  echo "$SMOKE_OUT" | grep -q '^ok status=degraded' \
+    || { echo "FAIL: health did not report status=degraded"; SMOKE_ERRORS=$((SMOKE_ERRORS + 1)); }
+  if [ "$SMOKE_ERRORS" -eq 0 ]; then
+    echo "degraded serving smoke passed"
   else
     FAILURES=$((FAILURES + 1))
   fi
