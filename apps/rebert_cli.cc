@@ -21,10 +21,17 @@
 //   rebert_cli lint        --in c.bench [--words truth] [--format text|csv]
 //                          [--out report.csv] [--fail-on-warn]
 //   rebert_cli serve       [--socket /tmp/rebert.sock] [--threads N]
-//                          [--batch 16] [--model model.bin] [--scale 0.25]
+//                          [--batch 16] [--model model.bin]
+//                          [--manifest models.manifest] [--scale 0.25]
 //                          [--cache-file cache.rbpc] [--snapshot-every 64]
-//                          [--max-inflight 0] [--retry-after-ms 50]
-//                          [--deadline-ms 0] [--max-connections 64]
+//                          [--max-inflight 0] [--max-inflight-per-bench 0]
+//                          [--retry-after-ms 50] [--deadline-ms 0]
+//                          [--max-connections 64]
+//   rebert_cli route       --socket /tmp/router.sock [--backends 2 |
+//                          --backend-sockets a.sock,b.sock] [--vnodes 64]
+//                          [--probe-interval-ms 200] + serve flags
+//                          passed through to spawned backends
+//   rebert_cli call        --socket /tmp/router.sock [--retry] <request...>
 //   rebert_cli score       [--bench b07] [--pairs 200 | --bits a,b]
 //                          [--seed 1] [--cache-file cache.rbpc] [...]
 //   rebert_cli bench-serve [--bench b07] [--requests 200] [--clients 2]
@@ -51,10 +58,13 @@
 // baseline rather than failing it.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -73,6 +83,9 @@
 #include "rebert/prediction_cache.h"
 #include "rebert/report.h"
 #include "rebert/word_typing.h"
+#include "router/router.h"
+#include "router/supervisor.h"
+#include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/serve_loop.h"
 #include "structural/matching.h"
@@ -129,7 +142,10 @@ serve::EngineOptions engine_options(const util::FlagParser& flags) {
   options.batch_size = flags.get_int("batch", 16);
   options.suite_scale = flags.get_double("scale", 0.25);
   options.model_path = flags.get("model", "");
+  options.manifest_path = flags.get("manifest", "");
   options.max_inflight = flags.get_int("max-inflight", 0);
+  options.max_inflight_per_bench =
+      flags.get_int("max-inflight-per-bench", 0);
   options.retry_after_ms = flags.get_int("retry-after-ms", 50);
   options.experiment = experiment_options(flags);
   return options;
@@ -433,6 +449,146 @@ int cmd_serve(const util::FlagParser& flags) {
   return 0;
 }
 
+// route: signal plumbing so Ctrl-C / SIGTERM unwinds run_unix_socket and
+// the supervisor destructor reaps the backend children instead of
+// orphaning them.
+router::Router* g_route_router = nullptr;
+
+void route_signal_handler(int) {
+  if (g_route_router != nullptr) g_route_router->stop();
+}
+
+int cmd_route(const util::FlagParser& flags) {
+  const std::string socket_path = require_flag(flags, "socket");
+
+  // Backend set: either externally managed daemons (--backend-sockets) or
+  // N supervised children spawned from this very binary (--backends).
+  std::vector<std::string> backend_sockets;
+  const std::string external = flags.get("backend-sockets", "");
+  router::BackendSupervisor supervisor;
+  const bool supervised = external.empty();
+  if (supervised) {
+    const int count = std::max(1, flags.get_int("backends", 2));
+    for (int i = 0; i < count; ++i)
+      backend_sockets.push_back(socket_path + ".backend" +
+                                std::to_string(i));
+    // Children are `rebert_cli serve` with the serve-relevant flags
+    // passed through; /proc/self/exe re-runs whatever binary we are.
+    for (int i = 0; i < count; ++i) {
+      std::vector<std::string> argv{
+          "/proc/self/exe", "serve", "--socket", backend_sockets[
+              static_cast<std::size_t>(i)]};
+      const auto pass = [&](const char* flag) {
+        const std::string value = flags.get(flag, "");
+        if (!value.empty()) {
+          argv.push_back(std::string("--") + flag);
+          argv.push_back(value);
+        }
+      };
+      pass("threads");
+      pass("batch");
+      pass("scale");
+      pass("model");
+      pass("manifest");
+      pass("depth");
+      pass("max-inflight");
+      pass("max-inflight-per-bench");
+      pass("retry-after-ms");
+      pass("deadline-ms");
+      pass("max-connections");
+      supervisor.add("backend" + std::to_string(i), std::move(argv));
+    }
+    supervisor.start();
+  } else {
+    for (const std::string& piece : util::split(external, ','))
+      if (!util::trim(piece).empty())
+        backend_sockets.push_back(util::trim(piece));
+    if (backend_sockets.empty()) {
+      std::fprintf(stderr, "--backend-sockets names no sockets\n");
+      return 2;
+    }
+  }
+
+  router::RouterOptions options;
+  options.vnodes = flags.get_int("vnodes", 64);
+  options.probe_interval_ms = flags.get_int("probe-interval-ms", 200);
+  options.retry_after_ms = flags.get_int("retry-after-ms", 50);
+  router::Router router(options);
+  for (std::size_t i = 0; i < backend_sockets.size(); ++i)
+    router.add_backend("backend" + std::to_string(i), backend_sockets[i]);
+  if (supervised) {
+    router.set_backend_info([&supervisor](const std::string& name) {
+      std::ostringstream info;
+      info << "pid=" << supervisor.pid_of(name)
+           << " restarts=" << supervisor.restarts_of(name);
+      return info.str();
+    });
+  }
+
+  // Supervision ticks next to the serving loop: reap/respawn every 50 ms.
+  std::atomic<bool> supervising{supervised};
+  std::thread supervision;
+  if (supervised) {
+    supervision = std::thread([&] {
+      while (supervising.load(std::memory_order_relaxed)) {
+        supervisor.poll_once();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
+  g_route_router = &router;
+  std::signal(SIGINT, route_signal_handler);
+  std::signal(SIGTERM, route_signal_handler);
+  std::printf("route: %zu backend(s) behind %s\n", backend_sockets.size(),
+              socket_path.c_str());
+  router.run_unix_socket(socket_path);  // blocks until signal / quit+stop
+
+  g_route_router = nullptr;
+  supervising.store(false, std::memory_order_relaxed);
+  if (supervision.joinable()) supervision.join();
+  supervisor.stop();
+  return 0;
+}
+
+// call: one request over a Unix socket from the shell — what the smoke
+// tests and operators use instead of depending on nc/socat.
+int cmd_call(const util::FlagParser& flags) {
+  const std::string socket_path = require_flag(flags, "socket");
+  bool retry = flags.get_bool("retry", false);
+  std::string line;
+  // The pair-wise parser turns "--retry recover b03" into retry="recover":
+  // the first request token swallowed as the flag's value. A value that is
+  // not a boolean token is really the start of the request — restore it and
+  // treat the flag as bare.
+  if (flags.has("retry") && !retry) {
+    const std::string v = util::to_lower(flags.get("retry", ""));
+    if (!v.empty() && v != "false" && v != "0" && v != "no" && v != "off") {
+      retry = true;
+      line = flags.get("retry", "");
+    }
+  }
+  const auto& positional = flags.positional();
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    if (!line.empty()) line += ' ';
+    line += positional[i];
+  }
+  if (line.empty()) {
+    std::fprintf(stderr, "call: no request given (try: call ... health)\n");
+    return 2;
+  }
+  serve::Client client(socket_path);
+  if (!client.connect()) {
+    std::fprintf(stderr, "call: cannot connect to %s\n",
+                 socket_path.c_str());
+    return 1;
+  }
+  const std::string response =
+      retry ? client.request_with_retry(line) : client.request(line);
+  std::printf("%s\n", response.c_str());
+  return util::starts_with(response, "ok") ? 0 : 1;
+}
+
 // Scores a batch of bit pairs through the serving engine — either one
 // explicit pair (--bits a,b) or a seeded random workload (--pairs N).
 // With --cache-file the run warm-starts from a snapshot and writes one
@@ -611,10 +767,18 @@ constexpr Subcommand kSubcommands[] = {
      cmd_lint},
     {"serve",
      "[--socket /tmp/rebert.sock] [--threads N] [--batch 16] "
-     "[--model model.bin] [--scale 0.25] [--cache-file cache.rbpc] "
-     "[--snapshot-every 64] [--max-inflight 0] [--retry-after-ms 50] "
+     "[--model model.bin] [--manifest models.manifest] [--scale 0.25] "
+     "[--cache-file cache.rbpc] [--snapshot-every 64] [--max-inflight 0] "
+     "[--max-inflight-per-bench 0] [--retry-after-ms 50] "
      "[--deadline-ms 0] [--max-connections 64]",
      cmd_serve},
+    {"route",
+     "--socket /tmp/router.sock [--backends 2 | --backend-sockets a,b] "
+     "[--vnodes 64] [--probe-interval-ms 200] [+ serve flags for spawned "
+     "backends]",
+     cmd_route},
+    {"call", "--socket /tmp/router.sock [--retry] <request tokens...>",
+     cmd_call},
     {"score",
      "[--bench b07] [--pairs 200 | --bits a,b] [--seed 1] "
      "[--cache-file cache.rbpc] [--model model.bin] [--threads N]",

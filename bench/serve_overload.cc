@@ -9,6 +9,10 @@
 // mode (model.forward armed at p=1.0 with a fixed delay), so the run is
 // deterministic and does not depend on host speed to reach overload.
 //
+// Client connections come from a shared serve::ClientPool — the same
+// bounded, EINTR-safe reuse layer the router's backend links use — so the
+// bench also exercises (and reports) connection reuse under load.
+//
 // Extra knobs on top of the common ones (bench/common.h):
 //   REBERT_OVERLOAD_BENCH       benchmark to serve          (default b07)
 //   REBERT_OVERLOAD_REQUESTS    requests per client         (default 60)
@@ -31,7 +35,7 @@
 
 #include "bench/common.h"
 #include "runtime/fault_injector.h"
-#include "serve/client.h"
+#include "serve/client_pool.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
 #include "serve/serve_loop.h"
@@ -64,25 +68,19 @@ struct PhaseResult {
   double p95_ms = 0.0;    // accepted requests only
 };
 
-PhaseResult run_phase(const std::string& socket_path,
-                      const std::string& bench,
+PhaseResult run_phase(serve::ClientPool& pool, const std::string& bench,
                       const std::vector<std::string>& bits, int clients,
                       int requests_per_client, bool with_retry) {
   PhaseResult result;
   result.clients = clients;
   result.requests = clients * requests_per_client;
   std::atomic<int> accepted{0}, shed{0}, errors{0}, bad_shed{0};
-  std::atomic<std::uint64_t> retries{0};
+  const std::uint64_t retries_before = pool.retries();
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(clients));
   std::vector<std::thread> workers;
   for (int c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
-      serve::Client client(socket_path);
-      if (!client.connect()) {
-        errors.fetch_add(requests_per_client);
-        return;
-      }
       util::Rng rng(0x0ffe12ULL + static_cast<std::uint64_t>(c));
       std::vector<double>& mine = latencies[static_cast<std::size_t>(c)];
       const int num_bits = static_cast<int>(bits.size());
@@ -93,9 +91,20 @@ PhaseResult run_phase(const std::string& socket_path,
             rng.uniform_int(0, num_bits - 1))];
         const std::string line = "score " + bench + " " + a + " " + b;
         util::WallTimer timer;
-        const std::string response =
-            with_retry ? client.request_with_retry(line)
-                       : client.request(line);
+        serve::ClientPool::Lease lease = pool.acquire();
+        if (!lease) {
+          errors.fetch_add(1);
+          continue;
+        }
+        std::string response;
+        try {
+          response = with_retry ? lease->request_with_retry(line)
+                                : lease->request(line);
+        } catch (const std::exception&) {
+          lease.discard();
+          errors.fetch_add(1);
+          continue;
+        }
         const double seconds = timer.seconds();
         if (util::starts_with(response, "ok ")) {
           accepted.fetch_add(1);
@@ -108,7 +117,6 @@ PhaseResult run_phase(const std::string& socket_path,
           errors.fetch_add(1);
         }
       }
-      retries.fetch_add(client.retries());
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -116,7 +124,9 @@ PhaseResult run_phase(const std::string& socket_path,
   result.shed = shed.load();
   result.errors = errors.load();
   result.bad_shed = bad_shed.load();
-  result.retries = retries.load();
+  // Leases were all returned at join, so the pool-level aggregate is
+  // complete for this phase.
+  result.retries = pool.retries() - retries_before;
   std::vector<double> all;
   for (const std::vector<double>& client : latencies)
     all.insert(all.end(), client.begin(), client.end());
@@ -158,6 +168,7 @@ int main() {
       "/tmp/rebert_overload_" + std::to_string(::getpid()) + ".sock";
   serve::ServeLoop loop(engine);
   std::thread server([&] { loop.run_unix_socket(socket_path); });
+  serve::ClientPool pool(socket_path);
 
   std::printf("=== Serve overload: %s (scale %.2f), budget %d in-flight, "
               "%d ms/forward, %d request(s)/client ===\n",
@@ -182,9 +193,8 @@ int main() {
   double unloaded_p95 = 0.0;
   int failures = 0;
   for (const Phase& phase : phases) {
-    const PhaseResult result = run_phase(socket_path, bench, bits,
-                                         phase.clients, requests,
-                                         phase.with_retry);
+    const PhaseResult result = run_phase(pool, bench, bits, phase.clients,
+                                         requests, phase.with_retry);
     if (unloaded_p95 == 0.0) unloaded_p95 = result.p95_ms;
     const double ratio =
         unloaded_p95 > 0.0 ? result.p95_ms / unloaded_p95 : 0.0;
@@ -234,5 +244,10 @@ int main() {
   std::printf("engine: shed_requests=%llu faults_injected=%llu\n",
               static_cast<unsigned long long>(stats.shed_requests),
               static_cast<unsigned long long>(stats.faults_injected));
+  std::printf("pool: created=%llu reused=%llu discarded=%llu idle=%zu\n",
+              static_cast<unsigned long long>(pool.created()),
+              static_cast<unsigned long long>(pool.reused()),
+              static_cast<unsigned long long>(pool.discarded()),
+              pool.idle());
   return failures == 0 ? 0 : 1;
 }

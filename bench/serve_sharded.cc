@@ -1,0 +1,432 @@
+// Sharded serving throughput — the router-tier headline number: aggregate
+// QPS of mixed-bench score traffic through one router endpoint backed by
+// real multi-process serve daemons, at 1 backend vs 2, plus a kill drill
+// showing that losing a backend sheds only that backend's key range.
+//
+// Each backend is a genuine child process (fork before any parent thread
+// exists) running the standard engine + serve loop on its own Unix socket.
+// The parent drives router::Router::handle_line directly from client
+// threads, so the measured path is exactly the production relay: router ->
+// ClientPool -> AF_UNIX socket -> backend engine.
+//
+// To make the scaling deterministic on any host, each backend is made
+// predictably slow (fault injector latency on model.forward, prediction
+// cache off) and given a small admission budget, so per-process throughput
+// is capped by injected latency x budget rather than by host core count.
+// Two backends then hold two budgets -> ~2x aggregate QPS on traffic that
+// spans both key ranges. Shed requests are retried after the advisory
+// retry_after_ms, so every request completes and the phase wall-clock is
+// an honest completion time.
+//
+// Extra knobs on top of the common ones (bench/common.h):
+//   REBERT_SHARDED_REQUESTS     timed requests per phase      (default 240)
+//   REBERT_SHARDED_CLIENTS      client threads                (default 12)
+//   REBERT_SHARDED_INFLIGHT     per-backend admission budget  (default 2)
+//   REBERT_SHARDED_FORWARD_MS   injected forward latency      (default 10)
+//   REBERT_SHARDED_MIN_SPEEDUP  required 2-backend speedup    (default 1.6)
+//
+// Phases (one CSV row each):
+//   1backend   router -> backend0 only — the single-process baseline
+//   2backends  router -> backend0+backend1, same traffic — the speedup row
+//   killdrill  SIGKILL backend1 mid-fleet; every bench must still answer,
+//              and benches owned by backend0 must keep their owner
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/common.h"
+#include "nl/words.h"
+#include "router/hash_ring.h"
+#include "router/router.h"
+#include "runtime/fault_injector.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/serve_loop.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace rebert;
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * sorted.size()));
+  return sorted[index];
+}
+
+// Child-process body: a standard serve daemon, made predictably slow so the
+// parent's throughput numbers are a function of the injected latency and
+// the admission budget, not of host speed. Never returns.
+[[noreturn]] void run_backend(const benchharness::BenchSetup& setup,
+                              const std::string& socket_path,
+                              int max_inflight, int forward_ms) {
+  runtime::FaultInjector::global().arm("model.forward", 1.0, 11, forward_ms);
+  serve::EngineOptions options;
+  options.num_threads = 2;
+  options.suite_scale = setup.scale;
+  options.experiment = setup.options;
+  options.experiment.pipeline.use_prediction_cache = false;
+  options.max_inflight = max_inflight;
+  // Advise retries at about half a service time: long enough that shed
+  // clients are not hammering the socket, short enough to re-arrive while
+  // the slot they are waiting for is still draining.
+  options.retry_after_ms = std::max(2, forward_ms / 2);
+  serve::InferenceEngine engine(options);
+  serve::ServeLoop loop(engine);
+  loop.run_unix_socket(socket_path);
+  std::_Exit(0);
+}
+
+bool wait_ready(const std::string& socket_path, int timeout_ms) {
+  const int slice_ms = 50;
+  for (int waited = 0; waited <= timeout_ms; waited += slice_ms) {
+    serve::ClientOptions options;
+    options.connect_attempts = 1;
+    serve::Client client(socket_path, options);
+    if (client.connect()) {
+      try {
+        if (util::starts_with(client.request("health"), "ok")) return true;
+      } catch (const std::exception&) {
+        // Backend still booting; fall through to the sleep.
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice_ms));
+  }
+  return false;
+}
+
+struct PhaseResult {
+  int requests = 0;
+  int completed = 0;   // answered `ok ...` (possibly after retries)
+  int sheds = 0;       // overload / no_backend answers that were retried
+  int errors = 0;      // anything else (should stay 0)
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+// Drive `lines` to completion through the router from `clients` threads.
+// Shed answers are retried after the advisory delay, so completed counts
+// requests, not attempts, and seconds is the full completion wall-clock.
+PhaseResult run_phase(router::Router& router,
+                      const std::vector<std::string>& lines, int clients) {
+  PhaseResult result;
+  result.requests = static_cast<int>(lines.size());
+  std::atomic<int> next{0};
+  std::atomic<int> completed{0}, sheds{0}, errors{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  util::WallTimer wall;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::vector<double>& mine = latencies[static_cast<std::size_t>(c)];
+      int index;
+      while ((index = next.fetch_add(1)) < result.requests) {
+        const std::string& line =
+            lines[static_cast<std::size_t>(index)];
+        util::WallTimer timer;
+        for (;;) {
+          bool quit = false;
+          const std::string response = router.handle_line(line, &quit);
+          if (util::starts_with(response, "ok ")) {
+            completed.fetch_add(1);
+            mine.push_back(timer.seconds());
+            break;
+          }
+          if (util::starts_with(response, "err overloaded") ||
+              util::starts_with(response, "err no_backend")) {
+            sheds.fetch_add(1);
+            const int advised = serve::parse_retry_after_ms(response);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(std::max(1, advised)));
+            continue;
+          }
+          errors.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.seconds = wall.seconds();
+  result.completed = completed.load();
+  result.sheds = sheds.load();
+  result.errors = errors.load();
+  std::vector<double> all;
+  for (const std::vector<double>& client : latencies)
+    all.insert(all.end(), client.begin(), client.end());
+  std::sort(all.begin(), all.end());
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(result.completed) / result.seconds
+                   : 0.0;
+  result.p50_ms = 1000.0 * percentile(all, 0.50);
+  result.p95_ms = 1000.0 * percentile(all, 0.95);
+  return result;
+}
+
+router::RouterOptions router_options() {
+  router::RouterOptions options;
+  // Fail fast on a dead socket: the kill drill wants unreachability
+  // detected in ~50ms, not the 2s a cold-start connect budget allows.
+  options.client.connect_attempts = 5;
+  options.client.connect_poll_ms = 10;
+  options.retry_after_ms = 2;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  benchharness::BenchSetup setup = benchharness::load_bench_setup();
+
+  const int requests =
+      std::max(20, util::env_int("REBERT_SHARDED_REQUESTS", 240));
+  const int clients =
+      std::max(2, util::env_int("REBERT_SHARDED_CLIENTS", 12));
+  const int max_inflight =
+      std::max(1, util::env_int("REBERT_SHARDED_INFLIGHT", 2));
+  const int forward_ms =
+      std::max(1, util::env_int("REBERT_SHARDED_FORWARD_MS", 10));
+  const double min_speedup =
+      util::env_double("REBERT_SHARDED_MIN_SPEEDUP", 1.6);
+
+  const std::string socket_base =
+      "/tmp/rebert_sharded_" + std::to_string(::getpid());
+  const std::string sockets[2] = {socket_base + ".backend0.sock",
+                                  socket_base + ".backend1.sock"};
+
+  // Fork both backends before the parent creates any thread (client
+  // workers, pool sockets): fork+threads do not mix.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t pids[2] = {-1, -1};
+  for (int i = 0; i < 2; ++i) {
+    pids[i] = ::fork();
+    if (pids[i] == 0)
+      run_backend(setup, sockets[i], max_inflight, forward_ms);
+    if (pids[i] < 0) {
+      std::perror("fork");
+      return 1;
+    }
+  }
+
+  // Pick traffic that provably spans both key ranges. The ring places keys
+  // by backend NAME, so the parent (a) computes each suite bench's owner
+  // with the same deterministic HashRing the router uses, and (b) salts the
+  // backend names until the suite splits across both owners — with only a
+  // handful of suite benches, one fixed name pair can legitimately end up
+  // owning every key (that is exactly what "backend0"/"backend1" do).
+  std::string names[2] = {"backend0", "backend1"};
+  std::vector<std::string> owned_by[2];
+  std::size_t per_side = 0;
+  for (int salt = 0; salt < 64; ++salt) {
+    const std::string suffix = salt == 0 ? "" : "." + std::to_string(salt);
+    const std::string trial[2] = {"backend0" + suffix, "backend1" + suffix};
+    router::HashRing placement;
+    placement.add(trial[0]);
+    placement.add(trial[1]);
+    std::vector<std::string> trial_owned[2];
+    for (const std::string& name : setup.benchmark_names)
+      trial_owned[placement.node_for(name) == trial[0] ? 0 : 1].push_back(
+          name);
+    const std::size_t side =
+        std::min(trial_owned[0].size(), trial_owned[1].size());
+    if (side > per_side) {
+      per_side = side;
+      names[0] = trial[0];
+      names[1] = trial[1];
+      owned_by[0] = trial_owned[0];
+      owned_by[1] = trial_owned[1];
+      // Stop at an (almost) even split; an odd-sized suite can't do better.
+      if (2 * side + 1 >= setup.benchmark_names.size()) break;
+    }
+  }
+  std::vector<std::string> benches;
+  for (std::size_t i = 0; i < per_side; ++i) {
+    benches.push_back(owned_by[0][i]);
+    benches.push_back(owned_by[1][i]);
+  }
+  const bool balanced = per_side > 0;
+  if (!balanced) {
+    // 64 salts all failed — possible only for a 0/1-bench suite. Still
+    // run, but the speedup gate would be meaningless, so skip it.
+    std::printf("WARN: all benches hash to one backend; "
+                "skipping the speedup gate\n");
+    benches = setup.benchmark_names;
+  }
+  benches.resize(std::min<std::size_t>(benches.size(), 6));
+
+  // Bit names per bench, derived the same way the engine does — from the
+  // deterministic generated netlist — so the parent never needs an engine.
+  std::map<std::string, std::vector<std::string>> bit_names;
+  for (const std::string& name : benches) {
+    gen::GeneratedCircuit generated =
+        gen::generate_benchmark(name, setup.scale);
+    std::vector<std::string> names;
+    for (const nl::Bit& bit : nl::extract_bits(generated.netlist))
+      names.push_back(bit.name);
+    bit_names[name] = names;
+  }
+
+  // Deterministic mixed-bench traffic: cycle the (interleaved) bench list
+  // so both key ranges carry equal load.
+  util::Rng rng(0x5a4dedULL);
+  std::vector<std::string> lines;
+  std::vector<std::string> warm_lines;
+  for (const std::string& name : benches) {
+    const std::vector<std::string>& bits = bit_names[name];
+    warm_lines.push_back("score " + name + " " + bits[0] + " " +
+                         bits[std::min<std::size_t>(1, bits.size() - 1)]);
+  }
+  for (int r = 0; r < requests; ++r) {
+    const std::string& name =
+        benches[static_cast<std::size_t>(r) % benches.size()];
+    const std::vector<std::string>& bits = bit_names[name];
+    const int num_bits = static_cast<int>(bits.size());
+    const std::string& a = bits[static_cast<std::size_t>(
+        rng.uniform_int(0, num_bits - 1))];
+    const std::string& b = bits[static_cast<std::size_t>(
+        rng.uniform_int(0, num_bits - 1))];
+    lines.push_back("score " + name + " " + a + " " + b);
+  }
+
+  int failures = 0;
+  for (int i = 0; i < 2; ++i) {
+    if (!wait_ready(sockets[i], 120000)) {
+      std::printf("FAIL: backend%d never became healthy at %s\n", i,
+                  sockets[i].c_str());
+      ++failures;
+    }
+  }
+
+  std::printf("=== Serve sharded: %zu benches (scale %.2f), %d requests, "
+              "%d client(s), budget %d in-flight/backend, %d ms/forward "
+              "===\n",
+              benches.size(), setup.scale, requests, clients, max_inflight,
+              forward_ms);
+  util::TextTable table({"phase", "backends", "requests", "completed",
+                         "shed", "qps", "p50 (ms)", "p95 (ms)", "speedup"});
+  util::CsvWriter csv("serve_sharded.csv",
+                      {"phase", "backends", "requests", "completed", "shed",
+                       "errors", "qps", "p50_ms", "p95_ms", "speedup"});
+  const auto report = [&](const char* phase, int backends,
+                          const PhaseResult& result, double speedup) {
+    table.add_row({phase, std::to_string(backends),
+                   std::to_string(result.requests),
+                   std::to_string(result.completed),
+                   std::to_string(result.sheds),
+                   util::format_double(result.qps, 1),
+                   util::format_double(result.p50_ms, 3),
+                   util::format_double(result.p95_ms, 3),
+                   speedup > 0.0 ? util::format_double(speedup, 2) + "x"
+                                 : std::string("-")});
+    csv.add_row({phase, std::to_string(backends),
+                 std::to_string(result.requests),
+                 std::to_string(result.completed),
+                 std::to_string(result.sheds),
+                 std::to_string(result.errors),
+                 util::format_double(result.qps, 1),
+                 util::format_double(result.p50_ms, 4),
+                 util::format_double(result.p95_ms, 4),
+                 util::format_double(speedup, 3)});
+    if (result.completed != result.requests || result.errors != 0) {
+      std::printf("FAIL: phase %s lost requests (%d/%d completed, "
+                  "%d errors)\n",
+                  phase, result.completed, result.requests, result.errors);
+      ++failures;
+    }
+  };
+
+  // Phase 1: everything on backend0.
+  double qps_one = 0.0;
+  if (failures == 0) {
+    router::Router router(router_options());
+    router.add_backend(names[0], sockets[0]);
+    (void)run_phase(router, warm_lines, 1);  // build bench contexts untimed
+    const PhaseResult result = run_phase(router, lines, clients);
+    qps_one = result.qps;
+    report("1backend", 1, result, 0.0);
+  }
+
+  // Phase 2 + kill drill share a router, as production would.
+  if (failures == 0) {
+    router::Router router(router_options());
+    router.add_backend(names[0], sockets[0]);
+    router.add_backend(names[1], sockets[1]);
+    (void)run_phase(router, warm_lines, 1);
+    const PhaseResult result = run_phase(router, lines, clients);
+    const double speedup = qps_one > 0.0 ? result.qps / qps_one : 0.0;
+    report("2backends", 2, result, speedup);
+    if (balanced && speedup < min_speedup) {
+      std::printf("FAIL: 2-backend speedup %.2fx below the %.2fx gate\n",
+                  speedup, min_speedup);
+      ++failures;
+    }
+
+    // Kill drill: owners before, SIGKILL backend1, one request per bench —
+    // every bench must still answer, and backend0's key range must not
+    // move (only the dead backend's range reroutes).
+    std::map<std::string, std::string> owner_before;
+    for (const std::string& name : benches)
+      owner_before[name] = router.backend_for(name);
+    ::kill(pids[1], SIGKILL);
+    ::waitpid(pids[1], nullptr, 0);
+    pids[1] = -1;
+    const PhaseResult drill = run_phase(router, warm_lines, clients);
+    report("killdrill", 1, drill, 0.0);
+    for (const std::string& name : benches) {
+      const std::string after = router.backend_for(name);
+      if (after != names[0]) {
+        std::printf("FAIL: %s routed to '%s' after the kill\n",
+                    name.c_str(), after.c_str());
+        ++failures;
+      }
+      if (owner_before[name] == names[0] && after != names[0]) {
+        std::printf("FAIL: surviving backend's key %s moved\n",
+                    name.c_str());
+        ++failures;
+      }
+    }
+    const router::RouterStats stats = router.stats();
+    std::printf("router: forwarded=%llu reroutes=%llu backends_failed=%llu "
+                "no_backend_errors=%llu\n",
+                static_cast<unsigned long long>(stats.forwarded),
+                static_cast<unsigned long long>(stats.reroutes),
+                static_cast<unsigned long long>(stats.backends_failed),
+                static_cast<unsigned long long>(stats.no_backend_errors));
+    if (stats.reroutes == 0) {
+      std::printf("FAIL: kill drill produced no reroutes\n");
+      ++failures;
+    }
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    if (pids[i] > 0) {
+      ::kill(pids[i], SIGKILL);
+      ::waitpid(pids[i], nullptr, 0);
+    }
+    ::unlink(sockets[i].c_str());
+  }
+
+  table.print();
+  std::printf("CSV: serve_sharded.csv\n");
+  return failures == 0 ? 0 : 1;
+}

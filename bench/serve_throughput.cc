@@ -13,13 +13,20 @@
 // The recover timing runs with the prediction cache off so it measures
 // model forwards, not memory bandwidth; the QPS loop keeps the cache on,
 // matching production serving.
+//
+// The QPS loop goes over a real AF_UNIX socket through a shared
+// serve::ClientPool (the same reuse layer the router's backend links use),
+// so the measured latency includes the full transport, not just the engine.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "bench/common.h"
+#include "serve/client_pool.h"
 #include "serve/engine.h"
 #include "serve/serve_loop.h"
 #include "util/csv.h"
@@ -88,6 +95,12 @@ int main() {
       result.recover_seconds = timer.seconds();
     }
 
+    const std::string socket_path =
+        "/tmp/rebert_throughput_" + std::to_string(::getpid()) + "_" +
+        std::to_string(threads) + ".sock";
+    std::thread server([&] { loop.run_unix_socket(socket_path); });
+    serve::ClientPool pool(socket_path);
+
     std::atomic<int> next{0};
     std::vector<std::vector<double>> latencies(
         static_cast<std::size_t>(clients));
@@ -105,14 +118,22 @@ int main() {
               rng.uniform_int(0, num_bits - 1))];
           const std::string line = "score " + bench + " " + a + " " + b;
           util::WallTimer request_timer;
-          bool quit = false;
-          (void)loop.handle_line(line, &quit);
+          serve::ClientPool::Lease lease = pool.acquire();
+          if (!lease) continue;
+          try {
+            (void)lease->request(line);
+          } catch (const std::exception&) {
+            lease.discard();
+            continue;
+          }
           mine.push_back(request_timer.seconds());
         }
       });
     }
     for (std::thread& worker : workers) worker.join();
     const double elapsed = wall.seconds();
+    loop.stop();
+    server.join();
 
     std::vector<double> all;
     for (const std::vector<double>& client : latencies)

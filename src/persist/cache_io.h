@@ -2,13 +2,16 @@
 // caches. Header-only templates so persist stays a leaf library: any cache
 // exposing export_entries() / import_entries() (core::PredictionCache and
 // core::ShardedPredictionCache both do) persists through the same two
-// calls, and only the including translation unit pays the dependency.
+// calls, and only the including translation unit pays the dependencies
+// (including rebert_runtime for the cache.load / cache.parse chaos sites —
+// every current includer links it already).
 #pragma once
 
 #include <cstddef>
 #include <string>
 
 #include "persist/snapshot.h"
+#include "runtime/fault_injector.h"
 #include "util/logging.h"
 
 namespace rebert::persist {
@@ -27,7 +30,23 @@ void save_cache(const Cache& cache, const std::string& path) {
 /// file content.
 template <typename Cache>
 std::size_t load_cache(Cache* cache, const std::string& path) {
+  // Chaos sites: cache.load simulates the snapshot file being unreadable
+  // (I/O error, permission flip), cache.parse a record-level corruption
+  // the CRC missed. Both degrade to a cold start — exactly the missing /
+  // corrupt-file contract below — and never fail the caller.
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  if (faults.should_fail("cache.load")) {
+    LOG_WARN << "cache snapshot: injected load fault for " << path
+             << "; starting cold";
+    return 0;
+  }
   const SnapshotLoadResult result = load_snapshot(path);
+  if (result.status == SnapshotLoadStatus::kLoaded &&
+      faults.should_fail("cache.parse")) {
+    LOG_WARN << "cache snapshot rejected: injected parse fault for " << path
+             << "; starting cold";
+    return 0;
+  }
   switch (result.status) {
     case SnapshotLoadStatus::kLoaded:
       return cache->import_entries(result.records);

@@ -1,5 +1,6 @@
 #include "rebert/tokenizer.h"
 
+#include "runtime/fault_injector.h"
 #include "util/check.h"
 
 namespace rebert::core {
@@ -55,6 +56,10 @@ std::vector<BitSequence> Tokenizer::tokenize_bits(
 
 bert::EncodedSequence Tokenizer::encode_pair(const BitSequence& a,
                                              const BitSequence& b) const {
+  // Chaos site: a failing encode (corrupt sequence, future vocab skew)
+  // surfaces on the per-request path only — tokenize_bits (bench loading)
+  // stays untouched, so an armed site degrades requests, not startup.
+  runtime::FaultInjector::global().maybe_throw("tokenizer.encode");
   const Vocabulary& vocab = vocabulary();
   const int width = options_.tree_code_dim;
   const std::vector<std::uint8_t> zero_code(

@@ -1,0 +1,73 @@
+#include "router/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rebert::router {
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes) {
+  REBERT_CHECK_MSG(vnodes >= 1, "hash ring needs at least 1 vnode");
+}
+
+std::uint64_t HashRing::hash(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a over the bytes...
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // ...then a full-avalanche finalizer (murmur3 fmix64). Raw FNV-1a barely
+  // mixes the trailing bytes of short keys — bench names like "b03".."b13"
+  // land within ~2e-6 of each other on the ring and a 2-backend ring then
+  // puts EVERY bench on one backend. The finalizer decorrelates them.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void HashRing::add(const std::string& node) {
+  REBERT_CHECK_MSG(!node.empty(), "hash ring member name must be non-empty");
+  if (members_.count(node) > 0) return;
+  int inserted = 0;
+  for (int k = 0; k < vnodes_; ++k) {
+    const std::uint64_t point = hash(node + "#" + std::to_string(k));
+    // A 64-bit collision between distinct (node, k) pairs is vanishingly
+    // rare; first-comer keeps the point so placement stays order-free for
+    // all practical member sets.
+    if (ring_.emplace(point, node).second) ++inserted;
+  }
+  members_[node] = inserted;
+}
+
+void HashRing::remove(const std::string& node) {
+  const auto member = members_.find(node);
+  if (member == members_.end()) return;
+  for (int k = 0; k < vnodes_; ++k) {
+    const auto it = ring_.find(hash(node + "#" + std::to_string(k)));
+    if (it != ring_.end() && it->second == node) ring_.erase(it);
+  }
+  members_.erase(member);
+}
+
+bool HashRing::contains(const std::string& node) const {
+  return members_.count(node) > 0;
+}
+
+std::string HashRing::node_for(const std::string& key) const {
+  if (ring_.empty()) return "";
+  auto it = ring_.lower_bound(hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return it->second;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  std::vector<std::string> names;
+  names.reserve(members_.size());
+  for (const auto& [name, points] : members_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rebert::router

@@ -1,0 +1,347 @@
+#include "router/router.h"
+
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace rebert::router {
+
+namespace {
+
+/// One line, no trailing newline — same discipline as ServeLoop.
+std::string single_line(std::string text) {
+  for (char& c : text)
+    if (c == '\n' || c == '\r') c = ' ';
+  return text;
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      socket_server_(serve::SocketServer::Callbacks{
+          /*handle_line=*/[this](const std::string& line, bool* quit) {
+            return handle_line(line, quit);
+          },
+          /*is_blank=*/[](const std::string& line) {
+            return util::trim(line).empty() || util::trim(line)[0] == '#';
+          },
+          /*overload_line=*/[this] {
+            return serve::format_overloaded(options_.retry_after_ms);
+          },
+          /*on_answered=*/nullptr,
+          /*on_shutdown=*/nullptr}),
+      ring_(options_.vnodes) {}
+
+Router::~Router() { stop_probes(); }
+
+void Router::add_backend(const std::string& name,
+                         const std::string& socket_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  REBERT_CHECK_MSG(backends_.find(name) == backends_.end(),
+                   "duplicate backend '" + name + "'");
+  auto backend = std::make_unique<Backend>();
+  backend->name = name;
+  backend->socket_path = socket_path;
+  backend->pool = std::make_unique<serve::ClientPool>(
+      socket_path, options_.client, options_.pool_max_idle);
+  backends_.emplace(name, std::move(backend));
+  ring_.add(name);
+  LOG_INFO << "router: backend " << name << " at " << socket_path
+           << " joined the ring";
+}
+
+bool Router::drain(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = backends_.find(name);
+  if (it == backends_.end()) return false;
+  it->second->drained.store(true, std::memory_order_relaxed);
+  ring_.remove(name);
+  LOG_INFO << "router: backend " << name << " drained";
+  return true;
+}
+
+bool Router::undrain(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = backends_.find(name);
+  if (it == backends_.end()) return false;
+  it->second->drained.store(false, std::memory_order_relaxed);
+  if (it->second->healthy.load(std::memory_order_relaxed))
+    ring_.add(name);
+  LOG_INFO << "router: backend " << name << " undrained";
+  return true;
+}
+
+std::string Router::backend_for(const std::string& bench) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.node_for(bench);
+}
+
+void Router::set_backend_info(
+    std::function<std::string(const std::string&)> info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backend_info_ = std::move(info);
+}
+
+void Router::mark_unhealthy(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = backends_.find(name);
+  if (it == backends_.end()) return;
+  if (!it->second->healthy.exchange(false, std::memory_order_relaxed))
+    return;  // already out
+  ring_.remove(name);
+  // Pooled connections to a dead backend are all stale; drop them so a
+  // revival starts from fresh sockets.
+  it->second->pool->clear_idle();
+  backends_failed_.fetch_add(1, std::memory_order_relaxed);
+  LOG_WARN << "router: backend " << name
+           << " marked unhealthy; ring rebalanced";
+}
+
+void Router::revive(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = backends_.find(name);
+  if (it == backends_.end()) return;
+  if (it->second->healthy.exchange(true, std::memory_order_relaxed))
+    return;  // was already healthy
+  if (!it->second->drained.load(std::memory_order_relaxed))
+    ring_.add(name);
+  backends_revived_.fetch_add(1, std::memory_order_relaxed);
+  LOG_INFO << "router: backend " << name << " revived; key range restored";
+}
+
+bool Router::try_backend(Backend& backend, const std::string& line,
+                         std::string* reply) {
+  serve::ClientPool::Lease lease = backend.pool->acquire();
+  if (lease) {
+    try {
+      *reply = lease->request(line);
+      return true;
+    } catch (const std::exception&) {
+      // A pooled connection can be stale (backend restarted since it was
+      // idle); one fresh socket distinguishes "stale connection" from
+      // "dead backend" before the ring gets rebalanced.
+      lease.discard();
+    }
+  }
+  serve::ClientPool::Lease fresh = backend.pool->acquire_fresh();
+  if (!fresh) return false;
+  try {
+    *reply = fresh->request(line);
+    return true;
+  } catch (const std::exception&) {
+    fresh.discard();
+    return false;
+  }
+}
+
+std::string Router::forward(const std::string& line,
+                            const std::string& bench) {
+  for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
+    Backend* backend = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::string owner = ring_.node_for(bench);
+      if (!owner.empty()) backend = backends_.at(owner).get();
+    }
+    if (backend == nullptr) break;  // ring empty: nothing left to try
+    std::string reply;
+    if (try_backend(*backend, line, &reply)) {
+      forwarded_.fetch_add(1, std::memory_order_relaxed);
+      return reply;  // pass-through, overload/degraded tags included
+    }
+    mark_unhealthy(backend->name);
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  no_backend_errors_.fetch_add(1, std::memory_order_relaxed);
+  return serve::format_error("no_backend retry_after_ms=" +
+                             std::to_string(options_.retry_after_ms));
+}
+
+std::string Router::handle_line(const std::string& line, bool* quit) {
+  try {
+    // Admin verbs first — they are router vocabulary, not protocol.h's.
+    const std::vector<std::string> tokens =
+        util::split_ws(util::trim(line));
+    if (!tokens.empty()) {
+      if (tokens[0] == "backends" && tokens.size() == 1)
+        return serve::format_ok(format_backends());
+      if (tokens[0] == "drain" && tokens.size() == 2)
+        return drain(tokens[1])
+                   ? serve::format_ok("drained " + tokens[1])
+                   : serve::format_error("unknown backend '" + tokens[1] +
+                                         "'");
+      if (tokens[0] == "undrain" && tokens.size() == 2)
+        return undrain(tokens[1])
+                   ? serve::format_ok("undrained " + tokens[1])
+                   : serve::format_error("unknown backend '" + tokens[1] +
+                                         "'");
+    }
+    const serve::Request request = serve::parse_request(line);
+    switch (request.type) {
+      case serve::RequestType::kScore:
+      case serve::RequestType::kRecover:
+        // Forward the raw line: the backend re-parses it, so model= and
+        // deadline_ms= fields survive verbatim.
+        return forward(line, request.bench);
+      case serve::RequestType::kStats:
+        return serve::format_ok(format_stats());
+      case serve::RequestType::kHealth:
+        return serve::format_ok(format_health());
+      case serve::RequestType::kHelp:
+        return serve::format_ok(
+            serve::help_text() +
+            "; router: backends | drain <name> | undrain <name>");
+      case serve::RequestType::kQuit:
+        if (quit) *quit = true;
+        return serve::format_ok("bye");
+      case serve::RequestType::kInvalid:
+        return serve::format_error(request.error);
+    }
+    return serve::format_error("unreachable");
+  } catch (const std::exception& e) {
+    return serve::format_error(single_line(e.what()));
+  }
+}
+
+std::string Router::format_backends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "backends=" << backends_.size();
+  for (const auto& [name, backend] : backends_) {
+    out << " | name=" << name << " path=" << backend->socket_path
+        << " healthy=" << (backend->healthy.load(std::memory_order_relaxed)
+                               ? 1 : 0)
+        << " drained=" << (backend->drained.load(std::memory_order_relaxed)
+                               ? 1 : 0);
+    if (backend_info_) {
+      const std::string extra = backend_info_(name);
+      if (!extra.empty()) out << " " << extra;
+    }
+  }
+  return out.str();
+}
+
+RouterStats Router::stats() const {
+  RouterStats stats;
+  stats.forwarded = forwarded_.load(std::memory_order_relaxed);
+  stats.reroutes = reroutes_.load(std::memory_order_relaxed);
+  stats.no_backend_errors =
+      no_backend_errors_.load(std::memory_order_relaxed);
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.backends_failed = backends_failed_.load(std::memory_order_relaxed);
+  stats.backends_revived =
+      backends_revived_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.backends_total = static_cast<int>(backends_.size());
+  for (const auto& [name, backend] : backends_) {
+    (void)name;
+    if (backend->healthy.load(std::memory_order_relaxed) &&
+        !backend->drained.load(std::memory_order_relaxed))
+      ++stats.backends_healthy;
+  }
+  return stats;
+}
+
+std::string Router::format_stats() const {
+  const RouterStats stats = this->stats();
+  std::ostringstream out;
+  out << "role=router backends=" << stats.backends_total
+      << " healthy=" << stats.backends_healthy
+      << " forwarded=" << stats.forwarded
+      << " reroutes=" << stats.reroutes
+      << " no_backend_errors=" << stats.no_backend_errors
+      << " probes=" << stats.probes
+      << " backends_failed=" << stats.backends_failed
+      << " backends_revived=" << stats.backends_revived;
+  return out.str();
+}
+
+std::string Router::format_health() const {
+  const RouterStats stats = this->stats();
+  const char* status = "ready";
+  if (stats.backends_healthy == 0)
+    status = "down";
+  else if (stats.backends_healthy < stats.backends_total)
+    status = "degraded";
+  std::ostringstream out;
+  out << "status=" << status << " backends=" << stats.backends_total
+      << " healthy=" << stats.backends_healthy
+      << " reroutes=" << stats.reroutes;
+  return out.str();
+}
+
+void Router::probe_once() {
+  // Snapshot the membership, then probe without holding the lock: a probe
+  // blocks on connect timeouts and must not stall forwarding.
+  std::vector<Backend*> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    targets.reserve(backends_.size());
+    for (auto& [name, backend] : backends_) {
+      (void)name;
+      targets.push_back(backend.get());
+    }
+  }
+  for (Backend* backend : targets) {
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    // Probe on a fresh connection with a short connect budget: pooled
+    // sockets would hide a dead backend until first use, and the default
+    // budget (2 s) is too patient for a 200 ms cadence.
+    serve::ClientOptions probe_options = options_.client;
+    probe_options.connect_attempts = 1;
+    serve::Client probe(backend->socket_path, probe_options);
+    bool alive = false;
+    if (probe.connect()) {
+      try {
+        alive = util::starts_with(probe.request("health"), "ok");
+      } catch (const std::exception&) {
+        alive = false;
+      }
+    }
+    if (alive) {
+      revive(backend->name);
+    } else {
+      mark_unhealthy(backend->name);
+    }
+  }
+}
+
+void Router::start_probes() {
+  if (options_.probe_interval_ms <= 0) return;
+  if (probing_.exchange(true, std::memory_order_relaxed)) return;
+  prober_ = std::thread([this] {
+    while (probing_.load(std::memory_order_relaxed)) {
+      probe_once();
+      // Sleep in small slices so stop_probes() is honoured promptly even
+      // with a long probe interval.
+      int remaining = options_.probe_interval_ms;
+      while (remaining > 0 && probing_.load(std::memory_order_relaxed)) {
+        const int slice = remaining < 20 ? remaining : 20;
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void Router::stop_probes() {
+  probing_.store(false, std::memory_order_relaxed);
+  if (prober_.joinable()) prober_.join();
+}
+
+void Router::run_unix_socket(const std::string& path) {
+  start_probes();
+  socket_server_.run(path);
+  stop_probes();
+}
+
+void Router::stop() { socket_server_.stop(); }
+
+}  // namespace rebert::router

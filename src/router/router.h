@@ -1,0 +1,167 @@
+// Router — one endpoint in front of a ring of serve backends.
+//
+// Speaks the same newline protocol as a single `rebert_cli serve` daemon
+// (protocol.h), so clients cannot tell a router from a backend: score and
+// recover lines are consistent-hashed on their <bench> token onto a
+// HashRing of backend worker processes (each a standard serve daemon
+// reached through a serve::ClientPool) and forwarded verbatim; the
+// backend's reply — including `err overloaded retry_after_ms=<n>` and
+// `degraded=structural` tags — passes through untouched. Hashing on the
+// bench name pins each bench's context (netlized, tokenized, cached
+// scores) to one backend, which is what makes the fan-out scale: no
+// backend pays for benches it never sees.
+//
+// Health: a backend whose connection dies mid-request is retried once on a
+// fresh socket (pooled connections go stale when a backend restarts), then
+// marked unhealthy and removed from the ring — the request transparently
+// reroutes to the next owner (counted in `reroutes`). A background prober
+// sends `health` to every backend each probe interval, evicting newly dead
+// backends and re-adding revived ones, so a restarted worker re-takes
+// exactly its old key range (consistent hashing is deterministic in the
+// node name).
+//
+// Admin verbs (answered locally, never forwarded):
+//   backends            one line listing each backend's name, path, state
+//   drain <name>        remove from the ring (for maintenance); undrain
+//   undrain <name>      to put it back
+//   stats / health      router-level counters and ring state
+//   help / quit         as a backend, plus the admin verbs
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/hash_ring.h"
+#include "serve/client_pool.h"
+#include "serve/socket_server.h"
+
+namespace rebert::router {
+
+struct RouterOptions {
+  /// Virtual nodes per backend on the ring (see hash_ring.h).
+  int vnodes = 64;
+  /// Health probe cadence; <= 0 disables the prober thread.
+  int probe_interval_ms = 200;
+  /// Distinct backends tried (after rehashing) before a request fails.
+  int forward_attempts = 3;
+  /// Advisory backoff on router-generated refusals (no backend available,
+  /// connection cap). Backend-generated overloads pass through with the
+  /// backend's own value.
+  int retry_after_ms = 50;
+  /// ClientOptions for every backend link (connect budget, request retry).
+  serve::ClientOptions client;
+  /// Idle connections retained per backend pool.
+  std::size_t pool_max_idle = 8;
+};
+
+struct RouterStats {
+  std::uint64_t forwarded = 0;         // requests relayed to a backend
+  std::uint64_t reroutes = 0;          // retries on a different backend
+  std::uint64_t no_backend_errors = 0; // ring empty / attempts exhausted
+  std::uint64_t probes = 0;            // health probes sent
+  std::uint64_t backends_failed = 0;   // transitions healthy -> unhealthy
+  std::uint64_t backends_revived = 0;  // transitions unhealthy -> healthy
+  int backends_total = 0;
+  int backends_healthy = 0;            // healthy and not drained
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Register a backend worker reachable at `socket_path` and place it on
+  /// the ring. Names must be unique; throws util::CheckError on a dup.
+  void add_backend(const std::string& name, const std::string& socket_path);
+
+  /// Remove / restore a backend's ring membership without forgetting it.
+  /// Unknown names return false.
+  bool drain(const std::string& name);
+  bool undrain(const std::string& name);
+
+  /// Dispatch one request line: admin verbs answered locally, score and
+  /// recover forwarded to the bench's ring owner. Never throws. Sets
+  /// *quit on a quit request.
+  std::string handle_line(const std::string& line, bool* quit);
+
+  /// The backend name currently owning `bench`, "" when the ring is empty.
+  /// What the placement tests and the kill-drill assert against.
+  std::string backend_for(const std::string& bench) const;
+
+  /// Extra per-backend text appended to `backends` output lines (the route
+  /// CLI wires the supervisor in here so `backends` shows pid= and
+  /// restarts=). Called with the backend name; return "" for nothing.
+  void set_backend_info(std::function<std::string(const std::string&)> info);
+
+  /// Start / stop the background health prober (no-op when
+  /// probe_interval_ms <= 0). stop_probes() is idempotent and also runs on
+  /// destruction.
+  void start_probes();
+  void stop_probes();
+
+  /// Probe every backend once, synchronously: evict newly dead backends,
+  /// revive answering ones. What the prober thread calls each tick;
+  /// exposed so tests can force a transition without sleeping.
+  void probe_once();
+
+  RouterStats stats() const;
+
+  /// Serve the router protocol on an AF_UNIX socket (blocks until stop()).
+  /// Also starts the prober.
+  void run_unix_socket(const std::string& path);
+  void stop();
+
+ private:
+  struct Backend {
+    std::string name;
+    std::string socket_path;
+    std::unique_ptr<serve::ClientPool> pool;
+    std::atomic<bool> healthy{true};
+    std::atomic<bool> drained{false};
+  };
+
+  /// Forward `line` to the owner of `bench`, rehashing across failures.
+  std::string forward(const std::string& line, const std::string& bench);
+
+  /// One request over one backend's pool; retries once on a fresh socket
+  /// before giving up. Returns false when the backend is unreachable.
+  bool try_backend(Backend& backend, const std::string& line,
+                   std::string* reply);
+
+  void mark_unhealthy(const std::string& name);
+  void revive(const std::string& name);
+
+  std::string format_backends() const;
+  std::string format_stats() const;
+  std::string format_health() const;
+
+  RouterOptions options_;
+  serve::SocketServer socket_server_;
+
+  mutable std::mutex mu_;  // guards ring_ and backends_ membership
+  HashRing ring_;
+  std::map<std::string, std::unique_ptr<Backend>> backends_;
+  std::function<std::string(const std::string&)> backend_info_;
+
+  std::thread prober_;
+  std::atomic<bool> probing_{false};
+
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> reroutes_{0};
+  std::atomic<std::uint64_t> no_backend_errors_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> backends_failed_{0};
+  std::atomic<std::uint64_t> backends_revived_{0};
+};
+
+}  // namespace rebert::router

@@ -17,6 +17,7 @@ const std::vector<std::string>& fault_sites() {
   static const std::vector<std::string> sites{
       "socket.read", "socket.send", "snapshot.save",
       "pool.submit", "model.forward",
+      "cache.load", "cache.parse", "tokenizer.encode",
   };
   return sites;
 }

@@ -2,7 +2,8 @@
 //
 // A FaultInjector owns a set of named sites — fixed points in the code where
 // a failure can be provoked on demand: socket reads/sends, snapshot saves,
-// pool submissions, model forwards. Each armed site trips with a configured
+// pool submissions, model forwards, cache snapshot loads/parses, tokenizer
+// encodes. Each armed site trips with a configured
 // probability drawn from its own seeded stream, so a chaos run is exactly
 // reproducible: same spec, same request interleaving per thread, same trips.
 //

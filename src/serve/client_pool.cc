@@ -1,0 +1,129 @@
+#include "serve/client_pool.h"
+
+#include <utility>
+
+namespace rebert::serve {
+
+ClientPool::Lease::Lease(ClientPool* pool, std::unique_ptr<Client> client)
+    : pool_(pool), client_(std::move(client)) {
+  if (client_) retries_at_acquire_ = client_->retries();
+}
+
+ClientPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_),
+      client_(std::move(other.client_)),
+      retries_at_acquire_(other.retries_at_acquire_) {
+  other.pool_ = nullptr;
+}
+
+ClientPool::Lease& ClientPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    client_ = std::move(other.client_);
+    retries_at_acquire_ = other.retries_at_acquire_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ClientPool::Lease::~Lease() { release(); }
+
+void ClientPool::Lease::release() {
+  if (pool_ == nullptr || client_ == nullptr) {
+    pool_ = nullptr;
+    client_.reset();
+    return;
+  }
+  const std::uint64_t new_retries = client_->retries() - retries_at_acquire_;
+  if (client_->connected()) {
+    pool_->give_back(std::move(client_), new_retries);
+  } else {
+    pool_->count_discard(new_retries);
+    client_.reset();
+  }
+  pool_ = nullptr;
+}
+
+void ClientPool::Lease::discard() {
+  if (pool_ != nullptr && client_ != nullptr) {
+    pool_->count_discard(client_->retries() - retries_at_acquire_);
+    client_.reset();
+  }
+  pool_ = nullptr;
+  client_.reset();
+}
+
+ClientPool::ClientPool(std::string socket_path, ClientOptions options,
+                       std::size_t max_idle)
+    : path_(std::move(socket_path)), options_(options), max_idle_(max_idle) {}
+
+ClientPool::Lease ClientPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<Client> client = std::move(idle_.back());
+      idle_.pop_back();
+      ++reused_;
+      return Lease(this, std::move(client));
+    }
+  }
+  return acquire_fresh();
+}
+
+ClientPool::Lease ClientPool::acquire_fresh() {
+  auto client = std::make_unique<Client>(path_, options_);
+  if (!client->connect()) return Lease();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++created_;
+  }
+  return Lease(this, std::move(client));
+}
+
+void ClientPool::clear_idle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+void ClientPool::give_back(std::unique_ptr<Client> client,
+                           std::uint64_t new_retries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retries_ += new_retries;
+  if (idle_.size() < max_idle_)
+    idle_.push_back(std::move(client));
+  // else: over the idle bound — the unique_ptr closes the socket here.
+}
+
+void ClientPool::count_discard(std::uint64_t new_retries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retries_ += new_retries;
+  ++discarded_;
+}
+
+std::size_t ClientPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+std::uint64_t ClientPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::uint64_t ClientPool::reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reused_;
+}
+
+std::uint64_t ClientPool::discarded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return discarded_;
+}
+
+std::uint64_t ClientPool::retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_;
+}
+
+}  // namespace rebert::serve

@@ -1,0 +1,113 @@
+// ClientPool — bounded reuse of serve::Client connections to one daemon.
+//
+// Connection setup is the expensive part of a request round-trip (socket,
+// connect handshake, the daemon spawning a handler thread), so callers
+// that issue many requests — the router's backend links, the bench load
+// generators — check connections out of a shared pool instead of opening
+// one per request:
+//
+//   ClientPool pool(socket_path);
+//   {
+//     ClientPool::Lease lease = pool.acquire();   // reuse or connect
+//     if (lease) reply = lease->request(line);
+//   }                                             // returned to the pool
+//
+// The Lease is RAII: destruction returns a still-connected client to the
+// pool (up to max_idle; beyond that it is closed), and discard() drops a
+// client whose connection died mid-request so a broken socket is never
+// handed to the next caller. All socket I/O underneath is EINTR-safe via
+// util::retry_eintr (see client.cc). The pool itself is thread-safe; the
+// Client held by a lease is owned exclusively by that lease.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+namespace rebert::serve {
+
+class ClientPool {
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ClientPool* pool, std::unique_ptr<Client> client);
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    /// Falsy when the pool could not produce a connected client.
+    explicit operator bool() const { return client_ != nullptr; }
+    Client* operator->() { return client_.get(); }
+    Client& operator*() { return *client_; }
+
+    /// Drop the client instead of returning it — call after a request()
+    /// threw (the connection is in an unknown state and must not be
+    /// reused).
+    void discard();
+
+   private:
+    void release();
+
+    ClientPool* pool_ = nullptr;
+    std::unique_ptr<Client> client_;
+    std::uint64_t retries_at_acquire_ = 0;
+    friend class ClientPool;
+  };
+
+  /// Pool for one daemon socket. `max_idle` bounds how many idle
+  /// connections are retained between leases — the working set can burst
+  /// higher (every concurrent lease is live), but at most max_idle
+  /// sockets stay open while unused.
+  explicit ClientPool(std::string socket_path, ClientOptions options = {},
+                      std::size_t max_idle = 8);
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Check a connected client out of the pool, reusing an idle connection
+  /// when one exists and dialing a new one otherwise. The Lease is falsy
+  /// when the daemon could not be reached within the ClientOptions
+  /// connect budget.
+  Lease acquire();
+
+  /// Like acquire(), but always dials a brand-new connection — the
+  /// router's "retry on a fresh socket" path after a pooled connection
+  /// turned out to be stale.
+  Lease acquire_fresh();
+
+  /// Close every idle connection now (leased clients are unaffected).
+  void clear_idle();
+
+  const std::string& socket_path() const { return path_; }
+  std::size_t idle() const;
+  std::uint64_t created() const;
+  std::uint64_t reused() const;
+  std::uint64_t discarded() const;
+  /// Overload retries performed by clients of this pool, aggregated as
+  /// leases are returned — what the load generators report.
+  std::uint64_t retries() const;
+
+ private:
+  void give_back(std::unique_ptr<Client> client, std::uint64_t new_retries);
+  void count_discard(std::uint64_t new_retries);
+
+  std::string path_;
+  ClientOptions options_;
+  std::size_t max_idle_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Client>> idle_;
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace rebert::serve

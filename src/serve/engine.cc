@@ -25,26 +25,38 @@ bool is_generated_bench(const std::string& name) {
   return std::find(names.begin(), names.end(), name) != names.end();
 }
 
+// The registry always exists: with no manifest the engine behaves exactly
+// as a single-model deployment — one entry named "default", loaded from
+// model_path (or fresh weights), sharing the persisted cache.
+ModelManifest manifest_for(const EngineOptions& options) {
+  if (!options.manifest_path.empty())
+    return parse_model_manifest(options.manifest_path);
+  ModelManifest single;
+  single.models.push_back(
+      {"default", options.model_path.empty() ? "-" : options.model_path, 0});
+  single.default_model = "default";
+  return single;
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(EngineOptions options)
     : options_(std::move(options)),
       tokenizer_(options_.experiment.pipeline.tokenizer),
-      model_(std::make_unique<bert::BertPairClassifier>(
-          core::make_model_config(options_.experiment))),
-      // The request thread participates in every parallel_for it issues, so
-      // the pool holds one fewer worker than the resolved scoring width.
       pool_(std::max(
           1, runtime::resolve_thread_count(options_.num_threads) - 1)),
-      cache_(options_.cache_shards) {
+      cache_(options_.cache_shards),
+      registry_(manifest_for(options_),
+                core::make_model_config(options_.experiment), &cache_,
+                options_.cache_shards) {
   REBERT_CHECK_MSG(options_.batch_size >= 1,
                    "serve batch size must be at least 1");
-  if (options_.model_path.empty()) {
+  if (options_.manifest_path.empty() && options_.model_path.empty()) {
     LOG_WARN << "serve: no --model given; using untrained weights "
                 "(scores exercise the runtime, not the paper's accuracy)";
   } else {
-    model_->load(options_.model_path);
-    LOG_INFO << "serve: loaded model from " << options_.model_path;
+    LOG_INFO << "serve: registry holds " << registry_.size() << " model(s), "
+             << registry_.unhealthy_count() << " unhealthy";
   }
 }
 
@@ -93,40 +105,81 @@ int InferenceEngine::bit_index(const BenchContext& context,
 void InferenceEngine::Admission::release() {
   if (engine_ == nullptr) return;
   engine_->inflight_.fetch_sub(1, std::memory_order_relaxed);
+  if (!bench_.empty()) engine_->release_bench_slot(bench_);
   engine_ = nullptr;
+  bench_.clear();
 }
 
-InferenceEngine::Admission InferenceEngine::try_admit() {
+InferenceEngine::Admission InferenceEngine::try_admit(
+    const std::string& bench) {
   const int budget = options_.max_inflight;
+  Admission admission;
   if (budget < 1) {  // unlimited: keep the gauge, never decline
     inflight_.fetch_add(1, std::memory_order_relaxed);
-    return Admission(this);
+    admission = Admission(this);
+  } else {
+    int current = inflight_.load(std::memory_order_relaxed);
+    while (true) {
+      if (current >= budget) {
+        shed_requests_.fetch_add(1, std::memory_order_relaxed);
+        return Admission();
+      }
+      if (inflight_.compare_exchange_weak(current, current + 1,
+                                          std::memory_order_relaxed)) {
+        admission = Admission(this);
+        break;
+      }
+    }
   }
-  int current = inflight_.load(std::memory_order_relaxed);
-  while (true) {
-    if (current >= budget) {
+  // Per-bench budget on top of the global one. Declining here destructs
+  // `admission`, which returns the already-taken global slot.
+  const int bench_budget = options_.max_inflight_per_bench;
+  if (bench_budget >= 1 && !bench.empty()) {
+    std::lock_guard<std::mutex> lock(bench_slots_mu_);
+    int& count = bench_inflight_[bench];
+    if (count >= bench_budget) {
+      bench_shed_requests_.fetch_add(1, std::memory_order_relaxed);
       shed_requests_.fetch_add(1, std::memory_order_relaxed);
       return Admission();
     }
-    if (inflight_.compare_exchange_weak(current, current + 1,
-                                        std::memory_order_relaxed))
-      return Admission(this);
+    ++count;
+    admission.bench_ = bench;
   }
+  return admission;
+}
+
+void InferenceEngine::release_bench_slot(const std::string& bench) {
+  std::lock_guard<std::mutex> lock(bench_slots_mu_);
+  auto it = bench_inflight_.find(bench);
+  if (it != bench_inflight_.end() && --it->second <= 0)
+    bench_inflight_.erase(it);
 }
 
 double InferenceEngine::score(const std::string& bench,
                               const std::string& bit_a,
                               const std::string& bit_b,
-                              runtime::CancellationToken* cancel) {
-  return score_batch(bench, {{bit_a, bit_b}}, cancel).front();
+                              runtime::CancellationToken* cancel,
+                              const std::string& model) {
+  return score_batch(bench, {{bit_a, bit_b}}, cancel, model).front();
 }
 
 std::vector<double> InferenceEngine::score_batch(
     const std::string& bench_name,
     const std::vector<std::pair<std::string, std::string>>& bit_pairs,
-    runtime::CancellationToken* cancel) {
+    runtime::CancellationToken* cancel, const std::string& model) {
   score_requests_.fetch_add(bit_pairs.size(), std::memory_order_relaxed);
   const BenchContext& context = bench(bench_name);
+  ModelRegistry::Entry& entry =
+      registry_.select(model, static_cast<int>(context.bits.size()));
+  // An explicitly named entry whose checkpoint never loaded cannot score
+  // anything meaningful — that is a request error, not a server fault.
+  // (The size rule never picks such entries; see ModelRegistry::select.)
+  REBERT_CHECK_MSG(entry.load_ok, "model '" + entry.spec.name +
+                                      "' is unhealthy (checkpoint failed "
+                                      "to load)");
+  entry.requests.fetch_add(bit_pairs.size(), std::memory_order_relaxed);
+  core::ShardedPredictionCache& cache = *entry.cache;
+  const bool use_cache = options_.experiment.pipeline.use_prediction_cache;
 
   std::vector<double> scores(bit_pairs.size(), 0.0);
 
@@ -146,7 +199,7 @@ std::vector<double> InferenceEngine::score_batch(
         context.sequences[static_cast<std::size_t>(j)];
     const std::uint64_t key = core::PredictionCache::key_of(a, b);
     double cached = 0.0;
-    if (cache_.lookup(key, &cached)) {
+    if (use_cache && cache.lookup(key, &cached)) {
       scores[p] = cached;
       continue;
     }
@@ -163,17 +216,18 @@ std::vector<double> InferenceEngine::score_batch(
   for (std::size_t begin = 0; begin < misses.size(); begin += batch) {
     if (cancel != nullptr && cancel->requested()) break;  // stop issuing
     const std::size_t end = std::min(begin + batch, misses.size());
-    auto forward_batch = [this, &misses, &scores, begin, end, cancel] {
+    auto forward_batch = [&entry, &cache, &misses, &scores, begin, end,
+                          cancel, use_cache] {
       if (cancel != nullptr && cancel->requested()) return;
       std::vector<const bert::EncodedSequence*> inputs;
       inputs.reserve(end - begin);
       for (std::size_t m = begin; m < end; ++m)
         inputs.push_back(&misses[m].encoded);
       const std::vector<double> probs =
-          model_->predict_same_word_probabilities(inputs);
+          entry.model->predict_same_word_probabilities(inputs);
       for (std::size_t m = begin; m < end; ++m) {
         scores[misses[m].slot] = probs[m - begin];
-        cache_.insert(misses[m].key, probs[m - begin]);
+        if (use_cache) cache.insert(misses[m].key, probs[m - begin]);
       }
     };
     try {
@@ -211,46 +265,70 @@ std::vector<double> InferenceEngine::score_batch(
   }
   if (failure) {
     model_healthy_.store(false, std::memory_order_relaxed);
+    entry.healthy.store(false, std::memory_order_relaxed);
     std::rethrow_exception(failure);
   }
-  if (!misses.empty())
+  if (!misses.empty()) {
     model_healthy_.store(true, std::memory_order_relaxed);
+    entry.healthy.store(true, std::memory_order_relaxed);
+  }
   return scores;
 }
 
 RecoverSummary InferenceEngine::recover(const std::string& bench_name,
-                                        runtime::CancellationToken* cancel) {
+                                        runtime::CancellationToken* cancel,
+                                        const std::string& model) {
   recover_requests_.fetch_add(1, std::memory_order_relaxed);
-  // Failures before scoring (unknown bench, unparsable .bench file) are
-  // request errors, not model failures — they propagate undegraded.
+  // Failures before scoring (unknown bench, unparsable .bench file,
+  // unknown model name) are request errors, not model failures — they
+  // propagate undegraded.
   const BenchContext& context = bench(bench_name);
+  ModelRegistry::Entry& entry =
+      registry_.select(model, static_cast<int>(context.bits.size()));
+  entry.requests.fetch_add(1, std::memory_order_relaxed);
   const core::PipelineOptions& pipeline = options_.experiment.pipeline;
 
   util::WallTimer timer;
   RecoverSummary summary;
   summary.num_bits = static_cast<int>(context.bits.size());
   std::vector<int> labels;
-  try {
-    core::ScoringOptions scoring;
-    scoring.pool = &pool_;
-    scoring.cancel = cancel;
-    const core::ScoreMatrix matrix = core::score_all_pairs(
-        context.sequences, tokenizer_, pipeline.filter, *model_,
-        pipeline.use_prediction_cache ? &cache_ : nullptr, scoring);
-    labels = core::group_words(matrix, pipeline.grouping);
-    summary.filtered_fraction = matrix.filtered_fraction();
-    model_healthy_.store(true, std::memory_order_relaxed);
-  } catch (const runtime::CancelledError&) {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    throw;
-  } catch (const std::exception& e) {
-    // Model-path failure (injected forward fault, NaN tripwire, broken
-    // checkpoint arithmetic): degrade to the structural matching baseline
-    // — no model involved — instead of failing the request.
-    model_healthy_.store(false, std::memory_order_relaxed);
+  // An entry whose checkpoint never loaded has nothing to forward — go
+  // straight to the structural baseline instead of failing the request.
+  bool try_model = entry.load_ok;
+  if (!try_model) {
     degraded_recoveries_.fetch_add(1, std::memory_order_relaxed);
-    LOG_WARN << "serve: recover(" << bench_name << ") model path failed ("
-             << e.what() << "); answering via the structural baseline";
+    LOG_WARN << "serve: recover(" << bench_name << ") model '"
+             << entry.spec.name
+             << "' never loaded; answering via the structural baseline";
+  }
+  if (try_model) {
+    try {
+      core::ScoringOptions scoring;
+      scoring.pool = &pool_;
+      scoring.cancel = cancel;
+      const core::ScoreMatrix matrix = core::score_all_pairs(
+          context.sequences, tokenizer_, pipeline.filter, *entry.model,
+          pipeline.use_prediction_cache ? entry.cache : nullptr, scoring);
+      labels = core::group_words(matrix, pipeline.grouping);
+      summary.filtered_fraction = matrix.filtered_fraction();
+      model_healthy_.store(true, std::memory_order_relaxed);
+      entry.healthy.store(true, std::memory_order_relaxed);
+    } catch (const runtime::CancelledError&) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    } catch (const std::exception& e) {
+      // Model-path failure (injected forward fault, NaN tripwire, broken
+      // checkpoint arithmetic): degrade to the structural matching baseline
+      // — no model involved — instead of failing the request.
+      model_healthy_.store(false, std::memory_order_relaxed);
+      entry.healthy.store(false, std::memory_order_relaxed);
+      degraded_recoveries_.fetch_add(1, std::memory_order_relaxed);
+      LOG_WARN << "serve: recover(" << bench_name << ") model path failed ("
+               << e.what() << "); answering via the structural baseline";
+      try_model = false;
+    }
+  }
+  if (!try_model) {
     structural::MatchingOptions matching;
     matching.backtrace_depth = pipeline.tokenizer.backtrace_depth;
     labels = structural::recover_words_structural(context.netlist,
@@ -265,7 +343,7 @@ RecoverSummary InferenceEngine::recover(const std::string& bench_name,
   }
 
   summary.num_words = metrics::num_clusters(labels);
-  summary.cache_hit_rate = cache_.hit_rate();
+  summary.cache_hit_rate = entry.cache->hit_rate();
   summary.seconds = timer.seconds();
   return summary;
 }
@@ -296,6 +374,11 @@ EngineStats InferenceEngine::stats() const {
   stats.degraded_recoveries =
       degraded_recoveries_.load(std::memory_order_relaxed);
   stats.faults_injected = runtime::FaultInjector::global().total_trips();
+  stats.models = static_cast<int>(registry_.size());
+  stats.unhealthy_models = registry_.unhealthy_count();
+  stats.max_inflight_per_bench = options_.max_inflight_per_bench;
+  stats.bench_shed_requests =
+      bench_shed_requests_.load(std::memory_order_relaxed);
   return stats;
 }
 

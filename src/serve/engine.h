@@ -1,16 +1,18 @@
 // InferenceEngine — the long-lived core of the serving runtime.
 //
-// Owns one immutable BertPairClassifier snapshot (const after construction;
-// the inference path is compiler-enforced read-only, see bert/model.h), a
-// runtime::ThreadPool, a sharded thread-safe PredictionCache shared by all
-// requests, and a lazily-populated registry of benchmark contexts
-// (tokenized bit universes). score requests are micro-batched into
-// fixed-size forward batches and fanned out across the pool; recover
-// requests reuse the pool through core::score_all_pairs.
+// Owns a ModelRegistry of immutable BertPairClassifier snapshots (const
+// after construction; the inference path is compiler-enforced read-only,
+// see bert/model.h), a runtime::ThreadPool, a sharded thread-safe
+// PredictionCache shared by all requests to the default model (non-default
+// registry entries carry private caches — see model_registry.h), and a
+// lazily-populated registry of benchmark contexts (tokenized bit
+// universes). score requests are micro-batched into fixed-size forward
+// batches and fanned out across the pool; recover requests reuse the pool
+// through core::score_all_pairs.
 //
 // Thread safety: every public method may be called from any number of
 // threads concurrently (one per connection in the socket server). The
-// model and tokenizer are read-only, the cache is internally sharded,
+// models and tokenizer are read-only, the caches are internally sharded,
 // bench loading is serialized behind a mutex, and request counters are
 // relaxed atomics.
 //
@@ -18,13 +20,16 @@
 //   * Admission control — try_admit() hands out at most max_inflight
 //     concurrent request slots; callers answer `err overloaded
 //     retry_after_ms=<n>` when it declines instead of queueing unboundedly.
+//     try_admit(bench) additionally enforces max_inflight_per_bench so one
+//     hot bench cannot monopolize the whole budget.
 //   * Deadlines — score/recover take an optional CancellationToken; arm it
 //     with set_deadline_after_ms and the work stops cooperatively between
 //     micro-batches / parallel_for chunks, surfacing runtime::CancelledError.
 //   * Graceful degradation — when the model path fails (injected fault,
 //     NaN tripwire, bad checkpoint) recover() falls back to the structural
 //     matching baseline (Meade et al., ISCAS'16), which needs no model, and
-//     tags the summary `degraded`.
+//     tags the summary `degraded`. A registry entry whose checkpoint never
+//     loaded degrades the same way without attempting a forward.
 #pragma once
 
 #include <atomic>
@@ -43,6 +48,7 @@
 #include "rebert/tokenizer.h"
 #include "runtime/latch.h"
 #include "runtime/thread_pool.h"
+#include "serve/model_registry.h"
 #include "util/timer.h"
 
 namespace rebert::serve {
@@ -61,14 +67,23 @@ struct EngineOptions {
   /// Weight file produced by `rebert_cli train --save`. Empty = fresh
   /// (untrained) weights — scores are meaningless but the runtime paths
   /// are fully exercised, which is what the serve tests and benches need.
+  /// Ignored when manifest_path is set.
   std::string model_path;
+  /// Model manifest (see model_registry.h) declaring several named
+  /// snapshots behind this engine. Empty = a single-entry registry built
+  /// from model_path.
+  std::string manifest_path;
   /// Model dimensions and pipeline knobs (tokenizer/filter/grouping). The
   /// model config is derived with core::make_model_config, so it must
-  /// match the checkpoint when model_path is set.
+  /// match the checkpoints when model_path / manifest_path are set.
   core::ExperimentOptions experiment;
   /// Admission budget: score/recover requests concurrently in flight
   /// before try_admit() starts shedding. 0 = unlimited (no shedding).
   int max_inflight = 0;
+  /// Per-bench admission budget: requests concurrently in flight against
+  /// any one bench before try_admit(bench) sheds for that bench only.
+  /// 0 = unlimited. Enforced on top of max_inflight.
+  int max_inflight_per_bench = 0;
   /// Advisory client backoff carried by shed responses
   /// (`err overloaded retry_after_ms=<n>`).
   int retry_after_ms = 50;
@@ -90,10 +105,15 @@ struct EngineStats {
   int inflight = 0;            // admitted requests right now
   int max_inflight = 0;        // 0 = unlimited
   bool model_healthy = true;   // last model forward succeeded
-  std::uint64_t shed_requests = 0;       // admission declines
+  std::uint64_t shed_requests = 0;       // admission declines (all causes)
   std::uint64_t deadline_exceeded = 0;   // requests cancelled by deadline
   std::uint64_t degraded_recoveries = 0; // recovers answered structurally
   std::uint64_t faults_injected = 0;     // trips of the global FaultInjector
+  // Multi-model registry and per-bench budgets.
+  int models = 1;                          // registry entries
+  int unhealthy_models = 0;                // entries currently unhealthy
+  int max_inflight_per_bench = 0;          // 0 = unlimited
+  std::uint64_t bench_shed_requests = 0;   // per-bench budget declines
 };
 
 struct RecoverSummary {
@@ -110,19 +130,24 @@ struct RecoverSummary {
 class InferenceEngine {
  public:
   /// RAII admission slot. Falsy when the budget was exhausted and the
-  /// request must be shed; releases its slot on destruction otherwise.
+  /// request must be shed; releases its slot(s) on destruction otherwise.
+  /// A slot from try_admit(bench) also holds that bench's per-bench slot.
   class Admission {
    public:
     Admission() = default;
     explicit Admission(InferenceEngine* engine) : engine_(engine) {}
-    Admission(Admission&& other) noexcept : engine_(other.engine_) {
+    Admission(Admission&& other) noexcept
+        : engine_(other.engine_), bench_(std::move(other.bench_)) {
       other.engine_ = nullptr;
+      other.bench_.clear();
     }
     Admission& operator=(Admission&& other) noexcept {
       if (this != &other) {
         release();
         engine_ = other.engine_;
+        bench_ = std::move(other.bench_);
         other.engine_ = nullptr;
+        other.bench_.clear();
       }
       return *this;
     }
@@ -134,6 +159,8 @@ class InferenceEngine {
    private:
     void release();
     InferenceEngine* engine_ = nullptr;
+    std::string bench_;  // non-empty: also holds this bench's slot
+    friend class InferenceEngine;
   };
 
   explicit InferenceEngine(EngineOptions options);
@@ -146,7 +173,12 @@ class InferenceEngine {
   /// `err overloaded` (the decline is counted in shed_requests). With
   /// max_inflight == 0 admission always succeeds but the in-flight gauge
   /// still tracks.
-  Admission try_admit();
+  Admission try_admit() { return try_admit(std::string()); }
+
+  /// Like try_admit(), but additionally enforces max_inflight_per_bench
+  /// for `bench` (per-bench declines count in both bench_shed_requests
+  /// and shed_requests). An empty bench skips the per-bench check.
+  Admission try_admit(const std::string& bench);
 
   /// The advisory backoff to attach to shed responses.
   int retry_after_ms() const { return options_.retry_after_ms; }
@@ -159,11 +191,13 @@ class InferenceEngine {
   }
 
   /// P(same word) for two bits (DFF names) of a benchmark. Throws
-  /// util::CheckError on unknown bench or bit names. When `cancel` fires
-  /// (deadline or explicit stop) throws runtime::CancelledError.
+  /// util::CheckError on unknown bench, bit, or model names. When `cancel`
+  /// fires (deadline or explicit stop) throws runtime::CancelledError.
+  /// `model` selects a registry entry ("" = size rule / default).
   double score(const std::string& bench, const std::string& bit_a,
                const std::string& bit_b,
-               runtime::CancellationToken* cancel = nullptr);
+               runtime::CancellationToken* cancel = nullptr,
+               const std::string& model = "");
 
   /// Batched form: scores every (bitA, bitB) name pair against one bench.
   /// Cache hits are answered inline; misses are encoded and fanned out to
@@ -172,13 +206,16 @@ class InferenceEngine {
   std::vector<double> score_batch(
       const std::string& bench,
       const std::vector<std::pair<std::string, std::string>>& bit_pairs,
-      runtime::CancellationToken* cancel = nullptr);
+      runtime::CancellationToken* cancel = nullptr,
+      const std::string& model = "");
 
   /// Full word recovery over a benchmark, parallelized on the engine pool.
-  /// A model-path failure degrades to the structural baseline (summary
-  /// tagged `degraded`); a fired `cancel` throws runtime::CancelledError.
+  /// A model-path failure — or an explicitly named model whose checkpoint
+  /// never loaded — degrades to the structural baseline (summary tagged
+  /// `degraded`); a fired `cancel` throws runtime::CancelledError.
   RecoverSummary recover(const std::string& bench,
-                         runtime::CancellationToken* cancel = nullptr);
+                         runtime::CancellationToken* cancel = nullptr,
+                         const std::string& model = "");
 
   /// False after a model forward failed (until one succeeds again) — what
   /// the `health` verb reports as `degraded`.
@@ -188,15 +225,18 @@ class InferenceEngine {
 
   EngineStats stats() const;
 
-  /// Warm-start the prediction cache from an RBPC snapshot (see
-  /// persist/snapshot.h). Missing, truncated, or corrupt files warm
+  /// The model registry behind score/recover (health reporting, tests).
+  ModelRegistry& registry() { return registry_; }
+
+  /// Warm-start the default model's prediction cache from an RBPC snapshot
+  /// (see persist/snapshot.h). Missing, truncated, or corrupt files warm
   /// nothing and never throw — the engine starts cold with a warning.
   /// Returns the number of entries imported (also reported by stats()).
   std::size_t load_cache(const std::string& path);
 
-  /// Atomically snapshot the prediction cache to `path` (crash mid-save
-  /// leaves any previous snapshot intact). Throws util::CheckError with
-  /// errno detail on I/O failure. Safe to call while requests are in
+  /// Atomically snapshot the default prediction cache to `path` (crash
+  /// mid-save leaves any previous snapshot intact). Throws util::CheckError
+  /// with errno detail on I/O failure. Safe to call while requests are in
   /// flight — the cache is read under its shard locks.
   void save_cache(const std::string& path) const;
 
@@ -227,14 +267,22 @@ class InferenceEngine {
   int bit_index(const BenchContext& context, const std::string& bench,
                 const std::string& bit) const;
 
+  void release_bench_slot(const std::string& bench);
+
   EngineOptions options_;
   core::Tokenizer tokenizer_;
-  std::unique_ptr<bert::BertPairClassifier> model_;
+  // The request thread participates in every parallel_for it issues, so
+  // the pool holds one fewer worker than the resolved scoring width.
   runtime::ThreadPool pool_;
   core::ShardedPredictionCache cache_;
+  // After cache_: the registry's default entry aliases &cache_.
+  ModelRegistry registry_;
 
   mutable std::mutex benches_mu_;
   std::map<std::string, std::unique_ptr<BenchContext>> benches_;
+
+  mutable std::mutex bench_slots_mu_;
+  std::map<std::string, int> bench_inflight_;
 
   std::atomic<std::uint64_t> score_requests_{0};
   std::atomic<std::uint64_t> recover_requests_{0};
@@ -242,6 +290,7 @@ class InferenceEngine {
   std::atomic<int> inflight_{0};
   std::atomic<bool> model_healthy_{true};
   std::atomic<std::uint64_t> shed_requests_{0};
+  std::atomic<std::uint64_t> bench_shed_requests_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> degraded_recoveries_{0};
   util::WallTimer uptime_;

@@ -1,28 +1,14 @@
 #include "serve/serve_loop.h"
 
-#include <cerrno>
-#include <csignal>
-#include <cstring>
 #include <exception>
 #include <istream>
-#include <memory>
 #include <ostream>
 #include <sstream>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include <sys/socket.h>
-#include <sys/stat.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include "runtime/fault_injector.h"
 #include "runtime/latch.h"
 #include "serve/protocol.h"
-#include "util/check.h"
 #include "util/logging.h"
-#include "util/retry_eintr.h"
 #include "util/string_utils.h"
 
 namespace rebert::serve {
@@ -45,16 +31,21 @@ std::string format_stats(const EngineStats& stats) {
       << " degraded_recoveries=" << stats.degraded_recoveries
       << " faults_injected=" << stats.faults_injected
       << " uptime_seconds="
-      << util::format_double(stats.uptime_seconds, 3);
+      << util::format_double(stats.uptime_seconds, 3)
+      // Multi-model / per-bench fields come last: existing consumers match
+      // on prefixes and substrings, so growth at the tail is compatible.
+      << " models=" << stats.models
+      << " unhealthy_models=" << stats.unhealthy_models
+      << " bench_shed_requests=" << stats.bench_shed_requests;
   return out.str();
 }
 
 /// The `health` payload: one coarse status plus the gauges behind it.
 /// `overloaded` reflects this instant's budget; `degraded` the last model
-/// forward; `ready` otherwise.
+/// forward (or a registry entry that never loaded); `ready` otherwise.
 std::string format_health(const EngineStats& stats) {
   const char* status = "ready";
-  if (!stats.model_healthy) status = "degraded";
+  if (!stats.model_healthy || stats.unhealthy_models > 0) status = "degraded";
   if (stats.max_inflight > 0 && stats.inflight >= stats.max_inflight)
     status = "overloaded";
   std::ostringstream out;
@@ -63,7 +54,9 @@ std::string format_health(const EngineStats& stats) {
       << " shed_requests=" << stats.shed_requests
       << " deadline_exceeded=" << stats.deadline_exceeded
       << " degraded_recoveries=" << stats.degraded_recoveries
-      << " faults_injected=" << stats.faults_injected;
+      << " faults_injected=" << stats.faults_injected
+      << " models=" << stats.models
+      << " unhealthy_models=" << stats.unhealthy_models;
   return out.str();
 }
 
@@ -86,6 +79,24 @@ std::string single_line(std::string text) {
 }
 
 }  // namespace
+
+ServeLoop::ServeLoop(InferenceEngine& engine)
+    : engine_(engine),
+      socket_server_(SocketServer::Callbacks{
+          /*handle_line=*/[this](const std::string& line, bool* quit) {
+            return handle_line(line, quit);
+          },
+          /*is_blank=*/[](const std::string& line) {
+            return is_blank_request(parse_request(line));
+          },
+          /*overload_line=*/[this] {
+            // Count before sending, so a client that saw the refusal also
+            // sees it in stats.
+            engine_.record_shed();
+            return format_overloaded(engine_.retry_after_ms());
+          },
+          /*on_answered=*/[this] { count_request_for_snapshot(); },
+          /*on_shutdown=*/[this] { snapshot_cache(/*force=*/true); }}) {}
 
 void ServeLoop::enable_snapshots(std::string path, int every_n) {
   snapshot_path_ = std::move(path);
@@ -125,8 +136,11 @@ std::string ServeLoop::handle_line(const std::string& line, bool* quit) {
       case RequestType::kScore:
       case RequestType::kRecover: {
         // Admission first: a shed request costs one atomic decline, not a
-        // queued slot. The RAII ticket frees the slot however we leave.
-        InferenceEngine::Admission admission = engine_.try_admit();
+        // queued slot. The bench-aware overload also enforces the
+        // per-bench budget. The RAII ticket frees the slot(s) however we
+        // leave.
+        InferenceEngine::Admission admission =
+            engine_.try_admit(request.bench);
         if (!admission)
           return format_overloaded(engine_.retry_after_ms());
         runtime::CancellationToken deadline;
@@ -141,11 +155,11 @@ std::string ServeLoop::handle_line(const std::string& line, bool* quit) {
         if (request.type == RequestType::kScore) {
           return format_ok(util::format_double(
               engine_.score(request.bench, request.bit_a, request.bit_b,
-                            cancel),
+                            cancel, request.model),
               6));
         }
         const RecoverSummary summary =
-            engine_.recover(request.bench, cancel);
+            engine_.recover(request.bench, cancel, request.model);
         std::string payload = format_recover(summary);
         if (summary.degraded) payload += " degraded=structural";
         return format_ok(payload);
@@ -166,8 +180,9 @@ std::string ServeLoop::handle_line(const std::string& line, bool* quit) {
   } catch (const runtime::CancelledError&) {
     return format_error("deadline_exceeded");
   } catch (const std::exception& e) {
-    // Engine failures (unknown bench, parse error in a .bench file, ...)
-    // answer this request only; the daemon keeps serving.
+    // Engine failures (unknown bench, parse error in a .bench file, an
+    // unknown model name, ...) answer this request only; the daemon keeps
+    // serving.
     return format_error(single_line(e.what()));
   }
 }
@@ -187,142 +202,8 @@ std::size_t ServeLoop::run(std::istream& in, std::ostream& out) {
   return answered;
 }
 
-void ServeLoop::handle_connection(int fd) {
-  runtime::FaultInjector& faults = runtime::FaultInjector::global();
-  std::string buffer;
-  char chunk[4096];
-  bool quit = false;
-  while (!quit && !stopping_.load(std::memory_order_relaxed)) {
-    // A signal (e.g. the profiler's SIGPROF, or SIGTERM racing shutdown)
-    // interrupting the read must not drop a healthy connection —
-    // retry_eintr absorbs it. An injected socket.read fault simulates the
-    // hard-error path: this connection drops, the daemon keeps serving.
-    ssize_t got = -1;
-    if (!faults.maybe_errno("socket.read", EIO))
-      got = util::retry_eintr([&] {
-        return ::read(fd, chunk, sizeof(chunk));
-      });
-    if (got <= 0) break;  // EOF or hard error: drop the connection
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t newline;
-    while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (is_blank_request(parse_request(line))) continue;
-      const std::string response = handle_line(line, &quit) + "\n";
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        // MSG_NOSIGNAL: a client that disconnected mid-response must cost
-        // us this connection (EPIPE), not the whole daemon (SIGPIPE).
-        ssize_t n = -1;
-        if (!faults.maybe_errno("socket.send", EPIPE))
-          n = util::retry_eintr([&] {
-            return ::send(fd, response.data() + sent,
-                          response.size() - sent, MSG_NOSIGNAL);
-          });
-        if (n <= 0) { quit = true; break; }
-        sent += static_cast<std::size_t>(n);
-      }
-      if (sent == response.size()) count_request_for_snapshot();
-    }
-  }
-  ::close(fd);
-}
-
 void ServeLoop::run_unix_socket(const std::string& path) {
-  REBERT_CHECK_MSG(path.size() < sizeof(sockaddr_un{}.sun_path),
-                   "unix socket path too long: " + path);
-  // Only ever unlink something that is actually a socket: a path collision
-  // with a regular file (a config, a checkpoint) must fail loudly, not
-  // silently destroy the file.
-  struct stat existing;
-  if (::lstat(path.c_str(), &existing) == 0) {
-    REBERT_CHECK_MSG(S_ISSOCK(existing.st_mode),
-                     "refusing to serve on " + path +
-                         ": path exists and is not a socket");
-    ::unlink(path.c_str());
-  }
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  REBERT_CHECK_MSG(listener >= 0, "socket() failed");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listener, 16) != 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listener);
-    REBERT_CHECK_MSG(false, "cannot listen on " + path + ": " + reason);
-  }
-  listen_fd_.store(listener, std::memory_order_relaxed);
-  // Belt and braces with the MSG_NOSIGNAL sends: nothing else in this
-  // process wants SIGPIPE's default die-on-write either (a half-closed
-  // stdio pipe would otherwise kill a daemon mid-reply).
-  std::signal(SIGPIPE, SIG_IGN);
-  LOG_INFO << "serve: listening on unix socket " << path;
-
-  // One handler thread per live connection, bounded by max_connections.
-  // Finished handlers flag `done` and are joined on the accept path, so a
-  // long-lived daemon never accumulates dead threads.
-  struct Handler {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::vector<Handler> handlers;
-  const auto reap = [&handlers] {
-    for (auto it = handlers.begin(); it != handlers.end();) {
-      if (it->done->load(std::memory_order_acquire)) {
-        it->thread.join();
-        it = handlers.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    // stop() closes the listener, so a retried accept fails fast instead
-    // of blocking; EINTR alone must not end the accept loop.
-    const int fd =
-        util::retry_eintr([&] { return ::accept(listener, nullptr, nullptr); });
-    if (fd < 0) break;  // listener closed by stop(), or hard error
-    reap();
-    if (max_connections_ > 0 &&
-        static_cast<int>(handlers.size()) >= max_connections_) {
-      // Shed at the door: one advisory line, then close — no handler
-      // thread, no unbounded backlog. Count it before sending, so a
-      // client that saw the refusal also sees it in stats.
-      engine_.record_shed();
-      const std::string refusal =
-          format_overloaded(engine_.retry_after_ms()) + "\n";
-      (void)util::retry_eintr([&] {
-        return ::send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
-      });
-      ::close(fd);
-      continue;
-    }
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::thread thread([this, fd, done] {
-      handle_connection(fd);
-      done->store(true, std::memory_order_release);
-    });
-    handlers.push_back({std::move(thread), std::move(done)});
-  }
-  for (Handler& handler : handlers) handler.thread.join();
-  const int open_fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
-  if (open_fd >= 0) ::close(open_fd);
-  ::unlink(path.c_str());
-  snapshot_cache(/*force=*/true);
-}
-
-void ServeLoop::stop() {
-  stopping_.store(true, std::memory_order_relaxed);
-  // Closing the listener unblocks accept(); shutdown() first so a
-  // concurrent accept returns instead of racing the close.
-  const int fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
-  if (fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
-  }
+  socket_server_.run(path);
 }
 
 }  // namespace rebert::serve

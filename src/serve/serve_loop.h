@@ -5,11 +5,12 @@
 //                           line until EOF or `quit`. What `rebert_cli
 //                           serve` uses by default, and what the tests
 //                           drive with stringstreams.
-//   * run_unix_socket(p)  — AF_UNIX stream server at path p; one handler
-//                           thread per connection, each speaking the same
-//                           line protocol. `quit` closes that connection
-//                           only; stop() (or destruction) shuts the
-//                           listener down and joins the handlers.
+//   * run_unix_socket(p)  — AF_UNIX stream server at path p (transport
+//                           provided by SocketServer; ServeLoop plugs the
+//                           engine dispatcher into its callbacks). `quit`
+//                           closes that connection only; stop() (or
+//                           destruction) shuts the listener down and joins
+//                           the handlers.
 #pragma once
 
 #include <atomic>
@@ -19,12 +20,13 @@
 #include <string>
 
 #include "serve/engine.h"
+#include "serve/socket_server.h"
 
 namespace rebert::serve {
 
 class ServeLoop {
  public:
-  explicit ServeLoop(InferenceEngine& engine) : engine_(engine) {}
+  explicit ServeLoop(InferenceEngine& engine);
 
   /// Dispatch one request line to the engine; returns the response line
   /// (without trailing newline). Sets *quit on a quit request. Exceptions
@@ -44,7 +46,7 @@ class ServeLoop {
 
   /// Ask run_unix_socket to shut down: stops accepting, closes the
   /// listener, joins connection handlers. Safe from any thread.
-  void stop();
+  void stop() { socket_server_.stop(); }
 
   /// Persist the engine's prediction cache to `path` after every
   /// `every_n` answered requests, and once more when a serving loop exits
@@ -69,17 +71,14 @@ class ServeLoop {
   /// connection arriving over the cap is told
   /// `err overloaded retry_after_ms=<n>` and closed instead of spawning a
   /// handler thread — the listener never accumulates unbounded threads.
-  void set_max_connections(int n) { max_connections_ = n; }
+  void set_max_connections(int n) { socket_server_.set_max_connections(n); }
 
  private:
-  void handle_connection(int fd);
   void count_request_for_snapshot();
 
   InferenceEngine& engine_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<int> listen_fd_{-1};
+  SocketServer socket_server_;
   int default_deadline_ms_ = 0;
-  int max_connections_ = 0;
 
   std::string snapshot_path_;
   int snapshot_every_ = 0;

@@ -1,0 +1,198 @@
+#include "serve/socket_server.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runtime/fault_injector.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/retry_eintr.h"
+
+namespace rebert::serve {
+
+SocketServer::SocketServer(Callbacks callbacks)
+    : callbacks_(std::move(callbacks)) {
+  REBERT_CHECK_MSG(static_cast<bool>(callbacks_.handle_line),
+                   "SocketServer needs a handle_line callback");
+}
+
+void SocketServer::handle_connection(int fd) {
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit && !stopping_.load(std::memory_order_relaxed)) {
+    // A signal (e.g. the profiler's SIGPROF, or SIGTERM racing shutdown)
+    // interrupting the read must not drop a healthy connection —
+    // retry_eintr absorbs it. An injected socket.read fault simulates the
+    // hard-error path: this connection drops, the daemon keeps serving.
+    ssize_t got = -1;
+    if (!faults.maybe_errno("socket.read", EIO))
+      got = util::retry_eintr([&] {
+        return ::read(fd, chunk, sizeof(chunk));
+      });
+    if (got <= 0) break;  // EOF or hard error: drop the connection
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t newline;
+    while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (callbacks_.is_blank && callbacks_.is_blank(line)) continue;
+      const std::string response = callbacks_.handle_line(line, &quit) + "\n";
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        // MSG_NOSIGNAL: a client that disconnected mid-response must cost
+        // us this connection (EPIPE), not the whole daemon (SIGPIPE).
+        ssize_t n = -1;
+        if (!faults.maybe_errno("socket.send", EPIPE))
+          n = util::retry_eintr([&] {
+            return ::send(fd, response.data() + sent,
+                          response.size() - sent, MSG_NOSIGNAL);
+          });
+        if (n <= 0) { quit = true; break; }
+        sent += static_cast<std::size_t>(n);
+      }
+      if (sent == response.size() && callbacks_.on_answered)
+        callbacks_.on_answered();
+    }
+  }
+  unregister_connection(fd);
+  ::close(fd);
+}
+
+void SocketServer::register_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.insert(fd);
+}
+
+void SocketServer::unregister_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conn_fds_.erase(fd);
+}
+
+void SocketServer::run(const std::string& path) {
+  REBERT_CHECK_MSG(path.size() < sizeof(sockaddr_un{}.sun_path),
+                   "unix socket path too long: " + path);
+  // Only ever unlink something that is actually a socket: a path collision
+  // with a regular file (a config, a checkpoint) must fail loudly, not
+  // silently destroy the file.
+  struct stat existing;
+  if (::lstat(path.c_str(), &existing) == 0) {
+    REBERT_CHECK_MSG(S_ISSOCK(existing.st_mode),
+                     "refusing to serve on " + path +
+                         ": path exists and is not a socket");
+    ::unlink(path.c_str());
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  REBERT_CHECK_MSG(listener >= 0, "socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listener);
+    REBERT_CHECK_MSG(false, "cannot listen on " + path + ": " + reason);
+  }
+  // Release-publish the listener: stop()'s acquire load then has a
+  // happens-before edge back to the socket() call above.
+  listen_fd_.store(listener, std::memory_order_release);
+  // Belt and braces with the MSG_NOSIGNAL sends: nothing else in this
+  // process wants SIGPIPE's default die-on-write either (a half-closed
+  // stdio pipe would otherwise kill a daemon mid-reply).
+  std::signal(SIGPIPE, SIG_IGN);
+  LOG_INFO << "serve: listening on unix socket " << path;
+
+  // One handler thread per live connection, bounded by max_connections.
+  // Finished handlers flag `done` and are joined on the accept path, so a
+  // long-lived daemon never accumulates dead threads.
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Handler> handlers;
+  const auto reap = [&handlers] {
+    for (auto it = handlers.begin(); it != handlers.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = handlers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // stop() closes the listener, so a retried accept fails fast instead
+    // of blocking; EINTR alone must not end the accept loop.
+    const int fd =
+        util::retry_eintr([&] { return ::accept(listener, nullptr, nullptr); });
+    if (fd < 0) break;  // listener closed by stop(), or hard error
+    reap();
+    if (max_connections_ > 0 &&
+        static_cast<int>(handlers.size()) >= max_connections_) {
+      // Shed at the door: one advisory line, then close — no handler
+      // thread, no unbounded backlog. The owner counts the shed inside
+      // overload_line(), before sending, so a client that saw the refusal
+      // also sees it in stats.
+      const std::string refusal =
+          (callbacks_.overload_line ? callbacks_.overload_line()
+                                    : std::string("err overloaded")) +
+          "\n";
+      (void)util::retry_eintr([&] {
+        return ::send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+      });
+      ::close(fd);
+      continue;
+    }
+    register_connection(fd);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, fd, done] {
+      handle_connection(fd);
+      done->store(true, std::memory_order_release);
+    });
+    handlers.push_back({std::move(thread), std::move(done)});
+  }
+  for (Handler& handler : handlers) handler.thread.join();
+  // The accept loop's own thread closes the listener — never stop(), which
+  // only shutdown()s it. Closing cross-thread would race a blocked accept
+  // on the descriptor number. The exchange is serialized with stop() under
+  // conns_mu_, so a shutdown() can never land on an already-closed fd.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    const int open_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (open_fd >= 0) ::close(open_fd);
+  }
+  ::unlink(path.c_str());
+  if (callbacks_.on_shutdown) callbacks_.on_shutdown();
+}
+
+void SocketServer::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  // shutdown() the listener — a blocked accept() returns immediately —
+  // but never close() it from here: the run() thread owns the descriptor
+  // and closes it after the accept loop exits, so accept can never race a
+  // reused fd number. The mutex serializes this against run()'s
+  // exchange-and-close, and the acquire load pairs with the release store
+  // that published the listener.
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  // Unblock every handler parked in read(): a connection a client keeps
+  // open but idle (connection pools do this by design) would otherwise
+  // wedge run()'s final join forever. shutdown(), not close() — the
+  // handler still owns the descriptor and closes it on its way out.
+  for (const int conn : conn_fds_) ::shutdown(conn, SHUT_RDWR);
+}
+
+}  // namespace rebert::serve

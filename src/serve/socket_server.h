@@ -1,0 +1,83 @@
+// SocketServer — the reusable AF_UNIX line-protocol listener.
+//
+// Owns everything transport: bind/listen (refusing to unlink a non-socket
+// path), one handler thread per connection with on-accept reaping, the
+// connection cap with a polite shed line at the door, EINTR-safe reads and
+// MSG_NOSIGNAL sends, and the socket.read / socket.send chaos sites.
+// What each line *means* is the owner's business, injected via Callbacks —
+// ServeLoop plugs in the inference engine dispatcher, the Router plugs in
+// its forwarding loop, and both get identical transport semantics (and
+// identical chaos coverage) for free.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace rebert::serve {
+
+class SocketServer {
+ public:
+  struct Callbacks {
+    /// Required. Dispatch one request line; return the response line (no
+    /// trailing newline). Set *close_connection to end this connection
+    /// after the response is sent. Must not throw — convert failures to
+    /// `err ...` lines.
+    std::function<std::string(const std::string& line,
+                              bool* close_connection)> handle_line;
+    /// Optional. True for lines to skip without a response (blank /
+    /// comment lines). Default: skip nothing.
+    std::function<bool(const std::string& line)> is_blank;
+    /// Optional. The one-line refusal sent (then the connection closed)
+    /// when a connection arrives over max_connections. Also the place to
+    /// count the shed. Default: "err overloaded".
+    std::function<std::string()> overload_line;
+    /// Optional. Invoked after each response is fully sent — cadence hooks
+    /// (cache snapshots) go here.
+    std::function<void()> on_answered;
+    /// Optional. Invoked once when run() finishes shutting down, after all
+    /// handler threads joined.
+    std::function<void()> on_shutdown;
+  };
+
+  explicit SocketServer(Callbacks callbacks);
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Cap on concurrently served connections; 0 = unlimited. Connections
+  /// over the cap get overload_line() and an immediate close — no handler
+  /// thread, no unbounded backlog.
+  void set_max_connections(int n) { max_connections_ = n; }
+
+  /// Listen on an AF_UNIX stream socket at `path` (unlinked first — but
+  /// only if it already is a socket — and on shutdown). Blocks until
+  /// stop(). Throws util::CheckError when the socket cannot be bound.
+  void run(const std::string& path);
+
+  /// End run(): stop accepting, shut down the listener (run()'s own
+  /// thread closes it), shut down every live connection (an idle client —
+  /// e.g. a pooled connection held open for reuse — must not wedge
+  /// shutdown), join the handlers. Safe from any thread, idempotent, and
+  /// honoured by a run() that has not started yet.
+  void stop();
+
+ private:
+  void handle_connection(int fd);
+  void register_connection(int fd);
+  void unregister_connection(int fd);
+
+  Callbacks callbacks_;
+  int max_connections_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  // Live accepted connections, so stop() can shutdown() blocked readers.
+  // A handler deregisters its fd BEFORE closing it, so stop() never
+  // touches a descriptor number the kernel may have reused.
+  std::mutex conns_mu_;
+  std::set<int> conn_fds_;
+};
+
+}  // namespace rebert::serve

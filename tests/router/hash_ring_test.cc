@@ -1,0 +1,182 @@
+// HashRing — the placement properties the router tier depends on:
+// determinism (two routers with the same member set route identically),
+// insertion-order independence, bounded key movement on join/leave, and
+// the no-foreign-movement guarantee (removing a node never shuffles keys
+// between survivors).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "router/hash_ring.h"
+
+namespace rebert::router {
+namespace {
+
+std::vector<std::string> test_keys(int count) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    keys.push_back("b" + std::to_string(i) + "_bench");
+  return keys;
+}
+
+TEST(HashRingTest, EmptyRingReturnsEmptyOwner) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.node_for("b03"), "");
+}
+
+TEST(HashRingTest, PlacementIsDeterministic) {
+  HashRing a;
+  HashRing b;
+  for (const char* node : {"backend0", "backend1", "backend2"}) {
+    a.add(node);
+    b.add(node);
+  }
+  for (const std::string& key : test_keys(200))
+    EXPECT_EQ(a.node_for(key), b.node_for(key)) << key;
+}
+
+TEST(HashRingTest, PlacementIgnoresInsertionOrder) {
+  HashRing forward;
+  HashRing backward;
+  forward.add("backend0");
+  forward.add("backend1");
+  forward.add("backend2");
+  backward.add("backend2");
+  backward.add("backend1");
+  backward.add("backend0");
+  for (const std::string& key : test_keys(200))
+    EXPECT_EQ(forward.node_for(key), backward.node_for(key)) << key;
+}
+
+TEST(HashRingTest, AddingTwiceIsANoOp) {
+  HashRing ring;
+  ring.add("backend0");
+  ring.add("backend0");
+  EXPECT_EQ(ring.num_nodes(), 1u);
+  ring.remove("backend0");
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.node_for("b03"), "");
+}
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.add("backend0");
+  for (const std::string& key : test_keys(50))
+    EXPECT_EQ(ring.node_for(key), "backend0");
+}
+
+TEST(HashRingTest, EveryNodeGetsAShare) {
+  HashRing ring;
+  std::map<std::string, int> share;
+  for (int n = 0; n < 4; ++n) {
+    const std::string name = "backend" + std::to_string(n);
+    ring.add(name);
+    share[name] = 0;
+  }
+  for (const std::string& key : test_keys(400)) ++share[ring.node_for(key)];
+  for (const auto& [name, count] : share)
+    EXPECT_GT(count, 0) << name << " owns no keys";
+}
+
+TEST(HashRingTest, JoinMovesAtMostTwoOverNKeys) {
+  const int kNodes = 4;  // the post-join member count N
+  HashRing ring;
+  for (int n = 0; n < kNodes - 1; ++n)
+    ring.add("backend" + std::to_string(n));
+  const std::vector<std::string> keys = test_keys(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.node_for(key);
+
+  ring.add("backend" + std::to_string(kNodes - 1));
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const std::string after = ring.node_for(key);
+    if (after != before[key]) {
+      ++moved;
+      // A key only ever moves TO the joiner, never between survivors.
+      EXPECT_EQ(after, "backend" + std::to_string(kNodes - 1)) << key;
+    }
+  }
+  EXPECT_LE(moved, static_cast<int>(keys.size()) * 2 / kNodes);
+  EXPECT_GT(moved, 0);  // the joiner must take some share
+}
+
+TEST(HashRingTest, LeaveMovesOnlyTheLeaversKeys) {
+  const int kNodes = 4;
+  HashRing ring;
+  for (int n = 0; n < kNodes; ++n) ring.add("backend" + std::to_string(n));
+  const std::vector<std::string> keys = test_keys(1000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.node_for(key);
+
+  ring.remove("backend2");
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const std::string after = ring.node_for(key);
+    if (before[key] == "backend2") {
+      EXPECT_NE(after, "backend2") << key;
+      ++moved;
+    } else {
+      // Survivors' keys must not move at all.
+      EXPECT_EQ(after, before[key]) << key;
+    }
+  }
+  EXPECT_LE(moved, static_cast<int>(keys.size()) * 2 / kNodes);
+}
+
+TEST(HashRingTest, RemoveThenReAddRestoresPlacement) {
+  HashRing ring;
+  for (int n = 0; n < 3; ++n) ring.add("backend" + std::to_string(n));
+  const std::vector<std::string> keys = test_keys(300);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.node_for(key);
+  ring.remove("backend1");
+  ring.add("backend1");
+  for (const std::string& key : keys)
+    EXPECT_EQ(ring.node_for(key), before[key]) << key;
+}
+
+TEST(HashRingTest, HashIsStable) {
+  // Pin the hash function (FNV-1a + murmur3 finalizer): silent changes
+  // would silently remap every deployed key range.
+  EXPECT_EQ(HashRing::hash(""), 17280346270528514342ULL);
+  EXPECT_EQ(HashRing::hash("a"), HashRing::hash("a"));
+  EXPECT_NE(HashRing::hash("a"), HashRing::hash("b"));
+}
+
+TEST(HashRingTest, SimilarShortKeysDoNotClusterOntoOneNode) {
+  // Bench names differ only in their last characters; raw FNV-1a maps
+  // them into a sliver of the ring and a 2-node ring then hands every
+  // bench to one backend. The avalanche finalizer must spread them.
+  HashRing ring;
+  ring.add("backend0");
+  ring.add("backend1");
+  int owned_by_zero = 0;
+  const std::vector<std::string> benches = {"b03", "b04", "b05", "b07",
+                                            "b08", "b11", "b12", "b13"};
+  for (const std::string& bench : benches)
+    if (ring.node_for(bench) == "backend0") ++owned_by_zero;
+  EXPECT_GT(owned_by_zero, 0);
+  EXPECT_LT(owned_by_zero, static_cast<int>(benches.size()));
+}
+
+TEST(HashRingTest, NodesAreSorted) {
+  HashRing ring;
+  ring.add("zeta");
+  ring.add("alpha");
+  ring.add("mid");
+  const std::vector<std::string> nodes = ring.nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], "alpha");
+  EXPECT_EQ(nodes[1], "mid");
+  EXPECT_EQ(nodes[2], "zeta");
+  EXPECT_TRUE(ring.contains("mid"));
+  EXPECT_FALSE(ring.contains("omega"));
+}
+
+}  // namespace
+}  // namespace rebert::router

@@ -1,0 +1,137 @@
+// BackendSupervisor — process lifecycle chaos: spawn, reap, restart with
+// capped backoff, and SIGTERM/SIGKILL stop. Workers are plain /bin
+// utilities so the tests exercise real fork/exec/waitpid without booting
+// an engine.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "router/supervisor.h"
+
+namespace rebert::router {
+namespace {
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// Poll poll_once() until `predicate` holds or ~timeout_ms elapsed.
+template <typename Predicate>
+bool poll_until(BackendSupervisor& supervisor, Predicate predicate,
+                int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; waited += 10) {
+    supervisor.poll_once();
+    if (predicate()) return true;
+    sleep_ms(10);
+  }
+  return predicate();
+}
+
+TEST(SupervisorTest, StartSpawnsAndStopKills) {
+  BackendSupervisor supervisor;
+  supervisor.add("sleeper", {"/bin/sleep", "30"});
+  EXPECT_EQ(supervisor.pid_of("sleeper"), -1);  // not spawned until start
+  supervisor.start();
+  const pid_t pid = supervisor.pid_of("sleeper");
+  ASSERT_GT(pid, 0);
+  EXPECT_EQ(::kill(pid, 0), 0);  // alive
+  EXPECT_EQ(supervisor.poll_once(), 0);  // nothing exited
+  EXPECT_EQ(supervisor.restarts_of("sleeper"), 0u);
+
+  supervisor.stop();
+  EXPECT_EQ(supervisor.pid_of("sleeper"), -1);
+  EXPECT_EQ(::kill(pid, 0), -1);  // reaped, no zombie left behind
+}
+
+TEST(SupervisorTest, UnknownNamesAreHarmless) {
+  BackendSupervisor supervisor;
+  EXPECT_EQ(supervisor.pid_of("nope"), -1);
+  EXPECT_EQ(supervisor.restarts_of("nope"), 0u);
+  EXPECT_EQ(supervisor.size(), 0u);
+}
+
+TEST(SupervisorTest, ExitedWorkerIsReapedAndRestartedAfterBackoff) {
+  SupervisorOptions options;
+  options.restart_backoff_ms = 50;
+  options.max_backoff_ms = 200;
+  options.healthy_uptime_ms = 60000;  // streak never resets in this test
+  BackendSupervisor supervisor(options);
+  supervisor.add("flaky", {"/bin/true"});
+  supervisor.start();
+
+  // The worker exits immediately; a poll reaps it but must NOT respawn it
+  // before the backoff has elapsed.
+  ASSERT_TRUE(poll_until(
+      supervisor, [&] { return supervisor.pid_of("flaky") == -1; }, 2000));
+  supervisor.poll_once();
+  EXPECT_EQ(supervisor.pid_of("flaky"), -1) << "respawned inside backoff";
+
+  // After the backoff it comes back, counted as a restart.
+  ASSERT_TRUE(poll_until(
+      supervisor, [&] { return supervisor.restarts_of("flaky") >= 1; },
+      2000));
+
+  // Crash-looping keeps restarting (with growing, capped delays).
+  ASSERT_TRUE(poll_until(
+      supervisor, [&] { return supervisor.restarts_of("flaky") >= 3; },
+      5000));
+  supervisor.stop();
+}
+
+TEST(SupervisorTest, ExecFailureCountsAsExit) {
+  SupervisorOptions options;
+  options.restart_backoff_ms = 20;
+  options.max_backoff_ms = 50;
+  BackendSupervisor supervisor(options);
+  supervisor.add("ghost", {"/nonexistent/binary/for/this/test"});
+  supervisor.start();
+  // The child _exit(127)s after the failed exec; the supervisor treats it
+  // like any crash: reap, back off, retry.
+  ASSERT_TRUE(poll_until(
+      supervisor, [&] { return supervisor.restarts_of("ghost") >= 1; },
+      2000));
+  supervisor.stop();
+}
+
+TEST(SupervisorTest, StopIsIdempotentAndStartRespawns) {
+  BackendSupervisor supervisor;
+  supervisor.add("sleeper", {"/bin/sleep", "30"});
+  supervisor.start();
+  const pid_t first = supervisor.pid_of("sleeper");
+  ASSERT_GT(first, 0);
+  supervisor.stop();
+  supervisor.stop();  // second stop is a no-op
+  EXPECT_EQ(supervisor.pid_of("sleeper"), -1);
+
+  supervisor.start();
+  const pid_t second = supervisor.pid_of("sleeper");
+  ASSERT_GT(second, 0);
+  EXPECT_NE(second, first);
+  supervisor.stop();
+}
+
+TEST(SupervisorTest, ManagesSeveralWorkersIndependently) {
+  SupervisorOptions options;
+  options.restart_backoff_ms = 20;
+  options.healthy_uptime_ms = 60000;
+  BackendSupervisor supervisor(options);
+  supervisor.add("stable", {"/bin/sleep", "30"});
+  supervisor.add("flaky", {"/bin/true"});
+  supervisor.start();
+  EXPECT_EQ(supervisor.size(), 2u);
+  const pid_t stable_pid = supervisor.pid_of("stable");
+  ASSERT_GT(stable_pid, 0);
+
+  ASSERT_TRUE(poll_until(
+      supervisor, [&] { return supervisor.restarts_of("flaky") >= 1; },
+      2000));
+  // The flaky worker's churn never touches the stable one.
+  EXPECT_EQ(supervisor.pid_of("stable"), stable_pid);
+  EXPECT_EQ(supervisor.restarts_of("stable"), 0u);
+  supervisor.stop();
+}
+
+}  // namespace
+}  // namespace rebert::router

@@ -396,5 +396,110 @@ TEST_F(ChaosTest, ConcurrentSocketChaosStaysWellFormed) {
   std::remove(socket_path.c_str());
 }
 
+TEST_F(ChaosTest, CacheLoadFaultsDegradeToColdStartNotCrash) {
+  // Build a genuinely good snapshot first, so the degradation below is
+  // provably the injected fault's doing, not a broken file.
+  const std::string snapshot =
+      ::testing::TempDir() + "/chaos_cache_fault.rbpc";
+  std::remove(snapshot.c_str());
+  std::vector<std::string> bits;
+  {
+    InferenceEngine writer(small_options());
+    bits = writer.bit_names("b03");
+    ASSERT_GE(bits.size(), 2u);
+    (void)writer.score("b03", bits[0], bits[1]);
+    writer.save_cache(snapshot);
+  }
+
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  for (const char* site : {"cache.load", "cache.parse"}) {
+    faults.disarm_all();
+    faults.arm(site, 1.0, 7);
+    InferenceEngine engine(small_options());
+    // The injected I/O / parse failure warms nothing and never throws —
+    // the daemon starts cold instead of dying on a corrupt snapshot.
+    EXPECT_EQ(engine.load_cache(snapshot), 0u) << site;
+    EXPECT_EQ(engine.stats().warm_entries, 0u) << site;
+    EXPECT_GT(engine.stats().faults_injected, 0u) << site;
+    // Cold start means service, not failure: scoring still answers.
+    const double score = engine.score("b03", bits[0], bits[1]);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+
+  // Control: with the faults gone the same file warm-starts fine.
+  faults.disarm_all();
+  InferenceEngine engine(small_options());
+  EXPECT_GT(engine.load_cache(snapshot), 0u);
+  std::remove(snapshot.c_str());
+}
+
+TEST_F(ChaosTest, TokenizerEncodeFaultFailsScoreButRecoverDegrades) {
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  faults.arm("tokenizer.encode", 1.0, 7);
+
+  // Bench loading tokenizes the bit universe via a different path
+  // (tokenize_bits), so construction and bit_names survive the armed
+  // encode site — only the per-request encode_pair trips.
+  InferenceEngine engine(small_options());
+  const std::vector<std::string> bits = engine.bit_names("b03");
+  ASSERT_GE(bits.size(), 2u);
+  ServeLoop loop(engine);
+  bool quit = false;
+  const std::string score =
+      loop.handle_line("score b03 " + bits[0] + " " + bits[1], &quit);
+  EXPECT_TRUE(util::starts_with(score, "err ")) << score;
+  const std::string recover = loop.handle_line("recover b03", &quit);
+  EXPECT_TRUE(util::starts_with(recover, "ok words=")) << recover;
+  EXPECT_NE(recover.find("degraded=structural"), std::string::npos)
+      << recover;
+
+  faults.disarm_all();
+  EXPECT_TRUE(util::starts_with(
+      loop.handle_line("score b03 " + bits[0] + " " + bits[1], &quit),
+      "ok "));
+}
+
+TEST_F(ChaosTest, PerBenchBudgetShedsOneBenchNotTheFleet) {
+  EngineOptions options = small_options();
+  options.max_inflight = 8;           // the global budget is not the limit
+  options.max_inflight_per_bench = 1;
+  options.retry_after_ms = 7;
+  InferenceEngine engine(options);
+  const std::vector<std::string> b03 = engine.bit_names("b03");
+  const std::vector<std::string> b04 = engine.bit_names("b04");
+  ASSERT_GE(b03.size(), 2u);
+  ASSERT_GE(b04.size(), 2u);
+  ServeLoop loop(engine);
+  bool quit = false;
+
+  {
+    // Hold b03's only per-bench slot.
+    InferenceEngine::Admission held = engine.try_admit("b03");
+    ASSERT_TRUE(static_cast<bool>(held));
+    const std::string shed = loop.handle_line(
+        "score b03 " + b03[0] + " " + b03[1], &quit);
+    EXPECT_EQ(shed, "err overloaded retry_after_ms=7");
+    // The hot bench sheds; every other bench still clears admission.
+    EXPECT_TRUE(util::starts_with(
+        loop.handle_line("score b04 " + b04[0] + " " + b04[1], &quit),
+        "ok "));
+    const EngineStats pressured = engine.stats();
+    EXPECT_EQ(pressured.bench_shed_requests, 1u);
+    EXPECT_EQ(pressured.shed_requests, 1u);  // aggregated in one counter
+    EXPECT_EQ(pressured.max_inflight_per_bench, 1);
+    const std::string stats_line = loop.handle_line("stats", &quit);
+    EXPECT_NE(stats_line.find("bench_shed_requests=1"), std::string::npos)
+        << stats_line;
+  }
+
+  // Slot released with the Admission: the same bench serves again, and a
+  // per-bench decline never leaked the global slot it briefly held.
+  EXPECT_EQ(engine.stats().inflight, 0);
+  EXPECT_TRUE(util::starts_with(
+      loop.handle_line("score b03 " + b03[0] + " " + b03[1], &quit),
+      "ok "));
+}
+
 }  // namespace
 }  // namespace rebert::serve

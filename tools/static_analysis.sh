@@ -4,6 +4,7 @@
 #
 # Usage: tools/static_analysis.sh [--skip-tidy] [--skip-sanitizers]
 #                                 [--skip-lint] [--skip-smoke]
+#                                 [--skip-sharded]
 #
 # Stages (each independently skippable):
 #   1. clang-tidy over src/ and apps/ using a compile_commands.json build.
@@ -16,9 +17,9 @@
 #      injection, admission control, deadlines, structural degradation),
 #      plus a TSan build running the `concurrency` and `chaos` labelled
 #      tests (thread pool, parallel_for, sharded cache, serve engine,
-#      socket serving, concurrent chaos storm). Any sanitizer report fails
-#      the stage (UBSan is built with -fno-sanitize-recover so findings
-#      abort).
+#      socket serving, concurrent chaos storm, client pool, router e2e,
+#      backend supervisor). Any sanitizer report fails the stage (UBSan is
+#      built with -fno-sanitize-recover so findings abort).
 #   3. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
 #      R-Index 0 and 0.4. Error-severity diagnostics fail the stage;
 #      warnings are reported but tolerated (generated circuits contain
@@ -27,6 +28,10 @@
 #      hard-failing every model forward must keep answering — recover
 #      falls back to the structural baseline and tags the response
 #      `degraded=structural`.
+#   5. Sharded-serving smoke: `rebert_cli route` supervising two serve
+#      backends behind one socket; requests relay through the router,
+#      then one backend is SIGKILLed and traffic must still be answered
+#      (reroute to the survivor, or the supervisor's respawn).
 set -u
 
 cd "$(dirname "$0")/.."
@@ -36,12 +41,14 @@ RUN_TIDY=1
 RUN_SAN=1
 RUN_LINT=1
 RUN_SMOKE=1
+RUN_SHARDED=1
 for arg in "$@"; do
   case "$arg" in
     --skip-tidy) RUN_TIDY=0 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
     --skip-lint) RUN_LINT=0 ;;
     --skip-smoke) RUN_SMOKE=0 ;;
+    --skip-sharded) RUN_SHARDED=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -154,6 +161,72 @@ if [ "$RUN_SMOKE" -eq 1 ]; then
     || { echo "FAIL: health did not report status=degraded"; SMOKE_ERRORS=$((SMOKE_ERRORS + 1)); }
   if [ "$SMOKE_ERRORS" -eq 0 ]; then
     echo "degraded serving smoke passed"
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+# ---- 5. sharded serving smoke ----------------------------------------------
+# One router socket in front of two supervised serve backends. Drive real
+# requests through the relay, SIGKILL one backend, and demand the fleet
+# keeps answering — the dead backend's key range reroutes to the survivor
+# (and the supervisor respawns the victim in the background).
+if [ "$RUN_SHARDED" -eq 1 ]; then
+  note "sharded serving smoke (route + 2 backends, one SIGKILLed)"
+  ensure_cli || exit 1
+  RWORK=$(mktemp -d)
+  RSOCK="$RWORK/router.sock"
+  SHARD_ERRORS=0
+  "$CLI" route --socket "$RSOCK" --backends 2 --scale 0.25 \
+    --max-inflight 8 > "$RWORK/route.log" 2>&1 &
+  ROUTE_PID=$!
+  # The drill kills one of two HEALTHY backends, so wait until the health
+  # prober has admitted both (children boot full engines; allow minutes).
+  READY=0
+  for _ in $(seq 1 240); do
+    if [ "$("$CLI" call --socket "$RSOCK" backends 2>/dev/null \
+        | grep -o 'healthy=1' | wc -l)" -eq 2 ]; then READY=1; break; fi
+    sleep 0.5
+  done
+  if [ "$READY" -eq 1 ]; then
+    "$CLI" call --socket "$RSOCK" recover b03 2>/dev/null \
+      | grep -q '^ok words=' \
+      || { echo "FAIL: recover b03 through the router"; SHARD_ERRORS=$((SHARD_ERRORS + 1)); }
+    BACKENDS=$("$CLI" call --socket "$RSOCK" backends 2>/dev/null)
+    echo "$BACKENDS"
+    VICTIM=$(echo "$BACKENDS" | grep -o 'name=backend1[^|]*' \
+      | grep -o 'pid=[0-9]*' | cut -d= -f2)
+    if [ -n "${VICTIM:-}" ] && [ "$VICTIM" -gt 0 ] 2>/dev/null; then
+      kill -9 "$VICTIM" 2>/dev/null
+      # The survivor answers once the prober evicts the corpse from the
+      # ring (a few probe intervals); poll rather than demand instant
+      # rerouting. --retry additionally rides out per-call shed advisories.
+      REROUTED=0
+      for _ in $(seq 1 60); do
+        if "$CLI" call --socket "$RSOCK" --retry recover b03 2>/dev/null \
+            | grep -q '^ok words='; then REROUTED=1; break; fi
+        sleep 0.5
+      done
+      [ "$REROUTED" -eq 1 ] \
+        || { echo "FAIL: recover after killing backend1"; SHARD_ERRORS=$((SHARD_ERRORS + 1)); }
+      "$CLI" call --socket "$RSOCK" stats 2>/dev/null \
+        | grep -q '^ok role=router' \
+        || { echo "FAIL: router stats unavailable after the kill"; SHARD_ERRORS=$((SHARD_ERRORS + 1)); }
+    else
+      echo "FAIL: could not parse backend1 pid from backends output"
+      SHARD_ERRORS=$((SHARD_ERRORS + 1))
+    fi
+  else
+    echo "FAIL: router fleet never became ready"
+    "$CLI" call --socket "$RSOCK" backends 2>/dev/null
+    sed -n '1,20p' "$RWORK/route.log"
+    SHARD_ERRORS=$((SHARD_ERRORS + 1))
+  fi
+  kill "$ROUTE_PID" 2>/dev/null
+  wait "$ROUTE_PID" 2>/dev/null
+  rm -rf "$RWORK"
+  if [ "$SHARD_ERRORS" -eq 0 ]; then
+    echo "sharded serving smoke passed"
   else
     FAILURES=$((FAILURES + 1))
   fi
