@@ -10,14 +10,14 @@
 
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/string_utils.h"
 
 namespace rebert::persist {
 
 namespace {
 
 std::string errno_text(int err) {
-  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
-         ")";
+  return util::errno_string(err) + " (errno " + std::to_string(err) + ")";
 }
 
 /// Directory part of `path` ("." when there is no separator) — where the

@@ -106,7 +106,7 @@ ShardedPredictionCache::Shard& ShardedPredictionCache::shard_for(
 bool ShardedPredictionCache::lookup(std::uint64_t key, double* score) const {
   Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       if (score) *score = it->second;
@@ -120,7 +120,7 @@ bool ShardedPredictionCache::lookup(std::uint64_t key, double* score) const {
 
 void ShardedPredictionCache::insert(std::uint64_t key, double score) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   // emplace keeps the first value on duplicate keys; racing inserts carry
   // identical scores (deterministic inference), so either winning is fine.
   shard.entries.emplace(key, score);
@@ -129,7 +129,7 @@ void ShardedPredictionCache::insert(std::uint64_t key, double score) {
 std::size_t ShardedPredictionCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     total += shard->entries.size();
   }
   return total;
@@ -140,7 +140,7 @@ ShardedPredictionCache::export_entries() const {
   std::vector<std::pair<std::uint64_t, double>> out;
   out.reserve(size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     out.insert(out.end(), shard->entries.begin(), shard->entries.end());
   }
   std::sort(out.begin(), out.end());
@@ -152,7 +152,7 @@ std::size_t ShardedPredictionCache::import_entries(
   std::size_t inserted = 0;
   for (const auto& [key, score] : entries) {
     Shard& shard = shard_for(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     if (shard.entries.emplace(key, score).second) ++inserted;
   }
   return inserted;
@@ -160,7 +160,7 @@ std::size_t ShardedPredictionCache::import_entries(
 
 void ShardedPredictionCache::clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     shard->entries.clear();
   }
   stats_.reset();

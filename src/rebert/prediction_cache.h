@@ -24,12 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "rebert/tokenizer.h"
+#include "util/mutex.h"
 
 namespace rebert::core {
 
@@ -147,8 +147,11 @@ class ShardedPredictionCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, double> entries;
+    // All shards share one graph node ("cache.shard"): the code never
+    // holds two shards at once, and the debug registry aborts if that
+    // discipline regresses (two same-name instances held together).
+    mutable util::Mutex mu{"cache.shard"};
+    std::unordered_map<std::uint64_t, double> entries GUARDED_BY(mu);
   };
 
   Shard& shard_for(std::uint64_t key) const;

@@ -43,7 +43,7 @@ Router::~Router() { stop_probes(); }
 
 void Router::add_backend(const std::string& name,
                          const std::string& socket_path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   REBERT_CHECK_MSG(backends_.find(name) == backends_.end(),
                    "duplicate backend '" + name + "'");
   auto backend = std::make_unique<Backend>();
@@ -58,7 +58,7 @@ void Router::add_backend(const std::string& name,
 }
 
 bool Router::drain(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = backends_.find(name);
   if (it == backends_.end()) return false;
   it->second->drained.store(true, std::memory_order_relaxed);
@@ -68,7 +68,7 @@ bool Router::drain(const std::string& name) {
 }
 
 bool Router::undrain(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = backends_.find(name);
   if (it == backends_.end()) return false;
   it->second->drained.store(false, std::memory_order_relaxed);
@@ -79,18 +79,18 @@ bool Router::undrain(const std::string& name) {
 }
 
 std::string Router::backend_for(const std::string& bench) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return ring_.node_for(bench);
 }
 
 void Router::set_backend_info(
     std::function<std::string(const std::string&)> info) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   backend_info_ = std::move(info);
 }
 
 void Router::mark_unhealthy(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = backends_.find(name);
   if (it == backends_.end()) return;
   if (!it->second->healthy.exchange(false, std::memory_order_relaxed))
@@ -105,7 +105,7 @@ void Router::mark_unhealthy(const std::string& name) {
 }
 
 void Router::revive(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = backends_.find(name);
   if (it == backends_.end()) return;
   if (it->second->healthy.exchange(true, std::memory_order_relaxed))
@@ -146,7 +146,7 @@ std::string Router::forward(const std::string& line,
   for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
     Backend* backend = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       const std::string owner = ring_.node_for(bench);
       if (!owner.empty()) backend = backends_.at(owner).get();
     }
@@ -211,7 +211,7 @@ std::string Router::handle_line(const std::string& line, bool* quit) {
 }
 
 std::string Router::format_backends() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   out << "backends=" << backends_.size();
   for (const auto& [name, backend] : backends_) {
@@ -238,7 +238,7 @@ RouterStats Router::stats() const {
   stats.backends_failed = backends_failed_.load(std::memory_order_relaxed);
   stats.backends_revived =
       backends_revived_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   stats.backends_total = static_cast<int>(backends_.size());
   for (const auto& [name, backend] : backends_) {
     (void)name;
@@ -282,7 +282,7 @@ void Router::probe_once() {
   // blocks on connect timeouts and must not stall forwarding.
   std::vector<Backend*> targets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     targets.reserve(backends_.size());
     for (auto& [name, backend] : backends_) {
       (void)name;

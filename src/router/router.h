@@ -33,7 +33,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +40,7 @@
 #include "router/hash_ring.h"
 #include "serve/client_pool.h"
 #include "serve/socket_server.h"
+#include "util/mutex.h"
 
 namespace rebert::router {
 
@@ -82,12 +82,13 @@ class Router {
 
   /// Register a backend worker reachable at `socket_path` and place it on
   /// the ring. Names must be unique; throws util::CheckError on a dup.
-  void add_backend(const std::string& name, const std::string& socket_path);
+  void add_backend(const std::string& name, const std::string& socket_path)
+      EXCLUDES(mu_);
 
   /// Remove / restore a backend's ring membership without forgetting it.
   /// Unknown names return false.
-  bool drain(const std::string& name);
-  bool undrain(const std::string& name);
+  bool drain(const std::string& name) EXCLUDES(mu_);
+  bool undrain(const std::string& name) EXCLUDES(mu_);
 
   /// Dispatch one request line: admin verbs answered locally, score and
   /// recover forwarded to the bench's ring owner. Never throws. Sets
@@ -96,12 +97,13 @@ class Router {
 
   /// The backend name currently owning `bench`, "" when the ring is empty.
   /// What the placement tests and the kill-drill assert against.
-  std::string backend_for(const std::string& bench) const;
+  std::string backend_for(const std::string& bench) const EXCLUDES(mu_);
 
   /// Extra per-backend text appended to `backends` output lines (the route
   /// CLI wires the supervisor in here so `backends` shows pid= and
   /// restarts=). Called with the backend name; return "" for nothing.
-  void set_backend_info(std::function<std::string(const std::string&)> info);
+  void set_backend_info(std::function<std::string(const std::string&)> info)
+      EXCLUDES(mu_);
 
   /// Start / stop the background health prober (no-op when
   /// probe_interval_ms <= 0). stop_probes() is idempotent and also runs on
@@ -112,9 +114,9 @@ class Router {
   /// Probe every backend once, synchronously: evict newly dead backends,
   /// revive answering ones. What the prober thread calls each tick;
   /// exposed so tests can force a transition without sleeping.
-  void probe_once();
+  void probe_once() EXCLUDES(mu_);
 
-  RouterStats stats() const;
+  RouterStats stats() const EXCLUDES(mu_);
 
   /// Serve the router protocol on an AF_UNIX socket (blocks until stop()).
   /// Also starts the prober.
@@ -131,27 +133,32 @@ class Router {
   };
 
   /// Forward `line` to the owner of `bench`, rehashing across failures.
-  std::string forward(const std::string& line, const std::string& bench);
+  std::string forward(const std::string& line, const std::string& bench)
+      EXCLUDES(mu_);
 
   /// One request over one backend's pool; retries once on a fresh socket
   /// before giving up. Returns false when the backend is unreachable.
   bool try_backend(Backend& backend, const std::string& line,
                    std::string* reply);
 
-  void mark_unhealthy(const std::string& name);
-  void revive(const std::string& name);
+  void mark_unhealthy(const std::string& name) EXCLUDES(mu_);
+  void revive(const std::string& name) EXCLUDES(mu_);
 
-  std::string format_backends() const;
-  std::string format_stats() const;
-  std::string format_health() const;
+  std::string format_backends() const EXCLUDES(mu_);
+  std::string format_stats() const EXCLUDES(mu_);
+  std::string format_health() const EXCLUDES(mu_);
 
   RouterOptions options_;
   serve::SocketServer socket_server_;
 
-  mutable std::mutex mu_;  // guards ring_ and backends_ membership
-  HashRing ring_;
-  std::map<std::string, std::unique_ptr<Backend>> backends_;
-  std::function<std::string(const std::string&)> backend_info_;
+  // Guards ring_ and backends_ *membership*; Backend objects themselves
+  // are never erased, so raw Backend* taken under the lock stay valid
+  // after it is released (forward/probe_once rely on this).
+  mutable util::Mutex mu_{"router.state"};
+  HashRing ring_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Backend>> backends_ GUARDED_BY(mu_);
+  std::function<std::string(const std::string&)> backend_info_
+      GUARDED_BY(mu_);
 
   std::thread prober_;
   std::atomic<bool> probing_{false};

@@ -22,7 +22,7 @@ BackendSupervisor::~BackendSupervisor() { stop(); }
 void BackendSupervisor::add(const std::string& name,
                             std::vector<std::string> argv) {
   REBERT_CHECK_MSG(!argv.empty(), "worker '" + name + "' needs an argv");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   REBERT_CHECK_MSG(workers_.find(name) == workers_.end(),
                    "duplicate worker '" + name + "'");
   Worker worker;
@@ -58,7 +58,7 @@ void BackendSupervisor::spawn(Worker* worker) {
 }
 
 void BackendSupervisor::start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, worker] : workers_) {
     (void)name;
     worker.want_running = true;
@@ -67,7 +67,7 @@ void BackendSupervisor::start() {
 }
 
 int BackendSupervisor::poll_once() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto now = std::chrono::steady_clock::now();
   int reaped = 0;
   for (auto& [name, worker] : workers_) {
@@ -117,7 +117,7 @@ int BackendSupervisor::poll_once() {
 void BackendSupervisor::stop() {
   std::vector<pid_t> pids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (auto& [name, worker] : workers_) {
       (void)name;
       worker.want_running = false;
@@ -146,7 +146,7 @@ void BackendSupervisor::stop() {
     int status = 0;
     ::waitpid(pid, &status, 0);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, worker] : workers_) {
     (void)name;
     worker.pid = -1;
@@ -154,19 +154,19 @@ void BackendSupervisor::stop() {
 }
 
 pid_t BackendSupervisor::pid_of(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = workers_.find(name);
   return it == workers_.end() ? -1 : it->second.pid;
 }
 
 std::uint64_t BackendSupervisor::restarts_of(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = workers_.find(name);
   return it == workers_.end() ? 0 : it->second.restarts;
 }
 
 std::size_t BackendSupervisor::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return workers_.size();
 }
 

@@ -19,10 +19,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <sys/types.h>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace rebert::router {
 
@@ -45,28 +46,29 @@ class BackendSupervisor {
 
   /// Register a worker: `argv` is the full command line (argv[0] = the
   /// binary, usually /proc/self/exe). Not spawned until start().
-  void add(const std::string& name, std::vector<std::string> argv);
+  void add(const std::string& name, std::vector<std::string> argv)
+      EXCLUDES(mu_);
 
   /// Spawn every registered worker that is not already running.
-  void start();
+  void start() EXCLUDES(mu_);
 
   /// SIGTERM (then SIGKILL after a grace period) every running worker and
   /// reap them. Idempotent; also runs on destruction.
-  void stop();
+  void stop() EXCLUDES(mu_);
 
   /// One supervision tick: reap exited workers (waitpid WNOHANG) and
   /// respawn those whose backoff has elapsed. Call from any loop cadence —
   /// delays are wall-clock based, not tick-counted. Returns the number of
   /// exits reaped. Public so tests drive supervision without a thread.
-  int poll_once();
+  int poll_once() EXCLUDES(mu_);
 
   /// The worker's current pid, or -1 when it is not running.
-  pid_t pid_of(const std::string& name) const;
+  pid_t pid_of(const std::string& name) const EXCLUDES(mu_);
 
   /// Times the worker has been respawned after an exit.
-  std::uint64_t restarts_of(const std::string& name) const;
+  std::uint64_t restarts_of(const std::string& name) const EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
 
  private:
   struct Worker {
@@ -80,11 +82,11 @@ class BackendSupervisor {
     bool want_running = false;
   };
 
-  void spawn(Worker* worker);  // mu_ held
+  void spawn(Worker* worker) REQUIRES(mu_);
 
   SupervisorOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, Worker> workers_;
+  mutable util::Mutex mu_{"supervisor.workers"};
+  std::map<std::string, Worker> workers_ GUARDED_BY(mu_);
 };
 
 }  // namespace rebert::router

@@ -48,7 +48,7 @@ void FaultInjector::arm(const std::string& site, double probability,
   REBERT_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
                    "fault probability must be in [0, 1], got " << probability);
   REBERT_CHECK_MSG(delay_ms >= 0, "fault delay must be >= 0 ms");
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Site armed;
   armed.probability = probability;
   armed.delay_ms = delay_ms;
@@ -62,13 +62,13 @@ void FaultInjector::arm(const std::string& site, double probability,
 }
 
 void FaultInjector::disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (sites_.erase(site) > 0)
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm_all() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   sites_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
   total_trips_.store(0, std::memory_order_relaxed);
@@ -102,7 +102,7 @@ bool FaultInjector::should_fail(const char* site) {
   int delay_ms = 0;
   bool tripped = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     const auto it = sites_.find(site);
     if (it == sites_.end()) return false;
     Site& armed = it->second;
@@ -133,7 +133,7 @@ bool FaultInjector::maybe_errno(const char* site, int err) {
 }
 
 std::vector<FaultInjector::SiteReport> FaultInjector::report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SiteReport> reports;
   reports.reserve(sites_.size());
   for (const auto& [name, site] : sites_) {

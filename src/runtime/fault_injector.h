@@ -28,11 +28,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace rebert::runtime {
@@ -75,10 +75,10 @@ class FaultInjector {
   /// Throws util::CheckError on an unknown site or probability outside
   /// [0, 1].
   void arm(const std::string& site, double probability, std::uint64_t seed,
-           int delay_ms = 0);
+           int delay_ms = 0) EXCLUDES(mu_);
 
-  void disarm(const std::string& site);
-  void disarm_all();
+  void disarm(const std::string& site) EXCLUDES(mu_);
+  void disarm_all() EXCLUDES(mu_);
 
   /// Parse and apply the REBERT_FAULTS grammar (see file comment). Throws
   /// util::CheckError describing the first malformed entry; entries before
@@ -87,7 +87,7 @@ class FaultInjector {
 
   /// True when the armed site trips this call. Latency-mode trips sleep
   /// here and return false. The disarmed fast path is one relaxed load.
-  bool should_fail(const char* site);
+  bool should_fail(const char* site) EXCLUDES(mu_);
 
   /// Throws InjectedFault when the site trips.
   void maybe_throw(const char* site);
@@ -106,7 +106,7 @@ class FaultInjector {
   }
 
   /// Per-site configuration and counters, armed sites only.
-  std::vector<SiteReport> report() const;
+  std::vector<SiteReport> report() const EXCLUDES(mu_);
 
  private:
   struct Site {
@@ -121,8 +121,8 @@ class FaultInjector {
   // total_trips_ is read by stats endpoints without locking.
   std::atomic<int> armed_count_{0};
   std::atomic<std::uint64_t> total_trips_{0};
-  mutable std::mutex mu_;
-  std::map<std::string, Site> sites_;
+  mutable util::Mutex mu_{"faults.sites"};
+  std::map<std::string, Site> sites_ GUARDED_BY(mu_);
 };
 
 }  // namespace rebert::runtime

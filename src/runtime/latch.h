@@ -8,10 +8,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/mutex.h"
 
 namespace rebert::runtime {
 
@@ -23,33 +23,41 @@ class Latch {
   Latch(const Latch&) = delete;
   Latch& operator=(const Latch&) = delete;
 
-  void count_down(std::int64_t n = 1) {
-    std::unique_lock<std::mutex> lock(mu_);
+  void count_down(std::int64_t n = 1) EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     count_ -= n;
     if (count_ <= 0) cv_.notify_all();
   }
 
-  bool try_wait() const {
-    std::unique_lock<std::mutex> lock(mu_);
+  bool try_wait() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return count_ <= 0;
   }
 
-  void wait() const {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ <= 0; });
+  void wait() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    while (count_ > 0) cv_.wait(mu_);
   }
 
   /// Returns true when the latch reached zero within `timeout`.
   template <typename Rep, typename Period>
-  bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const {
-    std::unique_lock<std::mutex> lock(mu_);
-    return cv_.wait_for(lock, timeout, [&] { return count_ <= 0; });
+  bool wait_for(const std::chrono::duration<Rep, Period>& timeout) const
+      EXCLUDES(mu_) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            timeout);
+    util::MutexLock lock(mu_);
+    while (count_ > 0) {
+      if (!cv_.wait_until(mu_, deadline)) return count_ <= 0;
+    }
+    return true;
   }
 
  private:
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::int64_t count_;
+  mutable util::Mutex mu_{"runtime.latch"};
+  mutable util::CondVar cv_;
+  std::int64_t count_ GUARDED_BY(mu_);
 };
 
 /// Cooperative cancellation: long-running parallel work polls requested()

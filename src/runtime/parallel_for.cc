@@ -5,10 +5,10 @@
 #include <chrono>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace rebert::runtime {
 
@@ -27,13 +27,13 @@ struct LoopState {
   const std::function<void(std::int64_t)>* body = nullptr;
   CancellationToken* cancel = nullptr;
 
-  std::mutex error_mu;
-  std::exception_ptr first_error;
+  util::Mutex error_mu{"loop.error"};
+  std::exception_ptr first_error GUARDED_BY(error_mu);
   std::atomic<bool> failed{false};
   std::atomic<bool> cancelled{false};
 
-  void record_error(std::exception_ptr error) {
-    std::lock_guard<std::mutex> lock(error_mu);
+  void record_error(std::exception_ptr error) EXCLUDES(error_mu) {
+    util::MutexLock lock(error_mu);
     if (!first_error) first_error = std::move(error);
     failed.store(true, std::memory_order_release);
   }
@@ -121,7 +121,14 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
       done->wait_for(std::chrono::milliseconds(1));
   }
 
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  // All helpers have settled (latch), but the guard discipline still
+  // applies: read the recorded error under its lock.
+  std::exception_ptr failure;
+  {
+    util::MutexLock lock(state->error_mu);
+    failure = state->first_error;
+  }
+  if (failure) std::rethrow_exception(failure);
   if (state->cancelled.load(std::memory_order_acquire))
     throw CancelledError();
 }

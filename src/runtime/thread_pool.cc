@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -35,7 +35,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -45,7 +45,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 bool ThreadPool::try_run_one() {
   std::packaged_task<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -55,7 +55,7 @@ bool ThreadPool::try_run_one() {
 }
 
 std::size_t ThreadPool::queued() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -63,8 +63,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -13,13 +13,13 @@
 //     semantics), so submitted work is never silently dropped.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace rebert::runtime {
 
@@ -37,24 +37,24 @@ class ThreadPool {
 
   /// Enqueue a task; the future resolves when it ran (or rethrows what it
   /// threw). Safe to call from worker threads.
-  std::future<void> submit(std::function<void()> fn);
+  std::future<void> submit(std::function<void()> fn) EXCLUDES(mu_);
 
   /// Run one queued task on the calling thread if any is ready. Returns
   /// false when the queue was empty. Used by waiters to help drain the
   /// queue instead of blocking idle.
-  bool try_run_one();
+  bool try_run_one() EXCLUDES(mu_);
 
   /// Tasks currently queued (excluding running ones); for stats/tests.
-  std::size_t queued() const;
+  std::size_t queued() const EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  mutable util::Mutex mu_{"pool.queue"};
+  util::CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rebert::runtime

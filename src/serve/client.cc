@@ -14,6 +14,7 @@
 #include "serve/protocol.h"
 #include "util/check.h"
 #include "util/retry_eintr.h"
+#include "util/string_utils.h"
 
 namespace rebert::serve {
 
@@ -82,7 +83,7 @@ std::string Client::request(const std::string& line) {
                     MSG_NOSIGNAL);
     });
     REBERT_CHECK_MSG(n > 0, "serve client: send to " + path_ + " failed: " +
-                                std::strerror(errno));
+                                util::errno_string(errno));
     sent += static_cast<std::size_t>(n);
   }
   return read_line();

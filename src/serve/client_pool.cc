@@ -60,7 +60,7 @@ ClientPool::ClientPool(std::string socket_path, ClientOptions options,
 
 ClientPool::Lease ClientPool::acquire() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!idle_.empty()) {
       std::unique_ptr<Client> client = std::move(idle_.back());
       idle_.pop_back();
@@ -75,20 +75,20 @@ ClientPool::Lease ClientPool::acquire_fresh() {
   auto client = std::make_unique<Client>(path_, options_);
   if (!client->connect()) return Lease();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++created_;
   }
   return Lease(this, std::move(client));
 }
 
 void ClientPool::clear_idle() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   idle_.clear();
 }
 
 void ClientPool::give_back(std::unique_ptr<Client> client,
                            std::uint64_t new_retries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   retries_ += new_retries;
   if (idle_.size() < max_idle_)
     idle_.push_back(std::move(client));
@@ -96,33 +96,33 @@ void ClientPool::give_back(std::unique_ptr<Client> client,
 }
 
 void ClientPool::count_discard(std::uint64_t new_retries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   retries_ += new_retries;
   ++discarded_;
 }
 
 std::size_t ClientPool::idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return idle_.size();
 }
 
 std::uint64_t ClientPool::created() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return created_;
 }
 
 std::uint64_t ClientPool::reused() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return reused_;
 }
 
 std::uint64_t ClientPool::discarded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return discarded_;
 }
 
 std::uint64_t ClientPool::retries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return retries_;
 }
 

@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/client.h"
+#include "util/mutex.h"
 
 namespace rebert::serve {
 
@@ -75,39 +75,40 @@ class ClientPool {
   /// when one exists and dialing a new one otherwise. The Lease is falsy
   /// when the daemon could not be reached within the ClientOptions
   /// connect budget.
-  Lease acquire();
+  Lease acquire() EXCLUDES(mu_);
 
   /// Like acquire(), but always dials a brand-new connection — the
   /// router's "retry on a fresh socket" path after a pooled connection
   /// turned out to be stale.
-  Lease acquire_fresh();
+  Lease acquire_fresh() EXCLUDES(mu_);
 
   /// Close every idle connection now (leased clients are unaffected).
-  void clear_idle();
+  void clear_idle() EXCLUDES(mu_);
 
   const std::string& socket_path() const { return path_; }
-  std::size_t idle() const;
-  std::uint64_t created() const;
-  std::uint64_t reused() const;
-  std::uint64_t discarded() const;
+  std::size_t idle() const EXCLUDES(mu_);
+  std::uint64_t created() const EXCLUDES(mu_);
+  std::uint64_t reused() const EXCLUDES(mu_);
+  std::uint64_t discarded() const EXCLUDES(mu_);
   /// Overload retries performed by clients of this pool, aggregated as
   /// leases are returned — what the load generators report.
-  std::uint64_t retries() const;
+  std::uint64_t retries() const EXCLUDES(mu_);
 
  private:
-  void give_back(std::unique_ptr<Client> client, std::uint64_t new_retries);
-  void count_discard(std::uint64_t new_retries);
+  void give_back(std::unique_ptr<Client> client, std::uint64_t new_retries)
+      EXCLUDES(mu_);
+  void count_discard(std::uint64_t new_retries) EXCLUDES(mu_);
 
   std::string path_;
   ClientOptions options_;
   std::size_t max_idle_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Client>> idle_;
-  std::uint64_t created_ = 0;
-  std::uint64_t reused_ = 0;
-  std::uint64_t discarded_ = 0;
-  std::uint64_t retries_ = 0;
+  mutable util::Mutex mu_{"client_pool"};
+  std::vector<std::unique_ptr<Client>> idle_ GUARDED_BY(mu_);
+  std::uint64_t created_ GUARDED_BY(mu_) = 0;
+  std::uint64_t reused_ GUARDED_BY(mu_) = 0;
+  std::uint64_t discarded_ GUARDED_BY(mu_) = 0;
+  std::uint64_t retries_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rebert::serve

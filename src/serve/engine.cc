@@ -62,7 +62,7 @@ InferenceEngine::InferenceEngine(EngineOptions options)
 
 const InferenceEngine::BenchContext& InferenceEngine::bench(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(benches_mu_);
+  util::MutexLock lock(benches_mu_);
   auto it = benches_.find(name);
   if (it != benches_.end()) return *it->second;
 
@@ -135,7 +135,7 @@ InferenceEngine::Admission InferenceEngine::try_admit(
   // `admission`, which returns the already-taken global slot.
   const int bench_budget = options_.max_inflight_per_bench;
   if (bench_budget >= 1 && !bench.empty()) {
-    std::lock_guard<std::mutex> lock(bench_slots_mu_);
+    util::MutexLock lock(bench_slots_mu_);
     int& count = bench_inflight_[bench];
     if (count >= bench_budget) {
       bench_shed_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -149,7 +149,7 @@ InferenceEngine::Admission InferenceEngine::try_admit(
 }
 
 void InferenceEngine::release_bench_slot(const std::string& bench) {
-  std::lock_guard<std::mutex> lock(bench_slots_mu_);
+  util::MutexLock lock(bench_slots_mu_);
   auto it = bench_inflight_.find(bench);
   if (it != bench_inflight_.end() && --it->second <= 0)
     bench_inflight_.erase(it);
@@ -361,7 +361,7 @@ EngineStats InferenceEngine::stats() const {
   stats.cache_entries = cache_.size();
   stats.warm_entries = warm_entries_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(benches_mu_);
+    util::MutexLock lock(benches_mu_);
     stats.benches_loaded = benches_.size();
   }
   stats.uptime_seconds = uptime_.seconds();

@@ -36,7 +36,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +48,7 @@
 #include "runtime/latch.h"
 #include "runtime/thread_pool.h"
 #include "serve/model_registry.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace rebert::serve {
@@ -178,7 +178,7 @@ class InferenceEngine {
   /// Like try_admit(), but additionally enforces max_inflight_per_bench
   /// for `bench` (per-bench declines count in both bench_shed_requests
   /// and shed_requests). An empty bench skips the per-bench check.
-  Admission try_admit(const std::string& bench);
+  Admission try_admit(const std::string& bench) EXCLUDES(bench_slots_mu_);
 
   /// The advisory backoff to attach to shed responses.
   int retry_after_ms() const { return options_.retry_after_ms; }
@@ -261,13 +261,16 @@ class InferenceEngine {
   };
 
   /// Resolve a bench name to its context, loading it on first use.
-  /// The returned reference stays valid for the engine's lifetime.
-  const BenchContext& bench(const std::string& name);
+  /// The returned reference stays valid for the engine's lifetime (contexts
+  /// are heap-allocated and never erased, so the pointee is safely read
+  /// outside benches_mu_ once returned).
+  const BenchContext& bench(const std::string& name) EXCLUDES(benches_mu_);
 
   int bit_index(const BenchContext& context, const std::string& bench,
                 const std::string& bit) const;
 
-  void release_bench_slot(const std::string& bench);
+  void release_bench_slot(const std::string& bench)
+      EXCLUDES(bench_slots_mu_);
 
   EngineOptions options_;
   core::Tokenizer tokenizer_;
@@ -278,11 +281,12 @@ class InferenceEngine {
   // After cache_: the registry's default entry aliases &cache_.
   ModelRegistry registry_;
 
-  mutable std::mutex benches_mu_;
-  std::map<std::string, std::unique_ptr<BenchContext>> benches_;
+  mutable util::Mutex benches_mu_{"engine.benches"};
+  std::map<std::string, std::unique_ptr<BenchContext>> benches_
+      GUARDED_BY(benches_mu_);
 
-  mutable std::mutex bench_slots_mu_;
-  std::map<std::string, int> bench_inflight_;
+  mutable util::Mutex bench_slots_mu_{"engine.bench_slots"};
+  std::map<std::string, int> bench_inflight_ GUARDED_BY(bench_slots_mu_);
 
   std::atomic<std::uint64_t> score_requests_{0};
   std::atomic<std::uint64_t> recover_requests_{0};

@@ -105,13 +105,14 @@ void ServeLoop::enable_snapshots(std::string path, int every_n) {
 
 void ServeLoop::snapshot_cache(bool force) {
   if (snapshot_path_.empty()) return;
-  std::unique_lock<std::mutex> lock(snapshot_mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  if (!snapshot_mu_.try_lock()) {
     // Another thread is mid-save. A cadence save can skip (the next one
     // covers it); a shutdown save must land, so wait our turn.
     if (!force) return;
-    lock.lock();
+    snapshot_mu_.lock();
   }
+  // Both branches above join holding snapshot_mu_; everything that can
+  // throw is caught before the unlock.
   try {
     engine_.save_cache(snapshot_path_);
     LOG_DEBUG << "serve: cache snapshot written to " << snapshot_path_;
@@ -119,6 +120,7 @@ void ServeLoop::snapshot_cache(bool force) {
     LOG_WARN << "serve: cache snapshot to " << snapshot_path_
              << " failed: " << e.what();
   }
+  snapshot_mu_.unlock();
 }
 
 void ServeLoop::count_request_for_snapshot() {

@@ -16,11 +16,11 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 
 #include "serve/engine.h"
 #include "serve/socket_server.h"
+#include "util/mutex.h"
 
 namespace rebert::serve {
 
@@ -60,7 +60,7 @@ class ServeLoop {
   /// callers coalesce: a cadence-triggered save that finds another save in
   /// flight skips instead of queueing. Save failures are logged, never
   /// thrown — losing a snapshot must not take down serving.
-  void snapshot_cache(bool force);
+  void snapshot_cache(bool force) EXCLUDES(snapshot_mu_);
 
   /// Default deadline applied to score/recover requests that carry no
   /// deadline_ms field of their own; 0 (the default) imposes none. An
@@ -83,7 +83,7 @@ class ServeLoop {
   std::string snapshot_path_;
   int snapshot_every_ = 0;
   std::atomic<std::uint64_t> answered_since_snapshot_{0};
-  std::mutex snapshot_mu_;  // serializes actual saves
+  util::Mutex snapshot_mu_{"serve.snapshot"};  // serializes actual saves
 };
 
 }  // namespace rebert::serve

@@ -17,6 +17,7 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/retry_eintr.h"
+#include "util/string_utils.h"
 
 namespace rebert::serve {
 
@@ -71,12 +72,18 @@ void SocketServer::handle_connection(int fd) {
 }
 
 void SocketServer::register_connection(int fd) {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  util::MutexLock lock(conns_mu_);
   conn_fds_.insert(fd);
+  // stop() may have run between accept() returning this fd and the insert
+  // above — its shutdown() sweep iterated conn_fds_ without us, so the
+  // handler would block in read() and wedge run()'s final join. The mutex
+  // orders the two: either stop() saw our fd in its sweep, or we see
+  // stopping_ here and shut the fd down ourselves.
+  if (stopping_.load(std::memory_order_relaxed)) ::shutdown(fd, SHUT_RDWR);
 }
 
 void SocketServer::unregister_connection(int fd) {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  util::MutexLock lock(conns_mu_);
   conn_fds_.erase(fd);
 }
 
@@ -101,7 +108,7 @@ void SocketServer::run(const std::string& path) {
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
       ::listen(listener, 16) != 0) {
-    const std::string reason = std::strerror(errno);
+    const std::string reason = util::errno_string(errno);
     ::close(listener);
     REBERT_CHECK_MSG(false, "cannot listen on " + path + ": " + reason);
   }
@@ -169,7 +176,7 @@ void SocketServer::run(const std::string& path) {
   // on the descriptor number. The exchange is serialized with stop() under
   // conns_mu_, so a shutdown() can never land on an already-closed fd.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     const int open_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
     if (open_fd >= 0) ::close(open_fd);
   }
@@ -179,7 +186,7 @@ void SocketServer::run(const std::string& path) {
 
 void SocketServer::stop() {
   stopping_.store(true, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  util::MutexLock lock(conns_mu_);
   // shutdown() the listener — a blocked accept() returns immediately —
   // but never close() it from here: the run() thread owns the descriptor
   // and closes it after the accept loop exits, so accept can never race a

@@ -12,9 +12,10 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <string>
+
+#include "util/mutex.h"
 
 namespace rebert::serve {
 
@@ -62,12 +63,12 @@ class SocketServer {
   /// e.g. a pooled connection held open for reuse — must not wedge
   /// shutdown), join the handlers. Safe from any thread, idempotent, and
   /// honoured by a run() that has not started yet.
-  void stop();
+  void stop() EXCLUDES(conns_mu_);
 
  private:
   void handle_connection(int fd);
-  void register_connection(int fd);
-  void unregister_connection(int fd);
+  void register_connection(int fd) EXCLUDES(conns_mu_);
+  void unregister_connection(int fd) EXCLUDES(conns_mu_);
 
   Callbacks callbacks_;
   int max_connections_ = 0;
@@ -76,8 +77,8 @@ class SocketServer {
   // Live accepted connections, so stop() can shutdown() blocked readers.
   // A handler deregisters its fd BEFORE closing it, so stop() never
   // touches a descriptor number the kernel may have reused.
-  std::mutex conns_mu_;
-  std::set<int> conn_fds_;
+  util::Mutex conns_mu_{"socket.conns"};
+  std::set<int> conn_fds_ GUARDED_BY(conns_mu_);
 };
 
 }  // namespace rebert::serve

@@ -3,8 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
+#include "util/mutex.h"
 #include "util/string_utils.h"
 
 namespace rebert::util {
@@ -20,10 +20,13 @@ std::atomic<LogLevel>& level_storage() {
   return level;
 }
 
-std::mutex& log_mutex() {
-  static std::mutex m;
-  return m;
-}
+// Constant-initialized (constexpr ctor), so logging during any other TU's
+// dynamic initialization is already serialized. util.log is the innermost
+// lock in the hierarchy: emit_log acquires nothing else, and several
+// subsystems log while holding their own lock (see DESIGN.md).
+constinit Mutex g_log_mu("util.log");
+
+Mutex& log_mutex() RETURN_CAPABILITY(g_log_mu) { return g_log_mu; }
 
 }  // namespace
 
@@ -59,7 +62,7 @@ const char* log_level_name(LogLevel level) {
 namespace detail {
 
 void emit_log(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(log_mutex());
+  MutexLock lock(log_mutex());
   std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
 }
 

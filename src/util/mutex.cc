@@ -1,0 +1,232 @@
+#include "util/mutex.h"
+
+#ifdef REBERT_ENABLE_DCHECKS
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+#endif
+
+namespace rebert::util {
+
+#ifdef REBERT_ENABLE_DCHECKS
+
+namespace {
+
+// ---- debug lock-order registry ---------------------------------------------
+//
+// A process-wide directed graph over lock *names*: edge A -> B means "some
+// thread acquired B while holding A". Deadlock potential is a cycle in that
+// graph — if A -> B and B -> A both exist, two threads can block each other
+// even though neither run so far has. Recording edges on every blocking
+// acquisition and aborting on the first cycle catches ABBA inversions on
+// any interleaving, not just the unlucky one.
+//
+// The registry's own mutex is a raw std::mutex (the one permitted use
+// outside the wrapper, together with the wrapped mu_ itself): it is a leaf
+// — the registry never acquires anything else while holding it — and it
+// must not be a rebert::Mutex, which would recurse into this very
+// bookkeeping. Diagnostics go through fprintf, never LOG_*: the logging
+// layer takes its own wrapped mutex, and the registry must stay below
+// every lock in the hierarchy.
+
+struct LockGraph {
+  std::mutex mu;
+  // edge from -> to, with a human-readable witness of the acquisition that
+  // first recorded it ("<to> acquired while holding [<held...>]").
+  std::map<std::string, std::map<std::string, std::string>> edges;
+};
+
+LockGraph& graph() {
+  static LockGraph* g = new LockGraph();  // leaked: outlives static dtors
+  return *g;
+}
+
+struct HeldEntry {
+  const Mutex* mutex;
+  const char* name;
+};
+
+// Acquisition stack of the current thread, outermost first.
+thread_local std::vector<HeldEntry> t_held;
+
+// Owner bookkeeping lives out-of-class so sizeof(Mutex) stays minimal and
+// the release layout is untouched; keyed by instance address. Guarded by
+// graph().mu.
+std::map<const Mutex*, std::thread::id>& owners() {
+  static auto* m = new std::map<const Mutex*, std::thread::id>();
+  return *m;
+}
+
+std::string held_names() {
+  std::string out = "[";
+  for (std::size_t i = 0; i < t_held.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t_held[i].name;
+  }
+  out += "]";
+  return out;
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "rebert mutex: %s; aborting\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Depth-first search for a path `from` ~> `to` in the edge map; fills
+/// `path` with the node sequence when found. Caller holds graph().mu.
+bool find_path(const std::map<std::string, std::map<std::string, std::string>>& edges,
+               const std::string& from, const std::string& to,
+               std::set<std::string>* visited,
+               std::vector<std::string>* path) {
+  if (!visited->insert(from).second) return false;
+  path->push_back(from);
+  if (from == to) return true;
+  const auto it = edges.find(from);
+  if (it != edges.end()) {
+    for (const auto& [next, witness] : it->second) {
+      (void)witness;
+      if (find_path(edges, next, to, visited, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+/// Record held -> acquired edges for a blocking acquisition of `mu`,
+/// aborting on the first cycle. Called after the real lock succeeded, so
+/// the abort message can show a consistent held stack.
+void record_ordering(const Mutex* mu) {
+  if (t_held.empty()) return;
+  const std::string acquired = mu->name();
+  LockGraph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  const std::string witness =
+      std::string(acquired) + " acquired while holding " + held_names();
+  for (const HeldEntry& held : t_held) {
+    const std::string from = held.name;
+    if (from == acquired) continue;  // same-name pair aborts in on_acquire
+    auto& out_edges = g.edges[from];
+    if (out_edges.find(acquired) != out_edges.end()) continue;  // known
+    // New edge from -> acquired: a cycle exists iff acquired ~> from
+    // already. Report the reversed chain's witnesses — the "other stack".
+    std::set<std::string> visited;
+    std::vector<std::string> path;
+    if (find_path(g.edges, acquired, from, &visited, &path)) {
+      std::string reversed;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (i > 0) reversed += "; then ";
+        reversed += g.edges[path[i]][path[i + 1]];
+      }
+      die("lock-order cycle: acquiring " + acquired + " while holding " +
+          held_names() + "; reversed by earlier acquisition: " + reversed);
+    }
+    out_edges.emplace(acquired, witness);
+  }
+}
+
+/// Held-stack and owner bookkeeping common to lock(), successful
+/// try_lock(), and CondVar reacquisition. `blocking` gates edge recording:
+/// try_lock never blocks, so it cannot contribute to a deadlock cycle.
+void on_acquire(const Mutex* mu, bool blocking) {
+  {
+    LockGraph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    owners()[mu] = std::this_thread::get_id();
+  }
+  if (blocking) record_ordering(mu);
+  t_held.push_back({mu, mu->name()});
+}
+
+void check_before_acquire(const Mutex* mu) {
+  for (const HeldEntry& held : t_held) {
+    if (held.mutex == mu)
+      die(std::string("self-deadlock: thread re-acquiring ") + mu->name() +
+          " it already holds " + held_names());
+    // Two *instances* sharing a name (e.g. two cache shards) held together
+    // have no defined order — the graph cannot tell them apart, and
+    // neither could two threads taking them in opposite instance order.
+    if (held.mutex != mu && std::string(held.name) == mu->name())
+      die(std::string("lock-order hazard: acquiring a second '") +
+          mu->name() + "' instance while one is already held " +
+          held_names());
+  }
+}
+
+void on_release(const Mutex* mu) {
+  {
+    LockGraph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    auto& owner_map = owners();
+    const auto it = owner_map.find(mu);
+    if (it == owner_map.end() || it->second != std::this_thread::get_id())
+      die(std::string("non-owner unlock: thread releasing ") + mu->name() +
+          " it does not hold " + held_names());
+    owner_map.erase(it);
+  }
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  die(std::string("non-owner unlock: ") + mu->name() +
+      " missing from this thread's held stack " + held_names());
+}
+
+}  // namespace
+
+void Mutex::lock() {
+  check_before_acquire(this);
+  mu_.lock();
+  on_acquire(this, /*blocking=*/true);
+}
+
+bool Mutex::try_lock() {
+  check_before_acquire(this);
+  if (!mu_.try_lock()) return false;
+  on_acquire(this, /*blocking=*/false);
+  return true;
+}
+
+void Mutex::unlock() {
+  on_release(this);
+  mu_.unlock();
+}
+
+#endif  // REBERT_ENABLE_DCHECKS
+
+void CondVar::wait(Mutex& mu) {
+#ifdef REBERT_ENABLE_DCHECKS
+  on_release(&mu);
+#endif
+  // Adopt the already-held native mutex so the std wait can release and
+  // reacquire it; release() afterwards keeps ownership with the caller's
+  // MutexLock.
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+#ifdef REBERT_ENABLE_DCHECKS
+  on_acquire(&mu, /*blocking=*/true);
+#endif
+}
+
+bool CondVar::wait_until(Mutex& mu,
+                         std::chrono::steady_clock::time_point deadline) {
+#ifdef REBERT_ENABLE_DCHECKS
+  on_release(&mu);
+#endif
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(native, deadline);
+  native.release();
+#ifdef REBERT_ENABLE_DCHECKS
+  on_acquire(&mu, /*blocking=*/true);
+#endif
+  return status == std::cv_status::no_timeout;
+}
+
+}  // namespace rebert::util

@@ -1,0 +1,151 @@
+// rebert::util::Mutex / MutexLock / CondVar — the only locking primitives
+// the tree may use (tools/check_annotations.sh bans raw std::mutex and
+// friends everywhere else).
+//
+// Three jobs in one wrapper:
+//
+//   1. Capability annotations. Mutex is a Clang CAPABILITY and MutexLock a
+//      SCOPED_CAPABILITY, so `-Wthread-safety` (see thread_annotations.h)
+//      can prove every GUARDED_BY / REQUIRES / EXCLUDES declaration in the
+//      tree. std::mutex is opaque to that analysis; the wrapper is what
+//      makes the locking discipline machine-checked.
+//
+//   2. Debug lock-order deadlock detection. Under REBERT_DCHECKS each
+//      Mutex carries a name and every *blocking* acquisition records an
+//      edge (held -> acquired) in a process-wide acquisition graph. The
+//      first acquisition that closes a cycle — the classic ABBA inversion
+//      — aborts immediately with both acquisition stacks' lock names, even
+//      if the interleaving that would actually deadlock never happens on
+//      this run. Self-deadlock (re-acquiring a held mutex) and non-owner
+//      unlock abort the same way. try_lock() never blocks, so it does
+//      bookkeeping but records no ordering edge.
+//
+//   3. Zero release cost. Without REBERT_DCHECKS every method inlines to
+//      the bare std::mutex call — no name, no registry, no atomics — so
+//      the serve hot path pays nothing for the debug machinery.
+//
+// Naming: pass a short hierarchical name ("engine.benches", "cache.shard")
+// — it keys the acquisition graph and is what the abort message prints.
+// Locks of the same *name* form one node: two distinct "cache.shard"
+// instances acquired while one is held would be flagged, which is exactly
+// the instance-order hazard such code would have. The lock hierarchy the
+// graph enforces is documented in DESIGN.md ("Locking discipline").
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace rebert::util {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  /// constexpr so namespace-scope mutexes are constant-initialized (no
+  /// dynamic-init order hazards for early logging).
+  constexpr explicit Mutex(const char* name = "mutex")
+#ifdef REBERT_ENABLE_DCHECKS
+      : name_(name) {
+  }
+#else
+  {
+    (void)name;
+  }
+#endif
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The primitives opt their *bodies* out of the analysis (std::mutex
+  // underneath carries no capability attributes, so the bodies cannot be
+  // proven); call sites still see ACQUIRE/RELEASE and are fully checked.
+#ifdef REBERT_ENABLE_DCHECKS
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS;
+  bool try_lock() TRY_ACQUIRE(true) NO_THREAD_SAFETY_ANALYSIS;
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS;
+  const char* name() const { return name_; }
+#else
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  bool try_lock() TRY_ACQUIRE(true) NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+  const char* name() const { return "mutex"; }
+#endif
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+#ifdef REBERT_ENABLE_DCHECKS
+  const char* name_;
+#endif
+};
+
+/// RAII lock for a scope. The SCOPED_CAPABILITY attribute tells the
+/// analysis that construction acquires `mu` and destruction releases it.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Waits take the Mutex (which the
+/// caller must hold — REQUIRES makes the analysis enforce it) rather than
+/// a lock object, so wait sites stay checkable:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(mu_);
+///
+/// Under REBERT_DCHECKS the wait keeps the deadlock registry honest: the
+/// blocking reacquisition inside wait() re-records ownership exactly like
+/// Mutex::lock(), so a non-owner-unlock or ordering violation around a
+/// wait is still caught.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, and reacquire before returning.
+  void wait(Mutex& mu) REQUIRES(mu);
+
+  /// Like wait(), but wakes at `deadline` at the latest. Returns false on
+  /// timeout (mu is held again either way).
+  bool wait_until(Mutex& mu,
+                  std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu);
+
+  /// Timed wait with a duration; returns false on timeout.
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu,
+                const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    return wait_until(mu, std::chrono::steady_clock::now() +
+                              std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  timeout));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rebert::util
+
+namespace rebert {
+// The wrapper types are spelled everywhere; promote them to the project
+// namespace so call sites read rebert::Mutex without the util:: detour.
+using util::CondVar;
+using util::Mutex;
+using util::MutexLock;
+}  // namespace rebert

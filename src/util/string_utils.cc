@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 
 namespace rebert::util {
@@ -90,6 +91,26 @@ std::string format_double(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return std::string(buf);
+}
+
+namespace {
+
+// strerror_r has two signatures — XSI returns int (0 = message in buf),
+// GNU returns char* (may point at its own static text). Overloading on
+// the result type accepts whichever this libc provides.
+[[maybe_unused]] const char* strerror_result(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* strerror_result(const char* message,
+                                             const char* /*buf*/) {
+  return message != nullptr ? message : "unknown error";
+}
+
+}  // namespace
+
+std::string errno_string(int err) {
+  char buf[256] = {};
+  return strerror_result(::strerror_r(err, buf, sizeof(buf)), buf);
 }
 
 }  // namespace rebert::util

@@ -35,4 +35,10 @@ std::string format_double(double value, int precision);
 /// uncaught std::invalid_argument.
 bool parse_int(std::string_view s, int* value);
 
+/// Thread-safe strerror: the message for `err` via strerror_r.
+/// std::strerror may return a pointer into a shared static buffer
+/// (concurrency-mt-unsafe), and every caller in the tree formats errno
+/// from multi-threaded code — connection handlers, snapshot writers.
+std::string errno_string(int err);
+
 }  // namespace rebert::util

@@ -1,0 +1,86 @@
+// Clang thread-safety capability annotations (no-ops elsewhere).
+//
+// These macros expose Clang's `-Wthread-safety` analysis (capability
+// attributes) to the codebase: state is tagged with the mutex that guards
+// it (GUARDED_BY), functions declare the locks they need (REQUIRES) or must
+// not hold (EXCLUDES), and the compiler proves — at build time, on every
+// path — that the declarations hold. GCC and MSVC compile them away, so
+// the annotations cost nothing outside the analysis build; the
+// `tools/static_analysis.sh` thread-safety stage rebuilds the tree with
+//
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis
+//
+// making the declarations a standing gate, not documentation.
+//
+// The macro set follows the LLVM reference naming
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Use them on the
+// rebert::util::Mutex wrapper (util/mutex.h) — never on raw std::mutex,
+// which the analysis cannot see through (and which
+// tools/check_annotations.sh bans outside the wrapper).
+#pragma once
+
+#if defined(__clang__)
+#define REBERT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define REBERT_THREAD_ANNOTATION(x)  // no-op: gcc / msvc
+#endif
+
+/// Class attribute: instances are capabilities (lockable objects).
+#define CAPABILITY(x) REBERT_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII objects that acquire on construction and release
+/// on destruction (MutexLock).
+#define SCOPED_CAPABILITY REBERT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member attribute: reads/writes require holding the named capability.
+#define GUARDED_BY(x) REBERT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Member attribute: the *pointee* is guarded (the pointer itself is not).
+#define PT_GUARDED_BY(x) REBERT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must already hold the capabilities.
+#define REQUIRES(...) \
+  REBERT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must hold at least shared access.
+#define REQUIRES_SHARED(...) \
+  REBERT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability (and caller must not hold).
+#define ACQUIRE(...) \
+  REBERT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  REBERT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the capability.
+#define RELEASE(...) \
+  REBERT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  REBERT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires only when returning the given value.
+#define TRY_ACQUIRE(...) \
+  REBERT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  REBERT_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capabilities (the function
+/// acquires them itself — holding on entry would self-deadlock).
+#define EXCLUDES(...) REBERT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability
+/// (mutex-getter functions).
+#define RETURN_CAPABILITY(x) REBERT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: asserts (at runtime) that the capability is held —
+/// tells the analysis to trust it from here on.
+#define ASSERT_CAPABILITY(x) REBERT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function attribute: opt this function out of the analysis. Use only for
+/// deliberate protocol violations (e.g. init/teardown single-threaded
+/// phases) and say why at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  REBERT_THREAD_ANNOTATION(no_thread_safety_analysis)

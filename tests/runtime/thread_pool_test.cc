@@ -5,13 +5,13 @@
 #include <atomic>
 #include <chrono>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "runtime/latch.h"
 #include "runtime/threads.h"
+#include "util/mutex.h"
 
 namespace rebert::runtime {
 namespace {
@@ -42,14 +42,14 @@ TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
   // The queue is unbounded, so a worker enqueueing more work must never
   // block — even on a single-worker pool where nobody else could drain it.
   std::atomic<int> inner_ran{0};
-  std::mutex mu;
+  util::Mutex mu{"test.mu"};
   std::vector<std::future<void>> inner;
   {
     ThreadPool pool(1);
     std::vector<std::future<void>> outer;
     for (int i = 0; i < 16; ++i) {
       outer.push_back(pool.submit([&] {
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         inner.push_back(pool.submit([&inner_ran] { inner_ran.fetch_add(1); }));
       }));
     }
@@ -107,7 +107,7 @@ TEST(ThreadPoolTest, StressManyProducersManyTasks) {
   std::atomic<long long> sum{0};
   ThreadPool pool(4);
   std::vector<std::future<void>> futures;
-  std::mutex mu;
+  util::Mutex mu{"test.mu"};
   // 4 external producer threads each submit 500 tasks concurrently with
   // the pool consuming them.
   std::vector<std::thread> producers;
@@ -115,7 +115,7 @@ TEST(ThreadPoolTest, StressManyProducersManyTasks) {
     producers.emplace_back([&, p] {
       for (int i = 0; i < 500; ++i) {
         auto future = pool.submit([&sum, p, i] { sum.fetch_add(p * 1000 + i); });
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         futures.push_back(std::move(future));
       }
     });

@@ -1,0 +1,164 @@
+// Death tests for the debug lock-order registry in util::Mutex.
+//
+// With REBERT_DCHECKS on, the registry must abort — naming both locks —
+// on the first ABBA inversion, on self-deadlock, and on a non-owner
+// unlock, while leaving consistent acquisition orders and try_lock
+// coalescing untouched. Without DCHECKS the same patterns must run
+// silently: the registry is compiled out and Mutex is a plain wrapper.
+//
+// Each test uses its own lock names: the acquisition graph is
+// process-wide, so a shared name would leak edges between tests.
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rebert::util {
+namespace {
+
+#ifdef REBERT_ENABLE_DCHECKS
+
+// Death tests fork; "threadsafe" re-executes the binary so the child does
+// not inherit another test's threads mid-state.
+class LockOrderDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(LockOrderDeathTest, AbbaInversionAbortsWithBothLockNames) {
+  EXPECT_DEATH(
+      {
+        Mutex a("abba.A");
+        Mutex b("abba.B");
+        {
+          MutexLock outer(a);
+          MutexLock inner(b);  // records abba.A -> abba.B
+        }
+        {
+          MutexLock outer(b);
+          MutexLock inner(a);  // cycle: abba.B -> abba.A
+        }
+      },
+      "lock-order cycle: acquiring abba.A while holding \\[abba.B\\].*"
+      "abba.B acquired while holding \\[abba.A\\]");
+}
+
+TEST_F(LockOrderDeathTest, CycleThroughIntermediateLockIsFound) {
+  // A -> B and B -> C, then C ... A: the cycle spans three nodes, so the
+  // detector must chase paths, not just direct edges.
+  EXPECT_DEATH(
+      {
+        Mutex a("chain.A");
+        Mutex b("chain.B");
+        Mutex c("chain.C");
+        {
+          MutexLock outer(a);
+          MutexLock inner(b);
+        }
+        {
+          MutexLock outer(b);
+          MutexLock inner(c);
+        }
+        {
+          MutexLock outer(c);
+          MutexLock inner(a);
+        }
+      },
+      "lock-order cycle: acquiring chain.A while holding \\[chain.C\\]");
+}
+
+TEST_F(LockOrderDeathTest, SelfDeadlockAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex m("self.M");
+        m.lock();
+        m.lock();
+      },
+      "self-deadlock: thread re-acquiring self.M");
+}
+
+TEST_F(LockOrderDeathTest, NonOwnerUnlockAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex m("orphan.M");
+        m.unlock();
+      },
+      "non-owner unlock: thread releasing orphan.M");
+}
+
+TEST_F(LockOrderDeathTest, TwoInstancesOfOneNameHeldTogetherAbort) {
+  // Same-name instances (cache shards) are one graph node; holding two at
+  // once has no defined order the graph could check, so it is banned.
+  EXPECT_DEATH(
+      {
+        Mutex first("dup.shard");
+        Mutex second("dup.shard");
+        MutexLock outer(first);
+        MutexLock inner(second);
+      },
+      "lock-order hazard: acquiring a second 'dup.shard' instance");
+}
+
+TEST(LockOrderTest, ConsistentOrderNeverAborts) {
+  Mutex a("ordered.A");
+  Mutex b("ordered.B");
+  auto take_in_order = [&] {
+    for (int i = 0; i < 100; ++i) {
+      MutexLock outer(a);
+      MutexLock inner(b);
+    }
+  };
+  std::thread other(take_in_order);
+  take_in_order();
+  other.join();
+}
+
+TEST(LockOrderTest, TryLockRecordsNoOrderingEdge) {
+  // ServeLoop::snapshot_cache coalesces on try_lock; a non-blocking
+  // acquisition cannot deadlock, so it must not poison the graph with a
+  // reversed edge.
+  Mutex a("try.A");
+  Mutex b("try.B");
+  {
+    MutexLock outer(a);
+    ASSERT_TRUE(b.try_lock());  // would be the edge try.A -> try.B
+    b.unlock();
+  }
+  {
+    MutexLock outer(b);
+    MutexLock inner(a);  // fine: no try.A -> try.B edge exists
+  }
+}
+
+#else  // !REBERT_ENABLE_DCHECKS
+
+TEST(LockOrderReleaseTest, AbbaPatternRunsSilentlyWithoutDchecks) {
+  // The registry is compiled out in release builds: the exact pattern the
+  // debug build kills must complete (single-threaded, so the inversion is
+  // a hazard, not an actual deadlock) with zero bookkeeping cost.
+  Mutex a("release.A");
+  Mutex b("release.B");
+  {
+    MutexLock outer(a);
+    MutexLock inner(b);
+  }
+  {
+    MutexLock outer(b);
+    MutexLock inner(a);
+  }
+  SUCCEED();
+}
+
+TEST(LockOrderReleaseTest, NamesCollapseInRelease) {
+  // Release Mutex stores no name; name() degrades to the generic label.
+  Mutex m("release.named");
+  EXPECT_STREQ(m.name(), "mutex");
+}
+
+#endif  // REBERT_ENABLE_DCHECKS
+
+}  // namespace
+}  // namespace rebert::util

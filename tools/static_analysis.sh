@@ -1,50 +1,72 @@
 #!/usr/bin/env bash
-# Static analysis driver: clang-tidy (when available), sanitizer test-suite
-# runs, and netlist lint over every generated benchmark.
+# Static analysis driver: annotation lint, clang-tidy, clang thread-safety
+# analysis, sanitizer test-suite runs, netlist lint over every generated
+# benchmark, and serving smoke drills.
 #
-# Usage: tools/static_analysis.sh [--skip-tidy] [--skip-sanitizers]
+# Usage: tools/static_analysis.sh [--fast]
+#                                 [--skip-annotations] [--skip-tidy]
+#                                 [--skip-thread-safety] [--skip-sanitizers]
 #                                 [--skip-lint] [--skip-smoke]
 #                                 [--skip-sharded]
 #
+# --fast runs only the cheap compile-level stages (1-3): annotation lint,
+# clang-tidy, and the -Wthread-safety build — the pre-commit loop. The full
+# run adds the sanitizer suites and the end-to-end drills.
+#
 # Stages (each independently skippable):
-#   1. clang-tidy over src/ and apps/ using a compile_commands.json build.
-#      Skipped with a notice when clang-tidy is not installed (the container
-#      image ships only gcc).
-#   2. ASan and UBSan builds of the full test suite, run under ctest, then
+#   1. tools/check_annotations.sh — bans raw std::mutex & friends outside
+#      the annotated util::Mutex wrapper (see DESIGN.md "Locking
+#      discipline").
+#   2. clang-tidy over src/ and apps/ using a compile_commands.json build
+#      (.clang-tidy enables concurrency-* with WarningsAsErrors). Skipped
+#      with a notice when clang-tidy is not installed (the container image
+#      ships only gcc).
+#   3. clang thread-safety capability analysis: a clang++ rebuild of the
+#      whole tree with -Wthread-safety -Wthread-safety-beta
+#      -Werror=thread-safety-analysis and REBERT_DCHECKS=ON, so every
+#      GUARDED_BY / REQUIRES / EXCLUDES annotation is enforced at compile
+#      time. Skipped with a notice when clang++ is not installed.
+#   4. ASan and UBSan builds of the full test suite, run under ctest, then
 #      explicit `ctest -L persist` and `ctest -L chaos` gates in the same
 #      build dirs (crash-safety suites: atomic writer, RBPC snapshots,
 #      checkpoint truncation, warm-start serving; chaos suites: fault
-#      injection, admission control, deadlines, structural degradation),
-#      plus a TSan build running the `concurrency` and `chaos` labelled
-#      tests (thread pool, parallel_for, sharded cache, serve engine,
-#      socket serving, concurrent chaos storm, client pool, router e2e,
-#      backend supervisor). Any sanitizer report fails the stage (UBSan is
-#      built with -fno-sanitize-recover so findings abort).
-#   3. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
+#      injection, admission control, deadlines, structural degradation,
+#      lock-order death tests), plus a TSan build running the `concurrency`
+#      and `chaos` labelled tests. Sanitizer builds force REBERT_DCHECKS
+#      on, so the runtime lock-order registry is armed during every run.
+#   5. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
 #      R-Index 0 and 0.4. Error-severity diagnostics fail the stage;
 #      warnings are reported but tolerated (generated circuits contain
 #      intentional dead distractor logic).
-#   4. Degraded-serving smoke: `rebert_cli serve` with REBERT_FAULTS
+#   6. Degraded-serving smoke: `rebert_cli serve` with REBERT_FAULTS
 #      hard-failing every model forward must keep answering — recover
 #      falls back to the structural baseline and tags the response
 #      `degraded=structural`.
-#   5. Sharded-serving smoke: `rebert_cli route` supervising two serve
+#   7. Sharded-serving smoke: `rebert_cli route` supervising two serve
 #      backends behind one socket; requests relay through the router,
 #      then one backend is SIGKILLed and traffic must still be answered
 #      (reroute to the survivor, or the supervisor's respawn).
+#
+# Exits non-zero when any stage FAILed; SKIPped stages (missing clang) do
+# not fail the run. A PASS/FAIL/SKIP table is printed at the end.
 set -u
 
 cd "$(dirname "$0")/.."
 ROOT=$(pwd)
 
+RUN_ANNOTATIONS=1
 RUN_TIDY=1
+RUN_TSAFETY=1
 RUN_SAN=1
 RUN_LINT=1
 RUN_SMOKE=1
 RUN_SHARDED=1
 for arg in "$@"; do
   case "$arg" in
+    --fast) RUN_SAN=0; RUN_LINT=0; RUN_SMOKE=0; RUN_SHARDED=0 ;;
+    --skip-annotations) RUN_ANNOTATIONS=0 ;;
     --skip-tidy) RUN_TIDY=0 ;;
+    --skip-thread-safety) RUN_TSAFETY=0 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
     --skip-lint) RUN_LINT=0 ;;
     --skip-smoke) RUN_SMOKE=0 ;;
@@ -55,6 +77,16 @@ done
 
 JOBS=$(nproc 2>/dev/null || echo 2)
 FAILURES=0
+
+# Stage ledger for the summary table: record <name> <PASS|FAIL|SKIP>.
+STAGE_NAMES=()
+STAGE_RESULTS=()
+record() {
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+  [ "$2" = "FAIL" ] && FAILURES=$((FAILURES + 1))
+  return 0
+}
 
 note() { printf '\n== %s ==\n' "$1"; }
 
@@ -69,23 +101,70 @@ ensure_cli() {
   CLI="$ROOT/$build/apps/rebert_cli"
 }
 
-# ---- 1. clang-tidy ---------------------------------------------------------
-if [ "$RUN_TIDY" -eq 1 ]; then
-  note "clang-tidy"
-  if command -v clang-tidy >/dev/null 2>&1; then
-    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    mapfile -t TIDY_SOURCES < <(find src apps -name '*.cc' | sort)
-    if command -v run-clang-tidy >/dev/null 2>&1; then
-      run-clang-tidy -p build-tidy -quiet "${TIDY_SOURCES[@]}" || FAILURES=$((FAILURES + 1))
-    else
-      clang-tidy -p build-tidy --quiet "${TIDY_SOURCES[@]}" || FAILURES=$((FAILURES + 1))
-    fi
+# ---- 1. annotation lint ----------------------------------------------------
+if [ "$RUN_ANNOTATIONS" -eq 1 ]; then
+  note "annotation lint (tools/check_annotations.sh)"
+  if tools/check_annotations.sh; then
+    record annotations PASS
   else
-    echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+    record annotations FAIL
   fi
 fi
 
-# ---- 2. sanitizer builds ---------------------------------------------------
+# ---- 2. clang-tidy ---------------------------------------------------------
+if [ "$RUN_TIDY" -eq 1 ]; then
+  note "clang-tidy"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    TIDY_OK=1
+    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || TIDY_OK=0
+    if [ "$TIDY_OK" -eq 1 ]; then
+      mapfile -t TIDY_SOURCES < <(find src apps -name '*.cc' | sort)
+      if command -v run-clang-tidy >/dev/null 2>&1; then
+        run-clang-tidy -p build-tidy -quiet "${TIDY_SOURCES[@]}" || TIDY_OK=0
+      else
+        clang-tidy -p build-tidy --quiet "${TIDY_SOURCES[@]}" || TIDY_OK=0
+      fi
+    fi
+    [ "$TIDY_OK" -eq 1 ] && record clang-tidy PASS || record clang-tidy FAIL
+  else
+    echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+    record clang-tidy SKIP
+  fi
+fi
+
+# ---- 3. clang thread-safety analysis ---------------------------------------
+# A full rebuild under clang with the capability analysis promoted to an
+# error: every GUARDED_BY field read without its lock, every EXCLUDES
+# violation, every unannotated acquisition fails the stage. DCHECKS on so
+# the debug registry code itself is also compiled and checked.
+if [ "$RUN_TSAFETY" -eq 1 ]; then
+  note "clang -Wthread-safety"
+  if command -v clang++ >/dev/null 2>&1; then
+    TSAFETY_OK=1
+    TSAFETY_LOG=$(mktemp)
+    cmake -B build-tsafety -S . \
+        -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+        -DREBERT_DCHECKS=ON \
+        -DCMAKE_CXX_FLAGS="-Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis" \
+        >/dev/null 2>"$TSAFETY_LOG" || TSAFETY_OK=0
+    if [ "$TSAFETY_OK" -eq 1 ]; then
+      cmake --build build-tsafety -j "$JOBS" >"$TSAFETY_LOG" 2>&1 || TSAFETY_OK=0
+    fi
+    if [ "$TSAFETY_OK" -eq 1 ]; then
+      echo "thread-safety analysis clean"
+      record thread-safety PASS
+    else
+      grep -E 'thread-safety|error' "$TSAFETY_LOG" | head -40
+      record thread-safety FAIL
+    fi
+    rm -f "$TSAFETY_LOG"
+  else
+    echo "clang++ not installed; skipping (annotations still compile as no-ops under gcc)"
+    record thread-safety SKIP
+  fi
+fi
+
+# ---- 4. sanitizer builds ---------------------------------------------------
 # run_sanitizer <sanitizer> [ctest-label]: builds the suite under the given
 # sanitizer and runs either the whole suite or only the tests carrying the
 # label (TSan runs the `concurrency` subset — its runtime slows the
@@ -94,16 +173,18 @@ run_sanitizer() {
   local san="$1"
   local label="${2:-}"
   local dir="build-$san"
+  local ok=1
   note "sanitizer: $san${label:+ (ctest -L $label)}"
-  cmake -B "$dir" -S . -DREBERT_SANITIZE="$san" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
-  cmake --build "$dir" -j "$JOBS" >/dev/null || { FAILURES=$((FAILURES + 1)); return; }
-  (cd "$dir" && ctest --output-on-failure -j "$JOBS" ${label:+-L "$label"}) || FAILURES=$((FAILURES + 1))
+  cmake -B "$dir" -S . -DREBERT_SANITIZE="$san" >/dev/null || { record "sanitizer-$san" FAIL; return; }
+  cmake --build "$dir" -j "$JOBS" >/dev/null || { record "sanitizer-$san" FAIL; return; }
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" ${label:+-L "$label"}) || ok=0
   if [ -z "$label" ]; then
     # Explicit gates: the crash-safety and chaos suites must stay green
     # under this sanitizer even if the full run above is ever narrowed.
-    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L persist) || FAILURES=$((FAILURES + 1))
-    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L chaos) || FAILURES=$((FAILURES + 1))
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L persist) || ok=0
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" -L chaos) || ok=0
   fi
+  [ "$ok" -eq 1 ] && record "sanitizer-$san" PASS || record "sanitizer-$san" FAIL
 }
 
 if [ "$RUN_SAN" -eq 1 ]; then
@@ -113,7 +194,7 @@ if [ "$RUN_SAN" -eq 1 ]; then
   run_sanitizer thread "concurrency|chaos"
 fi
 
-# ---- 3. netlist lint over generated benchmarks -----------------------------
+# ---- 5. netlist lint over generated benchmarks -----------------------------
 if [ "$RUN_LINT" -eq 1 ]; then
   note "netlist lint (b03..b18, R-Index 0 and 0.4)"
   ensure_cli || exit 1
@@ -138,12 +219,13 @@ if [ "$RUN_LINT" -eq 1 ]; then
   done
   if [ "$LINT_ERRORS" -eq 0 ]; then
     echo "all benchmarks lint clean of errors"
+    record netlist-lint PASS
   else
-    FAILURES=$((FAILURES + 1))
+    record netlist-lint FAIL
   fi
 fi
 
-# ---- 4. degraded-serving smoke ---------------------------------------------
+# ---- 6. degraded-serving smoke ---------------------------------------------
 # Arm the fault injector so every model forward fails, then demand that a
 # stdio serving session still answers: recover must come back `ok` tagged
 # `degraded=structural` (the structural baseline needs no model), and the
@@ -161,12 +243,13 @@ if [ "$RUN_SMOKE" -eq 1 ]; then
     || { echo "FAIL: health did not report status=degraded"; SMOKE_ERRORS=$((SMOKE_ERRORS + 1)); }
   if [ "$SMOKE_ERRORS" -eq 0 ]; then
     echo "degraded serving smoke passed"
+    record degraded-smoke PASS
   else
-    FAILURES=$((FAILURES + 1))
+    record degraded-smoke FAIL
   fi
 fi
 
-# ---- 5. sharded serving smoke ----------------------------------------------
+# ---- 7. sharded serving smoke ----------------------------------------------
 # One router socket in front of two supervised serve backends. Drive real
 # requests through the relay, SIGKILL one backend, and demand the fleet
 # keeps answering — the dead backend's key range reroutes to the survivor
@@ -227,12 +310,19 @@ if [ "$RUN_SHARDED" -eq 1 ]; then
   rm -rf "$RWORK"
   if [ "$SHARD_ERRORS" -eq 0 ]; then
     echo "sharded serving smoke passed"
+    record sharded-smoke PASS
   else
-    FAILURES=$((FAILURES + 1))
+    record sharded-smoke FAIL
   fi
 fi
 
+# ---- summary ---------------------------------------------------------------
 note "summary"
+printf '%-18s %s\n' "stage" "result"
+printf '%-18s %s\n' "-----" "------"
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-18s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
 if [ "$FAILURES" -eq 0 ]; then
   echo "static analysis passed"
 else
