@@ -432,6 +432,9 @@ int cmd_serve(const util::FlagParser& flags) {
   serve::ServeLoop loop(engine);
   loop.set_default_deadline_ms(flags.get_int("deadline-ms", 0));
   loop.set_max_connections(flags.get_int("max-connections", 64));
+  // --binary false turns the wire protocol away at negotiation; the text
+  // protocol is always served.
+  loop.set_accept_binary(flags.get_bool("binary", true));
   const std::string cache_file = flags.get("cache-file", "");
   if (!cache_file.empty()) {
     engine.load_cache(cache_file);  // cold start on missing/corrupt
@@ -496,6 +499,15 @@ int cmd_route(const util::FlagParser& flags) {
       pass("retry-after-ms");
       pass("deadline-ms");
       pass("max-connections");
+      pass("snapshot-every");
+      // Per-backend snapshot files: each worker persists (and, after a
+      // SIGKILL respawn, mmaps) its own shard of the cache — shared state
+      // between workers would defeat the consistent-hash partitioning.
+      const std::string cache_file = flags.get("cache-file", "");
+      if (!cache_file.empty()) {
+        argv.push_back("--cache-file");
+        argv.push_back(cache_file + ".backend" + std::to_string(i));
+      }
       supervisor.add("backend" + std::to_string(i), std::move(argv));
     }
     supervisor.start();
@@ -555,19 +567,25 @@ int cmd_route(const util::FlagParser& flags) {
 // tests and operators use instead of depending on nc/socat.
 int cmd_call(const util::FlagParser& flags) {
   const std::string socket_path = require_flag(flags, "socket");
-  bool retry = flags.get_bool("retry", false);
   std::string line;
   // The pair-wise parser turns "--retry recover b03" into retry="recover":
   // the first request token swallowed as the flag's value. A value that is
   // not a boolean token is really the start of the request — restore it and
-  // treat the flag as bare.
-  if (flags.has("retry") && !retry) {
-    const std::string v = util::to_lower(flags.get("retry", ""));
+  // treat the flag as bare. Same treatment for --binary.
+  const auto bare_flag = [&flags, &line](const char* name) {
+    if (!flags.has(name)) return false;
+    if (flags.get_bool(name, false)) return true;
+    const std::string raw = flags.get(name, "");
+    const std::string v = util::to_lower(raw);
     if (!v.empty() && v != "false" && v != "0" && v != "no" && v != "off") {
-      retry = true;
-      line = flags.get("retry", "");
+      if (!line.empty()) line += ' ';
+      line += raw;
+      return true;
     }
-  }
+    return false;  // explicit --name false
+  };
+  const bool retry = bare_flag("retry");
+  const bool binary = bare_flag("binary");
   const auto& positional = flags.positional();
   for (std::size_t i = 1; i < positional.size(); ++i) {
     if (!line.empty()) line += ' ';
@@ -577,16 +595,46 @@ int cmd_call(const util::FlagParser& flags) {
     std::fprintf(stderr, "call: no request given (try: call ... health)\n");
     return 2;
   }
-  serve::Client client(socket_path);
+  serve::ClientOptions client_options;
+  client_options.binary = binary;
+  serve::Client client(socket_path, client_options);
   if (!client.connect()) {
-    std::fprintf(stderr, "call: cannot connect to %s\n",
-                 socket_path.c_str());
+    std::fprintf(stderr, "call: cannot connect to %s%s\n",
+                 socket_path.c_str(),
+                 binary ? " (binary negotiation included)" : "");
     return 1;
   }
   const std::string response =
       retry ? client.request_with_retry(line) : client.request(line);
   std::printf("%s\n", response.c_str());
   return util::starts_with(response, "ok") ? 0 : 1;
+}
+
+// convert-snapshot: rewrite a prediction-cache snapshot between the v1
+// stream layout and the v2 mmap layout. Every load path reads both, so
+// this exists for operators pinning a fleet to one layout (v2 is what
+// save_cache writes and what O(1) warm start maps).
+int cmd_convert_snapshot(const util::FlagParser& flags) {
+  const std::string in = require_flag(flags, "in");
+  const std::string out = require_flag(flags, "out");
+  const std::string to = util::to_lower(flags.get("to", "v2"));
+  if (to != "v1" && to != "v2") {
+    std::fprintf(stderr, "--to expects v1 or v2, got '%s'\n", to.c_str());
+    return 2;
+  }
+  const persist::SnapshotLoadResult loaded = persist::load_snapshot(in);
+  if (!loaded.loaded()) {
+    std::fprintf(stderr, "convert-snapshot: cannot read %s: %s\n",
+                 in.c_str(), loaded.message.c_str());
+    return 1;
+  }
+  if (to == "v1")
+    persist::save_snapshot(loaded.records, out);
+  else
+    persist::save_snapshot_v2(loaded.records, out);
+  std::printf("convert-snapshot: %zu record(s) from %s to %s (%s)\n",
+              loaded.records.size(), in.c_str(), out.c_str(), to.c_str());
+  return 0;
 }
 
 // Scores a batch of bit pairs through the serving engine — either one
@@ -770,15 +818,18 @@ constexpr Subcommand kSubcommands[] = {
      "[--model model.bin] [--manifest models.manifest] [--scale 0.25] "
      "[--cache-file cache.rbpc] [--snapshot-every 64] [--max-inflight 0] "
      "[--max-inflight-per-bench 0] [--retry-after-ms 50] "
-     "[--deadline-ms 0] [--max-connections 64]",
+     "[--deadline-ms 0] [--max-connections 64] [--binary true|false]",
      cmd_serve},
     {"route",
      "--socket /tmp/router.sock [--backends 2 | --backend-sockets a,b] "
      "[--vnodes 64] [--probe-interval-ms 200] [+ serve flags for spawned "
-     "backends]",
+     "backends; --cache-file gives each backend <file>.backendN]",
      cmd_route},
-    {"call", "--socket /tmp/router.sock [--retry] <request tokens...>",
+    {"call",
+     "--socket /tmp/router.sock [--retry] [--binary] <request tokens...>",
      cmd_call},
+    {"convert-snapshot", "--in cache.rbpc --out cache2.rbpc [--to v2|v1]",
+     cmd_convert_snapshot},
     {"score",
      "[--bench b07] [--pairs 200 | --bits a,b] [--seed 1] "
      "[--cache-file cache.rbpc] [--model model.bin] [--threads N]",

@@ -1,0 +1,89 @@
+#include "persist/mmap_file.h"
+
+#include <cerrno>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/retry_eintr.h"
+#include "util/string_utils.h"
+
+namespace rebert::persist {
+
+MmapFile::~MmapFile() { close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(other.data_),
+      size_(other.size_),
+      open_(other.open_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.open_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    open_ = other.open_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.open_ = false;
+  }
+  return *this;
+}
+
+bool MmapFile::open(const std::string& path, std::string* error) {
+  close();
+  const int fd =
+      util::retry_eintr([&] { return ::open(path.c_str(), O_RDONLY); });
+  if (fd < 0) {
+    if (error)
+      *error = "cannot open " + path + ": " + util::errno_string(errno);
+    return false;
+  }
+  struct stat info;
+  if (::fstat(fd, &info) != 0) {
+    if (error)
+      *error = "cannot stat " + path + ": " + util::errno_string(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::size_t size = static_cast<std::size_t>(info.st_size);
+  if (size > 0) {
+    // MAP_SHARED read-only: every process mapping this artifact shares one
+    // page-cache copy. The fd can close right away — the mapping keeps the
+    // inode alive, which is also what makes atomic-rename replacement safe
+    // underneath us.
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapping == MAP_FAILED) {
+      if (error)
+        *error = "cannot mmap " + path + ": " + util::errno_string(errno);
+      ::close(fd);
+      return false;
+    }
+    data_ = static_cast<const unsigned char*>(mapping);
+  }
+  ::close(fd);
+  path_ = path;
+  size_ = size;
+  open_ = true;
+  return true;
+}
+
+void MmapFile::close() {
+  if (data_ != nullptr)
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+  path_.clear();
+}
+
+}  // namespace rebert::persist

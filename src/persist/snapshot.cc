@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "persist/atomic_file.h"
+#include "persist/mmap_snapshot.h"
 #include "util/check.h"
 
 namespace rebert::persist {
@@ -48,6 +49,37 @@ SnapshotLoadResult reject(std::string message) {
 }
 
 }  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size) {
+  Fnv1a sum;
+  sum.update(data, size);
+  return sum.value();
+}
+
+std::uint64_t fnv1a_update(std::uint64_t state, const void* data,
+                           std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= 1099511628211ULL;
+  }
+  return state;
+}
+
+std::uint64_t fnv1a_words(const void* data, std::size_t size) {
+  REBERT_CHECK_MSG(size % sizeof(std::uint64_t) == 0,
+                   "fnv1a_words needs a whole number of 8-byte words, got "
+                       << size << " bytes");
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t state = kFnv1aInit;
+  for (std::size_t i = 0; i < size; i += sizeof(std::uint64_t)) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes + i, sizeof(word));
+    state ^= word;
+    state *= 1099511628211ULL;
+  }
+  return state;
+}
 
 void save_snapshot(std::vector<CacheRecord> records, const std::string& path) {
   // Sorted records make the file a pure function of the cache contents —
@@ -99,10 +131,25 @@ SnapshotLoadResult load_snapshot(const std::string& path) {
   std::uint32_t version = 0;
   if (!read_pod(in, nullptr, &version))
     return reject(path + ": truncated header");
+  if (version == kSnapshotVersionMmap) {
+    // v2 is the mmap layout: delegate to its validator (bounds, stride,
+    // checksum, key order all proven there) and materialize its records
+    // for this stream-shaped API.
+    in.close();
+    const MmapSnapshot::OpenResult mapped = MmapSnapshot::open(path);
+    if (!mapped.loaded()) return reject(mapped.message);
+    SnapshotLoadResult result;
+    result.records.reserve(mapped.snapshot->count());
+    for (std::size_t i = 0; i < mapped.snapshot->count(); ++i)
+      result.records.push_back(mapped.snapshot->record(i));
+    result.status = SnapshotLoadStatus::kLoaded;
+    return result;
+  }
   if (version != kSnapshotVersion)
     return reject(path + ": unsupported snapshot version " +
-                  std::to_string(version) + " (this build reads " +
-                  std::to_string(kSnapshotVersion) + ")");
+                  std::to_string(version) + " (this build reads versions " +
+                  std::to_string(kSnapshotVersion) + " and " +
+                  std::to_string(kSnapshotVersionMmap) + ")");
 
   Fnv1a sum;
   std::uint64_t count = 0;

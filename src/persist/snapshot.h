@@ -34,6 +34,26 @@ using CacheRecord = std::pair<std::uint64_t, double>;
 inline constexpr char kSnapshotMagic[4] = {'R', 'B', 'P', 'C'};
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 
+/// FNV-1a over `size` bytes — the checksum every persist artifact (and
+/// the binary wire protocol) uses, exposed so the formats share one
+/// implementation and the tests can cross-check it.
+std::uint64_t fnv1a(const void* data, std::size_t size);
+
+/// Streaming form: fold `size` more bytes into a running FNV-1a state.
+/// Seed with kFnv1aInit; fnv1a(d, n) == fnv1a_update(kFnv1aInit, d, n).
+/// What writers too large to buffer (checkpoint saves) hash with.
+inline constexpr std::uint64_t kFnv1aInit = 14695981039346656037ULL;
+std::uint64_t fnv1a_update(std::uint64_t state, const void* data,
+                           std::size_t size);
+
+/// FNV-1a folded over 8-byte little-endian words instead of bytes. One
+/// multiply per word instead of eight makes validating a mapped artifact
+/// ~8× cheaper — byte-wise FNV's serial multiply chain would otherwise
+/// dominate an O(1) warm start. Only formats whose payload is a whole
+/// number of words may use it (RBPC v2's table is, by construction);
+/// `size` must be a multiple of 8.
+std::uint64_t fnv1a_words(const void* data, std::size_t size);
+
 enum class SnapshotLoadStatus {
   kLoaded,   // records filled
   kMissing,  // no file at the path (a normal first run)
@@ -53,8 +73,11 @@ struct SnapshotLoadResult {
 /// action whose failure must be loud, unlike loading.
 void save_snapshot(std::vector<CacheRecord> records, const std::string& path);
 
-/// Read and validate a snapshot. Never throws on file content: any defect
-/// yields kCorrupt (or kMissing) with a one-line diagnosis.
+/// Read and validate a snapshot, materializing its records. Reads both
+/// layouts — v1 (above) and the mmap-able v2 (mmap_snapshot.h) — so
+/// stream consumers (import into a cache, format conversion) accept any
+/// snapshot this build can write. Never throws on file content: any
+/// defect yields kCorrupt (or kMissing) with a one-line diagnosis.
 SnapshotLoadResult load_snapshot(const std::string& path);
 
 }  // namespace rebert::persist

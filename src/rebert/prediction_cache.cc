@@ -114,6 +114,14 @@ bool ShardedPredictionCache::lookup(std::uint64_t key, double* score) const {
       return true;
     }
   }
+  // Shards hold what this process learned; the warm tier holds what a
+  // snapshot knew. A tier hit is a real cache hit — the caller skips the
+  // forward and never inserts, so warmed keys stay tier-only.
+  const ScoreTier* tier = warm_tier_.load(std::memory_order_acquire);
+  if (tier != nullptr && tier->lookup(key, score)) {
+    stats_.record_hit();
+    return true;
+  }
   stats_.record_miss();
   return false;
 }
@@ -132,6 +140,8 @@ std::size_t ShardedPredictionCache::size() const {
     util::MutexLock lock(shard->mu);
     total += shard->entries.size();
   }
+  const ScoreTier* tier = warm_tier_.load(std::memory_order_acquire);
+  if (tier != nullptr) total += tier->size();
   return total;
 }
 
@@ -144,7 +154,34 @@ ShardedPredictionCache::export_entries() const {
     out.insert(out.end(), shard->entries.begin(), shard->entries.end());
   }
   std::sort(out.begin(), out.end());
+  // Merge the warm tier underneath: shard entries win on key collision
+  // (they are this process's own results; on collision the values are
+  // identical anyway — inference is deterministic).
+  const ScoreTier* tier = warm_tier_.load(std::memory_order_acquire);
+  if (tier != nullptr) {
+    std::vector<std::pair<std::uint64_t, double>> tier_entries;
+    tier->append_entries(&tier_entries);
+    const std::size_t shard_end = out.size();
+    for (const auto& entry : tier_entries) {
+      const auto at = std::lower_bound(
+          out.begin(), out.begin() + static_cast<std::ptrdiff_t>(shard_end),
+          entry.first, [](const std::pair<std::uint64_t, double>& have,
+                          std::uint64_t key) { return have.first < key; });
+      if (at == out.begin() + static_cast<std::ptrdiff_t>(shard_end) ||
+          at->first != entry.first)
+        out.push_back(entry);
+    }
+    std::sort(out.begin(), out.end());
+  }
   return out;
+}
+
+void ShardedPredictionCache::attach_warm_tier(
+    std::shared_ptr<const ScoreTier> tier) {
+  util::MutexLock lock(tier_mu_);
+  const ScoreTier* raw = tier.get();
+  if (tier != nullptr) tier_owners_.push_back(std::move(tier));
+  warm_tier_.store(raw, std::memory_order_release);
 }
 
 std::size_t ShardedPredictionCache::import_entries(
@@ -163,6 +200,9 @@ void ShardedPredictionCache::clear() {
     util::MutexLock lock(shard->mu);
     shard->entries.clear();
   }
+  // Detach (but keep alive) any warm tier: a concurrent reader may still
+  // hold the old pointer, and the owners vector guarantees its pointee.
+  warm_tier_.store(nullptr, std::memory_order_release);
   stats_.reset();
 }
 

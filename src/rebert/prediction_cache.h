@@ -83,6 +83,27 @@ class CacheStats {
 
 }  // namespace detail
 
+/// A read-only score source layered beneath ShardedPredictionCache's
+/// mutable shards — the hook the zero-copy warm start plugs into: a
+/// mapped RBPC v2 snapshot (persist/mmap_snapshot.h) implements this and
+/// serves historical scores straight off its mapping, so a restarted
+/// engine is warm without materializing a single record. Implementations
+/// must be safe for concurrent lookup() calls and immutable for the
+/// attachment's lifetime.
+class ScoreTier {
+ public:
+  virtual ~ScoreTier() = default;
+
+  virtual bool lookup(std::uint64_t key, double* score) const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Append every record (sorted by key) to *out — what export/merge
+  /// paths use so snapshots taken from a warm cache keep the tier's
+  /// entries.
+  virtual void append_entries(
+      std::vector<std::pair<std::uint64_t, double>>* out) const = 0;
+};
+
 class PredictionCache {
  public:
   /// Order-sensitive key over both sequences' tokens and tree codes
@@ -143,7 +164,21 @@ class ShardedPredictionCache {
   std::size_t import_entries(
       const std::vector<std::pair<std::uint64_t, double>>& entries);
 
-  void clear();
+  /// Attach a read-only warm tier consulted after a shard miss (a tier
+  /// hit counts as a cache hit, so warmed keys are never re-scored or
+  /// re-inserted). Replaces any previous tier; earlier tiers stay alive
+  /// until the cache dies, so a concurrent lookup never races a teardown.
+  /// size() and export_entries() include the tier's records.
+  void attach_warm_tier(std::shared_ptr<const ScoreTier> tier)
+      EXCLUDES(tier_mu_);
+
+  /// The currently attached tier (nullptr when none) — for tests and
+  /// stats plumbing.
+  const ScoreTier* warm_tier() const {
+    return warm_tier_.load(std::memory_order_acquire);
+  }
+
+  void clear() EXCLUDES(tier_mu_);
 
  private:
   struct Shard {
@@ -159,6 +194,15 @@ class ShardedPredictionCache {
   mutable detail::CacheStats stats_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t shard_mask_ = 0;
+
+  // The raw pointer is the lock-free read path (acquire pairs with the
+  // release in attach_warm_tier); the owners vector keeps every tier ever
+  // attached alive, so a reader that loaded a pointer can never see its
+  // pointee destroyed.
+  std::atomic<const ScoreTier*> warm_tier_{nullptr};
+  mutable util::Mutex tier_mu_{"cache.tier"};
+  std::vector<std::shared_ptr<const ScoreTier>> tier_owners_
+      GUARDED_BY(tier_mu_);
 };
 
 /// Hash helper (FNV-1a over ints), exposed for tests.

@@ -36,7 +36,10 @@ Router::Router(RouterOptions options)
             return serve::format_overloaded(options_.retry_after_ms);
           },
           /*on_answered=*/nullptr,
-          /*on_shutdown=*/nullptr}),
+          /*on_shutdown=*/nullptr,
+          /*handle_frame=*/[this](const wire::Frame& frame, bool* close) {
+            return handle_frame(frame, close);
+          }}),
       ring_(options_.vnodes) {}
 
 Router::~Router() { stop_probes(); }
@@ -51,6 +54,13 @@ void Router::add_backend(const std::string& name,
   backend->socket_path = socket_path;
   backend->pool = std::make_unique<serve::ClientPool>(
       socket_path, options_.client, options_.pool_max_idle);
+  // A second pool of binary-negotiated connections for frame relay; built
+  // lazily on first use like any pooled connection, so a text-only backend
+  // deployment never pays for it.
+  serve::ClientOptions wire_options = options_.client;
+  wire_options.binary = true;
+  backend->wire_pool = std::make_unique<serve::ClientPool>(
+      socket_path, wire_options, options_.pool_max_idle);
   backends_.emplace(name, std::move(backend));
   ring_.add(name);
   LOG_INFO << "router: backend " << name << " at " << socket_path
@@ -99,6 +109,7 @@ void Router::mark_unhealthy(const std::string& name) {
   // Pooled connections to a dead backend are all stale; drop them so a
   // revival starts from fresh sockets.
   it->second->pool->clear_idle();
+  it->second->wire_pool->clear_idle();
   backends_failed_.fetch_add(1, std::memory_order_relaxed);
   LOG_WARN << "router: backend " << name
            << " marked unhealthy; ring rebalanced";
@@ -141,6 +152,30 @@ bool Router::try_backend(Backend& backend, const std::string& line,
   }
 }
 
+bool Router::try_backend_frame(Backend& backend, const std::string& raw,
+                               std::string* reply_frame) {
+  serve::ClientPool::Lease lease = backend.wire_pool->acquire();
+  if (lease) {
+    try {
+      *reply_frame = lease->request_frame(raw).raw;
+      return true;
+    } catch (const std::exception&) {
+      // Same stale-vs-dead discipline as the text path: one fresh socket
+      // (with a fresh hello handshake) decides before the ring rebalances.
+      lease.discard();
+    }
+  }
+  serve::ClientPool::Lease fresh = backend.wire_pool->acquire_fresh();
+  if (!fresh) return false;
+  try {
+    *reply_frame = fresh->request_frame(raw).raw;
+    return true;
+  } catch (const std::exception&) {
+    fresh.discard();
+    return false;
+  }
+}
+
 std::string Router::forward(const std::string& line,
                             const std::string& bench) {
   for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
@@ -162,6 +197,71 @@ std::string Router::forward(const std::string& line,
   no_backend_errors_.fetch_add(1, std::memory_order_relaxed);
   return serve::format_error("no_backend retry_after_ms=" +
                              std::to_string(options_.retry_after_ms));
+}
+
+std::string Router::forward_frame(const std::string& raw,
+                                  const std::string& bench,
+                                  wire::Verb verb) {
+  for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
+    Backend* backend = nullptr;
+    {
+      util::MutexLock lock(mu_);
+      const std::string owner = ring_.node_for(bench);
+      if (!owner.empty()) backend = backends_.at(owner).get();
+    }
+    if (backend == nullptr) break;  // ring empty: nothing left to try
+    std::string reply_frame;
+    if (try_backend_frame(*backend, raw, &reply_frame)) {
+      forwarded_.fetch_add(1, std::memory_order_relaxed);
+      return reply_frame;  // verbatim: overload / degraded flags included
+    }
+    mark_unhealthy(backend->name);
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  no_backend_errors_.fetch_add(1, std::memory_order_relaxed);
+  wire::Response refusal =
+      wire::no_backend_response(options_.retry_after_ms);
+  refusal.verb = verb;
+  return wire::encode_response(refusal);
+}
+
+std::string Router::handle_frame(const wire::Frame& frame, bool* close) {
+  wire::Request request;
+  std::string error;
+  if (!wire::decode_request_payload(frame.payload, &request, &error)) {
+    // Answer this request with an error frame; the connection survives
+    // (the frame itself checksummed clean, only the message was bad).
+    return wire::encode_response(
+        wire::error_response(wire::Verb::kHelp, std::move(error)));
+  }
+  try {
+    switch (request.verb) {
+      case wire::Verb::kScore:
+      case wire::Verb::kRecover:
+        // Relay the exact bytes we received — never re-encode.
+        return forward_frame(frame.raw, request.bench, request.verb);
+      case wire::Verb::kStats:
+        return wire::encode_response(
+            wire::ok_response(request.verb, format_stats()));
+      case wire::Verb::kHealth:
+        return wire::encode_response(
+            wire::ok_response(request.verb, format_health()));
+      case wire::Verb::kHelp:
+        return wire::encode_response(wire::ok_response(
+            request.verb,
+            serve::help_text() +
+                "; router: backends | drain <name> | undrain <name>"));
+      case wire::Verb::kQuit:
+        if (close) *close = true;
+        return wire::encode_response(
+            wire::ok_response(request.verb, "bye"));
+    }
+    return wire::encode_response(
+        wire::error_response(request.verb, "unreachable"));
+  } catch (const std::exception& e) {
+    return wire::encode_response(
+        wire::error_response(request.verb, single_line(e.what())));
+  }
 }
 
 std::string Router::handle_line(const std::string& line, bool* quit) {

@@ -26,6 +26,13 @@
 //   undrain <name>      to put it back
 //   stats / health      router-level counters and ring state
 //   help / quit         as a backend, plus the admin verbs
+//
+// The router also accepts the binary wire protocol (wire/frame.h):
+// score/recover request frames are relayed to the owning backend
+// byte-for-byte over a second, binary-negotiated connection pool — the
+// router never re-encodes a frame in either direction, so backend
+// overload and degraded flags arrive exactly as sent. The text admin
+// verbs stay text-only.
 #pragma once
 
 #include <atomic>
@@ -41,6 +48,8 @@
 #include "serve/client_pool.h"
 #include "serve/socket_server.h"
 #include "util/mutex.h"
+#include "wire/frame.h"
+#include "wire/message.h"
 
 namespace rebert::router {
 
@@ -95,6 +104,13 @@ class Router {
   /// *quit on a quit request.
   std::string handle_line(const std::string& line, bool* quit);
 
+  /// Binary-side dispatch: score/recover frames are relayed to the ring
+  /// owner byte-for-byte (Frame.raw, never re-encoded, so backend overload
+  /// and degraded semantics pass through untouched); stats/health/help/
+  /// quit are answered locally as frames. Returns the complete response
+  /// frame bytes. Never throws.
+  std::string handle_frame(const wire::Frame& frame, bool* close);
+
   /// The backend name currently owning `bench`, "" when the ring is empty.
   /// What the placement tests and the kill-drill assert against.
   std::string backend_for(const std::string& bench) const EXCLUDES(mu_);
@@ -127,7 +143,8 @@ class Router {
   struct Backend {
     std::string name;
     std::string socket_path;
-    std::unique_ptr<serve::ClientPool> pool;
+    std::unique_ptr<serve::ClientPool> pool;       // text connections
+    std::unique_ptr<serve::ClientPool> wire_pool;  // negotiated binary
     std::atomic<bool> healthy{true};
     std::atomic<bool> drained{false};
   };
@@ -136,10 +153,20 @@ class Router {
   std::string forward(const std::string& line, const std::string& bench)
       EXCLUDES(mu_);
 
+  /// forward()'s binary twin: relay raw frame bytes to the owner of
+  /// `bench`; `verb` only shapes the local no_backend refusal.
+  std::string forward_frame(const std::string& raw, const std::string& bench,
+                            wire::Verb verb) EXCLUDES(mu_);
+
   /// One request over one backend's pool; retries once on a fresh socket
   /// before giving up. Returns false when the backend is unreachable.
   bool try_backend(Backend& backend, const std::string& line,
                    std::string* reply);
+
+  /// try_backend over the binary pool; *reply_frame gets the backend's
+  /// response frame verbatim.
+  bool try_backend_frame(Backend& backend, const std::string& raw,
+                         std::string* reply_frame);
 
   void mark_unhealthy(const std::string& name) EXCLUDES(mu_);
   void revive(const std::string& name) EXCLUDES(mu_);

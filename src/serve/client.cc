@@ -15,6 +15,7 @@
 #include "util/check.h"
 #include "util/retry_eintr.h"
 #include "util/string_utils.h"
+#include "wire/message.h"
 
 namespace rebert::serve {
 
@@ -39,6 +40,14 @@ bool Client::connect() {
     });
     if (result == 0) {
       fd_ = fd;
+      // A reconnect must re-run the negotiation from scratch: the server
+      // side of the old agreement died with the old connection.
+      if (options_.binary && !negotiate()) {
+        // A server that accepted the connection but refused the hello is
+        // answering deterministically — polling would refuse 200 times.
+        close();
+        return false;
+      }
       return true;
     }
     ::close(fd);
@@ -55,6 +64,8 @@ void Client::close() {
     fd_ = -1;
   }
   buffer_.clear();
+  reader_.reset();
+  negotiated_ = false;
 }
 
 std::string Client::read_line() {
@@ -73,19 +84,89 @@ std::string Client::read_line() {
   return line;
 }
 
-std::string Client::request(const std::string& line) {
-  REBERT_CHECK_MSG(fd_ >= 0, "serve client: not connected to " + path_);
-  const std::string framed = line + "\n";
+void Client::send_all(const std::string& bytes) {
   std::size_t sent = 0;
-  while (sent < framed.size()) {
+  while (sent < bytes.size()) {
     const ssize_t n = util::retry_eintr([&] {
-      return ::send(fd_, framed.data() + sent, framed.size() - sent,
+      return ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                     MSG_NOSIGNAL);
     });
     REBERT_CHECK_MSG(n > 0, "serve client: send to " + path_ + " failed: " +
                                 util::errno_string(errno));
     sent += static_cast<std::size_t>(n);
   }
+}
+
+wire::Frame Client::read_frame() {
+  wire::Frame frame;
+  std::string error;
+  for (;;) {
+    switch (reader_.next(&frame, &error)) {
+      case wire::FrameReader::Status::kFrame:
+        return frame;
+      case wire::FrameReader::Status::kError:
+        REBERT_CHECK_MSG(false, "serve client: framing error from " + path_ +
+                                    ": " + error);
+        break;
+      case wire::FrameReader::Status::kNeedMore:
+        break;
+    }
+    char chunk[4096];
+    const ssize_t got = util::retry_eintr([&] {
+      return ::read(fd_, chunk, sizeof(chunk));
+    });
+    REBERT_CHECK_MSG(got > 0, "serve client: connection to " + path_ +
+                                  " closed mid-frame");
+    reader_.feed(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool Client::negotiate() {
+  try {
+    send_all(wire::encode_hello());
+    const wire::Frame ack = read_frame();
+    if (ack.type != wire::FrameType::kHelloAck) return false;
+  } catch (const util::CheckError&) {
+    // Send failure, EOF, or a framing error before the ack — the server
+    // either refused binary or is not speaking this protocol at all.
+    return false;
+  }
+  negotiated_ = true;
+  return true;
+}
+
+wire::Frame Client::request_frame(const std::string& frame_bytes) {
+  REBERT_CHECK_MSG(fd_ >= 0 && negotiated_,
+                   "serve client: no negotiated binary connection to " +
+                       path_);
+  send_all(frame_bytes);
+  return read_frame();
+}
+
+std::string Client::request(const std::string& line) {
+  REBERT_CHECK_MSG(fd_ >= 0, "serve client: not connected to " + path_);
+  if (negotiated_) {
+    // Transcode: text line in, request frame out, response frame back,
+    // exact text line returned — callers never notice the encoding.
+    const Request parsed = parse_request(line);
+    if (parsed.type == RequestType::kInvalid)
+      return format_error(parsed.error.empty() ? "empty request"
+                                               : parsed.error);
+    const wire::Frame reply =
+        request_frame(wire::encode_request(to_wire(parsed)));
+    if (reply.type == wire::FrameType::kError)
+      return format_error(reply.payload);
+    REBERT_CHECK_MSG(reply.type == wire::FrameType::kResponse,
+                     "serve client: unexpected frame type from " + path_);
+    wire::Response response;
+    std::string error;
+    REBERT_CHECK_MSG(
+        wire::decode_response_payload(reply.payload, &response, &error),
+        "serve client: malformed response payload from " + path_ + ": " +
+            error);
+    return wire::response_to_line(response);
+  }
+  send_all(line + "\n");
   return read_line();
 }
 

@@ -1,4 +1,4 @@
-// Client — the calling side of the newline protocol over a Unix socket.
+// Client — the calling side of the serving protocol over a Unix socket.
 //
 // One Client wraps one connection: request() does a single round-trip;
 // request_with_retry() additionally honours the server's admission control,
@@ -8,10 +8,20 @@
 // server's advisory delay only, never of wall-clock randomness — so a
 // retrying workload replays identically (what the chaos tests and the
 // overload bench rely on).
+//
+// With ClientOptions.binary set, connect() additionally negotiates the
+// binary wire protocol (hello / hello-ack, wire/frame.h) and request()
+// transcodes each text line to a request frame and each response frame
+// back to the exact text line the server would have sent — callers,
+// including request_with_retry's backoff parser, never notice the
+// encoding. Reconnecting after close() re-runs the negotiation from
+// scratch: protocol state never outlives the connection it was agreed on.
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "wire/frame.h"
 
 namespace rebert::serve {
 
@@ -30,6 +40,10 @@ struct ClientOptions {
   /// response (0 when absent).
   int base_backoff_ms = 1;
   int max_backoff_ms = 64;
+  /// Speak the binary wire protocol. connect() fails (without burning the
+  /// polling budget) when the server refuses the negotiation — a server
+  /// that answers the hello at all answers it immediately.
+  bool binary = false;
 };
 
 class Client {
@@ -58,16 +72,32 @@ class Client {
   /// parse_retry_after_ms >= 0).
   std::string request_with_retry(const std::string& line);
 
+  /// Binary connections only: send pre-encoded frame bytes verbatim and
+  /// return the next frame off the stream — the relay primitive the router
+  /// uses to forward without re-encoding (Frame.raw round-trips the exact
+  /// on-stream bytes). Throws util::CheckError on send failure, EOF, or a
+  /// framing error in the response.
+  wire::Frame request_frame(const std::string& frame_bytes);
+
+  /// True once connect() succeeded with options.binary and the hello
+  /// handshake was acknowledged.
+  bool negotiated_binary() const { return negotiated_; }
+
   /// Overload retries performed across the client's lifetime.
   std::uint64_t retries() const { return retries_; }
 
  private:
   std::string read_line();
+  void send_all(const std::string& bytes);
+  wire::Frame read_frame();
+  bool negotiate();
 
   std::string path_;
   ClientOptions options_;
   int fd_ = -1;
-  std::string buffer_;  // bytes received beyond the last returned line
+  std::string buffer_;  // text mode: bytes beyond the last returned line
+  wire::FrameReader reader_;  // binary mode: bytes beyond the last frame
+  bool negotiated_ = false;
   std::uint64_t retries_ = 0;
 };
 

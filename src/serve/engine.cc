@@ -383,7 +383,10 @@ EngineStats InferenceEngine::stats() const {
 }
 
 std::size_t InferenceEngine::load_cache(const std::string& path) {
-  const std::size_t loaded = persist::load_cache(&cache_, path);
+  // v2 snapshots attach as a zero-copy warm tier (validate + mmap, no
+  // materialization); v1 snapshots stream-import as before. Either way a
+  // missing/corrupt file warms nothing and serving starts cold.
+  const std::size_t loaded = persist::warm_start_cache(&cache_, path);
   warm_entries_.fetch_add(loaded, std::memory_order_relaxed);
   if (loaded > 0) {
     LOG_INFO << "serve: warm-started " << loaded << " cache entries from "

@@ -228,16 +228,20 @@ class InferenceEngine {
   /// The model registry behind score/recover (health reporting, tests).
   ModelRegistry& registry() { return registry_; }
 
-  /// Warm-start the default model's prediction cache from an RBPC snapshot
-  /// (see persist/snapshot.h). Missing, truncated, or corrupt files warm
-  /// nothing and never throw — the engine starts cold with a warning.
-  /// Returns the number of entries imported (also reported by stats()).
+  /// Warm-start the default model's prediction cache from an RBPC snapshot.
+  /// A v2 snapshot (persist/mmap_snapshot.h) is validated and mapped as a
+  /// zero-copy warm tier — O(1) in the record count, scores served off the
+  /// mapping; a v1 snapshot stream-imports (persist/snapshot.h). Missing,
+  /// truncated, or corrupt files warm nothing and never throw — the engine
+  /// starts cold with a warning. Returns the entries made available (also
+  /// reported by stats() as warm_entries).
   std::size_t load_cache(const std::string& path);
 
-  /// Atomically snapshot the default prediction cache to `path` (crash
-  /// mid-save leaves any previous snapshot intact). Throws util::CheckError
-  /// with errno detail on I/O failure. Safe to call while requests are in
-  /// flight — the cache is read under its shard locks.
+  /// Atomically snapshot the default prediction cache to `path` in the
+  /// mmap-able RBPC v2 layout (crash mid-save leaves any previous snapshot
+  /// intact; a process still mapping the replaced file keeps its old inode).
+  /// Throws util::CheckError with errno detail on I/O failure. Safe to call
+  /// while requests are in flight — the cache is read under its shard locks.
   void save_cache(const std::string& path) const;
 
   /// Pre-load a bench context (useful before latency measurements so the

@@ -1,7 +1,9 @@
 #include "serve/protocol.h"
 
+#include <limits>
 #include <vector>
 
+#include "util/check.h"
 #include "util/string_utils.h"
 
 namespace rebert::serve {
@@ -147,6 +149,81 @@ std::string help_text() {
          "[deadline_ms=<n>] | recover <bench> [model=<m>] "
          "[deadline_ms=<n>] | stats | health | help | quit; "
          "<bench> = b03..b18 or a .bench file path";
+}
+
+std::string format_line_too_long() {
+  return format_error("request line exceeds " +
+                      std::to_string(kMaxRequestLineBytes) + " bytes");
+}
+
+wire::Request to_wire(const Request& request) {
+  wire::Request out;
+  switch (request.type) {
+    case RequestType::kScore:
+      out.verb = wire::Verb::kScore;
+      break;
+    case RequestType::kRecover:
+      out.verb = wire::Verb::kRecover;
+      break;
+    case RequestType::kStats:
+      out.verb = wire::Verb::kStats;
+      break;
+    case RequestType::kHealth:
+      out.verb = wire::Verb::kHealth;
+      break;
+    case RequestType::kHelp:
+      out.verb = wire::Verb::kHelp;
+      break;
+    case RequestType::kQuit:
+      out.verb = wire::Verb::kQuit;
+      break;
+    case RequestType::kInvalid:
+      REBERT_CHECK_MSG(false,
+                       "an invalid request has no wire encoding: " +
+                           request.error);
+  }
+  out.bench = request.bench;
+  out.bit_a = request.bit_a;
+  out.bit_b = request.bit_b;
+  out.model = request.model;
+  out.deadline_ms = static_cast<std::uint32_t>(request.deadline_ms);
+  return out;
+}
+
+Request from_wire(const wire::Request& request) {
+  Request out;
+  switch (request.verb) {
+    case wire::Verb::kScore:
+      out.type = RequestType::kScore;
+      break;
+    case wire::Verb::kRecover:
+      out.type = RequestType::kRecover;
+      break;
+    case wire::Verb::kStats:
+      out.type = RequestType::kStats;
+      break;
+    case wire::Verb::kHealth:
+      out.type = RequestType::kHealth;
+      break;
+    case wire::Verb::kHelp:
+      out.type = RequestType::kHelp;
+      break;
+    case wire::Verb::kQuit:
+      out.type = RequestType::kQuit;
+      break;
+  }
+  out.bench = request.bench;
+  out.bit_a = request.bit_a;
+  out.bit_b = request.bit_b;
+  out.model = request.model;
+  // An attacker-chosen u32 must not wrap negative through the int field —
+  // a clamped deadline only expires sooner.
+  out.deadline_ms = request.deadline_ms >
+                            static_cast<std::uint32_t>(
+                                std::numeric_limits<int>::max())
+                        ? std::numeric_limits<int>::max()
+                        : static_cast<int>(request.deadline_ms);
+  return out;
 }
 
 }  // namespace rebert::serve

@@ -33,11 +33,25 @@
 // scale set by the engine) or a path to a .bench netlist file. Responses
 // never contain newlines, so the protocol stays trivially framable over
 // both stdio and a Unix socket.
+// The same protocol also has a binary encoding (wire/message.h),
+// negotiated per connection by a magic first byte (wire/frame.h); the
+// text form stays the default for humans and old clients. to_wire /
+// from_wire below map between the two request representations so both
+// transports share one dispatcher.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
+#include "wire/message.h"
+
 namespace rebert::serve {
+
+/// Upper bound on one text-protocol request line. Valid requests are a
+/// few hundred bytes at most; a longer line is a hostile or broken client
+/// and is answered with a protocol error instead of growing the read
+/// buffer unboundedly (socket connections are additionally closed).
+inline constexpr std::size_t kMaxRequestLineBytes = 8192;
 
 enum class RequestType {
   kScore,
@@ -78,5 +92,17 @@ int parse_retry_after_ms(const std::string& response);
 
 /// The `help` response payload (single line).
 std::string help_text();
+
+/// The refusal for an over-length request line (format_error payload
+/// included), shared by every transport that enforces the cap.
+std::string format_line_too_long();
+
+/// Map a parsed text request onto the binary wire representation.
+/// Requires an encodable request — kInvalid trips a util::CheckError
+/// (callers answer parse failures before encoding).
+wire::Request to_wire(const Request& request);
+
+/// Map a decoded wire request back onto the dispatcher's Request.
+Request from_wire(const wire::Request& request);
 
 }  // namespace rebert::serve

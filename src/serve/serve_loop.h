@@ -1,4 +1,5 @@
-// ServeLoop — transports for the newline protocol (protocol.h).
+// ServeLoop — transports for the serving protocol (protocol.h text form,
+// wire/message.h binary form).
 //
 // Two transports share one dispatcher:
 //   * run(in, out)        — stdio / any iostream pair; one request per
@@ -19,8 +20,11 @@
 #include <string>
 
 #include "serve/engine.h"
+#include "serve/protocol.h"
 #include "serve/socket_server.h"
 #include "util/mutex.h"
+#include "wire/frame.h"
+#include "wire/message.h"
 
 namespace rebert::serve {
 
@@ -28,11 +32,22 @@ class ServeLoop {
  public:
   explicit ServeLoop(InferenceEngine& engine);
 
+  /// The one dispatcher behind every transport and both encodings:
+  /// admission, deadlines, engine calls, degraded tagging. Returns the
+  /// encoding-neutral response; sets *quit on a quit request. Never
+  /// throws — engine failures come back as error responses, so a
+  /// malformed request can never take the daemon down.
+  wire::Response dispatch(const Request& request, bool* quit);
+
   /// Dispatch one request line to the engine; returns the response line
-  /// (without trailing newline). Sets *quit on a quit request. Exceptions
-  /// from the engine become `err` responses — a malformed request must
-  /// never take the daemon down.
+  /// (without trailing newline) — response_to_line over dispatch().
   std::string handle_line(const std::string& line, bool* quit);
+
+  /// Dispatch one verified kRequest frame; returns the complete response
+  /// frame bytes. A payload that fails message decoding answers this
+  /// request with an error frame — the connection survives (framing-level
+  /// corruption is SocketServer's to punish).
+  std::string handle_frame(const wire::Frame& frame, bool* close);
 
   /// Serve `in` line by line until EOF or quit, writing one response line
   /// per request to `out`. Blank and comment lines are skipped silently.
@@ -72,6 +87,13 @@ class ServeLoop {
   /// `err overloaded retry_after_ms=<n>` and closed instead of spawning a
   /// handler thread — the listener never accumulates unbounded threads.
   void set_max_connections(int n) { socket_server_.set_max_connections(n); }
+
+  /// Gate the binary wire protocol on the socket transport (default on).
+  /// Off, connections opening with the frame magic are refused; the text
+  /// protocol is unaffected.
+  void set_accept_binary(bool accept) {
+    socket_server_.set_accept_binary(accept);
+  }
 
  private:
   void count_request_for_snapshot();

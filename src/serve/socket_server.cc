@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "runtime/fault_injector.h"
+#include "serve/protocol.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/retry_eintr.h"
@@ -29,9 +30,36 @@ SocketServer::SocketServer(Callbacks callbacks)
 
 void SocketServer::handle_connection(int fd) {
   runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  // Each connection commits to one encoding on its first byte: the frame
+  // magic (non-printable, so no text verb can start with it) selects the
+  // binary protocol, anything else newline text.
+  enum class Mode { kDetect, kText, kBinary };
+  Mode mode = Mode::kDetect;
+  bool negotiated = false;  // binary: kHello seen and acked
+  wire::FrameReader reader;
   std::string buffer;
   char chunk[4096];
   bool quit = false;
+
+  // Send every byte of `bytes`, MSG_NOSIGNAL: a client that disconnected
+  // mid-response must cost us this connection (EPIPE), not the whole
+  // daemon (SIGPIPE). Shared by both encodings so the socket.send chaos
+  // site fires identically for lines and frames.
+  const auto send_bytes = [&](const std::string& bytes) -> bool {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = -1;
+      if (!faults.maybe_errno("socket.send", EPIPE))
+        n = util::retry_eintr([&] {
+          return ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                        MSG_NOSIGNAL);
+        });
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
   while (!quit && !stopping_.load(std::memory_order_relaxed)) {
     // A signal (e.g. the profiler's SIGPROF, or SIGTERM racing shutdown)
     // interrupting the read must not drop a healthy connection —
@@ -43,28 +71,91 @@ void SocketServer::handle_connection(int fd) {
         return ::read(fd, chunk, sizeof(chunk));
       });
     if (got <= 0) break;  // EOF or hard error: drop the connection
+
+    if (mode == Mode::kDetect) {
+      if (static_cast<unsigned char>(chunk[0]) == wire::kFrameMagic) {
+        if (!accept_binary_.load(std::memory_order_relaxed) ||
+            !callbacks_.handle_frame) {
+          (void)send_bytes(wire::encode_protocol_error(
+              "binary protocol not enabled on this endpoint"));
+          break;
+        }
+        mode = Mode::kBinary;
+      } else {
+        mode = Mode::kText;
+      }
+    }
+
+    if (mode == Mode::kBinary) {
+      reader.feed(chunk, static_cast<std::size_t>(got));
+      wire::Frame frame;
+      std::string error;
+      wire::FrameReader::Status status = wire::FrameReader::Status::kNeedMore;
+      while (!quit &&
+             (status = reader.next(&frame, &error)) ==
+                 wire::FrameReader::Status::kFrame) {
+        if (!negotiated) {
+          // The stream must open with a kHello we can version-match;
+          // anything else is refused before any request is served.
+          std::uint16_t version = 0;
+          std::string hello_error;
+          if (frame.type != wire::FrameType::kHello ||
+              !wire::decode_hello_payload(frame.payload, &version,
+                                          &hello_error)) {
+            (void)send_bytes(wire::encode_protocol_error(
+                "expected a hello frame to open the binary stream"));
+            quit = true;
+            break;
+          }
+          if (version != wire::kWireVersion) {
+            (void)send_bytes(wire::encode_protocol_error(
+                "unsupported wire version " + std::to_string(version)));
+            quit = true;
+            break;
+          }
+          if (!send_bytes(wire::encode_hello_ack())) { quit = true; break; }
+          negotiated = true;
+          continue;
+        }
+        if (frame.type != wire::FrameType::kRequest) {
+          (void)send_bytes(wire::encode_protocol_error(
+              "only request frames are valid after negotiation"));
+          quit = true;
+          break;
+        }
+        const std::string response = callbacks_.handle_frame(frame, &quit);
+        if (!send_bytes(response)) { quit = true; break; }
+        if (callbacks_.on_answered) callbacks_.on_answered();
+      }
+      if (!quit && status == wire::FrameReader::Status::kError) {
+        // After a framing error there is no safe resync point in the
+        // stream: report what broke and close.
+        (void)send_bytes(wire::encode_protocol_error(error));
+        break;
+      }
+      continue;
+    }
+
     buffer.append(chunk, static_cast<std::size_t>(got));
     std::size_t newline;
     while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
+      if (line.size() > kMaxRequestLineBytes) {
+        (void)send_bytes(format_line_too_long() + "\n");
+        quit = true;
+        break;
+      }
       if (callbacks_.is_blank && callbacks_.is_blank(line)) continue;
       const std::string response = callbacks_.handle_line(line, &quit) + "\n";
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        // MSG_NOSIGNAL: a client that disconnected mid-response must cost
-        // us this connection (EPIPE), not the whole daemon (SIGPIPE).
-        ssize_t n = -1;
-        if (!faults.maybe_errno("socket.send", EPIPE))
-          n = util::retry_eintr([&] {
-            return ::send(fd, response.data() + sent,
-                          response.size() - sent, MSG_NOSIGNAL);
-          });
-        if (n <= 0) { quit = true; break; }
-        sent += static_cast<std::size_t>(n);
-      }
-      if (sent == response.size() && callbacks_.on_answered)
-        callbacks_.on_answered();
+      if (!send_bytes(response)) { quit = true; break; }
+      if (callbacks_.on_answered) callbacks_.on_answered();
+    }
+    if (!quit && buffer.size() > kMaxRequestLineBytes) {
+      // A partial line already over the cap can never become a valid
+      // request — refuse now instead of buffering until the client stops.
+      (void)send_bytes(format_line_too_long() + "\n");
+      break;
     }
   }
   unregister_connection(fd);

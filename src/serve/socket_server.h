@@ -1,13 +1,25 @@
-// SocketServer — the reusable AF_UNIX line-protocol listener.
+// SocketServer — the reusable AF_UNIX listener behind both protocol
+// encodings.
 //
 // Owns everything transport: bind/listen (refusing to unlink a non-socket
 // path), one handler thread per connection with on-accept reaping, the
 // connection cap with a polite shed line at the door, EINTR-safe reads and
 // MSG_NOSIGNAL sends, and the socket.read / socket.send chaos sites.
-// What each line *means* is the owner's business, injected via Callbacks —
-// ServeLoop plugs in the inference engine dispatcher, the Router plugs in
-// its forwarding loop, and both get identical transport semantics (and
-// identical chaos coverage) for free.
+// What each request *means* is the owner's business, injected via
+// Callbacks — ServeLoop plugs in the inference engine dispatcher, the
+// Router plugs in its forwarding loop, and both get identical transport
+// semantics (and identical chaos coverage) for free.
+//
+// Each connection speaks exactly one encoding, decided by its first byte:
+// wire::kFrameMagic (0xAB, not a printable character) switches the
+// connection to the binary frame protocol — the client must then open
+// with a kHello frame, answered kHelloAck — while anything else is served
+// as newline text. The text side bounds its line length
+// (protocol.h kMaxRequestLineBytes): an oversized line gets a protocol
+// error and the connection is closed instead of buffering without limit.
+// On the binary side a malformed frame (bad magic mid-stream, reserved
+// bits, length over cap, checksum mismatch) earns a kError frame and a
+// close — after a framing error the stream has no safe resync point.
 #pragma once
 
 #include <atomic>
@@ -16,6 +28,7 @@
 #include <string>
 
 #include "util/mutex.h"
+#include "wire/frame.h"
 
 namespace rebert::serve {
 
@@ -41,6 +54,13 @@ class SocketServer {
     /// Optional. Invoked once when run() finishes shutting down, after all
     /// handler threads joined.
     std::function<void()> on_shutdown;
+    /// Optional. Dispatch one verified kRequest frame; return the
+    /// complete response frame bytes (wire::encode_response). Set
+    /// *close_connection to end the connection after the response. Must
+    /// not throw. Absent: binary negotiation is refused and connections
+    /// opening with the frame magic are turned away with a kError frame.
+    std::function<std::string(const wire::Frame& frame,
+                              bool* close_connection)> handle_frame;
   };
 
   explicit SocketServer(Callbacks callbacks);
@@ -52,6 +72,11 @@ class SocketServer {
   /// over the cap get overload_line() and an immediate close — no handler
   /// thread, no unbounded backlog.
   void set_max_connections(int n) { max_connections_ = n; }
+
+  /// Gate for the binary wire protocol (default on, effective only when
+  /// the owner supplied handle_frame). Off, connections opening with the
+  /// frame magic are refused — what `serve --binary false` wires through.
+  void set_accept_binary(bool accept) { accept_binary_ = accept; }
 
   /// Listen on an AF_UNIX stream socket at `path` (unlinked first — but
   /// only if it already is a socket — and on shutdown). Blocks until
@@ -72,6 +97,7 @@ class SocketServer {
 
   Callbacks callbacks_;
   int max_connections_ = 0;
+  std::atomic<bool> accept_binary_{true};
   std::atomic<bool> stopping_{false};
   std::atomic<int> listen_fd_{-1};
   // Live accepted connections, so stop() can shutdown() blocked readers.

@@ -1,10 +1,12 @@
 #include "tensor/serialize.h"
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
 #include <unordered_map>
 
 #include "persist/atomic_file.h"
+#include "persist/mmap_file.h"
+#include "persist/snapshot.h"
 #include "util/check.h"
 
 namespace rebert::tensor {
@@ -12,54 +14,65 @@ namespace rebert::tensor {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'B', 'T', 'W'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends a trailing FNV-1a checksum over the body (everything between
+// the 8-byte magic+version prefix and the 8-byte trailer), so a clipped
+// or bit-flipped checkpoint is rejected before any tensor is filled.
+// v1 files (no trailer) load unchanged.
+constexpr std::uint32_t kVersion = 2;
 
-void write_u32(std::ostream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-/// Checkpoint reads with located failures: every truncation error reports
-/// where in the file the read stopped and how large the file is, so a
-/// half-written or clipped checkpoint is diagnosable from the message
-/// alone ("truncated ... at offset 1234 of 5678 bytes").
-class CheckpointReader {
+/// Stream writer that folds every body byte into a running checksum, so a
+/// multi-hundred-MB checkpoint never needs a second in-memory copy.
+class ChecksummedWriter {
  public:
-  CheckpointReader(std::istream& in, std::string path) : in_(in),
-                                                         path_(std::move(path)) {
-    in_.seekg(0, std::ios::end);
-    size_ = static_cast<long long>(in_.tellg());
-    in_.seekg(0, std::ios::beg);
+  explicit ChecksummedWriter(std::ostream& out) : out_(out) {}
+
+  void bytes(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    sum_ = persist::fnv1a_update(sum_, data, size);
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
+  std::uint64_t checksum() const { return sum_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t sum_ = persist::kFnv1aInit;
+};
+
+/// Checkpoint reads off a validated mapping, with located failures: every
+/// truncation error reports where in the file the read stopped and how
+/// large the file is, so a half-written or clipped checkpoint is
+/// diagnosable from the message alone ("truncated ... at offset 1234 of
+/// 5678 bytes"). The cursor never reads a byte past `limit`.
+class MappedReader {
+ public:
+  MappedReader(const persist::MmapFile& file, std::size_t limit)
+      : file_(file), limit_(limit) {}
+
+  std::size_t offset() const { return offset_; }
+
+  void bytes(void* dst, std::size_t n, const char* what) {
+    REBERT_CHECK_MSG(offset_ <= limit_ && n <= limit_ - offset_,
+                     "truncated checkpoint " << file_.path() << ": " << what
+                                             << " at offset " << offset_
+                                             << " of " << file_.size()
+                                             << " bytes");
+    if (n > 0) std::memcpy(dst, file_.bytes(offset_, n), n);
+    offset_ += n;
   }
 
-  std::istream& in() { return in_; }
-  const std::string& path() const { return path_; }
-
-  void bytes(char* dst, std::streamsize n, const char* what) {
-    in_.read(dst, n);
-    require(what);
-  }
+  void skip(std::size_t n) { offset_ += n; }
 
   std::uint32_t u32(const char* what) {
     std::uint32_t v = 0;
-    bytes(reinterpret_cast<char*>(&v), sizeof(v), what);
+    bytes(&v, sizeof(v), what);
     return v;
   }
 
-  /// Fails with the current offset when the last read did not complete.
-  void require(const char* what) {
-    if (in_.good()) return;
-    in_.clear();  // failbit blocks tellg; the position is still meaningful
-    const long long offset = static_cast<long long>(in_.tellg());
-    REBERT_CHECK_MSG(false, "truncated checkpoint " << path_ << ": " << what
-                                                    << " at offset " << offset
-                                                    << " of " << size_
-                                                    << " bytes");
-  }
-
  private:
-  std::istream& in_;
-  std::string path_;
-  long long size_ = 0;
+  const persist::MmapFile& file_;
+  std::size_t limit_;  // first byte the body must not touch (v2: trailer)
+  std::size_t offset_ = 0;
 };
 
 }  // namespace
@@ -72,33 +85,72 @@ void save_parameters(const std::vector<Parameter*>& params,
   persist::AtomicFileWriter writer(path);
   std::ostream& out = writer.stream();
   out.write(kMagic, sizeof(kMagic));
-  write_u32(out, kVersion);
-  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  ChecksummedWriter body(out);
+  body.u32(static_cast<std::uint32_t>(params.size()));
   for (const Parameter* p : params) {
     REBERT_CHECK_MSG(!p->name.empty(), "unnamed parameter cannot be saved");
-    write_u32(out, static_cast<std::uint32_t>(p->name.size()));
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    write_u32(out, static_cast<std::uint32_t>(p->value.rank()));
+    body.u32(static_cast<std::uint32_t>(p->name.size()));
+    body.bytes(p->name.data(), p->name.size());
+    body.u32(static_cast<std::uint32_t>(p->value.rank()));
     for (int d = 0; d < p->value.rank(); ++d)
-      write_u32(out, static_cast<std::uint32_t>(p->value.dim(d)));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+      body.u32(static_cast<std::uint32_t>(p->value.dim(d)));
+    body.bytes(p->value.data(),
+               static_cast<std::size_t>(p->value.numel()) * sizeof(float));
   }
+  const std::uint64_t checksum = body.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   writer.commit();  // flush + fsync + rename; errno-detailed on failure
 }
 
 void load_parameters(const std::vector<Parameter*>& params,
                      const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  REBERT_CHECK_MSG(in.good(), "cannot open checkpoint " << path);
-  CheckpointReader reader(in, path);
-  char magic[4];
-  reader.bytes(magic, sizeof(magic), "magic");
-  REBERT_CHECK_MSG(std::equal(magic, magic + 4, kMagic),
+  // The whole file is mapped and validated (magic, version, v2 checksum)
+  // before a single tensor is filled; parsing then runs straight off the
+  // mapping with a bounds-checked cursor, no stream buffering.
+  persist::MmapFile file;
+  std::string open_error;
+  REBERT_CHECK_MSG(file.open(path, &open_error),
+                   "cannot open checkpoint " << path << ": " << open_error);
+  constexpr std::size_t kPrefixBytes = sizeof(kMagic) + sizeof(std::uint32_t);
+  REBERT_CHECK_MSG(file.size() >= kPrefixBytes,
+                   "truncated checkpoint " << path << ": header at offset 0"
+                                           << " of " << file.size()
+                                           << " bytes");
+  REBERT_CHECK_MSG(std::memcmp(file.bytes(0, sizeof(kMagic)), kMagic,
+                               sizeof(kMagic)) == 0,
                    path << " is not a ReBERT checkpoint");
-  const std::uint32_t version = reader.u32("version");
-  REBERT_CHECK_MSG(version == kVersion,
-                   "unsupported checkpoint version " << version);
+  std::uint32_t version = 0;
+  std::memcpy(&version, file.bytes(sizeof(kMagic), sizeof(version)),
+              sizeof(version));
+  REBERT_CHECK_MSG(version == 1 || version == kVersion,
+                   "unsupported checkpoint version "
+                       << version << " (this build reads versions 1 and 2)");
+
+  std::size_t body_end = file.size();
+  if (version == kVersion) {
+    REBERT_CHECK_MSG(file.size() >= kPrefixBytes + sizeof(std::uint64_t),
+                     "truncated checkpoint "
+                         << path << ": checksum trailer at offset "
+                         << kPrefixBytes << " of " << file.size()
+                         << " bytes");
+    body_end = file.size() - sizeof(std::uint64_t);
+    std::uint64_t expected = 0;
+    std::memcpy(&expected, file.bytes(body_end, sizeof(expected)),
+                sizeof(expected));
+    const std::uint64_t actual =
+        persist::fnv1a(file.bytes(kPrefixBytes, body_end - kPrefixBytes),
+                       body_end - kPrefixBytes);
+    REBERT_CHECK_MSG(actual == expected,
+                     "corrupt checkpoint "
+                         << path << ": checksum mismatch over the body at "
+                         << "offset " << kPrefixBytes << " of "
+                         << file.size() << " bytes");
+  }
+
+  MappedReader reader(file, body_end);
+  reader.skip(kPrefixBytes);  // magic + version, validated above
   const std::uint32_t count = reader.u32("parameter count");
 
   std::unordered_map<std::string, Parameter*> by_name;
@@ -127,8 +179,8 @@ void load_parameters(const std::vector<Parameter*>& params,
     REBERT_CHECK_MSG(p.value.shape() == shape,
                      "shape mismatch for '" << name << "': model "
                                             << p.value.shape_string());
-    reader.bytes(reinterpret_cast<char*>(p.value.data()),
-                 static_cast<std::streamsize>(numel * sizeof(float)),
+    reader.bytes(p.value.data(),
+                 static_cast<std::size_t>(numel) * sizeof(float),
                  "tensor data");
     ++loaded;
   }

@@ -1,0 +1,262 @@
+#include "wire/message.h"
+
+#include <cstring>
+#include <limits>
+
+#include "util/check.h"
+#include "util/string_utils.h"
+#include "wire/frame.h"
+
+namespace rebert::wire {
+
+namespace {
+
+struct __attribute__((__packed__)) RequestHeader {
+  std::uint8_t verb;
+  std::uint8_t reserved;
+  std::uint16_t bench_len;
+  std::uint16_t bit_a_len;
+  std::uint16_t bit_b_len;
+  std::uint16_t model_len;
+  std::uint16_t reserved2;
+  std::uint32_t deadline_ms;
+};
+static_assert(sizeof(RequestHeader) == 16,
+              "request header layout drifted from the wire format");
+
+struct __attribute__((__packed__)) ResponseHeader {
+  std::uint8_t verb;
+  std::uint8_t status;
+  std::uint8_t code;
+  std::uint8_t flags;
+  std::uint32_t retry_after_ms;
+  double score;
+  std::uint32_t body_len;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(ResponseHeader) == 24,
+              "response header layout drifted from the wire format");
+
+bool valid_verb(std::uint8_t verb) {
+  return verb >= static_cast<std::uint8_t>(Verb::kScore) &&
+         verb <= static_cast<std::uint8_t>(Verb::kQuit);
+}
+
+std::uint16_t checked_len(const std::string& field, const char* name) {
+  REBERT_CHECK_MSG(field.size() <= std::numeric_limits<std::uint16_t>::max(),
+                   std::string("wire request ") + name + " field of " +
+                       std::to_string(field.size()) +
+                       " bytes does not fit a u16 length");
+  return static_cast<std::uint16_t>(field.size());
+}
+
+}  // namespace
+
+std::string encode_request(const Request& request) {
+  RequestHeader header{};
+  header.verb = static_cast<std::uint8_t>(request.verb);
+  header.reserved = 0;
+  header.bench_len = checked_len(request.bench, "bench");
+  header.bit_a_len = checked_len(request.bit_a, "bit_a");
+  header.bit_b_len = checked_len(request.bit_b, "bit_b");
+  header.model_len = checked_len(request.model, "model");
+  header.reserved2 = 0;
+  header.deadline_ms = request.deadline_ms;
+  std::string payload;
+  payload.reserve(sizeof(header) + request.bench.size() +
+                  request.bit_a.size() + request.bit_b.size() +
+                  request.model.size());
+  payload.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  payload.append(request.bench);
+  payload.append(request.bit_a);
+  payload.append(request.bit_b);
+  payload.append(request.model);
+  return encode_frame(FrameType::kRequest, payload);
+}
+
+bool decode_request_payload(std::string_view payload, Request* request,
+                            std::string* error) {
+  RequestHeader header;
+  if (payload.size() < sizeof(header)) {
+    if (error)
+      *error = "request payload of " + std::to_string(payload.size()) +
+               " bytes is shorter than its header";
+    return false;
+  }
+  std::memcpy(&header, payload.data(), sizeof(header));
+  if (!valid_verb(header.verb)) {
+    if (error) *error = "unknown verb " + std::to_string(header.verb);
+    return false;
+  }
+  if (header.reserved != 0 || header.reserved2 != 0) {
+    if (error) *error = "request reserved bits set";
+    return false;
+  }
+  // The declared field lengths must tile the payload exactly — no
+  // overlap, no trailing garbage — before any substring is taken.
+  const std::size_t want = sizeof(header) +
+                           static_cast<std::size_t>(header.bench_len) +
+                           header.bit_a_len + header.bit_b_len +
+                           header.model_len;
+  if (payload.size() != want) {
+    if (error)
+      *error = "request field lengths declare " + std::to_string(want) +
+               " bytes, payload has " + std::to_string(payload.size());
+    return false;
+  }
+  request->verb = static_cast<Verb>(header.verb);
+  request->deadline_ms = header.deadline_ms;
+  std::size_t at = sizeof(header);
+  request->bench.assign(payload.substr(at, header.bench_len));
+  at += header.bench_len;
+  request->bit_a.assign(payload.substr(at, header.bit_a_len));
+  at += header.bit_a_len;
+  request->bit_b.assign(payload.substr(at, header.bit_b_len));
+  at += header.bit_b_len;
+  request->model.assign(payload.substr(at, header.model_len));
+  return true;
+}
+
+std::string encode_response(const Response& response) {
+  ResponseHeader header{};
+  header.verb = static_cast<std::uint8_t>(response.verb);
+  header.status = static_cast<std::uint8_t>(response.status);
+  header.code = static_cast<std::uint8_t>(response.code);
+  header.flags = response.flags;
+  header.retry_after_ms = response.retry_after_ms;
+  header.score = response.score;
+  REBERT_CHECK_MSG(
+      response.body.size() <= std::numeric_limits<std::uint32_t>::max(),
+      "wire response body does not fit a u32 length");
+  header.body_len = static_cast<std::uint32_t>(response.body.size());
+  header.reserved = 0;
+  std::string payload;
+  payload.reserve(sizeof(header) + response.body.size());
+  payload.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  payload.append(response.body);
+  return encode_frame(FrameType::kResponse, payload);
+}
+
+bool decode_response_payload(std::string_view payload, Response* response,
+                             std::string* error) {
+  ResponseHeader header;
+  if (payload.size() < sizeof(header)) {
+    if (error)
+      *error = "response payload of " + std::to_string(payload.size()) +
+               " bytes is shorter than its header";
+    return false;
+  }
+  std::memcpy(&header, payload.data(), sizeof(header));
+  if (!valid_verb(header.verb)) {
+    if (error) *error = "unknown verb " + std::to_string(header.verb);
+    return false;
+  }
+  if (header.status > static_cast<std::uint8_t>(Status::kErr)) {
+    if (error) *error = "unknown status " + std::to_string(header.status);
+    return false;
+  }
+  if (header.code > static_cast<std::uint8_t>(ErrorCode::kNoBackend)) {
+    if (error) *error = "unknown error code " + std::to_string(header.code);
+    return false;
+  }
+  if (header.reserved != 0) {
+    if (error) *error = "response reserved bits set";
+    return false;
+  }
+  if (payload.size() != sizeof(header) + header.body_len) {
+    if (error)
+      *error = "response body length declares " +
+               std::to_string(header.body_len) + " bytes, payload has " +
+               std::to_string(payload.size() - sizeof(header));
+    return false;
+  }
+  response->verb = static_cast<Verb>(header.verb);
+  response->status = static_cast<Status>(header.status);
+  response->code = static_cast<ErrorCode>(header.code);
+  response->flags = header.flags;
+  response->retry_after_ms = header.retry_after_ms;
+  response->score = header.score;
+  response->body.assign(payload.substr(sizeof(header)));
+  return true;
+}
+
+std::string response_to_line(const Response& response) {
+  if (response.status == Status::kOk) {
+    std::string payload;
+    if (response.flags & kFlagScore) {
+      payload = util::format_double(response.score, 6);
+    } else {
+      payload = response.body;
+    }
+    if (response.flags & kFlagDegraded) payload += " degraded=structural";
+    return payload.empty() ? "ok" : "ok " + payload;
+  }
+  switch (response.code) {
+    case ErrorCode::kOverloaded:
+      return "err overloaded retry_after_ms=" +
+             std::to_string(response.retry_after_ms);
+    case ErrorCode::kDeadlineExceeded:
+      return "err deadline_exceeded";
+    case ErrorCode::kNoBackend:
+      return "err no_backend retry_after_ms=" +
+             std::to_string(response.retry_after_ms);
+    case ErrorCode::kNone:
+    case ErrorCode::kGeneric:
+      break;
+  }
+  return "err " + response.body;
+}
+
+Response ok_response(Verb verb, std::string body) {
+  Response response;
+  response.verb = verb;
+  response.status = Status::kOk;
+  response.body = std::move(body);
+  return response;
+}
+
+Response score_response(double score) {
+  Response response;
+  response.verb = Verb::kScore;
+  response.status = Status::kOk;
+  response.flags = kFlagScore;
+  response.score = score;
+  return response;
+}
+
+Response error_response(Verb verb, std::string message) {
+  Response response;
+  response.verb = verb;
+  response.status = Status::kErr;
+  response.code = ErrorCode::kGeneric;
+  response.body = std::move(message);
+  return response;
+}
+
+Response overloaded_response(int retry_after_ms) {
+  Response response;
+  response.verb = Verb::kScore;
+  response.status = Status::kErr;
+  response.code = ErrorCode::kOverloaded;
+  response.retry_after_ms = static_cast<std::uint32_t>(retry_after_ms);
+  return response;
+}
+
+Response no_backend_response(int retry_after_ms) {
+  Response response;
+  response.verb = Verb::kScore;
+  response.status = Status::kErr;
+  response.code = ErrorCode::kNoBackend;
+  response.retry_after_ms = static_cast<std::uint32_t>(retry_after_ms);
+  return response;
+}
+
+Response deadline_response(Verb verb) {
+  Response response;
+  response.verb = verb;
+  response.status = Status::kErr;
+  response.code = ErrorCode::kDeadlineExceeded;
+  return response;
+}
+
+}  // namespace rebert::wire

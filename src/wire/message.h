@@ -1,0 +1,107 @@
+// Binary request/response messages carried inside kRequest / kResponse
+// frames (frame.h). The message layer mirrors the newline text protocol
+// verb for verb — same verbs, same distinguished errors, same degraded
+// tag — so the two encodings are interchangeable views of one protocol:
+// response_to_line() renders any Response as the exact text line the text
+// protocol would have produced, which is what keeps retry/backoff logic
+// and every existing log-line consumer encoding-agnostic.
+//
+// Request payload (packed header, then the four string fields back to
+// back, lengths from the header):
+//
+//   u8   verb          u8   reserved
+//   u16  bench_len     u16  bit_a_len    u16  bit_b_len   u16  model_len
+//   u16  reserved2     u32  deadline_ms
+//
+// Response payload:
+//
+//   u8   verb   u8 status   u8 code   u8 flags
+//   u32  retry_after_ms
+//   f64  score            (meaningful when flags & kFlagScore)
+//   u32  body_len         u32 reserved
+//   body bytes            (ok payload text, or the error message)
+//
+// Decoding validates every length against the payload size before any
+// field is read; a malformed message answers this request with an error,
+// it never tears the connection down (framing-level corruption does —
+// see frame.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rebert::wire {
+
+enum class Verb : std::uint8_t {
+  kScore = 1,
+  kRecover = 2,
+  kStats = 3,
+  kHealth = 4,
+  kHelp = 5,
+  kQuit = 6,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kErr = 1,
+};
+
+/// Machine-parseable error classes, mirroring the text protocol's
+/// distinguished `err` payloads.
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,
+  kGeneric = 1,           // "err <message>"
+  kOverloaded = 2,        // "err overloaded retry_after_ms=<n>"
+  kDeadlineExceeded = 3,  // "err deadline_exceeded"
+  kNoBackend = 4,         // "err no_backend retry_after_ms=<n>" (router)
+};
+
+/// Response.flags bits.
+inline constexpr std::uint8_t kFlagDegraded = 0x1;  // degraded=structural
+inline constexpr std::uint8_t kFlagScore = 0x2;     // score field is live
+
+struct Request {
+  Verb verb = Verb::kHelp;
+  std::string bench;   // score / recover
+  std::string bit_a;   // score
+  std::string bit_b;   // score
+  std::string model;   // "" = engine's size rule
+  std::uint32_t deadline_ms = 0;
+};
+
+struct Response {
+  Verb verb = Verb::kHelp;  // echoes the request verb
+  Status status = Status::kOk;
+  ErrorCode code = ErrorCode::kNone;
+  std::uint8_t flags = 0;
+  std::uint32_t retry_after_ms = 0;
+  double score = 0.0;  // meaningful when flags & kFlagScore
+  std::string body;    // ok payload text, or the error message
+};
+
+/// Encode to a complete frame (header included), ready to send.
+std::string encode_request(const Request& request);
+std::string encode_response(const Response& response);
+
+/// Decode a kRequest / kResponse frame payload. Returns false with *error
+/// set on any malformed field; nothing is trusted before its bounds check.
+bool decode_request_payload(std::string_view payload, Request* request,
+                            std::string* error);
+bool decode_response_payload(std::string_view payload, Response* response,
+                             std::string* error);
+
+/// Render a Response as the exact line the text protocol would produce
+/// for the same outcome ("ok 0.123456", "err overloaded
+/// retry_after_ms=50", "ok words=... degraded=structural", ...).
+std::string response_to_line(const Response& response);
+
+/// Response constructors for the common shapes.
+Response ok_response(Verb verb, std::string body);
+Response score_response(double score);
+Response error_response(Verb verb, std::string message);
+Response overloaded_response(int retry_after_ms);
+Response no_backend_response(int retry_after_ms);
+Response deadline_response(Verb verb);
+
+}  // namespace rebert::wire

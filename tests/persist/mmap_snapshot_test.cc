@@ -1,0 +1,223 @@
+// RBPC v2 mmap-snapshot corruption matrix: a mapped artifact is validated
+// — bounds, magic, version, stride, checksum, key order — before a record
+// is served, and every defect comes back kCorrupt with a diagnosis, never
+// a throw or a wrong answer. Plus the warm-start contract: a v2 file
+// attaches as a zero-copy tier, everything else falls back or starts cold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "persist/cache_io.h"
+#include "persist/mmap_snapshot.h"
+#include "persist/snapshot.h"
+#include "rebert/prediction_cache.h"
+
+namespace rebert::persist {
+namespace {
+
+std::vector<CacheRecord> sample_records() {
+  return {{5, 0.5}, {1, 0.1}, {9, 0.9}, {3, 0.3}};  // save sorts
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class MmapSnapshotTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = temp_path("rebert_mmap_snapshot.rbpc");
+};
+
+TEST_F(MmapSnapshotTest, RoundTripSortsAndServesLookups) {
+  save_snapshot_v2(sample_records(), path_);
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  ASSERT_TRUE(opened.loaded()) << opened.message;
+  ASSERT_EQ(opened.snapshot->count(), 4u);
+  // record() walks the table in sorted key order.
+  EXPECT_EQ(opened.snapshot->record(0).first, 1u);
+  EXPECT_EQ(opened.snapshot->record(3).first, 9u);
+
+  double score = 0.0;
+  EXPECT_TRUE(opened.snapshot->lookup(3, &score));
+  EXPECT_DOUBLE_EQ(score, 0.3);
+  EXPECT_TRUE(opened.snapshot->lookup(9, &score));
+  EXPECT_DOUBLE_EQ(score, 0.9);
+  EXPECT_FALSE(opened.snapshot->lookup(4, &score));
+  EXPECT_FALSE(opened.snapshot->lookup(0, &score));
+  EXPECT_FALSE(opened.snapshot->lookup(10, &score));
+}
+
+TEST_F(MmapSnapshotTest, DuplicateKeysCollapseToOneRecord) {
+  save_snapshot_v2({{7, 0.7}, {7, 0.8}, {2, 0.2}}, path_);
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  ASSERT_TRUE(opened.loaded()) << opened.message;
+  EXPECT_EQ(opened.snapshot->count(), 2u);  // strict order preserved
+}
+
+TEST_F(MmapSnapshotTest, EmptySnapshotIsValid) {
+  save_snapshot_v2({}, path_);
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  ASSERT_TRUE(opened.loaded()) << opened.message;
+  EXPECT_EQ(opened.snapshot->count(), 0u);
+  double score = 0.0;
+  EXPECT_FALSE(opened.snapshot->lookup(1, &score));
+}
+
+TEST_F(MmapSnapshotTest, MissingFileIsMissingNotCorrupt) {
+  const MmapSnapshot::OpenResult opened =
+      MmapSnapshot::open(temp_path("rebert_no_such.rbpc"));
+  EXPECT_EQ(opened.status, SnapshotLoadStatus::kMissing);
+}
+
+TEST_F(MmapSnapshotTest, TruncatedFileRejected) {
+  save_snapshot_v2(sample_records(), path_);
+  const std::string bytes = slurp(path_);
+  // Clip mid-table, and separately mid-header.
+  spit(path_, bytes.substr(0, bytes.size() - 7));
+  EXPECT_EQ(MmapSnapshot::open(path_).status, SnapshotLoadStatus::kCorrupt);
+  spit(path_, bytes.substr(0, kSnapshotV2HeaderBytes / 2));
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  EXPECT_EQ(opened.status, SnapshotLoadStatus::kCorrupt);
+  EXPECT_NE(opened.message.find("too small"), std::string::npos)
+      << opened.message;
+}
+
+TEST_F(MmapSnapshotTest, TrailingGarbageRejected) {
+  save_snapshot_v2(sample_records(), path_);
+  spit(path_, slurp(path_) + "junk");
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  EXPECT_EQ(opened.status, SnapshotLoadStatus::kCorrupt);
+  EXPECT_NE(opened.message.find("trailing garbage"), std::string::npos)
+      << opened.message;
+}
+
+TEST_F(MmapSnapshotTest, BadMagicRejected) {
+  save_snapshot_v2(sample_records(), path_);
+  std::string bytes = slurp(path_);
+  bytes[0] = 'X';
+  spit(path_, bytes);
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  EXPECT_EQ(opened.status, SnapshotLoadStatus::kCorrupt);
+  EXPECT_NE(opened.message.find("magic"), std::string::npos)
+      << opened.message;
+}
+
+TEST_F(MmapSnapshotTest, BadStrideRejected) {
+  save_snapshot_v2(sample_records(), path_);
+  std::string bytes = slurp(path_);
+  const std::uint64_t skewed = 24;  // u64 stride at bytes 16..23
+  std::memcpy(&bytes[16], &skewed, sizeof(skewed));
+  spit(path_, bytes);
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  EXPECT_EQ(opened.status, SnapshotLoadStatus::kCorrupt);
+  EXPECT_NE(opened.message.find("stride"), std::string::npos)
+      << opened.message;
+}
+
+TEST_F(MmapSnapshotTest, ChecksumFlipRejected) {
+  save_snapshot_v2(sample_records(), path_);
+  std::string bytes = slurp(path_);
+  bytes[kSnapshotV2HeaderBytes + 3] ^= 0x10;  // one bit in the table
+  spit(path_, bytes);
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  EXPECT_EQ(opened.status, SnapshotLoadStatus::kCorrupt);
+  EXPECT_NE(opened.message.find("checksum"), std::string::npos)
+      << opened.message;
+}
+
+TEST_F(MmapSnapshotTest, HostileCountRejectedByArithmetic) {
+  // A count that multiplies past the file size (or past u64) must be
+  // refused from the header alone, never allocate or scan.
+  save_snapshot_v2(sample_records(), path_);
+  std::string bytes = slurp(path_);
+  const std::uint64_t huge = ~0ULL / 2;  // u64 count at bytes 8..15
+  std::memcpy(&bytes[8], &huge, sizeof(huge));
+  spit(path_, bytes);
+  EXPECT_EQ(MmapSnapshot::open(path_).status, SnapshotLoadStatus::kCorrupt);
+}
+
+TEST_F(MmapSnapshotTest, OutOfOrderKeysRejected) {
+  // Hand-build a checksummed file whose keys are unsorted: the checksum
+  // passes, so only the order validator can catch it.
+  save_snapshot_v2({{1, 0.1}, {2, 0.2}}, path_);
+  std::string bytes = slurp(path_);
+  std::string table = bytes.substr(kSnapshotV2HeaderBytes);
+  std::swap_ranges(table.begin(), table.begin() + kSnapshotV2Stride,
+                   table.begin() + kSnapshotV2Stride);
+  const std::uint64_t checksum = fnv1a_words(table.data(), table.size());
+  std::memcpy(&bytes[24], &checksum, sizeof(checksum));
+  bytes.replace(kSnapshotV2HeaderBytes, table.size(), table);
+  spit(path_, bytes);
+  const MmapSnapshot::OpenResult opened = MmapSnapshot::open(path_);
+  EXPECT_EQ(opened.status, SnapshotLoadStatus::kCorrupt);
+  EXPECT_NE(opened.message.find("out of order"), std::string::npos)
+      << opened.message;
+}
+
+TEST_F(MmapSnapshotTest, LoadSnapshotReadsV2Transparently) {
+  // The stream-shaped API (load_snapshot) must materialize a v2 file
+  // identically to how it reads v1 — one format choice, two read shapes.
+  save_snapshot_v2(sample_records(), path_);
+  const SnapshotLoadResult via_stream = load_snapshot(path_);
+  ASSERT_EQ(via_stream.status, SnapshotLoadStatus::kLoaded)
+      << via_stream.message;
+  ASSERT_EQ(via_stream.records.size(), 4u);
+  EXPECT_EQ(via_stream.records[0].first, 1u);
+  EXPECT_DOUBLE_EQ(via_stream.records[3].second, 0.9);
+}
+
+TEST_F(MmapSnapshotTest, WarmStartAttachesV2AsZeroCopyTier) {
+  save_snapshot_v2(sample_records(), path_);
+  core::ShardedPredictionCache cache;
+  EXPECT_EQ(warm_start_cache(&cache, path_), 4u);
+  ASSERT_NE(cache.warm_tier(), nullptr);  // mapped, not materialized
+  EXPECT_EQ(cache.warm_tier()->size(), 4u);
+  double score = 0.0;
+  EXPECT_TRUE(cache.lookup(5, &score));
+  EXPECT_DOUBLE_EQ(score, 0.5);
+  // A snapshot exported from the warm cache keeps the tier's records.
+  EXPECT_EQ(cache.export_entries().size(), 4u);
+}
+
+TEST_F(MmapSnapshotTest, WarmStartFallsBackToStreamParseForV1) {
+  save_snapshot(sample_records(), path_);
+  core::ShardedPredictionCache cache;
+  EXPECT_EQ(warm_start_cache(&cache, path_), 4u);
+  EXPECT_EQ(cache.warm_tier(), nullptr);  // materialized the v1 records
+  double score = 0.0;
+  EXPECT_TRUE(cache.lookup(9, &score));
+  EXPECT_DOUBLE_EQ(score, 0.9);
+}
+
+TEST_F(MmapSnapshotTest, WarmStartStartsColdOnCorruptFile) {
+  save_snapshot_v2(sample_records(), path_);
+  std::string bytes = slurp(path_);
+  bytes[kSnapshotV2HeaderBytes] ^= 0xFF;
+  spit(path_, bytes);
+  core::ShardedPredictionCache cache;
+  EXPECT_EQ(warm_start_cache(&cache, path_), 0u);  // no throw, just cold
+  EXPECT_EQ(cache.warm_tier(), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rebert::persist

@@ -1,0 +1,236 @@
+// Router binary pass-through: frames relay byte-for-byte to the owning
+// backend (no re-encoding), backend advisories — overload retry_after_ms,
+// the degraded flag — survive the relay untouched, admin verbs answer
+// locally, and an empty ring refuses with a no_backend frame carrying the
+// router's advisory delay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/router.h"
+#include "runtime/fault_injector.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/serve_loop.h"
+#include "util/string_utils.h"
+#include "wire/frame.h"
+#include "wire/message.h"
+
+namespace rebert::router {
+namespace {
+
+using serve::EngineOptions;
+using serve::InferenceEngine;
+using serve::ServeLoop;
+
+EngineOptions small_options() {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.batch_size = 4;
+  options.suite_scale = 0.25;
+  options.experiment.pipeline.tokenizer.backtrace_depth = 4;
+  options.experiment.pipeline.tokenizer.tree_code_dim = 8;
+  options.experiment.pipeline.tokenizer.max_seq_len = 128;
+  options.experiment.model_hidden = 32;
+  options.experiment.model_layers = 1;
+  options.experiment.model_heads = 2;
+  return options;
+}
+
+RouterOptions fast_router_options() {
+  RouterOptions options;
+  options.probe_interval_ms = 0;
+  options.client.connect_attempts = 3;
+  options.client.connect_poll_ms = 5;
+  options.retry_after_ms = 9;
+  return options;
+}
+
+struct TestBackend {
+  InferenceEngine engine;
+  ServeLoop loop;
+  std::string path;
+  std::thread server;
+
+  TestBackend(std::string socket_path, EngineOptions options)
+      : engine(options),
+        loop(engine),
+        path(std::move(socket_path)),
+        server([this] { loop.run_unix_socket(path); }) {}
+
+  ~TestBackend() {
+    loop.stop();
+    if (server.joinable()) server.join();
+    std::remove(path.c_str());
+  }
+};
+
+bool wait_ready(const std::string& socket_path) {
+  serve::Client client(socket_path);
+  if (!client.connect()) return false;
+  try {
+    return util::starts_with(client.request("health"), "ok");
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Drive one request line through the router's binary entry point and
+/// decode the answer — what a binary client connected to the router's
+/// socket experiences.
+wire::Response frame_round_trip(Router& router, const std::string& line,
+                                bool* quit) {
+  const serve::Request parsed = serve::parse_request(line);
+  wire::Frame frame;
+  std::string error;
+  wire::FrameReader reader;
+  reader.feed(wire::encode_request(serve::to_wire(parsed)));
+  EXPECT_EQ(reader.next(&frame, &error), wire::FrameReader::Status::kFrame);
+
+  const std::string reply_bytes = router.handle_frame(frame, quit);
+  reader.reset();
+  reader.feed(reply_bytes);
+  wire::Frame reply;
+  EXPECT_EQ(reader.next(&reply, &error), wire::FrameReader::Status::kFrame)
+      << error;
+  EXPECT_EQ(reply.type, wire::FrameType::kResponse);
+  wire::Response response;
+  EXPECT_TRUE(wire::decode_response_payload(reply.payload, &response,
+                                            &error))
+      << error;
+  return response;
+}
+
+TEST(RouterWireTest, EmptyRingRefusesWithNoBackendFrame) {
+  Router router(fast_router_options());
+  bool quit = false;
+  const wire::Response response =
+      frame_round_trip(router, "score b03 q0 q1", &quit);
+  EXPECT_EQ(response.status, wire::Status::kErr);
+  EXPECT_EQ(response.code, wire::ErrorCode::kNoBackend);
+  EXPECT_EQ(response.retry_after_ms, 9u);
+  EXPECT_EQ(response.verb, wire::Verb::kScore);  // echoes the request
+  EXPECT_EQ(wire::response_to_line(response),
+            "err no_backend retry_after_ms=9");
+}
+
+TEST(RouterWireTest, ForwardsFramesAndMatchesTextAnswers) {
+  TestBackend backend(::testing::TempDir() + "/router_wire_fwd.sock",
+                      small_options());
+  ASSERT_TRUE(wait_ready(backend.path));
+  Router router(fast_router_options());
+  router.add_backend("backend0", backend.path);
+
+  const std::vector<std::string> bits = backend.engine.bit_names("b03");
+  ASSERT_GE(bits.size(), 2u);
+  bool quit = false;
+
+  // The same score through both relays renders the same line: the binary
+  // path is a transport, never a different protocol.
+  const std::string line = "score b03 " + bits[0] + " " + bits[1];
+  const wire::Response scored = frame_round_trip(router, line, &quit);
+  EXPECT_EQ(wire::response_to_line(scored),
+            router.handle_line(line, &quit));
+  EXPECT_EQ(scored.status, wire::Status::kOk);
+  EXPECT_TRUE(scored.flags & wire::kFlagScore);
+
+  // Admin verbs answer locally, in frames, without a backend round-trip.
+  const wire::Response stats = frame_round_trip(router, "stats", &quit);
+  EXPECT_TRUE(util::starts_with(wire::response_to_line(stats),
+                                "ok role=router"));
+  const wire::Response health = frame_round_trip(router, "health", &quit);
+  EXPECT_NE(wire::response_to_line(health).find("status=ready"),
+            std::string::npos);
+  const wire::Response help = frame_round_trip(router, "help", &quit);
+  EXPECT_NE(help.body.find("drain <name>"), std::string::npos);
+  EXPECT_FALSE(quit);
+  const wire::Response bye = frame_round_trip(router, "quit", &quit);
+  EXPECT_TRUE(quit);
+  EXPECT_EQ(bye.status, wire::Status::kOk);
+  EXPECT_GE(router.stats().forwarded, 1u);
+}
+
+TEST(RouterWireTest, BackendOverloadAdvisoryRelaysUnchanged) {
+  EngineOptions options = small_options();
+  options.max_inflight = 1;
+  options.retry_after_ms = 7;  // distinct from the router's 9
+  TestBackend backend(::testing::TempDir() + "/router_wire_ovl.sock",
+                      options);
+  ASSERT_TRUE(wait_ready(backend.path));
+  Router router(fast_router_options());
+  router.add_backend("backend0", backend.path);
+
+  const std::vector<std::string> bits = backend.engine.bit_names("b03");
+  ASSERT_GE(bits.size(), 3u);
+  runtime::FaultInjector::global().arm("model.forward", 1.0, 3, 120);
+  std::thread slow([&] {
+    bool ignored = false;
+    (void)frame_round_trip(router, "score b03 " + bits[0] + " " + bits[2],
+                           &ignored);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  bool quit = false;
+  const wire::Response shed = frame_round_trip(
+      router, "score b03 " + bits[1] + " " + bits[2], &quit);
+  slow.join();
+  runtime::FaultInjector::global().disarm_all();
+
+  // The backend's advisory delay (7) arrives intact — proof the router
+  // relayed the frame rather than re-encoding through its own config (9).
+  EXPECT_EQ(shed.status, wire::Status::kErr);
+  EXPECT_EQ(shed.code, wire::ErrorCode::kOverloaded);
+  EXPECT_EQ(shed.retry_after_ms, 7u);
+  EXPECT_EQ(serve::parse_retry_after_ms(wire::response_to_line(shed)), 7);
+}
+
+TEST(RouterWireTest, DegradedRecoverKeepsItsFlagThroughTheRelay) {
+  TestBackend backend(::testing::TempDir() + "/router_wire_deg.sock",
+                      small_options());
+  ASSERT_TRUE(wait_ready(backend.path));
+  Router router(fast_router_options());
+  router.add_backend("backend0", backend.path);
+  (void)backend.engine.warm("b03");
+
+  // Every forward fails -> the backend serves the structural fallback and
+  // tags the response degraded; the flag must survive the frame relay.
+  runtime::FaultInjector::global().arm("model.forward", 1.0, 7);
+  bool quit = false;
+  const wire::Response recovered =
+      frame_round_trip(router, "recover b03", &quit);
+  runtime::FaultInjector::global().disarm_all();
+
+  EXPECT_EQ(recovered.status, wire::Status::kOk);
+  EXPECT_TRUE(recovered.flags & wire::kFlagDegraded)
+      << wire::response_to_line(recovered);
+  EXPECT_NE(wire::response_to_line(recovered).find("degraded=structural"),
+            std::string::npos);
+}
+
+TEST(RouterWireTest, MalformedFramePayloadAnsweredWithErrorFrame) {
+  Router router(fast_router_options());
+  wire::FrameReader reader;
+  reader.feed(wire::encode_frame(wire::FrameType::kRequest, "nonsense"));
+  wire::Frame frame;
+  std::string error;
+  ASSERT_EQ(reader.next(&frame, &error), wire::FrameReader::Status::kFrame);
+
+  bool quit = false;
+  const std::string reply_bytes = router.handle_frame(frame, &quit);
+  reader.reset();
+  reader.feed(reply_bytes);
+  wire::Frame reply;
+  ASSERT_EQ(reader.next(&reply, &error), wire::FrameReader::Status::kFrame);
+  ASSERT_EQ(reply.type, wire::FrameType::kResponse);
+  wire::Response response;
+  ASSERT_TRUE(wire::decode_response_payload(reply.payload, &response,
+                                            &error))
+      << error;
+  EXPECT_EQ(response.status, wire::Status::kErr);
+  EXPECT_FALSE(quit);  // request-level failure, connection survives
+}
+
+}  // namespace
+}  // namespace rebert::router

@@ -1,0 +1,311 @@
+// Binary wire protocol over the Unix socket transport: negotiation by
+// first byte, text/binary parity and coexistence, the two-tier error
+// contract (malformed message answers the request, framing corruption
+// closes the connection), the text line-length cap, and renegotiation
+// after a backend restart through a reused ClientPool.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/client_pool.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/serve_loop.h"
+#include "util/string_utils.h"
+#include "wire/frame.h"
+#include "wire/message.h"
+
+namespace rebert::serve {
+namespace {
+
+EngineOptions small_options() {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.batch_size = 4;
+  options.suite_scale = 0.25;
+  options.experiment.pipeline.tokenizer.backtrace_depth = 4;
+  options.experiment.pipeline.tokenizer.tree_code_dim = 8;
+  options.experiment.pipeline.tokenizer.max_seq_len = 128;
+  options.experiment.model_hidden = 32;
+  options.experiment.model_layers = 1;
+  options.experiment.model_heads = 2;
+  return options;
+}
+
+int connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::close(fd);
+  return -1;
+}
+
+void send_raw(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read whole frames off a raw fd; empty Status::kNeedMore result on EOF.
+bool read_frame(int fd, wire::FrameReader& reader, wire::Frame* frame) {
+  std::string error;
+  while (true) {
+    switch (reader.next(frame, &error)) {
+      case wire::FrameReader::Status::kFrame:
+        return true;
+      case wire::FrameReader::Status::kError:
+        return false;
+      case wire::FrameReader::Status::kNeedMore:
+        break;
+    }
+    char chunk[512];
+    ssize_t got;
+    do {
+      got = ::read(fd, chunk, sizeof(chunk));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return false;
+    reader.feed(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+std::string read_line(int fd) {
+  std::string line;
+  char c;
+  while (true) {
+    ssize_t got;
+    do {
+      got = ::read(fd, &c, 1);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0 || c == '\n') return line;
+    line += c;
+  }
+}
+
+/// Raw-socket hello handshake, so tests can then inject arbitrary bytes.
+int connect_binary(const std::string& path, wire::FrameReader& reader) {
+  const int fd = connect_to(path);
+  if (fd < 0) return -1;
+  send_raw(fd, wire::encode_hello());
+  wire::Frame ack;
+  if (!read_frame(fd, reader, &ack) ||
+      ack.type != wire::FrameType::kHelloAck) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+class WireSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = ::testing::TempDir() + "/rebert_wire_" +
+                   std::to_string(::getpid()) + ".sock";
+    engine_ = std::make_unique<InferenceEngine>(small_options());
+    loop_ = std::make_unique<ServeLoop>(*engine_);
+    server_ = std::thread([this] { loop_->run_unix_socket(socket_path_); });
+  }
+
+  void TearDown() override {
+    loop_->stop();
+    server_.join();
+    std::remove(socket_path_.c_str());
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<InferenceEngine> engine_;
+  std::unique_ptr<ServeLoop> loop_;
+  std::thread server_;
+};
+
+TEST_F(WireSocketTest, BinaryClientMatchesTextClientAnswerForAnswer) {
+  Client text(socket_path_);
+  ClientOptions binary_options;
+  binary_options.binary = true;
+  Client binary(socket_path_, binary_options);
+  ASSERT_TRUE(text.connect());
+  ASSERT_TRUE(binary.connect());
+  EXPECT_FALSE(text.negotiated_binary());
+  EXPECT_TRUE(binary.negotiated_binary());
+
+  // Same requests, both encodings, byte-identical response lines — the
+  // transcoding keeps every log consumer and retry parser working.
+  for (const char* line :
+       {"help", "health", "score b03 no_such_bit also_missing"}) {
+    EXPECT_EQ(binary.request(line), text.request(line)) << line;
+  }
+}
+
+TEST_F(WireSocketTest, TextAndBinaryConnectionsCoexist) {
+  const int text_fd = connect_to(socket_path_);
+  ASSERT_GE(text_fd, 0);
+  wire::FrameReader reader;
+  const int binary_fd = connect_binary(socket_path_, reader);
+  ASSERT_GE(binary_fd, 0);
+
+  send_raw(text_fd, "help\n");
+  EXPECT_TRUE(util::starts_with(read_line(text_fd), "ok commands:"));
+
+  wire::Request stats;
+  stats.verb = wire::Verb::kStats;
+  send_raw(binary_fd, wire::encode_request(stats));
+  wire::Frame frame;
+  ASSERT_TRUE(read_frame(binary_fd, reader, &frame));
+  ASSERT_EQ(frame.type, wire::FrameType::kResponse);
+  wire::Response response;
+  std::string error;
+  ASSERT_TRUE(wire::decode_response_payload(frame.payload, &response,
+                                            &error))
+      << error;
+  EXPECT_TRUE(util::starts_with(wire::response_to_line(response),
+                                "ok threads="));
+  ::close(text_fd);
+  ::close(binary_fd);
+}
+
+TEST_F(WireSocketTest, MalformedMessageAnswersTheRequestAndSurvives) {
+  // A well-framed but meaningless payload is a request-level failure: the
+  // server answers it with an error response and keeps the connection.
+  wire::FrameReader reader;
+  const int fd = connect_binary(socket_path_, reader);
+  ASSERT_GE(fd, 0);
+
+  send_raw(fd, wire::encode_frame(wire::FrameType::kRequest, "garbage"));
+  wire::Frame frame;
+  ASSERT_TRUE(read_frame(fd, reader, &frame));
+  ASSERT_EQ(frame.type, wire::FrameType::kResponse);
+  wire::Response response;
+  std::string error;
+  ASSERT_TRUE(wire::decode_response_payload(frame.payload, &response,
+                                            &error))
+      << error;
+  EXPECT_EQ(response.status, wire::Status::kErr);
+
+  // The connection still works.
+  wire::Request stats;
+  stats.verb = wire::Verb::kStats;
+  send_raw(fd, wire::encode_request(stats));
+  ASSERT_TRUE(read_frame(fd, reader, &frame));
+  EXPECT_EQ(frame.type, wire::FrameType::kResponse);
+  ::close(fd);
+}
+
+TEST_F(WireSocketTest, FramingCorruptionGetsErrorFrameThenClose) {
+  // Corruption below the message layer poisons the stream: the server
+  // sends one kError diagnosis and drops the connection.
+  wire::FrameReader reader;
+  const int fd = connect_binary(socket_path_, reader);
+  ASSERT_GE(fd, 0);
+
+  std::string bad = wire::encode_frame(wire::FrameType::kRequest, "x");
+  bad[bad.size() - 1] ^= 0x40;  // checksum mismatch
+  send_raw(fd, bad);
+  wire::Frame frame;
+  ASSERT_TRUE(read_frame(fd, reader, &frame));
+  EXPECT_EQ(frame.type, wire::FrameType::kError);
+  EXPECT_NE(frame.payload.find("checksum"), std::string::npos)
+      << frame.payload;
+  EXPECT_FALSE(read_frame(fd, reader, &frame));  // EOF: connection closed
+  ::close(fd);
+
+  // The daemon survived; a later client is served normally.
+  Client later(socket_path_);
+  ASSERT_TRUE(later.connect());
+  EXPECT_TRUE(util::starts_with(later.request("stats"), "ok threads="));
+}
+
+TEST_F(WireSocketTest, RequestBeforeHelloIsRejected) {
+  const int fd = connect_to(socket_path_);
+  ASSERT_GE(fd, 0);
+  wire::Request stats;
+  stats.verb = wire::Verb::kStats;
+  send_raw(fd, wire::encode_request(stats));  // skipped the hello
+  wire::FrameReader reader;
+  wire::Frame frame;
+  ASSERT_TRUE(read_frame(fd, reader, &frame));
+  EXPECT_EQ(frame.type, wire::FrameType::kError);
+  EXPECT_NE(frame.payload.find("hello"), std::string::npos)
+      << frame.payload;
+  ::close(fd);
+}
+
+TEST_F(WireSocketTest, BinaryRefusedWhenDisabled) {
+  loop_->set_accept_binary(false);
+  ClientOptions binary_options;
+  binary_options.binary = true;
+  Client client(socket_path_, binary_options);
+  EXPECT_FALSE(client.connect());  // refusal, not a hang or a crash
+
+  // Text service is unaffected.
+  Client text(socket_path_);
+  ASSERT_TRUE(text.connect());
+  EXPECT_TRUE(util::starts_with(text.request("stats"), "ok threads="));
+  loop_->set_accept_binary(true);
+}
+
+TEST_F(WireSocketTest, OversizedTextLineRefusedAndClosed) {
+  const int fd = connect_to(socket_path_);
+  ASSERT_GE(fd, 0);
+  const std::string huge(kMaxRequestLineBytes + 64, 'a');
+  send_raw(fd, huge + "\n");
+  EXPECT_EQ(read_line(fd), format_line_too_long());
+  EXPECT_EQ(read_line(fd), "");  // server closed the connection
+  ::close(fd);
+}
+
+TEST_F(WireSocketTest, PoolReuseAfterBackendRestartRenegotiates) {
+  // A restarted backend invalidates every pooled connection; the next
+  // lease must detect the stale socket, reconnect, and re-run the hello
+  // handshake from scratch — protocol state never outlives its socket.
+  ClientOptions binary_options;
+  binary_options.binary = true;
+  ClientPool pool(socket_path_, binary_options);
+  {
+    ClientPool::Lease lease = pool.acquire();
+    ASSERT_TRUE(lease);
+    EXPECT_TRUE(util::starts_with(lease->request("stats"), "ok threads="));
+  }  // returned idle, still connected to the first incarnation
+
+  loop_->stop();
+  server_.join();
+  loop_ = std::make_unique<ServeLoop>(*engine_);
+  server_ = std::thread([this] { loop_->run_unix_socket(socket_path_); });
+
+  std::string reply;
+  ClientPool::Lease lease = pool.acquire();  // hands back the stale client
+  ASSERT_TRUE(lease);
+  try {
+    reply = lease->request("stats");
+  } catch (const std::exception&) {
+    lease.discard();
+    lease = pool.acquire_fresh();
+    ASSERT_TRUE(lease);
+    reply = lease->request("stats");
+  }
+  EXPECT_TRUE(util::starts_with(reply, "ok threads=")) << reply;
+  EXPECT_TRUE(lease->negotiated_binary());
+}
+
+}  // namespace
+}  // namespace rebert::serve

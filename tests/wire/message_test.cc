@@ -1,0 +1,190 @@
+// Message-layer contracts: request/response roundtrips through the frame
+// encoding, response_to_line parity with the text protocol's formatting
+// (the property that keeps both encodings one protocol), and rejection of
+// every malformed payload shape before a field is trusted.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/protocol.h"
+#include "wire/frame.h"
+#include "wire/message.h"
+
+namespace rebert::wire {
+namespace {
+
+std::string payload_of(const std::string& encoded) {
+  FrameReader reader;
+  reader.feed(encoded);
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(reader.next(&frame, &error), FrameReader::Status::kFrame)
+      << error;
+  return frame.payload;
+}
+
+TEST(MessageTest, RequestRoundTrip) {
+  Request request;
+  request.verb = Verb::kScore;
+  request.bench = "b07";
+  request.bit_a = "alu_out[3]";
+  request.bit_b = "alu_out[4]";
+  request.model = "large";
+  request.deadline_ms = 250;
+
+  Request decoded;
+  std::string error;
+  ASSERT_TRUE(decode_request_payload(payload_of(encode_request(request)),
+                                     &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.verb, Verb::kScore);
+  EXPECT_EQ(decoded.bench, "b07");
+  EXPECT_EQ(decoded.bit_a, "alu_out[3]");
+  EXPECT_EQ(decoded.bit_b, "alu_out[4]");
+  EXPECT_EQ(decoded.model, "large");
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+}
+
+TEST(MessageTest, RequestWithEmptyFieldsRoundTrips) {
+  Request request;
+  request.verb = Verb::kStats;
+
+  Request decoded;
+  std::string error;
+  ASSERT_TRUE(decode_request_payload(payload_of(encode_request(request)),
+                                     &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.verb, Verb::kStats);
+  EXPECT_TRUE(decoded.bench.empty());
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+}
+
+TEST(MessageTest, ResponseRoundTripKeepsEveryField) {
+  Response response;
+  response.verb = Verb::kRecover;
+  response.status = Status::kOk;
+  response.flags = kFlagDegraded;
+  response.score = 0.0;
+  response.body = "words=12 matched=10";
+
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(decode_response_payload(payload_of(encode_response(response)),
+                                      &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.verb, Verb::kRecover);
+  EXPECT_EQ(decoded.status, Status::kOk);
+  EXPECT_EQ(decoded.flags, kFlagDegraded);
+  EXPECT_EQ(decoded.body, "words=12 matched=10");
+}
+
+TEST(MessageTest, ScoreRoundTripIsBitExact) {
+  const double score = 0.123456789012345;
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(decode_response_payload(
+      payload_of(encode_response(score_response(score))), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.score, score);  // f64 on the wire, no text rounding
+  EXPECT_TRUE(decoded.flags & kFlagScore);
+}
+
+TEST(MessageTest, MalformedRequestPayloadsRejected) {
+  Request decoded;
+  std::string error;
+  // Shorter than the header.
+  EXPECT_FALSE(decode_request_payload("tiny", &decoded, &error));
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+
+  std::string good = payload_of(encode_request([] {
+    Request r;
+    r.verb = Verb::kScore;
+    r.bench = "b07";
+    r.bit_a = "a";
+    r.bit_b = "b";
+    return r;
+  }()));
+  // Unknown verb.
+  std::string bad = good;
+  bad[0] = 42;
+  EXPECT_FALSE(decode_request_payload(bad, &decoded, &error));
+  EXPECT_NE(error.find("verb"), std::string::npos) << error;
+  // Reserved bits.
+  bad = good;
+  bad[1] = 1;
+  EXPECT_FALSE(decode_request_payload(bad, &decoded, &error));
+  EXPECT_NE(error.find("reserved"), std::string::npos) << error;
+  // Field lengths no longer tile the payload: clip the last byte.
+  bad = good.substr(0, good.size() - 1);
+  EXPECT_FALSE(decode_request_payload(bad, &decoded, &error));
+  EXPECT_NE(error.find("lengths"), std::string::npos) << error;
+  // Trailing garbage is equally a length mismatch.
+  bad = good + "z";
+  EXPECT_FALSE(decode_request_payload(bad, &decoded, &error));
+}
+
+TEST(MessageTest, MalformedResponsePayloadsRejected) {
+  Response decoded;
+  std::string error;
+  EXPECT_FALSE(decode_response_payload("", &decoded, &error));
+
+  std::string good =
+      payload_of(encode_response(ok_response(Verb::kStats, "threads=4")));
+  std::string bad = good;
+  bad[1] = 9;  // unknown status
+  EXPECT_FALSE(decode_response_payload(bad, &decoded, &error));
+  EXPECT_NE(error.find("status"), std::string::npos) << error;
+  bad = good;
+  bad[2] = 9;  // unknown error code
+  EXPECT_FALSE(decode_response_payload(bad, &decoded, &error));
+  EXPECT_NE(error.find("code"), std::string::npos) << error;
+  bad = good.substr(0, good.size() - 1);  // body shorter than declared
+  EXPECT_FALSE(decode_response_payload(bad, &decoded, &error));
+}
+
+// response_to_line must render the exact bytes the text protocol produces
+// for the same outcome — pinned against serve/protocol.h's formatters so
+// the two can never drift apart silently.
+TEST(MessageTest, ResponseToLineMatchesTextProtocol) {
+  using serve::format_error;
+  using serve::format_ok;
+  using serve::format_overloaded;
+
+  EXPECT_EQ(response_to_line(ok_response(Verb::kStats, "threads=4")),
+            format_ok("threads=4"));
+  EXPECT_EQ(response_to_line(ok_response(Verb::kQuit, "bye")),
+            format_ok("bye"));
+  EXPECT_EQ(response_to_line(score_response(0.25)), format_ok("0.250000"));
+  EXPECT_EQ(response_to_line(error_response(Verb::kHelp, "unknown verb")),
+            format_error("unknown verb"));
+  EXPECT_EQ(response_to_line(overloaded_response(50)),
+            format_overloaded(50));
+  EXPECT_EQ(serve::parse_retry_after_ms(
+                response_to_line(overloaded_response(75))),
+            75);
+  EXPECT_EQ(response_to_line(deadline_response(Verb::kScore)),
+            format_error("deadline_exceeded"));
+  EXPECT_EQ(response_to_line(no_backend_response(40)),
+            "err no_backend retry_after_ms=40");
+
+  Response degraded = ok_response(Verb::kRecover, "words=3 matched=2");
+  degraded.flags |= kFlagDegraded;
+  EXPECT_EQ(response_to_line(degraded),
+            format_ok("words=3 matched=2 degraded=structural"));
+}
+
+TEST(MessageTest, ToWireFromWireRoundTripsTheParsedRequest) {
+  const serve::Request parsed = serve::parse_request(
+      "score b07 alu[0] alu[1] model=small deadline_ms=100");
+  ASSERT_EQ(parsed.type, serve::RequestType::kScore) << parsed.error;
+  const serve::Request back = serve::from_wire(serve::to_wire(parsed));
+  EXPECT_EQ(back.type, serve::RequestType::kScore);
+  EXPECT_EQ(back.bench, "b07");
+  EXPECT_EQ(back.bit_a, "alu[0]");
+  EXPECT_EQ(back.bit_b, "alu[1]");
+  EXPECT_EQ(back.model, "small");
+  EXPECT_EQ(back.deadline_ms, 100);
+}
+
+}  // namespace
+}  // namespace rebert::wire
