@@ -26,7 +26,8 @@
 //                          [--cache-file cache.rbpc] [--snapshot-every 64]
 //                          [--max-inflight 0] [--max-inflight-per-bench 0]
 //                          [--retry-after-ms 50] [--deadline-ms 0]
-//                          [--max-connections 64]
+//                          [--max-connections 64] [--listen-backlog 0]
+//                          [--dispatch-threads 0]
 //   rebert_cli route       --socket /tmp/router.sock [--backends 2 |
 //                          --backend-sockets a.sock,b.sock] [--vnodes 64]
 //                          [--probe-interval-ms 200] + serve flags
@@ -51,8 +52,12 @@
 // Overload safety (see DESIGN.md): --max-inflight bounds concurrently
 // admitted score/recover requests (excess answered `err overloaded
 // retry_after_ms=<n>`), --deadline-ms imposes a default per-request
-// deadline (`err deadline_exceeded`), --max-connections caps socket
-// handler threads, and the REBERT_FAULTS environment variable
+// deadline (`err deadline_exceeded`), --max-connections caps live socket
+// connections in the reactor's epoll set (excess connections get the
+// overload advisory in their own encoding and are closed), --dispatch-
+// threads sizes the model-work pool behind the reactor (0 = default 16),
+// --listen-backlog overrides the SOMAXCONN accept queue (0 = SOMAXCONN),
+// and the REBERT_FAULTS environment variable
 // (site:prob:seed[:delay_ms],...) arms deterministic fault injection for
 // chaos drills — a model-path fault degrades `recover` to the structural
 // baseline rather than failing it.
@@ -432,6 +437,9 @@ int cmd_serve(const util::FlagParser& flags) {
   serve::ServeLoop loop(engine);
   loop.set_default_deadline_ms(flags.get_int("deadline-ms", 0));
   loop.set_max_connections(flags.get_int("max-connections", 64));
+  // 0 = the built-in defaults: SOMAXCONN backlog, 16 dispatch threads.
+  loop.set_listen_backlog(flags.get_int("listen-backlog", 0));
+  loop.set_dispatch_threads(flags.get_int("dispatch-threads", 0));
   // --binary false turns the wire protocol away at negotiation; the text
   // protocol is always served.
   loop.set_accept_binary(flags.get_bool("binary", true));
@@ -499,6 +507,8 @@ int cmd_route(const util::FlagParser& flags) {
       pass("retry-after-ms");
       pass("deadline-ms");
       pass("max-connections");
+      pass("listen-backlog");
+      pass("dispatch-threads");
       pass("snapshot-every");
       // Per-backend snapshot files: each worker persists (and, after a
       // SIGKILL respawn, mmaps) its own shard of the cache — shared state
@@ -525,6 +535,7 @@ int cmd_route(const util::FlagParser& flags) {
   options.vnodes = flags.get_int("vnodes", 64);
   options.probe_interval_ms = flags.get_int("probe-interval-ms", 200);
   options.retry_after_ms = flags.get_int("retry-after-ms", 50);
+  options.dispatch_threads = flags.get_int("dispatch-threads", 0);
   router::Router router(options);
   for (std::size_t i = 0; i < backend_sockets.size(); ++i)
     router.add_backend("backend" + std::to_string(i), backend_sockets[i]);
@@ -818,7 +829,8 @@ constexpr Subcommand kSubcommands[] = {
      "[--model model.bin] [--manifest models.manifest] [--scale 0.25] "
      "[--cache-file cache.rbpc] [--snapshot-every 64] [--max-inflight 0] "
      "[--max-inflight-per-bench 0] [--retry-after-ms 50] "
-     "[--deadline-ms 0] [--max-connections 64] [--binary true|false]",
+     "[--deadline-ms 0] [--max-connections 64] [--listen-backlog 0] "
+     "[--dispatch-threads 0] [--binary true|false]",
      cmd_serve},
     {"route",
      "--socket /tmp/router.sock [--backends 2 | --backend-sockets a,b] "

@@ -39,8 +39,15 @@ Router::Router(RouterOptions options)
           /*on_shutdown=*/nullptr,
           /*handle_frame=*/[this](const wire::Frame& frame, bool* close) {
             return handle_frame(frame, close);
+          },
+          /*overload_frame=*/[this] {
+            return wire::encode_response(
+                wire::overloaded_response(options_.retry_after_ms));
           }}),
-      ring_(options_.vnodes) {}
+      ring_(options_.vnodes) {
+  if (options_.dispatch_threads > 0)
+    socket_server_.set_dispatch_threads(options_.dispatch_threads);
+}
 
 Router::~Router() { stop_probes(); }
 

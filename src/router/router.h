@@ -68,6 +68,10 @@ struct RouterOptions {
   serve::ClientOptions client;
   /// Idle connections retained per backend pool.
   std::size_t pool_max_idle = 8;
+  /// Dispatch-pool threads in the router's SocketServer. Forwarding
+  /// blocks a pool thread on backend I/O, so this bounds concurrent
+  /// forwards; <= 0 keeps the SocketServer default.
+  int dispatch_threads = 0;
 };
 
 struct RouterStats {

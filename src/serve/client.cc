@@ -40,15 +40,28 @@ bool Client::connect() {
     });
     if (result == 0) {
       fd_ = fd;
+      if (!options_.binary) return true;
       // A reconnect must re-run the negotiation from scratch: the server
       // side of the old agreement died with the old connection.
-      if (options_.binary && !negotiate()) {
-        // A server that accepted the connection but refused the hello is
-        // answering deterministically — polling would refuse 200 times.
-        close();
-        return false;
+      switch (negotiate()) {
+        case Negotiation::kAck:
+          return true;
+        case Negotiation::kRefused:
+          // A server that accepted the connection but refused the hello
+          // is answering deterministically — polling would refuse 200
+          // times.
+          close();
+          return false;
+        case Negotiation::kOverloaded:
+          // Shed at the connection door with a retryable advisory: back
+          // off by at least the server's delay, then re-poll — a slot may
+          // free up within the polling budget.
+          close();
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::max(last_overload_retry_after_ms_,
+                       options_.connect_poll_ms)));
+          continue;
       }
-      return true;
     }
     ::close(fd);
     // ENOENT / ECONNREFUSED: the daemon has not bound yet — poll.
@@ -121,18 +134,32 @@ wire::Frame Client::read_frame() {
   }
 }
 
-bool Client::negotiate() {
+Client::Negotiation Client::negotiate() {
   try {
     send_all(wire::encode_hello());
     const wire::Frame ack = read_frame();
-    if (ack.type != wire::FrameType::kHelloAck) return false;
+    if (ack.type == wire::FrameType::kHelloAck) {
+      negotiated_ = true;
+      return Negotiation::kAck;
+    }
+    if (ack.type == wire::FrameType::kResponse) {
+      // Not an ack but a well-formed response frame: the server shed this
+      // connection at the max_connections door. Surface the advisory
+      // delay so connect() can back off instead of giving up.
+      wire::Response response;
+      std::string error;
+      if (wire::decode_response_payload(ack.payload, &response, &error) &&
+          response.code == wire::ErrorCode::kOverloaded) {
+        last_overload_retry_after_ms_ =
+            static_cast<int>(response.retry_after_ms);
+        return Negotiation::kOverloaded;
+      }
+    }
   } catch (const util::CheckError&) {
     // Send failure, EOF, or a framing error before the ack — the server
     // either refused binary or is not speaking this protocol at all.
-    return false;
   }
-  negotiated_ = true;
-  return true;
+  return Negotiation::kRefused;
 }
 
 wire::Frame Client::request_frame(const std::string& frame_bytes) {

@@ -86,11 +86,24 @@ class Client {
   /// Overload retries performed across the client's lifetime.
   std::uint64_t retries() const { return retries_; }
 
+  /// The server's advisory delay from the most recent connection-level
+  /// overload refusal (a frame-encoded shed at the max_connections door),
+  /// or -1 when no such refusal has been seen. connect() backs off by at
+  /// least this much before re-polling.
+  int last_overload_retry_after_ms() const {
+    return last_overload_retry_after_ms_;
+  }
+
  private:
+  /// How the server answered the hello: acknowledged, refused outright
+  /// (wrong protocol, binary disabled — deterministic, stop polling), or
+  /// shed at the connection door (overloaded — back off and re-poll).
+  enum class Negotiation { kAck, kRefused, kOverloaded };
+
   std::string read_line();
   void send_all(const std::string& bytes);
   wire::Frame read_frame();
-  bool negotiate();
+  Negotiation negotiate();
 
   std::string path_;
   ClientOptions options_;
@@ -99,6 +112,7 @@ class Client {
   wire::FrameReader reader_;  // binary mode: bytes beyond the last frame
   bool negotiated_ = false;
   std::uint64_t retries_ = 0;
+  int last_overload_retry_after_ms_ = -1;
 };
 
 }  // namespace rebert::serve

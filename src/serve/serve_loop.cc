@@ -115,6 +115,14 @@ ServeLoop::ServeLoop(InferenceEngine& engine)
           /*on_shutdown=*/[this] { snapshot_cache(/*force=*/true); },
           /*handle_frame=*/[this](const wire::Frame& frame, bool* close) {
             return handle_frame(frame, close);
+          },
+          /*overload_frame=*/[this] {
+            // The binary twin of overload_line: same shed accounting, same
+            // advisory delay, encoded as a retryable response frame so the
+            // client's FrameReader never sees text mid-stream.
+            engine_.record_shed();
+            return wire::encode_response(
+                wire::overloaded_response(engine_.retry_after_ms()));
           }}) {}
 
 void ServeLoop::enable_snapshots(std::string path, int every_n) {

@@ -83,9 +83,9 @@ class ServeLoop {
   void set_default_deadline_ms(int ms) { default_deadline_ms_ = ms; }
 
   /// Cap on concurrently served socket connections; 0 = unlimited. A
-  /// connection arriving over the cap is told
-  /// `err overloaded retry_after_ms=<n>` and closed instead of spawning a
-  /// handler thread — the listener never accumulates unbounded threads.
+  /// connection arriving over the cap is refused in its own encoding —
+  /// `err overloaded retry_after_ms=<n>` for text, a frame-encoded
+  /// overloaded response for binary — and closed; it never dispatches.
   void set_max_connections(int n) { socket_server_.set_max_connections(n); }
 
   /// Gate the binary wire protocol on the socket transport (default on).
@@ -94,6 +94,17 @@ class ServeLoop {
   void set_accept_binary(bool accept) {
     socket_server_.set_accept_binary(accept);
   }
+
+  /// listen(2) backlog for the socket transport; <= 0 (default) means
+  /// SOMAXCONN, so connection storms queue in the kernel long enough for
+  /// admission control to answer instead of ECONNREFUSED.
+  void set_listen_backlog(int backlog) {
+    socket_server_.set_listen_backlog(backlog);
+  }
+
+  /// Threads in the socket transport's dispatch pool (the reactor never
+  /// runs model work itself); <= 0 keeps the SocketServer default.
+  void set_dispatch_threads(int n) { socket_server_.set_dispatch_threads(n); }
 
  private:
   void count_request_for_snapshot();

@@ -3,179 +3,568 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
-#include <memory>
-#include <thread>
+#include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "runtime/fault_injector.h"
+#include "runtime/thread_pool.h"
 #include "serve/protocol.h"
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/retry_eintr.h"
+#include "util/mutex.h"
 #include "util/string_utils.h"
+#include "wire/message.h"
 
 namespace rebert::serve {
+
+namespace {
+
+// Hard ceiling on one connection's pending output. Per-connection dispatch
+// is serialized (one in-flight request, one queued response), so the queue
+// holds at most one response plus protocol chatter; the cap only guards
+// against a future caller returning something pathological.
+constexpr std::size_t kMaxWriteQueueBytes = 4u << 20;
+
+constexpr int kMaxEpollEvents = 256;
+
+/// Collapse an exception message to one response-safe line.
+std::string error_single_line(const char* what) {
+  std::string text = what == nullptr ? "dispatch failed" : what;
+  for (char& c : text)
+    if (c == '\n' || c == '\r') c = ' ';
+  return text;
+}
+
+}  // namespace
+
+// The per-run() epoll state machine. Everything here — the listener, the
+// epoll set, every Conn — is owned and touched by the reactor thread
+// only; the single cross-thread surface is the completion queue under
+// `mu`, fed by dispatch-pool workers and drained on eventfd wakeups.
+struct SocketServer::Reactor {
+  enum class Mode { kDetect, kText, kBinary };
+
+  struct Conn {
+    int fd = -1;
+    // Identity for completions: a dispatch in flight names its connection
+    // by id, never fd, so a response finished after the connection died
+    // (and the fd number was reused) is dropped instead of misdelivered.
+    std::uint64_t id = 0;
+    Mode mode = Mode::kDetect;
+    bool negotiated = false;        // binary: kHello seen and acked
+    bool shed = false;              // over the cap: refuse at first byte
+    bool busy = false;              // a dispatch is in flight
+    bool close_after_flush = false; // end the connection once out drains
+    bool answered_pending = false;  // fire on_answered when out drains
+    std::uint32_t interest = 0;     // events currently registered in epoll
+    std::string in;                 // bytes read, not yet parsed
+    wire::FrameReader reader;       // binary framing state
+    std::string out;                // bounded write queue (partial sends)
+    std::size_t out_off = 0;
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string bytes;
+    bool close = false;     // dispatcher set *close_connection
+    bool answered = false;  // counts for on_answered once flushed
+  };
+
+  explicit Reactor(SocketServer& server) : server_(server) {}
+
+  SocketServer& server_;
+  runtime::FaultInjector& faults_ = runtime::FaultInjector::global();
+  int epoll_fd = -1;
+  int listener = -1;
+
+  std::unordered_map<int, Conn> conns;                  // keyed by fd
+  std::unordered_map<std::uint64_t, int> fd_by_id;      // id -> live fd
+  std::uint64_t next_id = 1;
+  int live = 0;  // connections counted against max_connections (not shed)
+
+  // The worker -> reactor handoff: completions append under `mu` and poke
+  // the eventfd; the reactor swaps the vector out under `mu` and applies
+  // it lock-free. `inflight` counts submitted-but-uncompleted dispatches
+  // so shutdown can drain before tearing the engine's rug out.
+  util::Mutex mu{"socket.completions"};
+  std::vector<Completion> completions GUARDED_BY(mu);
+  std::size_t inflight GUARDED_BY(mu) = 0;
+
+  bool stopping() const {
+    return server_.stopping_.load(std::memory_order_acquire);
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    // A full eventfd counter (never in practice) or EINTR: the pending
+    // readable state already guarantees a wakeup.
+    (void)!::write(server_.wake_fd_, &one, sizeof(one));
+  }
+
+  void drain_wake_fd() {
+    std::uint64_t counter = 0;
+    (void)!::read(server_.wake_fd_, &counter, sizeof(counter));
+  }
+
+  // ---- epoll bookkeeping ----------------------------------------------
+
+  void watch(int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    REBERT_CHECK_MSG(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0,
+                     "epoll_ctl(ADD) failed: " + util::errno_string(errno));
+  }
+
+  /// Level-triggered interest for `conn`'s current state. Reads pause
+  /// while a dispatch is in flight or output is pending — the kernel
+  /// buffer is the backpressure, exactly like the blocked per-connection
+  /// thread used to be.
+  void update_interest(Conn& conn) {
+    std::uint32_t desired = 0;
+    if (!conn.out.empty()) desired |= EPOLLOUT;
+    if (!conn.busy && conn.out.empty() && !conn.close_after_flush)
+      desired |= EPOLLIN;
+    if (desired == conn.interest) return;
+    epoll_event ev{};
+    ev.events = desired;
+    ev.data.fd = conn.fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) == 0)
+      conn.interest = desired;
+  }
+
+  // ---- connection lifecycle -------------------------------------------
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept4(listener, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN: drained; anything else: try again next tick
+      }
+      Conn conn;
+      conn.fd = fd;
+      conn.id = next_id++;
+      // Over the cap: accept anyway, but park the connection until its
+      // first byte tells us which encoding to refuse it in. A shed
+      // connection never dispatches and never counts against the cap.
+      conn.shed = server_.max_connections_ > 0 &&
+                  live >= server_.max_connections_;
+      if (!conn.shed) ++live;
+      conn.interest = EPOLLIN;
+      fd_by_id[conn.id] = fd;
+      conns.emplace(fd, std::move(conn));
+      watch(fd, EPOLLIN);
+    }
+  }
+
+  void close_conn(Conn& conn) {
+    (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    if (!conn.shed) --live;
+    fd_by_id.erase(conn.id);
+    conns.erase(conn.fd);  // invalidates `conn` — must be last
+  }
+
+  // ---- output ----------------------------------------------------------
+
+  /// Queue response bytes. Returns false (caller must close_conn) when
+  /// the write queue would exceed its bound.
+  bool enqueue(Conn& conn, const std::string& bytes) {
+    if (conn.out.size() - conn.out_off + bytes.size() > kMaxWriteQueueBytes)
+      return false;
+    conn.out.append(bytes);
+    return true;
+  }
+
+  /// Push queued output to the kernel until done or EAGAIN. Returns false
+  /// when the connection died under us (EPIPE, injected socket.send
+  /// fault); the caller must close_conn.
+  bool flush(Conn& conn) {
+    while (conn.out_off < conn.out.size()) {
+      // The socket.send chaos site fires per write attempt, exactly where
+      // the per-connection thread's send loop used to arm it.
+      if (faults_.maybe_errno("socket.send", EPIPE)) return false;
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.out_off,
+                 conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;  // EPIPE / ECONNRESET / peer gone
+    }
+    conn.out.clear();
+    conn.out_off = 0;
+    return true;
+  }
+
+  // ---- parsing & dispatch ----------------------------------------------
+
+  /// Hand one text line to the dispatch pool. The connection stays busy —
+  /// reads paused, no further parsing — until its completion comes back.
+  void dispatch_line(Conn& conn, std::string line) {
+    conn.busy = true;
+    const std::uint64_t id = conn.id;
+    {
+      util::MutexLock lock(mu);
+      ++inflight;
+    }
+    try {
+      server_.pool_->submit([this, id, line = std::move(line)] {
+        bool close = false;
+        std::string response = server_.callbacks_.handle_line(line, &close);
+        response += '\n';
+        complete({id, std::move(response), close, /*answered=*/true});
+      });
+    } catch (const std::exception& e) {
+      // The pool.submit chaos site trips here: the request still gets a
+      // well-formed error answer instead of a dropped connection.
+      complete({id, format_error(error_single_line(e.what())) + "\n",
+                /*close=*/false, /*answered=*/true});
+    }
+  }
+
+  void dispatch_frame(Conn& conn, wire::Frame frame) {
+    conn.busy = true;
+    const std::uint64_t id = conn.id;
+    {
+      util::MutexLock lock(mu);
+      ++inflight;
+    }
+    try {
+      server_.pool_->submit([this, id, frame = std::move(frame)] {
+        bool close = false;
+        std::string response = server_.callbacks_.handle_frame(frame, &close);
+        complete({id, std::move(response), close, /*answered=*/true});
+      });
+    } catch (const std::exception& e) {
+      complete({id,
+                wire::encode_response(wire::error_response(
+                    wire::Verb::kHelp, error_single_line(e.what()))),
+                /*close=*/false, /*answered=*/true});
+    }
+  }
+
+  void complete(Completion completion) {
+    {
+      util::MutexLock lock(mu);
+      completions.push_back(std::move(completion));
+      REBERT_CHECK_MSG(inflight > 0, "completion without a dispatch");
+      --inflight;
+    }
+    wake();
+  }
+
+  /// Refuse a parked over-cap connection in its own encoding, now that
+  /// its first byte told us which one that is.
+  bool refuse_shed(Conn& conn) {
+    const bool binary =
+        static_cast<unsigned char>(conn.in[0]) == wire::kFrameMagic;
+    std::string refusal;
+    if (binary) {
+      refusal = server_.callbacks_.overload_frame
+                    ? server_.callbacks_.overload_frame()
+                    : wire::encode_response(wire::overloaded_response(0));
+    } else {
+      refusal = (server_.callbacks_.overload_line
+                     ? server_.callbacks_.overload_line()
+                     : std::string("err overloaded")) +
+                "\n";
+    }
+    conn.in.clear();
+    conn.close_after_flush = true;
+    return enqueue(conn, refusal);
+  }
+
+  /// Advance the connection's protocol state machine: detect the
+  /// encoding, parse what `in` holds, enqueue protocol chatter inline,
+  /// dispatch at most one request. Returns true when it made progress
+  /// that may unblock another pump iteration.
+  bool process_input(Conn& conn) {
+    if (conn.busy || conn.close_after_flush || !conn.out.empty())
+      return false;
+    if (conn.in.empty() && conn.mode != Mode::kBinary) return false;
+
+    if (conn.mode == Mode::kDetect) {
+      if (conn.shed) return refuse_shed(conn) || true;
+      if (static_cast<unsigned char>(conn.in[0]) == wire::kFrameMagic) {
+        if (!server_.accept_binary_.load(std::memory_order_relaxed) ||
+            !server_.callbacks_.handle_frame) {
+          conn.close_after_flush = true;
+          (void)enqueue(conn, wire::encode_protocol_error(
+                                  "binary protocol not enabled on this "
+                                  "endpoint"));
+          return true;
+        }
+        conn.mode = Mode::kBinary;
+      } else {
+        conn.mode = Mode::kText;
+      }
+    }
+
+    if (conn.mode == Mode::kBinary) return process_binary(conn);
+    return process_text(conn);
+  }
+
+  bool process_text(Conn& conn) {
+    bool progressed = false;
+    std::size_t newline;
+    while (!conn.busy && conn.out.empty() &&
+           (newline = conn.in.find('\n')) != std::string::npos) {
+      std::string line = conn.in.substr(0, newline);
+      conn.in.erase(0, newline + 1);
+      progressed = true;
+      if (line.size() > kMaxRequestLineBytes) {
+        conn.close_after_flush = true;
+        (void)enqueue(conn, format_line_too_long() + "\n");
+        return true;
+      }
+      if (server_.callbacks_.is_blank && server_.callbacks_.is_blank(line))
+        continue;
+      dispatch_line(conn, std::move(line));
+      return true;
+    }
+    if (!conn.busy && conn.in.size() > kMaxRequestLineBytes) {
+      // A partial line already over the cap can never become a valid
+      // request — refuse now instead of buffering until the client stops.
+      conn.close_after_flush = true;
+      (void)enqueue(conn, format_line_too_long() + "\n");
+      return true;
+    }
+    return progressed;
+  }
+
+  bool process_binary(Conn& conn) {
+    if (!conn.in.empty()) {
+      conn.reader.feed(conn.in.data(), conn.in.size());
+      conn.in.clear();
+    }
+    bool progressed = false;
+    wire::Frame frame;
+    std::string error;
+    while (!conn.busy && conn.out.empty() && !conn.close_after_flush) {
+      const wire::FrameReader::Status status = conn.reader.next(&frame,
+                                                                &error);
+      if (status == wire::FrameReader::Status::kNeedMore) break;
+      progressed = true;
+      if (status == wire::FrameReader::Status::kError) {
+        // After a framing error there is no safe resync point in the
+        // stream: report what broke and close.
+        conn.close_after_flush = true;
+        (void)enqueue(conn, wire::encode_protocol_error(error));
+        return true;
+      }
+      if (!conn.negotiated) {
+        // The stream must open with a kHello we can version-match;
+        // anything else is refused before any request is served.
+        std::uint16_t version = 0;
+        std::string hello_error;
+        if (frame.type != wire::FrameType::kHello ||
+            !wire::decode_hello_payload(frame.payload, &version,
+                                        &hello_error)) {
+          conn.close_after_flush = true;
+          (void)enqueue(conn, wire::encode_protocol_error(
+                                  "expected a hello frame to open the "
+                                  "binary stream"));
+          return true;
+        }
+        if (version != wire::kWireVersion) {
+          conn.close_after_flush = true;
+          (void)enqueue(conn,
+                        wire::encode_protocol_error(
+                            "unsupported wire version " +
+                            std::to_string(version)));
+          return true;
+        }
+        conn.negotiated = true;
+        (void)enqueue(conn, wire::encode_hello_ack());
+        return true;
+      }
+      if (frame.type != wire::FrameType::kRequest) {
+        conn.close_after_flush = true;
+        (void)enqueue(conn, wire::encode_protocol_error(
+                                "only request frames are valid after "
+                                "negotiation"));
+        return true;
+      }
+      dispatch_frame(conn, std::move(frame));
+      return true;
+    }
+    return progressed;
+  }
+
+  /// Drive one connection as far as it can go right now: flush pending
+  /// output, fire on_answered / close-after-flush once drained, parse and
+  /// dispatch the next request, repeat until blocked. The one entry point
+  /// every readiness event and completion funnels through.
+  void pump(int fd) {
+    for (;;) {
+      auto it = conns.find(fd);
+      if (it == conns.end()) return;
+      Conn& conn = it->second;
+      if (!flush(conn)) {
+        close_conn(conn);
+        return;
+      }
+      if (!conn.out.empty()) break;  // kernel buffer full: wait EPOLLOUT
+      if (conn.answered_pending) {
+        conn.answered_pending = false;
+        if (server_.callbacks_.on_answered) server_.callbacks_.on_answered();
+        continue;  // on_answered may take time; re-find defensively
+      }
+      if (conn.close_after_flush) {
+        close_conn(conn);
+        return;
+      }
+      if (conn.busy) break;
+      if (!process_input(conn)) break;
+    }
+    auto it = conns.find(fd);
+    if (it != conns.end()) update_interest(it->second);
+  }
+
+  void conn_readable(Conn& conn) {
+    // The socket.read chaos site simulates the hard-error path: this
+    // connection drops, the daemon keeps serving.
+    if (faults_.maybe_errno("socket.read", EIO)) {
+      close_conn(conn);
+      return;
+    }
+    char chunk[4096];
+    const ssize_t got = ::read(conn.fd, chunk, sizeof(chunk));
+    if (got > 0) {
+      conn.in.append(chunk, static_cast<std::size_t>(got));
+      pump(conn.fd);
+      return;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR))
+      return;  // level-triggered epoll redelivers
+    close_conn(conn);  // EOF or hard error: drop the connection
+  }
+
+  void apply_completions() {
+    std::vector<Completion> batch;
+    {
+      util::MutexLock lock(mu);
+      batch.swap(completions);
+    }
+    for (Completion& completion : batch) {
+      const auto fd_it = fd_by_id.find(completion.conn_id);
+      if (fd_it == fd_by_id.end()) continue;  // connection died meanwhile
+      Conn& conn = conns.at(fd_it->second);
+      conn.busy = false;
+      conn.answered_pending = completion.answered;
+      if (completion.close) conn.close_after_flush = true;
+      if (!enqueue(conn, completion.bytes)) {
+        close_conn(conn);
+        continue;
+      }
+      pump(fd_it->second);
+    }
+  }
+
+  std::size_t inflight_now() {
+    util::MutexLock lock(mu);
+    return inflight;
+  }
+
+  // ---- the loop --------------------------------------------------------
+
+  void loop() {
+    epoll_event events[kMaxEpollEvents];
+    while (!stopping()) {
+      const int n = ::epoll_wait(epoll_fd, events, kMaxEpollEvents, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      bool accept_pending = false;
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == server_.wake_fd_) {
+          drain_wake_fd();
+          continue;
+        }
+        if (fd == listener) {
+          // Accepts run after every close in this batch has been
+          // processed, so a descriptor number freed here can never be
+          // confused with a stale event earlier in the same batch.
+          accept_pending = true;
+          continue;
+        }
+        const auto it = conns.find(fd);
+        if (it == conns.end()) continue;  // closed earlier in this batch
+        Conn& conn = it->second;
+        const std::uint32_t got = events[i].events;
+        if ((got & (EPOLLHUP | EPOLLERR)) != 0 && (got & EPOLLIN) == 0) {
+          // Peer gone with nothing left to read. Also the only signal a
+          // busy connection (interest 0) can receive — without this, a
+          // level-triggered HUP would spin the reactor.
+          close_conn(conn);
+          continue;
+        }
+        if ((got & EPOLLIN) != 0 && (conn.interest & EPOLLIN) != 0) {
+          conn_readable(conn);
+          if (conns.find(fd) == conns.end()) continue;
+        }
+        if ((got & EPOLLOUT) != 0) pump(fd);
+      }
+      apply_completions();
+      if (accept_pending && !stopping()) accept_ready();
+    }
+    shutdown_drain();
+  }
+
+  /// stop()'s no-wedge ordering: close the door, let in-flight dispatches
+  /// finish (their responses flushed best-effort — one non-blocking
+  /// attempt, never a wait on a slow peer), then close every connection.
+  void shutdown_drain() {
+    (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listener, nullptr);
+    // Stop watching connections: during the drain only completions
+    // matter, and a readable-but-ignored connection would busy-spin a
+    // level-triggered loop.
+    for (auto& [fd, conn] : conns)
+      (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    for (;;) {
+      apply_completions();
+      if (inflight_now() == 0) break;
+      epoll_event events[8];
+      const int n = ::epoll_wait(epoll_fd, events, 8, 50);
+      for (int i = 0; i < n; ++i)
+        if (events[i].data.fd == server_.wake_fd_) drain_wake_fd();
+    }
+    apply_completions();
+    while (!conns.empty()) close_conn(conns.begin()->second);
+  }
+};
 
 SocketServer::SocketServer(Callbacks callbacks)
     : callbacks_(std::move(callbacks)) {
   REBERT_CHECK_MSG(static_cast<bool>(callbacks_.handle_line),
                    "SocketServer needs a handle_line callback");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  REBERT_CHECK_MSG(wake_fd_ >= 0, "eventfd() failed");
 }
 
-void SocketServer::handle_connection(int fd) {
-  runtime::FaultInjector& faults = runtime::FaultInjector::global();
-  // Each connection commits to one encoding on its first byte: the frame
-  // magic (non-printable, so no text verb can start with it) selects the
-  // binary protocol, anything else newline text.
-  enum class Mode { kDetect, kText, kBinary };
-  Mode mode = Mode::kDetect;
-  bool negotiated = false;  // binary: kHello seen and acked
-  wire::FrameReader reader;
-  std::string buffer;
-  char chunk[4096];
-  bool quit = false;
-
-  // Send every byte of `bytes`, MSG_NOSIGNAL: a client that disconnected
-  // mid-response must cost us this connection (EPIPE), not the whole
-  // daemon (SIGPIPE). Shared by both encodings so the socket.send chaos
-  // site fires identically for lines and frames.
-  const auto send_bytes = [&](const std::string& bytes) -> bool {
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-      ssize_t n = -1;
-      if (!faults.maybe_errno("socket.send", EPIPE))
-        n = util::retry_eintr([&] {
-          return ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                        MSG_NOSIGNAL);
-        });
-      if (n <= 0) return false;
-      sent += static_cast<std::size_t>(n);
-    }
-    return true;
-  };
-
-  while (!quit && !stopping_.load(std::memory_order_relaxed)) {
-    // A signal (e.g. the profiler's SIGPROF, or SIGTERM racing shutdown)
-    // interrupting the read must not drop a healthy connection —
-    // retry_eintr absorbs it. An injected socket.read fault simulates the
-    // hard-error path: this connection drops, the daemon keeps serving.
-    ssize_t got = -1;
-    if (!faults.maybe_errno("socket.read", EIO))
-      got = util::retry_eintr([&] {
-        return ::read(fd, chunk, sizeof(chunk));
-      });
-    if (got <= 0) break;  // EOF or hard error: drop the connection
-
-    if (mode == Mode::kDetect) {
-      if (static_cast<unsigned char>(chunk[0]) == wire::kFrameMagic) {
-        if (!accept_binary_.load(std::memory_order_relaxed) ||
-            !callbacks_.handle_frame) {
-          (void)send_bytes(wire::encode_protocol_error(
-              "binary protocol not enabled on this endpoint"));
-          break;
-        }
-        mode = Mode::kBinary;
-      } else {
-        mode = Mode::kText;
-      }
-    }
-
-    if (mode == Mode::kBinary) {
-      reader.feed(chunk, static_cast<std::size_t>(got));
-      wire::Frame frame;
-      std::string error;
-      wire::FrameReader::Status status = wire::FrameReader::Status::kNeedMore;
-      while (!quit &&
-             (status = reader.next(&frame, &error)) ==
-                 wire::FrameReader::Status::kFrame) {
-        if (!negotiated) {
-          // The stream must open with a kHello we can version-match;
-          // anything else is refused before any request is served.
-          std::uint16_t version = 0;
-          std::string hello_error;
-          if (frame.type != wire::FrameType::kHello ||
-              !wire::decode_hello_payload(frame.payload, &version,
-                                          &hello_error)) {
-            (void)send_bytes(wire::encode_protocol_error(
-                "expected a hello frame to open the binary stream"));
-            quit = true;
-            break;
-          }
-          if (version != wire::kWireVersion) {
-            (void)send_bytes(wire::encode_protocol_error(
-                "unsupported wire version " + std::to_string(version)));
-            quit = true;
-            break;
-          }
-          if (!send_bytes(wire::encode_hello_ack())) { quit = true; break; }
-          negotiated = true;
-          continue;
-        }
-        if (frame.type != wire::FrameType::kRequest) {
-          (void)send_bytes(wire::encode_protocol_error(
-              "only request frames are valid after negotiation"));
-          quit = true;
-          break;
-        }
-        const std::string response = callbacks_.handle_frame(frame, &quit);
-        if (!send_bytes(response)) { quit = true; break; }
-        if (callbacks_.on_answered) callbacks_.on_answered();
-      }
-      if (!quit && status == wire::FrameReader::Status::kError) {
-        // After a framing error there is no safe resync point in the
-        // stream: report what broke and close.
-        (void)send_bytes(wire::encode_protocol_error(error));
-        break;
-      }
-      continue;
-    }
-
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t newline;
-    while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (line.size() > kMaxRequestLineBytes) {
-        (void)send_bytes(format_line_too_long() + "\n");
-        quit = true;
-        break;
-      }
-      if (callbacks_.is_blank && callbacks_.is_blank(line)) continue;
-      const std::string response = callbacks_.handle_line(line, &quit) + "\n";
-      if (!send_bytes(response)) { quit = true; break; }
-      if (callbacks_.on_answered) callbacks_.on_answered();
-    }
-    if (!quit && buffer.size() > kMaxRequestLineBytes) {
-      // A partial line already over the cap can never become a valid
-      // request — refuse now instead of buffering until the client stops.
-      (void)send_bytes(format_line_too_long() + "\n");
-      break;
-    }
-  }
-  unregister_connection(fd);
-  ::close(fd);
-}
-
-void SocketServer::register_connection(int fd) {
-  util::MutexLock lock(conns_mu_);
-  conn_fds_.insert(fd);
-  // stop() may have run between accept() returning this fd and the insert
-  // above — its shutdown() sweep iterated conn_fds_ without us, so the
-  // handler would block in read() and wedge run()'s final join. The mutex
-  // orders the two: either stop() saw our fd in its sweep, or we see
-  // stopping_ here and shut the fd down ourselves.
-  if (stopping_.load(std::memory_order_relaxed)) ::shutdown(fd, SHUT_RDWR);
-}
-
-void SocketServer::unregister_connection(int fd) {
-  util::MutexLock lock(conns_mu_);
-  conn_fds_.erase(fd);
+SocketServer::~SocketServer() {
+  // Pool first: a worker completing during teardown pokes wake_fd_, which
+  // must still be a live descriptor (never a reused number).
+  pool_.reset();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
 }
 
 void SocketServer::run(const std::string& path) {
@@ -191,106 +580,56 @@ void SocketServer::run(const std::string& path) {
                          ": path exists and is not a socket");
     ::unlink(path.c_str());
   }
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  const int listener =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   REBERT_CHECK_MSG(listener >= 0, "socket() failed");
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int backlog = listen_backlog_ > 0 ? listen_backlog_ : SOMAXCONN;
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(listener, 16) != 0) {
+      ::listen(listener, backlog) != 0) {
     const std::string reason = util::errno_string(errno);
     ::close(listener);
     REBERT_CHECK_MSG(false, "cannot listen on " + path + ": " + reason);
   }
-  // Release-publish the listener: stop()'s acquire load then has a
-  // happens-before edge back to the socket() call above.
-  listen_fd_.store(listener, std::memory_order_release);
   // Belt and braces with the MSG_NOSIGNAL sends: nothing else in this
   // process wants SIGPIPE's default die-on-write either (a half-closed
   // stdio pipe would otherwise kill a daemon mid-reply).
   std::signal(SIGPIPE, SIG_IGN);
-  LOG_INFO << "serve: listening on unix socket " << path;
 
-  // One handler thread per live connection, bounded by max_connections.
-  // Finished handlers flag `done` and are joined on the accept path, so a
-  // long-lived daemon never accumulates dead threads.
-  struct Handler {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::vector<Handler> handlers;
-  const auto reap = [&handlers] {
-    for (auto it = handlers.begin(); it != handlers.end();) {
-      if (it->done->load(std::memory_order_acquire)) {
-        it->thread.join();
-        it = handlers.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    // stop() closes the listener, so a retried accept fails fast instead
-    // of blocking; EINTR alone must not end the accept loop.
-    const int fd =
-        util::retry_eintr([&] { return ::accept(listener, nullptr, nullptr); });
-    if (fd < 0) break;  // listener closed by stop(), or hard error
-    reap();
-    if (max_connections_ > 0 &&
-        static_cast<int>(handlers.size()) >= max_connections_) {
-      // Shed at the door: one advisory line, then close — no handler
-      // thread, no unbounded backlog. The owner counts the shed inside
-      // overload_line(), before sending, so a client that saw the refusal
-      // also sees it in stats.
-      const std::string refusal =
-          (callbacks_.overload_line ? callbacks_.overload_line()
-                                    : std::string("err overloaded")) +
-          "\n";
-      (void)util::retry_eintr([&] {
-        return ::send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
-      });
-      ::close(fd);
-      continue;
-    }
-    register_connection(fd);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::thread thread([this, fd, done] {
-      handle_connection(fd);
-      done->store(true, std::memory_order_release);
-    });
-    handlers.push_back({std::move(thread), std::move(done)});
+  if (!pool_) {
+    const int threads =
+        dispatch_threads_ > 0 ? dispatch_threads_ : kDefaultDispatchThreads;
+    pool_ = std::make_unique<runtime::ThreadPool>(threads);
   }
-  for (Handler& handler : handlers) handler.thread.join();
-  // The accept loop's own thread closes the listener — never stop(), which
-  // only shutdown()s it. Closing cross-thread would race a blocked accept
-  // on the descriptor number. The exchange is serialized with stop() under
-  // conns_mu_, so a shutdown() can never land on an already-closed fd.
-  {
-    util::MutexLock lock(conns_mu_);
-    const int open_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-    if (open_fd >= 0) ::close(open_fd);
+
+  Reactor reactor(*this);
+  reactor.listener = listener;
+  reactor.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (reactor.epoll_fd < 0) {
+    const std::string reason = util::errno_string(errno);
+    ::close(listener);
+    REBERT_CHECK_MSG(false, "epoll_create1 failed: " + reason);
   }
+  reactor.watch(wake_fd_, EPOLLIN);
+  reactor.watch(listener, EPOLLIN);
+  LOG_INFO << "serve: listening on unix socket " << path
+           << " (reactor, backlog " << backlog << ")";
+
+  reactor.loop();
+
+  ::close(listener);
+  ::close(reactor.epoll_fd);
   ::unlink(path.c_str());
   if (callbacks_.on_shutdown) callbacks_.on_shutdown();
 }
 
 void SocketServer::stop() {
-  stopping_.store(true, std::memory_order_relaxed);
-  util::MutexLock lock(conns_mu_);
-  // shutdown() the listener — a blocked accept() returns immediately —
-  // but never close() it from here: the run() thread owns the descriptor
-  // and closes it after the accept loop exits, so accept can never race a
-  // reused fd number. The mutex serializes this against run()'s
-  // exchange-and-close, and the acquire load pairs with the release store
-  // that published the listener.
-  const int fd = listen_fd_.load(std::memory_order_acquire);
-  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-  // Unblock every handler parked in read(): a connection a client keeps
-  // open but idle (connection pools do this by design) would otherwise
-  // wedge run()'s final join forever. shutdown(), not close() — the
-  // handler still owns the descriptor and closes it on its way out.
-  for (const int conn : conn_fds_) ::shutdown(conn, SHUT_RDWR);
+  stopping_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
 }
 
 }  // namespace rebert::serve

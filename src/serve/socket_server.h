@@ -1,14 +1,18 @@
 // SocketServer — the reusable AF_UNIX listener behind both protocol
-// encodings.
+// encodings, built on a non-blocking epoll reactor.
 //
-// Owns everything transport: bind/listen (refusing to unlink a non-socket
-// path), one handler thread per connection with on-accept reaping, the
-// connection cap with a polite shed line at the door, EINTR-safe reads and
-// MSG_NOSIGNAL sends, and the socket.read / socket.send chaos sites.
-// What each request *means* is the owner's business, injected via
-// Callbacks — ServeLoop plugs in the inference engine dispatcher, the
-// Router plugs in its forwarding loop, and both get identical transport
-// semantics (and identical chaos coverage) for free.
+// One reactor thread (the caller of run()) owns the listener and every
+// connection descriptor: sockets are O_NONBLOCK, registered level-
+// triggered in a single epoll set, each with its own read buffer and a
+// bounded write queue for partial sends. Request work never runs on the
+// reactor — a parsed line or frame is dispatched to an internal
+// runtime::ThreadPool, and the finished response is handed back through a
+// completion queue plus an eventfd wakeup, so ten thousand idle
+// connections cost ten thousand descriptors and zero threads. What each
+// request *means* is the owner's business, injected via Callbacks —
+// ServeLoop plugs in the inference engine dispatcher, the Router plugs in
+// its forwarding loop, and both get identical transport semantics (and
+// identical chaos coverage) for free.
 //
 // Each connection speaks exactly one encoding, decided by its first byte:
 // wire::kFrameMagic (0xAB, not a printable character) switches the
@@ -20,15 +24,24 @@
 // On the binary side a malformed frame (bad magic mid-stream, reserved
 // bits, length over cap, checksum mismatch) earns a kError frame and a
 // close — after a framing error the stream has no safe resync point.
+//
+// Overload shed is encoding-aware: a connection over max_connections is
+// accepted and parked until its first byte arrives, then refused in its
+// own protocol — overload_frame() bytes when the byte is the frame magic,
+// overload_line() text otherwise — so a binary client's FrameReader sees
+// a well-formed retryable advisory, never text masquerading as a frame.
 #pragma once
 
 #include <atomic>
 #include <functional>
-#include <set>
+#include <memory>
 #include <string>
 
-#include "util/mutex.h"
 #include "wire/frame.h"
+
+namespace rebert::runtime {
+class ThreadPool;
+}  // namespace rebert::runtime
 
 namespace rebert::serve {
 
@@ -38,39 +51,50 @@ class SocketServer {
     /// Required. Dispatch one request line; return the response line (no
     /// trailing newline). Set *close_connection to end this connection
     /// after the response is sent. Must not throw — convert failures to
-    /// `err ...` lines.
+    /// `err ...` lines. Runs on a dispatch pool thread, concurrently with
+    /// other connections' requests (never with another request from the
+    /// same connection — per-connection dispatch is serialized).
     std::function<std::string(const std::string& line,
                               bool* close_connection)> handle_line;
     /// Optional. True for lines to skip without a response (blank /
-    /// comment lines). Default: skip nothing.
+    /// comment lines). Default: skip nothing. Runs on the reactor thread.
     std::function<bool(const std::string& line)> is_blank;
     /// Optional. The one-line refusal sent (then the connection closed)
-    /// when a connection arrives over max_connections. Also the place to
-    /// count the shed. Default: "err overloaded".
+    /// when a connection over max_connections opens in text. Also the
+    /// place to count the shed. Default: "err overloaded".
     std::function<std::string()> overload_line;
-    /// Optional. Invoked after each response is fully sent — cadence hooks
-    /// (cache snapshots) go here.
+    /// Optional. Invoked after each response is fully flushed to the
+    /// socket — cadence hooks (cache snapshots) go here. Runs on the
+    /// reactor thread.
     std::function<void()> on_answered;
-    /// Optional. Invoked once when run() finishes shutting down, after all
-    /// handler threads joined.
+    /// Optional. Invoked once when run() finishes shutting down, after
+    /// every in-flight dispatch has drained.
     std::function<void()> on_shutdown;
     /// Optional. Dispatch one verified kRequest frame; return the
     /// complete response frame bytes (wire::encode_response). Set
     /// *close_connection to end the connection after the response. Must
     /// not throw. Absent: binary negotiation is refused and connections
     /// opening with the frame magic are turned away with a kError frame.
+    /// Runs on a dispatch pool thread, like handle_line.
     std::function<std::string(const wire::Frame& frame,
                               bool* close_connection)> handle_frame;
+    /// Optional. The complete response frame bytes refusing a connection
+    /// over max_connections that opens with the frame magic — the
+    /// binary twin of overload_line, also the place to count the shed.
+    /// Default: wire::encode_response(wire::overloaded_response(0)).
+    std::function<std::string()> overload_frame;
   };
 
   explicit SocketServer(Callbacks callbacks);
+  ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Cap on concurrently served connections; 0 = unlimited. Connections
-  /// over the cap get overload_line() and an immediate close — no handler
-  /// thread, no unbounded backlog.
+  /// Cap on concurrently served connections; 0 = unlimited. A connection
+  /// over the cap is parked until its first byte reveals its encoding,
+  /// then refused with overload_frame() / overload_line() and closed — it
+  /// never dispatches work and never counts against the cap itself.
   void set_max_connections(int n) { max_connections_ = n; }
 
   /// Gate for the binary wire protocol (default on, effective only when
@@ -78,33 +102,47 @@ class SocketServer {
   /// frame magic are refused — what `serve --binary false` wires through.
   void set_accept_binary(bool accept) { accept_binary_ = accept; }
 
+  /// listen(2) backlog; <= 0 (the default) means SOMAXCONN. The old
+  /// hardcoded 16 got connection storms ECONNREFUSED in the kernel before
+  /// admission control could answer with retry_after_ms.
+  void set_listen_backlog(int backlog) { listen_backlog_ = backlog; }
+
+  /// Threads in the internal dispatch pool that runs handle_line /
+  /// handle_frame; <= 0 (the default) picks kDefaultDispatchThreads.
+  /// Takes effect on the next run().
+  void set_dispatch_threads(int n) { dispatch_threads_ = n; }
+
+  static constexpr int kDefaultDispatchThreads = 16;
+
   /// Listen on an AF_UNIX stream socket at `path` (unlinked first — but
-  /// only if it already is a socket — and on shutdown). Blocks until
-  /// stop(). Throws util::CheckError when the socket cannot be bound.
+  /// only if it already is a socket — and on shutdown). Runs the reactor
+  /// loop on the calling thread; blocks until stop(). Throws
+  /// util::CheckError when the socket cannot be bound.
   void run(const std::string& path);
 
-  /// End run(): stop accepting, shut down the listener (run()'s own
-  /// thread closes it), shut down every live connection (an idle client —
-  /// e.g. a pooled connection held open for reuse — must not wedge
-  /// shutdown), join the handlers. Safe from any thread, idempotent, and
-  /// honoured by a run() that has not started yet.
-  void stop() EXCLUDES(conns_mu_);
+  /// End run(): the reactor wakes via the eventfd, stops accepting,
+  /// drains in-flight dispatches (responses are flushed best-effort —
+  /// a peer that never reads cannot wedge shutdown), closes every
+  /// connection it owns, and returns. Safe from any thread, idempotent,
+  /// and honoured by a run() that has not started yet.
+  void stop();
 
  private:
-  void handle_connection(int fd);
-  void register_connection(int fd) EXCLUDES(conns_mu_);
-  void unregister_connection(int fd) EXCLUDES(conns_mu_);
+  struct Reactor;  // the per-run() epoll state machine (socket_server.cc)
 
   Callbacks callbacks_;
   int max_connections_ = 0;
+  int listen_backlog_ = 0;    // <= 0: SOMAXCONN
+  int dispatch_threads_ = 0;  // <= 0: kDefaultDispatchThreads
   std::atomic<bool> accept_binary_{true};
   std::atomic<bool> stopping_{false};
-  std::atomic<int> listen_fd_{-1};
-  // Live accepted connections, so stop() can shutdown() blocked readers.
-  // A handler deregisters its fd BEFORE closing it, so stop() never
-  // touches a descriptor number the kernel may have reused.
-  util::Mutex conns_mu_{"socket.conns"};
-  std::set<int> conn_fds_ GUARDED_BY(conns_mu_);
+  // eventfd owned for the server's whole life (created in the
+  // constructor), so stop() and worker completions always have a live
+  // descriptor to poke regardless of run()'s progress.
+  int wake_fd_ = -1;
+  // Dispatch pool for handle_line / handle_frame; created lazily by
+  // run() so a ServeLoop used only over stdio never spawns it.
+  std::unique_ptr<runtime::ThreadPool> pool_;
 };
 
 }  // namespace rebert::serve

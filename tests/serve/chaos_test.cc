@@ -31,6 +31,8 @@
 #include "serve/serve_loop.h"
 #include "util/check.h"
 #include "util/string_utils.h"
+#include "wire/frame.h"
+#include "wire/message.h"
 
 namespace rebert::serve {
 namespace {
@@ -295,21 +297,24 @@ TEST_F(ChaosTest, ConnectionCapShedsAtTheDoor) {
   ASSERT_TRUE(first.connect());
   EXPECT_TRUE(util::starts_with(first.request("stats"), "ok "));
 
-  // The second connection is over the cap: the server speaks first —
-  // one advisory shed line, then an immediate close, no handler thread
-  // behind it. Read the refusal without sending anything (a send could
-  // race the server's close into EPIPE).
+  // The second connection is over the cap: the reactor parks it until its
+  // first byte reveals the encoding, then answers one advisory shed line
+  // and closes — no dispatch, no thread. The request itself is never
+  // served.
   const int second = connect_raw(socket_path);
   ASSERT_GE(second, 0);
+  const std::string probe = "stats\n";
+  (void)::send(second, probe.data(), probe.size(), MSG_NOSIGNAL);
   const std::string refusal = read_line_fd(second);
   EXPECT_TRUE(util::starts_with(refusal, "err overloaded")) << refusal;
   EXPECT_GE(parse_retry_after_ms(refusal), 0) << refusal;
+  EXPECT_EQ(read_line_fd(second), "");  // server closed after the refusal
   ::close(second);
   EXPECT_GE(engine.stats().shed_requests, 1u);
 
   // The capped connection keeps working, and once it leaves the slot is
-  // reaped — a later client is served (the reap happens on the accept
-  // path, so poll briefly).
+  // freed — a later client is served (the close is noticed by the reactor
+  // asynchronously, so poll briefly).
   EXPECT_TRUE(util::starts_with(first.request("health"), "ok status="));
   first.close();
   bool served = false;
@@ -319,12 +324,211 @@ TEST_F(ChaosTest, ConnectionCapShedsAtTheDoor) {
     try {
       served = util::starts_with(next.request("stats"), "ok ");
     } catch (const util::CheckError&) {
-      // Refused-and-closed while the dead handler was still unreaped.
+      // Refused-and-closed while the slot was still held.
     }
     if (!served)
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_TRUE(served);
+
+  loop.stop();
+  server.join();
+  std::remove(socket_path.c_str());
+}
+
+TEST_F(ChaosTest, BinaryClientShedAtDoorSeesFrameEncodedAdvisory) {
+  // The regression this guards: the old server shed every over-cap
+  // connection with a *text* line, which a binary client's FrameReader
+  // rejected as framing corruption. The reactor refuses in the
+  // connection's own encoding, so a binary client sees a well-formed
+  // retryable overload advisory.
+  EngineOptions options = small_options();
+  options.retry_after_ms = 9;
+  InferenceEngine engine(options);
+  ServeLoop loop(engine);
+  loop.set_max_connections(1);
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_chaos_bincap.sock";
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  Client first(socket_path);
+  ASSERT_TRUE(first.connect());
+  EXPECT_TRUE(util::starts_with(first.request("stats"), "ok "));
+
+  // Raw view of the refusal: hello in, one kResponse frame out carrying
+  // the overloaded error code and the advisory delay, then close.
+  {
+    const int fd = connect_raw(socket_path);
+    ASSERT_GE(fd, 0);
+    const std::string hello = wire::encode_hello();
+    (void)::send(fd, hello.data(), hello.size(), MSG_NOSIGNAL);
+    wire::FrameReader reader;
+    wire::Frame frame;
+    std::string error;
+    bool got_frame = false;
+    while (!got_frame) {
+      const wire::FrameReader::Status status = reader.next(&frame, &error);
+      if (status == wire::FrameReader::Status::kFrame) {
+        got_frame = true;
+        break;
+      }
+      ASSERT_NE(status, wire::FrameReader::Status::kError) << error;
+      char chunk[256];
+      ssize_t got;
+      do {
+        got = ::read(fd, chunk, sizeof(chunk));
+      } while (got < 0 && errno == EINTR);
+      ASSERT_GT(got, 0) << "connection closed before the advisory frame";
+      reader.feed(chunk, static_cast<std::size_t>(got));
+    }
+    ASSERT_EQ(frame.type, wire::FrameType::kResponse);
+    wire::Response response;
+    ASSERT_TRUE(wire::decode_response_payload(frame.payload, &response,
+                                              &error))
+        << error;
+    EXPECT_EQ(response.status, wire::Status::kErr);
+    EXPECT_EQ(response.code, wire::ErrorCode::kOverloaded);
+    EXPECT_EQ(response.retry_after_ms, 9u);
+    ::close(fd);
+  }
+  EXPECT_GE(engine.stats().shed_requests, 1u);
+
+  // A binary serve::Client surfaces the advisory and backs off: with the
+  // slot held it burns its (small) polling budget and reports the delay;
+  // once the slot frees it connects and round-trips normally.
+  ClientOptions binary_options;
+  binary_options.binary = true;
+  binary_options.connect_attempts = 3;
+  binary_options.connect_poll_ms = 5;
+  {
+    Client shed(socket_path, binary_options);
+    EXPECT_FALSE(shed.connect());
+    EXPECT_EQ(shed.last_overload_retry_after_ms(), 9);
+  }
+
+  first.close();
+  Client retry(socket_path, binary_options);
+  bool connected = false;
+  for (int attempt = 0; attempt < 100 && !connected; ++attempt) {
+    connected = retry.connect();
+    if (!connected)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(connected);
+  EXPECT_TRUE(retry.negotiated_binary());
+  EXPECT_TRUE(util::starts_with(retry.request("stats"), "ok threads="));
+  retry.close();
+
+  loop.stop();
+  server.join();
+  std::remove(socket_path.c_str());
+}
+
+TEST_F(ChaosTest, ConnectionStormIsAbsorbedByTheBacklog) {
+  // The old hardcoded listen(, 16) backlog turned connection storms into
+  // kernel-level ECONNREFUSED before admission control could answer. With
+  // SOMAXCONN (and the reactor accepting in a tight non-blocking loop), a
+  // burst of simultaneous connects all get a well-formed answer.
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_chaos_storm_backlog.sock";
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+  {
+    // Wait for the listener before unleashing the storm.
+    Client probe(socket_path);
+    ASSERT_TRUE(probe.connect());
+  }
+
+  constexpr int kStorm = 96;
+  std::atomic<int> refused{0};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> stormers;
+  for (int i = 0; i < kStorm; ++i) {
+    stormers.emplace_back([&] {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) return;
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, socket_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      int result;
+      do {
+        result = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+      } while (result != 0 && errno == EINTR);
+      if (result != 0) {
+        refused.fetch_add(1);
+        ::close(fd);
+        return;
+      }
+      const std::string request = "health\n";
+      (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+      const std::string response = read_line_fd(fd);
+      if (well_formed(response)) answered.fetch_add(1);
+      ::close(fd);
+    });
+  }
+  for (std::thread& stormer : stormers) stormer.join();
+  EXPECT_EQ(refused.load(), 0);
+  EXPECT_EQ(answered.load(), kStorm);
+
+  loop.stop();
+  server.join();
+  std::remove(socket_path.c_str());
+}
+
+TEST_F(ChaosTest, StopDuringInflightDispatchDrainsWithoutWedging) {
+  // stop() while a model forward is mid-flight on the dispatch pool: the
+  // reactor must close the door, wait for the in-flight dispatch to
+  // complete (never yank the engine out from under it), and return — not
+  // wedge on the response, not crash on a completion for a dead server.
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  faults.arm("model.forward", 1.0, 7, /*delay_ms=*/30);
+
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_chaos_stopflight.sock";
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  const int fd = connect_raw(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string request = "recover b03\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  // Give the reactor time to parse and dispatch before pulling the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  loop.stop();
+  server.join();  // the ctest timeout is the wedge detector
+  ::close(fd);
+  std::remove(socket_path.c_str());
+}
+
+TEST_F(ChaosTest, MidRequestDisconnectDuringDispatchKeepsServing) {
+  // A client that sends a slow request and vanishes: the dispatch
+  // completes against a dead connection, the response is dropped (not
+  // misdelivered), and the daemon keeps serving everyone else.
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  faults.arm("model.forward", 1.0, 7, /*delay_ms=*/20);
+
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_chaos_vanish.sock";
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  const int fd = connect_raw(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string request = "recover b03\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ::close(fd);  // gone before the forward finishes
+
+  faults.disarm_all();
+  Client survivor(socket_path);
+  ASSERT_TRUE(survivor.connect());
+  EXPECT_TRUE(util::starts_with(survivor.request("stats"), "ok threads="));
+  survivor.close();
 
   loop.stop();
   server.join();

@@ -7,7 +7,7 @@
 #                                 [--skip-annotations] [--skip-tidy]
 #                                 [--skip-thread-safety] [--skip-sanitizers]
 #                                 [--skip-lint] [--skip-smoke]
-#                                 [--skip-sharded]
+#                                 [--skip-sharded] [--skip-c10k]
 #
 # --fast runs only the cheap compile-level stages (1-3): annotation lint,
 # clang-tidy, and the -Wthread-safety build — the pre-commit loop. The full
@@ -46,6 +46,10 @@
 #      backends behind one socket; requests relay through the router,
 #      then one backend is SIGKILLed and traffic must still be answered
 #      (reroute to the survivor, or the supervisor's respawn).
+#   9. C10K smoke: `bench/serve_overload --connections 1000` parks a
+#      thousand idle sockets on the reactor and demands flat thread
+#      count, answered traffic within deadline, and a clean stop() —
+#      the bench exits non-zero when any of those regress.
 #
 # Exits non-zero when any stage FAILed; SKIPped stages (missing clang) do
 # not fail the run. A PASS/FAIL/SKIP table is printed at the end.
@@ -61,9 +65,10 @@ RUN_SAN=1
 RUN_LINT=1
 RUN_SMOKE=1
 RUN_SHARDED=1
+RUN_C10K=1
 for arg in "$@"; do
   case "$arg" in
-    --fast) RUN_SAN=0; RUN_LINT=0; RUN_SMOKE=0; RUN_SHARDED=0 ;;
+    --fast) RUN_SAN=0; RUN_LINT=0; RUN_SMOKE=0; RUN_SHARDED=0; RUN_C10K=0 ;;
     --skip-annotations) RUN_ANNOTATIONS=0 ;;
     --skip-tidy) RUN_TIDY=0 ;;
     --skip-thread-safety) RUN_TSAFETY=0 ;;
@@ -71,6 +76,7 @@ for arg in "$@"; do
     --skip-lint) RUN_LINT=0 ;;
     --skip-smoke) RUN_SMOKE=0 ;;
     --skip-sharded) RUN_SHARDED=0 ;;
+    --skip-c10k) RUN_C10K=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -99,6 +105,17 @@ ensure_cli() {
       || { echo "failed to build rebert_cli" >&2; return 1; }
   fi
   CLI="$ROOT/$build/apps/rebert_cli"
+}
+
+# Build (if needed) and export $OVERLOAD_BENCH, the plain-build
+# serve_overload bench used by the C10K smoke.
+ensure_overload_bench() {
+  local build=build
+  if [ ! -x "$build/bench/serve_overload" ]; then
+    cmake -B "$build" -S . >/dev/null && cmake --build "$build" -j "$JOBS" --target serve_overload >/dev/null \
+      || { echo "failed to build serve_overload" >&2; return 1; }
+  fi
+  OVERLOAD_BENCH="$ROOT/$build/bench/serve_overload"
 }
 
 # ---- 1. annotation lint ----------------------------------------------------
@@ -433,6 +450,32 @@ if [ "$RUN_SHARDED" -eq 1 ]; then
     record warm-kill-drill PASS
   else
     record warm-kill-drill FAIL
+  fi
+fi
+
+# ---- 9. C10K reactor smoke --------------------------------------------------
+# A thousand idle connections parked on the reactor while live traffic is
+# driven through it. The bench itself enforces the acceptance: thread
+# count must not grow with connection count, the active clients must see
+# zero errors within their deadlines, the p95 under load must stay within
+# bounds of the unloaded baseline, and stop() must return (a wedge shows
+# up as the bench hanging until this script's caller loses patience).
+if [ "$RUN_C10K" -eq 1 ]; then
+  note "C10K smoke (serve_overload --connections 1000)"
+  if ensure_overload_bench; then
+    CWORK=$(mktemp -d)
+    if (cd "$CWORK" && \
+        REBERT_SCALE=0.1 REBERT_OVERLOAD_REQUESTS=5 \
+        REBERT_OVERLOAD_CLIENTS=4 \
+        "$OVERLOAD_BENCH" --connections 1000); then
+      echo "C10K smoke passed"
+      record c10k-smoke PASS
+    else
+      record c10k-smoke FAIL
+    fi
+    rm -rf "$CWORK"
+  else
+    record c10k-smoke FAIL
   fi
 fi
 
