@@ -54,12 +54,15 @@ bool Client::connect() {
           return false;
         case Negotiation::kOverloaded:
           // Shed at the connection door with a retryable advisory: back
-          // off by at least the server's delay, then re-poll — a slot may
-          // free up within the polling budget.
+          // off by the server's delay — clamped, because the value is
+          // attacker-controlled input and an unbounded sleep would wedge
+          // the calling thread for as long as a hostile server asks —
+          // then re-poll; a slot may free up within the polling budget.
           close();
           std::this_thread::sleep_for(std::chrono::milliseconds(
-              std::max(last_overload_retry_after_ms_,
-                       options_.connect_poll_ms)));
+              std::min(options_.max_connect_backoff_ms,
+                       std::max(last_overload_retry_after_ms_,
+                                options_.connect_poll_ms))));
           continue;
       }
     }

@@ -40,6 +40,12 @@ struct ClientOptions {
   /// response (0 when absent).
   int base_backoff_ms = 1;
   int max_backoff_ms = 64;
+  /// Ceiling on the connection-door overload backoff: after a
+  /// frame-encoded shed, connect() sleeps
+  ///   min(max_connect_backoff_ms, max(retry_after_ms, connect_poll_ms))
+  /// so the server's advisory delay is honoured but a buggy or hostile
+  /// server advertising an hour cannot wedge the calling thread.
+  int max_connect_backoff_ms = 2000;
   /// Speak the binary wire protocol. connect() fails (without burning the
   /// polling budget) when the server refuses the negotiation — a server
   /// that answers the hello at all answers it immediately.
@@ -88,8 +94,9 @@ class Client {
 
   /// The server's advisory delay from the most recent connection-level
   /// overload refusal (a frame-encoded shed at the max_connections door),
-  /// or -1 when no such refusal has been seen. connect() backs off by at
-  /// least this much before re-polling.
+  /// or -1 when no such refusal has been seen. connect() backs off by
+  /// this much (clamped to ClientOptions::max_connect_backoff_ms) before
+  /// re-polling.
   int last_overload_retry_after_ms() const {
     return last_overload_retry_after_ms_;
   }

@@ -72,12 +72,7 @@ struct SocketServer::Reactor {
     std::size_t out_off = 0;
   };
 
-  struct Completion {
-    std::uint64_t conn_id = 0;
-    std::string bytes;
-    bool close = false;     // dispatcher set *close_connection
-    bool answered = false;  // counts for on_answered once flushed
-  };
+  using Completion = SocketServer::Completion;
 
   explicit Reactor(SocketServer& server) : server_(server) {}
 
@@ -85,29 +80,18 @@ struct SocketServer::Reactor {
   runtime::FaultInjector& faults_ = runtime::FaultInjector::global();
   int epoll_fd = -1;
   int listener = -1;
+  // Descriptor exhaustion (EMFILE/ENFILE) parks the listener outside the
+  // epoll set — level-triggered readiness on a listener we cannot accept
+  // from would otherwise spin the loop at 100% CPU. Re-armed when a
+  // descriptor frees up or on the retry tick.
+  bool listener_paused = false;
 
   std::unordered_map<int, Conn> conns;                  // keyed by fd
   std::unordered_map<std::uint64_t, int> fd_by_id;      // id -> live fd
-  std::uint64_t next_id = 1;
   int live = 0;  // connections counted against max_connections (not shed)
-
-  // The worker -> reactor handoff: completions append under `mu` and poke
-  // the eventfd; the reactor swaps the vector out under `mu` and applies
-  // it lock-free. `inflight` counts submitted-but-uncompleted dispatches
-  // so shutdown can drain before tearing the engine's rug out.
-  util::Mutex mu{"socket.completions"};
-  std::vector<Completion> completions GUARDED_BY(mu);
-  std::size_t inflight GUARDED_BY(mu) = 0;
 
   bool stopping() const {
     return server_.stopping_.load(std::memory_order_acquire);
-  }
-
-  void wake() {
-    const std::uint64_t one = 1;
-    // A full eventfd counter (never in practice) or EINTR: the pending
-    // readable state already guarantees a wakeup.
-    (void)!::write(server_.wake_fd_, &one, sizeof(one));
   }
 
   void drain_wake_fd() {
@@ -117,12 +101,37 @@ struct SocketServer::Reactor {
 
   // ---- epoll bookkeeping ----------------------------------------------
 
-  void watch(int fd, std::uint32_t events) {
+  /// Register `fd` for `events`; false on failure (max_user_watches,
+  /// ENOMEM — reachable pressure at C10K scale, so per-connection call
+  /// sites shed the one connection instead of dying).
+  bool try_watch(int fd, std::uint32_t events) {
     epoll_event ev{};
     ev.events = events;
     ev.data.fd = fd;
-    REBERT_CHECK_MSG(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0,
+    return ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  /// Fatal registration for run()'s own plumbing (wake eventfd, listener
+  /// at startup) — without those there is no server to degrade to.
+  void watch(int fd, std::uint32_t events) {
+    REBERT_CHECK_MSG(try_watch(fd, events),
                      "epoll_ctl(ADD) failed: " + util::errno_string(errno));
+  }
+
+  void pause_listener() {
+    if (listener_paused) return;
+    (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listener, nullptr);
+    listener_paused = true;
+    LOG_WARN << "serve: out of descriptors; pausing accepts until one "
+                "frees up";
+  }
+
+  void resume_listener() {
+    if (!listener_paused) return;
+    // Still starved (epoll_ctl needs resources too): stay parked; the
+    // loop's retry tick calls back here.
+    if (!try_watch(listener, EPOLLIN)) return;
+    listener_paused = false;
   }
 
   /// Level-triggered interest for `conn`'s current state. Reads pause
@@ -145,16 +154,18 @@ struct SocketServer::Reactor {
   // ---- connection lifecycle -------------------------------------------
 
   void accept_ready() {
-    for (;;) {
+    while (!listener_paused) {
       const int fd = ::accept4(listener, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOMEM)
+          pause_listener();
         break;  // EAGAIN: drained; anything else: try again next tick
       }
       Conn conn;
       conn.fd = fd;
-      conn.id = next_id++;
+      conn.id = server_.next_conn_id_++;
       // Over the cap: accept anyway, but park the connection until its
       // first byte tells us which encoding to refuse it in. A shed
       // connection never dispatches and never counts against the cap.
@@ -164,7 +175,13 @@ struct SocketServer::Reactor {
       conn.interest = EPOLLIN;
       fd_by_id[conn.id] = fd;
       conns.emplace(fd, std::move(conn));
-      watch(fd, EPOLLIN);
+      if (!try_watch(fd, EPOLLIN)) {
+        // epoll registration failed under resource pressure: shed this
+        // one connection — the peer sees a close — and keep serving.
+        LOG_WARN << "serve: epoll_ctl(ADD) failed for a new connection ("
+                 << util::errno_string(errno) << "); dropping it";
+        close_conn(conns.at(fd));
+      }
     }
   }
 
@@ -174,6 +191,10 @@ struct SocketServer::Reactor {
     if (!conn.shed) --live;
     fd_by_id.erase(conn.id);
     conns.erase(conn.fd);  // invalidates `conn` — must be last
+    // A descriptor just freed up; if accepts were parked on EMFILE this
+    // is the moment to re-arm (no-op otherwise, or during shutdown —
+    // the drain already took the listener out of the set for good).
+    if (!stopping()) resume_listener();
   }
 
   // ---- output ----------------------------------------------------------
@@ -213,59 +234,76 @@ struct SocketServer::Reactor {
 
   // ---- parsing & dispatch ----------------------------------------------
 
+  void begin_dispatch() {
+    util::MutexLock lock(server_.completion_mu_);
+    ++server_.inflight_;
+  }
+
   /// Hand one text line to the dispatch pool. The connection stays busy —
   /// reads paused, no further parsing — until its completion comes back.
+  /// The worker lambda captures the SocketServer, never this Reactor: it
+  /// may still be running after run() has destroyed the reactor, and
+  /// everything it touches must outlive that moment.
   void dispatch_line(Conn& conn, std::string line) {
     conn.busy = true;
     const std::uint64_t id = conn.id;
-    {
-      util::MutexLock lock(mu);
-      ++inflight;
-    }
+    SocketServer* server = &server_;
+    begin_dispatch();
     try {
-      server_.pool_->submit([this, id, line = std::move(line)] {
-        bool close = false;
-        std::string response = server_.callbacks_.handle_line(line, &close);
-        response += '\n';
-        complete({id, std::move(response), close, /*answered=*/true});
+      server_.pool_->submit([server, id, line = std::move(line)] {
+        Completion done{id, std::string(), /*close=*/false,
+                        /*answered=*/true};
+        try {
+          bool close = false;
+          done.bytes = server->callbacks_.handle_line(line, &close) + "\n";
+          done.close = close;
+        } catch (const std::exception& e) {
+          // handle_line is contracted not to throw, but if it does the
+          // request still gets an answer and — critically — inflight
+          // still decrements, so the connection is never wedged busy and
+          // stop()'s drain cannot spin forever.
+          done.bytes = format_error(error_single_line(e.what())) + "\n";
+        } catch (...) {
+          done.bytes = format_error("dispatch failed") + "\n";
+        }
+        server->complete(std::move(done));
       });
     } catch (const std::exception& e) {
       // The pool.submit chaos site trips here: the request still gets a
       // well-formed error answer instead of a dropped connection.
-      complete({id, format_error(error_single_line(e.what())) + "\n",
-                /*close=*/false, /*answered=*/true});
+      server_.complete({id, format_error(error_single_line(e.what())) + "\n",
+                        /*close=*/false, /*answered=*/true});
     }
   }
 
   void dispatch_frame(Conn& conn, wire::Frame frame) {
     conn.busy = true;
     const std::uint64_t id = conn.id;
-    {
-      util::MutexLock lock(mu);
-      ++inflight;
-    }
+    SocketServer* server = &server_;
+    begin_dispatch();
     try {
-      server_.pool_->submit([this, id, frame = std::move(frame)] {
-        bool close = false;
-        std::string response = server_.callbacks_.handle_frame(frame, &close);
-        complete({id, std::move(response), close, /*answered=*/true});
+      server_.pool_->submit([server, id, frame = std::move(frame)] {
+        Completion done{id, std::string(), /*close=*/false,
+                        /*answered=*/true};
+        try {
+          bool close = false;
+          done.bytes = server->callbacks_.handle_frame(frame, &close);
+          done.close = close;
+        } catch (const std::exception& e) {
+          done.bytes = wire::encode_response(wire::error_response(
+              wire::Verb::kHelp, error_single_line(e.what())));
+        } catch (...) {
+          done.bytes = wire::encode_response(
+              wire::error_response(wire::Verb::kHelp, "dispatch failed"));
+        }
+        server->complete(std::move(done));
       });
     } catch (const std::exception& e) {
-      complete({id,
-                wire::encode_response(wire::error_response(
-                    wire::Verb::kHelp, error_single_line(e.what()))),
-                /*close=*/false, /*answered=*/true});
+      server_.complete({id,
+                        wire::encode_response(wire::error_response(
+                            wire::Verb::kHelp, error_single_line(e.what()))),
+                        /*close=*/false, /*answered=*/true});
     }
-  }
-
-  void complete(Completion completion) {
-    {
-      util::MutexLock lock(mu);
-      completions.push_back(std::move(completion));
-      REBERT_CHECK_MSG(inflight > 0, "completion without a dispatch");
-      --inflight;
-    }
-    wake();
   }
 
   /// Refuse a parked over-cap connection in its own encoding, now that
@@ -296,6 +334,12 @@ struct SocketServer::Reactor {
   bool process_input(Conn& conn) {
     if (conn.busy || conn.close_after_flush || !conn.out.empty())
       return false;
+    // Once stop() is in, nothing new dispatches — ever. Without this, the
+    // shutdown drain's final pump of a completed connection would parse
+    // the next buffered pipelined request and submit it to the pool after
+    // the drain already decided nothing was left, and run() would destroy
+    // the reactor under a live worker.
+    if (stopping()) return false;
     if (conn.in.empty() && conn.mode != Mode::kBinary) return false;
 
     if (conn.mode == Mode::kDetect) {
@@ -422,8 +466,8 @@ struct SocketServer::Reactor {
       if (!conn.out.empty()) break;  // kernel buffer full: wait EPOLLOUT
       if (conn.answered_pending) {
         conn.answered_pending = false;
-        if (server_.callbacks_.on_answered) server_.callbacks_.on_answered();
-        continue;  // on_answered may take time; re-find defensively
+        fire_answered();
+        continue;
       }
       if (conn.close_after_flush) {
         close_conn(conn);
@@ -434,6 +478,27 @@ struct SocketServer::Reactor {
     }
     auto it = conns.find(fd);
     if (it != conns.end()) update_interest(it->second);
+  }
+
+  /// Cadence hooks (ServeLoop wires cache snapshots — disk I/O) run on
+  /// the dispatch pool: inline on the reactor thread, one snapshot write
+  /// would stall accepts and every connection's reads and writes for its
+  /// duration. Fire-and-forget — a submit failure (injected pool.submit
+  /// fault) drops this one firing; the hook is a cadence signal and the
+  /// next flushed response re-fires it.
+  void fire_answered() {
+    if (!server_.callbacks_.on_answered) return;
+    SocketServer* server = &server_;
+    try {
+      server_.pool_->submit([server] {
+        try {
+          server->callbacks_.on_answered();
+        } catch (...) {
+          // A hook failure is the owner's business, never a worker death.
+        }
+      });
+    } catch (...) {
+    }
   }
 
   void conn_readable(Conn& conn) {
@@ -459,8 +524,8 @@ struct SocketServer::Reactor {
   void apply_completions() {
     std::vector<Completion> batch;
     {
-      util::MutexLock lock(mu);
-      batch.swap(completions);
+      util::MutexLock lock(server_.completion_mu_);
+      batch.swap(server_.completions_);
     }
     for (Completion& completion : batch) {
       const auto fd_it = fd_by_id.find(completion.conn_id);
@@ -477,9 +542,14 @@ struct SocketServer::Reactor {
     }
   }
 
-  std::size_t inflight_now() {
-    util::MutexLock lock(mu);
-    return inflight;
+  /// True when no dispatch is in flight AND no completion is queued —
+  /// both checked under one lock. A worker decrements inflight in the
+  /// same critical section that queues its completion, so this
+  /// conjunction (with dispatch gated off by stopping()) proves no
+  /// worker will ever touch the queue again for this run.
+  bool quiesced() {
+    util::MutexLock lock(server_.completion_mu_);
+    return server_.inflight_ == 0 && server_.completions_.empty();
   }
 
   // ---- the loop --------------------------------------------------------
@@ -487,7 +557,10 @@ struct SocketServer::Reactor {
   void loop() {
     epoll_event events[kMaxEpollEvents];
     while (!stopping()) {
-      const int n = ::epoll_wait(epoll_fd, events, kMaxEpollEvents, -1);
+      // Parked listener (descriptor exhaustion): poll on a timeout so the
+      // re-arm below retries even if no close frees a descriptor first.
+      const int n = ::epoll_wait(epoll_fd, events, kMaxEpollEvents,
+                                 listener_paused ? 100 : -1);
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
@@ -524,7 +597,10 @@ struct SocketServer::Reactor {
         if ((got & EPOLLOUT) != 0) pump(fd);
       }
       apply_completions();
-      if (accept_pending && !stopping()) accept_ready();
+      if (!stopping()) {
+        resume_listener();  // no-op unless parked; retried every pass
+        if (accept_pending) accept_ready();
+      }
     }
     shutdown_drain();
   }
@@ -533,21 +609,27 @@ struct SocketServer::Reactor {
   /// finish (their responses flushed best-effort — one non-blocking
   /// attempt, never a wait on a slow peer), then close every connection.
   void shutdown_drain() {
-    (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listener, nullptr);
+    if (!listener_paused)
+      (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listener, nullptr);
     // Stop watching connections: during the drain only completions
     // matter, and a readable-but-ignored connection would busy-spin a
     // level-triggered loop.
     for (auto& [fd, conn] : conns)
       (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    // Drain until quiesced: inflight alone is not enough — a completion
+    // can land between apply_completions() and the check, and applying
+    // it pumps the connection (flush only; process_input refuses to
+    // dispatch once stopping()). Only "nothing in flight and nothing
+    // queued", observed under one lock after an apply, guarantees no
+    // worker has unfinished business with this run.
     for (;;) {
       apply_completions();
-      if (inflight_now() == 0) break;
+      if (quiesced()) break;
       epoll_event events[8];
       const int n = ::epoll_wait(epoll_fd, events, 8, 50);
       for (int i = 0; i < n; ++i)
         if (events[i].data.fd == server_.wake_fd_) drain_wake_fd();
     }
-    apply_completions();
     while (!conns.empty()) close_conn(conns.begin()->second);
   }
 };
@@ -565,6 +647,21 @@ SocketServer::~SocketServer() {
   // must still be a live descriptor (never a reused number).
   pool_.reset();
   if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void SocketServer::complete(Completion completion) {
+  {
+    util::MutexLock lock(completion_mu_);
+    completions_.push_back(std::move(completion));
+    REBERT_CHECK_MSG(inflight_ > 0, "completion without a dispatch");
+    --inflight_;
+  }
+  // Poke the reactor's eventfd. A full counter (never in practice) or
+  // EINTR is fine: the already-pending readable state guarantees a
+  // wakeup. If no run() is active the write is drained by the next one,
+  // whose first apply_completions() drops this completion by id.
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
 }
 
 void SocketServer::run(const std::string& path) {

@@ -33,10 +33,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "util/mutex.h"
 #include "wire/frame.h"
 
 namespace rebert::runtime {
@@ -65,7 +68,10 @@ class SocketServer {
     std::function<std::string()> overload_line;
     /// Optional. Invoked after each response is fully flushed to the
     /// socket — cadence hooks (cache snapshots) go here. Runs on the
-    /// reactor thread.
+    /// dispatch pool (never the reactor thread, which must stay free to
+    /// accept and pump every other connection), so it may fire
+    /// concurrently with itself and with request dispatches — serialize
+    /// internally if the hook needs it.
     std::function<void()> on_answered;
     /// Optional. Invoked once when run() finishes shutting down, after
     /// every in-flight dispatch has drained.
@@ -130,6 +136,21 @@ class SocketServer {
  private:
   struct Reactor;  // the per-run() epoll state machine (socket_server.cc)
 
+  // One finished dispatch, handed from a pool worker back to the reactor.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string bytes;
+    bool close = false;     // dispatcher set *close_connection
+    bool answered = false;  // counts for on_answered once flushed
+  };
+
+  /// Queue a finished dispatch's response and wake the reactor. Runs on
+  /// dispatch-pool workers. Everything it touches (completion_mu_ and its
+  /// guarded state, wake_fd_) lives on the server — NOT the per-run()
+  /// Reactor — so a worker preempted here while run() tears the reactor
+  /// down still operates on live memory.
+  void complete(Completion completion);
+
   Callbacks callbacks_;
   int max_connections_ = 0;
   int listen_backlog_ = 0;    // <= 0: SOMAXCONN
@@ -143,6 +164,20 @@ class SocketServer {
   // Dispatch pool for handle_line / handle_frame; created lazily by
   // run() so a ServeLoop used only over stdio never spawns it.
   std::unique_ptr<runtime::ThreadPool> pool_;
+  // The worker -> reactor handoff. Owned by the server, not the Reactor,
+  // because pool workers outlive any one run(): a completion landing in
+  // the sliver between the shutdown drain's last look and run()'s return
+  // must push into memory that is still alive. The reactor swaps the
+  // vector out under the lock and applies it lock-free; `inflight_`
+  // counts submitted-but-uncompleted dispatches so the drain knows when
+  // nothing can arrive anymore.
+  util::Mutex completion_mu_{"socket.completions"};
+  std::vector<Completion> completions_ GUARDED_BY(completion_mu_);
+  std::size_t inflight_ GUARDED_BY(completion_mu_) = 0;
+  // Connection ids, monotonic across run()s (touched by the reactor
+  // thread only): a completion stranded from a previous run can never
+  // alias a connection of the next one.
+  std::uint64_t next_conn_id_ = 1;
 };
 
 }  // namespace rebert::serve

@@ -504,6 +504,97 @@ TEST_F(ChaosTest, StopDuringInflightDispatchDrainsWithoutWedging) {
   std::remove(socket_path.c_str());
 }
 
+TEST_F(ChaosTest, StopWithPipelinedBacklogNeverDispatchesPastDrain) {
+  // A client pipelines a burst of slow requests, then stop() lands while
+  // the first is mid-flight on the pool. The regression this guards: the
+  // shutdown drain's final apply_completions() pumped the connection,
+  // which parsed the *next* buffered request and dispatched it after the
+  // drain had already decided nothing was in flight — run() then
+  // destroyed the reactor under a live worker (a use-after-free the ASan
+  // job catches). With dispatch gated on stopping() and the drain
+  // terminating only on quiesced (no in-flight AND no queued
+  // completions), the backlog dies with the connection instead.
+  runtime::FaultInjector& faults = runtime::FaultInjector::global();
+  faults.arm("model.forward", 1.0, 7, /*delay_ms=*/20);
+
+  InferenceEngine engine(small_options());
+  ServeLoop loop(engine);
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_chaos_pipedrain.sock";
+  std::thread server([&] { loop.run_unix_socket(socket_path); });
+
+  const int fd = connect_raw(socket_path);
+  ASSERT_GE(fd, 0);
+  std::string burst;
+  for (int i = 0; i < 8; ++i) burst += "recover b03\n";
+  (void)::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL);
+  // Let the reactor parse and dispatch the first request, then pull the
+  // plug so its completion lands inside the drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  loop.stop();
+  server.join();  // ctest timeout + sanitizers are the regression detector
+  ::close(fd);
+  std::remove(socket_path.c_str());
+}
+
+TEST_F(ChaosTest, ConnectBackoffClampsHostileRetryAfter) {
+  // A server advertising a pathological retry_after_ms at the connection
+  // door must not wedge the client: the advisory is attacker-controlled
+  // input, so connect()'s backoff clamps it to max_connect_backoff_ms.
+  const std::string socket_path =
+      ::testing::TempDir() + "/rebert_chaos_hostile_door.sock";
+  std::remove(socket_path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  // One advisory per connect attempt: swallow the hello, answer with an
+  // hour-long frame-encoded overload advisory, close.
+  constexpr std::uint32_t kHostileDelayMs = 3'600'000;
+  std::thread hostile([&] {
+    for (int i = 0; i < 2; ++i) {
+      int fd;
+      do {
+        fd = ::accept(listener, nullptr, nullptr);
+      } while (fd < 0 && errno == EINTR);
+      if (fd < 0) return;
+      char sink[64];
+      (void)::read(fd, sink, sizeof(sink));
+      const std::string refusal = wire::encode_response(
+          wire::overloaded_response(kHostileDelayMs));
+      (void)::send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+      ::close(fd);
+    }
+  });
+
+  ClientOptions options;
+  options.binary = true;
+  options.connect_attempts = 2;
+  options.connect_poll_ms = 5;
+  options.max_connect_backoff_ms = 25;
+  Client client(socket_path, options);
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.connect());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - begin);
+  // The advisory is surfaced unclamped for the caller's information...
+  EXPECT_EQ(client.last_overload_retry_after_ms(),
+            static_cast<int>(kHostileDelayMs));
+  // ...but the sleep is bounded: two attempts at <= 25 ms backoff each,
+  // nowhere near the advertised hour (generous CI margin).
+  EXPECT_LT(elapsed.count(), 2000);
+
+  hostile.join();
+  ::close(listener);
+  std::remove(socket_path.c_str());
+}
+
 TEST_F(ChaosTest, MidRequestDisconnectDuringDispatchKeepsServing) {
   // A client that sends a slow request and vanishes: the dispatch
   // completes against a dead connection, the response is dropped (not

@@ -12,10 +12,12 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -24,6 +26,7 @@
 #include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/serve_loop.h"
+#include "serve/socket_server.h"
 #include "util/string_utils.h"
 
 namespace rebert::serve {
@@ -206,6 +209,79 @@ TEST_F(ReactorTest, PartialWriteBackpressureToSlowReader) {
   EXPECT_EQ(responses, kPipelined);
   writer.join();
   ::close(slow);
+}
+
+TEST_F(ReactorTest, FdExhaustionPausesAcceptsAndRecovers) {
+  start();
+  // Drive the process out of file descriptors while connections are
+  // pending, so the server's accept4 fails with EMFILE. The reactor must
+  // park the listener (a level-triggered listener it cannot accept from
+  // would spin the loop) and — the half this test can actually assert —
+  // re-arm it once descriptors free up, instead of losing it for good.
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit tight = saved;
+  if (tight.rlim_cur > 160) tight.rlim_cur = 160;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  std::vector<int> hogs;
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) break;  // the process is out of descriptors
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      break;
+    }
+    hogs.push_back(fd);
+  }
+  // Both sides share this process's limit, so by now the server has
+  // connections it cannot accept. Let it hit EMFILE and park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  for (const int fd : hogs) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+  // Descriptors are back: the parked listener must resume (close_conn or
+  // the retry tick re-arms it) and fresh clients must be served.
+  Client after(socket_path_);
+  ASSERT_TRUE(after.connect());
+  EXPECT_TRUE(util::starts_with(after.request("health"), "ok status="));
+  after.close();
+}
+
+TEST(SocketServerTest, ThrowingHandlerStillAnswersAndShutdownDrains) {
+  // handle_line is contracted not to throw — but when it does anyway, the
+  // worker must turn the exception into a well-formed `err` response and
+  // still decrement the in-flight count. The old behaviour left the
+  // exception in the pool's discarded future: the connection stayed busy
+  // forever and stop()'s drain spun waiting for an in-flight count that
+  // never reached zero.
+  SocketServer::Callbacks callbacks;
+  callbacks.handle_line = [](const std::string& line,
+                             bool* /*close*/) -> std::string {
+    if (line == "boom") throw std::runtime_error("handler exploded");
+    return "ok echo " + line;
+  };
+  SocketServer server(std::move(callbacks));
+  const std::string path = ::testing::TempDir() + "/rebert_reactor_throw_" +
+                           std::to_string(::getpid()) + ".sock";
+  std::thread thread([&] { server.run(path); });
+
+  Client client(path);
+  ASSERT_TRUE(client.connect());
+  EXPECT_EQ(client.request("boom"), "err handler exploded");
+  // The connection is answered, not wedged: the next request round-trips.
+  EXPECT_EQ(client.request("ping"), "ok echo ping");
+  client.close();
+
+  server.stop();
+  thread.join();  // the ctest timeout is the wedge detector
+  std::remove(path.c_str());
 }
 
 TEST_F(ReactorTest, MidRequestDisconnectLeavesDaemonServing) {
