@@ -14,6 +14,18 @@
 //     keys (bounded well under 2/N), never shuffling keys between two
 //     surviving backends.
 //
+// Replicated placement: owners(key, r) extends the single-owner lookup to
+// the first R DISTINCT backends clockwise from the key's point. The walk
+// order is a pure function of the member set, so owners(key, r)[0] ==
+// node_for(key) always, and the (primary, secondary) pair of a key only
+// changes when one of the two leaves or a joiner lands between them —
+// the same minimal-movement property, per replica slot.
+//
+// Heterogeneous backends: add(node, weight) scales the member's virtual
+// point count, so a weight-2 machine owns about twice the key share of a
+// weight-1 machine. Weights only shape shares; every property above is
+// unchanged.
+//
 // Not thread-safe by design: the Router serializes mutation and lookup
 // behind its own mutex, and tests drive it single-threaded.
 #pragma once
@@ -27,14 +39,16 @@ namespace rebert::router {
 
 class HashRing {
  public:
-  /// `vnodes` virtual points per backend. More points smooth the key
-  /// distribution at the cost of a bigger ring map; 64 keeps the largest
-  /// backend's share within ~2x of the smallest on realistic member
-  /// counts.
+  /// `vnodes` virtual points per unit of member weight. More points
+  /// smooth the key distribution at the cost of a bigger ring map; 64
+  /// keeps the largest backend's share within ~2x of the smallest on
+  /// realistic member counts.
   explicit HashRing(int vnodes = 64);
 
-  /// Insert a backend. Adding a member twice is a no-op.
-  void add(const std::string& node);
+  /// Insert a backend with `weight` x vnodes virtual points (minimum 1).
+  /// Adding a member twice is a no-op — including with a different
+  /// weight; remove first to re-weigh.
+  void add(const std::string& node, double weight = 1.0);
 
   /// Remove a backend (no-op when absent). Keys it owned redistribute to
   /// the survivors; nobody else's keys move.
@@ -45,8 +59,18 @@ class HashRing {
   /// The backend owning `key`, or "" when the ring is empty.
   std::string node_for(const std::string& key) const;
 
+  /// The first `r` DISTINCT backends clockwise from `key`'s point —
+  /// replica placement in failover order. owners(key, r)[0] ==
+  /// node_for(key); fewer than `r` members degrades gracefully to all of
+  /// them (an empty ring returns an empty vector). r <= 0 returns empty.
+  std::vector<std::string> owners(const std::string& key, int r) const;
+
   /// Current members, sorted by name.
   std::vector<std::string> nodes() const;
+
+  /// Virtual points a member was inserted with (0 when absent) — how
+  /// weighted shares are audited.
+  int points_of(const std::string& node) const;
 
   std::size_t num_nodes() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
@@ -58,7 +82,7 @@ class HashRing {
  private:
   int vnodes_;
   std::map<std::uint64_t, std::string> ring_;  // point -> backend name
-  std::map<std::string, int> members_;         // name -> points inserted
+  std::map<std::string, int> members_;         // name -> points requested
 };
 
 }  // namespace rebert::router

@@ -1,8 +1,10 @@
 #include "router/router.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "serve/protocol.h"
@@ -47,18 +49,23 @@ Router::Router(RouterOptions options)
       ring_(options_.vnodes) {
   if (options_.dispatch_threads > 0)
     socket_server_.set_dispatch_threads(options_.dispatch_threads);
+  start_mirror();
 }
 
-Router::~Router() { stop_probes(); }
+Router::~Router() {
+  stop_probes();
+  stop_mirror();
+}
 
 void Router::add_backend(const std::string& name,
-                         const std::string& socket_path) {
+                         const std::string& socket_path, double weight) {
   util::MutexLock lock(mu_);
   REBERT_CHECK_MSG(backends_.find(name) == backends_.end(),
                    "duplicate backend '" + name + "'");
   auto backend = std::make_unique<Backend>();
   backend->name = name;
   backend->socket_path = socket_path;
+  backend->weight = weight;
   backend->pool = std::make_unique<serve::ClientPool>(
       socket_path, options_.client, options_.pool_max_idle);
   // A second pool of binary-negotiated connections for frame relay; built
@@ -68,10 +75,12 @@ void Router::add_backend(const std::string& name,
   wire_options.binary = true;
   backend->wire_pool = std::make_unique<serve::ClientPool>(
       socket_path, wire_options, options_.pool_max_idle);
+  // Ring first: add() validates the weight, and a throw must leave the
+  // backend map untouched.
+  ring_.add(name, weight);
   backends_.emplace(name, std::move(backend));
-  ring_.add(name);
   LOG_INFO << "router: backend " << name << " at " << socket_path
-           << " joined the ring";
+           << " joined the ring (weight " << weight << ")";
 }
 
 bool Router::drain(const std::string& name) {
@@ -90,7 +99,7 @@ bool Router::undrain(const std::string& name) {
   if (it == backends_.end()) return false;
   it->second->drained.store(false, std::memory_order_relaxed);
   if (it->second->healthy.load(std::memory_order_relaxed))
-    ring_.add(name);
+    ring_.add(name, it->second->weight);
   LOG_INFO << "router: backend " << name << " undrained";
   return true;
 }
@@ -98,6 +107,11 @@ bool Router::undrain(const std::string& name) {
 std::string Router::backend_for(const std::string& bench) const {
   util::MutexLock lock(mu_);
   return ring_.node_for(bench);
+}
+
+std::vector<std::string> Router::owners_for(const std::string& bench) const {
+  util::MutexLock lock(mu_);
+  return ring_.owners(bench, std::max(1, options_.replicas));
 }
 
 void Router::set_backend_info(
@@ -129,7 +143,7 @@ void Router::revive(const std::string& name) {
   if (it->second->healthy.exchange(true, std::memory_order_relaxed))
     return;  // was already healthy
   if (!it->second->drained.load(std::memory_order_relaxed))
-    ring_.add(name);
+    ring_.add(name, it->second->weight);
   backends_revived_.fetch_add(1, std::memory_order_relaxed);
   LOG_INFO << "router: backend " << name << " revived; key range restored";
 }
@@ -160,11 +174,11 @@ bool Router::try_backend(Backend& backend, const std::string& line,
 }
 
 bool Router::try_backend_frame(Backend& backend, const std::string& raw,
-                               std::string* reply_frame) {
+                               wire::Frame* reply) {
   serve::ClientPool::Lease lease = backend.wire_pool->acquire();
   if (lease) {
     try {
-      *reply_frame = lease->request_frame(raw).raw;
+      *reply = lease->request_frame(raw);
       return true;
     } catch (const std::exception&) {
       // Same stale-vs-dead discipline as the text path: one fresh socket
@@ -175,7 +189,7 @@ bool Router::try_backend_frame(Backend& backend, const std::string& raw,
   serve::ClientPool::Lease fresh = backend.wire_pool->acquire_fresh();
   if (!fresh) return false;
   try {
-    *reply_frame = fresh->request_frame(raw).raw;
+    *reply = fresh->request_frame(raw);
     return true;
   } catch (const std::exception&) {
     fresh.discard();
@@ -183,53 +197,290 @@ bool Router::try_backend_frame(Backend& backend, const std::string& raw,
   }
 }
 
-std::string Router::forward(const std::string& line,
-                            const std::string& bench) {
-  for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
-    Backend* backend = nullptr;
-    {
-      util::MutexLock lock(mu_);
-      const std::string owner = ring_.node_for(bench);
-      if (!owner.empty()) backend = backends_.at(owner).get();
+std::vector<Router::Backend*> Router::snapshot_owners(
+    const std::string& bench) {
+  util::MutexLock lock(mu_);
+  for (;;) {
+    const std::vector<std::string> names =
+        ring_.owners(bench, std::max(1, options_.replicas));
+    std::vector<Backend*> owners;
+    owners.reserve(names.size());
+    bool diverged = false;
+    for (const std::string& name : names) {
+      const auto it = backends_.find(name);
+      if (it == backends_.end()) {
+        // A ring entry with no backend record is a membership bug, but it
+        // must degrade to a purge-and-replace, never to std::out_of_range
+        // escaping the dispatch path mid-request.
+        LOG_WARN << "router: purging ring entry '" << name
+                 << "' with no backend record";
+        ring_.remove(name);
+        diverged = true;
+        break;
+      }
+      owners.push_back(it->second.get());
     }
-    if (backend == nullptr) break;  // ring empty: nothing left to try
-    std::string reply;
-    if (try_backend(*backend, line, &reply)) {
-      forwarded_.fetch_add(1, std::memory_order_relaxed);
-      return reply;  // pass-through, overload/degraded tags included
-    }
-    mark_unhealthy(backend->name);
-    reroutes_.fetch_add(1, std::memory_order_relaxed);
+    if (!diverged) return owners;  // possibly empty: ring was/became empty
   }
-  no_backend_errors_.fetch_add(1, std::memory_order_relaxed);
-  return serve::format_error("no_backend retry_after_ms=" +
-                             std::to_string(options_.retry_after_ms));
+}
+
+bool Router::acquire_queue_slot() {
+  int current = queue_len_.load(std::memory_order_relaxed);
+  while (current < options_.queue_depth) {
+    if (queue_len_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+std::string Router::forward_common(const std::string& payload,
+                                   const std::string& bench, bool mirrorable,
+                                   bool is_frame, const ForwardCodec& codec) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.queue_timeout_ms);
+  bool parked = false;
+  bool saw_shed = false;
+  std::string last_shed;
+  const auto leave = [&](std::string reply) {
+    if (parked) queue_len_.fetch_sub(1, std::memory_order_relaxed);
+    return reply;
+  };
+  for (;;) {
+    // One placement round: walk the owner list in failover order. A dead
+    // owner shrinks the ring (mark_unhealthy) and earns another pass over
+    // the re-snapshotted list; a shed answer is remembered and the next —
+    // mirror-warmed — owner is tried instead.
+    for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
+      const std::vector<Backend*> owners = snapshot_owners(bench);
+      if (owners.empty()) break;  // ring empty: park or refuse below
+      bool ring_changed = false;
+      for (std::size_t i = 0; i < owners.size(); ++i) {
+        std::string reply;
+        if (!codec.send(*owners[i], payload, &reply)) {
+          mark_unhealthy(owners[i]->name);
+          reroutes_.fetch_add(1, std::memory_order_relaxed);
+          ring_changed = true;
+          continue;
+        }
+        if (codec.is_overloaded(reply)) {
+          saw_shed = true;
+          last_shed = std::move(reply);  // freshest advisory wins
+          continue;
+        }
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        if (i > 0) replica_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (mirrorable) enqueue_mirror(payload, is_frame, owners, i);
+        return leave(std::move(reply));
+      }
+      // Every live owner shed: re-walking the same list immediately would
+      // spin, so fall through to the park queue (or the passthrough).
+      if (!ring_changed) break;
+    }
+    if (options_.queue_depth <= 0) {
+      if (saw_shed) {
+        // Saturation, not absence: relay the backend's own advisory.
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        return leave(std::move(last_shed));
+      }
+      no_backend_errors_.fetch_add(1, std::memory_order_relaxed);
+      return leave(codec.no_backend());
+    }
+    if (!parked) {
+      if (!acquire_queue_slot())
+        return leave(codec.queue_full());  // bounded: shed at the door
+      parked = true;
+      queued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      queued_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      if (saw_shed) {
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        return leave(std::move(last_shed));
+      }
+      return leave(codec.deadline_exceeded());
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    std::this_thread::sleep_for(std::chrono::milliseconds(std::min<long long>(
+        remaining,
+        static_cast<long long>(std::max(1, options_.queue_poll_ms)))));
+  }
+}
+
+std::string Router::forward(const std::string& line, const std::string& bench,
+                            bool mirrorable) {
+  ForwardCodec codec;
+  codec.send = [this](Backend& backend, const std::string& payload,
+                      std::string* reply) {
+    return try_backend(backend, payload, reply);
+  };
+  codec.is_overloaded = [](const std::string& reply) {
+    return util::starts_with(reply, "err overloaded");
+  };
+  codec.no_backend = [this] {
+    return serve::format_error("no_backend retry_after_ms=" +
+                               std::to_string(options_.retry_after_ms));
+  };
+  codec.queue_full = [this] {
+    return serve::format_overloaded(options_.retry_after_ms);
+  };
+  codec.deadline_exceeded = [] {
+    return serve::format_error("deadline_exceeded");
+  };
+  return forward_common(line, bench, mirrorable, /*is_frame=*/false, codec);
 }
 
 std::string Router::forward_frame(const std::string& raw,
-                                  const std::string& bench,
-                                  wire::Verb verb) {
-  for (int attempt = 0; attempt < options_.forward_attempts; ++attempt) {
-    Backend* backend = nullptr;
-    {
-      util::MutexLock lock(mu_);
-      const std::string owner = ring_.node_for(bench);
-      if (!owner.empty()) backend = backends_.at(owner).get();
+                                  const std::string& bench, wire::Verb verb,
+                                  bool mirrorable) {
+  // forward_common moves reply bytes around as strings; `last` keeps the
+  // decoded twin of the most recent reply so is_overloaded can inspect it
+  // without re-parsing the frame. The codec never outlives this call.
+  wire::Frame last;
+  ForwardCodec codec;
+  codec.send = [this, &last](Backend& backend, const std::string& payload,
+                             std::string* reply) {
+    if (!try_backend_frame(backend, payload, &last)) return false;
+    *reply = last.raw;  // verbatim: overload / degraded flags included
+    return true;
+  };
+  codec.is_overloaded = [&last](const std::string&) {
+    if (last.type != wire::FrameType::kResponse) return false;
+    wire::Response response;
+    std::string error;
+    return wire::decode_response_payload(last.payload, &response, &error) &&
+           response.code == wire::ErrorCode::kOverloaded;
+  };
+  codec.no_backend = [this, verb] {
+    wire::Response refusal =
+        wire::no_backend_response(options_.retry_after_ms);
+    refusal.verb = verb;
+    return wire::encode_response(refusal);
+  };
+  codec.queue_full = [this, verb] {
+    wire::Response refusal =
+        wire::overloaded_response(options_.retry_after_ms);
+    refusal.verb = verb;
+    return wire::encode_response(refusal);
+  };
+  codec.deadline_exceeded = [verb] {
+    return wire::encode_response(wire::deadline_response(verb));
+  };
+  return forward_common(raw, bench, mirrorable, /*is_frame=*/true, codec);
+}
+
+void Router::enqueue_mirror(const std::string& payload, bool is_frame,
+                            const std::vector<Backend*>& owners,
+                            std::size_t answered) {
+  if (options_.mirror_queue_depth == 0 || options_.replicas <= 1) return;
+  // Warm the first live owner that did not answer (normally the secondary;
+  // the primary itself when a failover answered from the secondary).
+  Backend* target = nullptr;
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    if (i == answered) continue;
+    if (owners[i]->healthy.load(std::memory_order_relaxed) &&
+        !owners[i]->drained.load(std::memory_order_relaxed)) {
+      target = owners[i];
+      break;
     }
-    if (backend == nullptr) break;  // ring empty: nothing left to try
-    std::string reply_frame;
-    if (try_backend_frame(*backend, raw, &reply_frame)) {
-      forwarded_.fetch_add(1, std::memory_order_relaxed);
-      return reply_frame;  // verbatim: overload / degraded flags included
-    }
-    mark_unhealthy(backend->name);
-    reroutes_.fetch_add(1, std::memory_order_relaxed);
   }
-  no_backend_errors_.fetch_add(1, std::memory_order_relaxed);
-  wire::Response refusal =
-      wire::no_backend_response(options_.retry_after_ms);
-  refusal.verb = verb;
-  return wire::encode_response(refusal);
+  if (target == nullptr) return;  // nobody to warm — nothing was lost
+  util::MutexLock lock(mirror_mu_);
+  if (mirror_stop_) return;
+  if (mirror_queue_.size() >= options_.mirror_queue_depth) {
+    // Drop, never block: mirroring is strictly best-effort and must not
+    // apply backpressure to the answer path.
+    mirror_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  mirror_queue_.push_back(MirrorItem{target->name, payload, is_frame});
+  mirror_cv_.notify_all();
+}
+
+bool Router::replay_mirror(const MirrorItem& item) {
+  Backend* backend = nullptr;
+  {
+    util::MutexLock lock(mu_);
+    const auto it = backends_.find(item.target);
+    if (it != backends_.end() &&
+        it->second->healthy.load(std::memory_order_relaxed) &&
+        !it->second->drained.load(std::memory_order_relaxed))
+      backend = it->second.get();
+  }
+  if (backend == nullptr) return false;  // target died since the enqueue
+  // A replay failure is just a lost warm-up: membership transitions stay
+  // the prober's job, so the mirror thread never rebalances the ring.
+  if (item.is_frame) {
+    wire::Frame reply;
+    if (!try_backend_frame(*backend, item.payload, &reply)) return false;
+    if (reply.type != wire::FrameType::kResponse) return false;
+    wire::Response response;
+    std::string error;
+    return wire::decode_response_payload(reply.payload, &response, &error) &&
+           response.status == wire::Status::kOk;
+  }
+  std::string reply;
+  return try_backend(*backend, item.payload, &reply) &&
+         util::starts_with(reply, "ok");
+}
+
+void Router::mirror_loop() {
+  for (;;) {
+    MirrorItem item;
+    {
+      util::MutexLock lock(mirror_mu_);
+      while (mirror_queue_.empty() && !mirror_stop_)
+        mirror_cv_.wait(mirror_mu_);
+      if (mirror_stop_) {
+        // Shutdown drops the backlog (counted): replaying against a fleet
+        // that is itself shutting down would only stall the destructor.
+        mirror_dropped_.fetch_add(mirror_queue_.size(),
+                                  std::memory_order_relaxed);
+        mirror_queue_.clear();
+        return;
+      }
+      item = std::move(mirror_queue_.front());
+      mirror_queue_.pop_front();
+      mirror_busy_ = true;
+    }
+    const bool warmed = replay_mirror(item);
+    (warmed ? mirrored_ : mirror_dropped_)
+        .fetch_add(1, std::memory_order_relaxed);
+    {
+      util::MutexLock lock(mirror_mu_);
+      mirror_busy_ = false;
+      mirror_cv_.notify_all();  // wake wait_mirror_idle watchers
+    }
+  }
+}
+
+bool Router::wait_mirror_idle(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::MutexLock lock(mirror_mu_);
+  while (!mirror_queue_.empty() || mirror_busy_) {
+    if (!mirror_cv_.wait_until(mirror_mu_, deadline))
+      return mirror_queue_.empty() && !mirror_busy_;
+  }
+  return true;
+}
+
+void Router::start_mirror() {
+  if (options_.mirror_queue_depth == 0 || options_.replicas <= 1) return;
+  mirror_worker_ = std::thread([this] { mirror_loop(); });
+}
+
+void Router::stop_mirror() {
+  {
+    util::MutexLock lock(mirror_mu_);
+    mirror_stop_ = true;
+    mirror_cv_.notify_all();
+  }
+  if (mirror_worker_.joinable()) mirror_worker_.join();
 }
 
 std::string Router::handle_frame(const wire::Frame& frame, bool* close) {
@@ -246,7 +497,8 @@ std::string Router::handle_frame(const wire::Frame& frame, bool* close) {
       case wire::Verb::kScore:
       case wire::Verb::kRecover:
         // Relay the exact bytes we received — never re-encode.
-        return forward_frame(frame.raw, request.bench, request.verb);
+        return forward_frame(frame.raw, request.bench, request.verb,
+                             request.verb == wire::Verb::kScore);
       case wire::Verb::kStats:
         return wire::encode_response(
             wire::ok_response(request.verb, format_stats()));
@@ -257,7 +509,8 @@ std::string Router::handle_frame(const wire::Frame& frame, bool* close) {
         return wire::encode_response(wire::ok_response(
             request.verb,
             serve::help_text() +
-                "; router: backends | drain <name> | undrain <name>"));
+                "; router: backends | owners <bench> | drain <name> | "
+                "undrain <name>"));
       case wire::Verb::kQuit:
         if (close) *close = true;
         return wire::encode_response(
@@ -279,6 +532,8 @@ std::string Router::handle_line(const std::string& line, bool* quit) {
     if (!tokens.empty()) {
       if (tokens[0] == "backends" && tokens.size() == 1)
         return serve::format_ok(format_backends());
+      if (tokens[0] == "owners" && tokens.size() == 2)
+        return serve::format_ok(format_owners(tokens[1]));
       if (tokens[0] == "drain" && tokens.size() == 2)
         return drain(tokens[1])
                    ? serve::format_ok("drained " + tokens[1])
@@ -296,7 +551,8 @@ std::string Router::handle_line(const std::string& line, bool* quit) {
       case serve::RequestType::kRecover:
         // Forward the raw line: the backend re-parses it, so model= and
         // deadline_ms= fields survive verbatim.
-        return forward(line, request.bench);
+        return forward(line, request.bench,
+                       request.type == serve::RequestType::kScore);
       case serve::RequestType::kStats:
         return serve::format_ok(format_stats());
       case serve::RequestType::kHealth:
@@ -304,7 +560,8 @@ std::string Router::handle_line(const std::string& line, bool* quit) {
       case serve::RequestType::kHelp:
         return serve::format_ok(
             serve::help_text() +
-            "; router: backends | drain <name> | undrain <name>");
+            "; router: backends | owners <bench> | drain <name> | "
+            "undrain <name>");
       case serve::RequestType::kQuit:
         if (quit) *quit = true;
         return serve::format_ok("bye");
@@ -323,6 +580,7 @@ std::string Router::format_backends() const {
   out << "backends=" << backends_.size();
   for (const auto& [name, backend] : backends_) {
     out << " | name=" << name << " path=" << backend->socket_path
+        << " weight=" << backend->weight
         << " healthy=" << (backend->healthy.load(std::memory_order_relaxed)
                                ? 1 : 0)
         << " drained=" << (backend->drained.load(std::memory_order_relaxed)
@@ -335,10 +593,30 @@ std::string Router::format_backends() const {
   return out.str();
 }
 
+std::string Router::format_owners(const std::string& bench) const {
+  const std::vector<std::string> owners = owners_for(bench);
+  std::ostringstream out;
+  out << "bench=" << bench << " replicas=" << owners.size() << " owners=";
+  if (owners.empty()) {
+    out << "none";
+  } else {
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+      if (i > 0) out << ",";
+      out << owners[i];
+    }
+  }
+  return out.str();
+}
+
 RouterStats Router::stats() const {
   RouterStats stats;
   stats.forwarded = forwarded_.load(std::memory_order_relaxed);
   stats.reroutes = reroutes_.load(std::memory_order_relaxed);
+  stats.replica_hits = replica_hits_.load(std::memory_order_relaxed);
+  stats.mirrored = mirrored_.load(std::memory_order_relaxed);
+  stats.mirror_dropped = mirror_dropped_.load(std::memory_order_relaxed);
+  stats.queued = queued_.load(std::memory_order_relaxed);
+  stats.queued_timeouts = queued_timeouts_.load(std::memory_order_relaxed);
   stats.no_backend_errors =
       no_backend_errors_.load(std::memory_order_relaxed);
   stats.probes = probes_.load(std::memory_order_relaxed);
@@ -361,8 +639,14 @@ std::string Router::format_stats() const {
   std::ostringstream out;
   out << "role=router backends=" << stats.backends_total
       << " healthy=" << stats.backends_healthy
+      << " replicas=" << options_.replicas
       << " forwarded=" << stats.forwarded
       << " reroutes=" << stats.reroutes
+      << " replica_hits=" << stats.replica_hits
+      << " mirrored=" << stats.mirrored
+      << " mirror_dropped=" << stats.mirror_dropped
+      << " queued=" << stats.queued
+      << " queued_timeouts=" << stats.queued_timeouts
       << " no_backend_errors=" << stats.no_backend_errors
       << " probes=" << stats.probes
       << " backends_failed=" << stats.backends_failed
@@ -380,7 +664,11 @@ std::string Router::format_health() const {
   std::ostringstream out;
   out << "status=" << status << " backends=" << stats.backends_total
       << " healthy=" << stats.backends_healthy
-      << " reroutes=" << stats.reroutes;
+      << " reroutes=" << stats.reroutes
+      << " replica_hits=" << stats.replica_hits
+      << " mirror_dropped=" << stats.mirror_dropped
+      << " queued=" << stats.queued
+      << " queued_timeouts=" << stats.queued_timeouts;
   return out.str();
 }
 

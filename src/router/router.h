@@ -11,17 +11,43 @@
 // scores) to one backend, which is what makes the fan-out scale: no
 // backend pays for benches it never sees.
 //
+// Replicated placement (replicas = R, default 2): every request goes to
+// the key's PRIMARY owner, and each ok-answered score is additionally
+// enqueued on a bounded mirror queue and replayed — asynchronously, best
+// effort, never blocking the answer — against the SECONDARY owner, so the
+// replica's prediction cache and bench contexts stay warm. When the
+// primary is unreachable (probe-dead, stale pooled connection, fresh
+// connect refused) the router marks it unhealthy and fails over to the
+// next owner in ring order — which the mirror kept warm — instead of
+// answering `no_backend`; when the primary merely answers `err
+// overloaded`, the secondary is tried too (`replica_hits` counts answers
+// served by a non-primary owner, `mirrored` / `mirror_dropped` audit the
+// mirror queue).
+//
+// Queue-with-timeout (queue_depth > 0): the middle ground between forward
+// and shed. A request that found no owner able to answer — every owner
+// saturated, or the whole ring briefly dead during a restart — parks in a
+// bounded router-side queue and re-attempts placement until
+// queue_timeout_ms elapses: it rides out a backend respawn or an
+// admission spike invisibly. On expiry it answers the last backend shed
+// advisory (`err overloaded retry_after_ms=<n>`) when owners were alive
+// but saturated, `err deadline_exceeded` otherwise; when the queue itself
+// is full the request is shed immediately with the router's advisory.
+// queue_depth = 0 (default) disables parking — refusals are immediate,
+// exactly the pre-queue behaviour.
+//
 // Health: a backend whose connection dies mid-request is retried once on a
 // fresh socket (pooled connections go stale when a backend restarts), then
 // marked unhealthy and removed from the ring — the request transparently
-// reroutes to the next owner (counted in `reroutes`). A background prober
-// sends `health` to every backend each probe interval, evicting newly dead
-// backends and re-adding revived ones, so a restarted worker re-takes
-// exactly its old key range (consistent hashing is deterministic in the
-// node name).
+// fails over to the next owner (counted in `reroutes`). A background
+// prober sends `health` to every backend each probe interval, evicting
+// newly dead backends and re-adding revived ones, so a restarted worker
+// re-takes exactly its old key range (consistent hashing is deterministic
+// in the node name and weight).
 //
 // Admin verbs (answered locally, never forwarded):
 //   backends            one line listing each backend's name, path, state
+//   owners <bench>      the bench's owner list in failover order
 //   drain <name>        remove from the ring (for maintenance); undrain
 //   undrain <name>      to put it back
 //   stats / health      router-level counters and ring state
@@ -37,6 +63,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -54,22 +81,41 @@
 namespace rebert::router {
 
 struct RouterOptions {
-  /// Virtual nodes per backend on the ring (see hash_ring.h).
+  /// Virtual nodes per unit of backend weight on the ring (hash_ring.h).
   int vnodes = 64;
+  /// Replication factor R: a key's request goes to owner 0 and fails over
+  /// down the owner list; ok-answered scores are mirrored to owner 1.
+  /// 1 restores single-owner placement (no failover, no mirroring).
+  int replicas = 2;
   /// Health probe cadence; <= 0 disables the prober thread.
   int probe_interval_ms = 200;
-  /// Distinct backends tried (after rehashing) before a request fails.
+  /// Placement passes per request: each pass re-snapshots the owner list
+  /// (the ring shrinks as dead owners are marked) and tries every owner
+  /// once before the request parks or is refused.
   int forward_attempts = 3;
   /// Advisory backoff on router-generated refusals (no backend available,
-  /// connection cap). Backend-generated overloads pass through with the
-  /// backend's own value.
+  /// connection cap, full park queue). Backend-generated overloads pass
+  /// through with the backend's own value.
   int retry_after_ms = 50;
+  /// Bound on the async mirror queue; an enqueue beyond it is dropped and
+  /// counted (`mirror_dropped`) — mirroring must never apply backpressure
+  /// to the answer path. 0 disables mirroring entirely.
+  std::size_t mirror_queue_depth = 256;
+  /// Requests allowed to park in the queue-with-timeout at once; 0
+  /// (default) disables parking — refusals are immediate.
+  int queue_depth = 0;
+  /// How long a parked request keeps re-attempting placement before it
+  /// expires (`err deadline_exceeded` / relayed shed advisory).
+  int queue_timeout_ms = 250;
+  /// Re-attempt cadence while parked.
+  int queue_poll_ms = 5;
   /// ClientOptions for every backend link (connect budget, request retry).
   serve::ClientOptions client;
   /// Idle connections retained per backend pool.
   std::size_t pool_max_idle = 8;
   /// Dispatch-pool threads in the router's SocketServer. Forwarding
-  /// blocks a pool thread on backend I/O, so this bounds concurrent
+  /// blocks a pool thread on backend I/O (and a parked request occupies
+  /// one for up to queue_timeout_ms), so this bounds concurrent
   /// forwards; <= 0 keeps the SocketServer default.
   int dispatch_threads = 0;
 };
@@ -77,6 +123,11 @@ struct RouterOptions {
 struct RouterStats {
   std::uint64_t forwarded = 0;         // requests relayed to a backend
   std::uint64_t reroutes = 0;          // retries on a different backend
+  std::uint64_t replica_hits = 0;      // answered by a non-primary owner
+  std::uint64_t mirrored = 0;          // mirror replays answered ok
+  std::uint64_t mirror_dropped = 0;    // mirror enqueues/replays lost
+  std::uint64_t queued = 0;            // requests that parked in the queue
+  std::uint64_t queued_timeouts = 0;   // parked requests that expired
   std::uint64_t no_backend_errors = 0; // ring empty / attempts exhausted
   std::uint64_t probes = 0;            // health probes sent
   std::uint64_t backends_failed = 0;   // transitions healthy -> unhealthy
@@ -94,9 +145,11 @@ class Router {
   Router& operator=(const Router&) = delete;
 
   /// Register a backend worker reachable at `socket_path` and place it on
-  /// the ring. Names must be unique; throws util::CheckError on a dup.
-  void add_backend(const std::string& name, const std::string& socket_path)
-      EXCLUDES(mu_);
+  /// the ring with `weight` x vnodes virtual points (heterogeneous
+  /// machines get proportional key shares). Names must be unique; throws
+  /// util::CheckError on a dup or non-positive weight.
+  void add_backend(const std::string& name, const std::string& socket_path,
+                   double weight = 1.0) EXCLUDES(mu_);
 
   /// Remove / restore a backend's ring membership without forgetting it.
   /// Unknown names return false.
@@ -119,6 +172,12 @@ class Router {
   /// What the placement tests and the kill-drill assert against.
   std::string backend_for(const std::string& bench) const EXCLUDES(mu_);
 
+  /// The bench's owner list in failover order (owners_for(b)[0] ==
+  /// backend_for(b)); at most `replicas` names, fewer when the ring is
+  /// smaller.
+  std::vector<std::string> owners_for(const std::string& bench) const
+      EXCLUDES(mu_);
+
   /// Extra per-backend text appended to `backends` output lines (the route
   /// CLI wires the supervisor in here so `backends` shows pid= and
   /// restarts=). Called with the backend name; return "" for nothing.
@@ -136,6 +195,12 @@ class Router {
   /// exposed so tests can force a transition without sleeping.
   void probe_once() EXCLUDES(mu_);
 
+  /// Block until the mirror queue is empty and the in-flight replay (if
+  /// any) finished, or `timeout_ms` elapsed; true when drained. What the
+  /// failover tests and the kill-drill call between "prime" and "kill" so
+  /// warmth assertions do not race the async mirror.
+  bool wait_mirror_idle(int timeout_ms) EXCLUDES(mirror_mu_);
+
   RouterStats stats() const EXCLUDES(mu_);
 
   /// Serve the router protocol on an AF_UNIX socket (blocks until stop()).
@@ -147,35 +212,81 @@ class Router {
   struct Backend {
     std::string name;
     std::string socket_path;
+    double weight = 1.0;
     std::unique_ptr<serve::ClientPool> pool;       // text connections
     std::unique_ptr<serve::ClientPool> wire_pool;  // negotiated binary
     std::atomic<bool> healthy{true};
     std::atomic<bool> drained{false};
   };
 
-  /// Forward `line` to the owner of `bench`, rehashing across failures.
-  std::string forward(const std::string& line, const std::string& bench)
+  /// One mirror replay: the payload re-sent to the secondary owner.
+  struct MirrorItem {
+    std::string target;   // backend name (resolved again at replay time)
+    std::string payload;  // text line or raw frame bytes
+    bool is_frame = false;
+  };
+
+  /// Per-encoding hooks for the shared forward loop: how to reach a
+  /// backend, recognise a shed answer, and build the router's refusals.
+  struct ForwardCodec {
+    std::function<bool(Backend&, const std::string&, std::string*)> send;
+    std::function<bool(const std::string&)> is_overloaded;
+    std::function<std::string()> no_backend;
+    std::function<std::string()> queue_full;
+    std::function<std::string()> deadline_exceeded;
+  };
+
+  /// The one forwarding state machine behind both encodings: owner-list
+  /// failover, mirror enqueue, queue-with-timeout parking.
+  std::string forward_common(const std::string& payload,
+                             const std::string& bench, bool mirrorable,
+                             bool is_frame, const ForwardCodec& codec)
       EXCLUDES(mu_);
 
-  /// forward()'s binary twin: relay raw frame bytes to the owner of
-  /// `bench`; `verb` only shapes the local no_backend refusal.
+  /// Forward `line` to the owners of `bench` (text codec).
+  std::string forward(const std::string& line, const std::string& bench,
+                      bool mirrorable) EXCLUDES(mu_);
+
+  /// forward()'s binary twin: relay raw frame bytes to the owners of
+  /// `bench`; `verb` only shapes the local refusals.
   std::string forward_frame(const std::string& raw, const std::string& bench,
-                            wire::Verb verb) EXCLUDES(mu_);
+                            wire::Verb verb, bool mirrorable) EXCLUDES(mu_);
+
+  /// Snapshot the bench's owner list as live Backend pointers, purging
+  /// ring entries with no backend record (ring/map divergence must not
+  /// throw out of the dispatch path). Empty when the ring is empty.
+  std::vector<Backend*> snapshot_owners(const std::string& bench)
+      EXCLUDES(mu_);
 
   /// One request over one backend's pool; retries once on a fresh socket
   /// before giving up. Returns false when the backend is unreachable.
   bool try_backend(Backend& backend, const std::string& line,
                    std::string* reply);
 
-  /// try_backend over the binary pool; *reply_frame gets the backend's
-  /// response frame verbatim.
+  /// try_backend over the binary pool; *reply gets the backend's response
+  /// frame verbatim (raw bytes plus the decoded header/payload).
   bool try_backend_frame(Backend& backend, const std::string& raw,
-                         std::string* reply_frame);
+                         wire::Frame* reply);
+
+  /// Queue the payload for async replay against the first healthy owner
+  /// other than `answered` — drops (counted) when the queue is full.
+  void enqueue_mirror(const std::string& payload, bool is_frame,
+                      const std::vector<Backend*>& owners,
+                      std::size_t answered) EXCLUDES(mirror_mu_);
+
+  void start_mirror();
+  void stop_mirror();
+  void mirror_loop() EXCLUDES(mirror_mu_);
+  /// Replay one mirror item; true when the target answered ok.
+  bool replay_mirror(const MirrorItem& item) EXCLUDES(mu_);
+
+  bool acquire_queue_slot();
 
   void mark_unhealthy(const std::string& name) EXCLUDES(mu_);
   void revive(const std::string& name) EXCLUDES(mu_);
 
   std::string format_backends() const EXCLUDES(mu_);
+  std::string format_owners(const std::string& bench) const EXCLUDES(mu_);
   std::string format_stats() const EXCLUDES(mu_);
   std::string format_health() const EXCLUDES(mu_);
 
@@ -184,7 +295,7 @@ class Router {
 
   // Guards ring_ and backends_ *membership*; Backend objects themselves
   // are never erased, so raw Backend* taken under the lock stay valid
-  // after it is released (forward/probe_once rely on this).
+  // after it is released (forward/probe_once/mirror rely on this).
   mutable util::Mutex mu_{"router.state"};
   HashRing ring_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Backend>> backends_ GUARDED_BY(mu_);
@@ -194,8 +305,24 @@ class Router {
   std::thread prober_;
   std::atomic<bool> probing_{false};
 
+  // Mirror queue: leaf lock, never held together with mu_ (enqueue and
+  // replay each take exactly one of the two at a time).
+  mutable util::Mutex mirror_mu_{"router.mirror"};
+  util::CondVar mirror_cv_;
+  std::deque<MirrorItem> mirror_queue_ GUARDED_BY(mirror_mu_);
+  bool mirror_stop_ GUARDED_BY(mirror_mu_) = false;
+  bool mirror_busy_ GUARDED_BY(mirror_mu_) = false;
+  std::thread mirror_worker_;
+
+  std::atomic<int> queue_len_{0};  // live occupancy of the park queue
+
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> reroutes_{0};
+  std::atomic<std::uint64_t> replica_hits_{0};
+  std::atomic<std::uint64_t> mirrored_{0};
+  std::atomic<std::uint64_t> mirror_dropped_{0};
+  std::atomic<std::uint64_t> queued_{0};
+  std::atomic<std::uint64_t> queued_timeouts_{0};
   std::atomic<std::uint64_t> no_backend_errors_{0};
   std::atomic<std::uint64_t> probes_{0};
   std::atomic<std::uint64_t> backends_failed_{0};

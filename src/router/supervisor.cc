@@ -9,6 +9,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "util/backoff.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -93,6 +94,13 @@ int BackendSupervisor::poll_once() {
           backoff <<= 1;
         if (backoff > options_.max_backoff_ms)
           backoff = options_.max_backoff_ms;
+        // Seeded per (worker, failure-streak): simultaneous deaths respawn
+        // staggered, yet every run replays the same stagger.
+        backoff = util::apply_backoff_jitter(
+            static_cast<int>(backoff),
+            util::fnv1a64(worker.name.data(), worker.name.size()),
+            static_cast<std::uint64_t>(worker.consecutive_failures),
+            options_.restart_jitter_pct);
         worker.respawn_after =
             now + std::chrono::milliseconds(backoff);
         LOG_WARN << "supervisor: worker " << worker.name << " (pid "

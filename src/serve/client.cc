@@ -11,7 +11,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+
 #include "serve/protocol.h"
+#include "util/backoff.h"
 #include "util/check.h"
 #include "util/retry_eintr.h"
 #include "util/string_utils.h"
@@ -19,8 +22,26 @@
 
 namespace rebert::serve {
 
+namespace {
+
+/// Distinguishes simultaneous clients of one socket path when no explicit
+/// backoff_seed is given — two clients dialing the same daemon must not
+/// share a jitter schedule or the jitter buys nothing.
+std::uint64_t next_client_ordinal() {
+  static std::atomic<std::uint64_t> ordinal{0};
+  return ordinal.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 Client::Client(std::string socket_path, ClientOptions options)
-    : path_(std::move(socket_path)), options_(options) {}
+    : path_(std::move(socket_path)), options_(options) {
+  jitter_seed_ =
+      options_.backoff_seed != 0
+          ? options_.backoff_seed
+          : util::fnv1a64(path_.data(), path_.size()) ^
+                util::splitmix64(next_client_ordinal());
+}
 
 Client::~Client() { close(); }
 
@@ -59,10 +80,13 @@ bool Client::connect() {
           // the calling thread for as long as a hostile server asks —
           // then re-poll; a slot may free up within the polling budget.
           close();
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              std::min(options_.max_connect_backoff_ms,
-                       std::max(last_overload_retry_after_ms_,
-                                options_.connect_poll_ms))));
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(util::apply_backoff_jitter(
+                  std::min(options_.max_connect_backoff_ms,
+                           std::max(last_overload_retry_after_ms_,
+                                    options_.connect_poll_ms)),
+                  jitter_seed_, jitter_sequence_++,
+                  options_.backoff_jitter_pct)));
           continue;
       }
     }
@@ -212,7 +236,12 @@ std::string Client::request_with_retry(const std::string& line) {
         options_.base_backoff_ms << std::min(attempt - 1, 20);
     const int backoff = std::min(options_.max_backoff_ms,
                                  std::max(retry_after_ms, doubled));
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    // Seeded jitter spreads a fleet's identical advisories apart; with
+    // jitter_pct = 0 (default) this is exactly the historic schedule.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(util::apply_backoff_jitter(
+            backoff, jitter_seed_, jitter_sequence_++,
+            options_.backoff_jitter_pct)));
   }
   return response;
 }

@@ -4,10 +4,12 @@
 // request_with_retry() additionally honours the server's admission control,
 // backing off and retrying when the answer is `err overloaded
 // retry_after_ms=<n>`. The backoff is capped exponential and fully
-// deterministic — wait times are a function of the attempt number and the
-// server's advisory delay only, never of wall-clock randomness — so a
-// retrying workload replays identically (what the chaos tests and the
-// overload bench rely on).
+// deterministic — wait times are a function of the attempt number, the
+// server's advisory delay, and (when enabled) a seeded jitter, never of
+// wall-clock randomness — so a retrying workload replays identically
+// (what the chaos tests and the overload bench rely on) while a fleet of
+// differently-seeded clients still spreads its retries instead of
+// thundering-herding a respawned backend (util/backoff.h).
 //
 // With ClientOptions.binary set, connect() additionally negotiates the
 // binary wire protocol (hello / hello-ack, wire/frame.h) and request()
@@ -50,6 +52,19 @@ struct ClientOptions {
   /// polling budget) when the server refuses the negotiation — a server
   /// that answers the hello at all answers it immediately.
   bool binary = false;
+  /// Deterministic seeded jitter stretching every computed backoff (both
+  /// the request retry backoff and the connection-door overload backoff)
+  /// by up to this percentage. 0 (the default) keeps the historic
+  /// bit-identical schedule; > 0 de-synchronizes a fleet of clients whose
+  /// identical advisories would otherwise re-arrive as one thundering
+  /// herd at a respawned backend. Jitter only ever adds delay, so the
+  /// server's advisory is still honoured and caps still cap.
+  int backoff_jitter_pct = 0;
+  /// Seed identifying this waiter for jitter purposes. 0 auto-derives a
+  /// per-client seed (socket-path hash mixed with a process-wide client
+  /// counter) so simultaneous clients of one daemon spread out; set it
+  /// explicitly for replayable chaos tests.
+  std::uint64_t backoff_seed = 0;
 };
 
 class Client {
@@ -114,6 +129,8 @@ class Client {
 
   std::string path_;
   ClientOptions options_;
+  std::uint64_t jitter_seed_ = 0;      // resolved from options at ctor
+  std::uint64_t jitter_sequence_ = 0;  // numbers every jittered wait
   int fd_ = -1;
   std::string buffer_;  // text mode: bytes beyond the last returned line
   wire::FrameReader reader_;  // binary mode: bytes beyond the last frame

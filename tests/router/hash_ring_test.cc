@@ -164,6 +164,153 @@ TEST(HashRingTest, SimilarShortKeysDoNotClusterOntoOneNode) {
   EXPECT_LT(owned_by_zero, static_cast<int>(benches.size()));
 }
 
+TEST(HashRingOwnersTest, OwnersAreDistinctAndLedByNodeFor) {
+  HashRing ring;
+  for (int n = 0; n < 5; ++n) ring.add("backend" + std::to_string(n));
+  for (const std::string& key : test_keys(300)) {
+    const std::vector<std::string> owners = ring.owners(key, 3);
+    ASSERT_EQ(owners.size(), 3u) << key;
+    EXPECT_EQ(owners[0], ring.node_for(key)) << key;
+    EXPECT_NE(owners[0], owners[1]) << key;
+    EXPECT_NE(owners[0], owners[2]) << key;
+    EXPECT_NE(owners[1], owners[2]) << key;
+  }
+}
+
+TEST(HashRingOwnersTest, OwnersDegradeToAllMembersWhenRExceedsThem) {
+  HashRing ring;
+  ring.add("backend0");
+  ring.add("backend1");
+  const std::vector<std::string> owners = ring.owners("b03", 5);
+  ASSERT_EQ(owners.size(), 2u);  // all members, primary first
+  EXPECT_EQ(owners[0], ring.node_for("b03"));
+  EXPECT_NE(owners[0], owners[1]);
+  EXPECT_TRUE(ring.owners("b03", 0).empty());
+  EXPECT_TRUE(ring.owners("b03", -1).empty());
+  EXPECT_TRUE(HashRing().owners("b03", 2).empty());
+}
+
+TEST(HashRingOwnersTest, OwnersAreDeterministic) {
+  HashRing a;
+  HashRing b;
+  for (const char* node : {"backend2", "backend0", "backend1"}) a.add(node);
+  for (const char* node : {"backend0", "backend1", "backend2"}) b.add(node);
+  for (const std::string& key : test_keys(200))
+    EXPECT_EQ(a.owners(key, 2), b.owners(key, 2)) << key;
+}
+
+TEST(HashRingOwnersTest, JoinChurnsFewReplicaPairs) {
+  // The (primary, secondary) pair of a key only changes when the joiner
+  // lands inside the key's first-two-owners walk: the pair churn on an
+  // N -> N+1 join must stay a small fraction, like single-owner movement.
+  const int kNodes = 5;  // post-join member count
+  HashRing ring;
+  for (int n = 0; n < kNodes - 1; ++n)
+    ring.add("backend" + std::to_string(n));
+  const std::vector<std::string> keys = test_keys(1000);
+  std::map<std::string, std::vector<std::string>> before;
+  for (const std::string& key : keys) before[key] = ring.owners(key, 2);
+
+  const std::string joiner = "backend" + std::to_string(kNodes - 1);
+  ring.add(joiner);
+  int churned = 0;
+  for (const std::string& key : keys) {
+    const std::vector<std::string> after = ring.owners(key, 2);
+    if (after == before[key]) continue;
+    ++churned;
+    // A changed pair must involve the joiner — two survivors never swap
+    // replica roles among themselves because of someone else's join.
+    EXPECT_TRUE(after[0] == joiner || after[1] == joiner ||
+                after[0] == before[key][0] || after[0] == before[key][1])
+        << key;
+  }
+  // Each of the two owner slots moves ~1/N of its keys; double it for
+  // slack like the single-owner bound.
+  EXPECT_LE(churned, static_cast<int>(keys.size()) * 4 / kNodes);
+}
+
+TEST(HashRingOwnersTest, LeaverPromotesItsSecondaries) {
+  // Removing a member must not disturb pairs it was absent from, and keys
+  // it led should be answered by their old secondary (the warm replica) —
+  // the property router failover banks on.
+  HashRing ring;
+  for (int n = 0; n < 4; ++n) ring.add("backend" + std::to_string(n));
+  const std::vector<std::string> keys = test_keys(1000);
+  std::map<std::string, std::vector<std::string>> before;
+  for (const std::string& key : keys) before[key] = ring.owners(key, 2);
+
+  ring.remove("backend2");
+  int promoted = 0;
+  for (const std::string& key : keys) {
+    const std::vector<std::string> after = ring.owners(key, 2);
+    ASSERT_EQ(after.size(), 2u);
+    if (before[key][0] == "backend2") {
+      // Old secondary takes over as primary.
+      EXPECT_EQ(after[0], before[key][1]) << key;
+      ++promoted;
+    } else {
+      // Surviving primaries keep their keys.
+      EXPECT_EQ(after[0], before[key][0]) << key;
+      if (before[key][1] != "backend2")
+        EXPECT_EQ(after[1], before[key][1]) << key;
+    }
+  }
+  EXPECT_GT(promoted, 0);
+}
+
+TEST(HashRingWeightTest, WeightScalesVirtualPoints) {
+  HashRing ring(64);
+  ring.add("small", 0.5);
+  ring.add("plain");  // weight 1.0
+  ring.add("big", 2.0);
+  EXPECT_EQ(ring.points_of("small"), 32);
+  EXPECT_EQ(ring.points_of("plain"), 64);
+  EXPECT_EQ(ring.points_of("big"), 128);
+  EXPECT_EQ(ring.points_of("absent"), 0);
+  // Even a vanishing weight keeps the member addressable.
+  ring.add("tiny", 0.0001);
+  EXPECT_EQ(ring.points_of("tiny"), 1);
+}
+
+TEST(HashRingWeightTest, WeightedShareTracksWeightRatio) {
+  HashRing ring(64);
+  ring.add("light", 1.0);
+  ring.add("heavy", 3.0);
+  int heavy = 0;
+  const std::vector<std::string> keys = test_keys(4000);
+  for (const std::string& key : keys)
+    if (ring.node_for(key) == "heavy") ++heavy;
+  // Expect ~3/4 of the keys on the weight-3 member; vnode placement noise
+  // gets a generous band around it.
+  const double share = static_cast<double>(heavy) /
+                       static_cast<double>(keys.size());
+  EXPECT_GT(share, 0.60);
+  EXPECT_LT(share, 0.90);
+}
+
+TEST(HashRingWeightTest, WeightedRemoveThenReAddRestoresPlacement) {
+  // remove() must erase exactly the points add() created — including the
+  // weighted count — or a re-add would leak phantom ring entries.
+  HashRing ring;
+  ring.add("backend0", 2.0);
+  ring.add("backend1", 0.5);
+  ring.add("backend2");
+  const std::vector<std::string> keys = test_keys(300);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.node_for(key);
+  ring.remove("backend0");
+  ring.add("backend0", 2.0);
+  for (const std::string& key : keys)
+    EXPECT_EQ(ring.node_for(key), before[key]) << key;
+}
+
+TEST(HashRingWeightTest, InvalidWeightsAreRejected) {
+  HashRing ring;
+  EXPECT_THROW(ring.add("backend0", 0.0), std::exception);
+  EXPECT_THROW(ring.add("backend0", -1.0), std::exception);
+  EXPECT_TRUE(ring.empty());
+}
+
 TEST(HashRingTest, NodesAreSorted) {
   HashRing ring;
   ring.add("zeta");

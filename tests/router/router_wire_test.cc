@@ -232,5 +232,74 @@ TEST(RouterWireTest, MalformedFramePayloadAnsweredWithErrorFrame) {
   EXPECT_FALSE(quit);  // request-level failure, connection survives
 }
 
+TEST(RouterWireTest, StatsAndHealthParityIncludesReplicationCounters) {
+  // Same counters, same rendering, both encodings: an idle router answers
+  // stats/health identically through frames and text — including the
+  // replication fields (replica_hits, mirrored/mirror_dropped, queued,
+  // queued_timeouts).
+  Router router(fast_router_options());
+  bool quit = false;
+  const wire::Response stats = frame_round_trip(router, "stats", &quit);
+  EXPECT_EQ(wire::response_to_line(stats),
+            router.handle_line("stats", &quit));
+  for (const char* field :
+       {"replicas=2", "replica_hits=0", "mirrored=0", "mirror_dropped=0",
+        "queued=0", "queued_timeouts=0"})
+    EXPECT_NE(stats.body.find(field), std::string::npos)
+        << stats.body << " missing " << field;
+
+  const wire::Response health = frame_round_trip(router, "health", &quit);
+  EXPECT_EQ(wire::response_to_line(health),
+            router.handle_line("health", &quit));
+  for (const char* field :
+       {"replica_hits=0", "mirror_dropped=0", "queued=0",
+        "queued_timeouts=0"})
+    EXPECT_NE(health.body.find(field), std::string::npos)
+        << health.body << " missing " << field;
+}
+
+TEST(RouterWireTest, ParkedFrameExpiresWithDeadlineFrame) {
+  RouterOptions options = fast_router_options();
+  options.queue_depth = 1;
+  options.queue_timeout_ms = 40;
+  Router router(options);  // empty ring: the frame parks, then expires
+  bool quit = false;
+  const wire::Response expired =
+      frame_round_trip(router, "score b03 q0 q1", &quit);
+  EXPECT_EQ(expired.status, wire::Status::kErr);
+  EXPECT_EQ(expired.code, wire::ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.verb, wire::Verb::kScore);
+  EXPECT_EQ(wire::response_to_line(expired), "err deadline_exceeded");
+  EXPECT_EQ(router.stats().queued, 1u);
+  EXPECT_EQ(router.stats().queued_timeouts, 1u);
+}
+
+TEST(RouterWireTest, AnsweredScoreFramesMirrorToTheSecondary) {
+  TestBackend backend0(::testing::TempDir() + "/router_wire_mir0.sock",
+                       small_options());
+  TestBackend backend1(::testing::TempDir() + "/router_wire_mir1.sock",
+                       small_options());
+  ASSERT_TRUE(wait_ready(backend0.path));
+  ASSERT_TRUE(wait_ready(backend1.path));
+  Router router(fast_router_options());
+  router.add_backend("backend0", backend0.path);
+  router.add_backend("backend1", backend1.path);
+
+  const std::vector<std::string> bits = backend0.engine.bit_names("b03");
+  ASSERT_GE(bits.size(), 2u);
+  bool quit = false;
+  const wire::Response scored = frame_round_trip(
+      router, "score b03 " + bits[0] + " " + bits[1], &quit);
+  ASSERT_EQ(scored.status, wire::Status::kOk);
+  ASSERT_TRUE(router.wait_mirror_idle(10000));
+  // The raw request frame was replayed against the non-answering owner —
+  // the mirror path speaks frames end to end, no transcoding.
+  EXPECT_GE(router.stats().mirrored, 1u);
+  InferenceEngine& secondary = router.backend_for("b03") == "backend0"
+                                   ? backend1.engine
+                                   : backend0.engine;
+  EXPECT_GE(secondary.stats().cache_entries, 1u);
+}
+
 }  // namespace
 }  // namespace rebert::router

@@ -46,6 +46,14 @@
 #      backends behind one socket; requests relay through the router,
 #      then one backend is SIGKILLed and traffic must still be answered
 #      (reroute to the survivor, or the supervisor's respawn).
+#   8. Binary warm-start kill drill: snapshots + SIGKILL + supervisor
+#      respawn; the respawned backend's first answer must already be warm
+#      from the mmap tier (warm_entries > 0, cache_misses = 0).
+#   8b. Replica failover smoke: route at --replicas 2, prime a score
+#      through the router so the mirror queue warms the secondary, then
+#      SIGKILL the bench's primary — the resend must answer ok with ZERO
+#      new cache misses on the survivor (the warm-failover acceptance,
+#      end to end through the CLI).
 #   9. C10K smoke: `bench/serve_overload --connections 1000` parks a
 #      thousand idle sockets on the reactor and demands flat thread
 #      count, answered traffic within deadline, and a clean stop() —
@@ -402,8 +410,21 @@ if [ "$RUN_SHARDED" -eq 1 ]; then
     "$CLI" call --socket "$WSOCK.backend1" --binary recover b03 2>/dev/null \
       | grep -q '^ok words=' \
       || { echo "FAIL: priming recover on backend1"; WARM_ERRORS=$((WARM_ERRORS + 1)); }
-    [ -s "$WWORK/cache.rbpc.backend1" ] \
-      || { echo "FAIL: backend1 wrote no snapshot"; WARM_ERRORS=$((WARM_ERRORS + 1)); }
+    # Wait for a snapshot written strictly AFTER the prime landed. Health
+    # probes also trigger cadence snapshots (and a cadence save skips when
+    # another save holds the lock), so a merely non-empty file may predate
+    # the prime and hold zero entries — killing on that evidence races.
+    sleep 0.6
+    touch "$WWORK/prime.marker"
+    SNAP_FRESH=0
+    for _ in $(seq 1 60); do
+      if [ -n "$(find "$WWORK/cache.rbpc.backend1" -newer "$WWORK/prime.marker" 2>/dev/null)" ]; then
+        SNAP_FRESH=1; break
+      fi
+      sleep 0.5
+    done
+    [ "$SNAP_FRESH" -eq 1 ] \
+      || { echo "FAIL: backend1 wrote no post-prime snapshot"; WARM_ERRORS=$((WARM_ERRORS + 1)); }
     VICTIM=$("$CLI" call --socket "$WSOCK" backends 2>/dev/null \
       | grep -o 'name=backend1[^|]*' | grep -o 'pid=[0-9]*' | cut -d= -f2)
     if [ -n "${VICTIM:-}" ] && [ "$VICTIM" -gt 0 ] 2>/dev/null; then
@@ -450,6 +471,116 @@ if [ "$RUN_SHARDED" -eq 1 ]; then
     record warm-kill-drill PASS
   else
     record warm-kill-drill FAIL
+  fi
+fi
+
+# ---- 8b. replica failover smoke ----------------------------------------------
+# The R = 2 warm-failover acceptance, end to end through the CLI: a score
+# primed through the router is answered by the bench's primary and
+# asynchronously mirrored onto its secondary. After SIGKILLing the primary
+# the resend must come back `ok` with ZERO new cache misses on the
+# survivor — the victim's key range is served warm, not re-scored.
+if [ "$RUN_SHARDED" -eq 1 ]; then
+  note "replica failover smoke (route --replicas 2, mirror-warm, SIGKILL primary)"
+  ensure_cli || exit 1
+  FWORK=$(mktemp -d)
+  FSOCK="$FWORK/router.sock"
+  FO_ERRORS=0
+  # A words file for b03 at the fleet's scale gives real bit names for the
+  # score line (the words map groups exactly the netlist's bit names).
+  "$CLI" gen --bench b03 --scale 0.25 --out "$FWORK/b03.bench" \
+    --words "$FWORK/b03.words" >/dev/null \
+    || { echo "FAIL: gen b03"; FO_ERRORS=$((FO_ERRORS + 1)); }
+  BIT_A=$(grep -v '^#' "$FWORK/b03.words" | head -1 | cut -d: -f2 | awk '{print $1}')
+  BIT_B=$(grep -v '^#' "$FWORK/b03.words" | head -1 | cut -d: -f2 | awk '{print $2}')
+  [ -n "${BIT_B:-}" ] || BIT_B="$BIT_A"
+  "$CLI" route --socket "$FSOCK" --backends 2 --scale 0.25 \
+    --max-inflight 8 --replicas 2 > "$FWORK/route.log" 2>&1 &
+  FROUTE_PID=$!
+  FREADY=0
+  for _ in $(seq 1 240); do
+    if [ "$("$CLI" call --socket "$FSOCK" backends 2>/dev/null \
+        | grep -o 'healthy=1' | wc -l)" -eq 2 ]; then FREADY=1; break; fi
+    sleep 0.5
+  done
+  if [ "$FREADY" -eq 1 ] && [ -n "${BIT_A:-}" ]; then
+    # Failover order for b03: owners=<primary>,<secondary>. Poll through
+    # transient probe flaps — a backend marked unhealthy for one probe
+    # interval drops out of the ring and out of this listing until the
+    # next successful probe revives it.
+    OWNERS=""
+    for _ in $(seq 1 60); do
+      OWNERS=$("$CLI" call --socket "$FSOCK" owners b03 2>/dev/null \
+        | grep -o 'owners=[^ ]*' | cut -d= -f2)
+      case "$OWNERS" in *,*) break ;; esac
+      sleep 0.5
+    done
+    PRIMARY=${OWNERS%%,*}
+    SECONDARY=${OWNERS##*,}
+    if [ -n "$PRIMARY" ] && [ -n "$SECONDARY" ] && [ "$PRIMARY" != "$SECONDARY" ]; then
+      "$CLI" call --socket "$FSOCK" --retry score b03 "$BIT_A" "$BIT_B" 2>/dev/null \
+        | grep -q '^ok ' \
+        || { echo "FAIL: priming score through the router"; FO_ERRORS=$((FO_ERRORS + 1)); }
+      # Wait until the secondary holds the scored pair. Normally the async
+      # mirror replay puts it there; if an early-boot health flap made the
+      # secondary answer the prime itself (a failover replica hit), it is
+      # warm directly — either way its cache must be populated before the
+      # kill, or the zero-cold-miss assertion below would be vacuous.
+      WARMED=0
+      for _ in $(seq 1 60); do
+        if "$CLI" call --socket "$FSOCK.$SECONDARY" stats 2>/dev/null \
+            | grep -qE 'cache_entries=[1-9]'; then WARMED=1; break; fi
+        sleep 0.5
+      done
+      [ "$WARMED" -eq 1 ] \
+        || { echo "FAIL: secondary never became warm after the prime"; FO_ERRORS=$((FO_ERRORS + 1)); }
+      "$CLI" call --socket "$FSOCK" stats 2>/dev/null \
+        | grep -qE 'mirrored=[1-9]|replica_hits=[1-9]' \
+        || { echo "FAIL: neither mirror replay nor a replica hit warmed the secondary"; FO_ERRORS=$((FO_ERRORS + 1)); }
+      MISSES_BEFORE=$("$CLI" call --socket "$FSOCK.$SECONDARY" stats 2>/dev/null \
+        | grep -o 'cache_misses=[0-9]*' | cut -d= -f2)
+      VICTIM=$("$CLI" call --socket "$FSOCK" backends 2>/dev/null \
+        | grep -o "name=$PRIMARY[^|]*" | grep -o 'pid=[0-9]*' | cut -d= -f2)
+      if [ -n "${VICTIM:-}" ] && [ "$VICTIM" -gt 0 ] 2>/dev/null \
+          && [ -n "${MISSES_BEFORE:-}" ]; then
+        kill -9 "$VICTIM" 2>/dev/null
+        FANSWERED=0
+        for _ in $(seq 1 60); do
+          if "$CLI" call --socket "$FSOCK" --retry score b03 "$BIT_A" "$BIT_B" 2>/dev/null \
+              | grep -q '^ok '; then FANSWERED=1; break; fi
+          sleep 0.5
+        done
+        [ "$FANSWERED" -eq 1 ] \
+          || { echo "FAIL: score after killing the primary"; FO_ERRORS=$((FO_ERRORS + 1)); }
+        MISSES_AFTER=$("$CLI" call --socket "$FSOCK.$SECONDARY" stats 2>/dev/null \
+          | grep -o 'cache_misses=[0-9]*' | cut -d= -f2)
+        echo "survivor $SECONDARY cache_misses: ${MISSES_BEFORE:-?} -> ${MISSES_AFTER:-?}"
+        [ -n "${MISSES_AFTER:-}" ] && [ "$MISSES_AFTER" = "$MISSES_BEFORE" ] \
+          || { echo "FAIL: survivor took cold misses during failover"; FO_ERRORS=$((FO_ERRORS + 1)); }
+        "$CLI" call --socket "$FSOCK" stats 2>/dev/null \
+          | grep -qE 'replica_hits=[1-9]|reroutes=[1-9]|backends_failed=[1-9]' \
+          || { echo "FAIL: router stats show no failover evidence"; FO_ERRORS=$((FO_ERRORS + 1)); }
+      else
+        echo "FAIL: could not parse the primary's pid or the survivor's stats"
+        FO_ERRORS=$((FO_ERRORS + 1))
+      fi
+    else
+      echo "FAIL: owners b03 did not list two distinct replicas (got '$OWNERS')"
+      FO_ERRORS=$((FO_ERRORS + 1))
+    fi
+  else
+    echo "FAIL: router fleet never became ready (or no bit names)"
+    sed -n '1,20p' "$FWORK/route.log"
+    FO_ERRORS=$((FO_ERRORS + 1))
+  fi
+  kill "$FROUTE_PID" 2>/dev/null
+  wait "$FROUTE_PID" 2>/dev/null
+  rm -rf "$FWORK"
+  if [ "$FO_ERRORS" -eq 0 ]; then
+    echo "replica failover smoke passed"
+    record replica-failover PASS
+  else
+    record replica-failover FAIL
   fi
 fi
 
