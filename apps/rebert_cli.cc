@@ -80,6 +80,7 @@
 #include <vector>
 
 #include "circuitgen/suite.h"
+#include "kernels/backend.h"
 #include "metrics/clustering.h"
 #include "nl/corruption.h"
 #include "nl/decompose.h"
@@ -521,6 +522,7 @@ int cmd_route(const util::FlagParser& flags) {
       pass("max-connections");
       pass("listen-backlog");
       pass("dispatch-threads");
+      pass("kernels");
       pass("snapshot-every");
       // Per-backend snapshot files: each worker persists (and, after a
       // SIGKILL respawn, mmaps) its own shard of the cache — shared state
@@ -920,6 +922,9 @@ int usage() {
   for (const Subcommand& command : kSubcommands)
     std::fprintf(stderr, "  rebert_cli %-11s %s\n", command.name,
                  command.flags_help);
+  std::fprintf(stderr,
+               "\nglobal: [--kernels auto|scalar|avx2] selects the compute "
+               "backend (default: REBERT_KERNELS, then cpuid)\n");
   return 2;
 }
 
@@ -928,6 +933,18 @@ int usage() {
 int main(int argc, char** argv) {
   const util::FlagParser flags(argc, argv);
   if (flags.positional().empty()) return usage();
+  // --kernels is global: every compute-bearing subcommand (train, recover,
+  // score, serve, bench-serve, and backends spawned by route) honors it.
+  // Unset keeps the REBERT_KERNELS / cpuid auto-selection.
+  const std::string kernels_spec = flags.get("kernels", "");
+  if (!kernels_spec.empty()) {
+    std::string kernels_error;
+    if (!kernels::apply_backend_spec(kernels_spec, &kernels_error)) {
+      std::fprintf(stderr, "invalid --kernels %s: %s\n",
+                   kernels_spec.c_str(), kernels_error.c_str());
+      return 2;
+    }
+  }
   const std::string& command = flags.positional()[0];
   try {
     for (const Subcommand& entry : kSubcommands)

@@ -1,0 +1,62 @@
+// 64-byte-aligned allocation for SIMD-visible float storage.
+//
+// std::vector<float>'s default allocator guarantees only alignof(float);
+// the AVX2 kernels want (and the future AVX-512 path will require) cache-
+// line alignment so aligned loads are legal on tensor row 0 and packing
+// stays cheap. AlignedAllocator is a drop-in std::allocator replacement
+// built on C++17 aligned operator new, used by tensor::Tensor and the
+// scratch Arena. The alignment is a type-level constant so two vectors
+// with different alignments can never be spliced together silently.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace rebert::kernels {
+
+/// Every SIMD-visible buffer in the process is aligned to this many bytes:
+/// one cache line, and enough for 512-bit vectors.
+inline constexpr std::size_t kAlignment = 64;
+
+template <typename T, std::size_t Alignment = kAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// The storage type behind tensor::Tensor: contiguous floats whose data()
+/// is 64-byte aligned (asserted by tests/tensor/tensor_test.cc).
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace rebert::kernels

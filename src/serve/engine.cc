@@ -5,6 +5,7 @@
 #include <future>
 
 #include "circuitgen/suite.h"
+#include "kernels/backend.h"
 #include "nl/decompose.h"
 #include "persist/cache_io.h"
 #include "nl/netlist.h"
@@ -379,6 +380,7 @@ EngineStats InferenceEngine::stats() const {
   stats.max_inflight_per_bench = options_.max_inflight_per_bench;
   stats.bench_shed_requests =
       bench_shed_requests_.load(std::memory_order_relaxed);
+  stats.kernels = kernels::backend_name(kernels::active_backend());
   return stats;
 }
 

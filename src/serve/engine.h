@@ -114,6 +114,8 @@ struct EngineStats {
   int unhealthy_models = 0;                // entries currently unhealthy
   int max_inflight_per_bench = 0;          // 0 = unlimited
   std::uint64_t bench_shed_requests = 0;   // per-bench budget declines
+  // Active compute-kernel backend ("scalar" / "avx2"); see kernels/backend.h.
+  std::string kernels;
 };
 
 struct RecoverSummary {

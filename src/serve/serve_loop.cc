@@ -36,7 +36,8 @@ std::string format_stats(const EngineStats& stats) {
       // on prefixes and substrings, so growth at the tail is compatible.
       << " models=" << stats.models
       << " unhealthy_models=" << stats.unhealthy_models
-      << " bench_shed_requests=" << stats.bench_shed_requests;
+      << " bench_shed_requests=" << stats.bench_shed_requests
+      << " kernels=" << stats.kernels;
   return out.str();
 }
 
@@ -56,7 +57,8 @@ std::string format_health(const EngineStats& stats) {
       << " degraded_recoveries=" << stats.degraded_recoveries
       << " faults_injected=" << stats.faults_injected
       << " models=" << stats.models
-      << " unhealthy_models=" << stats.unhealthy_models;
+      << " unhealthy_models=" << stats.unhealthy_models
+      << " kernels=" << stats.kernels;
   return out.str();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 
 namespace rebert::tensor {
@@ -17,7 +18,13 @@ Tensor Linear::forward(const Tensor& x, Cache* cache) const {
                     "Linear input " << x.shape_string() << " vs weight "
                                     << weight.value.shape_string());
   if (cache) cache->input = x;
-  return add_row_bias(matmul(x, weight.value), bias.value);
+  // GEMM + in-place bias: skips the extra output copy add_row_bias(matmul())
+  // would make.
+  const int m = x.dim(0), in = x.dim(1), out = weight.value.dim(1);
+  Tensor y({m, out});
+  kernels::gemm(x.data(), weight.value.data(), y.data(), m, in, out);
+  kernels::add_row_bias(y.data(), bias.value.data(), m, out);
+  return y;
 }
 
 Tensor Linear::backward(const Tensor& dy, const Cache& cache) {
@@ -39,29 +46,19 @@ Tensor LayerNorm::forward(const Tensor& x, Cache* cache) const {
                                        << h);
   const int n = x.dim(0);
   Tensor y({n, h});
-  Tensor normalized({n, h});
-  std::vector<float> inv_std(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    double mean = 0.0;
-    for (int j = 0; j < h; ++j) mean += x.at(i, j);
-    mean /= h;
-    double var = 0.0;
-    for (int j = 0; j < h; ++j) {
-      const double d = x.at(i, j) - mean;
-      var += d * d;
-    }
-    var /= h;
-    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    inv_std[static_cast<std::size_t>(i)] = istd;
-    for (int j = 0; j < h; ++j) {
-      const float nrm = (x.at(i, j) - static_cast<float>(mean)) * istd;
-      normalized.at(i, j) = nrm;
-      y.at(i, j) = nrm * gamma.value[j] + beta.value[j];
-    }
-  }
   if (cache) {
+    // Training path: the fused kernel also emits the normalized
+    // intermediate and 1/std per row for backward.
+    Tensor normalized({n, h});
+    std::vector<float> inv_std(static_cast<std::size_t>(n));
+    kernels::layer_norm(x.data(), gamma.value.data(), beta.value.data(), eps,
+                        n, h, y.data(), normalized.data(), inv_std.data());
     cache->normalized = std::move(normalized);
     cache->inv_std = std::move(inv_std);
+  } else {
+    // Inference path: single fused pass, no intermediate allocations.
+    kernels::layer_norm(x.data(), gamma.value.data(), beta.value.data(), eps,
+                        n, h, y.data(), nullptr, nullptr);
   }
   return y;
 }

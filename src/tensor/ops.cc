@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 
 namespace rebert::tensor {
@@ -29,20 +30,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                       << a.shape_string() << " x "
                                       << b.shape_string());
   Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // ikj loop order: streams through B and C rows; good cache behaviour
-  // without explicit blocking at our sizes.
-  for (int i = 0; i < m; ++i) {
-    float* crow = cp + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = ap[static_cast<std::size_t>(i) * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = bp + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -54,19 +42,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
                                       << a.shape_string() << " vs "
                                       << b.shape_string());
   Tensor c({k, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<std::size_t>(i) * k;
-    const float* brow = bp + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      float* crow = cp + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_tn(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -78,18 +54,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                                       << a.shape_string() << " vs "
                                       << b.shape_string());
   Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<std::size_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = bp + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      cp[static_cast<std::size_t>(i) * n + j] = acc;
-    }
-  }
+  kernels::gemm_nt(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -125,7 +90,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 Tensor scale(const Tensor& a, float alpha) {
   Tensor c = a;
-  for (std::int64_t i = 0; i < c.numel(); ++i) c[i] *= alpha;
+  kernels::scale(c.data(), alpha, c.numel());
   return c;
 }
 
@@ -135,9 +100,7 @@ Tensor add_row_bias(const Tensor& x, const Tensor& bias) {
                    "bias shape " << bias.shape_string() << " for x "
                                  << x.shape_string());
   Tensor y = x;
-  const int n = x.dim(1);
-  for (int i = 0; i < x.dim(0); ++i)
-    for (int j = 0; j < n; ++j) y.at(i, j) += bias[j];
+  kernels::add_row_bias(y.data(), bias.data(), x.dim(0), x.dim(1));
   return y;
 }
 
@@ -149,28 +112,16 @@ Tensor column_sum(const Tensor& dy) {
   return out;
 }
 
-namespace {
-inline float norm_cdf(float x) {
-  return 0.5f * (1.0f + std::erf(x * 0.70710678118654752440f));
-}
-inline float norm_pdf(float x) {
-  return 0.39894228040143267794f * std::exp(-0.5f * x * x);
-}
-}  // namespace
-
 Tensor gelu(const Tensor& x) {
-  Tensor y = x;
-  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] = x[i] * norm_cdf(x[i]);
+  Tensor y(x.shape());
+  kernels::gelu(x.data(), y.data(), x.numel());
   return y;
 }
 
 Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
   check_same_shape(dy, x, "gelu_backward");
-  Tensor dx = dy;
-  for (std::int64_t i = 0; i < dx.numel(); ++i) {
-    const float g = norm_cdf(x[i]) + x[i] * norm_pdf(x[i]);
-    dx[i] = dy[i] * g;
-  }
+  Tensor dx(dy.shape());
+  kernels::gelu_backward(dy.data(), x.data(), dx.data(), dx.numel());
   return dx;
 }
 
@@ -205,32 +156,15 @@ Tensor relu_backward(const Tensor& dy, const Tensor& x) {
 Tensor softmax_rows(const Tensor& x) {
   check_matrix(x, "softmax_rows");
   Tensor y = x;
-  const int n = x.dim(1);
-  for (int i = 0; i < x.dim(0); ++i) {
-    float row_max = y.at(i, 0);
-    for (int j = 1; j < n; ++j) row_max = std::max(row_max, y.at(i, j));
-    float total = 0.0f;
-    for (int j = 0; j < n; ++j) {
-      const float e = std::exp(y.at(i, j) - row_max);
-      y.at(i, j) = e;
-      total += e;
-    }
-    const float inv = 1.0f / total;
-    for (int j = 0; j < n; ++j) y.at(i, j) *= inv;
-  }
+  kernels::softmax_rows(y.data(), x.dim(0), x.dim(1));
   return y;
 }
 
 Tensor softmax_rows_backward(const Tensor& dy, const Tensor& y) {
   check_same_shape(dy, y, "softmax_rows_backward");
-  Tensor dx = dy;
-  const int n = y.dim(1);
-  for (int i = 0; i < y.dim(0); ++i) {
-    float dot = 0.0f;
-    for (int j = 0; j < n; ++j) dot += dy.at(i, j) * y.at(i, j);
-    for (int j = 0; j < n; ++j)
-      dx.at(i, j) = y.at(i, j) * (dy.at(i, j) - dot);
-  }
+  Tensor dx(dy.shape());
+  kernels::softmax_rows_backward(dy.data(), y.data(), dx.data(), y.dim(0),
+                                 y.dim(1));
   return dx;
 }
 

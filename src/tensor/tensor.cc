@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 
 namespace rebert::tensor {
@@ -98,8 +99,8 @@ void Tensor::add_scaled(const Tensor& other, float alpha) {
   REBERT_CHECK_MSG(same_shape(other), "add_scaled shape mismatch "
                                           << shape_string() << " vs "
                                           << other.shape_string());
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    data_[i] += alpha * other.data_[i];
+  kernels::axpy(data_.data(), other.data_.data(), alpha,
+                static_cast<std::int64_t>(data_.size()));
 }
 
 double Tensor::sum() const {

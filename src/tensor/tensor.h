@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/aligned.h"
 #include "util/rng.h"
 
 namespace rebert::tensor {
@@ -73,7 +74,9 @@ class Tensor {
 
  private:
   std::vector<int> shape_;
-  std::vector<float> data_;
+  // 64-byte-aligned so kernel backends can assume cache-line-aligned rows
+  // for aligned vector loads (see kernels/aligned.h).
+  kernels::AlignedFloatVector data_;
 };
 
 }  // namespace rebert::tensor

@@ -1,0 +1,121 @@
+// Scratch arena: alignment, scope rewind/reuse, growth and consolidation.
+#include "kernels/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+
+#include "kernels/aligned.h"
+
+namespace rebert::kernels {
+namespace {
+
+std::uintptr_t addr(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+TEST(ArenaTest, AllocationsAre64ByteAligned) {
+  Arena arena;
+  // Odd sizes on purpose: the bump pointer must round every allocation up
+  // so the next one stays aligned.
+  for (std::size_t n : {1u, 3u, 7u, 16u, 33u, 1000u}) {
+    float* p = arena.alloc_floats(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(addr(p) % kAlignment, 0u) << "n=" << n;
+  }
+}
+
+TEST(ArenaTest, ZeroSizeAllocationIsNonNull) {
+  Arena arena;
+  EXPECT_NE(arena.alloc_floats(0), nullptr);
+}
+
+TEST(ArenaTest, RewindReusesTheSameStorage) {
+  Arena arena;
+  const Arena::Mark mark = arena.mark();
+  float* first = arena.alloc_floats(128);
+  arena.rewind(mark);
+  float* second = arena.alloc_floats(128);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.bytes_in_use(), 128 * sizeof(float));
+}
+
+TEST(ArenaTest, ScopesNestLikeStackFrames) {
+  Arena& arena = thread_arena();
+  const std::size_t outside = arena.bytes_in_use();
+  {
+    ArenaScope outer;
+    outer.floats(100);
+    const std::size_t after_outer = arena.bytes_in_use();
+    {
+      ArenaScope inner;
+      inner.floats(1000);
+      EXPECT_GT(arena.bytes_in_use(), after_outer);
+    }
+    // Inner scope's allocations reclaimed, outer's retained.
+    EXPECT_EQ(arena.bytes_in_use(), after_outer);
+  }
+  EXPECT_EQ(arena.bytes_in_use(), outside);
+}
+
+TEST(ArenaTest, GrowthPreservesLiveAllocations) {
+  Arena arena;
+  float* small = arena.alloc_floats(8);
+  small[0] = 42.0f;
+  // Force a new block (well past the 64 KiB first block).
+  float* big = arena.alloc_floats(1u << 20);
+  big[0] = 1.0f;
+  EXPECT_EQ(small[0], 42.0f);
+  EXPECT_GE(arena.block_count(), 2u);
+}
+
+TEST(ArenaTest, FullRewindConsolidatesFragmentedBlocks) {
+  Arena arena;
+  arena.alloc_floats(8);                       // block 1
+  arena.alloc_floats((1u << 16) / sizeof(float));  // forces block 2
+  ASSERT_GE(arena.block_count(), 2u);
+  const std::size_t total = arena.capacity();
+  arena.rewind(Arena::Mark{});  // full rewind
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.capacity(), total);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  // The consolidated block now fits what previously fragmented.
+  float* p = arena.alloc_floats(total / sizeof(float));
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(ArenaTest, ThreadArenasAreDistinct) {
+  Arena* main_arena = &thread_arena();
+  Arena* worker_arena = nullptr;
+  std::thread worker([&] { worker_arena = &thread_arena(); });
+  worker.join();
+  EXPECT_NE(main_arena, worker_arena);
+}
+
+#if defined(REBERT_ENABLE_DCHECKS)
+TEST(ArenaTest, RewindPoisonsReclaimedMemoryInDebugBuilds) {
+  Arena arena;
+  const Arena::Mark mark = arena.mark();
+  float* p = arena.alloc_floats(16);
+  for (int i = 0; i < 16; ++i) p[i] = 1.0f;
+  arena.rewind(mark);
+  // Same storage, now NaN-filled: a use-after-rewind trips the NaN
+  // tripwire instead of reading stale data.
+  float* q = arena.alloc_floats(16);
+  ASSERT_EQ(p, q);
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(std::isnan(q[i])) << i;
+}
+#endif
+
+TEST(AlignedAllocatorTest, VectorStorageIs64ByteAligned) {
+  for (std::size_t n : {1u, 5u, 63u, 64u, 1000u}) {
+    AlignedFloatVector v(n, 0.0f);
+    EXPECT_EQ(addr(v.data()) % kAlignment, 0u) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace rebert::kernels

@@ -44,7 +44,15 @@ void spit(const std::string& path, const std::string& bytes) {
 class MmapSnapshotTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  const std::string path_ = temp_path("rebert_mmap_snapshot.rbpc");
+  // Per-test file name: the suite runs under `ctest -j`, where every test
+  // is its own process and a shared name races (one test's TearDown
+  // deletes the file another test just saved).
+  const std::string path_ =
+      temp_path(std::string("rebert_mmap_snapshot_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".rbpc");
 };
 
 TEST_F(MmapSnapshotTest, RoundTripSortsAndServesLookups) {

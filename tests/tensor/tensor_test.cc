@@ -114,5 +114,19 @@ TEST(TensorTest, ValueSemantics) {
   EXPECT_EQ(a.at(0, 0), 1.0f);
 }
 
+TEST(TensorTest, StorageIs64ByteAligned) {
+  // The kernel backends (kernels/) rely on cache-line-aligned tensor
+  // storage; regression-pin it across the allocator, copies, and awkward
+  // sizes that land mid-line.
+  for (const std::vector<int>& shape :
+       {std::vector<int>{1}, {3}, {7, 5}, {64, 64}, {13, 17, 3}}) {
+    const Tensor t(shape);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % 64, 0u)
+        << t.shape_string();
+    const Tensor copy = t;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(copy.data()) % 64, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace rebert::tensor

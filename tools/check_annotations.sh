@@ -11,6 +11,14 @@
 # Exempt: src/util/mutex.h and src/util/mutex.cc — the wrapper itself sits
 # on std::mutex, and the registry's own leaf lock is deliberately raw.
 #
+# A second rule bans ad-hoc `thread_local` state: per-thread storage is
+# invisible to the lock hierarchy and tends to grow into hidden caches
+# with unclear lifetimes. The sanctioned homes are the lock registry's
+# held-locks list (src/util/mutex.cc), the kernel scratch arena
+# (src/kernels/arena.cc — see DESIGN.md "Kernel dispatch & scratch
+# arenas"), and the inert eval-mode RNG (src/bert/model.cc). Anything
+# else should route scratch space through kernels::thread_arena().
+#
 # Exit 0 when clean, 1 with a file:line listing on any violation.
 set -u
 
@@ -35,5 +43,19 @@ if [ -n "$VIOLATIONS" ]; then
   exit 1
 fi
 
-echo "check_annotations: all synchronization goes through util::Mutex"
+TL_VIOLATIONS=$(grep -rnE '(^|[^_[:alnum:]])thread_local([^_[:alnum:]]|$)' "${SCAN_DIRS[@]}" \
+    --include='*.h' --include='*.cc' --include='*.hpp' --include='*.cpp' \
+    | grep -v '^src/util/mutex\.cc:' \
+    | grep -v '^src/kernels/arena\.cc:' \
+    | grep -v '^src/bert/model\.cc:' \
+    | grep -v '^\([^:]*\):[0-9]*: *//' || true)
+
+if [ -n "$TL_VIOLATIONS" ]; then
+  echo "check_annotations: ad-hoc thread_local outside the sanctioned homes:" >&2
+  echo "$TL_VIOLATIONS" >&2
+  echo "route per-thread scratch through kernels::thread_arena() (src/kernels/arena.h)" >&2
+  exit 1
+fi
+
+echo "check_annotations: all synchronization goes through util::Mutex; no ad-hoc thread_local"
 exit 0

@@ -6,8 +6,9 @@
 # Usage: tools/static_analysis.sh [--fast]
 #                                 [--skip-annotations] [--skip-tidy]
 #                                 [--skip-thread-safety] [--skip-sanitizers]
-#                                 [--skip-lint] [--skip-smoke]
-#                                 [--skip-sharded] [--skip-c10k]
+#                                 [--skip-kernels] [--skip-lint]
+#                                 [--skip-smoke] [--skip-sharded]
+#                                 [--skip-c10k]
 #
 # --fast runs only the cheap compile-level stages (1-3): annotation lint,
 # clang-tidy, and the -Wthread-safety build — the pre-commit loop. The full
@@ -34,6 +35,14 @@
 #      lock-order death tests), plus a TSan build running the `concurrency`
 #      and `chaos` labelled tests. Sanitizer builds force REBERT_DCHECKS
 #      on, so the runtime lock-order registry is armed during every run.
+#   4b. Kernel backend gate: the dispatched SIMD kernels' parity and
+#      determinism suite (`ctest -L kernels`) re-run in the ASan and
+#      UBSan build dirs with REBERT_KERNELS pinned first to `scalar`,
+#      then to `avx2` — an out-of-bounds read in a packed GEMM panel or
+#      a UB cast in the exp polynomial must not hide behind whichever
+#      backend cpuid happens to pick. The avx2 leg SKIPs gracefully on
+#      hosts without AVX2+FMA. (clang-tidy already covers src/kernels
+#      through stage 2's sweep of src/.)
 #   5. `rebert_cli lint` over every circuitgen benchmark (b03..b18) at
 #      R-Index 0 and 0.4. Error-severity diagnostics fail the stage;
 #      warnings are reported but tolerated (generated circuits contain
@@ -70,17 +79,19 @@ RUN_ANNOTATIONS=1
 RUN_TIDY=1
 RUN_TSAFETY=1
 RUN_SAN=1
+RUN_KERNELS=1
 RUN_LINT=1
 RUN_SMOKE=1
 RUN_SHARDED=1
 RUN_C10K=1
 for arg in "$@"; do
   case "$arg" in
-    --fast) RUN_SAN=0; RUN_LINT=0; RUN_SMOKE=0; RUN_SHARDED=0; RUN_C10K=0 ;;
+    --fast) RUN_SAN=0; RUN_KERNELS=0; RUN_LINT=0; RUN_SMOKE=0; RUN_SHARDED=0; RUN_C10K=0 ;;
     --skip-annotations) RUN_ANNOTATIONS=0 ;;
     --skip-tidy) RUN_TIDY=0 ;;
     --skip-thread-safety) RUN_TSAFETY=0 ;;
     --skip-sanitizers) RUN_SAN=0 ;;
+    --skip-kernels) RUN_KERNELS=0 ;;
     --skip-lint) RUN_LINT=0 ;;
     --skip-smoke) RUN_SMOKE=0 ;;
     --skip-sharded) RUN_SHARDED=0 ;;
@@ -217,6 +228,38 @@ if [ "$RUN_SAN" -eq 1 ]; then
   run_sanitizer undefined
   # ctest -L takes a regex: one TSan build covers both labelled subsets.
   run_sanitizer thread "concurrency|chaos"
+fi
+
+# ---- 4b. kernel backend gate ------------------------------------------------
+# `ctest -L kernels` once per backend per sanitizer, REBERT_KERNELS pinned
+# so the run exercises the named backend rather than whatever cpuid picks.
+# Reuses (or builds) the stage-4 ASan/UBSan dirs.
+if [ "$RUN_KERNELS" -eq 1 ]; then
+  HAVE_AVX2=0
+  if grep -q ' avx2 \| avx2$\|avx2 ' /proc/cpuinfo 2>/dev/null \
+      && grep -q 'fma' /proc/cpuinfo 2>/dev/null; then
+    HAVE_AVX2=1
+  fi
+  for san in address undefined; do
+    note "kernel backends under $san (ctest -L kernels, scalar + avx2)"
+    KOK=1
+    KDIR="build-$san"
+    cmake -B "$KDIR" -S . -DREBERT_SANITIZE="$san" >/dev/null || KOK=0
+    if [ "$KOK" -eq 1 ]; then
+      cmake --build "$KDIR" -j "$JOBS" >/dev/null || KOK=0
+    fi
+    if [ "$KOK" -eq 1 ]; then
+      for backend in scalar avx2; do
+        if [ "$backend" = avx2 ] && [ "$HAVE_AVX2" -eq 0 ]; then
+          echo "host lacks AVX2+FMA; skipping the REBERT_KERNELS=avx2 leg"
+          continue
+        fi
+        (cd "$KDIR" && REBERT_KERNELS="$backend" \
+          ctest --output-on-failure -j "$JOBS" -L kernels) || KOK=0
+      done
+    fi
+    [ "$KOK" -eq 1 ] && record "kernels-$san" PASS || record "kernels-$san" FAIL
+  done
 fi
 
 # ---- 5. netlist lint over generated benchmarks -----------------------------
